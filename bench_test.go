@@ -1,0 +1,345 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (reported as custom metrics on top of the usual ns/op),
+// plus ablations of the design choices DESIGN.md calls out.
+//
+// The interesting numbers are the custom metrics: simulated speedups
+// (x_speedup), bandwidths (MBps_*), and energy ratios (x_energy) — the
+// ns/op column measures simulator wall-clock cost, not the modeled
+// system.
+package smartssd
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"smartssd/internal/core"
+	"smartssd/internal/experiments"
+	"smartssd/internal/sim"
+	"smartssd/internal/ssd"
+	"smartssd/internal/tpch"
+)
+
+func benchOptions() experiments.Options {
+	return experiments.Options{SF: 0.01, SynthR: 400, Seed: 1}
+}
+
+// BenchmarkFig1BandwidthTrend regenerates Figure 1.
+func BenchmarkFig1BandwidthTrend(b *testing.B) {
+	var last float64
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig1()
+		last = r.Points[len(r.Points)-1].InternalRel()
+	}
+	b.ReportMetric(last, "x_internal_2016")
+}
+
+// BenchmarkTable2SeqRead regenerates Table 2: sequential read bandwidth
+// with 256 KB I/Os, internal versus host path.
+func BenchmarkTable2SeqRead(b *testing.B) {
+	var rep experiments.Table2Report
+	for i := 0; i < b.N; i++ {
+		var err error
+		rep, err = experiments.Table2(experiments.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rep.HostMBps, "MBps_host")
+	b.ReportMetric(rep.InternalMBps, "MBps_internal")
+	b.ReportMetric(rep.Ratio, "x_ratio")
+}
+
+// BenchmarkFig3Q6 regenerates Figure 3: TPC-H Q6 elapsed time.
+func BenchmarkFig3Q6(b *testing.B) {
+	var rep experiments.Fig3Report
+	for i := 0; i < b.N; i++ {
+		var err error
+		rep, err = experiments.Fig3(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rep.Runs[1].Speedup, "x_speedup_nsm")
+	b.ReportMetric(rep.Runs[2].Speedup, "x_speedup_pax")
+}
+
+// BenchmarkFig5JoinSelectivity regenerates Figure 5: the join query
+// across the selectivity sweep.
+func BenchmarkFig5JoinSelectivity(b *testing.B) {
+	var rep experiments.Fig5Report
+	for i := 0; i < b.N; i++ {
+		var err error
+		rep, err = experiments.Fig5(benchOptions(), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rep.Points[0].SpeedupPAX, "x_speedup_sel1")
+	b.ReportMetric(rep.Points[len(rep.Points)-1].SpeedupPAX, "x_speedup_sel100")
+}
+
+// BenchmarkFig7Q14 regenerates Figure 7: TPC-H Q14 elapsed time.
+func BenchmarkFig7Q14(b *testing.B) {
+	var rep experiments.Fig7Report
+	for i := 0; i < b.N; i++ {
+		var err error
+		rep, err = experiments.Fig7(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rep.Runs[1].Speedup, "x_speedup_nsm")
+	b.ReportMetric(rep.Runs[2].Speedup, "x_speedup_pax")
+}
+
+// BenchmarkTable3Energy regenerates Table 3: Q6 energy across devices.
+func BenchmarkTable3Energy(b *testing.B) {
+	var rep experiments.Table3Report
+	for i := 0; i < b.N; i++ {
+		var err error
+		rep, err = experiments.Table3(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rep.HDDSystemRatio, "x_energy_hdd")
+	b.ReportMetric(rep.SSDSystemRatio, "x_energy_ssd")
+	b.ReportMetric(rep.HDDIORatio, "x_io_energy_hdd")
+	b.ReportMetric(rep.SSDIORatio, "x_io_energy_ssd")
+}
+
+// --- Ablations ---
+
+// q6PaxSpeedup runs Figure 3 under modified device parameters and
+// reports the Smart SSD (PAX) speedup.
+func q6PaxSpeedup(b *testing.B, mutate func(*ssd.Params)) float64 {
+	b.Helper()
+	o := benchOptions()
+	p := ssd.DefaultParams()
+	mutate(&p)
+	o.SSD = p
+	rep, err := experiments.Fig3(o)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return rep.Runs[2].Speedup
+}
+
+// BenchmarkAblationDMABus lifts the shared-DMA-bus serialization — the
+// bottleneck the paper blames for 2.8x instead of Figure 1's 10x — by
+// widening the bus. The embedded CPU is doubled to 6 cores so compute
+// is not the binding constraint: at the stock 1,560 MB/s the speedup
+// pins at the 2.8x bus ceiling, and widening the bus hands the
+// bottleneck to the next stage in line — the 8x200 MB/s flash channels
+// at about 2.9x — exactly the layered-bottleneck story of §4.2.
+func BenchmarkAblationDMABus(b *testing.B) {
+	for _, mbps := range []float64{1560, 3120, 6240} {
+		b.Run(fmt.Sprintf("dma_%.0fMBps", mbps), func(b *testing.B) {
+			var sp float64
+			for i := 0; i < b.N; i++ {
+				sp = q6PaxSpeedup(b, func(p *ssd.Params) {
+					p.DMABusRate = sim.MBps(mbps)
+					p.DeviceCPUCores = 6
+				})
+			}
+			b.ReportMetric(sp, "x_speedup_pax")
+		})
+	}
+}
+
+// BenchmarkAblationDeviceCPU is the paper's §5 recommendation — "add in
+// more hardware (CPU...) so that the DBMS code can run more effectively
+// inside the SSD" — as a core-count sweep. Q6 is device-CPU-bound, so
+// speedup grows with cores until the DMA bus (2.8x) caps it.
+func BenchmarkAblationDeviceCPU(b *testing.B) {
+	for _, cores := range []int{1, 3, 6, 12} {
+		b.Run(fmt.Sprintf("cores_%d", cores), func(b *testing.B) {
+			var sp float64
+			for i := 0; i < b.N; i++ {
+				sp = q6PaxSpeedup(b, func(p *ssd.Params) { p.DeviceCPUCores = cores })
+			}
+			b.ReportMetric(sp, "x_speedup_pax")
+		})
+	}
+}
+
+// BenchmarkAblationLayout isolates the NSM-versus-PAX gap for Q6 on the
+// device: the per-field extraction penalty NSM pays per referenced
+// column.
+func BenchmarkAblationLayout(b *testing.B) {
+	var rep experiments.Fig3Report
+	for i := 0; i < b.N; i++ {
+		var err error
+		rep, err = experiments.Fig3(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	nsm := rep.Runs[1].Elapsed.Seconds()
+	pax := rep.Runs[2].Elapsed.Seconds()
+	b.ReportMetric(nsm/pax, "x_pax_over_nsm")
+}
+
+// BenchmarkAblationSelectivity measures the host-link crossover of the
+// join query: the selectivity where result shipping erases the
+// pushdown advantage (Figure 5's right edge).
+func BenchmarkAblationSelectivity(b *testing.B) {
+	var rep experiments.Fig5Report
+	for i := 0; i < b.N; i++ {
+		var err error
+		rep, err = experiments.Fig5(benchOptions(), []int64{1, 25, 50, 75, 100})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	cross := float64(100)
+	for _, p := range rep.Points {
+		if p.SpeedupPAX < 1.0 {
+			cross = float64(p.SelectivityPct)
+			break
+		}
+	}
+	b.ReportMetric(cross, "pct_crossover")
+}
+
+// BenchmarkAblationOptimizer compares the Auto planner against both
+// forced modes across the Q6 workload: Auto must match the better of
+// the two (the cost model picks the winning side).
+func BenchmarkAblationOptimizer(b *testing.B) {
+	o := benchOptions()
+	var auto, best float64
+	for i := 0; i < b.N; i++ {
+		e, err := core.New(core.Config{SSD: o.SSD})
+		if err != nil {
+			b.Fatal(err)
+		}
+		li := tpch.LineitemSchema()
+		if _, err := e.CreateTable("lineitem", li, 1 /* PAX */, tpch.NumLineitem(o.SF)/51+2, core.OnSSD); err != nil {
+			b.Fatal(err)
+		}
+		if err := e.Load("lineitem", tpch.NewLineitemGen(o.SF, o.Seed).Next); err != nil {
+			b.Fatal(err)
+		}
+		spec := core.QuerySpec{
+			Table:          "lineitem",
+			Filter:         tpch.Q6Predicate(),
+			Aggs:           tpch.Q6Aggregates(),
+			EstSelectivity: 0.006,
+		}
+		ra, err := e.Run(spec, core.Auto)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rh, err := e.Run(spec, core.ForceHost)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rd, err := e.Run(spec, core.ForceDevice)
+		if err != nil {
+			b.Fatal(err)
+		}
+		auto = ra.Elapsed.Seconds()
+		best = rh.Elapsed.Seconds()
+		if rd.Elapsed.Seconds() < best {
+			best = rd.Elapsed.Seconds()
+		}
+	}
+	b.ReportMetric(auto/best, "x_auto_vs_best")
+}
+
+// BenchmarkDevicePushdownThroughput measures the simulator itself: how
+// many simulated megabytes per wall-clock second the in-device scan
+// path processes (useful when sizing SF for long runs).
+func BenchmarkDevicePushdownThroughput(b *testing.B) {
+	o := benchOptions()
+	e, err := core.New(core.Config{SSD: o.SSD})
+	if err != nil {
+		b.Fatal(err)
+	}
+	li := tpch.LineitemSchema()
+	if _, err := e.CreateTable("lineitem", li, 1, tpch.NumLineitem(o.SF)/51+2, core.OnSSD); err != nil {
+		b.Fatal(err)
+	}
+	if err := e.Load("lineitem", tpch.NewLineitemGen(o.SF, o.Seed).Next); err != nil {
+		b.Fatal(err)
+	}
+	spec := core.QuerySpec{
+		Table:          "lineitem",
+		Filter:         tpch.Q6Predicate(),
+		Aggs:           tpch.Q6Aggregates(),
+		EstSelectivity: 0.006,
+	}
+	var bytes int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := e.Run(spec, core.ForceDevice)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bytes += res.FlashBytesRead
+	}
+	b.SetBytes(bytes / int64(b.N))
+}
+
+// BenchmarkAblationIOUnit sweeps the host I/O request size: small
+// units pay per-command link turnaround, peaking near the paper's
+// 550 MB/s at the 32-page (256 KB) unit the experiments use; very
+// large units lose a little again because each request waits for its
+// whole batch to stage in device DRAM before the link starts.
+func BenchmarkAblationIOUnit(b *testing.B) {
+	for _, unit := range []int{4, 8, 32, 128} {
+		b.Run(fmt.Sprintf("pages_%d", unit), func(b *testing.B) {
+			var bw float64
+			for i := 0; i < b.N; i++ {
+				p := ssd.DefaultParams()
+				p.IOUnitPages = unit
+				dev, err := ssd.New(p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				bw, err = ssd.BandwidthProbe{}.Host(dev)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(bw, "MBps_host")
+		})
+	}
+}
+
+// BenchmarkAblationOverProvision sweeps FTL over-provisioning under a
+// random-overwrite churn and reports the resulting write amplification
+// — the device-lifetime cost of the capacity the vendor hides.
+func BenchmarkAblationOverProvision(b *testing.B) {
+	for _, op := range []float64{0.10, 0.25, 0.40} {
+		b.Run(fmt.Sprintf("op_%.0f%%", op*100), func(b *testing.B) {
+			var wa float64
+			for i := 0; i < b.N; i++ {
+				p := ssd.DefaultParams()
+				p.Geometry.BlocksPerChip = 16
+				p.Geometry.PagesPerBlock = 32
+				p.FTL.OverProvision = op
+				dev, err := ssd.New(p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				n := dev.CapacityPages()
+				buf := make([]byte, dev.PageSize())
+				rng := rand.New(rand.NewSource(1))
+				for j := int64(0); j < n; j++ {
+					if _, err := dev.WritePage(j, buf, 0); err != nil {
+						b.Fatal(err)
+					}
+				}
+				for j := int64(0); j < 3*n; j++ {
+					if _, err := dev.WritePage(rng.Int63n(n), buf, 0); err != nil {
+						b.Fatal(err)
+					}
+				}
+				wa = dev.FTLStats().WriteAmplification
+			}
+			b.ReportMetric(wa, "x_write_amp")
+		})
+	}
+}

@@ -1,0 +1,80 @@
+// Benchsuite regenerates every table and figure from the paper's
+// evaluation section on the simulated system.
+//
+// Usage:
+//
+//	benchsuite [-exp all|fig1|table2|fig3|fig5|fig7|table3|q1|concurrency|interfaces|hybrid]
+//	           [-sf 0.05] [-synthr 2000] [-seed 1]
+//
+// Speedup and energy ratios are scale-invariant; -sf and -synthr only
+// trade wall-clock time for dataset size.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"smartssd/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: all, fig1, table2, fig3, fig5, fig7, table3, q1, concurrency, interfaces, hybrid")
+	sf := flag.Float64("sf", 0.05, "TPC-H scale factor (paper: 100)")
+	synthR := flag.Int64("synthr", 2000, "Synthetic64_R rows (paper: 1,000,000; S is 400x)")
+	seed := flag.Int64("seed", 1, "data generation seed")
+	flag.Parse()
+
+	o := experiments.Options{SF: *sf, SynthR: *synthR, Seed: *seed}
+	run := func(name string, f func() (interface{ Render() string }, error)) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		rep, err := f()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchsuite: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println(rep.Render())
+	}
+
+	run("fig1", func() (interface{ Render() string }, error) {
+		return experiments.Fig1(), nil
+	})
+	run("table2", func() (interface{ Render() string }, error) {
+		r, err := experiments.Table2(o)
+		return r, err
+	})
+	run("fig3", func() (interface{ Render() string }, error) {
+		r, err := experiments.Fig3(o)
+		return r, err
+	})
+	run("fig5", func() (interface{ Render() string }, error) {
+		r, err := experiments.Fig5(o, nil)
+		return r, err
+	})
+	run("fig7", func() (interface{ Render() string }, error) {
+		r, err := experiments.Fig7(o)
+		return r, err
+	})
+	run("table3", func() (interface{ Render() string }, error) {
+		r, err := experiments.Table3(o)
+		return r, err
+	})
+	run("q1", func() (interface{ Render() string }, error) {
+		r, err := experiments.ExtQ1(o)
+		return r, err
+	})
+	run("concurrency", func() (interface{ Render() string }, error) {
+		r, err := experiments.ExtConcurrency(o)
+		return r, err
+	})
+	run("interfaces", func() (interface{ Render() string }, error) {
+		r, err := experiments.ExtInterface(o)
+		return r, err
+	})
+	run("hybrid", func() (interface{ Render() string }, error) {
+		r, err := experiments.ExtHybrid(o)
+		return r, err
+	})
+}

@@ -1,0 +1,246 @@
+// Queryrun executes one of the paper's queries on the simulated system
+// and prints the result with its full measurement (elapsed, bottleneck,
+// traffic, energy), optionally explaining both candidate plans and the
+// pushdown decision first.
+//
+// Usage:
+//
+//	queryrun -q q1|q6|q14|join [-mode auto|host|device|hybrid] [-layout nsm|pax]
+//	         [-sf 0.02] [-synthr 500] [-sel 10] [-explain]
+//	         [-saveimg data.img] [-loadimg data.img] [-trace run.csv]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"smartssd"
+	"smartssd/workload"
+)
+
+func main() {
+	q := flag.String("q", "q6", "query: q1, q6, q14, join")
+	modeFlag := flag.String("mode", "auto", "execution mode: auto, host, device, hybrid")
+	layoutFlag := flag.String("layout", "pax", "page layout: nsm, pax")
+	sf := flag.Float64("sf", 0.02, "TPC-H scale factor")
+	synthR := flag.Int64("synthr", 500, "Synthetic64_R rows (S is 400x)")
+	sel := flag.Int64("sel", 10, "join query selectivity percent (0-100)")
+	explain := flag.Bool("explain", false, "print plans and the pushdown decision first")
+	trace := flag.String("trace", "", "write a per-request resource timeline CSV to this file")
+	saveImg := flag.String("saveimg", "", "after loading data, save a system image to this file")
+	loadImg := flag.String("loadimg", "", "load tables from a system image instead of generating")
+	flag.Parse()
+
+	var mode smartssd.Mode
+	switch *modeFlag {
+	case "auto":
+		mode = smartssd.Auto
+	case "host":
+		mode = smartssd.ForceHost
+	case "device":
+		mode = smartssd.ForceDevice
+	case "hybrid":
+		mode = smartssd.ForceHybrid
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *modeFlag))
+	}
+	layout := smartssd.PAX
+	if *layoutFlag == "nsm" {
+		layout = smartssd.NSM
+	}
+
+	var sys *smartssd.System
+	var err error
+	if *loadImg != "" {
+		f, ferr := os.Open(*loadImg)
+		if ferr != nil {
+			fatal(ferr)
+		}
+		sys, err = smartssd.LoadImage(smartssd.Config{}, f)
+		f.Close()
+	} else {
+		sys, err = smartssd.New(smartssd.Config{})
+	}
+	if err != nil {
+		fatal(err)
+	}
+	generate := *loadImg == ""
+
+	var spec smartssd.QuerySpec
+	switch *q {
+	case "q1":
+		if generate {
+			loadTPCH(sys, *sf, layout, false)
+		}
+		spec = smartssd.QuerySpec{
+			Table:          "lineitem",
+			Filter:         workload.Q1Predicate(),
+			GroupBy:        workload.Q1GroupBy(),
+			Aggs:           workload.Q1Aggregates(),
+			EstSelectivity: workload.Q1EstSelectivity,
+		}
+	case "q6":
+		if generate {
+			loadTPCH(sys, *sf, layout, false)
+		}
+		spec = smartssd.QuerySpec{
+			Table:          "lineitem",
+			Filter:         workload.Q6Predicate(),
+			Aggs:           workload.Q6Aggregates(),
+			EstSelectivity: workload.Q6EstSelectivity,
+		}
+	case "q14":
+		if generate {
+			loadTPCH(sys, *sf, layout, true)
+		}
+		spec = smartssd.QuerySpec{
+			Table:          "lineitem",
+			Join:           &smartssd.JoinClause{BuildTable: "part", BuildKey: "p_partkey", ProbeKey: "l_partkey"},
+			Filter:         workload.Q14DateRange(),
+			Aggs:           workload.Q14Aggregates(),
+			EstSelectivity: workload.Q14EstSelectivity,
+		}
+	case "join":
+		if generate {
+			loadSynth(sys, *synthR, layout)
+		}
+		spec = smartssd.QuerySpec{
+			Table:          "synth_s",
+			Join:           &smartssd.JoinClause{BuildTable: "synth_r", BuildKey: "r_col_1", ProbeKey: "s_col_2"},
+			Filter:         workload.SyntheticSelection(*sel),
+			Output:         workload.SyntheticJoinOutput(),
+			EstSelectivity: float64(*sel) / 100,
+		}
+	default:
+		fatal(fmt.Errorf("unknown query %q", *q))
+	}
+
+	if *saveImg != "" {
+		f, ferr := os.Create(*saveImg)
+		if ferr != nil {
+			fatal(ferr)
+		}
+		if err := sys.SaveImage(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "queryrun: saved system image to %s\n", *saveImg)
+	}
+
+	if *explain {
+		out, err := sys.Explain(spec)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(out)
+	}
+
+	var traceFile *os.File
+	if *trace != "" {
+		traceFile, err = os.Create(*trace)
+		if err != nil {
+			fatal(err)
+		}
+		defer traceFile.Close()
+		tw := bufio.NewWriter(traceFile)
+		defer tw.Flush()
+		fmt.Fprintln(tw, "resource,lane,ready_us,done_us,units")
+		sys.SetTracer(func(server string, lane int, ready, done time.Duration, units int64) {
+			fmt.Fprintf(tw, "%s,%d,%.3f,%.3f,%d\n",
+				server, lane, float64(ready.Nanoseconds())/1e3, float64(done.Nanoseconds())/1e3, units)
+		})
+	}
+
+	start := time.Now()
+	res, err := sys.Run(spec, mode)
+	if err != nil {
+		fatal(err)
+	}
+	wall := time.Since(start)
+
+	fmt.Printf("query       : %s (%s layout)\n", *q, layout)
+	fmt.Printf("ran on      : %s\n", res.Placement)
+	if res.Decision.Reason != "" {
+		fmt.Printf("decision    : %s\n", res.Decision.Reason)
+	}
+	fmt.Printf("elapsed     : %.4fs simulated (%.2fs wall)\n", res.Elapsed.Seconds(), wall.Seconds())
+	fmt.Printf("bottleneck  : %s\n", res.Bottleneck)
+	fmt.Printf("flash read  : %.1f MB\n", float64(res.FlashBytesRead)/(1<<20))
+	fmt.Printf("link out    : %.3f MB\n", float64(res.LinkBytesOut)/(1<<20))
+	fmt.Printf("energy      : %.4f kJ system, %.5f kJ I/O\n", res.Energy.SystemkJ(), res.Energy.IOkJ())
+	fmt.Printf("utilization :")
+	for _, st := range res.Stages {
+		fmt.Printf(" %s %.0f%%", st.Name, 100*st.Utilization)
+	}
+	fmt.Println()
+	fmt.Printf("result rows : %d\n", len(res.Rows))
+	switch *q {
+	case "q1":
+		for _, row := range res.Rows {
+			fmt.Printf("group %s/%s : qty=%d base=%d disc=%d charge=%d count=%d\n",
+				string(row[0].Bytes), string(row[1].Bytes),
+				row[2].Int/100, row[3].Int, row[4].Int, row[5].Int, row[6].Int)
+		}
+	case "q6":
+		fmt.Printf("Q6 revenue  : %.2f (scaled sum %d)\n", float64(res.Rows[0][0].Int)/10000, res.Rows[0][0].Int)
+	case "q14":
+		fmt.Printf("Q14 promo%%  : %.2f\n", workload.Q14PromoPercent(res.Rows[0][0].Int, res.Rows[0][1].Int))
+	default:
+		n := len(res.Rows)
+		if n > 3 {
+			n = 3
+		}
+		for i := 0; i < n; i++ {
+			fmt.Printf("row %d       : s_col_1=%d r_col_2=%d\n", i, res.Rows[i][0].Int, res.Rows[i][1].Int)
+		}
+	}
+}
+
+func loadTPCH(sys *smartssd.System, sf float64, layout smartssd.Layout, withPart bool) {
+	li := workload.LineitemSchema()
+	liPages := workload.NumLineitem(sf)/51 + 2
+	if _, err := sys.CreateTable("lineitem", li, layout, liPages, smartssd.OnSSD); err != nil {
+		fatal(err)
+	}
+	if err := sys.Load("lineitem", workload.LineitemGen(sf, 1)); err != nil {
+		fatal(err)
+	}
+	if withPart {
+		pa := workload.PartSchema()
+		paPages := workload.NumPart(sf)/40 + 2
+		if _, err := sys.CreateTable("part", pa, layout, paPages, smartssd.OnSSD); err != nil {
+			fatal(err)
+		}
+		if err := sys.Load("part", workload.PartGen(sf, 2)); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func loadSynth(sys *smartssd.System, nR int64, layout smartssd.Layout) {
+	nS := nR * workload.SyntheticSRatio
+	rs := workload.SyntheticSchema("r")
+	ss := workload.SyntheticSchema("s")
+	if _, err := sys.CreateTable("synth_r", rs, layout, nR/28+2, smartssd.OnSSD); err != nil {
+		fatal(err)
+	}
+	if err := sys.Load("synth_r", workload.SyntheticRGen(nR, 1)); err != nil {
+		fatal(err)
+	}
+	if _, err := sys.CreateTable("synth_s", ss, layout, nS/28+2, smartssd.OnSSD); err != nil {
+		fatal(err)
+	}
+	if err := sys.Load("synth_s", workload.SyntheticSGen(nS, nR, 2)); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "queryrun:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,86 @@
+// Ssdctl inspects the simulated Smart SSD: its internal architecture
+// (Figure 2), its measured sequential-read bandwidths (Table 2), its
+// FTL statistics under a write workload, and the Figure 1 bandwidth
+// trend model.
+//
+// Usage:
+//
+//	ssdctl -describe      print the device architecture
+//	ssdctl -probe         measure internal and host bandwidth
+//	ssdctl -churn         run a write/GC workload and print FTL stats
+//	ssdctl -trend         print the Figure 1 bandwidth trend
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"smartssd"
+	"smartssd/internal/experiments"
+	"smartssd/internal/ssd"
+)
+
+func main() {
+	describe := flag.Bool("describe", false, "print the device architecture")
+	probe := flag.Bool("probe", false, "measure sequential-read bandwidth")
+	churn := flag.Bool("churn", false, "run an overwrite workload and print FTL stats")
+	trend := flag.Bool("trend", false, "print the Figure 1 bandwidth trend")
+	flag.Parse()
+	if !*describe && !*probe && !*churn && !*trend {
+		*describe = true
+	}
+
+	params := smartssd.DefaultSSDParams()
+	// A smaller NAND array keeps the tool instant; controller
+	// parameters (the ones that set bandwidths) stay the paper's.
+	params.Geometry.BlocksPerChip = 64
+	dev, err := ssd.New(params)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *describe {
+		fmt.Print(dev.Describe())
+	}
+	if *probe {
+		internal, host, err := smartssd.MeasureBandwidth(dev)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("sequential read, %d KB I/Os:\n", params.IOUnitPages*params.Geometry.PageSize/1024)
+		fmt.Printf("  internal (flash -> device DRAM): %7.0f MB/s\n", internal)
+		fmt.Printf("  host     (flash -> host memory): %7.0f MB/s\n", host)
+		fmt.Printf("  ratio: %.2fx\n", internal/host)
+	}
+	if *churn {
+		pageBuf := make([]byte, dev.PageSize())
+		n := dev.CapacityPages() / 4
+		var at int64
+		for round := 0; round < 3; round++ {
+			for i := int64(0); i < n; i++ {
+				pageBuf[0] = byte(round)
+				if _, err := dev.WritePage(i, pageBuf, 0); err != nil {
+					fatal(err)
+				}
+				at++
+			}
+		}
+		fs := dev.FTLStats()
+		ns := dev.NANDStats()
+		fmt.Printf("churn: %d page writes over %d-page span\n", at, n)
+		fmt.Printf("  host writes        : %d pages\n", fs.HostWrites)
+		fmt.Printf("  gc relocations     : %d pages (%d victim blocks)\n", fs.GCWrites, fs.GCRuns)
+		fmt.Printf("  write amplification: %.3f\n", fs.WriteAmplification)
+		fmt.Printf("  nand programs      : %d, erases: %d\n", ns.Programs, ns.Erases)
+		fmt.Printf("  wear spread        : erase counts %d..%d per block\n", ns.MinEraseCount, ns.MaxEraseCount)
+	}
+	if *trend {
+		fmt.Print(experiments.Fig1().Render())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ssdctl:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,121 @@
+package smartssd_test
+
+import (
+	"fmt"
+	"log"
+
+	"smartssd"
+	"smartssd/workload"
+)
+
+// Example builds the paper's testbed, loads a small TPC-H LINEITEM, and
+// lets the planner choose where Q6 runs.
+func Example() {
+	sys, err := smartssd.New(smartssd.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	li := workload.LineitemSchema()
+	const sf = 0.002 // 12,000 rows
+	if _, err := sys.CreateTable("lineitem", li, smartssd.PAX,
+		workload.NumLineitem(sf)/51+2, smartssd.OnSSD); err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.Load("lineitem", workload.LineitemGen(sf, 1)); err != nil {
+		log.Fatal(err)
+	}
+	res, err := sys.Run(smartssd.QuerySpec{
+		Table:          "lineitem",
+		Filter:         workload.Q6Predicate(),
+		Aggs:           workload.Q6Aggregates(),
+		EstSelectivity: workload.Q6EstSelectivity,
+	}, smartssd.Auto)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ran on %v, %d result row, bottleneck %s\n",
+		res.Placement, len(res.Rows), res.Bottleneck)
+	// Output: ran on device, 1 result row, bottleneck device-cpu
+}
+
+// ExampleSystem_Explain shows both candidate plans and the cost-based
+// pushdown decision without running anything.
+func ExampleSystem_Explain() {
+	sys, err := smartssd.New(smartssd.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := smartssd.NewSchema(
+		smartssd.Column{Name: "k", Kind: smartssd.Int64},
+		smartssd.Column{Name: "v", Kind: smartssd.Int32},
+		smartssd.Column{Name: "pad", Kind: smartssd.Char, Len: 140},
+	)
+	if _, err := sys.CreateTable("t", s, smartssd.PAX, 64, smartssd.OnSSD); err != nil {
+		log.Fatal(err)
+	}
+	i := int64(0)
+	if err := sys.Load("t", func() (smartssd.Tuple, bool) {
+		if i >= 1000 {
+			return nil, false
+		}
+		tup := smartssd.Tuple{smartssd.IntVal(i), smartssd.IntVal(i % 7), smartssd.StrVal("x")}
+		i++
+		return tup, true
+	}); err != nil {
+		log.Fatal(err)
+	}
+	out, err := sys.Explain(smartssd.QuerySpec{
+		Table:          "t",
+		Filter:         smartssd.EQ(smartssd.ColOf(s, "v"), smartssd.Int(3)),
+		Aggs:           []smartssd.AggSpec{{Kind: smartssd.Count, Name: "n"}},
+		EstSelectivity: 0.14,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(out[:10]) // the header; full plans are device-parameter dependent
+	// Output: host plan:
+}
+
+// ExampleSystem_Run_forced compares the same query on both paths; the
+// answers are bit-identical by construction.
+func ExampleSystem_Run_forced() {
+	sys, err := smartssd.New(smartssd.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := smartssd.NewSchema(
+		smartssd.Column{Name: "k", Kind: smartssd.Int64},
+		smartssd.Column{Name: "grp", Kind: smartssd.Int32},
+	)
+	if _, err := sys.CreateTable("t", s, smartssd.NSM, 64, smartssd.OnSSD); err != nil {
+		log.Fatal(err)
+	}
+	i := int64(0)
+	if err := sys.Load("t", func() (smartssd.Tuple, bool) {
+		if i >= 10000 {
+			return nil, false
+		}
+		tup := smartssd.Tuple{smartssd.IntVal(i), smartssd.IntVal(i % 3)}
+		i++
+		return tup, true
+	}); err != nil {
+		log.Fatal(err)
+	}
+	q := smartssd.QuerySpec{
+		Table:   "t",
+		GroupBy: []int{1},
+		Aggs:    []smartssd.AggSpec{{Kind: smartssd.Count, Name: "n"}},
+		OrderBy: []smartssd.OrderKey{{Col: 0}},
+	}
+	host, _ := sys.Run(q, smartssd.ForceHost)
+	dev, _ := sys.Run(q, smartssd.ForceDevice)
+	for i := range host.Rows {
+		fmt.Printf("group %d: host %d device %d\n",
+			host.Rows[i][0].Int, host.Rows[i][1].Int, dev.Rows[i][1].Int)
+	}
+	// Output:
+	// group 0: host 3334 device 3334
+	// group 1: host 3333 device 3333
+	// group 2: host 3333 device 3333
+}

@@ -1,0 +1,86 @@
+// Energy reproduces the Table 3 experiment through the public API:
+// TPC-H Q6 on the SAS HDD, the regular SSD path, and the Smart SSD with
+// NSM and PAX layouts, with whole-system and I/O-subsystem energy
+// integrated over each run's simulated timeline.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"smartssd"
+	"smartssd/workload"
+)
+
+func main() {
+	sf := flag.Float64("sf", 0.02, "TPC-H scale factor (paper: 100)")
+	flag.Parse()
+
+	sys, err := smartssd.New(smartssd.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	li := workload.LineitemSchema()
+	pages := workload.NumLineitem(*sf)/51 + 2
+	type placement struct {
+		name   string
+		layout smartssd.Layout
+		target smartssd.Target
+	}
+	for _, p := range []placement{
+		{"lineitem_hdd", smartssd.NSM, smartssd.OnHDD},
+		{"lineitem_nsm", smartssd.NSM, smartssd.OnSSD},
+		{"lineitem_pax", smartssd.PAX, smartssd.OnSSD},
+	} {
+		if _, err := sys.CreateTable(p.name, li, p.layout, pages, p.target); err != nil {
+			log.Fatal(err)
+		}
+		if err := sys.Load(p.name, workload.LineitemGen(*sf, 1)); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	q := func(table string) smartssd.QuerySpec {
+		return smartssd.QuerySpec{
+			Table:          table,
+			Filter:         workload.Q6Predicate(),
+			Aggs:           workload.Q6Aggregates(),
+			EstSelectivity: workload.Q6EstSelectivity,
+		}
+	}
+	configs := []struct {
+		name  string
+		table string
+		mode  smartssd.Mode
+	}{
+		{"SAS HDD", "lineitem_hdd", smartssd.ForceHost},
+		{"SAS SSD", "lineitem_nsm", smartssd.ForceHost},
+		{"Smart SSD (NSM)", "lineitem_nsm", smartssd.ForceDevice},
+		{"Smart SSD (PAX)", "lineitem_pax", smartssd.ForceDevice},
+	}
+
+	fmt.Printf("TPC-H Q6 at SF %.2f - energy comparison (Table 3)\n\n", *sf)
+	fmt.Printf("%-18s %12s %14s %16s %14s\n", "", "elapsed", "system (kJ)", "I/O subsys (kJ)", "above idle (kJ)")
+	var results []*smartssd.Result
+	for _, c := range configs {
+		res, err := sys.Run(q(c.table), c.mode)
+		if err != nil {
+			log.Fatal(err)
+		}
+		results = append(results, res)
+		fmt.Printf("%-18s %11.3fs %14.4f %16.5f %14.4f\n",
+			c.name, res.Elapsed.Seconds(), res.Energy.SystemkJ(), res.Energy.IOkJ(),
+			res.Energy.AboveIdleJ/1000)
+	}
+
+	pax := results[3]
+	fmt.Printf("\nversus Smart SSD (PAX):\n")
+	fmt.Printf("  HDD: %.1fx system energy, %.1fx I/O energy (paper: 11.6x / 14.3x)\n",
+		results[0].Energy.SystemJ/pax.Energy.SystemJ, results[0].Energy.IOJ/pax.Energy.IOJ)
+	fmt.Printf("  SSD: %.1fx system energy, %.1fx I/O energy (paper: 1.9x / 1.4x)\n",
+		results[1].Energy.SystemJ/pax.Energy.SystemJ, results[1].Energy.IOJ/pax.Energy.IOJ)
+	fmt.Printf("  above the 235 W idle floor: HDD %.1fx, SSD %.1fx (paper: 12.4x / 2.3x)\n",
+		results[0].Energy.AboveIdleJ/pax.Energy.AboveIdleJ,
+		results[1].Energy.AboveIdleJ/pax.Energy.AboveIdleJ)
+}

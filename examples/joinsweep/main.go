@@ -1,0 +1,69 @@
+// Joinsweep reproduces the Figure 5 experiment through the public API:
+// the Synthetic64 selection-with-join query swept across selectivity
+// factors, showing the Smart SSD's advantage collapsing as the result
+// volume (and its per-row staging cost) grows.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"smartssd"
+	"smartssd/workload"
+)
+
+func main() {
+	nR := flag.Int64("r", 1000, "Synthetic64_R rows (paper: 1,000,000; S is 400x)")
+	flag.Parse()
+	nS := *nR * workload.SyntheticSRatio
+
+	sys, err := smartssd.New(smartssd.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rs := workload.SyntheticSchema("r")
+	ss := workload.SyntheticSchema("s")
+	if _, err := sys.CreateTable("r", rs, smartssd.PAX, *nR/28+2, smartssd.OnSSD); err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.Load("r", workload.SyntheticRGen(*nR, 1)); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := sys.CreateTable("s", ss, smartssd.PAX, nS/28+2, smartssd.OnSSD); err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.Load("s", workload.SyntheticSGen(nS, *nR, 2)); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Synthetic64: |R| = %d, |S| = %d (PAX layout)\n\n", *nR, nS)
+	fmt.Printf("%-6s %12s %12s %9s %12s\n", "sel%", "host", "device", "speedup", "result rows")
+
+	for _, sel := range []int64{1, 10, 25, 50, 75, 100} {
+		q := smartssd.QuerySpec{
+			Table:          "s",
+			Join:           &smartssd.JoinClause{BuildTable: "r", BuildKey: "r_col_1", ProbeKey: "s_col_2"},
+			Filter:         workload.SyntheticSelection(sel),
+			Output:         workload.SyntheticJoinOutput(),
+			EstSelectivity: float64(sel) / 100,
+		}
+		host, err := sys.Run(q, smartssd.ForceHost)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dev, err := sys.Run(q, smartssd.ForceDevice)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(host.Rows) != len(dev.Rows) {
+			log.Fatalf("row count mismatch at sel=%d: host %d, device %d", sel, len(host.Rows), len(dev.Rows))
+		}
+		fmt.Printf("%-6d %11.4fs %11.4fs %8.2fx %12d\n",
+			sel, host.Elapsed.Seconds(), dev.Elapsed.Seconds(),
+			host.Elapsed.Seconds()/dev.Elapsed.Seconds(), len(dev.Rows))
+	}
+
+	fmt.Println("\nAt low selectivity the device ships few rows and wins on internal")
+	fmt.Println("bandwidth; at 100% the result staging and transfer dominate and the")
+	fmt.Println("advantage disappears - the Figure 5 shape.")
+}

@@ -1,0 +1,108 @@
+// Tpch runs the paper's two TPC-H experiments end to end through the
+// public API: Q6 (single-table scan with aggregation, Figure 3) and
+// Q14 (selection + simple hash join + aggregation, Figure 7), each on
+// the regular host path and pushed into the Smart SSD with both NSM
+// and PAX layouts.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"smartssd"
+	"smartssd/workload"
+)
+
+func main() {
+	sf := flag.Float64("sf", 0.02, "TPC-H scale factor (paper: 100)")
+	flag.Parse()
+
+	sys, err := smartssd.New(smartssd.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// LINEITEM and PART in both layouts on the Smart SSD.
+	li := workload.LineitemSchema()
+	pa := workload.PartSchema()
+	liPages := workload.NumLineitem(*sf)/51 + 2
+	paPages := workload.NumPart(*sf)/40 + 2
+	for _, l := range []struct {
+		suffix string
+		layout smartssd.Layout
+	}{{"nsm", smartssd.NSM}, {"pax", smartssd.PAX}} {
+		must(sys.CreateTable("lineitem_"+l.suffix, li, l.layout, liPages, smartssd.OnSSD))
+		if err := sys.Load("lineitem_"+l.suffix, workload.LineitemGen(*sf, 1)); err != nil {
+			log.Fatal(err)
+		}
+		must(sys.CreateTable("part_"+l.suffix, pa, l.layout, paPages, smartssd.OnSSD))
+		if err := sys.Load("part_"+l.suffix, workload.PartGen(*sf, 2)); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	fmt.Printf("TPC-H SF %.2f: %d LINEITEM rows, %d PART rows\n\n",
+		*sf, workload.NumLineitem(*sf), workload.NumPart(*sf))
+
+	// --- Q6 (Figure 3) ---
+	q6 := func(table string) smartssd.QuerySpec {
+		return smartssd.QuerySpec{
+			Table:          table,
+			Filter:         workload.Q6Predicate(),
+			Aggs:           workload.Q6Aggregates(),
+			EstSelectivity: workload.Q6EstSelectivity,
+		}
+	}
+	fmt.Println("Q6: SELECT SUM(l_extendedprice*l_discount) ... (Figure 3)")
+	base := run(sys, "SAS SSD (host)", q6("lineitem_nsm"), smartssd.ForceHost, 0)
+	run(sys, "Smart SSD (NSM)", q6("lineitem_nsm"), smartssd.ForceDevice, base)
+	run(sys, "Smart SSD (PAX)", q6("lineitem_pax"), smartssd.ForceDevice, base)
+
+	// --- Q14 (Figure 7) ---
+	q14 := func(suffix string) smartssd.QuerySpec {
+		return smartssd.QuerySpec{
+			Table:          "lineitem_" + suffix,
+			Join:           &smartssd.JoinClause{BuildTable: "part_" + suffix, BuildKey: "p_partkey", ProbeKey: "l_partkey"},
+			Filter:         workload.Q14DateRange(),
+			Aggs:           workload.Q14Aggregates(),
+			EstSelectivity: workload.Q14EstSelectivity,
+		}
+	}
+	fmt.Println("\nQ14: promo revenue percentage via LINEITEM x PART (Figure 7)")
+	base = run(sys, "SAS SSD (host)", q14("nsm"), smartssd.ForceHost, 0)
+	run(sys, "Smart SSD (NSM)", q14("nsm"), smartssd.ForceDevice, base)
+	res := runResult(sys, q14("pax"), smartssd.ForceDevice)
+	report("Smart SSD (PAX)", res, base)
+	fmt.Printf("\nQ14 answer: promo_revenue = %.2f%%\n",
+		workload.Q14PromoPercent(res.Rows[0][0].Int, res.Rows[0][1].Int))
+}
+
+func run(sys *smartssd.System, name string, q smartssd.QuerySpec, mode smartssd.Mode, base float64) float64 {
+	res := runResult(sys, q, mode)
+	report(name, res, base)
+	return res.Elapsed.Seconds()
+}
+
+func runResult(sys *smartssd.System, q smartssd.QuerySpec, mode smartssd.Mode) *smartssd.Result {
+	res, err := sys.Run(q, mode)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}
+
+func report(name string, res *smartssd.Result, base float64) {
+	speed := 1.0
+	if base > 0 {
+		speed = base / res.Elapsed.Seconds()
+	}
+	fmt.Printf("  %-17s %9.4fs  %5.2fx  bottleneck %-11s  energy %.4f kJ\n",
+		name, res.Elapsed.Seconds(), speed, res.Bottleneck, res.Energy.SystemkJ())
+}
+
+func must(_ interface{}, err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module smartssd
+
+go 1.22

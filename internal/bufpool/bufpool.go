@@ -1,0 +1,232 @@
+// Package bufpool implements the host DBMS buffer pool: an LRU cache of
+// device pages with pin counts and dirty tracking.
+//
+// Beyond its usual caching role, the pool is what makes the paper's
+// §4.3 discussion concrete: pushing query processing into the Smart SSD
+// is only correct when the device holds the current version of every
+// page the query touches, so the pushdown planner consults
+// HasDirtyInRange before offloading, and a scan that finds cached pages
+// may prefer host execution anyway (the data is already on the host
+// side of the straw).
+package bufpool
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+)
+
+// FlushFunc writes a dirty page back to its device. It is called during
+// eviction of dirty frames and by FlushAll.
+type FlushFunc func(lba int64, data []byte) error
+
+// Errors reported by pool operations.
+var (
+	ErrAllPinned = errors.New("bufpool: every frame is pinned")
+	ErrNotCached = errors.New("bufpool: page not cached")
+)
+
+type frame struct {
+	lba   int64
+	data  []byte
+	pins  int
+	dirty bool
+	elem  *list.Element // position in the LRU list
+}
+
+// Pool is an LRU buffer pool. Not safe for concurrent use.
+type Pool struct {
+	capacity int
+	flush    FlushFunc
+	frames   map[int64]*frame
+	lru      *list.List // front = most recent; holds *frame
+	hits     int64
+	misses   int64
+	evicts   int64
+}
+
+// New builds a pool of capacity pages. flush may be nil when the pool
+// will never hold dirty pages.
+func New(capacity int, flush FlushFunc) *Pool {
+	if capacity < 1 {
+		panic(fmt.Sprintf("bufpool: capacity %d", capacity))
+	}
+	return &Pool{
+		capacity: capacity,
+		flush:    flush,
+		frames:   make(map[int64]*frame, capacity),
+		lru:      list.New(),
+	}
+}
+
+// Capacity reports the pool size in pages.
+func (p *Pool) Capacity() int { return p.capacity }
+
+// Len reports the number of cached pages.
+func (p *Pool) Len() int { return len(p.frames) }
+
+// Get looks up lba, pinning and returning its data on a hit. The caller
+// must Unpin when done. The second result reports whether it was a hit.
+func (p *Pool) Get(lba int64) ([]byte, bool) {
+	f, ok := p.frames[lba]
+	if !ok {
+		p.misses++
+		return nil, false
+	}
+	p.hits++
+	f.pins++
+	p.lru.MoveToFront(f.elem)
+	return f.data, true
+}
+
+// Contains reports whether lba is cached, without pinning or touching
+// LRU order or hit statistics.
+func (p *Pool) Contains(lba int64) bool {
+	_, ok := p.frames[lba]
+	return ok
+}
+
+// Put caches data for lba, pinned; the caller must Unpin. If lba is
+// already cached its contents are replaced. The data is copied. Eviction
+// of the least-recently-used unpinned frame makes room, flushing it
+// first if dirty; ErrAllPinned is reported when no frame can be evicted.
+func (p *Pool) Put(lba int64, data []byte) error {
+	if f, ok := p.frames[lba]; ok {
+		copy(f.data, data)
+		f.pins++
+		p.lru.MoveToFront(f.elem)
+		return nil
+	}
+	if len(p.frames) >= p.capacity {
+		if err := p.evictOne(); err != nil {
+			return err
+		}
+	}
+	f := &frame{lba: lba, data: append([]byte(nil), data...), pins: 1}
+	f.elem = p.lru.PushFront(f)
+	p.frames[lba] = f
+	return nil
+}
+
+func (p *Pool) evictOne() error {
+	for e := p.lru.Back(); e != nil; e = e.Prev() {
+		f := e.Value.(*frame)
+		if f.pins > 0 {
+			continue
+		}
+		if f.dirty {
+			if p.flush == nil {
+				return fmt.Errorf("bufpool: dirty page %d with no flush function", f.lba)
+			}
+			if err := p.flush(f.lba, f.data); err != nil {
+				return fmt.Errorf("bufpool: flush %d: %w", f.lba, err)
+			}
+		}
+		p.lru.Remove(e)
+		delete(p.frames, f.lba)
+		p.evicts++
+		return nil
+	}
+	return ErrAllPinned
+}
+
+// Unpin releases one pin on lba, optionally marking the page dirty.
+func (p *Pool) Unpin(lba int64, dirty bool) error {
+	f, ok := p.frames[lba]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNotCached, lba)
+	}
+	if f.pins <= 0 {
+		return fmt.Errorf("bufpool: unpin of unpinned page %d", lba)
+	}
+	f.pins--
+	if dirty {
+		f.dirty = true
+	}
+	return nil
+}
+
+// MarkDirty flags a cached page as newer than the device copy.
+func (p *Pool) MarkDirty(lba int64) error {
+	f, ok := p.frames[lba]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNotCached, lba)
+	}
+	f.dirty = true
+	return nil
+}
+
+// HasDirtyInRange reports whether any page in [start, start+count) is
+// cached dirty — i.e. the device copy of that extent is stale and query
+// pushdown over it would read outdated data (§4.3 of the paper).
+func (p *Pool) HasDirtyInRange(start, count int64) bool {
+	// Iterate the smaller of the range and the pool.
+	if int64(len(p.frames)) < count {
+		for lba, f := range p.frames {
+			if f.dirty && lba >= start && lba < start+count {
+				return true
+			}
+		}
+		return false
+	}
+	for lba := start; lba < start+count; lba++ {
+		if f, ok := p.frames[lba]; ok && f.dirty {
+			return true
+		}
+	}
+	return false
+}
+
+// CachedInRange reports how many pages of [start, start+count) are
+// cached, the signal the optimizer weighs when deciding whether host
+// execution can exploit the buffer pool (§4.3).
+func (p *Pool) CachedInRange(start, count int64) int64 {
+	var n int64
+	if int64(len(p.frames)) < count {
+		for lba := range p.frames {
+			if lba >= start && lba < start+count {
+				n++
+			}
+		}
+		return n
+	}
+	for lba := start; lba < start+count; lba++ {
+		if _, ok := p.frames[lba]; ok {
+			n++
+		}
+	}
+	return n
+}
+
+// FlushAll writes every dirty page back and marks it clean.
+func (p *Pool) FlushAll() error {
+	for lba, f := range p.frames {
+		if !f.dirty {
+			continue
+		}
+		if p.flush == nil {
+			return fmt.Errorf("bufpool: dirty page %d with no flush function", lba)
+		}
+		if err := p.flush(lba, f.data); err != nil {
+			return fmt.Errorf("bufpool: flush %d: %w", lba, err)
+		}
+		f.dirty = false
+	}
+	return nil
+}
+
+// Clear empties the pool without flushing. Experiments use it to start
+// cold runs ("there is no data cached in the buffer pool prior to
+// running each query").
+func (p *Pool) Clear() {
+	p.frames = make(map[int64]*frame, p.capacity)
+	p.lru.Init()
+}
+
+// Stats summarizes pool effectiveness.
+type Stats struct {
+	Hits, Misses, Evictions int64
+}
+
+// Stats reports cumulative counters.
+func (p *Pool) Stats() Stats { return Stats{p.hits, p.misses, p.evicts} }

@@ -1,0 +1,230 @@
+package bufpool
+
+import (
+	"errors"
+	"testing"
+)
+
+func pageData(tag byte) []byte { return []byte{tag, tag, tag} }
+
+func TestPutGetRoundTrip(t *testing.T) {
+	p := New(4, nil)
+	if err := p.Put(10, pageData(1)); err != nil {
+		t.Fatal(err)
+	}
+	p.Unpin(10, false)
+	data, hit := p.Get(10)
+	if !hit {
+		t.Fatal("expected hit")
+	}
+	if data[0] != 1 {
+		t.Fatal("wrong data")
+	}
+	p.Unpin(10, false)
+	if _, hit := p.Get(99); hit {
+		t.Fatal("phantom hit")
+	}
+	s := p.Stats()
+	if s.Hits != 1 || s.Misses != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestPutCopiesData(t *testing.T) {
+	p := New(2, nil)
+	buf := pageData(5)
+	p.Put(1, buf)
+	buf[0] = 9
+	data, _ := p.Get(1)
+	if data[0] != 5 {
+		t.Fatal("Put aliased caller buffer")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	p := New(2, nil)
+	p.Put(1, pageData(1))
+	p.Unpin(1, false)
+	p.Put(2, pageData(2))
+	p.Unpin(2, false)
+	// Touch 1 so 2 becomes LRU.
+	p.Get(1)
+	p.Unpin(1, false)
+	p.Put(3, pageData(3))
+	p.Unpin(3, false)
+	if p.Contains(2) {
+		t.Fatal("LRU page 2 not evicted")
+	}
+	if !p.Contains(1) || !p.Contains(3) {
+		t.Fatal("wrong page evicted")
+	}
+	if p.Stats().Evictions != 1 {
+		t.Fatalf("evictions = %d", p.Stats().Evictions)
+	}
+}
+
+func TestPinnedPagesNotEvicted(t *testing.T) {
+	p := New(2, nil)
+	p.Put(1, pageData(1)) // stays pinned
+	p.Put(2, pageData(2))
+	p.Unpin(2, false)
+	if err := p.Put(3, pageData(3)); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Contains(1) {
+		t.Fatal("pinned page evicted")
+	}
+	if p.Contains(2) {
+		t.Fatal("unpinned page survived over pinned")
+	}
+}
+
+func TestAllPinnedError(t *testing.T) {
+	p := New(2, nil)
+	p.Put(1, pageData(1))
+	p.Put(2, pageData(2))
+	if err := p.Put(3, pageData(3)); !errors.Is(err, ErrAllPinned) {
+		t.Fatalf("err = %v, want ErrAllPinned", err)
+	}
+}
+
+func TestDirtyEvictionFlushes(t *testing.T) {
+	flushed := map[int64][]byte{}
+	p := New(1, func(lba int64, data []byte) error {
+		flushed[lba] = append([]byte(nil), data...)
+		return nil
+	})
+	p.Put(7, pageData(7))
+	p.Unpin(7, true) // dirty
+	p.Put(8, pageData(8))
+	p.Unpin(8, false)
+	if got, ok := flushed[7]; !ok || got[0] != 7 {
+		t.Fatalf("dirty page not flushed on eviction: %v", flushed)
+	}
+}
+
+func TestDirtyEvictionWithoutFlushFails(t *testing.T) {
+	p := New(1, nil)
+	p.Put(7, pageData(7))
+	p.Unpin(7, true)
+	if err := p.Put(8, pageData(8)); err == nil {
+		t.Fatal("dirty eviction with nil flush succeeded")
+	}
+}
+
+func TestHasDirtyInRange(t *testing.T) {
+	p := New(8, nil)
+	p.Put(5, pageData(5))
+	p.Unpin(5, true)
+	p.Put(20, pageData(20))
+	p.Unpin(20, false)
+	if !p.HasDirtyInRange(0, 10) {
+		t.Fatal("missed dirty page 5 in [0,10)")
+	}
+	if p.HasDirtyInRange(6, 10) {
+		t.Fatal("phantom dirty in [6,16)")
+	}
+	if p.HasDirtyInRange(18, 5) {
+		t.Fatal("clean page 20 reported dirty")
+	}
+	// Wide range exercises the pool-iteration branch.
+	if !p.HasDirtyInRange(0, 1<<40) {
+		t.Fatal("missed dirty page in wide range")
+	}
+}
+
+func TestCachedInRange(t *testing.T) {
+	p := New(8, nil)
+	for _, lba := range []int64{3, 4, 9} {
+		p.Put(lba, pageData(byte(lba)))
+		p.Unpin(lba, false)
+	}
+	if got := p.CachedInRange(0, 5); got != 2 {
+		t.Fatalf("CachedInRange(0,5) = %d, want 2", got)
+	}
+	if got := p.CachedInRange(0, 1<<40); got != 3 {
+		t.Fatalf("wide CachedInRange = %d, want 3", got)
+	}
+}
+
+func TestFlushAll(t *testing.T) {
+	var flushes int
+	p := New(4, func(int64, []byte) error { flushes++; return nil })
+	p.Put(1, pageData(1))
+	p.Unpin(1, true)
+	p.Put(2, pageData(2))
+	p.Unpin(2, false)
+	if err := p.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if flushes != 1 {
+		t.Fatalf("flushed %d pages, want 1", flushes)
+	}
+	if p.HasDirtyInRange(0, 10) {
+		t.Fatal("dirty flag survived FlushAll")
+	}
+}
+
+func TestClear(t *testing.T) {
+	p := New(4, nil)
+	p.Put(1, pageData(1))
+	p.Unpin(1, false)
+	p.Clear()
+	if p.Len() != 0 || p.Contains(1) {
+		t.Fatal("Clear left pages behind")
+	}
+}
+
+func TestUnpinErrors(t *testing.T) {
+	p := New(2, nil)
+	if err := p.Unpin(1, false); !errors.Is(err, ErrNotCached) {
+		t.Fatalf("unpin uncached err = %v", err)
+	}
+	p.Put(1, pageData(1))
+	p.Unpin(1, false)
+	if err := p.Unpin(1, false); err == nil {
+		t.Fatal("double unpin succeeded")
+	}
+}
+
+func TestPutExistingRepins(t *testing.T) {
+	p := New(2, nil)
+	p.Put(1, pageData(1))
+	p.Unpin(1, false)
+	p.Put(1, pageData(9)) // replace contents, pin again
+	data, hit := p.Get(1)
+	if !hit || data[0] != 9 {
+		t.Fatal("replacement contents not visible")
+	}
+	// Two pins held (Put + Get): two unpins must succeed.
+	if err := p.Unpin(1, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Unpin(1, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMarkDirty(t *testing.T) {
+	p := New(2, nil)
+	p.Put(1, pageData(1))
+	p.Unpin(1, false)
+	if err := p.MarkDirty(1); err != nil {
+		t.Fatal(err)
+	}
+	if !p.HasDirtyInRange(1, 1) {
+		t.Fatal("MarkDirty did not stick")
+	}
+	if err := p.MarkDirty(42); !errors.Is(err, ErrNotCached) {
+		t.Fatalf("MarkDirty uncached err = %v", err)
+	}
+}
+
+func TestZeroCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) did not panic")
+		}
+	}()
+	New(0, nil)
+}

@@ -1,0 +1,243 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"smartssd/internal/device"
+	"smartssd/internal/expr"
+	"smartssd/internal/heap"
+	"smartssd/internal/page"
+	"smartssd/internal/plan"
+	"smartssd/internal/schema"
+	"smartssd/internal/ssd"
+)
+
+// Cluster realizes the end of the paper's design spectrum (§4.3): "the
+// host machine could simply be the coordinator that stages computation
+// across an array of Smart SSDs, making the system look like a parallel
+// DBMS with the master node being the host server, and the worker nodes
+// ... being the Smart SSDs."
+//
+// Tables are horizontally partitioned round-robin across the devices;
+// queries run as one in-device program per partition, in parallel
+// (devices have independent timelines), and the host merges partial
+// results: concatenation for projections, algebraic combination for
+// aggregates.
+type Cluster struct {
+	devices  []*ssd.Device
+	runtimes []*device.Runtime
+	allocs   []heap.Allocator
+	tables   map[string][]*heap.File
+}
+
+// NewCluster builds n identical Smart SSDs from params.
+func NewCluster(n int, params ssd.Params, cost device.CostModel) (*Cluster, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("core: cluster needs at least one device, got %d", n)
+	}
+	c := &Cluster{
+		allocs: make([]heap.Allocator, n),
+		tables: make(map[string][]*heap.File),
+	}
+	for i := 0; i < n; i++ {
+		d, err := ssd.New(params)
+		if err != nil {
+			return nil, err
+		}
+		c.devices = append(c.devices, d)
+		c.runtimes = append(c.runtimes, device.NewRuntime(d, cost))
+	}
+	return c, nil
+}
+
+// Devices reports the worker count.
+func (c *Cluster) Devices() int { return len(c.devices) }
+
+// Device reports worker i's device.
+func (c *Cluster) Device(i int) *ssd.Device { return c.devices[i] }
+
+// CreateTable creates one partition of the named table on every device.
+func (c *Cluster) CreateTable(name string, s *schema.Schema, l page.Layout, maxPagesPerDevice int64) error {
+	if _, dup := c.tables[name]; dup {
+		return fmt.Errorf("core: cluster table %q already exists", name)
+	}
+	files := make([]*heap.File, len(c.devices))
+	for i, d := range c.devices {
+		f, err := heap.Create(fmt.Sprintf("%s.p%d", name, i), d, &c.allocs[i], s, l, maxPagesPerDevice)
+		if err != nil {
+			return err
+		}
+		files[i] = f
+	}
+	c.tables[name] = files
+	return nil
+}
+
+// Load distributes generated tuples round-robin across the table's
+// partitions, then resets all device timing.
+func (c *Cluster) Load(name string, next func() (schema.Tuple, bool)) error {
+	files, ok := c.tables[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoTable, name)
+	}
+	apps := make([]*heap.Appender, len(files))
+	for i, f := range files {
+		apps[i] = f.NewAppender()
+	}
+	i := 0
+	for {
+		t, ok := next()
+		if !ok {
+			break
+		}
+		if err := apps[i%len(apps)].Append(t); err != nil {
+			return err
+		}
+		i++
+	}
+	for _, app := range apps {
+		if err := app.Close(); err != nil {
+			return err
+		}
+	}
+	for _, d := range c.devices {
+		d.ResetTiming()
+	}
+	return nil
+}
+
+// Replicate copies generated tuples to every partition in full — for
+// small build-side tables every worker needs locally (the parallel-DBMS
+// broadcast join).
+func (c *Cluster) Replicate(name string, gen func() func() (schema.Tuple, bool)) error {
+	files, ok := c.tables[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoTable, name)
+	}
+	for _, f := range files {
+		app := f.NewAppender()
+		next := gen()
+		for {
+			t, ok := next()
+			if !ok {
+				break
+			}
+			if err := app.Append(t); err != nil {
+				return err
+			}
+		}
+		if err := app.Close(); err != nil {
+			return err
+		}
+	}
+	for _, d := range c.devices {
+		d.ResetTiming()
+	}
+	return nil
+}
+
+// ClusterResult is a merged parallel run.
+type ClusterResult struct {
+	Rows []schema.Tuple
+	// Elapsed is the slowest worker's completion (workers run in
+	// parallel on independent devices).
+	Elapsed time.Duration
+	// PerDevice holds each worker's completion time.
+	PerDevice []time.Duration
+}
+
+// ClusterQuery is a pushdown query over a partitioned table; fields
+// mirror QuerySpec with table names resolved against the cluster.
+type ClusterQuery struct {
+	Table  string
+	Join   *JoinClause // build table must be replicated
+	Filter expr.Expr
+	Output []plan.OutputCol
+	Aggs   []plan.AggSpec
+}
+
+// Run executes the query on every worker and merges the results.
+func (c *Cluster) Run(q ClusterQuery) (*ClusterResult, error) {
+	files, ok := c.tables[q.Table]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoTable, q.Table)
+	}
+	var buildFiles []*heap.File
+	if q.Join != nil {
+		buildFiles, ok = c.tables[q.Join.BuildTable]
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", ErrNoTable, q.Join.BuildTable)
+		}
+	}
+
+	res := &ClusterResult{PerDevice: make([]time.Duration, len(c.devices))}
+	var partials [][]schema.Tuple
+	for i := range c.devices {
+		dq := device.Query{
+			Table:  device.RefOf(files[i]),
+			Filter: q.Filter,
+			Output: q.Output,
+			Aggs:   q.Aggs,
+		}
+		if q.Join != nil {
+			bf := buildFiles[i]
+			dq.Join = &device.JoinSpec{
+				Build:    device.RefOf(bf),
+				BuildKey: bf.Schema().MustColumnIndex(q.Join.BuildKey),
+				ProbeKey: files[i].Schema().MustColumnIndex(q.Join.ProbeKey),
+			}
+		}
+		rows, end, err := c.runtimes[i].RunQuery(dq)
+		if err != nil {
+			return nil, fmt.Errorf("core: worker %d: %w", i, err)
+		}
+		partials = append(partials, rows)
+		res.PerDevice[i] = end
+		if end > res.Elapsed {
+			res.Elapsed = end
+		}
+	}
+
+	if len(q.Aggs) > 0 {
+		res.Rows = []schema.Tuple{mergeAggs(q.Aggs, partials)}
+	} else {
+		for _, p := range partials {
+			res.Rows = append(res.Rows, p...)
+		}
+	}
+	return res, nil
+}
+
+// mergeAggs combines one scalar-aggregate row per worker into the
+// global row: sums and counts add, mins and maxes fold.
+func mergeAggs(aggs []plan.AggSpec, partials [][]schema.Tuple) schema.Tuple {
+	out := make(schema.Tuple, len(aggs))
+	first := true
+	for _, rows := range partials {
+		if len(rows) == 0 {
+			continue
+		}
+		row := rows[0]
+		for i, a := range aggs {
+			if first {
+				out[i] = schema.IntVal(row[i].Int)
+				continue
+			}
+			switch a.Kind {
+			case plan.Sum, plan.Count:
+				out[i] = schema.IntVal(out[i].Int + row[i].Int)
+			case plan.Min:
+				if row[i].Int < out[i].Int {
+					out[i] = row[i]
+				}
+			case plan.Max:
+				if row[i].Int > out[i].Int {
+					out[i] = row[i]
+				}
+			}
+		}
+		first = false
+	}
+	return out
+}

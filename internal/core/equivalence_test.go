@@ -1,0 +1,204 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"smartssd/internal/expr"
+	"smartssd/internal/page"
+	"smartssd/internal/plan"
+	"smartssd/internal/schema"
+)
+
+// TestHostDeviceEquivalenceProperty runs randomly generated queries in
+// the supported class on both paths and requires bit-identical results:
+// the in-device programs and the host operators must implement the same
+// semantics, whatever the timing model says.
+func TestHostDeviceEquivalenceProperty(t *testing.T) {
+	const trials = 25
+	rng := rand.New(rand.NewSource(20130622)) // SIGMOD'13 week
+
+	for trial := 0; trial < trials; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("trial%02d", trial), func(t *testing.T) {
+			layout := page.NSM
+			if rng.Intn(2) == 1 {
+				layout = page.PAX
+			}
+			e := newEngine(t)
+			nFact := 2000 + rng.Intn(6000)
+			nDim := 5 + rng.Intn(60)
+			loadRandomTables(t, e, rng, layout, nFact, nDim)
+			spec := randomSpec(rng, nDim)
+
+			host, err := e.Run(spec, ForceHost)
+			if err != nil {
+				t.Fatalf("host: %v (spec %+v)", err, spec)
+			}
+			dev, err := e.Run(spec, ForceDevice)
+			if err != nil {
+				t.Fatalf("device: %v (spec %+v)", err, spec)
+			}
+			if len(host.Rows) != len(dev.Rows) {
+				t.Fatalf("row counts: host %d, device %d (spec %+v)",
+					len(host.Rows), len(dev.Rows), spec)
+			}
+			for i := range host.Rows {
+				if len(host.Rows[i]) != len(dev.Rows[i]) {
+					t.Fatalf("row %d widths differ", i)
+				}
+				for c := range host.Rows[i] {
+					hv, dv := host.Rows[i][c], dev.Rows[i][c]
+					if hv.Bytes != nil || dv.Bytes != nil {
+						if string(hv.Bytes) != string(dv.Bytes) {
+							t.Fatalf("row %d col %d: host %q, device %q", i, c, hv.Bytes, dv.Bytes)
+						}
+					} else if hv.Int != dv.Int {
+						t.Fatalf("row %d col %d: host %d, device %d", i, c, hv.Int, dv.Int)
+					}
+				}
+			}
+		})
+	}
+}
+
+// Random fixture: fact(id, k, v1, v2, tag, pad) and dim(d_key, d_val).
+func randomFactSchema() *schema.Schema {
+	return schema.New(
+		schema.Column{Name: "id", Kind: schema.Int64},
+		schema.Column{Name: "k", Kind: schema.Int32},
+		schema.Column{Name: "v1", Kind: schema.Int32},
+		schema.Column{Name: "v2", Kind: schema.Int64},
+		schema.Column{Name: "tag", Kind: schema.Char, Len: 8},
+		schema.Column{Name: "pad", Kind: schema.Char, Len: 80},
+	)
+}
+
+func randomDimSchema() *schema.Schema {
+	return schema.New(
+		schema.Column{Name: "d_key", Kind: schema.Int32},
+		schema.Column{Name: "d_val", Kind: schema.Int64},
+	)
+}
+
+func loadRandomTables(t *testing.T, e *Engine, rng *rand.Rand, l page.Layout, nFact, nDim int) {
+	t.Helper()
+	if _, err := e.CreateTable("fact", randomFactSchema(), l, 2048, OnSSD); err != nil {
+		t.Fatal(err)
+	}
+	tags := []string{"alpha", "beta", "gamma", "PROMO x", "delta"}
+	i := 0
+	err := e.Load("fact", func() (schema.Tuple, bool) {
+		if i >= nFact {
+			return nil, false
+		}
+		tup := schema.Tuple{
+			schema.IntVal(int64(i)),
+			schema.IntVal(rng.Int63n(int64(nDim))),
+			schema.IntVal(rng.Int63n(1000)),
+			schema.IntVal(rng.Int63n(1 << 30)),
+			schema.StrVal(tags[rng.Intn(len(tags))]),
+			schema.StrVal("pad"),
+		}
+		i++
+		return tup, true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.CreateTable("dim", randomDimSchema(), l, 16, OnSSD); err != nil {
+		t.Fatal(err)
+	}
+	j := 0
+	err = e.Load("dim", func() (schema.Tuple, bool) {
+		if j >= nDim {
+			return nil, false
+		}
+		tup := schema.Tuple{schema.IntVal(int64(j)), schema.IntVal(rng.Int63n(1 << 20))}
+		j++
+		return tup, true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// randomSpec generates a query in the supported class over the random
+// fixture: optional join, random conjunctive predicate, and either a
+// projection, a scalar aggregate, or a grouped aggregate.
+func randomSpec(rng *rand.Rand, nDim int) QuerySpec {
+	fact := randomFactSchema()
+	np := fact.NumColumns()
+	spec := QuerySpec{Table: "fact", EstSelectivity: 0.2}
+
+	withJoin := rng.Intn(2) == 1
+	if withJoin {
+		spec.Join = &JoinClause{BuildTable: "dim", BuildKey: "d_key", ProbeKey: "k"}
+	}
+
+	// Random predicate: 0-3 conjunctive terms over fact columns.
+	var terms []expr.Expr
+	if rng.Intn(4) > 0 {
+		terms = append(terms, expr.Cmp{
+			Op: []expr.CmpOp{expr.LT, expr.LE, expr.GT, expr.GE}[rng.Intn(4)],
+			L:  expr.ColRef(fact, "v1"),
+			R:  expr.IntConst(rng.Int63n(1000)),
+		})
+	}
+	if rng.Intn(3) == 0 {
+		terms = append(terms, expr.LikePrefix{E: expr.ColRef(fact, "tag"), Prefix: "PROMO"})
+	}
+	if rng.Intn(3) == 0 {
+		terms = append(terms, expr.Cmp{
+			Op: expr.NE,
+			L:  expr.Arith{Op: expr.Add, L: expr.ColRef(fact, "k"), R: expr.IntConst(1)},
+			R:  expr.IntConst(rng.Int63n(int64(nDim) + 1)),
+		})
+	}
+	switch len(terms) {
+	case 0:
+	case 1:
+		spec.Filter = terms[0]
+	default:
+		spec.Filter = expr.And{Terms: terms}
+	}
+
+	// Output shape.
+	switch rng.Intn(3) {
+	case 0: // projection
+		cols := []plan.OutputCol{
+			{Name: "id", E: expr.ColRef(fact, "id")},
+			{Name: "expr", E: expr.Arith{Op: expr.Mul, L: expr.ColRef(fact, "v1"), R: expr.IntConst(3)}},
+		}
+		if withJoin {
+			cols = append(cols, plan.OutputCol{
+				Name: "d_val",
+				E:    expr.Col{Index: np + 1, Name: "d_val", K: schema.Int64},
+			})
+		}
+		spec.Output = cols
+	case 1: // scalar aggregate
+		aggs := []plan.AggSpec{
+			{Kind: plan.Sum, E: expr.ColRef(fact, "v2"), Name: "s"},
+			{Kind: plan.Count, Name: "c"},
+			{Kind: plan.Min, E: expr.ColRef(fact, "v1"), Name: "mn"},
+			{Kind: plan.Max, E: expr.ColRef(fact, "id"), Name: "mx"},
+		}
+		if withJoin {
+			aggs = append(aggs, plan.AggSpec{
+				Kind: plan.Sum,
+				E:    expr.Col{Index: np + 1, Name: "d_val", K: schema.Int64},
+				Name: "sd",
+			})
+		}
+		spec.Aggs = aggs
+	default: // grouped aggregate on tag
+		spec.GroupBy = []int{fact.MustColumnIndex("tag")}
+		spec.Aggs = []plan.AggSpec{
+			{Kind: plan.Count, Name: "c"},
+			{Kind: plan.Sum, E: expr.ColRef(fact, "v1"), Name: "s"},
+		}
+	}
+	return spec
+}

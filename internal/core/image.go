@@ -1,0 +1,121 @@
+package core
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+
+	"smartssd/internal/heap"
+	"smartssd/internal/page"
+	"smartssd/internal/schema"
+	"smartssd/internal/ssd"
+)
+
+// A system image serializes an engine's SSD-resident state — the device
+// parameters, every mapped page, and the table catalog — so a dataset
+// generated once can be reloaded by the tools and examples without
+// regenerating it. HDD-resident tables are not imaged (the HDD exists
+// only as the Table 3 baseline).
+//
+// Format: a magic string, then a gob stream: header (device parameters
+// and catalog), followed by {LBA, page bytes} records, terminated by a
+// record with LBA -1.
+
+const imageMagic = "SMARTSSD-IMG-1\n"
+
+type imageTable struct {
+	Name       string
+	Cols       []schema.Column
+	Layout     page.Layout
+	StartLBA   int64
+	Pages      int64
+	MaxPages   int64
+	TupleCount int64
+}
+
+type imageHeader struct {
+	Params ssd.Params
+	Tables []imageTable
+}
+
+type imageRecord struct {
+	LBA  int64
+	Data []byte
+}
+
+// SaveImage writes the engine's SSD device contents and catalog to w.
+func (e *Engine) SaveImage(w io.Writer) error {
+	if _, err := io.WriteString(w, imageMagic); err != nil {
+		return err
+	}
+	enc := gob.NewEncoder(w)
+	hdr := imageHeader{Params: e.ssd.Params()}
+	for name, t := range e.tables {
+		if t.Target != OnSSD {
+			continue
+		}
+		hdr.Tables = append(hdr.Tables, imageTable{
+			Name:       name,
+			Cols:       t.File.Schema().Columns(),
+			Layout:     t.File.Layout(),
+			StartLBA:   t.File.StartLBA(),
+			Pages:      t.File.Pages(),
+			MaxPages:   t.File.MaxPages(),
+			TupleCount: t.File.TupleCount(),
+		})
+	}
+	if err := enc.Encode(hdr); err != nil {
+		return fmt.Errorf("core: image header: %w", err)
+	}
+	err := e.ssd.MappedPages(func(lba int64, data []byte) error {
+		return enc.Encode(imageRecord{LBA: lba, Data: data})
+	})
+	if err != nil {
+		return fmt.Errorf("core: image pages: %w", err)
+	}
+	return enc.Encode(imageRecord{LBA: -1})
+}
+
+// LoadImage builds an engine from a system image written by SaveImage.
+// The image's device parameters override cfg.SSD; the other Config
+// fields (host, HDD, energy, cost model) apply as usual.
+func LoadImage(cfg Config, r io.Reader) (*Engine, error) {
+	magic := make([]byte, len(imageMagic))
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return nil, fmt.Errorf("core: image magic: %w", err)
+	}
+	if string(magic) != imageMagic {
+		return nil, errors.New("core: not a smartssd system image")
+	}
+	dec := gob.NewDecoder(r)
+	var hdr imageHeader
+	if err := dec.Decode(&hdr); err != nil {
+		return nil, fmt.Errorf("core: image header: %w", err)
+	}
+	cfg.SSD = hdr.Params
+	e, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var rec imageRecord
+		if err := dec.Decode(&rec); err != nil {
+			return nil, fmt.Errorf("core: image record: %w", err)
+		}
+		if rec.LBA < 0 {
+			break
+		}
+		if err := e.ssd.RestorePage(rec.LBA, rec.Data); err != nil {
+			return nil, fmt.Errorf("core: restore lba %d: %w", rec.LBA, err)
+		}
+	}
+	for _, t := range hdr.Tables {
+		f := heap.Open(t.Name, e.ssd, schema.New(t.Cols...), t.Layout,
+			t.StartLBA, t.Pages, t.MaxPages, t.TupleCount)
+		e.tables[t.Name] = &Table{File: f, Target: OnSSD}
+		e.ssdAlloc.Restore(t.StartLBA + t.MaxPages)
+	}
+	e.ResetTiming()
+	return e, nil
+}

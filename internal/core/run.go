@@ -1,0 +1,460 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"smartssd/internal/device"
+	"smartssd/internal/energy"
+	"smartssd/internal/exec"
+	"smartssd/internal/expr"
+	"smartssd/internal/opt"
+	"smartssd/internal/plan"
+	"smartssd/internal/schema"
+)
+
+// Mode selects where a query executes.
+type Mode uint8
+
+// Execution modes.
+const (
+	// Auto lets the cost-based planner choose (the §5 "extend the query
+	// optimizer" direction).
+	Auto Mode = iota
+	// ForceHost always runs the usual host path.
+	ForceHost
+	// ForceDevice always pushes down (fails if infeasible).
+	ForceDevice
+	// ForceHybrid splits the scan between host and device, running both
+	// concurrently and merging on the host (§4.3 partial pushdown).
+	ForceHybrid
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Auto:
+		return "auto"
+	case ForceHost:
+		return "host"
+	case ForceHybrid:
+		return "hybrid"
+	default:
+		return "device"
+	}
+}
+
+// JoinClause names a simple hash join: build BuildTable in memory on
+// BuildKey and probe it with the main table's ProbeKey.
+type JoinClause struct {
+	BuildTable string
+	BuildKey   string // column name in the build table
+	ProbeKey   string // column name in the main (probe) table
+}
+
+// QuerySpec is a query in the paper's supported class. Filter, Output,
+// and Agg expressions are evaluated over the combined row: the main
+// table's columns first, then (for joins) the build table's columns.
+type QuerySpec struct {
+	Table  string
+	Join   *JoinClause
+	Filter expr.Expr
+	Output []plan.OutputCol
+	Aggs   []plan.AggSpec
+	// GroupBy lists combined-row column indexes to group the
+	// aggregates by; group counts must stay small enough for device
+	// DRAM when pushed down (TPC-H Q1 scale).
+	GroupBy []int
+	// OrderBy sorts the final result by output-schema columns. Ordering
+	// always runs on the host — a hybrid plan when the rest of the
+	// query is pushed down (the device has no sort operator; the host
+	// finishes the work, charged to its CPU on the same timeline).
+	OrderBy []plan.OrderKey
+	// Limit truncates the result after ordering; zero means no limit.
+	Limit int
+	// EstSelectivity is the planner's estimate of the fraction of
+	// scanned tuples reaching the output (default 0.1).
+	EstSelectivity float64
+}
+
+// Placement describes where a run actually executed.
+type Placement uint8
+
+// Run placements.
+const (
+	RanHost Placement = iota
+	RanDevice
+	RanHybrid
+)
+
+func (p Placement) String() string {
+	switch p {
+	case RanDevice:
+		return "device"
+	case RanHybrid:
+		return "hybrid"
+	default:
+		return "host"
+	}
+}
+
+// Result is one run's answer plus its complete measurement.
+type Result struct {
+	Rows    []schema.Tuple
+	Schema  *schema.Schema
+	Elapsed time.Duration
+	Energy  energy.Breakdown
+	// Placement reports where the query ran; Decision carries the
+	// planner's evidence (zero-valued for forced modes).
+	Placement Placement
+	Decision  opt.Decision
+	// Bottleneck names the pipeline stage that set throughput.
+	Bottleneck string
+	// Stages breaks the run down per pipeline resource (busy time and
+	// utilization over the elapsed window), for profiling output.
+	Stages []StageUtil
+	// HybridDeviceFraction is the page fraction the device processed
+	// (hybrid runs only).
+	HybridDeviceFraction float64
+	// Device traffic.
+	FlashBytesRead int64
+	LinkBytesOut   int64
+	// HostStats counts host-executor work (host runs only).
+	HostStats exec.Stats
+}
+
+// StageUtil is one pipeline resource's share of a run.
+type StageUtil struct {
+	Name string
+	// Busy is the resource's cumulative service time (per lane for
+	// parallel resources).
+	Busy time.Duration
+	// Utilization is Busy over the run's elapsed time, in [0,1].
+	Utilization float64
+}
+
+// Run executes spec under mode. Cold engines (the default) clear the
+// buffer pool and zero the timeline first. ORDER BY and LIMIT are
+// applied on the host after either execution path.
+func (e *Engine) Run(spec QuerySpec, mode Mode) (*Result, error) {
+	res, err := e.runPlaced(spec, mode)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.finishOrdering(res, spec); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func (e *Engine) runPlaced(spec QuerySpec, mode Mode) (*Result, error) {
+	t, err := e.Table(spec.Table)
+	if err != nil {
+		return nil, err
+	}
+	var build *Table
+	if spec.Join != nil {
+		if build, err = e.Table(spec.Join.BuildTable); err != nil {
+			return nil, err
+		}
+		if build.Target != t.Target {
+			return nil, errors.New("core: join across devices is not supported")
+		}
+	}
+
+	if e.cold {
+		e.pool.Clear()
+		e.ResetTiming()
+	}
+
+	// HDD-resident tables have no pushdown path.
+	if t.Target == OnHDD {
+		if mode == ForceDevice || mode == ForceHybrid {
+			return nil, errors.New("core: table on HDD cannot run in the device")
+		}
+		return e.runHost(spec, t, build)
+	}
+
+	dq, err := e.deviceQuery(spec, t, build)
+	if err != nil {
+		return nil, err
+	}
+	switch mode {
+	case ForceHost:
+		return e.runHost(spec, t, build)
+	case ForceHybrid:
+		return e.runHybrid(spec, t, build)
+	case ForceDevice:
+		return e.runDevice(dq, opt.Decision{Pushdown: true, Reason: "forced"})
+	default:
+		d := e.planner.Decide(dq, e.ssd, e.pool, spec.EstSelectivity)
+		// With hybrid planning enabled, a costed (non-vetoed) decision
+		// may route to the split when it beats both pure paths.
+		if e.hybridAuto && d.HostCost > 0 && d.HybridCost > 0 &&
+			d.HybridCost < d.HostCost && d.HybridCost < d.DeviceCost {
+			res, err := e.runHybrid(spec, t, build)
+			if err == nil {
+				res.Decision.HostCost = d.HostCost
+				res.Decision.DeviceCost = d.DeviceCost
+				res.Decision.HybridCost = d.HybridCost
+			}
+			return res, err
+		}
+		if d.Pushdown {
+			return e.runDevice(dq, d)
+		}
+		res, err := e.runHost(spec, t, build)
+		if err == nil {
+			res.Decision = d
+		}
+		return res, err
+	}
+}
+
+// deviceQuery lowers a QuerySpec to the in-device program form.
+func (e *Engine) deviceQuery(spec QuerySpec, t, build *Table) (device.Query, error) {
+	q := device.Query{
+		Table:   device.RefOf(t.File),
+		Filter:  spec.Filter,
+		Output:  spec.Output,
+		Aggs:    spec.Aggs,
+		GroupBy: spec.GroupBy,
+	}
+	if spec.Join != nil {
+		bk := build.File.Schema().ColumnIndex(spec.Join.BuildKey)
+		pk := t.File.Schema().ColumnIndex(spec.Join.ProbeKey)
+		if bk < 0 || pk < 0 {
+			return device.Query{}, fmt.Errorf("core: join keys %q/%q not found",
+				spec.Join.BuildKey, spec.Join.ProbeKey)
+		}
+		q.Join = &device.JoinSpec{Build: device.RefOf(build.File), BuildKey: bk, ProbeKey: pk}
+	}
+	return q, nil
+}
+
+// hostPlan lowers a QuerySpec to a host operator tree. The combined-row
+// column convention matches the device program: when the filter only
+// references main-table columns it is inlined into the scan, exactly
+// the residual-predicate placement SQL Server uses.
+func (e *Engine) hostPlan(spec QuerySpec, t, build *Table) (exec.Operator, error) {
+	np := t.File.Schema().NumColumns()
+	var root exec.Operator
+	scan := &exec.TableScan{File: t.File}
+	if t.Target == OnSSD {
+		scan.Pool = e.pool
+	}
+	filterOnProbe := spec.Filter != nil && maxColumn(spec.Filter) < np
+
+	if spec.Join == nil {
+		if spec.Filter != nil {
+			scan.Filter = spec.Filter
+		}
+		root = scan
+	} else {
+		if filterOnProbe {
+			scan.Filter = spec.Filter
+		}
+		buildScan := &exec.TableScan{File: build.File}
+		if build.Target == OnSSD {
+			buildScan.Pool = e.pool
+		}
+		root = &exec.HashJoin{
+			Build:    buildScan,
+			Probe:    scan,
+			BuildKey: build.File.Schema().MustColumnIndex(spec.Join.BuildKey),
+			ProbeKey: t.File.Schema().MustColumnIndex(spec.Join.ProbeKey),
+		}
+		if spec.Filter != nil && !filterOnProbe {
+			root = &exec.Filter{Input: root, Pred: spec.Filter}
+		}
+	}
+
+	switch {
+	case len(spec.Aggs) > 0:
+		root = &exec.Aggregate{Input: root, GroupBy: spec.GroupBy, Aggs: spec.Aggs}
+	case len(spec.Output) > 0:
+		root = &exec.Project{Input: root, Cols: spec.Output}
+	default:
+		return nil, errors.New("core: query has neither output columns nor aggregates")
+	}
+	return root, nil
+}
+
+// finishOrdering applies ORDER BY and LIMIT to a completed result,
+// charging the sort's comparisons to the host CPU and extending the
+// run's elapsed time accordingly.
+func (e *Engine) finishOrdering(res *Result, spec QuerySpec) error {
+	if len(spec.OrderBy) == 0 && spec.Limit <= 0 {
+		return nil
+	}
+	for _, k := range spec.OrderBy {
+		if k.Col < 0 || k.Col >= res.Schema.NumColumns() {
+			return fmt.Errorf("core: ORDER BY column %d out of output schema %v", k.Col, res.Schema)
+		}
+	}
+	if len(spec.OrderBy) > 0 {
+		sort.SliceStable(res.Rows, func(i, j int) bool {
+			for _, k := range spec.OrderBy {
+				kind := res.Schema.Column(k.Col).Kind
+				c := schema.Compare(kind, res.Rows[i][k.Col], res.Rows[j][k.Col])
+				if c == 0 {
+					continue
+				}
+				if k.Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+		// Charge about n log2(n) comparisons, each a few host cycles.
+		n := int64(len(res.Rows))
+		if n > 1 {
+			logn := int64(1)
+			for v := n; v > 1; v >>= 1 {
+				logn++
+			}
+			cycles := n * logn * int64(len(spec.OrderBy)) * e.host.Cost.OpCycles
+			done := e.host.CPU.Serve(res.Elapsed, cycles)
+			if done > res.Elapsed {
+				res.Elapsed = done
+			}
+		}
+	}
+	if spec.Limit > 0 && len(res.Rows) > spec.Limit {
+		res.Rows = res.Rows[:spec.Limit]
+	}
+	return nil
+}
+
+func maxColumn(ex expr.Expr) int {
+	m := -1
+	for _, c := range ex.Columns(nil) {
+		if c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+func (e *Engine) runHost(spec QuerySpec, t, build *Table) (*Result, error) {
+	op, err := e.hostPlan(spec, t, build)
+	if err != nil {
+		return nil, err
+	}
+	ctx := exec.NewCtx(e.host)
+	rows, end, err := exec.Collect(ctx, op)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Rows:      rows,
+		Schema:    op.Schema(),
+		Elapsed:   end,
+		Placement: RanHost,
+		HostStats: ctx.Stats,
+	}
+	e.finishMetrics(res, t)
+	return res, nil
+}
+
+func (e *Engine) runDevice(q device.Query, d opt.Decision) (*Result, error) {
+	rows, end, err := e.runtime.RunQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Rows:      rows,
+		Schema:    q.OutputSchema(),
+		Elapsed:   end,
+		Placement: RanDevice,
+		Decision:  d,
+	}
+	e.finishMetrics(res, &Table{Target: OnSSD})
+	return res, nil
+}
+
+// finishMetrics fills bottleneck, traffic, and energy from the device
+// activity counters.
+func (e *Engine) finishMetrics(res *Result, t *Table) {
+	util := func(busy time.Duration) float64 {
+		if res.Elapsed <= 0 {
+			return 0
+		}
+		u := float64(busy) / float64(res.Elapsed)
+		if u > 1 {
+			u = 1
+		}
+		return u
+	}
+	hostBusy := e.host.CPU.BusyTime() / time.Duration(e.cfg.HostCores)
+	if t.Target == OnHDD {
+		act := e.hdd.Activity()
+		res.Bottleneck = "hdd-media"
+		res.FlashBytesRead = act.BytesRead
+		res.LinkBytesOut = act.BytesRead
+		res.Stages = []StageUtil{
+			{Name: "hdd-media", Busy: act.MediaBusy, Utilization: util(act.MediaBusy)},
+			{Name: "host-cpu", Busy: hostBusy, Utilization: util(hostBusy)},
+		}
+		res.Energy = e.cfg.Energy.Energy(energy.Usage{
+			Kind:            energy.HDD,
+			Elapsed:         res.Elapsed,
+			MediaBusy:       act.MediaBusy,
+			HostIngestBytes: act.BytesRead,
+		})
+		return
+	}
+	act := e.ssd.Activity()
+	res.Bottleneck = e.ssd.Bottleneck()
+	res.FlashBytesRead = act.FlashBytesRead
+	res.LinkBytesOut = act.LinkBytesOut
+	chAvg := act.ChannelBusy / time.Duration(e.ssd.Params().Geometry.Channels)
+	dcpuAvg := act.DeviceCPUBusy / time.Duration(e.ssd.Params().DeviceCPUCores)
+	res.Stages = []StageUtil{
+		{Name: "flash-channels", Busy: chAvg, Utilization: util(chAvg)},
+		{Name: "dma-bus", Busy: act.DMABusy, Utilization: util(act.DMABusy)},
+		{Name: "host-link", Busy: act.LinkBusy, Utilization: util(act.LinkBusy)},
+		{Name: "device-cpu", Busy: dcpuAvg, Utilization: util(dcpuAvg)},
+		{Name: "host-cpu", Busy: hostBusy, Utilization: util(hostBusy)},
+	}
+	res.Energy = e.cfg.Energy.Energy(energy.Usage{
+		Kind:            energy.SSD,
+		Elapsed:         res.Elapsed,
+		FlashBusy:       act.DMABusy,
+		LinkBusy:        act.LinkBusy,
+		DeviceCPUBusy:   act.DeviceCPUBusy,
+		DeviceCPUCores:  e.ssd.Params().DeviceCPUCores,
+		HostIngestBytes: act.LinkBytesOut,
+	})
+}
+
+// Explain renders both candidate plans and the planner's decision
+// without executing anything.
+func (e *Engine) Explain(spec QuerySpec) (string, error) {
+	t, err := e.Table(spec.Table)
+	if err != nil {
+		return "", err
+	}
+	var build *Table
+	if spec.Join != nil {
+		if build, err = e.Table(spec.Join.BuildTable); err != nil {
+			return "", err
+		}
+	}
+	out := ""
+	if op, err := e.hostPlan(spec, t, build); err == nil {
+		out += "host plan:\n" + exec.ExplainTree(op)
+	}
+	if t.Target == OnSSD {
+		dq, err := e.deviceQuery(spec, t, build)
+		if err != nil {
+			return "", err
+		}
+		out += "device plan:\n" + dq.Explain()
+		d := e.planner.Decide(dq, e.ssd, e.pool, spec.EstSelectivity)
+		out += "decision: " + d.String() + "\n"
+	}
+	return out, nil
+}

@@ -1,0 +1,112 @@
+// Package device implements the Smart SSD runtime framework of §3: the
+// session-based OPEN/GET/CLOSE protocol, the resource grants given to
+// user-defined programs, and the in-device query programs (scan,
+// selection, aggregation, and simple hash join) the paper pushes down.
+//
+// Programs run against real pages fetched through the device's internal
+// path (flash channels + shared DMA bus) and charge their computation to
+// the embedded CPU through the cost model below; results are staged in
+// device DRAM and shipped to the host over the host interface in
+// chunks, as the GET command does for SATA/SAS devices.
+package device
+
+import (
+	"fmt"
+
+	"smartssd/internal/expr"
+	"smartssd/internal/page"
+)
+
+// CostModel holds the embedded-CPU cost constants, in cycles per
+// operation, for the low-powered in-order RISC cores of the paper's
+// device ("the CPU quickly became a bottleneck as the Smart SSD ... was
+// not designed to run general purpose programs").
+//
+// The constants are calibrated so the pipeline model reproduces the
+// paper's measured speedups with the published device parameters
+// (3x400 MHz cores, 1,560 MB/s internal, 550 MB/s host link):
+//
+//   - TPC-H Q6 on PAX saturates the CPU at about 177 cycles/tuple
+//     (126 + 3 column accesses + 9 predicate ops), giving the paper's
+//     1.7x rather than the 2.8x bandwidth headroom (Figure 3).
+//   - The Synthetic64 join probes every scanned tuple (the Figure 4
+//     plan pipelines the probe with the residual selection), so its
+//     per-tuple cost is dominated by HashProbeCycles, giving about
+//     2.2x at 1% selectivity; at 100% selectivity result staging
+//     (ResultTupleCycles per emitted row) saturates the device and the
+//     advantage vanishes (Figure 5).
+//   - Q14 adds a probe on every LINEITEM tuple plus CASE/LIKE
+//     arithmetic on matches, landing at about 1.3x (Figure 7).
+type CostModel struct {
+	// PageCycles is the fixed per-page cost: DMA completion handling,
+	// page validation, iteration setup.
+	PageCycles int64
+	// TupleCycles is the per-tuple loop overhead (slot/offset
+	// navigation, branch, bookkeeping) — the dominant term on the
+	// in-order embedded core.
+	TupleCycles int64
+	// PAXValueCycles is the cost to load one referenced column value
+	// from a PAX minipage (sequential, cache-friendly).
+	PAXValueCycles int64
+	// NSMValueCycles is the cost to extract one referenced field from
+	// an NSM record (offset arithmetic inside a wide record, poor
+	// locality across tuples). NSM > PAX is what separates the paper's
+	// two Smart SSD bars.
+	NSMValueCycles int64
+	// OpCycles is the cost per expression operator node evaluated.
+	OpCycles int64
+	// HashBuildCycles and HashProbeCycles price one hash-table insert
+	// and probe; probes pay embedded-DRAM random-access latency.
+	HashBuildCycles int64
+	HashProbeCycles int64
+	// AggCycles is the cost to fold one row into an aggregate.
+	AggCycles int64
+	// ResultTupleCycles and ResultByteCycles price staging one output
+	// row into the session's result buffer (framing for GET retrieval).
+	ResultTupleCycles int64
+	ResultByteCycles  int64
+	// HashEntryBytes approximates the DRAM footprint of one hash-table
+	// entry beyond its tuple payload, for the memory-grant check.
+	HashEntryBytes int64
+}
+
+// DefaultCostModel reports the calibrated embedded-CPU cost constants.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		PageCycles:        1200,
+		TupleCycles:       126,
+		PAXValueCycles:    8,
+		NSMValueCycles:    23,
+		OpCycles:          3,
+		HashBuildCycles:   100,
+		HashProbeCycles:   77,
+		AggCycles:         10,
+		ResultTupleCycles: 250,
+		ResultByteCycles:  8,
+		HashEntryBytes:    24,
+	}
+}
+
+// valueCycles reports the per-value access cost under a layout.
+func (c CostModel) valueCycles(l page.Layout) int64 {
+	if l == page.PAX {
+		return c.PAXValueCycles
+	}
+	return c.NSMValueCycles
+}
+
+// exprTupleCycles reports the cycles to evaluate e once on a tuple in
+// layout l: operator costs plus one value access per distinct
+// referenced column.
+func (c CostModel) exprTupleCycles(e expr.Expr, l page.Layout) int64 {
+	if e == nil {
+		return 0
+	}
+	return int64(e.Ops())*c.OpCycles + int64(len(expr.DistinctColumns(e)))*c.valueCycles(l)
+}
+
+// String renders the model compactly for reports.
+func (c CostModel) String() string {
+	return fmt.Sprintf("device-cost{page=%d tuple=%d pax=%d nsm=%d op=%d probe=%d}",
+		c.PageCycles, c.TupleCycles, c.PAXValueCycles, c.NSMValueCycles, c.OpCycles, c.HashProbeCycles)
+}

@@ -1,0 +1,178 @@
+package device
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"smartssd/internal/schema"
+	"smartssd/internal/ssd"
+)
+
+// SessionID identifies one OPEN'd session, as returned to the host.
+type SessionID int64
+
+// DefaultChunkBytes is the result-chunk size a GET retrieves: results
+// are staged in device DRAM and shipped in I/O-unit-sized pieces.
+const DefaultChunkBytes = 256 * 1024
+
+// Errors reported by the session protocol.
+var (
+	ErrNoSession    = errors.New("device: unknown session id")
+	ErrClosed       = errors.New("device: session closed")
+	ErrMemoryGrant  = errors.New("device: program exceeds device DRAM grant")
+	ErrInvalidQuery = errors.New("device: invalid query")
+)
+
+// Runtime is the Smart SSD runtime framework of §3: it accepts
+// user-defined query programs through a session-based protocol layered
+// on the standard SATA/SAS command set.
+//
+//	OPEN  — validate the program, grant threads and memory, return id.
+//	GET   — poll for status and retrieve the next staged result chunk.
+//	CLOSE — release session resources.
+type Runtime struct {
+	dev        *ssd.Device
+	cost       CostModel
+	chunkBytes int64
+	next       SessionID
+	sessions   map[SessionID]*session
+}
+
+// NewRuntime builds the runtime for one device using cost constants c.
+func NewRuntime(dev *ssd.Device, c CostModel) *Runtime {
+	return &Runtime{
+		dev:        dev,
+		cost:       c,
+		chunkBytes: DefaultChunkBytes,
+		sessions:   make(map[SessionID]*session),
+	}
+}
+
+// Device reports the underlying simulated device.
+func (r *Runtime) Device() *ssd.Device { return r.dev }
+
+// Cost reports the runtime's embedded-CPU cost model.
+func (r *Runtime) Cost() CostModel { return r.cost }
+
+type sessionState uint8
+
+const (
+	stateOpen sessionState = iota
+	stateDone
+	stateClosed
+)
+
+// session holds one program's runtime state: the granted resources, the
+// result chunks produced by the program, and the GET read cursor.
+type session struct {
+	id     SessionID
+	query  Query
+	state  sessionState
+	result *result
+	cursor int // next chunk index for GET
+}
+
+// Open starts a session for query q: the OPEN command. The query is
+// validated and its memory grant checked against device DRAM before any
+// work is admitted.
+func (r *Runtime) Open(q Query) (SessionID, error) {
+	if err := q.validate(); err != nil {
+		return 0, err
+	}
+	if need := q.memoryEstimate(r.cost); need > r.dev.DeviceDRAMBytes() {
+		return 0, fmt.Errorf("%w: program needs %d bytes, device DRAM is %d",
+			ErrMemoryGrant, need, r.dev.DeviceDRAMBytes())
+	}
+	r.next++
+	id := r.next
+	r.sessions[id] = &session{id: id, query: q, state: stateOpen}
+	return id, nil
+}
+
+// GetResult is one GET command's answer: a batch of result tuples, the
+// virtual time the batch arrived in host memory, and whether the
+// program has produced everything (Done with an empty batch means the
+// session is fully drained).
+type GetResult struct {
+	Rows []schema.Tuple
+	At   time.Duration
+	Done bool
+}
+
+// Get retrieves the next staged result chunk: the GET command. The
+// first Get runs the program to completion on the device timeline
+// (traditional block devices are passive; the host drives all
+// retrieval), then successive Gets drain the staged chunks in order.
+func (r *Runtime) Get(id SessionID) (GetResult, error) {
+	s, ok := r.sessions[id]
+	if !ok {
+		return GetResult{}, fmt.Errorf("%w: %d", ErrNoSession, id)
+	}
+	if s.state == stateClosed {
+		return GetResult{}, fmt.Errorf("%w: %d", ErrClosed, id)
+	}
+	if s.result == nil {
+		res, err := runProgram(r.dev, r.cost, r.chunkBytes, s.query)
+		if err != nil {
+			return GetResult{}, fmt.Errorf("device: session %d: %w", id, err)
+		}
+		s.result = res
+		s.state = stateDone
+	}
+	if s.cursor >= len(s.result.chunks) {
+		return GetResult{At: s.result.end, Done: true}, nil
+	}
+	c := s.result.chunks[s.cursor]
+	s.cursor++
+	return GetResult{
+		Rows: c.rows,
+		At:   c.shippedAt,
+		Done: s.cursor >= len(s.result.chunks),
+	}, nil
+}
+
+// Close releases a session: the CLOSE command. Closing an unknown or
+// already-closed session is an error, mirroring a firmware status check.
+func (r *Runtime) Close(id SessionID) error {
+	s, ok := r.sessions[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNoSession, id)
+	}
+	if s.state == stateClosed {
+		return fmt.Errorf("%w: %d", ErrClosed, id)
+	}
+	s.state = stateClosed
+	s.result = nil
+	delete(r.sessions, id)
+	return nil
+}
+
+// OpenSessions reports the number of live sessions (diagnostics).
+func (r *Runtime) OpenSessions() int { return len(r.sessions) }
+
+// RunQuery is the host-side convenience wrapper the modified DBMS path
+// uses: OPEN, drain with GET, CLOSE. It returns all result rows and the
+// virtual time the final byte reached the host.
+func (r *Runtime) RunQuery(q Query) ([]schema.Tuple, time.Duration, error) {
+	id, err := r.Open(q)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer r.Close(id)
+	var rows []schema.Tuple
+	var end time.Duration
+	for {
+		res, err := r.Get(id)
+		if err != nil {
+			return nil, 0, err
+		}
+		rows = append(rows, res.Rows...)
+		if res.At > end {
+			end = res.At
+		}
+		if res.Done {
+			return rows, end, nil
+		}
+	}
+}

@@ -1,0 +1,171 @@
+// Package energy models the power draw of the paper's testbed and
+// integrates it over a run's virtual timeline to reproduce the Table 3
+// energy comparison.
+//
+// The model has three layers:
+//
+//   - The host system's idle floor (235 W in the paper — "if we only
+//     consider the energy consumption over the base idle energy
+//     (235W)...").
+//   - The host's activity power while a query runs: a fixed busy
+//     component (query execution machinery, DRAM, fans spinning up)
+//     plus a component proportional to the data rate crossing the host
+//     interface — a host that streams 550 MB/s through its memory
+//     system draws measurably more than one receiving a trickle of
+//     pushed-down results.
+//   - The storage device's power: idle floor plus active components
+//     scaled by each resource's utilization (spindle/media for the
+//     HDD; flash+DMA, host link, and embedded CPU for the SSD).
+//
+// "I/O subsystem energy" in Table 3 is the device layer alone; "entire
+// system energy" is all three.
+package energy
+
+import (
+	"fmt"
+	"time"
+
+	"smartssd/internal/sim"
+)
+
+// Profile holds the power constants in watts.
+type Profile struct {
+	// HostIdleW is the server's idle floor (the paper's 235 W).
+	HostIdleW float64
+	// HostBusyW is the additional draw while any query is executing.
+	HostBusyW float64
+	// HostStreamWPerMBps is the additional draw per MB/s of data the
+	// host ingests over the storage interconnect.
+	HostStreamWPerMBps float64
+
+	// HDD power: idle (spindle) plus active (seek/transfer) scaled by
+	// media utilization.
+	HDDIdleW   float64
+	HDDActiveW float64
+
+	// SSD power: idle floor plus per-resource active components scaled
+	// by utilization of the internal bus, host link, and embedded CPU.
+	SSDIdleW        float64
+	SSDFlashActiveW float64
+	SSDLinkActiveW  float64
+	SSDDeviceCPUW   float64
+}
+
+// DefaultProfile reports the calibrated testbed profile.
+func DefaultProfile() Profile {
+	return Profile{
+		HostIdleW:          235,
+		HostBusyW:          110,
+		HostStreamWPerMBps: 0.07,
+		HDDIdleW:           5,
+		HDDActiveW:         9,
+		SSDIdleW:           4.5,
+		SSDFlashActiveW:    5,
+		SSDLinkActiveW:     3,
+		SSDDeviceCPUW:      3.5,
+	}
+}
+
+// DeviceKind selects the device power model for a run.
+type DeviceKind uint8
+
+// Device kinds.
+const (
+	HDD DeviceKind = iota
+	SSD
+)
+
+// Usage describes one run's resource consumption, extracted from the
+// device and host activity counters.
+type Usage struct {
+	Kind DeviceKind
+	// Elapsed is the run's virtual wall-clock time.
+	Elapsed time.Duration
+	// MediaBusy: HDD media busy time (HDD runs only).
+	MediaBusy time.Duration
+	// FlashBusy: SSD internal-transfer busy time (DMA bus).
+	FlashBusy time.Duration
+	// LinkBusy: host interface busy time.
+	LinkBusy time.Duration
+	// DeviceCPUBusy: embedded CPU busy time summed over cores.
+	DeviceCPUBusy time.Duration
+	// DeviceCPUCores: embedded core count (to convert busy to
+	// utilization).
+	DeviceCPUCores int
+	// HostIngestBytes: bytes that crossed into host memory.
+	HostIngestBytes int64
+}
+
+// Breakdown is the integrated energy of one run, in joules.
+type Breakdown struct {
+	Elapsed time.Duration
+	// SystemJ is the whole-server energy, Table 3's "Entire System".
+	SystemJ float64
+	// IOJ is the storage device's energy, Table 3's "I/O Subsystem".
+	IOJ float64
+	// AboveIdleJ is SystemJ minus the idle floor over Elapsed — the
+	// "over the base idle energy" view the paper also reports.
+	AboveIdleJ float64
+	// HostW and DeviceW are the run's average powers per layer.
+	HostW   float64
+	DeviceW float64
+}
+
+// SystemkJ reports the system energy in kilojoules (Table 3's unit).
+func (b Breakdown) SystemkJ() float64 { return b.SystemJ / 1000 }
+
+// IOkJ reports the I/O-subsystem energy in kilojoules.
+func (b Breakdown) IOkJ() float64 { return b.IOJ / 1000 }
+
+// String renders the breakdown in Table 3's units.
+func (b Breakdown) String() string {
+	return fmt.Sprintf("elapsed=%.1fs system=%.1fkJ io=%.2fkJ", b.Elapsed.Seconds(), b.SystemkJ(), b.IOkJ())
+}
+
+func util(busy, elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	u := float64(busy) / float64(elapsed)
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// Energy integrates the profile over one run.
+func (p Profile) Energy(u Usage) Breakdown {
+	sec := u.Elapsed.Seconds()
+	if sec <= 0 {
+		return Breakdown{}
+	}
+
+	ingestMBps := float64(u.HostIngestBytes) / sim.MB / sec
+	hostW := p.HostIdleW + p.HostBusyW + p.HostStreamWPerMBps*ingestMBps
+
+	var devW float64
+	switch u.Kind {
+	case HDD:
+		devW = p.HDDIdleW + p.HDDActiveW*util(u.MediaBusy, u.Elapsed)
+	default:
+		cores := u.DeviceCPUCores
+		if cores < 1 {
+			cores = 1
+		}
+		cpuUtil := util(u.DeviceCPUBusy/time.Duration(cores), u.Elapsed)
+		devW = p.SSDIdleW +
+			p.SSDFlashActiveW*util(u.FlashBusy, u.Elapsed) +
+			p.SSDLinkActiveW*util(u.LinkBusy, u.Elapsed) +
+			p.SSDDeviceCPUW*cpuUtil
+	}
+
+	sysW := hostW + devW
+	return Breakdown{
+		Elapsed:    u.Elapsed,
+		SystemJ:    sysW * sec,
+		IOJ:        devW * sec,
+		AboveIdleJ: (sysW - p.HostIdleW) * sec,
+		HostW:      hostW,
+		DeviceW:    devW,
+	}
+}

@@ -1,0 +1,140 @@
+package energy
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// Synthetic Q6-shaped runs with the shape of the paper's Table 3:
+// 90 GB scanned; HDD at 85 MB/s, SSD host path at 550 MB/s, Smart SSD
+// (PAX) 1.7x faster than the SSD path, NSM in between.
+func table3Usages() map[string]Usage {
+	const gb = 1 << 30
+	hddT := 1084 * time.Second
+	ssdT := 167 * time.Second
+	nsmT := 120 * time.Second
+	paxT := 98 * time.Second
+	return map[string]Usage{
+		"hdd": {
+			Kind: HDD, Elapsed: hddT,
+			MediaBusy:       hddT, // streaming the whole time
+			HostIngestBytes: 90 * gb,
+		},
+		"ssd": {
+			Kind: SSD, Elapsed: ssdT,
+			FlashBusy:       time.Duration(float64(ssdT) * 0.35), // 550/1560
+			LinkBusy:        ssdT,
+			HostIngestBytes: 90 * gb,
+		},
+		"smart-nsm": {
+			Kind: SSD, Elapsed: nsmT,
+			FlashBusy:       59 * time.Second,
+			DeviceCPUBusy:   3 * nsmT, // CPU-bound on 3 cores
+			DeviceCPUCores:  3,
+			HostIngestBytes: 1 << 20, // results only
+		},
+		"smart-pax": {
+			Kind: SSD, Elapsed: paxT,
+			FlashBusy:       59 * time.Second,
+			DeviceCPUBusy:   3 * paxT,
+			DeviceCPUCores:  3,
+			HostIngestBytes: 1 << 20,
+		},
+	}
+}
+
+func TestTable3RatiosEmerge(t *testing.T) {
+	p := DefaultProfile()
+	e := map[string]Breakdown{}
+	for name, u := range table3Usages() {
+		e[name] = p.Energy(u)
+	}
+	pax := e["smart-pax"]
+
+	// Paper: HDD consumes 11.6x more system energy and about 14.3x more
+	// I/O-subsystem energy than Smart SSD with PAX.
+	if r := e["hdd"].SystemJ / pax.SystemJ; r < 10.5 || r > 12.5 {
+		t.Errorf("HDD/PAX system energy = %.1fx, want about 11.6x", r)
+	}
+	if r := e["hdd"].IOJ / pax.IOJ; r < 13 || r > 16 {
+		t.Errorf("HDD/PAX io energy = %.1fx, want about 14.3x", r)
+	}
+	// Paper: Smart SSD (PAX) is 1.9x (system) and 1.4x (I/O) more
+	// efficient than the regular SSD.
+	if r := e["ssd"].SystemJ / pax.SystemJ; r < 1.7 || r > 2.1 {
+		t.Errorf("SSD/PAX system energy = %.2fx, want about 1.9x", r)
+	}
+	if r := e["ssd"].IOJ / pax.IOJ; r < 1.2 || r > 1.6 {
+		t.Errorf("SSD/PAX io energy = %.2fx, want about 1.4x", r)
+	}
+	// Idle-adjusted: 12.4x and 2.3x.
+	if r := e["hdd"].AboveIdleJ / pax.AboveIdleJ; r < 11 || r > 14 {
+		t.Errorf("HDD/PAX above-idle = %.1fx, want about 12.4x", r)
+	}
+	if r := e["ssd"].AboveIdleJ / pax.AboveIdleJ; r < 2.0 || r > 2.6 {
+		t.Errorf("SSD/PAX above-idle = %.2fx, want about 2.3x", r)
+	}
+	// NSM lands between SSD and PAX.
+	if !(e["smart-nsm"].SystemJ > pax.SystemJ && e["smart-nsm"].SystemJ < e["ssd"].SystemJ) {
+		t.Errorf("NSM system energy %.0f not between PAX %.0f and SSD %.0f",
+			e["smart-nsm"].SystemJ, pax.SystemJ, e["ssd"].SystemJ)
+	}
+}
+
+func TestZeroElapsed(t *testing.T) {
+	b := DefaultProfile().Energy(Usage{Kind: SSD})
+	if b.SystemJ != 0 || b.IOJ != 0 {
+		t.Fatalf("zero-elapsed energy = %+v", b)
+	}
+}
+
+func TestUtilizationClamped(t *testing.T) {
+	p := DefaultProfile()
+	u := Usage{
+		Kind:            SSD,
+		Elapsed:         time.Second,
+		FlashBusy:       10 * time.Second, // overcommitted (bug upstream) must clamp
+		LinkBusy:        time.Second,
+		DeviceCPUBusy:   time.Second,
+		DeviceCPUCores:  1,
+		HostIngestBytes: 0,
+	}
+	b := p.Energy(u)
+	maxDev := p.SSDIdleW + p.SSDFlashActiveW + p.SSDLinkActiveW + p.SSDDeviceCPUW
+	if b.DeviceW > maxDev+1e-9 {
+		t.Fatalf("device power %.2f exceeds physical max %.2f", b.DeviceW, maxDev)
+	}
+}
+
+func TestIdleDeviceDrawsIdlePower(t *testing.T) {
+	p := DefaultProfile()
+	b := p.Energy(Usage{Kind: HDD, Elapsed: 10 * time.Second})
+	wantIO := p.HDDIdleW * 10
+	if b.IOJ != wantIO {
+		t.Fatalf("idle HDD IO energy = %.1f, want %.1f", b.IOJ, wantIO)
+	}
+}
+
+func TestStreamingPowerScalesWithRate(t *testing.T) {
+	p := DefaultProfile()
+	slow := p.Energy(Usage{Kind: SSD, Elapsed: time.Second, HostIngestBytes: 85 << 20})
+	fast := p.Energy(Usage{Kind: SSD, Elapsed: time.Second, HostIngestBytes: 550 << 20})
+	if fast.HostW <= slow.HostW {
+		t.Fatalf("host power did not grow with ingest rate: %.1f vs %.1f", fast.HostW, slow.HostW)
+	}
+	wantDelta := p.HostStreamWPerMBps * (550 - 85)
+	if got := fast.HostW - slow.HostW; got < wantDelta-1 || got > wantDelta+1 {
+		t.Fatalf("stream power delta = %.1f, want %.1f", got, wantDelta)
+	}
+}
+
+func TestBreakdownUnits(t *testing.T) {
+	b := Breakdown{SystemJ: 34600, IOJ: 1060, Elapsed: 98 * time.Second}
+	if b.SystemkJ() != 34.6 || b.IOkJ() != 1.06 {
+		t.Fatalf("unit conversion wrong: %v %v", b.SystemkJ(), b.IOkJ())
+	}
+	if !strings.Contains(b.String(), "kJ") {
+		t.Fatalf("String() = %q", b.String())
+	}
+}

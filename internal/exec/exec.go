@@ -1,0 +1,176 @@
+// Package exec implements the host-side relational operators — the role
+// SQL Server plays in the paper: table scan, filter, projection, simple
+// hash join, and aggregation over heap files on simulated devices.
+//
+// Operators are push-based: each drives its input and emits tuples
+// tagged with the virtual time they become available, so I/O arrival
+// times flow through the pipeline and CPU work is charged against the
+// host CPU model as tuples pass. The run's elapsed time is the
+// completion time of the last emitted (or aggregated) tuple — exactly a
+// pipelined execution on the simulated timeline.
+package exec
+
+import (
+	"errors"
+	"time"
+
+	"smartssd/internal/schema"
+	"smartssd/internal/sim"
+)
+
+// CostModel holds the host CPU cost constants, in cycles. The defaults
+// describe a server-class core running tuple-at-a-time operator code
+// (the paper's 2 GHz Xeon testbed).
+type CostModel struct {
+	// PageCycles is the fixed cost to latch, checksum, and set up
+	// iteration over one page.
+	PageCycles int64
+	// TupleCycles is the per-tuple iteration/decode overhead (slot
+	// lookup for NSM, offset arithmetic for PAX).
+	TupleCycles int64
+	// OpCycles is the cost per expression operator node per evaluation.
+	OpCycles int64
+	// HashBuildCycles is the cost to insert one tuple into a join hash
+	// table; HashProbeCycles the cost to probe it once.
+	HashBuildCycles int64
+	HashProbeCycles int64
+	// AggCycles is the cost to fold one tuple into an aggregate.
+	AggCycles int64
+	// EmitCycles is the cost to materialize one output tuple.
+	EmitCycles int64
+}
+
+// DefaultCostModel reports host CPU costs for a 2 GHz out-of-order core.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		PageCycles:      600,
+		TupleCycles:     12,
+		OpCycles:        4,
+		HashBuildCycles: 60,
+		HashProbeCycles: 40,
+		AggCycles:       10,
+		EmitCycles:      20,
+	}
+}
+
+// Host models the host machine's query-processing CPU: a multi-core
+// rate server plus the cost constants charged against it.
+type Host struct {
+	CPU  *sim.Server
+	Cost CostModel
+}
+
+// NewHost builds a host CPU model. The paper's testbed has two quad-core
+// 2 GHz Xeons; cores is the number the executor may use.
+func NewHost(perCore sim.Rate, cores int) *Host {
+	return &Host{
+		CPU:  sim.NewMultiServer("host-cpu", perCore, cores),
+		Cost: DefaultCostModel(),
+	}
+}
+
+// DefaultHost reports the paper's host: 8 cores at 2 GHz.
+func DefaultHost() *Host { return NewHost(sim.GHz(2), 8) }
+
+// Reset clears the host CPU timing state between runs.
+func (h *Host) Reset() { h.CPU.Reset() }
+
+// Stats counts work done during one run.
+type Stats struct {
+	PagesRead   int64
+	RowsScanned int64
+	RowsEmitted int64
+	HashBuilds  int64
+	HashProbes  int64
+	CPUCycles   int64
+}
+
+// Ctx carries the host model and run statistics through an operator tree.
+type Ctx struct {
+	Host  *Host
+	Stats Stats
+}
+
+// NewCtx builds a run context over host.
+func NewCtx(host *Host) *Ctx { return &Ctx{Host: host} }
+
+// charge schedules cycles of CPU work ready at the given time and
+// returns its completion time.
+func (c *Ctx) charge(cycles int64, ready time.Duration) time.Duration {
+	c.Stats.CPUCycles += cycles
+	return c.Host.CPU.Serve(ready, cycles)
+}
+
+// Emit receives one output tuple and the virtual time it became
+// available. Implementations must not retain t; it may be reused.
+type Emit func(t schema.Tuple, at time.Duration) error
+
+// Operator is a push-based relational operator.
+type Operator interface {
+	// Schema reports the output tuple schema.
+	Schema() *schema.Schema
+	// Run executes the operator, calling emit for every output tuple,
+	// and returns the virtual completion time of the whole run.
+	Run(ctx *Ctx, emit Emit) (time.Duration, error)
+	// Explain renders one line describing this operator (children are
+	// rendered by ExplainTree).
+	Explain() string
+	// Children reports the operator's inputs.
+	Children() []Operator
+}
+
+// ErrStop may be returned by an Emit to stop execution early without
+// reporting an error (used by LIMIT-style consumers and tests).
+var ErrStop = errors.New("exec: stop requested")
+
+// ExplainTree renders an operator tree, one operator per line.
+func ExplainTree(op Operator) string {
+	var b []byte
+	var walk func(o Operator, depth int)
+	walk = func(o Operator, depth int) {
+		for i := 0; i < depth; i++ {
+			b = append(b, ' ', ' ')
+		}
+		b = append(b, o.Explain()...)
+		b = append(b, '\n')
+		for _, c := range o.Children() {
+			walk(c, depth+1)
+		}
+	}
+	walk(op, 0)
+	return string(b)
+}
+
+// concatSchemas builds the output schema of a join: left columns then
+// right columns, with duplicate names disambiguated by suffix.
+func concatSchemas(l, r *schema.Schema) *schema.Schema {
+	cols := make([]schema.Column, 0, l.NumColumns()+r.NumColumns())
+	seen := map[string]bool{}
+	for i := 0; i < l.NumColumns(); i++ {
+		c := l.Column(i)
+		seen[c.Name] = true
+		cols = append(cols, c)
+	}
+	for i := 0; i < r.NumColumns(); i++ {
+		c := r.Column(i)
+		for seen[c.Name] {
+			c.Name += "_r"
+		}
+		seen[c.Name] = true
+		cols = append(cols, c)
+	}
+	return schema.New(cols...)
+}
+
+// cloneTuple deep-copies a tuple (Char bytes included), for operators
+// that must retain inputs past their emit window.
+func cloneTuple(t schema.Tuple) schema.Tuple {
+	out := make(schema.Tuple, len(t))
+	for i, v := range t {
+		if v.Bytes != nil {
+			v.Bytes = append([]byte(nil), v.Bytes...)
+		}
+		out[i] = v
+	}
+	return out
+}

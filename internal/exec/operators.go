@@ -1,0 +1,542 @@
+package exec
+
+import (
+	"fmt"
+	"time"
+
+	"smartssd/internal/bufpool"
+	"smartssd/internal/expr"
+	"smartssd/internal/heap"
+	"smartssd/internal/page"
+	"smartssd/internal/plan"
+	"smartssd/internal/schema"
+)
+
+// readerRow adapts one tuple inside a bound page to expr.Row, so
+// predicates evaluate without materializing the tuple.
+type readerRow struct {
+	r *page.Reader
+	i int
+}
+
+func (rr readerRow) Col(c int) schema.Value { return rr.r.Column(rr.i, c) }
+
+// TableScan reads a heap file sequentially through the host I/O path,
+// optionally applying a predicate as pages arrive (SQL Server's scan +
+// residual predicate). When Pool is set, cached pages are served from
+// the buffer pool without device I/O, and pages read from the device are
+// inserted into the pool — the host-side advantage the paper's §4.3
+// weighs against pushdown.
+type TableScan struct {
+	File   *heap.File
+	Filter expr.Expr     // optional
+	Pool   *bufpool.Pool // optional
+	// From and Count restrict the scan to a page subrange; a zero Count
+	// scans from From to the end of the file. Partial scans are how
+	// hybrid execution splits a table between host and device.
+	From  int64
+	Count int64
+}
+
+// scanRange reports the page range [from, from+n) this scan covers.
+func (t *TableScan) scanRange() (int64, int64) {
+	from := t.From
+	n := t.Count
+	if n <= 0 {
+		n = t.File.Pages() - from
+	}
+	if n < 0 {
+		n = 0
+	}
+	return from, n
+}
+
+// Schema implements Operator.
+func (t *TableScan) Schema() *schema.Schema { return t.File.Schema() }
+
+// Children implements Operator.
+func (t *TableScan) Children() []Operator { return nil }
+
+// Explain implements Operator.
+func (t *TableScan) Explain() string {
+	from, n := t.scanRange()
+	s := fmt.Sprintf("TableScan(%s, %v, pages %d-%d)", t.File.Name(), t.File.Layout(), from, from+n)
+	if t.Filter != nil {
+		s += " filter " + t.Filter.String()
+	}
+	return s
+}
+
+// Run implements Operator.
+func (t *TableScan) Run(ctx *Ctx, emit Emit) (time.Duration, error) {
+	var end time.Duration
+	var out schema.Tuple
+	cost := ctx.Host.Cost
+
+	process := func(r *page.Reader, arrival time.Duration) error {
+		n := int64(r.Count())
+		cycles := cost.PageCycles + n*cost.TupleCycles
+		if t.Filter != nil {
+			cycles += n * int64(t.Filter.Ops()) * cost.OpCycles
+		}
+		done := ctx.charge(cycles, arrival)
+		if done > end {
+			end = done
+		}
+		ctx.Stats.PagesRead++
+		ctx.Stats.RowsScanned += n
+		for i := 0; i < r.Count(); i++ {
+			if t.Filter != nil && t.Filter.Eval(readerRow{r, i}).Int == 0 {
+				continue
+			}
+			out = r.Tuple(out, i)
+			ctx.Stats.RowsEmitted++
+			if err := emit(out, done); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	if t.Pool == nil {
+		from, n := t.scanRange()
+		last, err := t.File.ScanRange(from, n, 0, process)
+		if err != nil {
+			return end, err
+		}
+		if last > end {
+			end = last
+		}
+		return end, nil
+	}
+	return t.runWithPool(ctx, process)
+}
+
+// runWithPool scans page by page, serving buffer-pool hits without
+// device I/O and reading uncached runs with sequential range reads.
+func (t *TableScan) runWithPool(ctx *Ctx, process func(*page.Reader, time.Duration) error) (time.Duration, error) {
+	var end time.Duration
+	from, n := t.scanRange()
+	pages := from + n
+	r := page.ReaderFor(t.File.Schema())
+	for idx := from; idx < pages; {
+		lba := t.File.StartLBA() + idx
+		if data, hit := t.Pool.Get(lba); hit {
+			// Cached: page is host-resident already; only CPU time.
+			if err := r.Bind(data); err != nil {
+				t.Pool.Unpin(lba, false)
+				return end, err
+			}
+			err := process(r, 0)
+			if uerr := t.Pool.Unpin(lba, false); uerr != nil {
+				return end, uerr
+			}
+			if err != nil {
+				return end, err
+			}
+			if h := ctx.Host.CPU.Horizon(); h > end {
+				end = h
+			}
+			idx++
+			continue
+		}
+		// Find the uncached run starting here.
+		runLen := int64(1)
+		for idx+runLen < pages && !t.Pool.Contains(t.File.StartLBA()+idx+runLen) {
+			runLen++
+		}
+		last, err := t.File.ScanRange(idx, runLen, 0, func(pr *page.Reader, at time.Duration) error {
+			if err := process(pr, at); err != nil {
+				return err
+			}
+			// Warm the pool; ignore ErrAllPinned-style failures: caching
+			// is best-effort and must not fail the scan.
+			plba := t.File.StartLBA() + int64(pr.PageNo())
+			if err := t.Pool.Put(plba, pr.Data()); err == nil {
+				t.Pool.Unpin(plba, false)
+			}
+			return nil
+		})
+		if err != nil {
+			return end, err
+		}
+		if last > end {
+			end = last
+		}
+		idx += runLen
+	}
+	if h := ctx.Host.CPU.Horizon(); h > end {
+		end = h
+	}
+	return end, nil
+}
+
+// Filter drops input tuples failing a predicate.
+type Filter struct {
+	Input Operator
+	Pred  expr.Expr
+}
+
+// Schema implements Operator.
+func (f *Filter) Schema() *schema.Schema { return f.Input.Schema() }
+
+// Children implements Operator.
+func (f *Filter) Children() []Operator { return []Operator{f.Input} }
+
+// Explain implements Operator.
+func (f *Filter) Explain() string { return "Filter " + f.Pred.String() }
+
+// Run implements Operator.
+func (f *Filter) Run(ctx *Ctx, emit Emit) (time.Duration, error) {
+	ops := int64(f.Pred.Ops())
+	cost := ctx.Host.Cost
+	return f.Input.Run(ctx, func(t schema.Tuple, at time.Duration) error {
+		done := ctx.charge(ops*cost.OpCycles, at)
+		if f.Pred.Eval(expr.TupleRow(t)).Int == 0 {
+			return nil
+		}
+		return emit(t, done)
+	})
+}
+
+// OutputCol aliases the shared projected-column spec.
+type OutputCol = plan.OutputCol
+
+// Project computes derived output tuples.
+type Project struct {
+	Input Operator
+	Cols  []OutputCol
+
+	out *schema.Schema
+}
+
+// Schema implements Operator.
+func (p *Project) Schema() *schema.Schema {
+	if p.out == nil {
+		cols := make([]schema.Column, len(p.Cols))
+		for i, c := range p.Cols {
+			k := c.E.Kind()
+			w := 0
+			if k == schema.Char {
+				// Width of a projected CHAR is the width of the source
+				// column; expression trees projecting CHAR are always
+				// bare column references in the supported query class.
+				if col, ok := c.E.(expr.Col); ok {
+					w = p.Input.Schema().Column(col.Index).Len
+				} else {
+					w = 32
+				}
+			}
+			cols[i] = schema.Column{Name: c.Name, Kind: k, Len: w}
+		}
+		p.out = schema.New(cols...)
+	}
+	return p.out
+}
+
+// Children implements Operator.
+func (p *Project) Children() []Operator { return []Operator{p.Input} }
+
+// Explain implements Operator.
+func (p *Project) Explain() string {
+	s := "Project("
+	for i, c := range p.Cols {
+		if i > 0 {
+			s += ", "
+		}
+		s += c.Name + "=" + c.E.String()
+	}
+	return s + ")"
+}
+
+// Run implements Operator.
+func (p *Project) Run(ctx *Ctx, emit Emit) (time.Duration, error) {
+	var ops int64
+	for _, c := range p.Cols {
+		ops += int64(c.E.Ops())
+	}
+	cost := ctx.Host.Cost
+	out := make(schema.Tuple, len(p.Cols))
+	return p.Input.Run(ctx, func(t schema.Tuple, at time.Duration) error {
+		done := ctx.charge(ops*cost.OpCycles+cost.EmitCycles, at)
+		row := expr.TupleRow(t)
+		for i, c := range p.Cols {
+			out[i] = c.E.Eval(row)
+		}
+		return emit(out, done)
+	})
+}
+
+// HashJoin is the paper's "simple hash join": the build side is read
+// fully into an in-memory hash table (it must fit — |R| is small), then
+// the probe side streams. Output tuples are probe columns followed by
+// build columns.
+type HashJoin struct {
+	Build    Operator
+	Probe    Operator
+	BuildKey int // column index in Build's schema
+	ProbeKey int // column index in Probe's schema
+
+	out *schema.Schema
+}
+
+// Schema implements Operator.
+func (j *HashJoin) Schema() *schema.Schema {
+	if j.out == nil {
+		j.out = concatSchemas(j.Probe.Schema(), j.Build.Schema())
+	}
+	return j.out
+}
+
+// Children implements Operator.
+func (j *HashJoin) Children() []Operator { return []Operator{j.Build, j.Probe} }
+
+// Explain implements Operator.
+func (j *HashJoin) Explain() string {
+	return fmt.Sprintf("HashJoin(build.%s = probe.%s)",
+		j.Build.Schema().Column(j.BuildKey).Name, j.Probe.Schema().Column(j.ProbeKey).Name)
+}
+
+// Run implements Operator.
+func (j *HashJoin) Run(ctx *Ctx, emit Emit) (time.Duration, error) {
+	cost := ctx.Host.Cost
+	ht := make(map[int64][]schema.Tuple)
+	var buildDone time.Duration
+	_, err := j.Build.Run(ctx, func(t schema.Tuple, at time.Duration) error {
+		done := ctx.charge(cost.HashBuildCycles, at)
+		if done > buildDone {
+			buildDone = done
+		}
+		key := t[j.BuildKey].Int
+		ht[key] = append(ht[key], cloneTuple(t))
+		ctx.Stats.HashBuilds++
+		return nil
+	})
+	if err != nil {
+		return buildDone, err
+	}
+
+	nb := j.Build.Schema().NumColumns()
+	np := j.Probe.Schema().NumColumns()
+	out := make(schema.Tuple, np+nb)
+	var end time.Duration
+	last, err := j.Probe.Run(ctx, func(t schema.Tuple, at time.Duration) error {
+		ready := at
+		if buildDone > ready {
+			ready = buildDone
+		}
+		done := ctx.charge(cost.HashProbeCycles, ready)
+		if done > end {
+			end = done
+		}
+		ctx.Stats.HashProbes++
+		matches := ht[t[j.ProbeKey].Int]
+		if len(matches) == 0 {
+			return nil
+		}
+		for _, b := range matches {
+			done = ctx.charge(cost.EmitCycles, done)
+			copy(out, t)
+			copy(out[np:], b)
+			ctx.Stats.RowsEmitted++
+			if err := emit(out, done); err != nil {
+				return err
+			}
+		}
+		if done > end {
+			end = done
+		}
+		return nil
+	})
+	if err != nil {
+		return end, err
+	}
+	if last > end {
+		end = last
+	}
+	if buildDone > end {
+		end = buildDone
+	}
+	return end, nil
+}
+
+// AggKind and AggSpec alias the shared aggregate specs.
+type (
+	AggKind = plan.AggKind
+	AggSpec = plan.AggSpec
+)
+
+// Aggregate functions, re-exported for plan construction convenience.
+const (
+	Sum   = plan.Sum
+	Count = plan.Count
+	Min   = plan.Min
+	Max   = plan.Max
+)
+
+type aggState struct {
+	group schema.Tuple
+	vals  []int64
+	seen  []bool
+}
+
+// Aggregate folds input tuples into per-group aggregates (a scalar
+// aggregate when GroupBy is empty) and emits results after the input
+// completes.
+type Aggregate struct {
+	Input   Operator
+	GroupBy []int // column indexes in Input's schema
+	Aggs    []AggSpec
+
+	out *schema.Schema
+}
+
+// Schema implements Operator.
+func (a *Aggregate) Schema() *schema.Schema {
+	if a.out == nil {
+		in := a.Input.Schema()
+		cols := make([]schema.Column, 0, len(a.GroupBy)+len(a.Aggs))
+		for _, g := range a.GroupBy {
+			cols = append(cols, in.Column(g))
+		}
+		for _, s := range a.Aggs {
+			cols = append(cols, schema.Column{Name: s.Name, Kind: schema.Int64})
+		}
+		a.out = schema.New(cols...)
+	}
+	return a.out
+}
+
+// Children implements Operator.
+func (a *Aggregate) Children() []Operator { return []Operator{a.Input} }
+
+// Explain implements Operator.
+func (a *Aggregate) Explain() string {
+	s := "Aggregate("
+	for i, spec := range a.Aggs {
+		if i > 0 {
+			s += ", "
+		}
+		if spec.Kind == Count {
+			s += "COUNT(*)"
+		} else {
+			s += fmt.Sprintf("%v(%s)", spec.Kind, spec.E)
+		}
+	}
+	if len(a.GroupBy) > 0 {
+		s += fmt.Sprintf(" groupby %v", a.GroupBy)
+	}
+	return s + ")"
+}
+
+// Run implements Operator.
+func (a *Aggregate) Run(ctx *Ctx, emit Emit) (time.Duration, error) {
+	cost := ctx.Host.Cost
+	var ops int64
+	for _, s := range a.Aggs {
+		if s.E != nil {
+			ops += int64(s.E.Ops())
+		}
+	}
+	perTuple := ops*cost.OpCycles + int64(len(a.Aggs))*cost.AggCycles
+
+	groups := make(map[string]*aggState)
+	var order []string // first-seen group order, for deterministic output
+	keyBuf := make([]byte, 0, 64)
+	var end time.Duration
+	last, err := a.Input.Run(ctx, func(t schema.Tuple, at time.Duration) error {
+		done := ctx.charge(perTuple, at)
+		if done > end {
+			end = done
+		}
+		keyBuf = keyBuf[:0]
+		in := a.Input.Schema()
+		for _, g := range a.GroupBy {
+			keyBuf = in.EncodeValue(keyBuf, g, t[g])
+		}
+		st, ok := groups[string(keyBuf)]
+		if !ok {
+			st = &aggState{
+				vals: make([]int64, len(a.Aggs)),
+				seen: make([]bool, len(a.Aggs)),
+			}
+			if len(a.GroupBy) > 0 {
+				st.group = make(schema.Tuple, len(a.GroupBy))
+				for i, g := range a.GroupBy {
+					v := t[g]
+					if v.Bytes != nil {
+						v.Bytes = append([]byte(nil), v.Bytes...)
+					}
+					st.group[i] = v
+				}
+			}
+			groups[string(keyBuf)] = st
+			order = append(order, string(keyBuf))
+		}
+		row := expr.TupleRow(t)
+		for i, s := range a.Aggs {
+			switch s.Kind {
+			case Count:
+				st.vals[i]++
+			case Sum:
+				st.vals[i] += s.E.Eval(row).Int
+			case Min:
+				v := s.E.Eval(row).Int
+				if !st.seen[i] || v < st.vals[i] {
+					st.vals[i] = v
+				}
+			case Max:
+				v := s.E.Eval(row).Int
+				if !st.seen[i] || v > st.vals[i] {
+					st.vals[i] = v
+				}
+			}
+			st.seen[i] = true
+		}
+		return nil
+	})
+	if err != nil {
+		return end, err
+	}
+	if last > end {
+		end = last
+	}
+
+	// Scalar aggregate over empty input still emits one row of zeros.
+	if len(a.GroupBy) == 0 && len(groups) == 0 {
+		groups[""] = &aggState{
+			vals: make([]int64, len(a.Aggs)),
+			seen: make([]bool, len(a.Aggs)),
+		}
+		order = append(order, "")
+	}
+	out := make(schema.Tuple, len(a.GroupBy)+len(a.Aggs))
+	for _, key := range order {
+		st := groups[key]
+		done := ctx.charge(cost.EmitCycles, end)
+		copy(out, st.group)
+		for i, v := range st.vals {
+			out[len(a.GroupBy)+i] = schema.IntVal(v)
+		}
+		ctx.Stats.RowsEmitted++
+		if err := emit(out, done); err != nil {
+			return end, err
+		}
+		if done > end {
+			end = done
+		}
+	}
+	return end, nil
+}
+
+// Collect runs op and returns all output tuples (deep-copied) and the
+// run's completion time — the standard way tests and the harness
+// consume a plan.
+func Collect(ctx *Ctx, op Operator) ([]schema.Tuple, time.Duration, error) {
+	var rows []schema.Tuple
+	end, err := op.Run(ctx, func(t schema.Tuple, _ time.Duration) error {
+		rows = append(rows, cloneTuple(t))
+		return nil
+	})
+	return rows, end, err
+}

@@ -1,0 +1,164 @@
+// Package experiments regenerates every table and figure in the
+// paper's evaluation section (§4) on the simulated system:
+//
+//	Figure 1 — host-interface vs. SSD-internal bandwidth trend
+//	Table 2  — maximum sequential read bandwidth (256 KB I/Os)
+//	Figure 3 — TPC-H Q6 elapsed time (SSD vs Smart SSD NSM/PAX)
+//	Figure 5 — selection-with-join elapsed vs. selectivity
+//	Figure 7 — TPC-H Q14 elapsed time
+//	Table 3  — energy for Q6 (HDD / SSD / Smart SSD NSM / PAX)
+//
+// Data volumes scale with Options (virtual time is scale-invariant:
+// speedup ratios depend on per-byte and per-tuple costs, not on table
+// size), so the full suite runs on a laptop in seconds while preserving
+// the paper's SF100 shapes. Each experiment returns a typed report with
+// a Render method that prints the same rows/series the paper reports.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"smartssd/internal/core"
+	"smartssd/internal/page"
+	"smartssd/internal/schema"
+	"smartssd/internal/ssd"
+	"smartssd/internal/synth"
+	"smartssd/internal/tpch"
+)
+
+// Options scales the experiment datasets.
+type Options struct {
+	// SF is the TPC-H scale factor (paper: 100). Default 0.05, about
+	// 300k LINEITEM rows / 47 MB.
+	SF float64
+	// SynthR is the Synthetic64_R row count (paper: 1M, with |S| =
+	// 400x|R|). Default 2000 (S = 800k rows, about 206 MB).
+	SynthR int64
+	// SynthRatio overrides |S|/|R| (default the paper's 400).
+	SynthRatio int64
+	// Seed makes data generation deterministic. Default 1.
+	Seed int64
+	// SSD overrides the simulated device (zero: a 4 GB-class device
+	// with the paper's controller parameters).
+	SSD ssd.Params
+}
+
+func (o *Options) fill() {
+	if o.SF == 0 {
+		o.SF = 0.05
+	}
+	if o.SynthR == 0 {
+		o.SynthR = 2000
+	}
+	if o.SynthRatio == 0 {
+		o.SynthRatio = synth.SRatio
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+}
+
+// pagesFor sizes a heap extent for n tuples of schema s with slack.
+func pagesFor(s *schema.Schema, l page.Layout, n int64) int64 {
+	cap64 := int64(page.Capacity(s, l))
+	return n/cap64 + 2
+}
+
+// engineFor builds a core engine with the experiment's device.
+func engineFor(o Options) (*core.Engine, error) {
+	return core.New(core.Config{SSD: o.SSD})
+}
+
+// loadTPCH creates and loads LINEITEM and PART in both layouts on the
+// SSD, plus an NSM LINEITEM copy on the HDD when withHDD is set.
+// Table names: lineitem_nsm, lineitem_pax, part_nsm, part_pax,
+// lineitem_hdd.
+func loadTPCH(e *core.Engine, o Options, withHDD bool) error {
+	li := tpch.LineitemSchema()
+	pa := tpch.PartSchema()
+	nLI := tpch.NumLineitem(o.SF)
+	nPA := tpch.NumPart(o.SF)
+	type spec struct {
+		name   string
+		s      *schema.Schema
+		layout page.Layout
+		target core.Target
+		gen    func() (schema.Tuple, bool)
+		rows   int64
+	}
+	specs := []spec{
+		{"lineitem_nsm", li, page.NSM, core.OnSSD, tpch.NewLineitemGen(o.SF, o.Seed).Next, nLI},
+		{"lineitem_pax", li, page.PAX, core.OnSSD, tpch.NewLineitemGen(o.SF, o.Seed).Next, nLI},
+		{"part_nsm", pa, page.NSM, core.OnSSD, tpch.NewPartGen(o.SF, o.Seed+1).Next, nPA},
+		{"part_pax", pa, page.PAX, core.OnSSD, tpch.NewPartGen(o.SF, o.Seed+1).Next, nPA},
+	}
+	if withHDD {
+		specs = append(specs,
+			spec{"lineitem_hdd", li, page.NSM, core.OnHDD, tpch.NewLineitemGen(o.SF, o.Seed).Next, nLI})
+	}
+	for _, sp := range specs {
+		if _, err := e.CreateTable(sp.name, sp.s, sp.layout, pagesFor(sp.s, sp.layout, sp.rows), sp.target); err != nil {
+			return fmt.Errorf("experiments: create %s: %w", sp.name, err)
+		}
+		if err := e.Load(sp.name, sp.gen); err != nil {
+			return fmt.Errorf("experiments: load %s: %w", sp.name, err)
+		}
+	}
+	return nil
+}
+
+// loadSynthetic creates and loads Synthetic64 R and S in both layouts.
+// Table names: synth_r_nsm, synth_s_nsm, synth_r_pax, synth_s_pax.
+func loadSynthetic(e *core.Engine, o Options) error {
+	rs := synth.Schema("r")
+	ss := synth.Schema("s")
+	nR := o.SynthR
+	nS := o.SynthR * o.SynthRatio
+	for _, layout := range []page.Layout{page.NSM, page.PAX} {
+		suffix := strings.ToLower(layout.String())
+		rName := "synth_r_" + suffix
+		sName := "synth_s_" + suffix
+		if _, err := e.CreateTable(rName, rs, layout, pagesFor(rs, layout, nR), core.OnSSD); err != nil {
+			return err
+		}
+		if err := e.Load(rName, synth.NewRGen(nR, o.Seed).Next); err != nil {
+			return err
+		}
+		if _, err := e.CreateTable(sName, ss, layout, pagesFor(ss, layout, nS), core.OnSSD); err != nil {
+			return err
+		}
+		if err := e.Load(sName, synth.NewSGen(nS, nR, o.Seed+1).Next); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Run describes one measured configuration within an experiment.
+type Run struct {
+	Name       string
+	Elapsed    time.Duration
+	Speedup    float64 // versus the experiment's baseline configuration
+	SystemkJ   float64
+	IOkJ       float64
+	Bottleneck string
+	Rows       int64 // result rows, as a correctness cross-check
+	Answer     int64 // first aggregate value, when applicable
+}
+
+func renderRuns(title, baseline string, runs []Run) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-22s %12s %9s %12s %s\n", "configuration", "elapsed", "speedup", "bottleneck", "")
+	for _, r := range runs {
+		fmt.Fprintf(&b, "%-22s %12s %8.2fx %12s\n", r.Name, fmtDur(r.Elapsed), r.Speedup, r.Bottleneck)
+	}
+	fmt.Fprintf(&b, "(speedup relative to %s)\n", baseline)
+	return b.String()
+}
+
+func fmtDur(d time.Duration) string {
+	return fmt.Sprintf("%.3fs", d.Seconds())
+}

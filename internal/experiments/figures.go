@@ -1,0 +1,384 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"smartssd/internal/core"
+	"smartssd/internal/hostif"
+	"smartssd/internal/ssd"
+	"smartssd/internal/synth"
+	"smartssd/internal/tpch"
+)
+
+// Fig1Report is Figure 1: bandwidth trends for the host I/O interface
+// versus the SSD-internal interconnect, relative to the 2007 interface
+// speed (375 MB/s).
+type Fig1Report struct {
+	Points []hostif.TrendPoint
+}
+
+// Fig1 reproduces Figure 1 from the interface roadmap model.
+func Fig1() Fig1Report { return Fig1Report{Points: hostif.Trend()} }
+
+// Render prints the series the figure plots.
+func (r Fig1Report) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 1: bandwidth relative to 2007 host interface (375 MB/s)\n")
+	fmt.Fprintf(&b, "%-6s %14s %14s %14s %14s\n", "year", "host MB/s", "host rel", "internal MB/s", "internal rel")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%-6d %14.0f %13.1fx %14.0f %13.1fx\n",
+			p.Year, p.HostMBps, p.HostRel(), p.InternalMBps, p.InternalRel())
+	}
+	return b.String()
+}
+
+// Table2Report is Table 2: maximum sequential read bandwidth with
+// 32-page (256 KB) I/Os.
+type Table2Report struct {
+	HostMBps     float64 // "SAS SSD": the host-visible path
+	InternalMBps float64 // "Smart SSD (internal)"
+	Ratio        float64
+}
+
+// Table2 measures both bandwidths on a device built from o.SSD.
+func Table2(o Options) (Table2Report, error) {
+	o.fill()
+	dev, err := ssd.New(o.SSD)
+	if err != nil {
+		return Table2Report{}, err
+	}
+	probe := ssd.BandwidthProbe{}
+	internal, err := probe.Internal(dev)
+	if err != nil {
+		return Table2Report{}, err
+	}
+	host, err := probe.Host(dev)
+	if err != nil {
+		return Table2Report{}, err
+	}
+	return Table2Report{HostMBps: host, InternalMBps: internal, Ratio: internal / host}, nil
+}
+
+// Render prints the table.
+func (r Table2Report) Render() string {
+	var b strings.Builder
+	b.WriteString("Table 2: maximum sequential read bandwidth, 32-page (256 KB) I/Os\n")
+	fmt.Fprintf(&b, "%-22s %10s\n", "", "MB/s")
+	fmt.Fprintf(&b, "%-22s %10.0f\n", "SAS SSD (host path)", r.HostMBps)
+	fmt.Fprintf(&b, "%-22s %10.0f\n", "Smart SSD (internal)", r.InternalMBps)
+	fmt.Fprintf(&b, "internal/host = %.2fx\n", r.Ratio)
+	return b.String()
+}
+
+// Fig3Report is Figure 3: TPC-H Q6 elapsed time on the regular SSD and
+// the Smart SSD with NSM and PAX layouts.
+type Fig3Report struct {
+	Runs []Run
+	// Q6Sum is the (identical) query answer from every configuration.
+	Q6Sum int64
+}
+
+// Fig3 runs Q6 in the three configurations of the figure.
+func Fig3(o Options) (Fig3Report, error) {
+	o.fill()
+	e, err := engineFor(o)
+	if err != nil {
+		return Fig3Report{}, err
+	}
+	if err := loadTPCH(e, o, false); err != nil {
+		return Fig3Report{}, err
+	}
+	spec := func(table string) core.QuerySpec {
+		return core.QuerySpec{
+			Table:          table,
+			Filter:         tpch.Q6Predicate(),
+			Aggs:           tpch.Q6Aggregates(),
+			EstSelectivity: 0.006,
+		}
+	}
+	configs := []struct {
+		name  string
+		table string
+		mode  core.Mode
+	}{
+		{"SAS SSD (host)", "lineitem_nsm", core.ForceHost},
+		{"Smart SSD (NSM)", "lineitem_nsm", core.ForceDevice},
+		{"Smart SSD (PAX)", "lineitem_pax", core.ForceDevice},
+	}
+	var rep Fig3Report
+	var base time.Duration
+	for i, c := range configs {
+		res, err := e.Run(spec(c.table), c.mode)
+		if err != nil {
+			return Fig3Report{}, fmt.Errorf("fig3 %s: %w", c.name, err)
+		}
+		if i == 0 {
+			base = res.Elapsed
+			rep.Q6Sum = res.Rows[0][0].Int
+		} else if got := res.Rows[0][0].Int; got != rep.Q6Sum {
+			return Fig3Report{}, fmt.Errorf("fig3 %s: answer %d != baseline %d", c.name, got, rep.Q6Sum)
+		}
+		rep.Runs = append(rep.Runs, Run{
+			Name:       c.name,
+			Elapsed:    res.Elapsed,
+			Speedup:    float64(base) / float64(res.Elapsed),
+			SystemkJ:   res.Energy.SystemkJ(),
+			IOkJ:       res.Energy.IOkJ(),
+			Bottleneck: res.Bottleneck,
+			Rows:       int64(len(res.Rows)),
+			Answer:     res.Rows[0][0].Int,
+		})
+	}
+	return rep, nil
+}
+
+// Render prints the figure's bars.
+func (r Fig3Report) Render() string {
+	return renderRuns(
+		fmt.Sprintf("Figure 3: TPC-H Q6 elapsed time (answer SUM=%d)", r.Q6Sum),
+		"SAS SSD (host)", r.Runs)
+}
+
+// Fig5Point is one selectivity of Figure 5.
+type Fig5Point struct {
+	SelectivityPct int64
+	Host           time.Duration
+	SmartNSM       time.Duration
+	SmartPAX       time.Duration
+	SpeedupNSM     float64
+	SpeedupPAX     float64
+	ResultRows     int64
+}
+
+// Fig5Report is Figure 5: the selection-with-join query at varying
+// selectivity factors.
+type Fig5Report struct {
+	Points []Fig5Point
+}
+
+// DefaultFig5Selectivities are the sweep points (percent).
+var DefaultFig5Selectivities = []int64{1, 10, 25, 50, 75, 100}
+
+// Fig5 sweeps the join query's selection selectivity.
+func Fig5(o Options, selectivities []int64) (Fig5Report, error) {
+	o.fill()
+	if len(selectivities) == 0 {
+		selectivities = DefaultFig5Selectivities
+	}
+	e, err := engineFor(o)
+	if err != nil {
+		return Fig5Report{}, err
+	}
+	if err := loadSynthetic(e, o); err != nil {
+		return Fig5Report{}, err
+	}
+	var rep Fig5Report
+	for _, sel := range selectivities {
+		spec := func(layout string) core.QuerySpec {
+			return core.QuerySpec{
+				Table:          "synth_s_" + layout,
+				Join:           &core.JoinClause{BuildTable: "synth_r_" + layout, BuildKey: "r_col_1", ProbeKey: "s_col_2"},
+				Filter:         synth.SelectionPredicate(sel),
+				Output:         synth.JoinOutput(),
+				EstSelectivity: float64(sel) / 100,
+			}
+		}
+		host, err := e.Run(spec("nsm"), core.ForceHost)
+		if err != nil {
+			return Fig5Report{}, fmt.Errorf("fig5 host sel=%d: %w", sel, err)
+		}
+		nsm, err := e.Run(spec("nsm"), core.ForceDevice)
+		if err != nil {
+			return Fig5Report{}, fmt.Errorf("fig5 nsm sel=%d: %w", sel, err)
+		}
+		pax, err := e.Run(spec("pax"), core.ForceDevice)
+		if err != nil {
+			return Fig5Report{}, fmt.Errorf("fig5 pax sel=%d: %w", sel, err)
+		}
+		if len(nsm.Rows) != len(host.Rows) || len(pax.Rows) != len(host.Rows) {
+			return Fig5Report{}, fmt.Errorf("fig5 sel=%d: row counts diverge host=%d nsm=%d pax=%d",
+				sel, len(host.Rows), len(nsm.Rows), len(pax.Rows))
+		}
+		rep.Points = append(rep.Points, Fig5Point{
+			SelectivityPct: sel,
+			Host:           host.Elapsed,
+			SmartNSM:       nsm.Elapsed,
+			SmartPAX:       pax.Elapsed,
+			SpeedupNSM:     float64(host.Elapsed) / float64(nsm.Elapsed),
+			SpeedupPAX:     float64(host.Elapsed) / float64(pax.Elapsed),
+			ResultRows:     int64(len(host.Rows)),
+		})
+	}
+	return rep, nil
+}
+
+// Render prints the figure's series.
+func (r Fig5Report) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 5: selection-with-join elapsed time vs. selectivity\n")
+	fmt.Fprintf(&b, "%-6s %12s %12s %12s %9s %9s %10s\n",
+		"sel%", "SSD(host)", "Smart NSM", "Smart PAX", "NSM spd", "PAX spd", "rows")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%-6d %12s %12s %12s %8.2fx %8.2fx %10d\n",
+			p.SelectivityPct, fmtDur(p.Host), fmtDur(p.SmartNSM), fmtDur(p.SmartPAX),
+			p.SpeedupNSM, p.SpeedupPAX, p.ResultRows)
+	}
+	return b.String()
+}
+
+// Fig7Report is Figure 7: TPC-H Q14 elapsed time.
+type Fig7Report struct {
+	Runs []Run
+	// PromoPct is the (identical) query answer.
+	PromoPct float64
+}
+
+// Fig7 runs Q14 in the figure's three configurations.
+func Fig7(o Options) (Fig7Report, error) {
+	o.fill()
+	e, err := engineFor(o)
+	if err != nil {
+		return Fig7Report{}, err
+	}
+	if err := loadTPCH(e, o, false); err != nil {
+		return Fig7Report{}, err
+	}
+	aggs := tpch.Q14Aggregates(tpch.LineitemSchema(), tpch.PartSchema())
+	spec := func(layout string) core.QuerySpec {
+		return core.QuerySpec{
+			Table:          "lineitem_" + layout,
+			Join:           &core.JoinClause{BuildTable: "part_" + layout, BuildKey: "p_partkey", ProbeKey: "l_partkey"},
+			Filter:         tpch.Q14DateRange(),
+			Aggs:           aggs,
+			EstSelectivity: 0.012,
+		}
+	}
+	configs := []struct {
+		name   string
+		layout string
+		mode   core.Mode
+	}{
+		{"SAS SSD (host)", "nsm", core.ForceHost},
+		{"Smart SSD (NSM)", "nsm", core.ForceDevice},
+		{"Smart SSD (PAX)", "pax", core.ForceDevice},
+	}
+	var rep Fig7Report
+	var base time.Duration
+	var promo, total int64
+	for i, c := range configs {
+		res, err := e.Run(spec(c.layout), c.mode)
+		if err != nil {
+			return Fig7Report{}, fmt.Errorf("fig7 %s: %w", c.name, err)
+		}
+		if i == 0 {
+			base = res.Elapsed
+			promo, total = res.Rows[0][0].Int, res.Rows[0][1].Int
+			rep.PromoPct = tpch.Q14PromoPercent(promo, total)
+		} else if res.Rows[0][0].Int != promo || res.Rows[0][1].Int != total {
+			return Fig7Report{}, fmt.Errorf("fig7 %s: answer diverges", c.name)
+		}
+		rep.Runs = append(rep.Runs, Run{
+			Name:       c.name,
+			Elapsed:    res.Elapsed,
+			Speedup:    float64(base) / float64(res.Elapsed),
+			SystemkJ:   res.Energy.SystemkJ(),
+			IOkJ:       res.Energy.IOkJ(),
+			Bottleneck: res.Bottleneck,
+			Rows:       int64(len(res.Rows)),
+			Answer:     res.Rows[0][0].Int,
+		})
+	}
+	return rep, nil
+}
+
+// Render prints the figure's bars.
+func (r Fig7Report) Render() string {
+	return renderRuns(
+		fmt.Sprintf("Figure 7: TPC-H Q14 elapsed time (promo_revenue = %.2f%%)", r.PromoPct),
+		"SAS SSD (host)", r.Runs)
+}
+
+// Table3Report is Table 3: elapsed time and energy for Q6 across the
+// four device configurations.
+type Table3Report struct {
+	Runs []Run
+	// Ratios versus Smart SSD (PAX), as the paper reports them.
+	HDDSystemRatio, HDDIORatio float64
+	SSDSystemRatio, SSDIORatio float64
+	// Idle-adjusted system ratios ("over the base idle energy").
+	HDDAboveIdleRatio, SSDAboveIdleRatio float64
+}
+
+// Table3 runs Q6 on the HDD, the regular SSD path, and the Smart SSD
+// with both layouts, integrating energy for each.
+func Table3(o Options) (Table3Report, error) {
+	o.fill()
+	e, err := engineFor(o)
+	if err != nil {
+		return Table3Report{}, err
+	}
+	if err := loadTPCH(e, o, true); err != nil {
+		return Table3Report{}, err
+	}
+	spec := func(table string) core.QuerySpec {
+		return core.QuerySpec{
+			Table:          table,
+			Filter:         tpch.Q6Predicate(),
+			Aggs:           tpch.Q6Aggregates(),
+			EstSelectivity: 0.006,
+		}
+	}
+	configs := []struct {
+		name  string
+		table string
+		mode  core.Mode
+	}{
+		{"SAS HDD", "lineitem_hdd", core.ForceHost},
+		{"SAS SSD", "lineitem_nsm", core.ForceHost},
+		{"Smart SSD (NSM)", "lineitem_nsm", core.ForceDevice},
+		{"Smart SSD (PAX)", "lineitem_pax", core.ForceDevice},
+	}
+	var rep Table3Report
+	aboveIdle := make([]float64, len(configs))
+	for i, c := range configs {
+		res, err := e.Run(spec(c.table), c.mode)
+		if err != nil {
+			return Table3Report{}, fmt.Errorf("table3 %s: %w", c.name, err)
+		}
+		rep.Runs = append(rep.Runs, Run{
+			Name:       c.name,
+			Elapsed:    res.Elapsed,
+			SystemkJ:   res.Energy.SystemkJ(),
+			IOkJ:       res.Energy.IOkJ(),
+			Bottleneck: res.Bottleneck,
+			Answer:     res.Rows[0][0].Int,
+		})
+		aboveIdle[i] = res.Energy.AboveIdleJ
+	}
+	pax := rep.Runs[3]
+	rep.HDDSystemRatio = rep.Runs[0].SystemkJ / pax.SystemkJ
+	rep.HDDIORatio = rep.Runs[0].IOkJ / pax.IOkJ
+	rep.SSDSystemRatio = rep.Runs[1].SystemkJ / pax.SystemkJ
+	rep.SSDIORatio = rep.Runs[1].IOkJ / pax.IOkJ
+	rep.HDDAboveIdleRatio = aboveIdle[0] / aboveIdle[3]
+	rep.SSDAboveIdleRatio = aboveIdle[1] / aboveIdle[3]
+	return rep, nil
+}
+
+// Render prints the table with the paper's ratio commentary.
+func (r Table3Report) Render() string {
+	var b strings.Builder
+	b.WriteString("Table 3: energy consumption for TPC-H Q6\n")
+	fmt.Fprintf(&b, "%-18s %14s %18s %18s\n", "", "elapsed (s)", "system (kJ)", "I/O subsys (kJ)")
+	for _, run := range r.Runs {
+		fmt.Fprintf(&b, "%-18s %14.1f %18.3f %18.4f\n",
+			run.Name, run.Elapsed.Seconds(), run.SystemkJ, run.IOkJ)
+	}
+	fmt.Fprintf(&b, "vs Smart SSD (PAX): HDD %.1fx system / %.1fx I/O; SSD %.1fx system / %.1fx I/O\n",
+		r.HDDSystemRatio, r.HDDIORatio, r.SSDSystemRatio, r.SSDIORatio)
+	fmt.Fprintf(&b, "above idle (235 W): HDD %.1fx, SSD %.1fx\n",
+		r.HDDAboveIdleRatio, r.SSDAboveIdleRatio)
+	return b.String()
+}

@@ -1,0 +1,428 @@
+// Package expr implements typed expression trees over tuples: the
+// predicates and scalar arithmetic needed by the paper's query class
+// (conjunctive range predicates, LIKE-prefix matching, CASE, and the
+// scaled-integer arithmetic of the modified TPC-H schema).
+//
+// Expressions evaluate against any Row — a decoded schema.Tuple or a
+// tuple sitting inside an NSM/PAX page — so host operators and in-device
+// programs share one evaluator. Columns() and Ops() expose the
+// referenced-column set and the operator count, which the layout-aware
+// device cost model consumes.
+package expr
+
+import (
+	"fmt"
+	"strings"
+
+	"smartssd/internal/schema"
+)
+
+// Row is positional access to one tuple's column values.
+type Row interface {
+	// Col returns the value of column i (schema ordering).
+	Col(i int) schema.Value
+}
+
+// TupleRow adapts a decoded schema.Tuple to the Row interface.
+type TupleRow schema.Tuple
+
+// Col implements Row.
+func (t TupleRow) Col(i int) schema.Value { return t[i] }
+
+// Expr is a typed expression. Booleans are represented as Int 0/1.
+type Expr interface {
+	// Eval computes the expression over one row.
+	Eval(r Row) schema.Value
+	// Kind reports the result type.
+	Kind() schema.Kind
+	// Columns appends the referenced column indexes to dst (duplicates
+	// allowed; callers dedupe).
+	Columns(dst []int) []int
+	// Ops reports the number of operator nodes (comparisons, arithmetic,
+	// boolean connectives), the unit of the CPU cost model.
+	Ops() int
+	// String renders the expression for EXPLAIN output.
+	String() string
+}
+
+// Col references a schema column.
+type Col struct {
+	Index int
+	Name  string
+	K     schema.Kind
+}
+
+// ColRef builds a column reference from a schema by name.
+func ColRef(s *schema.Schema, name string) Col {
+	i := s.MustColumnIndex(name)
+	return Col{Index: i, Name: name, K: s.Column(i).Kind}
+}
+
+// Eval implements Expr.
+func (c Col) Eval(r Row) schema.Value { return r.Col(c.Index) }
+
+// Kind implements Expr.
+func (c Col) Kind() schema.Kind { return c.K }
+
+// Columns implements Expr.
+func (c Col) Columns(dst []int) []int { return append(dst, c.Index) }
+
+// Ops implements Expr.
+func (c Col) Ops() int { return 0 }
+
+// String implements Expr.
+func (c Col) String() string {
+	if c.Name != "" {
+		return c.Name
+	}
+	return fmt.Sprintf("$%d", c.Index)
+}
+
+// Const is a literal value.
+type Const struct {
+	V schema.Value
+	K schema.Kind
+}
+
+// IntConst builds an integer literal.
+func IntConst(v int64) Const { return Const{V: schema.IntVal(v), K: schema.Int64} }
+
+// DateConst builds a date literal from a day count.
+func DateConst(days int64) Const { return Const{V: schema.IntVal(days), K: schema.Date} }
+
+// StrConst builds a CHAR literal.
+func StrConst(s string) Const { return Const{V: schema.StrVal(s), K: schema.Char} }
+
+// Eval implements Expr.
+func (c Const) Eval(Row) schema.Value { return c.V }
+
+// Kind implements Expr.
+func (c Const) Kind() schema.Kind { return c.K }
+
+// Columns implements Expr.
+func (c Const) Columns(dst []int) []int { return dst }
+
+// Ops implements Expr.
+func (c Const) Ops() int { return 0 }
+
+// String implements Expr.
+func (c Const) String() string { return schema.FormatValue(c.K, c.V) }
+
+// CmpOp enumerates comparison operators.
+type CmpOp uint8
+
+// Comparison operators.
+const (
+	EQ CmpOp = iota
+	NE
+	LT
+	LE
+	GT
+	GE
+)
+
+func (o CmpOp) String() string {
+	switch o {
+	case EQ:
+		return "="
+	case NE:
+		return "<>"
+	case LT:
+		return "<"
+	case LE:
+		return "<="
+	case GT:
+		return ">"
+	default:
+		return ">="
+	}
+}
+
+// Cmp compares two sub-expressions of the same kind.
+type Cmp struct {
+	Op   CmpOp
+	L, R Expr
+}
+
+// Eval implements Expr.
+func (c Cmp) Eval(r Row) schema.Value {
+	res := schema.Compare(c.L.Kind(), c.L.Eval(r), c.R.Eval(r))
+	var ok bool
+	switch c.Op {
+	case EQ:
+		ok = res == 0
+	case NE:
+		ok = res != 0
+	case LT:
+		ok = res < 0
+	case LE:
+		ok = res <= 0
+	case GT:
+		ok = res > 0
+	default:
+		ok = res >= 0
+	}
+	if ok {
+		return schema.IntVal(1)
+	}
+	return schema.IntVal(0)
+}
+
+// Kind implements Expr.
+func (c Cmp) Kind() schema.Kind { return schema.Int64 }
+
+// Columns implements Expr.
+func (c Cmp) Columns(dst []int) []int { return c.R.Columns(c.L.Columns(dst)) }
+
+// Ops implements Expr.
+func (c Cmp) Ops() int { return 1 + c.L.Ops() + c.R.Ops() }
+
+// String implements Expr.
+func (c Cmp) String() string { return fmt.Sprintf("(%s %s %s)", c.L, c.Op, c.R) }
+
+// And is a short-circuit conjunction of predicates.
+type And struct{ Terms []Expr }
+
+// Eval implements Expr.
+func (a And) Eval(r Row) schema.Value {
+	for _, t := range a.Terms {
+		if t.Eval(r).Int == 0 {
+			return schema.IntVal(0)
+		}
+	}
+	return schema.IntVal(1)
+}
+
+// Kind implements Expr.
+func (a And) Kind() schema.Kind { return schema.Int64 }
+
+// Columns implements Expr.
+func (a And) Columns(dst []int) []int {
+	for _, t := range a.Terms {
+		dst = t.Columns(dst)
+	}
+	return dst
+}
+
+// Ops implements Expr.
+func (a And) Ops() int {
+	n := len(a.Terms) - 1
+	if n < 0 {
+		n = 0
+	}
+	for _, t := range a.Terms {
+		n += t.Ops()
+	}
+	return n
+}
+
+// String implements Expr.
+func (a And) String() string { return joinExprs(a.Terms, " AND ") }
+
+// Or is a short-circuit disjunction of predicates.
+type Or struct{ Terms []Expr }
+
+// Eval implements Expr.
+func (o Or) Eval(r Row) schema.Value {
+	for _, t := range o.Terms {
+		if t.Eval(r).Int != 0 {
+			return schema.IntVal(1)
+		}
+	}
+	return schema.IntVal(0)
+}
+
+// Kind implements Expr.
+func (o Or) Kind() schema.Kind { return schema.Int64 }
+
+// Columns implements Expr.
+func (o Or) Columns(dst []int) []int {
+	for _, t := range o.Terms {
+		dst = t.Columns(dst)
+	}
+	return dst
+}
+
+// Ops implements Expr.
+func (o Or) Ops() int {
+	n := len(o.Terms) - 1
+	if n < 0 {
+		n = 0
+	}
+	for _, t := range o.Terms {
+		n += t.Ops()
+	}
+	return n
+}
+
+// String implements Expr.
+func (o Or) String() string { return joinExprs(o.Terms, " OR ") }
+
+// Not negates a predicate.
+type Not struct{ E Expr }
+
+// Eval implements Expr.
+func (n Not) Eval(r Row) schema.Value {
+	if n.E.Eval(r).Int == 0 {
+		return schema.IntVal(1)
+	}
+	return schema.IntVal(0)
+}
+
+// Kind implements Expr.
+func (n Not) Kind() schema.Kind { return schema.Int64 }
+
+// Columns implements Expr.
+func (n Not) Columns(dst []int) []int { return n.E.Columns(dst) }
+
+// Ops implements Expr.
+func (n Not) Ops() int { return 1 + n.E.Ops() }
+
+// String implements Expr.
+func (n Not) String() string { return fmt.Sprintf("NOT %s", n.E) }
+
+// ArithOp enumerates integer arithmetic operators.
+type ArithOp uint8
+
+// Arithmetic operators.
+const (
+	Add ArithOp = iota
+	Sub
+	Mul
+	Div
+)
+
+func (o ArithOp) String() string {
+	switch o {
+	case Add:
+		return "+"
+	case Sub:
+		return "-"
+	case Mul:
+		return "*"
+	default:
+		return "/"
+	}
+}
+
+// Arith computes integer arithmetic over two sub-expressions. Division
+// by zero yields zero (the query class never divides by data values; the
+// harness divides aggregates after execution).
+type Arith struct {
+	Op   ArithOp
+	L, R Expr
+}
+
+// Eval implements Expr.
+func (a Arith) Eval(r Row) schema.Value {
+	l, rr := a.L.Eval(r).Int, a.R.Eval(r).Int
+	switch a.Op {
+	case Add:
+		return schema.IntVal(l + rr)
+	case Sub:
+		return schema.IntVal(l - rr)
+	case Mul:
+		return schema.IntVal(l * rr)
+	default:
+		if rr == 0 {
+			return schema.IntVal(0)
+		}
+		return schema.IntVal(l / rr)
+	}
+}
+
+// Kind implements Expr.
+func (a Arith) Kind() schema.Kind { return schema.Int64 }
+
+// Columns implements Expr.
+func (a Arith) Columns(dst []int) []int { return a.R.Columns(a.L.Columns(dst)) }
+
+// Ops implements Expr.
+func (a Arith) Ops() int { return 1 + a.L.Ops() + a.R.Ops() }
+
+// String implements Expr.
+func (a Arith) String() string { return fmt.Sprintf("(%s %s %s)", a.L, a.Op, a.R) }
+
+// LikePrefix matches CHAR column values against a fixed prefix — the
+// "p_type LIKE 'PROMO%'" pattern of Q14.
+type LikePrefix struct {
+	E      Expr
+	Prefix string
+}
+
+// Eval implements Expr.
+func (l LikePrefix) Eval(r Row) schema.Value {
+	v := l.E.Eval(r)
+	if len(v.Bytes) >= len(l.Prefix) && string(v.Bytes[:len(l.Prefix)]) == l.Prefix {
+		return schema.IntVal(1)
+	}
+	return schema.IntVal(0)
+}
+
+// Kind implements Expr.
+func (l LikePrefix) Kind() schema.Kind { return schema.Int64 }
+
+// Columns implements Expr.
+func (l LikePrefix) Columns(dst []int) []int { return l.E.Columns(dst) }
+
+// Ops implements Expr.
+func (l LikePrefix) Ops() int {
+	// Prefix comparison costs about one operation per prefix byte.
+	return len(l.Prefix) + l.E.Ops()
+}
+
+// String implements Expr.
+func (l LikePrefix) String() string { return fmt.Sprintf("%s LIKE '%s%%'", l.E, l.Prefix) }
+
+// Case is "CASE WHEN cond THEN then ELSE els END".
+type Case struct {
+	Cond Expr
+	Then Expr
+	Else Expr
+}
+
+// Eval implements Expr.
+func (c Case) Eval(r Row) schema.Value {
+	if c.Cond.Eval(r).Int != 0 {
+		return c.Then.Eval(r)
+	}
+	return c.Else.Eval(r)
+}
+
+// Kind implements Expr.
+func (c Case) Kind() schema.Kind { return c.Then.Kind() }
+
+// Columns implements Expr.
+func (c Case) Columns(dst []int) []int {
+	return c.Else.Columns(c.Then.Columns(c.Cond.Columns(dst)))
+}
+
+// Ops implements Expr.
+func (c Case) Ops() int { return 1 + c.Cond.Ops() + c.Then.Ops() + c.Else.Ops() }
+
+// String implements Expr.
+func (c Case) String() string {
+	return fmt.Sprintf("CASE WHEN %s THEN %s ELSE %s END", c.Cond, c.Then, c.Else)
+}
+
+// DistinctColumns reports the deduplicated, referenced column indexes of e.
+func DistinctColumns(e Expr) []int {
+	all := e.Columns(nil)
+	seen := make(map[int]bool, len(all))
+	var out []int
+	for _, c := range all {
+		if !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func joinExprs(es []Expr, sep string) string {
+	parts := make([]string, len(es))
+	for i, e := range es {
+		parts[i] = e.String()
+	}
+	return "(" + strings.Join(parts, sep) + ")"
+}

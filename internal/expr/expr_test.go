@@ -1,0 +1,255 @@
+package expr
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"smartssd/internal/schema"
+)
+
+func lineitemish() *schema.Schema {
+	return schema.New(
+		schema.Column{Name: "l_quantity", Kind: schema.Int32},
+		schema.Column{Name: "l_extendedprice", Kind: schema.Int64},
+		schema.Column{Name: "l_discount", Kind: schema.Int32},
+		schema.Column{Name: "l_shipdate", Kind: schema.Date},
+		schema.Column{Name: "p_type", Kind: schema.Char, Len: 25},
+	)
+}
+
+func row(qty, price, disc, ship int64, ptype string) Row {
+	return TupleRow(schema.Tuple{
+		schema.IntVal(qty),
+		schema.IntVal(price),
+		schema.IntVal(disc),
+		schema.IntVal(ship),
+		schema.StrVal(ptype),
+	})
+}
+
+func TestComparisonOperators(t *testing.T) {
+	s := lineitemish()
+	qty := ColRef(s, "l_quantity")
+	tests := []struct {
+		op   CmpOp
+		rhs  int64
+		want int64
+	}{
+		{EQ, 24, 1}, {EQ, 25, 0},
+		{NE, 25, 1}, {NE, 24, 0},
+		{LT, 25, 1}, {LT, 24, 0},
+		{LE, 24, 1}, {LE, 23, 0},
+		{GT, 23, 1}, {GT, 24, 0},
+		{GE, 24, 1}, {GE, 25, 0},
+	}
+	r := row(24, 0, 0, 0, "")
+	for _, tt := range tests {
+		e := Cmp{Op: tt.op, L: qty, R: IntConst(tt.rhs)}
+		if got := e.Eval(r).Int; got != tt.want {
+			t.Errorf("24 %v %d = %d, want %d", tt.op, tt.rhs, got, tt.want)
+		}
+	}
+}
+
+// The Q6 predicate from the paper, with the schema modifications
+// applied: discounts scaled by 100, dates as day counts.
+func TestQ6Predicate(t *testing.T) {
+	s := lineitemish()
+	d94 := schema.DateVal(1994, time.January, 1).Days()
+	d95 := schema.DateVal(1995, time.January, 1).Days()
+	pred := And{Terms: []Expr{
+		Cmp{GE, ColRef(s, "l_shipdate"), DateConst(d94)},
+		Cmp{LT, ColRef(s, "l_shipdate"), DateConst(d95)},
+		Cmp{GT, ColRef(s, "l_discount"), IntConst(5)},
+		Cmp{LT, ColRef(s, "l_discount"), IntConst(7)},
+		Cmp{LT, ColRef(s, "l_quantity"), IntConst(24)},
+	}}
+	cases := []struct {
+		qty, disc, ship int64
+		want            int64
+	}{
+		{10, 6, d94 + 100, 1},
+		{10, 6, d94 - 1, 0},  // too early
+		{10, 6, d95, 0},      // too late
+		{10, 5, d94 + 10, 0}, // discount boundary (exclusive)
+		{10, 7, d94 + 10, 0},
+		{24, 6, d94 + 10, 0}, // quantity boundary (exclusive)
+		{23, 6, d94 + 10, 1},
+	}
+	for i, c := range cases {
+		got := pred.Eval(row(c.qty, 100, c.disc, c.ship, "")).Int
+		if got != c.want {
+			t.Errorf("case %d: pred = %d, want %d", i, got, c.want)
+		}
+	}
+	if got := pred.Ops(); got != 5+4 {
+		t.Errorf("Q6 predicate Ops = %d, want 9 (5 comparisons + 4 ANDs)", got)
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	r := row(3, 100, 6, 0, "")
+	s := lineitemish()
+	price := ColRef(s, "l_extendedprice")
+	disc := ColRef(s, "l_discount")
+	// SUM term of Q6: l_extendedprice * l_discount.
+	if got := (Arith{Mul, price, disc}).Eval(r).Int; got != 600 {
+		t.Errorf("price*disc = %d, want 600", got)
+	}
+	// Q14 revenue term with x100 scaling: price * (100 - disc) / 100.
+	rev := Arith{Div, Arith{Mul, price, Arith{Sub, IntConst(100), disc}}, IntConst(100)}
+	if got := rev.Eval(r).Int; got != 94 {
+		t.Errorf("scaled revenue = %d, want 94", got)
+	}
+	if got := (Arith{Add, IntConst(2), IntConst(3)}).Eval(r).Int; got != 5 {
+		t.Errorf("2+3 = %d", got)
+	}
+	if got := (Arith{Div, IntConst(7), IntConst(0)}).Eval(r).Int; got != 0 {
+		t.Errorf("div by zero = %d, want 0", got)
+	}
+}
+
+func TestLikePrefix(t *testing.T) {
+	s := lineitemish()
+	like := LikePrefix{E: ColRef(s, "p_type"), Prefix: "PROMO"}
+	if got := like.Eval(row(0, 0, 0, 0, "PROMO BURNISHED COPPER")).Int; got != 1 {
+		t.Error("PROMO prefix not matched")
+	}
+	if got := like.Eval(row(0, 0, 0, 0, "STANDARD BRUSHED STEEL")).Int; got != 0 {
+		t.Error("non-PROMO matched")
+	}
+	if got := like.Eval(row(0, 0, 0, 0, "PROM")).Int; got != 0 {
+		t.Error("short value matched")
+	}
+}
+
+func TestCase(t *testing.T) {
+	s := lineitemish()
+	// Q14 numerator: CASE WHEN p_type LIKE 'PROMO%' THEN price ELSE 0.
+	e := Case{
+		Cond: LikePrefix{E: ColRef(s, "p_type"), Prefix: "PROMO"},
+		Then: ColRef(s, "l_extendedprice"),
+		Else: IntConst(0),
+	}
+	if got := e.Eval(row(0, 500, 0, 0, "PROMO X")).Int; got != 500 {
+		t.Errorf("CASE then = %d, want 500", got)
+	}
+	if got := e.Eval(row(0, 500, 0, 0, "PLAIN X")).Int; got != 0 {
+		t.Errorf("CASE else = %d, want 0", got)
+	}
+	if e.Kind() != schema.Int64 {
+		t.Errorf("CASE kind = %v", e.Kind())
+	}
+}
+
+func TestBooleanConnectives(t *testing.T) {
+	tr := IntConst(1)
+	fa := IntConst(0)
+	r := row(0, 0, 0, 0, "")
+	if (And{[]Expr{Cmp{EQ, tr, tr}, Cmp{EQ, tr, tr}}}).Eval(r).Int != 1 {
+		t.Error("true AND true")
+	}
+	if (And{[]Expr{Cmp{EQ, tr, tr}, Cmp{EQ, tr, fa}}}).Eval(r).Int != 0 {
+		t.Error("true AND false")
+	}
+	if (Or{[]Expr{Cmp{EQ, tr, fa}, Cmp{EQ, tr, tr}}}).Eval(r).Int != 1 {
+		t.Error("false OR true")
+	}
+	if (Or{[]Expr{Cmp{EQ, tr, fa}, Cmp{EQ, fa, tr}}}).Eval(r).Int != 0 {
+		t.Error("false OR false")
+	}
+	if (Not{Cmp{EQ, tr, fa}}).Eval(r).Int != 1 {
+		t.Error("NOT false")
+	}
+	if (Not{Cmp{EQ, tr, tr}}).Eval(r).Int != 0 {
+		t.Error("NOT true")
+	}
+}
+
+func TestCharComparisonIgnoresPadding(t *testing.T) {
+	s := lineitemish()
+	e := Cmp{EQ, ColRef(s, "p_type"), StrConst("PROMO")}
+	if e.Eval(row(0, 0, 0, 0, "PROMO                    ")).Int != 1 {
+		t.Error("padded CHAR equality failed")
+	}
+}
+
+func TestDistinctColumns(t *testing.T) {
+	s := lineitemish()
+	pred := And{Terms: []Expr{
+		Cmp{GT, ColRef(s, "l_discount"), IntConst(5)},
+		Cmp{LT, ColRef(s, "l_discount"), IntConst(7)},
+		Cmp{LT, ColRef(s, "l_quantity"), IntConst(24)},
+	}}
+	cols := DistinctColumns(pred)
+	sort.Ints(cols)
+	if len(cols) != 2 || cols[0] != 0 || cols[1] != 2 {
+		t.Fatalf("DistinctColumns = %v, want [0 2]", cols)
+	}
+}
+
+func TestOpsCounts(t *testing.T) {
+	s := lineitemish()
+	if got := ColRef(s, "l_quantity").Ops(); got != 0 {
+		t.Errorf("Col.Ops = %d", got)
+	}
+	if got := IntConst(5).Ops(); got != 0 {
+		t.Errorf("Const.Ops = %d", got)
+	}
+	c := Cmp{LT, ColRef(s, "l_quantity"), IntConst(24)}
+	if got := c.Ops(); got != 1 {
+		t.Errorf("Cmp.Ops = %d", got)
+	}
+	if got := (Not{c}).Ops(); got != 2 {
+		t.Errorf("Not.Ops = %d", got)
+	}
+	like := LikePrefix{E: ColRef(s, "p_type"), Prefix: "PROMO"}
+	if got := like.Ops(); got != 5 {
+		t.Errorf("LikePrefix.Ops = %d, want 5 (prefix bytes)", got)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	s := lineitemish()
+	e := And{Terms: []Expr{
+		Cmp{LT, ColRef(s, "l_quantity"), IntConst(24)},
+		LikePrefix{E: ColRef(s, "p_type"), Prefix: "PROMO"},
+	}}
+	want := "((l_quantity < 24) AND p_type LIKE 'PROMO%')"
+	if got := e.String(); got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}
+
+// Comparison is a total order: exactly one of <, =, > holds.
+func TestComparisonTrichotomyProperty(t *testing.T) {
+	f := func(a, b int64) bool {
+		ra := TupleRow(schema.Tuple{schema.IntVal(a)})
+		col := Col{Index: 0, K: schema.Int64}
+		lt := Cmp{LT, col, IntConst(b)}.Eval(ra).Int
+		eq := Cmp{EQ, col, IntConst(b)}.Eval(ra).Int
+		gt := Cmp{GT, col, IntConst(b)}.Eval(ra).Int
+		return lt+eq+gt == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// De Morgan: NOT (a AND b) == (NOT a) OR (NOT b).
+func TestDeMorganProperty(t *testing.T) {
+	f := func(a, b int64, x int64) bool {
+		r := TupleRow(schema.Tuple{schema.IntVal(x)})
+		col := Col{Index: 0, K: schema.Int64}
+		pa := Cmp{LT, col, IntConst(a)}
+		pb := Cmp{GT, col, IntConst(b)}
+		lhs := Not{And{[]Expr{pa, pb}}}.Eval(r).Int
+		rhs := Or{[]Expr{Not{pa}, Not{pb}}}.Eval(r).Int
+		return lhs == rhs
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,429 @@
+// Package ftl implements a page-mapped Flash Translation Layer: the
+// firmware component that maps host Logical Block Addresses (LBAs) to
+// Physical Block Addresses in the NAND array (§2 of the paper).
+//
+// The design is a straightforward page-level FTL of the kind embedded
+// controllers run:
+//
+//   - A full page map (one entry per LBA) plus a reverse map for GC.
+//   - Write allocation stripes consecutive writes round-robin across the
+//     flash channels, then across chips, which is what makes the array's
+//     channel-level parallelism visible to sequential I/O (and is the
+//     source of the "internal bandwidth" the paper exploits).
+//   - Over-provisioned blocks feed a per-channel free list; greedy
+//     cost-based garbage collection reclaims the lowest-valid-count block
+//     when a channel's free list runs low.
+//
+// The FTL performs data movement against the nand.Array (bit-exact) but
+// no timing; the controller in package ssd charges time for the
+// operations the FTL reports.
+package ftl
+
+import (
+	"errors"
+	"fmt"
+
+	"smartssd/internal/nand"
+)
+
+// DefaultOverProvision is the fraction of raw capacity reserved for GC
+// headroom when Config.OverProvision is zero.
+const DefaultOverProvision = 0.125
+
+// Config parameterizes the FTL.
+type Config struct {
+	// OverProvision is the fraction of raw flash reserved (invisible to
+	// the host). Defaults to DefaultOverProvision.
+	OverProvision float64
+	// GCLowWater is the per-channel free-block count that triggers
+	// garbage collection. Defaults to 2.
+	GCLowWater int
+}
+
+func (c *Config) fill() {
+	if c.OverProvision <= 0 {
+		c.OverProvision = DefaultOverProvision
+	}
+	if c.GCLowWater <= 0 {
+		c.GCLowWater = 2
+	}
+}
+
+// LBA is a host logical block (page) address.
+type LBA int64
+
+const invalid = -1
+
+// Errors reported by FTL operations.
+var (
+	ErrLBAOutOfRange = errors.New("ftl: lba out of range")
+	ErrUnmapped      = errors.New("ftl: read of unmapped lba")
+	ErrDeviceFull    = errors.New("ftl: no free blocks (device full)")
+)
+
+// FTL is a page-mapped flash translation layer over a nand.Array.
+// Not safe for concurrent use (the simulator is single-threaded).
+type FTL struct {
+	array *nand.Array
+	geo   nand.Geometry
+	cfg   Config
+
+	logicalPages int64
+	l2p          []nand.PPA // LBA -> PPA, invalid if unmapped
+	p2l          []LBA      // PPA -> LBA, invalid if free/stale
+
+	validCount []int            // valid pages per block
+	freeBlocks [][]nand.BlockID // per channel
+	active     []nand.BlockID   // open write block per channel
+	frontier   []int            // next page index in active block, per channel
+	nextChan   int              // round-robin write pointer
+
+	hostWrites int64 // pages written by the host
+	gcWrites   int64 // pages relocated by GC
+	gcRuns     int64
+	collecting bool // guards against re-entrant GC during relocation
+}
+
+// New builds an FTL over array.
+func New(array *nand.Array, cfg Config) (*FTL, error) {
+	cfg.fill()
+	geo := array.Geometry()
+	raw := geo.TotalPages()
+	logical := int64(float64(raw) * (1 - cfg.OverProvision))
+	if logical < 1 {
+		return nil, fmt.Errorf("ftl: over-provision %.2f leaves no logical space", cfg.OverProvision)
+	}
+	f := &FTL{
+		array:        array,
+		geo:          geo,
+		cfg:          cfg,
+		logicalPages: logical,
+		l2p:          make([]nand.PPA, logical),
+		p2l:          make([]LBA, raw),
+		validCount:   make([]int, geo.TotalBlocks()),
+		freeBlocks:   make([][]nand.BlockID, geo.Channels),
+		active:       make([]nand.BlockID, geo.Channels),
+		frontier:     make([]int, geo.Channels),
+	}
+	for i := range f.l2p {
+		f.l2p[i] = invalid
+	}
+	for i := range f.p2l {
+		f.p2l[i] = invalid
+	}
+	// Distribute blocks to per-channel free lists, then open one active
+	// block per channel.
+	for b := nand.BlockID(0); int64(b) < geo.TotalBlocks(); b++ {
+		ch := geo.ChannelOf(b)
+		f.freeBlocks[ch] = append(f.freeBlocks[ch], b)
+	}
+	for ch := 0; ch < geo.Channels; ch++ {
+		blk, err := f.takeFree(ch)
+		if err != nil {
+			return nil, err
+		}
+		f.active[ch] = blk
+		f.frontier[ch] = 0
+	}
+	return f, nil
+}
+
+// LogicalPages reports the host-visible capacity in pages.
+func (f *FTL) LogicalPages() int64 { return f.logicalPages }
+
+// LogicalBytes reports the host-visible capacity in bytes.
+func (f *FTL) LogicalBytes() int64 { return f.logicalPages * int64(f.geo.PageSize) }
+
+// PageSize reports the page size in bytes.
+func (f *FTL) PageSize() int { return f.geo.PageSize }
+
+func (f *FTL) checkLBA(l LBA) error {
+	if l < 0 || int64(l) >= f.logicalPages {
+		return fmt.Errorf("%w: %d (capacity %d pages)", ErrLBAOutOfRange, l, f.logicalPages)
+	}
+	return nil
+}
+
+func (f *FTL) takeFree(ch int) (nand.BlockID, error) {
+	list := f.freeBlocks[ch]
+	if len(list) == 0 {
+		return 0, fmt.Errorf("%w: channel %d", ErrDeviceFull, ch)
+	}
+	blk := list[len(list)-1]
+	f.freeBlocks[ch] = list[:len(list)-1]
+	return blk, nil
+}
+
+// Lookup translates an LBA to its current physical page. The second
+// result reports whether the LBA is mapped.
+func (f *FTL) Lookup(l LBA) (nand.PPA, bool) {
+	if f.checkLBA(l) != nil {
+		return 0, false
+	}
+	p := f.l2p[l]
+	return p, p != invalid
+}
+
+// Read returns the current contents of LBA l. The slice aliases the
+// NAND array's storage; callers must not modify it.
+func (f *FTL) Read(l LBA) ([]byte, error) {
+	if err := f.checkLBA(l); err != nil {
+		return nil, err
+	}
+	p := f.l2p[l]
+	if p == invalid {
+		return nil, fmt.Errorf("%w: %d", ErrUnmapped, l)
+	}
+	return f.array.Read(p)
+}
+
+// Write stores one page of data at LBA l, allocating a fresh physical
+// page (striped across channels) and invalidating any prior mapping.
+func (f *FTL) Write(l LBA, data []byte) error {
+	if err := f.checkLBA(l); err != nil {
+		return err
+	}
+	ppa, err := f.allocate()
+	if err != nil {
+		return err
+	}
+	if err := f.array.Program(ppa, data); err != nil {
+		return fmt.Errorf("ftl: program lba %d: %w", l, err)
+	}
+	f.invalidate(l)
+	f.l2p[l] = ppa
+	f.p2l[ppa] = l
+	f.validCount[f.geo.BlockOf(ppa)]++
+	f.hostWrites++
+	return nil
+}
+
+// Trim discards the mapping for LBA l, marking its physical page stale.
+func (f *FTL) Trim(l LBA) error {
+	if err := f.checkLBA(l); err != nil {
+		return err
+	}
+	f.invalidate(l)
+	return nil
+}
+
+func (f *FTL) invalidate(l LBA) {
+	old := f.l2p[l]
+	if old == invalid {
+		return
+	}
+	f.validCount[f.geo.BlockOf(old)]--
+	f.p2l[old] = invalid
+	f.l2p[l] = invalid
+}
+
+// allocate returns the next physical page on the round-robin channel
+// frontier, running GC and rotating active blocks as needed.
+func (f *FTL) allocate() (nand.PPA, error) {
+	ch := f.nextChan
+	f.nextChan = (f.nextChan + 1) % f.geo.Channels
+	return f.allocateOn(ch)
+}
+
+func (f *FTL) allocateOn(ch int) (nand.PPA, error) {
+	// Loop: GC relocation below can consume the entire fresh frontier,
+	// in which case another block must be opened before the host write
+	// can proceed.
+	for f.frontier[ch] >= f.geo.PagesPerBlock {
+		// Active block full: open a fresh one, then top up the free
+		// list. GC runs while the frontier is fresh so relocation always
+		// has space; the collecting guard keeps relocation's own
+		// allocations from triggering nested collections.
+		blk, err := f.takeFree(ch)
+		if err != nil {
+			// Free list empty. Stale pages may still exist but be
+			// trapped in full blocks (including the active one) while
+			// every other block is fully valid; reclaim one block in
+			// place via a RAM staging buffer. Inside a collection this
+			// would erase pages the collector is still reading, so
+			// surface the error there instead.
+			if f.collecting {
+				return 0, err
+			}
+			if cerr := f.compactInPlace(ch); cerr != nil {
+				return 0, cerr
+			}
+			continue
+		}
+		f.active[ch] = blk
+		f.frontier[ch] = 0
+		for !f.collecting && len(f.freeBlocks[ch]) < f.cfg.GCLowWater {
+			before := len(f.freeBlocks[ch])
+			gained, err := f.collectChannel(ch)
+			// Stop on error, on a fully-valid victim (no stale space),
+			// or when a collection made no net free-list progress —
+			// high-valid victims can consume a block for relocation and
+			// return only the erased victim, a net-zero cycle that must
+			// not be allowed to spin. The host keeps writing into the
+			// frontier either way; a genuinely full device surfaces as
+			// ErrDeviceFull on a later takeFree.
+			if err != nil || !gained || len(f.freeBlocks[ch]) <= before {
+				break
+			}
+		}
+	}
+	p := f.geo.FirstPage(f.active[ch]) + nand.PPA(f.frontier[ch])
+	f.frontier[ch]++
+	return p, nil
+}
+
+// collectChannel reclaims the lowest-valid-count non-active block on
+// channel ch: relocates its valid pages onto the channel's write
+// frontier, erases it, and returns it to the free list. The gained
+// result reports whether the victim had any stale pages — a fully valid
+// victim reclaims no space, and callers must stop collecting.
+func (f *FTL) collectChannel(ch int) (gained bool, err error) {
+	f.collecting = true
+	defer func() { f.collecting = false }()
+	victim, valid, ok := f.pickVictim(ch)
+	if !ok {
+		return false, fmt.Errorf("%w: channel %d has no gc victim", ErrDeviceFull, ch)
+	}
+	if valid >= f.geo.PagesPerBlock {
+		// Even the best victim is fully valid: relocating it would fill
+		// exactly as much frontier as erasing it frees, a zero-gain
+		// shuffle (and, repeated, a livelock). Decline to collect.
+		return false, nil
+	}
+	gained = true
+	first := f.geo.FirstPage(victim)
+	for i := 0; i < f.geo.PagesPerBlock; i++ {
+		src := first + nand.PPA(i)
+		l := f.p2l[src]
+		if l == invalid {
+			continue
+		}
+		data, err := f.array.Read(src)
+		if err != nil {
+			return gained, fmt.Errorf("ftl: gc read: %w", err)
+		}
+		dst, err := f.allocateOn(ch)
+		if err != nil {
+			return gained, fmt.Errorf("ftl: gc allocate: %w", err)
+		}
+		if err := f.array.Program(dst, data); err != nil {
+			return gained, fmt.Errorf("ftl: gc program: %w", err)
+		}
+		f.validCount[f.geo.BlockOf(src)]--
+		f.p2l[src] = invalid
+		f.l2p[l] = dst
+		f.p2l[dst] = l
+		f.validCount[f.geo.BlockOf(dst)]++
+		f.gcWrites++
+	}
+	if err := f.array.Erase(victim); err != nil {
+		return gained, fmt.Errorf("ftl: gc erase: %w", err)
+	}
+	f.freeBlocks[ch] = append(f.freeBlocks[ch], victim)
+	f.gcRuns++
+	return gained, nil
+}
+
+// pickVictim chooses the non-active, non-free block on ch with the
+// fewest valid pages (greedy policy), reporting that count.
+func (f *FTL) pickVictim(ch int) (nand.BlockID, int, bool) {
+	return f.pickVictimWhere(ch, func(b nand.BlockID) bool { return b != f.active[ch] })
+}
+
+func (f *FTL) pickVictimWhere(ch int, eligible func(nand.BlockID) bool) (nand.BlockID, int, bool) {
+	best := nand.BlockID(-1)
+	bestValid := f.geo.PagesPerBlock + 1
+	for b := nand.BlockID(0); int64(b) < f.geo.TotalBlocks(); b++ {
+		if f.geo.ChannelOf(b) != ch || !eligible(b) {
+			continue
+		}
+		if f.blockFree(b) {
+			continue
+		}
+		if v := f.validCount[b]; v < bestValid {
+			best, bestValid = b, v
+		}
+	}
+	return best, bestValid, best >= 0
+}
+
+// compactInPlace reclaims one block on ch without consuming a free
+// block: the valid pages of the lowest-valid block (the active block
+// included) are staged in controller RAM, the block is erased, and the
+// pages are programmed back at its start. The compacted block becomes
+// the channel's active block with its frontier after the survivors.
+// It fails with ErrDeviceFull only when every block on ch is fully
+// valid, i.e. the device genuinely has no reclaimable space.
+func (f *FTL) compactInPlace(ch int) error {
+	victim, valid, ok := f.pickVictimWhere(ch, func(nand.BlockID) bool { return true })
+	if !ok || valid >= f.geo.PagesPerBlock {
+		return fmt.Errorf("%w: channel %d has no stale pages to compact", ErrDeviceFull, ch)
+	}
+	type saved struct {
+		l    LBA
+		data []byte
+	}
+	first := f.geo.FirstPage(victim)
+	keep := make([]saved, 0, valid)
+	for i := 0; i < f.geo.PagesPerBlock; i++ {
+		src := first + nand.PPA(i)
+		l := f.p2l[src]
+		if l == invalid {
+			continue
+		}
+		data, err := f.array.Read(src)
+		if err != nil {
+			return fmt.Errorf("ftl: compact read: %w", err)
+		}
+		// Copy: erase below releases the array's page buffers.
+		keep = append(keep, saved{l, append([]byte(nil), data...)})
+		f.validCount[victim]--
+		f.p2l[src] = invalid
+		f.l2p[l] = invalid
+	}
+	if err := f.array.Erase(victim); err != nil {
+		return fmt.Errorf("ftl: compact erase: %w", err)
+	}
+	for j, s := range keep {
+		dst := first + nand.PPA(j)
+		if err := f.array.Program(dst, s.data); err != nil {
+			return fmt.Errorf("ftl: compact program: %w", err)
+		}
+		f.l2p[s.l] = dst
+		f.p2l[dst] = s.l
+		f.validCount[victim]++
+		f.gcWrites++
+	}
+	f.active[ch] = victim
+	f.frontier[ch] = len(keep)
+	f.gcRuns++
+	return nil
+}
+
+func (f *FTL) blockFree(b nand.BlockID) bool {
+	for _, fb := range f.freeBlocks[f.geo.ChannelOf(b)] {
+		if fb == b {
+			return true
+		}
+	}
+	return false
+}
+
+// Stats summarizes FTL activity.
+type Stats struct {
+	HostWrites int64 // pages written by the host
+	GCWrites   int64 // pages relocated by garbage collection
+	GCRuns     int64 // victim blocks reclaimed
+	// WriteAmplification is (host+gc)/host page programs; 1.0 when no GC
+	// has run, and 0 when nothing has been written.
+	WriteAmplification float64
+}
+
+// Stats reports cumulative FTL activity.
+func (f *FTL) Stats() Stats {
+	s := Stats{HostWrites: f.hostWrites, GCWrites: f.gcWrites, GCRuns: f.gcRuns}
+	if f.hostWrites > 0 {
+		s.WriteAmplification = float64(f.hostWrites+f.gcWrites) / float64(f.hostWrites)
+	}
+	return s
+}

@@ -1,0 +1,173 @@
+package hdd
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+	"time"
+
+	"smartssd/internal/sim"
+)
+
+func newDisk(t *testing.T) *Device {
+	t.Helper()
+	d, err := New(Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func page(d *Device, tag uint64) []byte {
+	b := make([]byte, d.PageSize())
+	binary.LittleEndian.PutUint64(b, tag)
+	return b
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	d := newDisk(t)
+	for i := 0; i < 50; i++ {
+		if _, err := d.WritePage(int64(i), page(d, uint64(i)), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		data, at, err := d.ReadPage(int64(i), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if binary.LittleEndian.Uint64(data) != uint64(i) {
+			t.Fatalf("page %d wrong", i)
+		}
+		if at <= 0 {
+			t.Fatalf("page %d arrived at %v", i, at)
+		}
+	}
+}
+
+func TestReadUnwritten(t *testing.T) {
+	d := newDisk(t)
+	if _, _, err := d.ReadPage(9, 0); !errors.Is(err, ErrUnwritten) {
+		t.Fatalf("err = %v, want ErrUnwritten", err)
+	}
+}
+
+func TestBounds(t *testing.T) {
+	d := newDisk(t)
+	if _, _, err := d.ReadPage(-1, 0); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("ReadPage(-1) err = %v", err)
+	}
+	if _, err := d.WritePage(d.CapacityPages(), page(d, 0), 0); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("WritePage(past end) err = %v", err)
+	}
+	if _, err := d.WritePage(0, []byte{1}, 0); !errors.Is(err, ErrPageSize) {
+		t.Errorf("short payload err = %v", err)
+	}
+}
+
+func TestSequentialReadAvoidsSeeks(t *testing.T) {
+	d := newDisk(t)
+	const n = 256
+	for i := 0; i < n; i++ {
+		d.WritePage(int64(i), page(d, uint64(i)), 0)
+	}
+	d.ResetTiming()
+	_, err := d.ReadRange(0, n, 0, func(int64, []byte, time.Duration) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := d.Activity()
+	if a.Seeks != 1 {
+		t.Fatalf("sequential scan performed %d seeks, want 1 (initial)", a.Seeks)
+	}
+	if a.BytesRead != n*int64(d.PageSize()) {
+		t.Fatalf("BytesRead = %d", a.BytesRead)
+	}
+}
+
+func TestSequentialBandwidthNearSustainedRate(t *testing.T) {
+	d := newDisk(t)
+	const n = 4096 // 32 MB
+	for i := 0; i < n; i++ {
+		d.WritePage(int64(i), page(d, uint64(i)), 0)
+	}
+	d.ResetTiming()
+	end, err := d.ReadRange(0, n, 0, func(int64, []byte, time.Duration) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	bw := float64(n*int64(d.PageSize())) / sim.MB / end.Seconds()
+	want := float64(d.Params().TransferRate) / sim.MB
+	if bw < want*0.97 || bw > want {
+		t.Fatalf("sequential bandwidth = %.1f MB/s, want about %.1f", bw, want)
+	}
+}
+
+func TestRandomReadsPaySeeks(t *testing.T) {
+	d := newDisk(t)
+	for i := 0; i < 100; i++ {
+		d.WritePage(int64(i), page(d, uint64(i)), 0)
+	}
+	d.ResetTiming()
+	// Read pages far apart: every access seeks.
+	var done time.Duration
+	lbas := []int64{0, 50, 10, 90, 30}
+	for _, lba := range lbas {
+		_, at, err := d.ReadPage(lba, done)
+		if err != nil {
+			t.Fatal(err)
+		}
+		done = at
+	}
+	a := d.Activity()
+	if a.Seeks != int64(len(lbas)) {
+		t.Fatalf("random reads performed %d seeks, want %d", a.Seeks, len(lbas))
+	}
+	perAccess := done / time.Duration(len(lbas))
+	minCost := d.Params().AvgSeek
+	if perAccess < minCost {
+		t.Fatalf("random access cost %v below seek time %v", perAccess, minCost)
+	}
+}
+
+func TestRotationalLatency(t *testing.T) {
+	d := newDisk(t)
+	// 10K RPM: one revolution = 6 ms, half = 3 ms.
+	if got, want := d.rotationalLatency(), 3*time.Millisecond; got != want {
+		t.Fatalf("rotational latency = %v, want %v", got, want)
+	}
+}
+
+func TestHDDSlowerThanPaperSSD(t *testing.T) {
+	// The paper's Table 3 rests on the HDD being an order of magnitude
+	// slower at scan than the 550 MB/s SSD path.
+	d := newDisk(t)
+	rate := float64(d.Params().TransferRate) / sim.MB
+	if rate > 120 || rate < 60 {
+		t.Fatalf("HDD sustained rate %.0f MB/s out of the plausible 10K-RPM range", rate)
+	}
+}
+
+func TestResetTimingPreservesData(t *testing.T) {
+	d := newDisk(t)
+	d.WritePage(3, page(d, 99), 0)
+	d.ResetTiming()
+	if a := d.Activity(); a.MediaBusy != 0 || a.BytesWritten != 0 {
+		t.Fatalf("activity not cleared: %+v", a)
+	}
+	data, _, err := d.ReadPage(3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if binary.LittleEndian.Uint64(data) != 99 {
+		t.Fatal("data lost across ResetTiming")
+	}
+}
+
+func TestReadRangeChecksBounds(t *testing.T) {
+	d := newDisk(t)
+	_, err := d.ReadRange(d.CapacityPages()-1, 2, 0, func(int64, []byte, time.Duration) error { return nil })
+	if !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("overlong range err = %v", err)
+	}
+}

@@ -1,0 +1,147 @@
+// Package hostif models the host I/O interface standards (SATA, SAS,
+// PCIe) that connect an SSD to its host, and the bandwidth-trend data
+// behind Figure 1 of the paper.
+//
+// The paper's core observation is that these interface standards evolve
+// slower than the SSD-internal aggregate flash bandwidth, so a host
+// processing data "the usual way" drinks through an ever-narrower straw.
+// Interface instances carry an effective data rate (after protocol
+// overhead) and a per-command latency; the trend table records the
+// relative widths of the straw and the firehose over time.
+package hostif
+
+import (
+	"fmt"
+	"time"
+
+	"smartssd/internal/sim"
+)
+
+// Interface describes one host bus interface standard.
+type Interface struct {
+	// Name is the standard's conventional name, e.g. "SAS 6Gb/s".
+	Name string
+	// Year is the approximate year of broad availability.
+	Year int
+	// LineRate is the raw signaling rate.
+	LineRate sim.Rate
+	// EffectiveRate is the realizable payload bandwidth after 8b/10b (or
+	// 128b/130b) encoding and protocol overhead; this is what data
+	// transfers are charged against.
+	EffectiveRate sim.Rate
+	// CommandOverhead is the fixed per-command latency (submission to
+	// first data); under command queuing it overlaps earlier transfers
+	// and costs latency, not throughput.
+	CommandOverhead time.Duration
+	// TurnaroundBusy is the per-command time the link itself is
+	// occupied by protocol frames and direction turnaround; it cannot
+	// overlap payload and therefore taxes small-I/O throughput.
+	TurnaroundBusy time.Duration
+}
+
+// String reports the interface name and effective bandwidth.
+func (i Interface) String() string {
+	return fmt.Sprintf("%s (%.0f MB/s effective)", i.Name, float64(i.EffectiveRate)/sim.MB)
+}
+
+// Standard host interfaces. Effective rates follow the commonly measured
+// payload bandwidths: SATA/SAS pay 8b/10b encoding plus protocol
+// overhead. SAS6 is deliberately calibrated to the 550 MB/s the paper
+// measures for its SAS SSD (Table 2).
+var (
+	// SATA2 is SATA 3 Gb/s, the 2007 baseline of Figure 1 (375 MB/s).
+	SATA2 = Interface{
+		Name: "SATA 3Gb/s", Year: 2007,
+		LineRate:        sim.MBps(375),
+		EffectiveRate:   sim.MBps(285),
+		CommandOverhead: 25 * time.Microsecond,
+		TurnaroundBusy:  4 * time.Microsecond,
+	}
+	// SATA3 is SATA 6 Gb/s.
+	SATA3 = Interface{
+		Name: "SATA 6Gb/s", Year: 2010,
+		LineRate:        sim.MBps(750),
+		EffectiveRate:   sim.MBps(520),
+		CommandOverhead: 20 * time.Microsecond,
+		TurnaroundBusy:  3 * time.Microsecond,
+	}
+	// SAS6 is SAS 6 Gb/s: the host bus adapter link used in the paper's
+	// testbed, measured at 550 MB/s for 256 KB sequential reads.
+	SAS6 = Interface{
+		Name: "SAS 6Gb/s", Year: 2011,
+		LineRate:        sim.MBps(750),
+		EffectiveRate:   sim.MBps(550),
+		CommandOverhead: 15 * time.Microsecond,
+		TurnaroundBusy:  2 * time.Microsecond,
+	}
+	// SAS12 is SAS 12 Gb/s.
+	SAS12 = Interface{
+		Name: "SAS 12Gb/s", Year: 2013,
+		LineRate:        sim.MBps(1500),
+		EffectiveRate:   sim.MBps(1100),
+		CommandOverhead: 12 * time.Microsecond,
+		TurnaroundBusy:  1500 * time.Nanosecond,
+	}
+	// PCIe2x4 is PCI Express generation 2, four lanes.
+	PCIe2x4 = Interface{
+		Name: "PCIe Gen2 x4", Year: 2011,
+		LineRate:        sim.GBps(2),
+		EffectiveRate:   sim.MBps(1600),
+		CommandOverhead: 8 * time.Microsecond,
+		TurnaroundBusy:  time.Microsecond,
+	}
+	// PCIe3x4 is PCI Express generation 3, four lanes.
+	PCIe3x4 = Interface{
+		Name: "PCIe Gen3 x4", Year: 2013,
+		LineRate:        sim.GBps(4),
+		EffectiveRate:   sim.MBps(3200),
+		CommandOverhead: 6 * time.Microsecond,
+		TurnaroundBusy:  500 * time.Nanosecond,
+	}
+)
+
+// TransferTime reports the time to move n bytes across the interface as
+// a single command: command overhead, link turnaround, and payload.
+func (i Interface) TransferTime(n int64) time.Duration {
+	return i.CommandOverhead + i.TurnaroundBusy + i.EffectiveRate.ServiceTime(n)
+}
+
+// Figure1Baseline is the 2007 host-interface speed all Figure 1 values
+// are normalized to (375 MB/s, SATA 3 Gb/s).
+const Figure1Baseline = 375.0 // MB/s
+
+// TrendPoint is one year of Figure 1: host-interface and SSD-internal
+// bandwidth, absolute (MB/s) and relative to the 2007 interface speed.
+type TrendPoint struct {
+	Year         int
+	HostMBps     float64
+	InternalMBps float64
+}
+
+// HostRel reports host bandwidth relative to the 2007 baseline.
+func (p TrendPoint) HostRel() float64 { return p.HostMBps / Figure1Baseline }
+
+// InternalRel reports internal bandwidth relative to the 2007 baseline.
+func (p TrendPoint) InternalRel() float64 { return p.InternalMBps / Figure1Baseline }
+
+// Trend reports the Figure 1 series: host I/O interface bandwidth versus
+// SSD-internal aggregate bandwidth, 2007-2016. Values through 2012 track
+// shipped hardware (the paper's Smart SSD measures 1,560 MB/s internal
+// versus 550 MB/s on its SAS 6 Gb host link in 2012); later years are
+// the projections the paper attributes to Samsung, with the internal
+// series reaching roughly 10x the 2007 interface baseline while the
+// interface series reaches roughly 3x.
+func Trend() []TrendPoint {
+	return []TrendPoint{
+		{Year: 2007, HostMBps: 375, InternalMBps: 400},
+		{Year: 2008, HostMBps: 375, InternalMBps: 560},
+		{Year: 2009, HostMBps: 375, InternalMBps: 750},
+		{Year: 2010, HostMBps: 520, InternalMBps: 1000},
+		{Year: 2011, HostMBps: 550, InternalMBps: 1250},
+		{Year: 2012, HostMBps: 550, InternalMBps: 1560},
+		{Year: 2013, HostMBps: 1100, InternalMBps: 2100},
+		{Year: 2014, HostMBps: 1100, InternalMBps: 2700},
+		{Year: 2015, HostMBps: 1100, InternalMBps: 3300},
+		{Year: 2016, HostMBps: 1200, InternalMBps: 3900},
+	}
+}

@@ -1,0 +1,139 @@
+package hostif
+
+import (
+	"testing"
+
+	"smartssd/internal/sim"
+)
+
+func TestTransferTime(t *testing.T) {
+	// 256 KB over SAS6: overhead + payload.
+	got := SAS6.TransferTime(256 * sim.KB)
+	wantPayload := SAS6.EffectiveRate.ServiceTime(256 * sim.KB)
+	want := SAS6.CommandOverhead + SAS6.TurnaroundBusy + wantPayload
+	if got != want {
+		t.Fatalf("TransferTime = %v, want %v", got, want)
+	}
+	if got <= SAS6.CommandOverhead {
+		t.Fatal("payload time vanished")
+	}
+}
+
+func TestTransferTimeZeroBytes(t *testing.T) {
+	want := SAS6.CommandOverhead + SAS6.TurnaroundBusy
+	if got := SAS6.TransferTime(0); got != want {
+		t.Fatalf("TransferTime(0) = %v, want pure per-command cost %v", got, want)
+	}
+}
+
+func TestInterfacesOrderedByGeneration(t *testing.T) {
+	// Newer standards are faster and lower-overhead within a family.
+	if SATA3.EffectiveRate <= SATA2.EffectiveRate {
+		t.Error("SATA3 not faster than SATA2")
+	}
+	if SAS12.EffectiveRate <= SAS6.EffectiveRate {
+		t.Error("SAS12 not faster than SAS6")
+	}
+	if PCIe3x4.EffectiveRate <= PCIe2x4.EffectiveRate {
+		t.Error("PCIe3 not faster than PCIe2")
+	}
+	if SAS6.EffectiveRate > SAS6.LineRate {
+		t.Error("effective rate exceeds line rate")
+	}
+}
+
+func TestSAS6MatchesPaperTable2(t *testing.T) {
+	// The paper measures 550 MB/s for the SAS SSD with 256 KB I/Os.
+	if got := float64(SAS6.EffectiveRate) / sim.MB; got != 550 {
+		t.Fatalf("SAS6 effective = %.0f MB/s, want 550 (Table 2 calibration)", got)
+	}
+}
+
+func TestTrendShape(t *testing.T) {
+	tr := Trend()
+	if len(tr) != 10 {
+		t.Fatalf("Trend has %d points, want 10 (2007-2016)", len(tr))
+	}
+	if tr[0].Year != 2007 || tr[len(tr)-1].Year != 2016 {
+		t.Fatalf("Trend spans %d-%d, want 2007-2016", tr[0].Year, tr[len(tr)-1].Year)
+	}
+	for i := 1; i < len(tr); i++ {
+		if tr[i].Year != tr[i-1].Year+1 {
+			t.Fatalf("Trend years not consecutive at %d", i)
+		}
+		if tr[i].InternalMBps < tr[i-1].InternalMBps {
+			t.Fatalf("internal bandwidth regressed in %d", tr[i].Year)
+		}
+		if tr[i].HostMBps < tr[i-1].HostMBps {
+			t.Fatalf("host bandwidth regressed in %d", tr[i].Year)
+		}
+	}
+}
+
+func TestTrendMatchesPaperAnchors(t *testing.T) {
+	tr := Trend()
+	var y2007, y2012, y2016 TrendPoint
+	for _, p := range tr {
+		switch p.Year {
+		case 2007:
+			y2007 = p
+		case 2012:
+			y2012 = p
+		case 2016:
+			y2016 = p
+		}
+	}
+	// 2007: interface baseline is 375 MB/s, relative 1.0.
+	if y2007.HostRel() != 1.0 {
+		t.Errorf("2007 host relative = %.2f, want 1.0", y2007.HostRel())
+	}
+	// 2012: the measured device - 1,560 MB/s internal vs 550 MB/s host,
+	// the 2.8x of Table 2.
+	if y2012.InternalMBps != 1560 || y2012.HostMBps != 550 {
+		t.Errorf("2012 = %+v, want internal 1560 / host 550", y2012)
+	}
+	ratio := y2012.InternalMBps / y2012.HostMBps
+	if ratio < 2.7 || ratio > 2.9 {
+		t.Errorf("2012 internal/host = %.2f, want about 2.8", ratio)
+	}
+	// 2016 projection: internal about 10x the 2007 interface baseline,
+	// and the internal-vs-interface gap "about 10X" per Figure 1's
+	// discussion (internal roughly 3x the contemporaneous interface).
+	if got := y2016.InternalRel(); got < 9.5 || got > 11 {
+		t.Errorf("2016 internal relative = %.2f, want about 10", got)
+	}
+	if got := y2016.HostRel(); got < 2.5 || got > 4 {
+		t.Errorf("2016 host relative = %.2f, want about 3", got)
+	}
+}
+
+func TestTrendGapGrows(t *testing.T) {
+	tr := Trend()
+	first := tr[0].InternalMBps / tr[0].HostMBps
+	last := tr[len(tr)-1].InternalMBps / tr[len(tr)-1].HostMBps
+	if last <= first {
+		t.Fatalf("internal/host gap did not grow: %.2f -> %.2f", first, last)
+	}
+}
+
+func TestString(t *testing.T) {
+	got := SAS6.String()
+	want := "SAS 6Gb/s (550 MB/s effective)"
+	if got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestCommandOverheadShrinksAcrossGenerations(t *testing.T) {
+	pairs := [][2]Interface{{SATA2, SATA3}, {SAS6, SAS12}, {PCIe2x4, PCIe3x4}}
+	for _, p := range pairs {
+		if p[1].CommandOverhead >= p[0].CommandOverhead {
+			t.Errorf("%s overhead %v not below %s overhead %v",
+				p[1].Name, p[1].CommandOverhead, p[0].Name, p[0].CommandOverhead)
+		}
+		if p[1].TurnaroundBusy >= p[0].TurnaroundBusy {
+			t.Errorf("%s turnaround %v not below %s turnaround %v",
+				p[1].Name, p[1].TurnaroundBusy, p[0].Name, p[0].TurnaroundBusy)
+		}
+	}
+}

@@ -1,0 +1,294 @@
+// Package nand models a NAND flash memory array: the persistent medium
+// at the bottom of the SSD simulator (Figure 2 of the paper).
+//
+// The model captures the properties that matter for query-processing
+// experiments:
+//
+//   - Geometry: channels × chips × blocks × pages, with the page as the
+//     unit of read/program and the block as the unit of erase.
+//   - Physical constraints: a page must be erased before it can be
+//     programmed, pages within a block are programmed in order, and data
+//     really is stored and returned bit-exact (queries run on real bytes).
+//   - Timing constants: cell-to-register read latency, program and erase
+//     latencies, and the channel bus transfer rate — consumed by the SSD
+//     controller (package ssd) which owns scheduling.
+//
+// Addressing uses a linear physical page address (PPA). The mapping
+// between a PPA and its (channel, chip, block, page) coordinates is
+// chip-major: a block's pages are contiguous within one chip, so channel
+// interleaving is the FTL's job (it stripes consecutive writes across
+// channels), just as in real controllers.
+package nand
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"smartssd/internal/sim"
+)
+
+// Geometry describes the physical organization of the flash array.
+type Geometry struct {
+	Channels        int // independent flash channels
+	ChipsPerChannel int // dies per channel (chip-level interleaving)
+	BlocksPerChip   int // erase blocks per die
+	PagesPerBlock   int // pages per erase block
+	PageSize        int // bytes per page
+}
+
+// Validate reports whether the geometry is internally consistent.
+func (g Geometry) Validate() error {
+	if g.Channels < 1 || g.ChipsPerChannel < 1 || g.BlocksPerChip < 1 ||
+		g.PagesPerBlock < 1 || g.PageSize < 1 {
+		return fmt.Errorf("nand: non-positive geometry field: %+v", g)
+	}
+	return nil
+}
+
+// Chips reports the total number of dies.
+func (g Geometry) Chips() int { return g.Channels * g.ChipsPerChannel }
+
+// PagesPerChip reports the number of pages on one die.
+func (g Geometry) PagesPerChip() int { return g.BlocksPerChip * g.PagesPerBlock }
+
+// TotalPages reports the number of physical pages in the array.
+func (g Geometry) TotalPages() int64 {
+	return int64(g.Chips()) * int64(g.PagesPerChip())
+}
+
+// TotalBytes reports the raw capacity of the array.
+func (g Geometry) TotalBytes() int64 { return g.TotalPages() * int64(g.PageSize) }
+
+// TotalBlocks reports the number of erase blocks in the array.
+func (g Geometry) TotalBlocks() int64 { return int64(g.Chips()) * int64(g.BlocksPerChip) }
+
+// PPA is a linear physical page address in [0, TotalPages).
+type PPA int64
+
+// Addr is the decomposed coordinate form of a PPA.
+type Addr struct {
+	Channel int
+	Chip    int // chip index within its channel
+	Block   int // block index within its chip
+	Page    int // page index within its block
+}
+
+// Decompose splits a PPA into coordinates. Chip-major layout: all pages
+// of a block are contiguous on one chip.
+func (g Geometry) Decompose(p PPA) Addr {
+	pageInChip := int(int64(p) % int64(g.PagesPerChip()))
+	chipIdx := int(int64(p) / int64(g.PagesPerChip()))
+	return Addr{
+		Channel: chipIdx / g.ChipsPerChannel,
+		Chip:    chipIdx % g.ChipsPerChannel,
+		Block:   pageInChip / g.PagesPerBlock,
+		Page:    pageInChip % g.PagesPerBlock,
+	}
+}
+
+// Compose is the inverse of Decompose.
+func (g Geometry) Compose(a Addr) PPA {
+	chipIdx := a.Channel*g.ChipsPerChannel + a.Chip
+	return PPA(int64(chipIdx)*int64(g.PagesPerChip()) +
+		int64(a.Block)*int64(g.PagesPerBlock) + int64(a.Page))
+}
+
+// BlockID identifies an erase block globally.
+type BlockID int64
+
+// BlockOf reports the erase block containing p.
+func (g Geometry) BlockOf(p PPA) BlockID {
+	return BlockID(int64(p) / int64(g.PagesPerBlock))
+}
+
+// FirstPage reports the PPA of the first page in block b.
+func (g Geometry) FirstPage(b BlockID) PPA {
+	return PPA(int64(b) * int64(g.PagesPerBlock))
+}
+
+// ChannelOf reports the channel that block b's chip hangs off.
+func (g Geometry) ChannelOf(b BlockID) int {
+	return g.Decompose(g.FirstPage(b)).Channel
+}
+
+// Timing holds the NAND operation latencies and channel bus rate. These
+// are consumed by the controller's schedulers in package ssd.
+type Timing struct {
+	// ReadLatency is tR: cell array to chip page register.
+	ReadLatency time.Duration
+	// ProgramLatency is tPROG: page register to cell array.
+	ProgramLatency time.Duration
+	// EraseLatency is tBERS: whole-block erase.
+	EraseLatency time.Duration
+	// ChannelRate is the flash channel bus bandwidth (register <->
+	// controller), shared by all chips on one channel.
+	ChannelRate sim.Rate
+}
+
+// PageState tracks the NAND lifecycle of one physical page.
+type PageState uint8
+
+const (
+	// Erased pages may be programmed.
+	Erased PageState = iota
+	// Programmed pages hold valid data and must be erased (with their
+	// whole block) before reprogramming.
+	Programmed
+)
+
+// Errors reported by the array's physical-constraint checks.
+var (
+	ErrOutOfRange     = errors.New("nand: address out of range")
+	ErrNotErased      = errors.New("nand: program to non-erased page")
+	ErrProgramOrder   = errors.New("nand: out-of-order program within block")
+	ErrReadErased     = errors.New("nand: read of erased page")
+	ErrWrongPageSize  = errors.New("nand: payload is not one page")
+	ErrBlockOutOfSpan = errors.New("nand: block id out of range")
+)
+
+// Array is the flash medium: geometry plus per-page data and state.
+// It enforces NAND physical constraints but performs no timing; the
+// controller (package ssd) charges Timing costs against its schedulers.
+//
+// An Array is not safe for concurrent use; the simulator is
+// single-threaded by design (deterministic virtual time).
+type Array struct {
+	geo    Geometry
+	timing Timing
+	data   [][]byte    // per PPA; nil until programmed
+	state  []PageState // per PPA
+	// writeFrontier tracks the next in-order programmable page per block.
+	writeFrontier []int
+	eraseCount    []int64 // per block, for wear accounting
+	reads         int64
+	programs      int64
+	erases        int64
+}
+
+// NewArray builds a flash array with the given geometry and timing.
+func NewArray(geo Geometry, timing Timing) (*Array, error) {
+	if err := geo.Validate(); err != nil {
+		return nil, err
+	}
+	n := geo.TotalPages()
+	return &Array{
+		geo:           geo,
+		timing:        timing,
+		data:          make([][]byte, n),
+		state:         make([]PageState, n),
+		writeFrontier: make([]int, geo.TotalBlocks()),
+		eraseCount:    make([]int64, geo.TotalBlocks()),
+	}, nil
+}
+
+// Geometry reports the array's physical organization.
+func (a *Array) Geometry() Geometry { return a.geo }
+
+// Timing reports the array's operation latencies.
+func (a *Array) Timing() Timing { return a.timing }
+
+func (a *Array) checkPPA(p PPA) error {
+	if p < 0 || int64(p) >= a.geo.TotalPages() {
+		return fmt.Errorf("%w: ppa %d", ErrOutOfRange, p)
+	}
+	return nil
+}
+
+// Read returns the stored contents of page p. The returned slice aliases
+// the array's storage; callers must not modify it.
+func (a *Array) Read(p PPA) ([]byte, error) {
+	if err := a.checkPPA(p); err != nil {
+		return nil, err
+	}
+	if a.state[p] != Programmed {
+		return nil, fmt.Errorf("%w: ppa %d", ErrReadErased, p)
+	}
+	a.reads++
+	return a.data[p], nil
+}
+
+// Program writes one page of data to p, enforcing erased-state and
+// in-order-within-block constraints. The data is copied.
+func (a *Array) Program(p PPA, data []byte) error {
+	if err := a.checkPPA(p); err != nil {
+		return err
+	}
+	if len(data) != a.geo.PageSize {
+		return fmt.Errorf("%w: got %d bytes, page is %d", ErrWrongPageSize, len(data), a.geo.PageSize)
+	}
+	if a.state[p] != Erased {
+		return fmt.Errorf("%w: ppa %d", ErrNotErased, p)
+	}
+	b := a.geo.BlockOf(p)
+	inBlock := a.geo.Decompose(p).Page
+	if inBlock != a.writeFrontier[b] {
+		return fmt.Errorf("%w: ppa %d is page %d of block %d, frontier %d",
+			ErrProgramOrder, p, inBlock, b, a.writeFrontier[b])
+	}
+	buf := a.data[p]
+	if buf == nil {
+		buf = make([]byte, a.geo.PageSize)
+		a.data[p] = buf
+	}
+	copy(buf, data)
+	a.state[p] = Programmed
+	a.writeFrontier[b]++
+	a.programs++
+	return nil
+}
+
+// Erase resets every page of block b to Erased.
+func (a *Array) Erase(b BlockID) error {
+	if b < 0 || int64(b) >= a.geo.TotalBlocks() {
+		return fmt.Errorf("%w: block %d", ErrBlockOutOfSpan, b)
+	}
+	first := a.geo.FirstPage(b)
+	for i := 0; i < a.geo.PagesPerBlock; i++ {
+		p := first + PPA(i)
+		a.state[p] = Erased
+		a.data[p] = nil // release memory for simulation thrift
+	}
+	a.writeFrontier[b] = 0
+	a.eraseCount[b]++
+	a.erases++
+	return nil
+}
+
+// State reports the lifecycle state of page p.
+func (a *Array) State(p PPA) PageState {
+	if err := a.checkPPA(p); err != nil {
+		panic(err)
+	}
+	return a.state[p]
+}
+
+// EraseCount reports how many times block b has been erased.
+func (a *Array) EraseCount(b BlockID) int64 { return a.eraseCount[b] }
+
+// Stats summarizes operation counts for wear and traffic reporting.
+type Stats struct {
+	Reads    int64
+	Programs int64
+	Erases   int64
+	// MaxEraseCount and MinEraseCount bound block wear across the array.
+	MaxEraseCount int64
+	MinEraseCount int64
+}
+
+// Stats reports cumulative operation counts and wear spread.
+func (a *Array) Stats() Stats {
+	s := Stats{Reads: a.reads, Programs: a.programs, Erases: a.erases}
+	if len(a.eraseCount) > 0 {
+		s.MinEraseCount = a.eraseCount[0]
+		for _, c := range a.eraseCount {
+			if c > s.MaxEraseCount {
+				s.MaxEraseCount = c
+			}
+			if c < s.MinEraseCount {
+				s.MinEraseCount = c
+			}
+		}
+	}
+	return s
+}

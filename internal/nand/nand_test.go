@@ -1,0 +1,227 @@
+package nand
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"smartssd/internal/sim"
+)
+
+func testGeo() Geometry {
+	return Geometry{
+		Channels:        4,
+		ChipsPerChannel: 2,
+		BlocksPerChip:   8,
+		PagesPerBlock:   16,
+		PageSize:        512,
+	}
+}
+
+func testTiming() Timing {
+	return Timing{
+		ReadLatency:    50 * time.Microsecond,
+		ProgramLatency: 900 * time.Microsecond,
+		EraseLatency:   3 * time.Millisecond,
+		ChannelRate:    sim.MBps(200),
+	}
+}
+
+func newTestArray(t *testing.T) *Array {
+	t.Helper()
+	a, err := NewArray(testGeo(), testTiming())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestGeometryTotals(t *testing.T) {
+	g := testGeo()
+	if got, want := g.Chips(), 8; got != want {
+		t.Errorf("Chips = %d, want %d", got, want)
+	}
+	if got, want := g.TotalPages(), int64(8*8*16); got != want {
+		t.Errorf("TotalPages = %d, want %d", got, want)
+	}
+	if got, want := g.TotalBytes(), int64(8*8*16*512); got != want {
+		t.Errorf("TotalBytes = %d, want %d", got, want)
+	}
+	if got, want := g.TotalBlocks(), int64(8*8); got != want {
+		t.Errorf("TotalBlocks = %d, want %d", got, want)
+	}
+}
+
+func TestGeometryValidate(t *testing.T) {
+	g := testGeo()
+	if err := g.Validate(); err != nil {
+		t.Errorf("valid geometry rejected: %v", err)
+	}
+	bad := g
+	bad.Channels = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero-channel geometry accepted")
+	}
+	if _, err := NewArray(bad, testTiming()); err == nil {
+		t.Error("NewArray accepted invalid geometry")
+	}
+}
+
+func TestComposeDecomposeRoundTrip(t *testing.T) {
+	g := testGeo()
+	f := func(n uint16) bool {
+		p := PPA(int64(n) % g.TotalPages())
+		a := g.Decompose(p)
+		if a.Channel < 0 || a.Channel >= g.Channels ||
+			a.Chip < 0 || a.Chip >= g.ChipsPerChannel ||
+			a.Block < 0 || a.Block >= g.BlocksPerChip ||
+			a.Page < 0 || a.Page >= g.PagesPerBlock {
+			return false
+		}
+		return g.Compose(a) == p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBlockPagesAreChipLocal(t *testing.T) {
+	g := testGeo()
+	// All pages of any block must decompose to the same channel+chip.
+	for b := BlockID(0); int64(b) < g.TotalBlocks(); b++ {
+		first := g.Decompose(g.FirstPage(b))
+		for i := 0; i < g.PagesPerBlock; i++ {
+			a := g.Decompose(g.FirstPage(b) + PPA(i))
+			if a.Channel != first.Channel || a.Chip != first.Chip || a.Block != first.Block {
+				t.Fatalf("block %d page %d strayed to %+v (block starts at %+v)", b, i, a, first)
+			}
+		}
+		if g.ChannelOf(b) != first.Channel {
+			t.Fatalf("ChannelOf(%d) = %d, want %d", b, g.ChannelOf(b), first.Channel)
+		}
+	}
+}
+
+func TestProgramReadRoundTrip(t *testing.T) {
+	a := newTestArray(t)
+	data := bytes.Repeat([]byte{0xAB}, 512)
+	if err := a.Program(0, data); err != nil {
+		t.Fatalf("Program: %v", err)
+	}
+	got, err := a.Read(0)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("read data differs from programmed data")
+	}
+}
+
+func TestProgramCopiesData(t *testing.T) {
+	a := newTestArray(t)
+	data := bytes.Repeat([]byte{1}, 512)
+	a.Program(0, data)
+	data[0] = 99 // caller mutates its buffer after programming
+	got, _ := a.Read(0)
+	if got[0] != 1 {
+		t.Fatal("Program aliased caller buffer instead of copying")
+	}
+}
+
+func TestReadErasedFails(t *testing.T) {
+	a := newTestArray(t)
+	if _, err := a.Read(3); !errors.Is(err, ErrReadErased) {
+		t.Fatalf("Read of erased page: err = %v, want ErrReadErased", err)
+	}
+}
+
+func TestProgramTwiceFails(t *testing.T) {
+	a := newTestArray(t)
+	data := make([]byte, 512)
+	if err := a.Program(0, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Program(0, data); !errors.Is(err, ErrNotErased) {
+		t.Fatalf("reprogram err = %v, want ErrNotErased", err)
+	}
+}
+
+func TestProgramOrderWithinBlock(t *testing.T) {
+	a := newTestArray(t)
+	data := make([]byte, 512)
+	// Page 1 of block 0 before page 0 must fail.
+	if err := a.Program(1, data); !errors.Is(err, ErrProgramOrder) {
+		t.Fatalf("out-of-order program err = %v, want ErrProgramOrder", err)
+	}
+	if err := a.Program(0, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Program(1, data); err != nil {
+		t.Fatalf("in-order program failed: %v", err)
+	}
+}
+
+func TestEraseResetsBlock(t *testing.T) {
+	a := newTestArray(t)
+	data := make([]byte, 512)
+	for i := 0; i < testGeo().PagesPerBlock; i++ {
+		if err := a.Program(PPA(i), data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Erase(0); err != nil {
+		t.Fatal(err)
+	}
+	if a.State(0) != Erased {
+		t.Fatal("page not erased after block erase")
+	}
+	if _, err := a.Read(0); err == nil {
+		t.Fatal("read after erase succeeded")
+	}
+	// Frontier resets: programming page 0 again must work.
+	if err := a.Program(0, data); err != nil {
+		t.Fatalf("program after erase: %v", err)
+	}
+	if got := a.EraseCount(0); got != 1 {
+		t.Fatalf("EraseCount = %d, want 1", got)
+	}
+}
+
+func TestWrongPayloadSize(t *testing.T) {
+	a := newTestArray(t)
+	if err := a.Program(0, make([]byte, 100)); !errors.Is(err, ErrWrongPageSize) {
+		t.Fatalf("short payload err = %v, want ErrWrongPageSize", err)
+	}
+}
+
+func TestOutOfRangeAddresses(t *testing.T) {
+	a := newTestArray(t)
+	total := PPA(testGeo().TotalPages())
+	if _, err := a.Read(total); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("Read past end err = %v", err)
+	}
+	if err := a.Program(-1, make([]byte, 512)); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("Program(-1) err = %v", err)
+	}
+	if err := a.Erase(BlockID(testGeo().TotalBlocks())); !errors.Is(err, ErrBlockOutOfSpan) {
+		t.Errorf("Erase past end err = %v", err)
+	}
+}
+
+func TestStats(t *testing.T) {
+	a := newTestArray(t)
+	data := make([]byte, 512)
+	a.Program(0, data)
+	a.Program(1, data)
+	a.Read(0)
+	a.Erase(0)
+	s := a.Stats()
+	if s.Programs != 2 || s.Reads != 1 || s.Erases != 1 {
+		t.Fatalf("Stats = %+v", s)
+	}
+	if s.MaxEraseCount != 1 || s.MinEraseCount != 0 {
+		t.Fatalf("wear spread = %+v", s)
+	}
+}

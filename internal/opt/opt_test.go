@@ -1,0 +1,284 @@
+package opt
+
+import (
+	"strings"
+	"testing"
+
+	"smartssd/internal/bufpool"
+	"smartssd/internal/device"
+	"smartssd/internal/expr"
+	"smartssd/internal/nand"
+	"smartssd/internal/page"
+	"smartssd/internal/plan"
+	"smartssd/internal/schema"
+	"smartssd/internal/ssd"
+)
+
+func wideSchema() *schema.Schema {
+	return schema.New(
+		schema.Column{Name: "id", Kind: schema.Int64},
+		schema.Column{Name: "val", Kind: schema.Int32},
+		schema.Column{Name: "pad", Kind: schema.Char, Len: 145},
+	)
+}
+
+func narrowSchema() *schema.Schema {
+	return schema.New(
+		schema.Column{Name: "id", Kind: schema.Int64},
+		schema.Column{Name: "val", Kind: schema.Int32},
+	)
+}
+
+func testDevice(t *testing.T) *ssd.Device {
+	t.Helper()
+	p := ssd.DefaultParams()
+	p.Geometry = nand.Geometry{
+		Channels: 8, ChipsPerChannel: 2, BlocksPerChip: 16, PagesPerBlock: 32, PageSize: 8192,
+	}
+	d, err := ssd.New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func tableRef(name string, s *schema.Schema, l page.Layout, start, pages int64) device.TableRef {
+	return device.TableRef{Name: name, Schema: s, Layout: l, StartLBA: start, Pages: pages}
+}
+
+func scanQuery(s *schema.Schema, l page.Layout, pages int64) device.Query {
+	return device.Query{
+		Table:  tableRef("t", s, l, 0, pages),
+		Filter: expr.Cmp{Op: expr.LT, L: expr.ColRef(s, "val"), R: expr.IntConst(3)},
+		Aggs:   []plan.AggSpec{{Kind: plan.Sum, E: expr.ColRef(s, "id"), Name: "x"}},
+	}
+}
+
+func TestSelectiveWideScanPrefersDevice(t *testing.T) {
+	p := NewPlanner(device.DefaultCostModel())
+	d := testDevice(t)
+	// Paper-width tuples (about 50 per page): device CPU keeps up and
+	// internal bandwidth wins.
+	dec := p.Decide(scanQuery(wideSchema(), page.PAX, 2000), d, nil, 0.01)
+	if !dec.Pushdown {
+		t.Fatalf("wide selective scan not pushed down: %s", dec)
+	}
+	if dec.DeviceCost >= dec.HostCost {
+		t.Fatalf("device cost %v not below host cost %v", dec.DeviceCost, dec.HostCost)
+	}
+}
+
+func TestNarrowTuplesPreferHost(t *testing.T) {
+	p := NewPlanner(device.DefaultCostModel())
+	d := testDevice(t)
+	// Narrow 12-byte tuples pack about 600 per page: the embedded CPU
+	// saturates far below host-link bandwidth and pushdown loses.
+	dec := p.Decide(scanQuery(narrowSchema(), page.PAX, 2000), d, nil, 0.01)
+	if dec.Pushdown {
+		t.Fatalf("narrow-tuple scan pushed down: %s", dec)
+	}
+}
+
+func TestDirtyPoolVeto(t *testing.T) {
+	p := NewPlanner(device.DefaultCostModel())
+	d := testDevice(t)
+	pool := bufpool.New(64, nil)
+	pool.Put(5, make([]byte, 10))
+	pool.Unpin(5, true)
+	dec := p.Decide(scanQuery(wideSchema(), page.PAX, 2000), d, pool, 0.01)
+	if dec.Pushdown {
+		t.Fatal("pushdown allowed over dirty pages")
+	}
+	if !strings.Contains(dec.Reason, "dirty") {
+		t.Fatalf("reason = %q", dec.Reason)
+	}
+}
+
+func TestDirtyBuildTableVeto(t *testing.T) {
+	p := NewPlanner(device.DefaultCostModel())
+	d := testDevice(t)
+	pool := bufpool.New(64, nil)
+	pool.Put(3000, make([]byte, 10)) // inside the build extent below
+	pool.Unpin(3000, true)
+	q := scanQuery(wideSchema(), page.PAX, 2000)
+	q.Join = &device.JoinSpec{
+		Build:    tableRef("b", narrowSchema(), page.NSM, 2900, 200),
+		BuildKey: 0, ProbeKey: 0,
+	}
+	dec := p.Decide(q, d, pool, 0.01)
+	if dec.Pushdown {
+		t.Fatal("pushdown allowed over dirty build pages")
+	}
+	if !strings.Contains(dec.Reason, "dirty") {
+		t.Fatalf("reason = %q", dec.Reason)
+	}
+}
+
+func TestCachedInputVeto(t *testing.T) {
+	p := NewPlanner(device.DefaultCostModel())
+	d := testDevice(t)
+	pool := bufpool.New(2048, nil)
+	// Cache 60% of a 1000-page table (clean).
+	for lba := int64(0); lba < 600; lba++ {
+		pool.Put(lba, make([]byte, 10))
+		pool.Unpin(lba, false)
+	}
+	dec := p.Decide(scanQuery(wideSchema(), page.PAX, 1000), d, pool, 0.01)
+	if dec.Pushdown {
+		t.Fatal("pushdown chosen despite warm cache")
+	}
+	if !strings.Contains(dec.Reason, "cached") {
+		t.Fatalf("reason = %q", dec.Reason)
+	}
+}
+
+func TestMemoryGrantVeto(t *testing.T) {
+	p := NewPlanner(device.DefaultCostModel())
+	params := ssd.DefaultParams()
+	params.Geometry = nand.Geometry{
+		Channels: 8, ChipsPerChannel: 2, BlocksPerChip: 16, PagesPerBlock: 32, PageSize: 8192,
+	}
+	params.DeviceDRAMBytes = 1 << 20
+	d, err := ssd.New(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := scanQuery(wideSchema(), page.PAX, 2000)
+	q.Join = &device.JoinSpec{
+		Build:    tableRef("b", narrowSchema(), page.NSM, 3000, 500), // ~300k tuples
+		BuildKey: 0, ProbeKey: 0,
+	}
+	dec := p.Decide(q, d, nil, 0.01)
+	if dec.Pushdown {
+		t.Fatal("pushdown allowed without DRAM for the hash build")
+	}
+	if !strings.Contains(dec.Reason, "DRAM") {
+		t.Fatalf("reason = %q", dec.Reason)
+	}
+}
+
+func TestHighSelectivityOutputDisfavoursDevice(t *testing.T) {
+	p := NewPlanner(device.DefaultCostModel())
+	d := testDevice(t)
+	s := wideSchema()
+	q := device.Query{
+		Table:  tableRef("t", s, page.PAX, 0, 2000),
+		Filter: expr.Cmp{Op: expr.LT, L: expr.ColRef(s, "val"), R: expr.IntConst(100)},
+		Output: []plan.OutputCol{
+			{Name: "id", E: expr.ColRef(s, "id")},
+			{Name: "pad", E: expr.ColRef(s, "pad")},
+		},
+	}
+	low := p.Decide(q, d, nil, 0.01)
+	high := p.Decide(q, d, nil, 1.0)
+	if low.DeviceCost >= high.DeviceCost {
+		t.Fatalf("device cost did not grow with selectivity: %v -> %v", low.DeviceCost, high.DeviceCost)
+	}
+	if !low.Pushdown {
+		t.Fatalf("low-selectivity projection not pushed down: %s", low)
+	}
+}
+
+func TestEstimateTracksActualWithinFactorTwo(t *testing.T) {
+	// The planner's analytic estimates should be within 2x of the
+	// simulator's measured elapsed times for a representative scan.
+	p := NewPlanner(device.DefaultCostModel())
+	d := testDevice(t)
+	s := wideSchema()
+
+	// Load a real table matching the estimated one.
+	const rows = 40000
+	perPage := page.Capacity(s, page.PAX)
+	b := page.NewBuilder(s, page.PAX)
+	lba := int64(0)
+	b.Reset(0)
+	for i := 0; i < rows; i++ {
+		tup := schema.Tuple{schema.IntVal(int64(i)), schema.IntVal(int64(i % 100)), schema.StrVal("p")}
+		if !b.Append(tup) {
+			if _, err := d.WritePage(lba, b.Finish(), 0); err != nil {
+				t.Fatal(err)
+			}
+			lba++
+			b.Reset(uint32(lba))
+			b.Append(tup)
+		}
+	}
+	if b.Count() > 0 {
+		if _, err := d.WritePage(lba, b.Finish(), 0); err != nil {
+			t.Fatal(err)
+		}
+		lba++
+	}
+	d.ResetTiming()
+	_ = perPage
+
+	q := scanQuery(s, page.PAX, lba)
+	dec := p.Decide(q, d, nil, 0.03)
+
+	rt := device.NewRuntime(d, device.DefaultCostModel())
+	_, actual, err := rt.RunQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(dec.DeviceCost) / float64(actual)
+	if ratio < 0.5 || ratio > 2.0 {
+		t.Fatalf("device estimate %v vs actual %v (ratio %.2f), want within 2x",
+			dec.DeviceCost, actual, ratio)
+	}
+}
+
+func TestDecisionString(t *testing.T) {
+	d := Decision{Pushdown: true, Reason: "why", HostCost: 2e9, DeviceCost: 1e9}
+	s := d.String()
+	for _, want := range []string{"device", "why", "2.00s", "1.00s"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestSelectivityClamping(t *testing.T) {
+	p := NewPlanner(device.DefaultCostModel())
+	d := testDevice(t)
+	q := scanQuery(wideSchema(), page.PAX, 100)
+	// Out-of-range estimates must not panic or flip the decision wildly.
+	a := p.Decide(q, d, nil, -5)
+	b := p.Decide(q, d, nil, 0.1)
+	if a.Pushdown != b.Pushdown {
+		t.Fatalf("negative selectivity clamped differently: %v vs %v", a, b)
+	}
+	if c := p.Decide(q, d, nil, 99); c.DeviceCost <= 0 {
+		t.Fatal("huge selectivity broke estimate")
+	}
+}
+
+func TestHybridEstimateBetweenFloorAndBest(t *testing.T) {
+	p := NewPlanner(device.DefaultCostModel())
+	d := testDevice(t)
+	dec := p.Decide(scanQuery(wideSchema(), page.PAX, 2000), d, nil, 0.01)
+	if dec.HybridCost <= 0 {
+		t.Fatal("hybrid cost not estimated")
+	}
+	// Hybrid beats both pure paths...
+	if dec.HybridCost >= dec.HostCost || dec.HybridCost >= dec.DeviceCost {
+		t.Fatalf("hybrid %v not below host %v and device %v",
+			dec.HybridCost, dec.HostCost, dec.DeviceCost)
+	}
+	// ...but cannot beat moving the input over the internal bus once.
+	floor := d.Params().DMABusRate.ServiceTime(2000 * int64(d.PageSize()))
+	if dec.HybridCost < floor {
+		t.Fatalf("hybrid %v below the DMA floor %v", dec.HybridCost, floor)
+	}
+}
+
+func TestVetoedDecisionHasNoCosts(t *testing.T) {
+	p := NewPlanner(device.DefaultCostModel())
+	d := testDevice(t)
+	pool := bufpool.New(8, nil)
+	pool.Put(1, []byte{1})
+	pool.Unpin(1, true)
+	dec := p.Decide(scanQuery(wideSchema(), page.PAX, 100), d, pool, 0.01)
+	if dec.HostCost != 0 || dec.DeviceCost != 0 || dec.HybridCost != 0 {
+		t.Fatalf("vetoed decision carries costs: %+v", dec)
+	}
+}

@@ -1,0 +1,346 @@
+// Package page implements the two on-device page layouts the paper
+// evaluates: the traditional N-ary Storage Model (NSM) with slotted
+// pages, and the PAX layout [Ailamaki et al., VLDB 2001] in which all
+// values of a column are grouped together within the page.
+//
+// Both layouts share an 8 KB page size (PageSize) and a 16-byte header,
+// and both store the fixed-width tuples produced by package schema. The
+// layouts are bit-compatible targets of the same Builder API and are read
+// back through the same Reader API, so host and device operators are
+// layout-agnostic at the call-site and pay layout-specific costs only in
+// the cost model.
+//
+// NSM page:
+//
+//	[header][tuple 0][tuple 1]...            ...[slot n-1]...[slot 0]
+//	records grow from the left, a 2-byte slot directory grows from the
+//	right; slot i holds the byte offset of tuple i.
+//
+// PAX page:
+//
+//	[header][minipage col0][minipage col1]...[minipage colk]
+//	each minipage is a dense array of capacity fixed-width values;
+//	tuple i's value for column j lives at minipage(j) + i*width(j).
+package page
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"smartssd/internal/schema"
+)
+
+// PageSize is the fixed page size in bytes, matching both the flash page
+// and the database page size used in the paper's prototype.
+const PageSize = 8192
+
+// HeaderSize is the fixed page header size in bytes.
+const HeaderSize = 16
+
+// Layout selects the record organization within a page.
+type Layout uint8
+
+const (
+	// NSM is the N-ary Storage Model: whole tuples stored contiguously
+	// in a slotted page.
+	NSM Layout = iota
+	// PAX groups all values of each column together within the page.
+	PAX
+)
+
+// String reports the conventional name of the layout.
+func (l Layout) String() string {
+	switch l {
+	case NSM:
+		return "NSM"
+	case PAX:
+		return "PAX"
+	default:
+		return fmt.Sprintf("Layout(%d)", uint8(l))
+	}
+}
+
+// Header field offsets within a page.
+const (
+	offMagic  = 0 // uint16
+	offLayout = 2 // uint8
+	offVer    = 3 // uint8
+	offCount  = 4 // uint16
+	offWidth  = 6 // uint16: tuple width (sanity check against schema)
+	offPageNo = 8 // uint32
+	offCRC    = 12
+)
+
+const (
+	magic   = 0xDBA5
+	version = 1
+)
+
+// Errors reported by Validate and the Reader constructors.
+var (
+	ErrBadMagic    = errors.New("page: bad magic")
+	ErrBadChecksum = errors.New("page: checksum mismatch")
+	ErrBadLayout   = errors.New("page: unknown layout")
+	ErrBadSize     = errors.New("page: wrong page size")
+	ErrSchema      = errors.New("page: tuple width does not match schema")
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Capacity reports the number of fixed-width tuples of schema s that fit
+// in one page under the given layout. NSM pays a 2-byte slot per tuple;
+// PAX packs minipages densely.
+func Capacity(s *schema.Schema, l Layout) int {
+	usable := PageSize - HeaderSize
+	switch l {
+	case NSM:
+		return usable / (s.TupleWidth() + 2)
+	case PAX:
+		return usable / s.TupleWidth()
+	default:
+		panic(fmt.Sprintf("page: unknown layout %v", l))
+	}
+}
+
+// paxMinipageOffset reports the byte offset of column col's minipage for
+// a page with the given tuple capacity.
+func paxMinipageOffset(s *schema.Schema, capacity, col int) int {
+	// Columns are laid out in schema order; column j's minipage starts
+	// after capacity values of every earlier column.
+	return HeaderSize + capacity*s.Offset(col)
+}
+
+// A Builder fills pages of one schema and layout. The zero value is not
+// usable; construct with NewBuilder. A Builder is reused across pages via
+// Reset, and is not safe for concurrent use.
+type Builder struct {
+	schema   *schema.Schema
+	layout   Layout
+	capacity int
+	buf      []byte
+	count    int
+	pageNo   uint32
+	scratch  []byte
+}
+
+// NewBuilder returns a Builder producing pages of s under layout l.
+func NewBuilder(s *schema.Schema, l Layout) *Builder {
+	if l != NSM && l != PAX {
+		panic(fmt.Sprintf("page: unknown layout %v", l))
+	}
+	return &Builder{
+		schema:   s,
+		layout:   l,
+		capacity: Capacity(s, l),
+		buf:      make([]byte, PageSize),
+	}
+}
+
+// Capacity reports the per-page tuple capacity for this builder.
+func (b *Builder) Capacity() int { return b.capacity }
+
+// Count reports the number of tuples appended since the last Reset.
+func (b *Builder) Count() int { return b.count }
+
+// Reset clears the builder to start a new page with the given page
+// number (a diagnostic identity stamped into the header).
+func (b *Builder) Reset(pageNo uint32) {
+	for i := range b.buf {
+		b.buf[i] = 0
+	}
+	b.count = 0
+	b.pageNo = pageNo
+}
+
+// Append adds tuple t to the page under construction. It reports false,
+// without modifying the page, when the page is full.
+func (b *Builder) Append(t schema.Tuple) bool {
+	if b.count >= b.capacity {
+		return false
+	}
+	switch b.layout {
+	case NSM:
+		off := HeaderSize + b.count*b.schema.TupleWidth()
+		b.scratch = b.schema.EncodeTuple(b.scratch[:0], t)
+		copy(b.buf[off:], b.scratch)
+		slotOff := PageSize - 2*(b.count+1)
+		binary.LittleEndian.PutUint16(b.buf[slotOff:], uint16(off))
+	case PAX:
+		for col := 0; col < b.schema.NumColumns(); col++ {
+			w := b.schema.Column(col).Width()
+			off := paxMinipageOffset(b.schema, b.capacity, col) + b.count*w
+			b.scratch = b.schema.EncodeValue(b.scratch[:0], col, t[col])
+			copy(b.buf[off:], b.scratch)
+		}
+	}
+	b.count++
+	return true
+}
+
+// Finish seals the page (header + checksum) and returns the page bytes.
+// The returned slice aliases the builder's internal buffer and is only
+// valid until the next Reset; callers persisting the page must copy it.
+func (b *Builder) Finish() []byte {
+	binary.LittleEndian.PutUint16(b.buf[offMagic:], magic)
+	b.buf[offLayout] = byte(b.layout)
+	b.buf[offVer] = version
+	binary.LittleEndian.PutUint16(b.buf[offCount:], uint16(b.count))
+	binary.LittleEndian.PutUint16(b.buf[offWidth:], uint16(b.schema.TupleWidth()))
+	binary.LittleEndian.PutUint32(b.buf[offPageNo:], b.pageNo)
+	binary.LittleEndian.PutUint32(b.buf[offCRC:], 0)
+	crc := crc32.Checksum(b.buf, crcTable)
+	binary.LittleEndian.PutUint32(b.buf[offCRC:], crc)
+	return b.buf
+}
+
+// A Reader decodes a sealed page. Construct with NewReader, which
+// validates the header; the Reader then provides random access to tuples
+// and individual column values without copying.
+type Reader struct {
+	schema   *schema.Schema
+	layout   Layout
+	capacity int
+	buf      []byte
+	count    int
+}
+
+// NewReader wraps buf, a sealed page of schema s, validating the header
+// and checksum.
+func NewReader(s *schema.Schema, buf []byte) (*Reader, error) {
+	r := ReaderFor(s)
+	if err := r.Bind(buf); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// ReaderFor returns an unbound Reader for schema s. Bind must be called
+// before any access; scans use one ReaderFor + repeated Bind to avoid
+// per-page allocation.
+func ReaderFor(s *schema.Schema) *Reader { return &Reader{schema: s} }
+
+// Bind points an existing Reader at a new page buffer, validating it.
+// Reusing a Reader across the pages of a scan avoids per-page allocation.
+func (r *Reader) Bind(buf []byte) error {
+	if len(buf) != PageSize {
+		return fmt.Errorf("%w: %d bytes", ErrBadSize, len(buf))
+	}
+	if binary.LittleEndian.Uint16(buf[offMagic:]) != magic {
+		return ErrBadMagic
+	}
+	l := Layout(buf[offLayout])
+	if l != NSM && l != PAX {
+		return fmt.Errorf("%w: %d", ErrBadLayout, buf[offLayout])
+	}
+	if int(binary.LittleEndian.Uint16(buf[offWidth:])) != r.schema.TupleWidth() {
+		return fmt.Errorf("%w: page says %d, schema says %d", ErrSchema,
+			binary.LittleEndian.Uint16(buf[offWidth:]), r.schema.TupleWidth())
+	}
+	stored := binary.LittleEndian.Uint32(buf[offCRC:])
+	binary.LittleEndian.PutUint32(buf[offCRC:], 0)
+	sum := crc32.Checksum(buf, crcTable)
+	binary.LittleEndian.PutUint32(buf[offCRC:], stored)
+	if sum != stored {
+		return fmt.Errorf("%w: stored %#x computed %#x", ErrBadChecksum, stored, sum)
+	}
+	r.layout = l
+	r.capacity = Capacity(r.schema, l)
+	r.buf = buf
+	r.count = int(binary.LittleEndian.Uint16(buf[offCount:]))
+	return nil
+}
+
+// Layout reports the page's record organization.
+func (r *Reader) Layout() Layout { return r.layout }
+
+// Count reports the number of tuples stored in the page.
+func (r *Reader) Count() int { return r.count }
+
+// PageNo reports the page number stamped at build time.
+func (r *Reader) PageNo() uint32 {
+	return binary.LittleEndian.Uint32(r.buf[offPageNo:])
+}
+
+// Data reports the underlying page bytes (aliased, not copied).
+func (r *Reader) Data() []byte { return r.buf }
+
+// Tuple decodes tuple i into dst (grown as needed) and returns it.
+// Char values alias the page buffer.
+func (r *Reader) Tuple(dst schema.Tuple, i int) schema.Tuple {
+	if i < 0 || i >= r.count {
+		panic(fmt.Sprintf("page: tuple index %d out of range [0,%d)", i, r.count))
+	}
+	switch r.layout {
+	case NSM:
+		off := r.nsmTupleOffset(i)
+		return r.schema.DecodeTuple(dst, r.buf[off:off+r.schema.TupleWidth()])
+	default: // PAX
+		if cap(dst) < r.schema.NumColumns() {
+			dst = make(schema.Tuple, r.schema.NumColumns())
+		}
+		dst = dst[:r.schema.NumColumns()]
+		for col := range dst {
+			dst[col] = r.Column(i, col)
+		}
+		return dst
+	}
+}
+
+func (r *Reader) nsmTupleOffset(i int) int {
+	slotOff := PageSize - 2*(i+1)
+	return int(binary.LittleEndian.Uint16(r.buf[slotOff:]))
+}
+
+// Column returns the value of column col for tuple i. For PAX pages this
+// touches only that column's minipage; for NSM it indexes into the
+// record. Char values alias the page buffer.
+func (r *Reader) Column(i, col int) schema.Value {
+	if i < 0 || i >= r.count {
+		panic(fmt.Sprintf("page: tuple index %d out of range [0,%d)", i, r.count))
+	}
+	switch r.layout {
+	case NSM:
+		off := r.nsmTupleOffset(i)
+		return r.schema.DecodeColumn(r.buf[off:off+r.schema.TupleWidth()], col)
+	default: // PAX
+		c := r.schema.Column(col)
+		w := c.Width()
+		off := paxMinipageOffset(r.schema, r.capacity, col) + i*w
+		switch c.Kind {
+		case schema.Int32, schema.Date:
+			return schema.Value{Int: int64(int32(binary.LittleEndian.Uint32(r.buf[off:])))}
+		case schema.Int64:
+			return schema.Value{Int: int64(binary.LittleEndian.Uint64(r.buf[off:]))}
+		default: // Char
+			return schema.Value{Bytes: r.buf[off : off+w]}
+		}
+	}
+}
+
+// Int64Column calls fn for each tuple's integer value of column col,
+// in tuple order. It is the streaming fast path device-side predicate
+// evaluation uses on PAX minipages (and works, more expensively, on NSM).
+// It panics if the column is a Char column.
+func (r *Reader) Int64Column(col int, fn func(i int, v int64)) {
+	c := r.schema.Column(col)
+	if c.Kind == schema.Char {
+		panic(fmt.Sprintf("page: Int64Column on CHAR column %q", c.Name))
+	}
+	for i := 0; i < r.count; i++ {
+		fn(i, r.Column(i, col).Int)
+	}
+}
+
+// Validate re-checks the page checksum, reporting any corruption.
+func (r *Reader) Validate() error {
+	stored := binary.LittleEndian.Uint32(r.buf[offCRC:])
+	binary.LittleEndian.PutUint32(r.buf[offCRC:], 0)
+	sum := crc32.Checksum(r.buf, crcTable)
+	binary.LittleEndian.PutUint32(r.buf[offCRC:], stored)
+	if sum != stored {
+		return fmt.Errorf("%w: stored %#x computed %#x", ErrBadChecksum, stored, sum)
+	}
+	return nil
+}

@@ -1,0 +1,56 @@
+// Package plan holds the query-shape types shared by the host executor
+// (package exec), the in-device programs (package device), and the
+// pushdown planner (package opt): projected output columns and
+// aggregate specifications for the paper's supported query class.
+package plan
+
+import (
+	"smartssd/internal/expr"
+)
+
+// OutputCol names one projected expression.
+type OutputCol struct {
+	Name string
+	E    expr.Expr
+}
+
+// AggKind enumerates aggregate functions.
+type AggKind uint8
+
+// Aggregate functions.
+const (
+	Sum AggKind = iota
+	Count
+	Min
+	Max
+)
+
+// String reports the SQL name of the aggregate.
+func (k AggKind) String() string {
+	switch k {
+	case Sum:
+		return "SUM"
+	case Count:
+		return "COUNT"
+	case Min:
+		return "MIN"
+	default:
+		return "MAX"
+	}
+}
+
+// AggSpec is one aggregate output column: Kind over E, named Name.
+// E is ignored for Count.
+type AggSpec struct {
+	Kind AggKind
+	E    expr.Expr
+	Name string
+}
+
+// OrderKey sorts by one output-schema column.
+type OrderKey struct {
+	// Col is the column index within the query's output schema.
+	Col int
+	// Desc selects descending order.
+	Desc bool
+}

@@ -1,0 +1,87 @@
+// Package sim provides the deterministic virtual-time substrate used by
+// every simulated hardware component in this repository.
+//
+// The central abstractions are:
+//
+//   - Clock: a virtual timeline measured in time.Duration since boot.
+//   - Server: a rate server (a resource that processes work at a fixed
+//     byte/s or cycle/s rate, one unit at a time) with a busy-until
+//     horizon. Pipelines of Servers yield deterministic event-driven
+//     timing: a unit's completion time is the max of its dependencies'
+//     completion times plus its own service time.
+//
+// Nothing in this package touches wall-clock time; simulations are fully
+// deterministic and therefore testable to the nanosecond.
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Clock is a virtual timeline. The zero value is a clock at time zero.
+//
+// Clock deliberately has no relation to wall time: all device models
+// advance it explicitly, which keeps every experiment deterministic.
+type Clock struct {
+	now time.Duration
+}
+
+// Now reports the current virtual time since boot.
+func (c *Clock) Now() time.Duration { return c.now }
+
+// Advance moves the clock forward by d. Advance panics if d is negative,
+// because virtual time never runs backwards.
+func (c *Clock) Advance(d time.Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: Advance by negative duration %v", d))
+	}
+	c.now += d
+}
+
+// AdvanceTo moves the clock forward to t if t is later than the current
+// time, and is a no-op otherwise. It reports the resulting time.
+func (c *Clock) AdvanceTo(t time.Duration) time.Duration {
+	if t > c.now {
+		c.now = t
+	}
+	return c.now
+}
+
+// Reset rewinds the clock to zero. It is intended for reusing a simulated
+// system across independent experiment runs.
+func (c *Clock) Reset() { c.now = 0 }
+
+// Rate is a processing rate in units per second (bytes/s for links and
+// buses, cycles/s for processors).
+type Rate float64
+
+// Common byte-rate constructors.
+const (
+	KB = 1 << 10
+	MB = 1 << 20
+	GB = 1 << 30
+)
+
+// MBps returns a Rate of n binary megabytes per second.
+func MBps(n float64) Rate { return Rate(n * MB) }
+
+// GBps returns a Rate of n binary gigabytes per second.
+func GBps(n float64) Rate { return Rate(n * GB) }
+
+// MHz returns a Rate of n million cycles per second.
+func MHz(n float64) Rate { return Rate(n * 1e6) }
+
+// GHz returns a Rate of n billion cycles per second.
+func GHz(n float64) Rate { return Rate(n * 1e9) }
+
+// ServiceTime reports how long a server with this rate takes to process
+// n units (bytes or cycles). A zero or negative rate yields zero time,
+// which models an infinitely fast (unconstrained) resource.
+func (r Rate) ServiceTime(n int64) time.Duration {
+	if r <= 0 || n <= 0 {
+		return 0
+	}
+	sec := float64(n) / float64(r)
+	return time.Duration(sec * float64(time.Second))
+}

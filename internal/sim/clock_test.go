@@ -1,0 +1,111 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestClockZeroValue(t *testing.T) {
+	var c Clock
+	if got := c.Now(); got != 0 {
+		t.Fatalf("zero clock Now() = %v, want 0", got)
+	}
+}
+
+func TestClockAdvance(t *testing.T) {
+	var c Clock
+	c.Advance(5 * time.Millisecond)
+	c.Advance(3 * time.Millisecond)
+	if got, want := c.Now(), 8*time.Millisecond; got != want {
+		t.Fatalf("Now() = %v, want %v", got, want)
+	}
+}
+
+func TestClockAdvanceNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Advance(-1) did not panic")
+		}
+	}()
+	var c Clock
+	c.Advance(-1)
+}
+
+func TestClockAdvanceTo(t *testing.T) {
+	var c Clock
+	c.Advance(10 * time.Millisecond)
+	if got := c.AdvanceTo(5 * time.Millisecond); got != 10*time.Millisecond {
+		t.Errorf("AdvanceTo(earlier) = %v, want clock unchanged at 10ms", got)
+	}
+	if got := c.AdvanceTo(20 * time.Millisecond); got != 20*time.Millisecond {
+		t.Errorf("AdvanceTo(later) = %v, want 20ms", got)
+	}
+}
+
+func TestClockReset(t *testing.T) {
+	var c Clock
+	c.Advance(time.Second)
+	c.Reset()
+	if c.Now() != 0 {
+		t.Fatalf("after Reset, Now() = %v, want 0", c.Now())
+	}
+}
+
+func TestRateServiceTime(t *testing.T) {
+	tests := []struct {
+		name string
+		rate Rate
+		n    int64
+		want time.Duration
+	}{
+		{"1MBps-1MB", MBps(1), MB, time.Second},
+		{"100MBps-1MB", MBps(100), MB, 10 * time.Millisecond},
+		{"1GHz-1e9cycles", GHz(1), 1e9, time.Second},
+		{"400MHz-4e8cycles", MHz(400), 4e8, time.Second},
+		{"zero-rate-unconstrained", 0, 12345, 0},
+		{"zero-units", MBps(1), 0, 0},
+		{"negative-units", MBps(1), -5, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := tt.rate.ServiceTime(tt.n)
+			if diff := got - tt.want; diff < -time.Microsecond || diff > time.Microsecond {
+				t.Errorf("ServiceTime(%d) = %v, want %v", tt.n, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestRateConstructors(t *testing.T) {
+	if got, want := float64(MBps(550)), 550.0*MB; got != want {
+		t.Errorf("MBps(550) = %v, want %v", got, want)
+	}
+	if got, want := float64(GBps(1.5)), 1.5*GB; got != want {
+		t.Errorf("GBps(1.5) = %v, want %v", got, want)
+	}
+	if got, want := float64(GHz(2)), 2e9; got != want {
+		t.Errorf("GHz(2) = %v, want %v", got, want)
+	}
+	if got, want := float64(MHz(400)), 4e8; got != want {
+		t.Errorf("MHz(400) = %v, want %v", got, want)
+	}
+}
+
+// Service time must scale linearly in n: time(a+b) == time(a)+time(b)
+// within rounding.
+func TestServiceTimeAdditiveProperty(t *testing.T) {
+	f := func(a, b uint32) bool {
+		r := MBps(550)
+		whole := r.ServiceTime(int64(a) + int64(b))
+		parts := r.ServiceTime(int64(a)) + r.ServiceTime(int64(b))
+		diff := whole - parts
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff <= 2 // ≤2ns rounding slack
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

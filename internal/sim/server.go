@@ -1,0 +1,264 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Server models a resource that serves work at a fixed Rate, one request
+// at a time per lane. It is the building block for every pipeline stage
+// in the simulator: a flash channel, the shared DRAM/DMA bus, the host
+// interface link, a CPU core pool.
+//
+// Each lane keeps a calendar of busy intervals. Serve(ready, n) answers:
+// if a request of n bytes/cycles becomes available at virtual time
+// ready, when does this server finish it? The request is placed in the
+// earliest idle window at or after ready that fits its service time —
+// so two independently paced workloads submitted in any call order
+// interleave on the resource exactly as concurrent streams would, which
+// is what makes hybrid host+device execution and multi-session runs
+// meaningful. Chaining Serve calls across stages yields deterministic
+// pipelined timing with backpressure, without an explicit event queue.
+type Server struct {
+	name    string
+	rate    Rate
+	lanes   []lane
+	busy    time.Duration // total busy time accumulated (all lanes)
+	served  int64         // total units processed
+	ops     int64         // number of Serve calls
+	maxWait time.Duration // worst queueing delay observed
+	tracer  TraceFunc
+}
+
+// TraceFunc receives one record per served request: the resource name,
+// the lane it ran on, when it became ready, when it completed, and its
+// size in bytes or cycles. Wire one with SetTracer to export run
+// timelines (e.g. queryrun -trace).
+type TraceFunc func(server string, lane int, ready, done time.Duration, units int64)
+
+// interval is one busy window [start, end) on a lane's calendar.
+type interval struct {
+	start, end time.Duration
+}
+
+// lane is a calendar of busy intervals sorted by start time.
+type lane struct {
+	ivs []interval
+}
+
+// place reserves d of service starting no earlier than ready, spilling
+// across idle fragments between existing reservations (hardware
+// arbitrates buses and timeslices cores at a much finer grain than one
+// request, so a latecomer soaks up fragmented idle time rather than
+// waiting for the whole calendar to drain). A zero-length request is
+// admitted at ready without reserving.
+func (l *lane) place(ready time.Duration, d time.Duration) (start, done time.Duration) {
+	if d <= 0 {
+		return ready, ready
+	}
+	done, frags := l.plan(ready, d)
+	// Apply the fragments: each either extends an existing interval or
+	// inserts a new one. Walk from the back so indexes stay valid.
+	for fi := len(frags) - 1; fi >= 0; fi-- {
+		l.reserve(frags[fi])
+	}
+	return frags[0].start, done
+}
+
+// plan computes the fragments a request of length d ready at the given
+// time would occupy, without reserving them.
+func (l *lane) plan(ready time.Duration, d time.Duration) (time.Duration, []interval) {
+	var frags []interval
+	remaining := d
+	t := ready
+	i := sort.Search(len(l.ivs), func(k int) bool { return l.ivs[k].end > t })
+	for remaining > 0 {
+		gapEnd := time.Duration(1<<62 - 1)
+		if i < len(l.ivs) {
+			gapEnd = l.ivs[i].start
+		}
+		if gapEnd > t {
+			take := remaining
+			if g := gapEnd - t; g < take {
+				take = g
+			}
+			frags = append(frags, interval{t, t + take})
+			remaining -= take
+			t += take
+		}
+		if remaining > 0 {
+			t = l.ivs[i].end
+			i++
+		}
+	}
+	return t, frags
+}
+
+// peek reports when a request of length d ready at the given time would
+// complete, without reserving.
+func (l *lane) peek(ready time.Duration, d time.Duration) time.Duration {
+	if d <= 0 {
+		return ready
+	}
+	done, _ := l.plan(ready, d)
+	return done
+}
+
+// reserve inserts one busy fragment, coalescing with neighbours that it
+// abuts so the calendar stays compact.
+func (l *lane) reserve(iv interval) {
+	i := sort.Search(len(l.ivs), func(k int) bool { return l.ivs[k].start >= iv.start })
+	// Coalesce with the predecessor (which must end exactly at iv.start
+	// to abut) and/or the successor (which must start at iv.end).
+	prevAbuts := i > 0 && l.ivs[i-1].end == iv.start
+	nextAbuts := i < len(l.ivs) && l.ivs[i].start == iv.end
+	switch {
+	case prevAbuts && nextAbuts:
+		l.ivs[i-1].end = l.ivs[i].end
+		l.ivs = append(l.ivs[:i], l.ivs[i+1:]...)
+	case prevAbuts:
+		l.ivs[i-1].end = iv.end
+	case nextAbuts:
+		l.ivs[i].start = iv.start
+	default:
+		l.ivs = append(l.ivs, interval{})
+		copy(l.ivs[i+1:], l.ivs[i:])
+		l.ivs[i] = iv
+	}
+}
+
+func (l *lane) horizon() time.Duration {
+	if len(l.ivs) == 0 {
+		return 0
+	}
+	return l.ivs[len(l.ivs)-1].end
+}
+
+// NewServer returns a single-lane server that processes work at rate.
+// The name is used in diagnostics and bottleneck reports.
+func NewServer(name string, rate Rate) *Server {
+	return NewMultiServer(name, rate, 1)
+}
+
+// NewMultiServer returns a server with lanes parallel lanes, each
+// processing at rate (e.g. a 3-core device CPU is a 3-lane server whose
+// rate is cycles/s per core). Work goes to the lane that finishes it
+// earliest, which models an ideal work-conserving scheduler.
+func NewMultiServer(name string, rate Rate, lanes int) *Server {
+	if lanes < 1 {
+		panic(fmt.Sprintf("sim: server %q must have at least one lane", name))
+	}
+	return &Server{name: name, rate: rate, lanes: make([]lane, lanes)}
+}
+
+// Name reports the diagnostic name of the server.
+func (s *Server) Name() string { return s.name }
+
+// Rate reports the per-lane processing rate.
+func (s *Server) Rate() Rate { return s.rate }
+
+// Lanes reports the number of parallel lanes.
+func (s *Server) Lanes() int { return len(s.lanes) }
+
+// Serve schedules a request of n bytes (or cycles) that becomes ready
+// at the given virtual time and reports when this server finishes it.
+// Serve is the heart of the pipeline model.
+func (s *Server) Serve(ready time.Duration, n int64) time.Duration {
+	return s.ServeWithSetup(ready, 0, n)
+}
+
+// ServeWithSetup is Serve with a fixed per-request setup time that
+// occupies the chosen lane before the payload transfers — protocol
+// turnaround on a link, command dispatch on a controller.
+func (s *Server) ServeWithSetup(ready time.Duration, setup time.Duration, n int64) time.Duration {
+	d := setup + s.rate.ServiceTime(n)
+	// Choose the lane that starts (hence finishes) the request earliest.
+	best := 0
+	if len(s.lanes) > 1 {
+		bestStart := s.lanes[0].peek(ready, d)
+		for i := 1; i < len(s.lanes); i++ {
+			if st := s.lanes[i].peek(ready, d); st < bestStart {
+				best, bestStart = i, st
+			}
+		}
+	}
+	start, done := s.lanes[best].place(ready, d)
+	if wait := start - ready; wait > s.maxWait {
+		s.maxWait = wait
+	}
+	s.busy += d
+	s.served += n
+	s.ops++
+	if s.tracer != nil {
+		s.tracer(s.name, best, ready, done, n)
+	}
+	return done
+}
+
+// SetTracer installs (or, with nil, removes) a per-request trace hook.
+func (s *Server) SetTracer(fn TraceFunc) { s.tracer = fn }
+
+// Horizon reports the latest busy-until time across all lanes: the time
+// at which the server fully drains if no more work arrives.
+func (s *Server) Horizon() time.Duration {
+	h := time.Duration(0)
+	for i := range s.lanes {
+		if lh := s.lanes[i].horizon(); lh > h {
+			h = lh
+		}
+	}
+	return h
+}
+
+// BusyTime reports the cumulative service time across all lanes.
+func (s *Server) BusyTime() time.Duration { return s.busy }
+
+// Served reports the total units (bytes or cycles) processed.
+func (s *Server) Served() int64 { return s.served }
+
+// Ops reports the number of Serve calls handled.
+func (s *Server) Ops() int64 { return s.ops }
+
+// MaxWait reports the worst queueing delay any request experienced.
+func (s *Server) MaxWait() time.Duration { return s.maxWait }
+
+// Utilization reports busy time as a fraction of the span [0, end].
+// It reports 0 for a non-positive span.
+func (s *Server) Utilization(end time.Duration) float64 {
+	if end <= 0 {
+		return 0
+	}
+	return float64(s.busy) / float64(end) / float64(len(s.lanes))
+}
+
+// Reset clears all calendars and counters so the server can be reused
+// for an independent run on the same simulated hardware.
+func (s *Server) Reset() {
+	for i := range s.lanes {
+		s.lanes[i].ivs = s.lanes[i].ivs[:0]
+	}
+	s.busy, s.served, s.ops, s.maxWait = 0, 0, 0, 0
+}
+
+// String summarizes the server state for diagnostics.
+func (s *Server) String() string {
+	return fmt.Sprintf("%s{lanes=%d rate=%.0f/s served=%d busy=%v}",
+		s.name, len(s.lanes), float64(s.rate), s.served, s.busy)
+}
+
+// BusiestServer reports the server with the greatest cumulative busy time,
+// i.e. the pipeline bottleneck over a run. It reports nil for an empty
+// argument list.
+func BusiestServer(servers ...*Server) *Server {
+	var best *Server
+	for _, s := range servers {
+		if s == nil {
+			continue
+		}
+		if best == nil || s.BusyTime() > best.BusyTime() {
+			best = s
+		}
+	}
+	return best
+}

@@ -1,0 +1,280 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestServerSequentialService(t *testing.T) {
+	s := NewServer("link", MBps(1)) // 1 MB/s -> 1 MB takes 1s
+	d1 := s.Serve(0, MB)
+	if d1 != time.Second {
+		t.Fatalf("first unit done at %v, want 1s", d1)
+	}
+	// Second unit ready immediately but must queue behind the first.
+	d2 := s.Serve(0, MB)
+	if d2 != 2*time.Second {
+		t.Fatalf("second unit done at %v, want 2s", d2)
+	}
+	if s.MaxWait() != time.Second {
+		t.Fatalf("MaxWait = %v, want 1s", s.MaxWait())
+	}
+}
+
+func TestServerIdleGap(t *testing.T) {
+	s := NewServer("link", MBps(1))
+	s.Serve(0, MB) // busy until 1s
+	// Unit arriving at 5s starts at 5s, no queueing.
+	done := s.Serve(5*time.Second, MB)
+	if done != 6*time.Second {
+		t.Fatalf("unit after idle gap done at %v, want 6s", done)
+	}
+}
+
+func TestMultiServerParallelLanes(t *testing.T) {
+	s := NewMultiServer("cpu", MHz(1), 2) // each lane: 1e6 cycles/s
+	// Three 1e6-cycle jobs all ready at t=0 on 2 lanes:
+	// lanes finish at 1s,1s then third queues -> 2s.
+	d1 := s.Serve(0, 1e6)
+	d2 := s.Serve(0, 1e6)
+	d3 := s.Serve(0, 1e6)
+	if d1 != time.Second || d2 != time.Second {
+		t.Fatalf("first two jobs done at %v,%v, want 1s,1s", d1, d2)
+	}
+	if d3 != 2*time.Second {
+		t.Fatalf("third job done at %v, want 2s", d3)
+	}
+	if got := s.Horizon(); got != 2*time.Second {
+		t.Fatalf("Horizon = %v, want 2s", got)
+	}
+}
+
+func TestServerCounters(t *testing.T) {
+	s := NewServer("bus", MBps(100))
+	s.Serve(0, 256*KB)
+	s.Serve(0, 256*KB)
+	if got := s.Served(); got != 512*KB {
+		t.Errorf("Served = %d, want %d", got, 512*KB)
+	}
+	if got := s.Ops(); got != 2 {
+		t.Errorf("Ops = %d, want 2", got)
+	}
+	wantBusy := MBps(100).ServiceTime(512 * KB)
+	if got := s.BusyTime(); got != wantBusy {
+		t.Errorf("BusyTime = %v, want %v", got, wantBusy)
+	}
+}
+
+func TestServerUtilization(t *testing.T) {
+	s := NewServer("bus", MBps(1))
+	end := s.Serve(0, MB) // busy the whole 1s span
+	if u := s.Utilization(end); math.Abs(u-1.0) > 1e-9 {
+		t.Errorf("Utilization = %v, want 1.0", u)
+	}
+	if u := s.Utilization(2 * end); math.Abs(u-0.5) > 1e-9 {
+		t.Errorf("Utilization over double span = %v, want 0.5", u)
+	}
+	if u := s.Utilization(0); u != 0 {
+		t.Errorf("Utilization(0) = %v, want 0", u)
+	}
+}
+
+func TestServerReset(t *testing.T) {
+	s := NewMultiServer("cpu", GHz(1), 4)
+	s.Serve(0, 1e9)
+	s.Reset()
+	if s.Horizon() != 0 || s.Served() != 0 || s.Ops() != 0 || s.BusyTime() != 0 {
+		t.Fatalf("Reset did not clear state: %v", s)
+	}
+	if d := s.Serve(0, 1e9); d != time.Second {
+		t.Fatalf("post-reset Serve = %v, want 1s", d)
+	}
+}
+
+func TestNewMultiServerZeroLanesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewMultiServer with 0 lanes did not panic")
+		}
+	}()
+	NewMultiServer("bad", MBps(1), 0)
+}
+
+func TestBusiestServer(t *testing.T) {
+	a := NewServer("a", MBps(1))
+	b := NewServer("b", MBps(1))
+	a.Serve(0, MB)
+	b.Serve(0, 3*MB)
+	if got := BusiestServer(a, b); got != b {
+		t.Errorf("BusiestServer = %v, want b", got)
+	}
+	if got := BusiestServer(); got != nil {
+		t.Errorf("BusiestServer() = %v, want nil", got)
+	}
+	if got := BusiestServer(nil, a); got != a {
+		t.Errorf("BusiestServer(nil, a) = %v, want a", got)
+	}
+}
+
+// Pipeline throughput property: a two-stage pipeline's drain time is
+// governed by its slowest stage once the pipeline fills.
+func TestPipelineBottleneckDominates(t *testing.T) {
+	fast := NewServer("fast", MBps(1000))
+	slow := NewServer("slow", MBps(100))
+	const units = 64
+	const unit = 256 * KB
+	var done time.Duration
+	for i := 0; i < units; i++ {
+		ready := fast.Serve(0, unit)
+		done = slow.Serve(ready, unit)
+	}
+	want := MBps(100).ServiceTime(units*unit) + MBps(1000).ServiceTime(unit)
+	tol := want / 100
+	if done < want-tol || done > want+tol {
+		t.Fatalf("pipeline drained at %v, want about %v (slow-stage bound)", done, want)
+	}
+}
+
+// Serving monotonically-ready units yields monotonically nondecreasing
+// completion times (FIFO order preserved per lane).
+func TestServerMonotoneProperty(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		s := NewServer("s", MBps(10))
+		var ready, last time.Duration
+		for _, sz := range sizes {
+			done := s.Serve(ready, int64(sz))
+			if done < last {
+				return false
+			}
+			last = done
+			ready += time.Microsecond
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// A k-lane server is never slower than a 1-lane server at the same rate,
+// and never faster than a 1-lane server at k times the rate.
+func TestMultiServerBoundsProperty(t *testing.T) {
+	f := func(n uint8) bool {
+		jobs := int(n%32) + 1
+		multi := NewMultiServer("m", MHz(100), 4)
+		single := NewServer("s", MHz(100))
+		wide := NewServer("w", MHz(400))
+		var dm, ds, dw time.Duration
+		for i := 0; i < jobs; i++ {
+			dm = multi.Serve(0, 1e6)
+			ds = single.Serve(0, 1e6)
+			dw = wide.Serve(0, 1e6)
+		}
+		// Allow tiny rounding slack.
+		return dm <= ds+time.Microsecond && dm >= dw-time.Microsecond
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Fluid sharing: a latecomer soaks up the idle fragments between an
+// earlier paced stream's reservations instead of queueing behind its
+// whole calendar — the property concurrent host+device workloads need.
+func TestLatecomerFillsFragmentedIdleTime(t *testing.T) {
+	s := NewServer("bus", MBps(1)) // 1 MB/s
+	// Paced stream: 100 KB every 400ms (busy 100ms of every 400ms).
+	for i := 0; i < 10; i++ {
+		s.Serve(time.Duration(i)*400*time.Millisecond, 100*KB)
+	}
+	horizon := s.Horizon() // about 3.7s
+	// Latecomer at t=0 wants 900 KB (900ms of service). Idle time up
+	// front is abundant; it must finish far before the paced stream's
+	// horizon + 900ms.
+	done := s.Serve(0, 900*KB)
+	if done >= horizon {
+		t.Fatalf("latecomer done at %v, after the paced stream's horizon %v", done, horizon)
+	}
+	// 900ms of service into 300ms-idle/100ms-busy windows: done around
+	// 1.2-1.3s.
+	if done > 1500*time.Millisecond {
+		t.Fatalf("latecomer done at %v, want about 1.2s (fluid sharing)", done)
+	}
+}
+
+// Reservations never overlap within a lane, whatever the arrival order.
+func TestNoOverlappingReservationsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewServer("s", MBps(10))
+		for i := 0; i < 200; i++ {
+			ready := time.Duration(rng.Intn(1000)) * time.Millisecond
+			s.Serve(ready, int64(rng.Intn(200*KB)+1))
+		}
+		ivs := s.lanes[0].ivs
+		for i := 1; i < len(ivs); i++ {
+			if ivs[i].start < ivs[i-1].end {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Total busy time equals the sum of reserved interval lengths (no work
+// lost or duplicated by fragmentation/coalescing).
+func TestBusyTimeMatchesCalendarProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewServer("s", MBps(10))
+		for i := 0; i < 100; i++ {
+			ready := time.Duration(rng.Intn(500)) * time.Millisecond
+			s.Serve(ready, int64(rng.Intn(100*KB)+1))
+		}
+		var calendar time.Duration
+		for _, iv := range s.lanes[0].ivs {
+			calendar += iv.end - iv.start
+		}
+		diff := calendar - s.BusyTime()
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff <= time.Duration(200) // ns rounding slack
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestServeWithSetupOccupiesLane(t *testing.T) {
+	s := NewServer("link", MBps(1))
+	// 1 MB payload + 500ms setup: done at 1.5s, all of it busy time.
+	done := s.ServeWithSetup(0, 500*time.Millisecond, MB)
+	if done != 1500*time.Millisecond {
+		t.Fatalf("done = %v, want 1.5s", done)
+	}
+	if s.BusyTime() != 1500*time.Millisecond {
+		t.Fatalf("BusyTime = %v, want 1.5s (setup occupies the lane)", s.BusyTime())
+	}
+	// A second request queues behind setup+payload.
+	if done2 := s.Serve(0, MB); done2 != 2500*time.Millisecond {
+		t.Fatalf("second done = %v, want 2.5s", done2)
+	}
+}
+
+func TestZeroLengthRequestIsFree(t *testing.T) {
+	s := NewServer("s", MBps(1))
+	s.Serve(0, MB)
+	if done := s.Serve(0, 0); done != 0 {
+		t.Fatalf("zero-length request done at %v, want 0 (no queueing)", done)
+	}
+	if s.Ops() != 2 {
+		t.Fatalf("Ops = %d", s.Ops())
+	}
+}

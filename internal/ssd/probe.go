@@ -1,0 +1,90 @@
+package ssd
+
+import (
+	"time"
+
+	"smartssd/internal/ftl"
+	"smartssd/internal/sim"
+)
+
+// BandwidthProbe measures a device's sequential-read bandwidth the way
+// the paper's Table 2 does: a cold sequential read of a fixed span using
+// IOUnitPages-sized requests, reported in MB/s.
+//
+// Internal bandwidth stops at device DRAM (what a Smart SSD program
+// sees); host bandwidth continues over the host interface (what the
+// regular read path sees).
+type BandwidthProbe struct {
+	// Pages is the span length; 2048 pages (16 MB at 8 KB pages) is
+	// enough to reach steady state. Defaults to 2048.
+	Pages int64
+}
+
+func (p BandwidthProbe) pages() int64 {
+	if p.Pages <= 0 {
+		return 2048
+	}
+	return p.Pages
+}
+
+// ensureLoaded maps the probe span, writing zero pages (untimed) where
+// the span is unmapped, so the probe can run on a fresh device.
+func (p BandwidthProbe) ensureLoaded(d *Device) error {
+	zero := make([]byte, d.PageSize())
+	for lba := ftl.LBA(0); int64(lba) < p.pages(); lba++ {
+		if _, ok := d.ftl.Lookup(lba); ok {
+			continue
+		}
+		if err := d.ftl.Write(lba, zero); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Internal measures the device-internal sequential read bandwidth in
+// MB/s: flash channels + shared DMA bus, ending in device DRAM. The
+// device's timing state is reset before and after.
+func (p BandwidthProbe) Internal(d *Device) (float64, error) {
+	if err := p.ensureLoaded(d); err != nil {
+		return 0, err
+	}
+	d.ResetTiming()
+	var last time.Duration
+	for lba := int64(0); lba < p.pages(); lba++ {
+		_, at, err := d.FetchPage(lba, 0)
+		if err != nil {
+			return 0, err
+		}
+		if at > last {
+			last = at
+		}
+	}
+	bw := bandwidthMBps(p.pages()*int64(d.PageSize()), last)
+	d.ResetTiming()
+	return bw, nil
+}
+
+// Host measures the host-visible sequential read bandwidth in MB/s:
+// flash, DMA bus, and the host interface link, using IOUnitPages-sized
+// requests. The device's timing state is reset before and after.
+func (p BandwidthProbe) Host(d *Device) (float64, error) {
+	if err := p.ensureLoaded(d); err != nil {
+		return 0, err
+	}
+	d.ResetTiming()
+	last, err := d.ReadRange(0, p.pages(), 0, func(int64, []byte, time.Duration) error { return nil })
+	if err != nil {
+		return 0, err
+	}
+	bw := bandwidthMBps(p.pages()*int64(d.PageSize()), last)
+	d.ResetTiming()
+	return bw, nil
+}
+
+func bandwidthMBps(bytes int64, elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(bytes) / sim.MB / elapsed.Seconds()
+}

@@ -1,0 +1,399 @@
+package ssd
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"smartssd/internal/ftl"
+	"smartssd/internal/nand"
+	"smartssd/internal/sim"
+)
+
+// smallParams keeps tests fast: tiny NAND, default controller rates.
+func smallParams() Params {
+	p := DefaultParams()
+	p.Geometry = nand.Geometry{
+		Channels:        8,
+		ChipsPerChannel: 2,
+		BlocksPerChip:   32,
+		PagesPerBlock:   32,
+		PageSize:        8192,
+	}
+	return p
+}
+
+func newDevice(t *testing.T, p Params) *Device {
+	t.Helper()
+	d, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func taggedPage(d *Device, tag uint64) []byte {
+	b := make([]byte, d.PageSize())
+	binary.LittleEndian.PutUint64(b, tag)
+	return b
+}
+
+func TestDefaultParamsMatchPaperDevice(t *testing.T) {
+	p := DefaultParams()
+	if p.Geometry.Channels != 8 {
+		t.Errorf("channels = %d, want 8", p.Geometry.Channels)
+	}
+	if got := float64(p.DMABusRate) / sim.MB; got != 1560 {
+		t.Errorf("DMA bus = %.0f MB/s, want 1560", got)
+	}
+	if got := float64(p.Host.EffectiveRate) / sim.MB; got != 550 {
+		t.Errorf("host link = %.0f MB/s, want 550", got)
+	}
+	if p.IOUnitPages*p.Geometry.PageSize != 256*sim.KB {
+		t.Errorf("I/O unit = %d bytes, want 256 KB", p.IOUnitPages*p.Geometry.PageSize)
+	}
+	// Aggregate channel bandwidth must exceed the DMA bus, so the bus is
+	// the internal bottleneck, as in the paper's explanation of why the
+	// gap is 2.8x rather than 10x.
+	agg := float64(p.Timing.ChannelRate) * float64(p.Geometry.Channels)
+	if agg <= float64(p.DMABusRate) {
+		t.Errorf("aggregate channel bw %.0f <= DMA bus %.0f; bus would not be the bottleneck",
+			agg/sim.MB, float64(p.DMABusRate)/sim.MB)
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	d := newDevice(t, smallParams())
+	for i := 0; i < 100; i++ {
+		if _, err := d.WritePage(int64(i), taggedPage(d, uint64(i)+7), 0); err != nil {
+			t.Fatalf("WritePage(%d): %v", i, err)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		data, at, err := d.ReadPage(int64(i), 0)
+		if err != nil {
+			t.Fatalf("ReadPage(%d): %v", i, err)
+		}
+		if binary.LittleEndian.Uint64(data) != uint64(i)+7 {
+			t.Fatalf("page %d contents wrong", i)
+		}
+		if at <= 0 {
+			t.Fatalf("page %d arrived at %v, want positive time", i, at)
+		}
+	}
+}
+
+func TestFetchUnmapped(t *testing.T) {
+	d := newDevice(t, smallParams())
+	if _, _, err := d.FetchPage(5, 0); err == nil {
+		t.Fatal("FetchPage of unmapped LBA succeeded")
+	}
+}
+
+func TestFetchChargesChannelAndDMAOnly(t *testing.T) {
+	d := newDevice(t, smallParams())
+	d.WritePage(0, taggedPage(d, 1), 0)
+	d.ResetTiming()
+	_, at, err := d.FetchPage(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := d.Activity()
+	if a.LinkBusy != 0 {
+		t.Errorf("internal fetch used host link for %v", a.LinkBusy)
+	}
+	if a.ChannelBusy == 0 || a.DMABusy == 0 {
+		t.Errorf("fetch did not charge channel (%v) or DMA (%v)", a.ChannelBusy, a.DMABusy)
+	}
+	// Arrival = tR + channel transfer + DMA transfer.
+	p := d.Params()
+	want := p.Timing.ReadLatency +
+		p.Timing.ChannelRate.ServiceTime(int64(d.PageSize())) +
+		p.DMABusRate.ServiceTime(int64(d.PageSize()))
+	if at != want {
+		t.Errorf("cold fetch arrival = %v, want %v", at, want)
+	}
+}
+
+func TestReadPageChargesLink(t *testing.T) {
+	d := newDevice(t, smallParams())
+	d.WritePage(0, taggedPage(d, 1), 0)
+	d.ResetTiming()
+	_, at, err := d.ReadPage(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := d.Activity()
+	if a.LinkBusy == 0 {
+		t.Error("host read did not charge link")
+	}
+	if a.LinkBytesOut != int64(d.PageSize()) {
+		t.Errorf("LinkBytesOut = %d, want %d", a.LinkBytesOut, d.PageSize())
+	}
+	fetchOnly := d.Params().Timing.ReadLatency +
+		d.Params().Timing.ChannelRate.ServiceTime(int64(d.PageSize())) +
+		d.Params().DMABusRate.ServiceTime(int64(d.PageSize()))
+	if at <= fetchOnly {
+		t.Errorf("host arrival %v not after DRAM arrival %v", at, fetchOnly)
+	}
+}
+
+func TestReadRangeVisitsAllPagesInOrder(t *testing.T) {
+	d := newDevice(t, smallParams())
+	const n = 100
+	for i := 0; i < n; i++ {
+		d.WritePage(int64(i), taggedPage(d, uint64(i)), 0)
+	}
+	d.ResetTiming()
+	var seen []int64
+	var lastArrival time.Duration
+	end, err := d.ReadRange(0, n, 0, func(lba int64, data []byte, at time.Duration) error {
+		seen = append(seen, lba)
+		if binary.LittleEndian.Uint64(data) != uint64(lba) {
+			t.Fatalf("lba %d contents wrong", lba)
+		}
+		if at < lastArrival {
+			t.Fatalf("arrival went backwards at lba %d", lba)
+		}
+		lastArrival = at
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != n {
+		t.Fatalf("visited %d pages, want %d", len(seen), n)
+	}
+	for i, lba := range seen {
+		if lba != int64(i) {
+			t.Fatalf("visit order broken at %d: %d", i, lba)
+		}
+	}
+	if end != lastArrival {
+		t.Fatalf("ReadRange end %v != last arrival %v", end, lastArrival)
+	}
+}
+
+func TestInternalBandwidthMatchesTable2(t *testing.T) {
+	d := newDevice(t, smallParams())
+	bw, err := BandwidthProbe{}.Internal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper Table 2: 1,560 MB/s internal. Allow 3% for pipeline fill.
+	if bw < 1500 || bw > 1570 {
+		t.Fatalf("internal bandwidth = %.0f MB/s, want about 1560", bw)
+	}
+}
+
+func TestHostBandwidthMatchesTable2(t *testing.T) {
+	d := newDevice(t, smallParams())
+	bw, err := BandwidthProbe{}.Host(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper Table 2: 550 MB/s over the SAS link. Allow 3%.
+	if bw < 530 || bw > 555 {
+		t.Fatalf("host bandwidth = %.0f MB/s, want about 550", bw)
+	}
+}
+
+func TestBandwidthRatioIs2Point8(t *testing.T) {
+	d := newDevice(t, smallParams())
+	in, err := BandwidthProbe{}.Internal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	host, err := BandwidthProbe{}.Host(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := in / host
+	if ratio < 2.7 || ratio > 2.95 {
+		t.Fatalf("internal/host = %.2f, want about 2.8 (Table 2)", ratio)
+	}
+}
+
+func TestDeviceComputeUsesCores(t *testing.T) {
+	p := smallParams()
+	p.DeviceCPUCores = 2
+	p.DeviceCPUHz = sim.MHz(100)
+	d := newDevice(t, p)
+	// Two jobs of 1e6 cycles on two 100MHz cores: both done at 10ms.
+	d1 := d.DeviceCompute(1e6, 0)
+	d2 := d.DeviceCompute(1e6, 0)
+	if d1 != 10*time.Millisecond || d2 != 10*time.Millisecond {
+		t.Fatalf("compute done at %v, %v; want 10ms each (parallel cores)", d1, d2)
+	}
+	d3 := d.DeviceCompute(1e6, 0)
+	if d3 != 20*time.Millisecond {
+		t.Fatalf("third job done at %v, want 20ms (queued)", d3)
+	}
+}
+
+func TestResetTimingPreservesData(t *testing.T) {
+	d := newDevice(t, smallParams())
+	d.WritePage(3, taggedPage(d, 42), 0)
+	d.ResetTiming()
+	a := d.Activity()
+	if a.ChannelBusy != 0 || a.DMABusy != 0 || a.LinkBusy != 0 || a.FlashPagesRead != 0 {
+		t.Fatalf("activity not cleared: %+v", a)
+	}
+	data, _, err := d.ReadPage(3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if binary.LittleEndian.Uint64(data) != 42 {
+		t.Fatal("data lost across ResetTiming")
+	}
+}
+
+func TestBottleneckIdentification(t *testing.T) {
+	d := newDevice(t, smallParams())
+	if got := d.Bottleneck(); got != "idle" {
+		t.Fatalf("fresh device bottleneck = %q, want idle", got)
+	}
+	// A host sequential read is link-bound (550 < 1560).
+	BandwidthProbe{}.ensureLoaded(d)
+	d.ResetTiming()
+	d.ReadRange(0, 2048, 0, func(int64, []byte, time.Duration) error { return nil })
+	if got := d.Bottleneck(); got != "host-link" {
+		t.Fatalf("host-read bottleneck = %q, want host-link", got)
+	}
+	// An internal read is DMA-bound.
+	d.ResetTiming()
+	for i := 0; i < 2048; i++ {
+		d.FetchPage(int64(i), 0)
+	}
+	if got := d.Bottleneck(); got != "dma-bus" {
+		t.Fatalf("internal-read bottleneck = %q, want dma-bus", got)
+	}
+}
+
+func TestWritePageChargesGC(t *testing.T) {
+	// A tiny device overwritten repeatedly must trigger GC, and the GC
+	// traffic must show up as channel/DMA busy time beyond what the
+	// foreground writes alone explain.
+	p := smallParams()
+	p.Geometry.BlocksPerChip = 4
+	p.Geometry.PagesPerBlock = 8
+	p.Geometry.ChipsPerChannel = 1
+	p.Geometry.Channels = 2
+	p.FTL = ftl.Config{OverProvision: 0.25, GCLowWater: 2}
+	d := newDevice(t, p)
+	n := d.CapacityPages()
+	var done time.Duration
+	for round := 0; round < 6; round++ {
+		for i := int64(0); i < n; i++ {
+			var err error
+			done, err = d.WritePage(int64(i), taggedPage(d, uint64(round)), done)
+			if err != nil {
+				t.Fatalf("round %d write %d: %v", round, i, err)
+			}
+		}
+	}
+	if d.FTLStats().GCRuns == 0 {
+		t.Fatal("workload did not trigger GC")
+	}
+	// All data still correct.
+	for i := int64(0); i < n; i++ {
+		data, _, err := d.ReadPage(int64(i), done)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if binary.LittleEndian.Uint64(data) != 5 {
+			t.Fatalf("lba %d = %d, want 5", i, binary.LittleEndian.Uint64(data))
+		}
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	d := newDevice(t, smallParams())
+	s := d.Describe()
+	for _, want := range []string{"SAS 6Gb/s", "DMA bus", "1560 MB/s", "8 channels", "I/O unit"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Describe() missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestNewRejectsBadGeometry(t *testing.T) {
+	p := smallParams()
+	p.Geometry.Channels = -1
+	if _, err := New(p); err == nil {
+		t.Fatal("New accepted negative channel count")
+	}
+}
+
+func TestZeroParamsGetDefaults(t *testing.T) {
+	d, err := New(Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Params().Geometry.Channels != 8 || d.Params().IOUnitPages != 32 {
+		t.Fatalf("zero params not filled: %+v", d.Params())
+	}
+	if !bytes.Equal([]byte(d.Params().Name), []byte(DefaultParams().Name)) {
+		t.Fatalf("name not defaulted: %q", d.Params().Name)
+	}
+}
+
+func TestRestoreAndMappedPages(t *testing.T) {
+	d := newDevice(t, smallParams())
+	want := map[int64]byte{3: 7, 5: 9, 11: 13}
+	for lba, tag := range want {
+		if err := d.RestorePage(lba, taggedPage(d, uint64(tag))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Restore is untimed.
+	if a := d.Activity(); a.ChannelBusy != 0 || a.LinkBusy != 0 {
+		t.Fatalf("RestorePage charged time: %+v", a)
+	}
+	got := map[int64]byte{}
+	err := d.MappedPages(func(lba int64, data []byte) error {
+		got[lba] = data[0]
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("MappedPages visited %d pages, want %d", len(got), len(want))
+	}
+	for lba, tag := range want {
+		if got[lba] != tag {
+			t.Fatalf("lba %d = %d, want %d", lba, got[lba], tag)
+		}
+	}
+}
+
+func TestMappedPagesOrderAndStop(t *testing.T) {
+	d := newDevice(t, smallParams())
+	for i := int64(0); i < 10; i++ {
+		d.RestorePage(i, taggedPage(d, uint64(i)))
+	}
+	var seen []int64
+	stop := fmt.Errorf("stop")
+	err := d.MappedPages(func(lba int64, _ []byte) error {
+		seen = append(seen, lba)
+		if lba == 4 {
+			return stop
+		}
+		return nil
+	})
+	if err != stop {
+		t.Fatalf("err = %v", err)
+	}
+	for i, lba := range seen {
+		if lba != int64(i) {
+			t.Fatalf("visit order broken: %v", seen)
+		}
+	}
+	if len(seen) != 5 {
+		t.Fatalf("visited %d pages after stop", len(seen))
+	}
+}

@@ -1,0 +1,112 @@
+// Package synth generates the paper's synthetic join workload (§4.2.3.1):
+// the Synthetic64_R and Synthetic64_S tables of 64 integer columns each,
+// with |S| = 400 x |R|, R.Col_1 the primary key and S.Col_2 a foreign
+// key into it, and the selection-with-join query
+//
+//	SELECT S.Col_1, R.Col_2
+//	FROM Synthetic64_R R, Synthetic64_S S
+//	WHERE R.Col_1 = S.Col_2 AND S.Col_3 < [VALUE]
+//
+// S.Col_3 is uniform in [0, 100), so the paper's selectivity sweep maps
+// directly to the predicate constant: S.Col_3 < v selects v percent.
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+
+	"smartssd/internal/expr"
+	"smartssd/internal/plan"
+	"smartssd/internal/schema"
+)
+
+// Columns is the column count of both synthetic tables.
+const Columns = 64
+
+// SRatio is |S| / |R| from the paper (1M vs 400M rows).
+const SRatio = 400
+
+// Schema reports the 64-integer-column schema with the given prefix
+// ("r" or "s"); Col_1..Col_64 match the paper's naming.
+func Schema(prefix string) *schema.Schema {
+	cols := make([]schema.Column, Columns)
+	for i := range cols {
+		cols[i] = schema.Column{
+			Name: fmt.Sprintf("%s_col_%d", prefix, i+1),
+			Kind: schema.Int32,
+		}
+	}
+	return schema.New(cols...)
+}
+
+// Gen produces rows for one synthetic table.
+type Gen struct {
+	rng   *rand.Rand
+	n     int64
+	i     int64
+	rRows int64 // FK domain for S; 0 for R
+	tuple schema.Tuple
+}
+
+// NewRGen generates nR rows of Synthetic64_R: Col_1 is the dense
+// primary key 0..nR-1; the other columns are deterministic derivations.
+func NewRGen(nR int64, seed int64) *Gen {
+	return &Gen{rng: rand.New(rand.NewSource(seed)), n: nR, tuple: make(schema.Tuple, Columns)}
+}
+
+// NewSGen generates nS rows of Synthetic64_S: Col_2 is a uniform
+// foreign key into [0, nR), Col_3 is uniform in [0, 100), and the other
+// columns are uniform integers.
+func NewSGen(nS, nR int64, seed int64) *Gen {
+	return &Gen{rng: rand.New(rand.NewSource(seed)), n: nS, rRows: nR, tuple: make(schema.Tuple, Columns)}
+}
+
+// Count reports the number of rows the generator produces.
+func (g *Gen) Count() int64 { return g.n }
+
+// Next returns the next tuple, or false when exhausted. The tuple is
+// reused across calls.
+func (g *Gen) Next() (schema.Tuple, bool) {
+	if g.i >= g.n {
+		return nil, false
+	}
+	t := g.tuple
+	if g.rRows == 0 {
+		// R: Col_1 = dense PK, Col_2 = a payload derived from the key
+		// (so join results are checkable), rest pseudo-random.
+		t[0] = schema.IntVal(g.i)
+		t[1] = schema.IntVal(g.i * 7)
+		for c := 2; c < Columns; c++ {
+			t[c] = schema.IntVal(int64(int32(g.rng.Int31())))
+		}
+	} else {
+		// S: Col_1 = row id, Col_2 = FK, Col_3 = selectivity column.
+		t[0] = schema.IntVal(g.i)
+		t[1] = schema.IntVal(g.rng.Int63n(g.rRows))
+		t[2] = schema.IntVal(int64(g.rng.Intn(100)))
+		for c := 3; c < Columns; c++ {
+			t[c] = schema.IntVal(int64(int32(g.rng.Int31())))
+		}
+	}
+	g.i++
+	return t, true
+}
+
+// SelectionPredicate reports "S.Col_3 < value" over the S schema;
+// value in [0,100] is the selectivity in percent.
+func SelectionPredicate(value int64) expr.Expr {
+	return expr.Cmp{
+		Op: expr.LT,
+		L:  expr.Col{Index: 2, Name: "s_col_3", K: schema.Int32},
+		R:  expr.IntConst(value),
+	}
+}
+
+// JoinOutput reports the query's SELECT list — S.Col_1 and R.Col_2 —
+// over the combined row (S columns 0..63, R columns 64..127).
+func JoinOutput() []plan.OutputCol {
+	return []plan.OutputCol{
+		{Name: "s_col_1", E: expr.Col{Index: 0, Name: "s_col_1", K: schema.Int32}},
+		{Name: "r_col_2", E: expr.Col{Index: Columns + 1, Name: "r_col_2", K: schema.Int32}},
+	}
+}

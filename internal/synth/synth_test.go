@@ -1,0 +1,130 @@
+package synth
+
+import (
+	"testing"
+
+	"smartssd/internal/expr"
+	"smartssd/internal/page"
+)
+
+func TestSchemaShape(t *testing.T) {
+	s := Schema("s")
+	if s.NumColumns() != 64 {
+		t.Fatalf("columns = %d, want 64", s.NumColumns())
+	}
+	if s.TupleWidth() != 256 {
+		t.Fatalf("tuple width = %d, want 256 (64 x int32)", s.TupleWidth())
+	}
+	if s.ColumnIndex("s_col_1") != 0 || s.ColumnIndex("s_col_64") != 63 {
+		t.Fatal("column naming broken")
+	}
+	// Paper: Synthetic64_S is about 120 GB for 400M tuples, i.e. about
+	// 300 bytes of page footprint per tuple; 31 tuples per 8 KB NSM page.
+	if got := page.Capacity(s, page.NSM); got != 31 {
+		t.Fatalf("NSM capacity = %d tuples/page, want 31", got)
+	}
+}
+
+func TestRGenerator(t *testing.T) {
+	g := NewRGen(1000, 1)
+	i := int64(0)
+	for {
+		tup, ok := g.Next()
+		if !ok {
+			break
+		}
+		if tup[0].Int != i {
+			t.Fatalf("R.Col_1 = %d at row %d, want dense PK", tup[0].Int, i)
+		}
+		if tup[1].Int != i*7 {
+			t.Fatalf("R.Col_2 = %d, want %d", tup[1].Int, i*7)
+		}
+		i++
+	}
+	if i != 1000 {
+		t.Fatalf("generated %d rows", i)
+	}
+}
+
+func TestSGeneratorFKAndSelectivity(t *testing.T) {
+	const nR, nS = 500, 100000
+	g := NewSGen(nS, nR, 2)
+	sel10 := SelectionPredicate(10)
+	hits := 0
+	rows := int64(0)
+	for {
+		tup, ok := g.Next()
+		if !ok {
+			break
+		}
+		if tup[1].Int < 0 || tup[1].Int >= nR {
+			t.Fatalf("S.Col_2 = %d outside FK domain [0,%d)", tup[1].Int, nR)
+		}
+		if tup[2].Int < 0 || tup[2].Int >= 100 {
+			t.Fatalf("S.Col_3 = %d outside [0,100)", tup[2].Int)
+		}
+		if sel10.Eval(expr.TupleRow(tup)).Int != 0 {
+			hits++
+		}
+		rows++
+	}
+	if rows != nS {
+		t.Fatalf("generated %d rows", rows)
+	}
+	frac := float64(hits) / float64(rows)
+	if frac < 0.09 || frac > 0.11 {
+		t.Fatalf("10%% predicate selected %.3f", frac)
+	}
+}
+
+func TestSelectivityBounds(t *testing.T) {
+	g := NewSGen(10000, 100, 3)
+	all := SelectionPredicate(100)
+	none := SelectionPredicate(0)
+	for {
+		tup, ok := g.Next()
+		if !ok {
+			break
+		}
+		if all.Eval(expr.TupleRow(tup)).Int != 1 {
+			t.Fatal("100% predicate rejected a row")
+		}
+		if none.Eval(expr.TupleRow(tup)).Int != 0 {
+			t.Fatal("0% predicate accepted a row")
+		}
+	}
+}
+
+func TestJoinOutputColumns(t *testing.T) {
+	out := JoinOutput()
+	if len(out) != 2 {
+		t.Fatalf("output cols = %d, want 2", len(out))
+	}
+	if out[0].Name != "s_col_1" || out[1].Name != "r_col_2" {
+		t.Fatalf("output names = %s, %s", out[0].Name, out[1].Name)
+	}
+	cols := expr.DistinctColumns(out[1].E)
+	if len(cols) != 1 || cols[0] != Columns+1 {
+		t.Fatalf("r_col_2 references %v, want combined index %d", cols, Columns+1)
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a := NewSGen(5000, 100, 9)
+	b := NewSGen(5000, 100, 9)
+	for {
+		ta, oka := a.Next()
+		tb, okb := b.Next()
+		if oka != okb {
+			t.Fatal("length divergence")
+		}
+		if !oka {
+			break
+		}
+		for c := range ta {
+			if ta[c].Int != tb[c].Int {
+				t.Fatalf("divergence at col %d", c)
+			}
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package tpch
+
+import (
+	"time"
+
+	"smartssd/internal/expr"
+	"smartssd/internal/plan"
+	"smartssd/internal/schema"
+)
+
+// Q6 is TPC-H Query 6 as the paper runs it (§4.2.2):
+//
+//	SELECT SUM(l_extendedprice * l_discount) FROM LINEITEM
+//	WHERE l_shipdate >= '1994-01-01' AND l_shipdate < '1995-01-01'
+//	  AND l_discount > 0.05 AND l_discount < 0.07 AND l_quantity < 24
+//
+// With the x100 scaling, the discount bounds become 5 and 7 (selecting
+// exactly discount = 6) and quantity < 24 becomes < 2400. Selectivity
+// is about 0.6% (1/7 years x 1/11 discounts x 23/50 quantities).
+
+// Q6Predicate reports Q6's five-way conjunctive WHERE clause over the
+// LINEITEM schema.
+func Q6Predicate() expr.Expr {
+	s := LineitemSchema()
+	d94 := schema.DateVal(1994, time.January, 1).Days()
+	d95 := schema.DateVal(1995, time.January, 1).Days()
+	return expr.And{Terms: []expr.Expr{
+		expr.Cmp{Op: expr.GE, L: expr.ColRef(s, "l_shipdate"), R: expr.DateConst(d94)},
+		expr.Cmp{Op: expr.LT, L: expr.ColRef(s, "l_shipdate"), R: expr.DateConst(d95)},
+		expr.Cmp{Op: expr.GT, L: expr.ColRef(s, "l_discount"), R: expr.IntConst(5)},
+		expr.Cmp{Op: expr.LT, L: expr.ColRef(s, "l_discount"), R: expr.IntConst(7)},
+		expr.Cmp{Op: expr.LT, L: expr.ColRef(s, "l_quantity"), R: expr.IntConst(2400)},
+	}}
+}
+
+// Q6Aggregates reports Q6's SUM(l_extendedprice * l_discount). In the
+// scaled-integer encoding the sum carries a x100 factor the harness
+// divides out when rendering.
+func Q6Aggregates() []plan.AggSpec {
+	s := LineitemSchema()
+	return []plan.AggSpec{{
+		Kind: plan.Sum,
+		E:    expr.Arith{Op: expr.Mul, L: expr.ColRef(s, "l_extendedprice"), R: expr.ColRef(s, "l_discount")},
+		Name: "revenue_x10000",
+	}}
+}
+
+// Q14 is TPC-H Query 14 as the paper runs it (§4.2.3.2):
+//
+//	SELECT 100 * SUM(CASE WHEN p_type LIKE 'PROMO%'
+//	                      THEN l_extendedprice*(1-l_discount) ELSE 0 END)
+//	           / SUM(l_extendedprice*(1-l_discount))
+//	FROM LINEITEM, PART
+//	WHERE l_partkey = p_partkey
+//	  AND l_shipdate >= '1995-09-01' AND l_shipdate < '1995-10-01'
+//
+// The join is a simple hash join with the PART hash table built in
+// memory (Figure 6); the date window selects about 1.2% of LINEITEM.
+
+// Q14DateRange reports Q14's one-month l_shipdate window over LINEITEM.
+func Q14DateRange() expr.Expr {
+	s := LineitemSchema()
+	lo := schema.DateVal(1995, time.September, 1).Days()
+	hi := schema.DateVal(1995, time.October, 1).Days()
+	return expr.And{Terms: []expr.Expr{
+		expr.Cmp{Op: expr.GE, L: expr.ColRef(s, "l_shipdate"), R: expr.DateConst(lo)},
+		expr.Cmp{Op: expr.LT, L: expr.ColRef(s, "l_shipdate"), R: expr.DateConst(hi)},
+	}}
+}
+
+// Q14Aggregates reports Q14's two sums over the combined
+// LINEITEM-then-PART row produced by the hash join: the PROMO-cased
+// numerator and the unconditional denominator. partTypeIdx is the index
+// of p_type in the combined schema (LINEITEM columns first, then PART).
+// With x100 scaling, each term computes
+// l_extendedprice * (100 - l_discount) / 100.
+func Q14Aggregates(lineitem, part *schema.Schema) []plan.AggSpec {
+	np := lineitem.NumColumns()
+	price := expr.ColRef(lineitem, "l_extendedprice")
+	disc := expr.ColRef(lineitem, "l_discount")
+	ptypeCol := part.MustColumnIndex("p_type")
+	ptype := expr.Col{
+		Index: np + ptypeCol,
+		Name:  "p_type",
+		K:     schema.Char,
+	}
+	revenue := expr.Arith{
+		Op: expr.Div,
+		L: expr.Arith{
+			Op: expr.Mul,
+			L:  price,
+			R:  expr.Arith{Op: expr.Sub, L: expr.IntConst(100), R: disc},
+		},
+		R: expr.IntConst(100),
+	}
+	promo := expr.Case{
+		Cond: expr.LikePrefix{E: ptype, Prefix: "PROMO"},
+		Then: revenue,
+		Else: expr.IntConst(0),
+	}
+	return []plan.AggSpec{
+		{Kind: plan.Sum, E: promo, Name: "promo_revenue"},
+		{Kind: plan.Sum, E: revenue, Name: "total_revenue"},
+	}
+}
+
+// Q14PromoPercent computes the query's final scalar from the two sums:
+// 100 * promo / total. It reports 0 for an empty denominator.
+func Q14PromoPercent(promo, total int64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(promo) / float64(total)
+}
+
+// Q1 is TPC-H Query 1, the pricing summary report — not part of the
+// paper's evaluation, but the canonical grouped-aggregation scan and
+// the natural next query class for pushdown (the paper's §5 lists
+// "designing algorithms for various operators that work inside the
+// Smart SSD" as open work). It exercises the runtime's grouped
+// aggregation over device DRAM:
+//
+//	SELECT l_returnflag, l_linestatus,
+//	       SUM(l_quantity), SUM(l_extendedprice),
+//	       SUM(l_extendedprice*(1-l_discount)),
+//	       SUM(l_extendedprice*(1-l_discount)*(1+l_tax)),
+//	       COUNT(*)
+//	FROM LINEITEM
+//	WHERE l_shipdate <= '1998-12-01' - 90 days
+//	GROUP BY l_returnflag, l_linestatus
+//
+// Averages are derived from the sums and count after execution. With
+// the x100 integer scaling, disc_price = price*(100-disc)/100 and
+// charge = price*(100-disc)*(100+tax)/10000.
+
+// Q1Predicate reports Q1's shipdate cutoff.
+func Q1Predicate() expr.Expr {
+	s := LineitemSchema()
+	cutoff := schema.DateVal(1998, time.December, 1).Days() - 90
+	return expr.Cmp{Op: expr.LE, L: expr.ColRef(s, "l_shipdate"), R: expr.DateConst(cutoff)}
+}
+
+// Q1GroupBy reports the grouping columns (l_returnflag, l_linestatus).
+func Q1GroupBy() []int {
+	s := LineitemSchema()
+	return []int{s.MustColumnIndex("l_returnflag"), s.MustColumnIndex("l_linestatus")}
+}
+
+// Q1Aggregates reports Q1's aggregate list over LINEITEM.
+func Q1Aggregates() []plan.AggSpec {
+	s := LineitemSchema()
+	price := expr.ColRef(s, "l_extendedprice")
+	disc := expr.ColRef(s, "l_discount")
+	tax := expr.ColRef(s, "l_tax")
+	discPrice := expr.Arith{
+		Op: expr.Div,
+		L:  expr.Arith{Op: expr.Mul, L: price, R: expr.Arith{Op: expr.Sub, L: expr.IntConst(100), R: disc}},
+		R:  expr.IntConst(100),
+	}
+	charge := expr.Arith{
+		Op: expr.Div,
+		L: expr.Arith{
+			Op: expr.Mul,
+			L:  expr.Arith{Op: expr.Mul, L: price, R: expr.Arith{Op: expr.Sub, L: expr.IntConst(100), R: disc}},
+			R:  expr.Arith{Op: expr.Add, L: expr.IntConst(100), R: tax},
+		},
+		R: expr.IntConst(10000),
+	}
+	return []plan.AggSpec{
+		{Kind: plan.Sum, E: expr.ColRef(s, "l_quantity"), Name: "sum_qty_x100"},
+		{Kind: plan.Sum, E: price, Name: "sum_base_price"},
+		{Kind: plan.Sum, E: discPrice, Name: "sum_disc_price"},
+		{Kind: plan.Sum, E: charge, Name: "sum_charge"},
+		{Kind: plan.Count, Name: "count_order"},
+	}
+}

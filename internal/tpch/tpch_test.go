@@ -1,0 +1,252 @@
+package tpch
+
+import (
+	"testing"
+	"time"
+
+	"smartssd/internal/expr"
+	"smartssd/internal/page"
+	"smartssd/internal/schema"
+)
+
+func TestRowCounts(t *testing.T) {
+	if got := NumLineitem(1); got != 6_000_000 {
+		t.Errorf("NumLineitem(1) = %d", got)
+	}
+	if got := NumLineitem(0.01); got != 60_000 {
+		t.Errorf("NumLineitem(0.01) = %d", got)
+	}
+	if got := NumPart(0.01); got != 2000 {
+		t.Errorf("NumPart(0.01) = %d", got)
+	}
+	if got := NumPart(0.0000001); got != 1 {
+		t.Errorf("NumPart(tiny) = %d, want clamp to 1", got)
+	}
+	// Paper SF100: 600M lineitems, 20M parts.
+	if NumLineitem(100) != 600_000_000 || NumPart(100) != 20_000_000 {
+		t.Error("SF100 row counts do not match the paper")
+	}
+}
+
+func TestLineitemPageCapacityMatchesPaper(t *testing.T) {
+	// The paper's Q6 analysis: 51 tuples per data page under NSM.
+	if got := page.Capacity(LineitemSchema(), page.NSM); got != 51 {
+		t.Fatalf("LINEITEM NSM capacity = %d tuples/page, want 51", got)
+	}
+	if got := page.Capacity(LineitemSchema(), page.PAX); got < 51 {
+		t.Fatalf("LINEITEM PAX capacity = %d, want >= NSM", got)
+	}
+}
+
+func TestLineitemGeneratorDistributions(t *testing.T) {
+	const n = 200000
+	g := NewLineitemGen(float64(n)/LineitemPerSF, 1)
+	if g.Count() != n {
+		t.Fatalf("Count = %d, want %d", g.Count(), n)
+	}
+	s := LineitemSchema()
+	iQty := s.MustColumnIndex("l_quantity")
+	iDisc := s.MustColumnIndex("l_discount")
+	iShip := s.MustColumnIndex("l_shipdate")
+	iPrice := s.MustColumnIndex("l_extendedprice")
+	q6 := Q6Predicate()
+	var q6Hits, rows int
+	discCounts := make(map[int64]int)
+	for {
+		tup, ok := g.Next()
+		if !ok {
+			break
+		}
+		rows++
+		qty := tup[iQty].Int
+		if qty < 100 || qty > 5000 || qty%100 != 0 {
+			t.Fatalf("l_quantity = %d, want multiples of 100 in [100,5000]", qty)
+		}
+		d := tup[iDisc].Int
+		if d < 0 || d > 10 {
+			t.Fatalf("l_discount = %d, want [0,10]", d)
+		}
+		discCounts[d]++
+		ship := tup[iShip].Int
+		if ship < shipdateLo || ship > shipdateHi {
+			t.Fatalf("l_shipdate = %d out of [%d,%d]", ship, shipdateLo, shipdateHi)
+		}
+		if tup[iPrice].Int <= 0 {
+			t.Fatal("non-positive extended price")
+		}
+		if q6.Eval(expr.TupleRow(tup)).Int != 0 {
+			q6Hits++
+		}
+	}
+	if rows != n {
+		t.Fatalf("generated %d rows, want %d", rows, n)
+	}
+	// Discount uniform over 11 values: each bucket within 20% of n/11.
+	for d, c := range discCounts {
+		lo, hi := n/11*8/10, n/11*12/10
+		if c < lo || c > hi {
+			t.Errorf("discount %d count = %d, want [%d,%d]", d, c, lo, hi)
+		}
+	}
+	// Q6 selectivity about 0.6% (paper's figure): allow 0.4%-0.8%.
+	sel := float64(q6Hits) / float64(rows)
+	if sel < 0.004 || sel > 0.008 {
+		t.Fatalf("Q6 selectivity = %.4f, want about 0.006", sel)
+	}
+}
+
+func TestPartGeneratorDistributions(t *testing.T) {
+	const n = 60000
+	g := NewPartGen(float64(n)/PartPerSF, 2)
+	s := PartSchema()
+	iKey := s.MustColumnIndex("p_partkey")
+	iType := s.MustColumnIndex("p_type")
+	var promo, rows int
+	for {
+		tup, ok := g.Next()
+		if !ok {
+			break
+		}
+		rows++
+		if tup[iKey].Int != int64(rows) {
+			t.Fatalf("p_partkey = %d at row %d, want dense 1..N", tup[iKey].Int, rows)
+		}
+		if len(tup[iType].Bytes) < 5 {
+			t.Fatal("p_type too short")
+		}
+		if string(tup[iType].Bytes[:5]) == "PROMO" {
+			promo++
+		}
+	}
+	if rows != n {
+		t.Fatalf("generated %d rows, want %d", rows, n)
+	}
+	// PROMO is 1 of 6 first syllables.
+	frac := float64(promo) / float64(rows)
+	if frac < 0.15 || frac > 0.19 {
+		t.Fatalf("PROMO fraction = %.3f, want about 1/6", frac)
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	g1 := NewLineitemGen(0.001, 7)
+	g2 := NewLineitemGen(0.001, 7)
+	for {
+		a, ok1 := g1.Next()
+		b, ok2 := g2.Next()
+		if ok1 != ok2 {
+			t.Fatal("generators diverge in length")
+		}
+		if !ok1 {
+			break
+		}
+		for i := range a {
+			if a[i].Int != b[i].Int || string(a[i].Bytes) != string(b[i].Bytes) {
+				t.Fatalf("generators diverge at col %d", i)
+			}
+		}
+	}
+}
+
+func TestQ14DateRangeSelectivity(t *testing.T) {
+	const n = 200000
+	g := NewLineitemGen(float64(n)/LineitemPerSF, 3)
+	pred := Q14DateRange()
+	hits := 0
+	for {
+		tup, ok := g.Next()
+		if !ok {
+			break
+		}
+		if pred.Eval(expr.TupleRow(tup)).Int != 0 {
+			hits++
+		}
+	}
+	// One month of about 83 months: about 1.2%.
+	sel := float64(hits) / float64(n)
+	if sel < 0.008 || sel > 0.016 {
+		t.Fatalf("Q14 date selectivity = %.4f, want about 0.012", sel)
+	}
+}
+
+func TestQ6PredicateBoundaries(t *testing.T) {
+	s := LineitemSchema()
+	mk := func(ship int64, disc, qty int64) schema.Tuple {
+		tup := make(schema.Tuple, s.NumColumns())
+		for i := range tup {
+			if s.Column(i).Kind == schema.Char {
+				tup[i] = schema.StrVal("")
+			} else {
+				tup[i] = schema.IntVal(0)
+			}
+		}
+		tup[s.MustColumnIndex("l_shipdate")] = schema.IntVal(ship)
+		tup[s.MustColumnIndex("l_discount")] = schema.IntVal(disc)
+		tup[s.MustColumnIndex("l_quantity")] = schema.IntVal(qty)
+		return tup
+	}
+	d94 := schema.DateVal(1994, time.January, 1).Days()
+	d95 := schema.DateVal(1995, time.January, 1).Days()
+	pred := Q6Predicate()
+	cases := []struct {
+		ship, disc, qty int64
+		want            int64
+	}{
+		{d94, 6, 2300, 1},
+		{d94 - 1, 6, 2300, 0},
+		{d95, 6, 2300, 0},
+		{d94, 5, 2300, 0}, // discount strictly between 5 and 7
+		{d94, 7, 2300, 0},
+		{d94, 6, 2400, 0}, // quantity strictly below 2400
+	}
+	for i, c := range cases {
+		if got := pred.Eval(expr.TupleRow(mk(c.ship, c.disc, c.qty))).Int; got != c.want {
+			t.Errorf("case %d: pred = %d, want %d", i, got, c.want)
+		}
+	}
+}
+
+func TestQ14Aggregates(t *testing.T) {
+	li, pa := LineitemSchema(), PartSchema()
+	aggs := Q14Aggregates(li, pa)
+	if len(aggs) != 2 {
+		t.Fatalf("Q14 has %d aggregates, want 2", len(aggs))
+	}
+	// Build a combined row: LINEITEM columns then PART columns.
+	row := make(schema.Tuple, li.NumColumns()+pa.NumColumns())
+	for i := range row {
+		row[i] = schema.IntVal(0)
+		k := schema.Int32
+		if i < li.NumColumns() {
+			k = li.Column(i).Kind
+		} else {
+			k = pa.Column(i - li.NumColumns()).Kind
+		}
+		if k == schema.Char {
+			row[i] = schema.StrVal("")
+		}
+	}
+	row[li.MustColumnIndex("l_extendedprice")] = schema.IntVal(10000) // $100.00
+	row[li.MustColumnIndex("l_discount")] = schema.IntVal(10)         // 10%
+	row[li.NumColumns()+pa.MustColumnIndex("p_type")] = schema.StrVal("PROMO PLATED TIN")
+
+	promo := aggs[0].E.Eval(expr.TupleRow(row)).Int
+	total := aggs[1].E.Eval(expr.TupleRow(row)).Int
+	// 10000 * (100-10) / 100 = 9000 cents.
+	if total != 9000 {
+		t.Errorf("revenue = %d, want 9000", total)
+	}
+	if promo != 9000 {
+		t.Errorf("promo revenue (PROMO row) = %d, want 9000", promo)
+	}
+	row[li.NumColumns()+pa.MustColumnIndex("p_type")] = schema.StrVal("LARGE PLATED TIN")
+	if got := aggs[0].E.Eval(expr.TupleRow(row)).Int; got != 0 {
+		t.Errorf("promo revenue (non-PROMO row) = %d, want 0", got)
+	}
+	if got := Q14PromoPercent(9000, 45000); got != 20 {
+		t.Errorf("promo percent = %v, want 20", got)
+	}
+	if got := Q14PromoPercent(1, 0); got != 0 {
+		t.Errorf("promo percent with zero denominator = %v", got)
+	}
+}

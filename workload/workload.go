@@ -1,0 +1,119 @@
+// Package workload generates the paper's evaluation datasets and
+// queries for use through the public smartssd API: the modified TPC-H
+// LINEITEM and PART tables with queries Q6 and Q14 (§4.1.1), and the
+// Synthetic64 join tables with the selection-with-join query (§4.2.3.1).
+package workload
+
+import (
+	"smartssd/internal/expr"
+	"smartssd/internal/plan"
+	"smartssd/internal/schema"
+	"smartssd/internal/synth"
+	"smartssd/internal/tpch"
+)
+
+// TPC-H row counts per unit scale factor.
+const (
+	LineitemPerSF = tpch.LineitemPerSF
+	PartPerSF     = tpch.PartPerSF
+)
+
+// NumLineitem reports the LINEITEM row count at scale factor sf.
+func NumLineitem(sf float64) int64 { return tpch.NumLineitem(sf) }
+
+// NumPart reports the PART row count at scale factor sf.
+func NumPart(sf float64) int64 { return tpch.NumPart(sf) }
+
+// LineitemSchema reports the paper-modified LINEITEM schema (51 tuples
+// per 8 KB NSM page, as in the paper's Q6 analysis).
+func LineitemSchema() *schema.Schema { return tpch.LineitemSchema() }
+
+// PartSchema reports the paper-modified PART schema.
+func PartSchema() *schema.Schema { return tpch.PartSchema() }
+
+// LineitemGen returns a deterministic LINEITEM generator in the
+// form Load expects.
+func LineitemGen(sf float64, seed int64) func() (schema.Tuple, bool) {
+	g := tpch.NewLineitemGen(sf, seed)
+	return g.Next
+}
+
+// PartGen returns a deterministic PART generator.
+func PartGen(sf float64, seed int64) func() (schema.Tuple, bool) {
+	g := tpch.NewPartGen(sf, seed)
+	return g.Next
+}
+
+// Q6Predicate reports TPC-H Q6's WHERE clause (shipdate year 1994,
+// discount strictly between 0.05 and 0.07, quantity below 24; about
+// 0.6% selective).
+func Q6Predicate() schemaExpr { return tpch.Q6Predicate() }
+
+// Q6Aggregates reports Q6's SUM(l_extendedprice * l_discount).
+func Q6Aggregates() []plan.AggSpec { return tpch.Q6Aggregates() }
+
+// Q6EstSelectivity is the paper's cited Q6 selectivity.
+const Q6EstSelectivity = 0.006
+
+// Q14DateRange reports Q14's one-month shipdate window (about 1.2%
+// selective).
+func Q14DateRange() schemaExpr { return tpch.Q14DateRange() }
+
+// Q14Aggregates reports Q14's promo and total revenue sums over the
+// combined LINEITEM-then-PART join row.
+func Q14Aggregates() []plan.AggSpec {
+	return tpch.Q14Aggregates(tpch.LineitemSchema(), tpch.PartSchema())
+}
+
+// Q14PromoPercent computes Q14's final answer from its two sums.
+func Q14PromoPercent(promo, total int64) float64 { return tpch.Q14PromoPercent(promo, total) }
+
+// Q14EstSelectivity is the Q14 date-window selectivity.
+const Q14EstSelectivity = 0.012
+
+// Synthetic64 tables: 64 int32 columns; |S| = SyntheticSRatio x |R|.
+const SyntheticSRatio = synth.SRatio
+
+// SyntheticSchema reports a 64-column synthetic schema with the given
+// column-name prefix ("r" or "s").
+func SyntheticSchema(prefix string) *schema.Schema { return synth.Schema(prefix) }
+
+// SyntheticRGen generates Synthetic64_R: Col_1 is the dense PK.
+func SyntheticRGen(rows int64, seed int64) func() (schema.Tuple, bool) {
+	g := synth.NewRGen(rows, seed)
+	return g.Next
+}
+
+// SyntheticSGen generates Synthetic64_S: Col_2 is a FK into R, Col_3 is
+// uniform in [0,100).
+func SyntheticSGen(rows, rRows int64, seed int64) func() (schema.Tuple, bool) {
+	g := synth.NewSGen(rows, rRows, seed)
+	return g.Next
+}
+
+// SyntheticSelection reports "S.Col_3 < value": value is the
+// selectivity in percent.
+func SyntheticSelection(valuePercent int64) schemaExpr {
+	return synth.SelectionPredicate(valuePercent)
+}
+
+// SyntheticJoinOutput reports the join query's SELECT list
+// (S.Col_1, R.Col_2) over the combined row.
+func SyntheticJoinOutput() []plan.OutputCol { return synth.JoinOutput() }
+
+// schemaExpr is the expression interface the smartssd package
+// re-exports as Expr.
+type schemaExpr = expr.Expr
+
+// Q1Predicate reports TPC-H Q1's shipdate cutoff (an extension beyond
+// the paper's evaluated queries; see tpch.Q1Aggregates).
+func Q1Predicate() schemaExpr { return tpch.Q1Predicate() }
+
+// Q1GroupBy reports Q1's grouping columns (l_returnflag, l_linestatus).
+func Q1GroupBy() []int { return tpch.Q1GroupBy() }
+
+// Q1Aggregates reports Q1's aggregate list.
+func Q1Aggregates() []plan.AggSpec { return tpch.Q1Aggregates() }
+
+// Q1EstSelectivity is Q1's shipdate-cutoff selectivity (about 98%).
+const Q1EstSelectivity = 0.98

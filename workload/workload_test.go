@@ -1,0 +1,114 @@
+package workload_test
+
+import (
+	"testing"
+
+	"smartssd"
+	"smartssd/workload"
+)
+
+func TestSchemasAndCounts(t *testing.T) {
+	li := workload.LineitemSchema()
+	if li.ColumnIndex("l_shipdate") < 0 || li.ColumnIndex("l_extendedprice") < 0 {
+		t.Fatal("LINEITEM schema incomplete")
+	}
+	pa := workload.PartSchema()
+	if pa.ColumnIndex("p_type") < 0 {
+		t.Fatal("PART schema incomplete")
+	}
+	if workload.NumLineitem(1) != workload.LineitemPerSF {
+		t.Fatal("NumLineitem(1) wrong")
+	}
+	if workload.NumPart(1) != workload.PartPerSF {
+		t.Fatal("NumPart(1) wrong")
+	}
+	ss := workload.SyntheticSchema("s")
+	if ss.NumColumns() != 64 {
+		t.Fatalf("synthetic columns = %d", ss.NumColumns())
+	}
+	if workload.SyntheticSRatio != 400 {
+		t.Fatalf("S ratio = %d, want the paper's 400", workload.SyntheticSRatio)
+	}
+}
+
+func TestGeneratorsProduceExactCounts(t *testing.T) {
+	count := func(next func() (smartssd.Tuple, bool)) int64 {
+		var n int64
+		for {
+			if _, ok := next(); !ok {
+				return n
+			}
+			n++
+		}
+	}
+	if got := count(workload.LineitemGen(0.001, 1)); got != 6000 {
+		t.Errorf("lineitem rows = %d, want 6000", got)
+	}
+	if got := count(workload.PartGen(0.01, 1)); got != 2000 {
+		t.Errorf("part rows = %d, want 2000", got)
+	}
+	if got := count(workload.SyntheticRGen(123, 1)); got != 123 {
+		t.Errorf("R rows = %d", got)
+	}
+	if got := count(workload.SyntheticSGen(456, 10, 1)); got != 456 {
+		t.Errorf("S rows = %d", got)
+	}
+}
+
+func TestQueryPiecesEvaluate(t *testing.T) {
+	// Build a LINEITEM row and check the exported predicates evaluate.
+	li := workload.LineitemSchema()
+	row := make(smartssd.Tuple, li.NumColumns())
+	for i := range row {
+		if li.Column(i).Kind == smartssd.Char {
+			row[i] = smartssd.StrVal("")
+		} else {
+			row[i] = smartssd.IntVal(0)
+		}
+	}
+	row[li.MustColumnIndex("l_shipdate")] = smartssd.IntVal(smartssd.DaysOf(1994, 6, 15))
+	row[li.MustColumnIndex("l_discount")] = smartssd.IntVal(6)
+	row[li.MustColumnIndex("l_quantity")] = smartssd.IntVal(1000)
+
+	if workload.Q6Predicate().Eval(rowAdapter(row)).Int != 1 {
+		t.Error("Q6 predicate rejected a qualifying row")
+	}
+	if workload.Q14DateRange().Eval(rowAdapter(row)).Int != 0 {
+		t.Error("Q14 window accepted a 1994 row")
+	}
+	if workload.Q1Predicate().Eval(rowAdapter(row)).Int != 1 {
+		t.Error("Q1 cutoff rejected a 1994 row")
+	}
+	if len(workload.Q6Aggregates()) != 1 || len(workload.Q14Aggregates()) != 2 || len(workload.Q1Aggregates()) != 5 {
+		t.Error("aggregate list shapes wrong")
+	}
+	if len(workload.Q1GroupBy()) != 2 {
+		t.Error("Q1 group-by shape wrong")
+	}
+	if got := workload.Q14PromoPercent(1, 4); got != 25 {
+		t.Errorf("promo percent = %v", got)
+	}
+	if workload.SyntheticSelection(50).Eval(rowAdapter(make(smartssd.Tuple, 64))).Int == 0 {
+		// Col_3 of a zero tuple is 0 < 50.
+		t.Error("synthetic selection rejected zero row")
+	}
+	if len(workload.SyntheticJoinOutput()) != 2 {
+		t.Error("join output shape wrong")
+	}
+}
+
+type rowAdapter smartssd.Tuple
+
+func (r rowAdapter) Col(i int) smartssd.Value { return r[i] }
+
+func TestSelectivityConstantsDocumented(t *testing.T) {
+	if workload.Q6EstSelectivity <= 0 || workload.Q6EstSelectivity >= 0.05 {
+		t.Error("Q6 selectivity constant implausible")
+	}
+	if workload.Q14EstSelectivity <= 0 || workload.Q14EstSelectivity >= 0.05 {
+		t.Error("Q14 selectivity constant implausible")
+	}
+	if workload.Q1EstSelectivity < 0.9 || workload.Q1EstSelectivity > 1 {
+		t.Error("Q1 selectivity constant implausible")
+	}
+}
