@@ -3,8 +3,8 @@
 //
 // Usage:
 //
-//	benchsuite [-exp all|fig1|table2|fig3|fig5|fig7|table3|q1|concurrency|interfaces|hybrid]
-//	           [-sf 0.05] [-synthr 2000] [-seed 1]
+//	benchsuite [-exp all|fig1|table2|fig3|fig5|fig7|table3|q1|concurrency|interfaces|hybrid|faults]
+//	           [-sf 0.05] [-synthr 2000] [-seed 1] [-faultseed 0]
 //
 // Speedup and energy ratios are scale-invariant; -sf and -synthr only
 // trade wall-clock time for dataset size.
@@ -19,13 +19,14 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig1, table2, fig3, fig5, fig7, table3, q1, concurrency, interfaces, hybrid")
+	exp := flag.String("exp", "all", "experiment: all, fig1, table2, fig3, fig5, fig7, table3, q1, concurrency, interfaces, hybrid, faults")
 	sf := flag.Float64("sf", 0.05, "TPC-H scale factor (paper: 100)")
 	synthR := flag.Int64("synthr", 2000, "Synthetic64_R rows (paper: 1,000,000; S is 400x)")
 	seed := flag.Int64("seed", 1, "data generation seed")
+	faultSeed := flag.Int64("faultseed", 0, "fault-injection seed for -exp faults (0: same as -seed)")
 	flag.Parse()
 
-	o := experiments.Options{SF: *sf, SynthR: *synthR, Seed: *seed}
+	o := experiments.Options{SF: *sf, SynthR: *synthR, Seed: *seed, FaultSeed: *faultSeed}
 	run := func(name string, f func() (interface{ Render() string }, error)) {
 		if *exp != "all" && *exp != name {
 			return
@@ -75,6 +76,10 @@ func main() {
 	})
 	run("hybrid", func() (interface{ Render() string }, error) {
 		r, err := experiments.ExtHybrid(o)
+		return r, err
+	})
+	run("faults", func() (interface{ Render() string }, error) {
+		r, err := experiments.ExtFaults(o)
 		return r, err
 	})
 }

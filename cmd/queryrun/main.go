@@ -7,7 +7,14 @@
 //
 //	queryrun -q q1|q6|q14|join [-mode auto|host|device|hybrid] [-layout nsm|pax]
 //	         [-sf 0.02] [-synthr 500] [-sel 10] [-explain]
+//	         [-abortrate 0.2] [-readerrrate 0.001] [-faultseed 1]
 //	         [-saveimg data.img] [-loadimg data.img] [-trace run.csv]
+//
+// The fault flags arm the deterministic injector: sessions abort (and
+// the engine retries, then falls back to the host) at -abortrate, and
+// flash reads fail transiently (exercising FTL read-retry) at
+// -readerrrate. Results stay bit-exact; the run prints its
+// retry/fallback accounting.
 package main
 
 import (
@@ -32,6 +39,9 @@ func main() {
 	trace := flag.String("trace", "", "write a per-request resource timeline CSV to this file")
 	saveImg := flag.String("saveimg", "", "after loading data, save a system image to this file")
 	loadImg := flag.String("loadimg", "", "load tables from a system image instead of generating")
+	abortRate := flag.Float64("abortrate", 0, "device session-abort probability per GET (0: off)")
+	readErrRate := flag.Float64("readerrrate", 0, "transient flash read-error probability per page (0: off)")
+	faultSeed := flag.Int64("faultseed", 1, "fault-injection seed (fixed seed: identical fault schedule)")
 	flag.Parse()
 
 	var mode smartssd.Mode
@@ -52,6 +62,16 @@ func main() {
 		layout = smartssd.NSM
 	}
 
+	cfg := smartssd.Config{}
+	if *abortRate > 0 || *readErrRate > 0 {
+		cfg.SSD = smartssd.DefaultSSDParams()
+		cfg.SSD.Fault = smartssd.FaultConfig{
+			Seed:             *faultSeed,
+			SessionAbortRate: *abortRate,
+			ReadErrorRate:    *readErrRate,
+		}
+	}
+
 	var sys *smartssd.System
 	var err error
 	if *loadImg != "" {
@@ -59,10 +79,10 @@ func main() {
 		if ferr != nil {
 			fatal(ferr)
 		}
-		sys, err = smartssd.LoadImage(smartssd.Config{}, f)
+		sys, err = smartssd.LoadImage(cfg, f)
 		f.Close()
 	} else {
-		sys, err = smartssd.New(smartssd.Config{})
+		sys, err = smartssd.New(cfg)
 	}
 	if err != nil {
 		fatal(err)
@@ -178,6 +198,9 @@ func main() {
 		fmt.Printf(" %s %.0f%%", st.Name, 100*st.Utilization)
 	}
 	fmt.Println()
+	if res.Faults.Any() {
+		fmt.Printf("faults      : %s\n", res.Faults.String())
+	}
 	fmt.Printf("result rows : %d\n", len(res.Rows))
 	switch *q {
 	case "q1":

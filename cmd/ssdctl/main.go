@@ -9,6 +9,12 @@
 //	ssdctl -probe         measure internal and host bandwidth
 //	ssdctl -churn         run a write/GC workload and print FTL stats
 //	ssdctl -trend         print the Figure 1 bandwidth trend
+//
+// With -churn, the fault flags arm the deterministic injector so the
+// FTL's reliability machinery shows up in the stats: -readerrrate adds
+// transient read errors (read-retry ladder), -progfailrate failed page
+// programs (remap to a fresh slot), -eraserate failed erases (blocks
+// retired as grown-bad), all keyed by -faultseed.
 package main
 
 import (
@@ -26,6 +32,10 @@ func main() {
 	probe := flag.Bool("probe", false, "measure sequential-read bandwidth")
 	churn := flag.Bool("churn", false, "run an overwrite workload and print FTL stats")
 	trend := flag.Bool("trend", false, "print the Figure 1 bandwidth trend")
+	readErrRate := flag.Float64("readerrrate", 0, "transient flash read-error probability per page (0: off)")
+	progFailRate := flag.Float64("progfailrate", 0, "page program-failure probability (0: off)")
+	eraseRate := flag.Float64("eraserate", 0, "block erase-failure probability (0: off)")
+	faultSeed := flag.Int64("faultseed", 1, "fault-injection seed")
 	flag.Parse()
 	if !*describe && !*probe && !*churn && !*trend {
 		*describe = true
@@ -35,6 +45,14 @@ func main() {
 	// A smaller NAND array keeps the tool instant; controller
 	// parameters (the ones that set bandwidths) stay the paper's.
 	params.Geometry.BlocksPerChip = 64
+	if *readErrRate > 0 || *progFailRate > 0 || *eraseRate > 0 {
+		params.Fault = smartssd.FaultConfig{
+			Seed:            *faultSeed,
+			ReadErrorRate:   *readErrRate,
+			ProgramFailRate: *progFailRate,
+			EraseFailRate:   *eraseRate,
+		}
+	}
 	dev, err := ssd.New(params)
 	if err != nil {
 		fatal(err)
@@ -66,6 +84,16 @@ func main() {
 				at++
 			}
 		}
+		// Read the span back so injected read errors (if any) exercise
+		// the retry ladder.
+		var lostReads int64
+		if *readErrRate > 0 {
+			for i := int64(0); i < n; i++ {
+				if _, _, err := dev.FetchPage(i, 0); err != nil {
+					lostReads++
+				}
+			}
+		}
 		fs := dev.FTLStats()
 		ns := dev.NANDStats()
 		fmt.Printf("churn: %d page writes over %d-page span\n", at, n)
@@ -74,6 +102,12 @@ func main() {
 		fmt.Printf("  write amplification: %.3f\n", fs.WriteAmplification)
 		fmt.Printf("  nand programs      : %d, erases: %d\n", ns.Programs, ns.Erases)
 		fmt.Printf("  wear spread        : erase counts %d..%d per block\n", ns.MinEraseCount, ns.MaxEraseCount)
+		if params.Fault.Enabled() {
+			fmt.Printf("  read retries       : %d (%d recovered, %d uncorrectable, %d pages lost on read-back)\n",
+				fs.ReadRetries, fs.RecoveredReads, fs.UncorrectableReads, lostReads)
+			fmt.Printf("  remapped programs  : %d\n", fs.RemappedPrograms)
+			fmt.Printf("  grown bad blocks   : %d\n", fs.GrownBadBlocks)
+		}
 	}
 	if *trend {
 		fmt.Print(experiments.Fig1().Render())

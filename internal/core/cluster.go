@@ -29,19 +29,36 @@ type Cluster struct {
 	runtimes []*device.Runtime
 	allocs   []heap.Allocator
 	tables   map[string][]*heap.File
+	// replicas is how many devices hold each partition's data (1 = no
+	// redundancy). Partition i's extra copies chain onto devices
+	// (i+1)%n .. (i+replicas-1)%n.
+	replicas int
+	// replicaFiles[name][i][j] is partition i's j'th extra copy,
+	// resident on device (i+1+j)%n.
+	replicaFiles map[string][][]*heap.File
 }
 
-// NewCluster builds n identical Smart SSDs from params.
+// NewCluster builds n identical Smart SSDs from params. When params
+// enables fault injection, each worker gets an independent fault
+// stream (the configured seed offset by the worker index), so failures
+// land on different devices rather than striking all workers in
+// lockstep.
 func NewCluster(n int, params ssd.Params, cost device.CostModel) (*Cluster, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("core: cluster needs at least one device, got %d", n)
 	}
 	c := &Cluster{
-		allocs: make([]heap.Allocator, n),
-		tables: make(map[string][]*heap.File),
+		allocs:       make([]heap.Allocator, n),
+		tables:       make(map[string][]*heap.File),
+		replicas:     1,
+		replicaFiles: make(map[string][][]*heap.File),
 	}
 	for i := 0; i < n; i++ {
-		d, err := ssd.New(params)
+		p := params
+		if p.Fault.Enabled() {
+			p.Fault.Seed += int64(i) * 1_000_003
+		}
+		d, err := ssd.New(p)
 		if err != nil {
 			return nil, err
 		}
@@ -50,6 +67,23 @@ func NewCluster(n int, params ssd.Params, cost device.CostModel) (*Cluster, erro
 	}
 	return c, nil
 }
+
+// SetReplication makes every partition created afterwards keep k total
+// copies (its primary plus k-1 chained replicas on the following
+// devices). Must be called before CreateTable for tables that need
+// failover; k is clamped to [1, Devices()].
+func (c *Cluster) SetReplication(k int) {
+	if k < 1 {
+		k = 1
+	}
+	if k > len(c.devices) {
+		k = len(c.devices)
+	}
+	c.replicas = k
+}
+
+// Replication reports the configured copies per partition.
+func (c *Cluster) Replication() int { return c.replicas }
 
 // Devices reports the worker count.
 func (c *Cluster) Devices() int { return len(c.devices) }
@@ -71,6 +105,21 @@ func (c *Cluster) CreateTable(name string, s *schema.Schema, l page.Layout, maxP
 		files[i] = f
 	}
 	c.tables[name] = files
+	if c.replicas > 1 {
+		reps := make([][]*heap.File, len(c.devices))
+		for i := range c.devices {
+			for j := 0; j < c.replicas-1; j++ {
+				alt := (i + 1 + j) % len(c.devices)
+				f, err := heap.Create(fmt.Sprintf("%s.p%d.r%d", name, i, j+1),
+					c.devices[alt], &c.allocs[alt], s, l, maxPagesPerDevice)
+				if err != nil {
+					return err
+				}
+				reps[i] = append(reps[i], f)
+			}
+		}
+		c.replicaFiles[name] = reps
+	}
 	return nil
 }
 
@@ -85,20 +134,42 @@ func (c *Cluster) Load(name string, next func() (schema.Tuple, bool)) error {
 	for i, f := range files {
 		apps[i] = f.NewAppender()
 	}
+	// Replica appenders mirror every tuple of partition p to its chained
+	// copies (empty when replication is off).
+	reps := c.replicaFiles[name]
+	repApps := make([][]*heap.Appender, len(files))
+	for p := range reps {
+		for _, rf := range reps[p] {
+			repApps[p] = append(repApps[p], rf.NewAppender())
+		}
+	}
 	i := 0
 	for {
 		t, ok := next()
 		if !ok {
 			break
 		}
-		if err := apps[i%len(apps)].Append(t); err != nil {
+		p := i % len(apps)
+		if err := apps[p].Append(t); err != nil {
 			return err
+		}
+		for _, ra := range repApps[p] {
+			if err := ra.Append(t); err != nil {
+				return err
+			}
 		}
 		i++
 	}
 	for _, app := range apps {
 		if err := app.Close(); err != nil {
 			return err
+		}
+	}
+	for _, pa := range repApps {
+		for _, ra := range pa {
+			if err := ra.Close(); err != nil {
+				return err
+			}
 		}
 	}
 	for _, d := range c.devices {
@@ -145,6 +216,13 @@ type ClusterResult struct {
 	Elapsed time.Duration
 	// PerDevice holds each worker's completion time.
 	PerDevice []time.Duration
+	// Failovers counts partitions that were re-executed on a replica
+	// after their primary device faulted.
+	Failovers int
+	// FailedWorkers lists workers whose partitions were lost entirely
+	// (primary faulted and no replica survived); when non-empty the run
+	// also returns a *PartialResultError.
+	FailedWorkers []int
 }
 
 // ClusterQuery is a pushdown query over a partitioned table; fields
@@ -171,31 +249,68 @@ func (c *Cluster) Run(q ClusterQuery) (*ClusterResult, error) {
 		}
 	}
 
-	res := &ClusterResult{PerDevice: make([]time.Duration, len(c.devices))}
-	var partials [][]schema.Tuple
-	for i := range c.devices {
+	// lower builds the in-device program for one partition file running
+	// on worker w (the build side uses w's local replicated copy).
+	lower := func(f *heap.File, w int) device.Query {
 		dq := device.Query{
-			Table:  device.RefOf(files[i]),
+			Table:  device.RefOf(f),
 			Filter: q.Filter,
 			Output: q.Output,
 			Aggs:   q.Aggs,
 		}
 		if q.Join != nil {
-			bf := buildFiles[i]
+			bf := buildFiles[w]
 			dq.Join = &device.JoinSpec{
 				Build:    device.RefOf(bf),
 				BuildKey: bf.Schema().MustColumnIndex(q.Join.BuildKey),
-				ProbeKey: files[i].Schema().MustColumnIndex(q.Join.ProbeKey),
+				ProbeKey: f.Schema().MustColumnIndex(q.Join.ProbeKey),
 			}
 		}
-		rows, end, err := c.runtimes[i].RunQuery(dq)
-		if err != nil {
+		return dq
+	}
+
+	res := &ClusterResult{PerDevice: make([]time.Duration, len(c.devices))}
+	var partials [][]schema.Tuple
+	var lastCause error
+	for i := range c.devices {
+		rows, end, err := c.runtimes[i].RunQuery(lower(files[i], i))
+		if err == nil {
+			partials = append(partials, rows)
+			res.PerDevice[i] = end
+			if end > res.Elapsed {
+				res.Elapsed = end
+			}
+			continue
+		}
+		if !isDeviceFault(err) {
 			return nil, fmt.Errorf("core: worker %d: %w", i, err)
 		}
-		partials = append(partials, rows)
-		res.PerDevice[i] = end
-		if end > res.Elapsed {
-			res.Elapsed = end
+		lastCause = fmt.Errorf("core: worker %d: %w", i, err)
+		// The primary faulted: re-execute this partition on its chained
+		// replicas, first survivor wins.
+		recovered := false
+		if reps := c.replicaFiles[q.Table]; len(reps) > i {
+			for j, rf := range reps[i] {
+				alt := (i + 1 + j) % len(c.devices)
+				rows, end, err := c.runtimes[alt].RunQuery(lower(rf, alt))
+				if err == nil {
+					res.Failovers++
+					partials = append(partials, rows)
+					res.PerDevice[i] = end
+					if end > res.Elapsed {
+						res.Elapsed = end
+					}
+					recovered = true
+					break
+				}
+				if !isDeviceFault(err) {
+					return nil, fmt.Errorf("core: worker %d replica on %d: %w", i, alt, err)
+				}
+				lastCause = fmt.Errorf("core: worker %d replica on %d: %w", i, alt, err)
+			}
+		}
+		if !recovered {
+			res.FailedWorkers = append(res.FailedWorkers, i)
 		}
 	}
 
@@ -205,6 +320,9 @@ func (c *Cluster) Run(q ClusterQuery) (*ClusterResult, error) {
 		for _, p := range partials {
 			res.Rows = append(res.Rows, p...)
 		}
+	}
+	if len(res.FailedWorkers) > 0 {
+		return res, &PartialResultError{Failed: res.FailedWorkers, Cause: lastCause}
 	}
 	return res, nil
 }

@@ -11,6 +11,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"smartssd/internal/bufpool"
 	"smartssd/internal/device"
@@ -55,6 +56,17 @@ type Config struct {
 	DeviceCost device.CostModel
 	// Energy is the power profile for Table 3 accounting.
 	Energy energy.Profile
+
+	// MaxDeviceRetries is how many times a device-faulted pushdown is
+	// retried on the device before the engine falls back to the host.
+	// Default 2; negative means no retries (straight to fallback).
+	MaxDeviceRetries int
+	// RetryBackoff is the virtual-time wait before the first device
+	// retry; it doubles per attempt. Default 5ms.
+	RetryBackoff time.Duration
+	// DisableFallback surfaces device faults to the caller instead of
+	// transparently re-running the query on the host path.
+	DisableFallback bool
 }
 
 func (c *Config) fill() {
@@ -72,6 +84,15 @@ func (c *Config) fill() {
 	}
 	if c.Energy == (energy.Profile{}) {
 		c.Energy = energy.DefaultProfile()
+	}
+	if c.MaxDeviceRetries == 0 {
+		c.MaxDeviceRetries = 2
+	}
+	if c.MaxDeviceRetries < 0 {
+		c.MaxDeviceRetries = 0
+	}
+	if c.RetryBackoff == 0 {
+		c.RetryBackoff = 5 * time.Millisecond
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"smartssd/internal/expr"
+	"smartssd/internal/fault"
 	"smartssd/internal/page"
 	"smartssd/internal/plan"
 	"smartssd/internal/schema"
@@ -59,6 +60,49 @@ func TestHostDeviceEquivalenceProperty(t *testing.T) {
 					}
 				}
 			}
+		})
+	}
+}
+
+// TestFallbackEquivalenceProperty is the degradation counterpart of the
+// host/device property above: random queries run on an engine whose
+// device sessions always abort, so every pushdown walks the full retry
+// ladder and falls back to the host — and must still return results
+// bit-identical to a clean host run of the same query.
+func TestFallbackEquivalenceProperty(t *testing.T) {
+	const trials = 10
+	rng := rand.New(rand.NewSource(20130622))
+
+	for trial := 0; trial < trials; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("trial%02d", trial), func(t *testing.T) {
+			layout := page.NSM
+			if rng.Intn(2) == 1 {
+				layout = page.PAX
+			}
+			nFact := 2000 + rng.Intn(6000)
+			nDim := 5 + rng.Intn(60)
+			spec := randomSpec(rng, nDim)
+			// Same seed → same data on both engines.
+			dataSeed := rng.Int63()
+
+			clean := newEngine(t)
+			loadRandomTables(t, clean, rand.New(rand.NewSource(dataSeed)), layout, nFact, nDim)
+			host, err := clean.Run(spec, ForceHost)
+			if err != nil {
+				t.Fatalf("host: %v (spec %+v)", err, spec)
+			}
+
+			faulty := newFaultyEngine(t, fault.Config{Seed: int64(trial) + 1, SessionAbortRate: 1})
+			loadRandomTables(t, faulty, rand.New(rand.NewSource(dataSeed)), layout, nFact, nDim)
+			res, err := faulty.Run(spec, ForceDevice)
+			if err != nil {
+				t.Fatalf("faulted device run: %v (spec %+v)", err, spec)
+			}
+			if !res.Faults.HostFallback || res.Faults.DeviceAttempts != 3 {
+				t.Fatalf("expected 3 attempts then fallback, got %+v", res.Faults)
+			}
+			requireSameRows(t, host.Rows, res.Rows)
 		})
 	}
 }

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"smartssd/internal/device"
+	"smartssd/internal/fault"
+	"smartssd/internal/ftl"
+	"smartssd/internal/nand"
+)
+
+// FaultReport is the availability side of a run's measurement: what
+// went wrong, what the engine did about it, and what it cost. All
+// fields are zero on a fault-free run.
+type FaultReport struct {
+	// DeviceAttempts counts pushdown executions tried (first attempt
+	// included); zero when the query never went to the device.
+	DeviceAttempts int
+	// BackoffWait is the virtual time spent backing off between device
+	// retries; it is included in the run's Elapsed.
+	BackoffWait time.Duration
+	// TimeoutWait is the virtual time the host spent waiting on hung
+	// GETs before its watchdog fired; included in Elapsed.
+	TimeoutWait time.Duration
+	// HostFallback reports that the device path was abandoned and the
+	// host re-ran the query from the block interface.
+	HostFallback bool
+	// FallbackReason classifies the fault that forced the fallback
+	// ("session-abort", "get-timeout", "device-failed", "grant-denied",
+	// "uncorrectable-read"); empty when no fallback happened.
+	FallbackReason string
+
+	// FTL reliability events during the run.
+	ReadRetries        int64
+	RecoveredReads     int64
+	UncorrectableReads int64
+	RemappedPrograms   int64
+	GrownBadBlocks     int64
+
+	// Runtime/controller injected events during the run.
+	SessionAborts  int64
+	GrantDenials   int64
+	GetTimeouts    int64
+	DeviceFailures int64
+	LatencySpikes  int64
+	DMAStalls      int64
+}
+
+// Any reports whether the run saw any fault or recovery action. A
+// single clean device attempt does not count.
+func (f FaultReport) Any() bool {
+	clean := FaultReport{DeviceAttempts: f.DeviceAttempts}
+	return f != clean || f.DeviceAttempts > 1
+}
+
+// String renders the non-zero part of the report for CLI output.
+func (f FaultReport) String() string {
+	var parts []string
+	add := func(format string, args ...interface{}) {
+		parts = append(parts, fmt.Sprintf(format, args...))
+	}
+	if f.DeviceAttempts > 1 {
+		add("device attempts %d", f.DeviceAttempts)
+	}
+	if f.HostFallback {
+		add("host fallback (%s)", f.FallbackReason)
+	}
+	if f.BackoffWait > 0 {
+		add("backoff %v", f.BackoffWait)
+	}
+	if f.TimeoutWait > 0 {
+		add("timeout wait %v", f.TimeoutWait)
+	}
+	if f.ReadRetries > 0 {
+		add("read retries %d (%d recovered)", f.ReadRetries, f.RecoveredReads)
+	}
+	if f.UncorrectableReads > 0 {
+		add("uncorrectable reads %d", f.UncorrectableReads)
+	}
+	if f.RemappedPrograms > 0 {
+		add("remapped programs %d", f.RemappedPrograms)
+	}
+	if f.GrownBadBlocks > 0 {
+		add("grown bad blocks %d", f.GrownBadBlocks)
+	}
+	if f.SessionAborts > 0 {
+		add("session aborts %d", f.SessionAborts)
+	}
+	if f.GrantDenials > 0 {
+		add("grant denials %d", f.GrantDenials)
+	}
+	if f.GetTimeouts > 0 {
+		add("get timeouts %d", f.GetTimeouts)
+	}
+	if f.DeviceFailures > 0 {
+		add("device failures %d", f.DeviceFailures)
+	}
+	if f.LatencySpikes > 0 {
+		add("latency spikes %d", f.LatencySpikes)
+	}
+	if f.DMAStalls > 0 {
+		add("dma stalls %d", f.DMAStalls)
+	}
+	if len(parts) == 0 {
+		return "no faults"
+	}
+	return strings.Join(parts, ", ")
+}
+
+// isDeviceFault classifies errors the degradation ladder may mask:
+// injected reliability events whose correct response is retry, then
+// host fallback (or, in a cluster, replica failover). Anything else —
+// invalid queries, unknown tables, genuine bugs — must surface.
+func isDeviceFault(err error) bool {
+	return errors.Is(err, device.ErrSessionAborted) ||
+		errors.Is(err, device.ErrDeviceTimeout) ||
+		errors.Is(err, device.ErrDeviceFailed) ||
+		errors.Is(err, device.ErrGrantDenied) ||
+		errors.Is(err, nand.ErrUncorrectable)
+}
+
+// faultReason maps a device fault to its FallbackReason label.
+func faultReason(err error) string {
+	switch {
+	case errors.Is(err, device.ErrSessionAborted):
+		return "session-abort"
+	case errors.Is(err, device.ErrDeviceTimeout):
+		return "get-timeout"
+	case errors.Is(err, device.ErrDeviceFailed):
+		return "device-failed"
+	case errors.Is(err, device.ErrGrantDenied):
+		return "grant-denied"
+	case errors.Is(err, nand.ErrUncorrectable):
+		return "uncorrectable-read"
+	default:
+		return "device-error"
+	}
+}
+
+// faultWindow snapshots the SSD's reliability counters so a run can
+// report exactly the events it caused.
+type faultWindow struct {
+	ftl ftl.Stats
+	inj fault.Stats
+}
+
+func (e *Engine) faultWindow() faultWindow {
+	return faultWindow{ftl: e.ssd.FTLStats(), inj: e.ssd.FaultStats()}
+}
+
+// diff fills rep's counter fields with the events since the window was
+// taken and returns the extra virtual time hosts spent on hung GETs.
+func (w faultWindow) diff(e *Engine, rep *FaultReport) time.Duration {
+	fa, ia := e.ssd.FTLStats(), e.ssd.FaultStats()
+	rep.ReadRetries = fa.ReadRetries - w.ftl.ReadRetries
+	rep.RecoveredReads = fa.RecoveredReads - w.ftl.RecoveredReads
+	rep.UncorrectableReads = fa.UncorrectableReads - w.ftl.UncorrectableReads
+	rep.RemappedPrograms = fa.RemappedPrograms - w.ftl.RemappedPrograms
+	rep.GrownBadBlocks = fa.GrownBadBlocks - w.ftl.GrownBadBlocks
+	rep.SessionAborts = ia.SessionAborts - w.inj.SessionAborts
+	rep.GrantDenials = ia.GrantDenials - w.inj.GrantDenials
+	rep.GetTimeouts = ia.GetTimeouts - w.inj.GetTimeouts
+	rep.DeviceFailures = ia.DeviceFailures - w.inj.DeviceFailures
+	rep.LatencySpikes = ia.LatencySpikes - w.inj.LatencySpikes
+	rep.DMAStalls = ia.DMAStalls - w.inj.DMAStalls
+	rep.TimeoutWait = time.Duration(ia.TimeoutDelay - w.inj.TimeoutDelay)
+	return rep.TimeoutWait
+}
+
+// ErrPartialResult marks a cluster run that lost at least one
+// partition: a device failed and no replica could stand in. Use
+// errors.Is(err, ErrPartialResult) to detect it and errors.As with
+// *PartialResultError to see which workers were lost.
+var ErrPartialResult = errors.New("core: partial result")
+
+// PartialResultError reports the workers whose partitions are missing
+// from a cluster result.
+type PartialResultError struct {
+	// Failed lists the worker indexes whose partitions are absent.
+	Failed []int
+	// Cause is the last device fault seen on a failed worker.
+	Cause error
+}
+
+func (e *PartialResultError) Error() string {
+	return fmt.Sprintf("core: partial result: workers %v failed without replicas: %v",
+		e.Failed, e.Cause)
+}
+
+// Unwrap exposes the underlying device fault to errors.Is/As.
+func (e *PartialResultError) Unwrap() error { return e.Cause }
+
+// Is makes errors.Is(err, ErrPartialResult) match.
+func (e *PartialResultError) Is(target error) bool { return target == ErrPartialResult }

@@ -65,8 +65,22 @@ func (e *Engine) runHybrid(spec QuerySpec, t, build *Table) (*Result, error) {
 
 	// Device side: the leading page range.
 	dq.Table.Pages = devPages
+	win := e.faultWindow()
 	devRows, devEnd, err := e.runtime.RunQuery(dq)
 	if err != nil {
+		// A device fault on the split's device half degrades the whole
+		// query to the pure host path rather than losing its partition.
+		if isDeviceFault(err) && !e.cfg.DisableFallback {
+			res, herr := e.runHost(spec, t, build)
+			if herr != nil {
+				return nil, fmt.Errorf("core: host fallback after %v: %w", err, herr)
+			}
+			res.Faults.DeviceAttempts = 1
+			res.Faults.HostFallback = true
+			res.Faults.FallbackReason = faultReason(err)
+			res.Elapsed += win.diff(e, &res.Faults)
+			return res, nil
+		}
 		return nil, fmt.Errorf("core: hybrid device side: %w", err)
 	}
 
@@ -101,6 +115,8 @@ func (e *Engine) runHybrid(spec QuerySpec, t, build *Table) (*Result, error) {
 		return nil, err
 	}
 	e.finishMetrics(res, t)
+	res.Faults.DeviceAttempts = 1
+	res.Elapsed += win.diff(e, &res.Faults)
 	return res, nil
 }
 

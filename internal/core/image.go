@@ -93,7 +93,12 @@ func LoadImage(cfg Config, r io.Reader) (*Engine, error) {
 	if err := dec.Decode(&hdr); err != nil {
 		return nil, fmt.Errorf("core: image header: %w", err)
 	}
+	// The image dictates device geometry and timing, but fault injection
+	// is a run-time choice of the loading caller, not a property of the
+	// stored data.
+	fc := cfg.SSD.Fault
 	cfg.SSD = hdr.Params
+	cfg.SSD.Fault = fc
 	e, err := New(cfg)
 	if err != nil {
 		return nil, err

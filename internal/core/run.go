@@ -122,6 +122,10 @@ type Result struct {
 	LinkBytesOut   int64
 	// HostStats counts host-executor work (host runs only).
 	HostStats exec.Stats
+	// Faults is the availability story of the run: retries, fallbacks,
+	// and every reliability event that fired (all zero when fault
+	// injection is off).
+	Faults FaultReport
 }
 
 // StageUtil is one pipeline resource's share of a run.
@@ -186,7 +190,7 @@ func (e *Engine) runPlaced(spec QuerySpec, mode Mode) (*Result, error) {
 	case ForceHybrid:
 		return e.runHybrid(spec, t, build)
 	case ForceDevice:
-		return e.runDevice(dq, opt.Decision{Pushdown: true, Reason: "forced"})
+		return e.runDevice(spec, t, build, dq, opt.Decision{Pushdown: true, Reason: "forced"})
 	default:
 		d := e.planner.Decide(dq, e.ssd, e.pool, spec.EstSelectivity)
 		// With hybrid planning enabled, a costed (non-vetoed) decision
@@ -202,7 +206,7 @@ func (e *Engine) runPlaced(spec QuerySpec, mode Mode) (*Result, error) {
 			return res, err
 		}
 		if d.Pushdown {
-			return e.runDevice(dq, d)
+			return e.runDevice(spec, t, build, dq, d)
 		}
 		res, err := e.runHost(spec, t, build)
 		if err == nil {
@@ -343,6 +347,7 @@ func (e *Engine) runHost(spec QuerySpec, t, build *Table) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	win := e.faultWindow()
 	ctx := exec.NewCtx(e.host)
 	rows, end, err := exec.Collect(ctx, op)
 	if err != nil {
@@ -356,22 +361,60 @@ func (e *Engine) runHost(spec QuerySpec, t, build *Table) (*Result, error) {
 		HostStats: ctx.Stats,
 	}
 	e.finishMetrics(res, t)
+	res.Elapsed += win.diff(e, &res.Faults)
 	return res, nil
 }
 
-func (e *Engine) runDevice(q device.Query, d opt.Decision) (*Result, error) {
-	rows, end, err := e.runtime.RunQuery(q)
+// runDevice executes the pushed-down program with the degradation
+// ladder of the fault model: bounded retry-with-backoff on the device,
+// then transparent host fallback (re-scanning through the block
+// interface). Non-fault errors surface immediately. On a fault-free
+// device this is exactly one RunQuery call.
+func (e *Engine) runDevice(spec QuerySpec, t, build *Table, q device.Query, d opt.Decision) (*Result, error) {
+	win := e.faultWindow()
+	var rep FaultReport
+	var wait time.Duration
+	backoff := e.cfg.RetryBackoff
+	var lastErr error
+	for attempt := 0; attempt <= e.cfg.MaxDeviceRetries; attempt++ {
+		rep.DeviceAttempts++
+		rows, end, err := e.runtime.RunQuery(q)
+		if err == nil {
+			res := &Result{
+				Rows:      rows,
+				Schema:    q.OutputSchema(),
+				Elapsed:   end,
+				Placement: RanDevice,
+				Decision:  d,
+			}
+			e.finishMetrics(res, &Table{Target: OnSSD})
+			res.Elapsed += wait + win.diff(e, &rep)
+			res.Faults = rep
+			return res, nil
+		}
+		lastErr = err
+		if !isDeviceFault(err) {
+			return nil, err
+		}
+		if attempt < e.cfg.MaxDeviceRetries {
+			wait += backoff
+			rep.BackoffWait += backoff
+			backoff *= 2
+		}
+	}
+	if e.cfg.DisableFallback {
+		return nil, fmt.Errorf("core: device path failed after %d attempts: %w",
+			rep.DeviceAttempts, lastErr)
+	}
+	rep.HostFallback = true
+	rep.FallbackReason = faultReason(lastErr)
+	res, err := e.runHost(spec, t, build)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("core: host fallback after %v: %w", lastErr, err)
 	}
-	res := &Result{
-		Rows:      rows,
-		Schema:    q.OutputSchema(),
-		Elapsed:   end,
-		Placement: RanDevice,
-		Decision:  d,
-	}
-	e.finishMetrics(res, &Table{Target: OnSSD})
+	res.Decision = d
+	res.Elapsed += wait + win.diff(e, &rep)
+	res.Faults = rep
 	return res, nil
 }
 

@@ -230,11 +230,21 @@ func TestProtocolLifecycle(t *testing.T) {
 	if fx.rt.OpenSessions() != 0 {
 		t.Fatal("session leaked after CLOSE")
 	}
-	if _, err := fx.rt.Get(id); !errors.Is(err, ErrNoSession) {
+	if fx.rt.GrantedBytes() != 0 {
+		t.Fatalf("GrantedBytes = %d after CLOSE", fx.rt.GrantedBytes())
+	}
+	// A closed id is distinguishable from one that never existed.
+	if _, err := fx.rt.Get(id); !errors.Is(err, ErrClosed) {
 		t.Fatalf("Get after Close err = %v", err)
 	}
-	if err := fx.rt.Close(id); !errors.Is(err, ErrNoSession) {
+	if err := fx.rt.Close(id); !errors.Is(err, ErrClosed) {
 		t.Fatalf("double Close err = %v", err)
+	}
+	if _, err := fx.rt.Get(id + 999); !errors.Is(err, ErrUnknownSession) {
+		t.Fatalf("Get of never-opened id err = %v", err)
+	}
+	if err := fx.rt.Close(id + 999); !errors.Is(err, ErrUnknownSession) {
+		t.Fatalf("Close of never-opened id err = %v", err)
 	}
 }
 

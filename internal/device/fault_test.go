@@ -1,0 +1,187 @@
+package device
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"smartssd/internal/expr"
+	"smartssd/internal/fault"
+	"smartssd/internal/heap"
+	"smartssd/internal/nand"
+	"smartssd/internal/page"
+	"smartssd/internal/plan"
+	"smartssd/internal/schema"
+	"smartssd/internal/ssd"
+)
+
+// newFaultyFixture is newFixture with fault injection armed per fc and
+// an optional device-DRAM override (0 keeps the default).
+func newFaultyFixture(t *testing.T, fc fault.Config, nS int, dram int64) *fixture {
+	t.Helper()
+	p := ssd.DefaultParams()
+	p.Geometry = nand.Geometry{
+		Channels: 8, ChipsPerChannel: 2, BlocksPerChip: 16, PagesPerBlock: 32, PageSize: 8192,
+	}
+	p.Fault = fc
+	if dram > 0 {
+		p.DeviceDRAMBytes = dram
+	}
+	dev, err := ssd.New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var alloc heap.Allocator
+	s, err := heap.Create("S", dev, &alloc, schemaS(), page.NSM, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := s.NewAppender()
+	for i := 0; i < nS; i++ {
+		app.Append(schema.Tuple{
+			schema.IntVal(int64(i)),
+			schema.IntVal(0),
+			schema.IntVal(int64(i % 100)),
+		})
+	}
+	if err := app.Close(); err != nil {
+		t.Fatal(err)
+	}
+	dev.ResetTiming()
+	return &fixture{dev: dev, rt: NewRuntime(dev, DefaultCostModel()), s: s, nS: nS}
+}
+
+func scanQuery(fx *fixture) Query {
+	s := schemaS()
+	return Query{
+		Table:  RefOf(fx.s),
+		Output: []plan.OutputCol{{Name: "s_id", E: expr.ColRef(s, "s_id")}},
+	}
+}
+
+// An injected abort kills the session mid-GET: the GET fails typed,
+// the session stays aborted, and CLOSE still reclaims the grant.
+func TestInjectedSessionAbort(t *testing.T) {
+	fx := newFaultyFixture(t, fault.Config{Seed: 1, SessionAbortRate: 1}, 1000, 0)
+	id, err := fx.rt.Open(scanQuery(fx))
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if _, err := fx.rt.Get(id); !errors.Is(err, ErrSessionAborted) {
+		t.Fatalf("Get err = %v, want ErrSessionAborted", err)
+	}
+	// The abort is sticky for the session, without consuming another
+	// fault draw.
+	if _, err := fx.rt.Get(id); !errors.Is(err, ErrSessionAborted) {
+		t.Fatalf("second Get err = %v, want ErrSessionAborted", err)
+	}
+	if got := fx.dev.FaultStats().SessionAborts; got != 1 {
+		t.Fatalf("SessionAborts = %d, want 1 (sticky abort must not redraw)", got)
+	}
+	if err := fx.rt.Close(id); err != nil {
+		t.Fatalf("Close of aborted session: %v", err)
+	}
+	if fx.rt.OpenSessions() != 0 || fx.rt.GrantedBytes() != 0 {
+		t.Fatalf("aborted session leaked: sessions=%d granted=%d",
+			fx.rt.OpenSessions(), fx.rt.GrantedBytes())
+	}
+}
+
+// A device-CPU hang surfaces as a typed timeout after the watchdog
+// period, which is charged to the host's virtual timeline.
+func TestInjectedGetTimeout(t *testing.T) {
+	fx := newFaultyFixture(t, fault.Config{Seed: 2, GetTimeoutRate: 1}, 1000, 0)
+	id, err := fx.rt.Open(scanQuery(fx))
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	res, err := fx.rt.Get(id)
+	if !errors.Is(err, ErrDeviceTimeout) {
+		t.Fatalf("Get err = %v, want ErrDeviceTimeout", err)
+	}
+	if want := 10 * time.Millisecond; res.At != want {
+		t.Fatalf("watchdog fired at %v, want default %v", res.At, want)
+	}
+	st := fx.dev.FaultStats()
+	if st.GetTimeouts != 1 || st.TimeoutDelay != int64(10*time.Millisecond) {
+		t.Fatalf("timeout accounting = %+v", st)
+	}
+	if err := fx.rt.Close(id); err != nil {
+		t.Fatalf("Close of timed-out session: %v", err)
+	}
+}
+
+// An injected grant denial refuses OPEN without leaking any slot.
+func TestInjectedGrantDenial(t *testing.T) {
+	fx := newFaultyFixture(t, fault.Config{Seed: 3, GrantDenialRate: 1}, 1000, 0)
+	if _, err := fx.rt.Open(scanQuery(fx)); !errors.Is(err, ErrGrantDenied) {
+		t.Fatalf("Open err = %v, want ErrGrantDenied", err)
+	}
+	if fx.rt.OpenSessions() != 0 || fx.rt.GrantedBytes() != 0 {
+		t.Fatalf("denied OPEN leaked: sessions=%d granted=%d",
+			fx.rt.OpenSessions(), fx.rt.GrantedBytes())
+	}
+}
+
+// A dead device refuses OPEN and fails in-flight GETs typed; revival
+// (test hook) restores service for still-open sessions.
+func TestDeviceFailureIsTypedAndSticky(t *testing.T) {
+	fx := newFaultyFixture(t, fault.Config{Armed: true}, 1000, 0)
+	id, err := fx.rt.Open(scanQuery(fx))
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	fx.dev.Injector().KillDevice()
+	if _, err := fx.rt.Open(scanQuery(fx)); !errors.Is(err, ErrDeviceFailed) {
+		t.Fatalf("Open on dead device err = %v, want ErrDeviceFailed", err)
+	}
+	if _, err := fx.rt.Get(id); !errors.Is(err, ErrDeviceFailed) {
+		t.Fatalf("Get on dead device err = %v, want ErrDeviceFailed", err)
+	}
+	// Close works on a failed device: it only releases host bookkeeping.
+	if err := fx.rt.Close(id); err != nil {
+		t.Fatalf("Close on dead device: %v", err)
+	}
+	fx.dev.Injector().ReviveDevice()
+	rows, _, err := fx.rt.RunQuery(scanQuery(fx))
+	if err != nil {
+		t.Fatalf("RunQuery after revive: %v", err)
+	}
+	if len(rows) != fx.nS {
+		t.Fatalf("revived device returned %d rows, want %d", len(rows), fx.nS)
+	}
+}
+
+// The cumulative DRAM grant pool refuses OPENs past capacity and
+// recovers fully once sessions close.
+func TestGrantPoolExhaustionAndRecovery(t *testing.T) {
+	fx := newFaultyFixture(t, fault.Config{}, 1000, 600*1024)
+	var open []SessionID
+	denied := false
+	for i := 0; i < 200; i++ {
+		id, err := fx.rt.Open(scanQuery(fx))
+		if err != nil {
+			if !errors.Is(err, ErrGrantDenied) {
+				t.Fatalf("Open %d err = %v, want ErrGrantDenied", i, err)
+			}
+			denied = true
+			break
+		}
+		open = append(open, id)
+	}
+	if !denied {
+		t.Fatalf("200 concurrent OPENs never exhausted the %d-byte grant pool",
+			fx.dev.DeviceDRAMBytes())
+	}
+	for _, id := range open {
+		if err := fx.rt.Close(id); err != nil {
+			t.Fatalf("Close(%d): %v", id, err)
+		}
+	}
+	if fx.rt.GrantedBytes() != 0 {
+		t.Fatalf("GrantedBytes = %d after closing all sessions", fx.rt.GrantedBytes())
+	}
+	if _, err := fx.rt.Open(scanQuery(fx)); err != nil {
+		t.Fatalf("Open after pool recovery: %v", err)
+	}
+}

@@ -18,10 +18,38 @@ const DefaultChunkBytes = 256 * 1024
 
 // Errors reported by the session protocol.
 var (
-	ErrNoSession    = errors.New("device: unknown session id")
-	ErrClosed       = errors.New("device: session closed")
-	ErrMemoryGrant  = errors.New("device: program exceeds device DRAM grant")
+	// ErrUnknownSession is returned for a session id that was never
+	// opened on this runtime.
+	ErrUnknownSession = errors.New("device: unknown session id")
+	// ErrClosed is returned for operations on a session that has been
+	// closed (including a second CLOSE).
+	ErrClosed = errors.New("device: session closed")
+	// ErrGrantDenied is returned when an OPEN cannot be granted the
+	// memory its program needs — because the program alone exceeds
+	// device DRAM, because concurrent sessions have exhausted the
+	// grant pool, or because an injected firmware fault refused it.
+	ErrGrantDenied  = errors.New("device: memory grant denied")
 	ErrInvalidQuery = errors.New("device: invalid query")
+)
+
+// Errors reported when injected faults hit a session mid-flight.
+var (
+	// ErrSessionAborted is a user-program crash inside the device: the
+	// session is dead and its partial results are discarded.
+	ErrSessionAborted = errors.New("device: session aborted")
+	// ErrDeviceTimeout is a device-CPU hang surfaced as a GET that
+	// never completes; the host's watchdog gives up after the
+	// configured timeout.
+	ErrDeviceTimeout = errors.New("device: get timed out")
+	// ErrDeviceFailed is a whole-device failure: every subsequent
+	// command on the device fails the same way.
+	ErrDeviceFailed = errors.New("device: device failed")
+)
+
+// Legacy aliases, kept so older callers' errors.Is checks keep working.
+var (
+	ErrNoSession   = ErrUnknownSession
+	ErrMemoryGrant = ErrGrantDenied
 )
 
 // Runtime is the Smart SSD runtime framework of §3: it accepts
@@ -37,6 +65,8 @@ type Runtime struct {
 	chunkBytes int64
 	next       SessionID
 	sessions   map[SessionID]*session
+	closed     map[SessionID]bool // tombstones: ids that were opened and closed
+	granted    int64              // DRAM bytes granted to live sessions
 }
 
 // NewRuntime builds the runtime for one device using cost constants c.
@@ -46,6 +76,7 @@ func NewRuntime(dev *ssd.Device, c CostModel) *Runtime {
 		cost:       c,
 		chunkBytes: DefaultChunkBytes,
 		sessions:   make(map[SessionID]*session),
+		closed:     make(map[SessionID]bool),
 	}
 }
 
@@ -60,7 +91,7 @@ type sessionState uint8
 const (
 	stateOpen sessionState = iota
 	stateDone
-	stateClosed
+	stateAborted
 )
 
 // session holds one program's runtime state: the granted resources, the
@@ -69,24 +100,38 @@ type session struct {
 	id     SessionID
 	query  Query
 	state  sessionState
+	grant  int64 // DRAM bytes granted at OPEN, released at CLOSE
 	result *result
 	cursor int // next chunk index for GET
 }
 
 // Open starts a session for query q: the OPEN command. The query is
-// validated and its memory grant checked against device DRAM before any
-// work is admitted.
+// validated and its memory grant checked against device DRAM — both the
+// program's own footprint and the pool already granted to concurrent
+// sessions — before any work is admitted.
 func (r *Runtime) Open(q Query) (SessionID, error) {
 	if err := q.validate(); err != nil {
 		return 0, err
 	}
-	if need := q.memoryEstimate(r.cost); need > r.dev.DeviceDRAMBytes() {
+	if r.dev.Injector().Dead() || r.dev.Injector().DeviceFail() {
+		return 0, fmt.Errorf("%w: open refused", ErrDeviceFailed)
+	}
+	need := q.memoryEstimate(r.cost)
+	if need > r.dev.DeviceDRAMBytes() {
 		return 0, fmt.Errorf("%w: program needs %d bytes, device DRAM is %d",
-			ErrMemoryGrant, need, r.dev.DeviceDRAMBytes())
+			ErrGrantDenied, need, r.dev.DeviceDRAMBytes())
+	}
+	if r.granted+need > r.dev.DeviceDRAMBytes() {
+		return 0, fmt.Errorf("%w: program needs %d bytes, %d of %d already granted",
+			ErrGrantDenied, need, r.granted, r.dev.DeviceDRAMBytes())
+	}
+	if r.dev.Injector().GrantDenied() {
+		return 0, fmt.Errorf("%w: grant refused by firmware", ErrGrantDenied)
 	}
 	r.next++
 	id := r.next
-	r.sessions[id] = &session{id: id, query: q, state: stateOpen}
+	r.sessions[id] = &session{id: id, query: q, state: stateOpen, grant: need}
+	r.granted += need
 	return id, nil
 }
 
@@ -107,10 +152,29 @@ type GetResult struct {
 func (r *Runtime) Get(id SessionID) (GetResult, error) {
 	s, ok := r.sessions[id]
 	if !ok {
-		return GetResult{}, fmt.Errorf("%w: %d", ErrNoSession, id)
+		if r.closed[id] {
+			return GetResult{}, fmt.Errorf("%w: %d", ErrClosed, id)
+		}
+		return GetResult{}, fmt.Errorf("%w: %d", ErrUnknownSession, id)
 	}
-	if s.state == stateClosed {
-		return GetResult{}, fmt.Errorf("%w: %d", ErrClosed, id)
+	if s.state == stateAborted {
+		return GetResult{}, fmt.Errorf("%w: %d", ErrSessionAborted, id)
+	}
+	inj := r.dev.Injector()
+	if inj.Dead() {
+		return GetResult{}, fmt.Errorf("%w: get on session %d", ErrDeviceFailed, id)
+	}
+	if wait := inj.GetTimeout(); wait > 0 {
+		// Device-CPU hang: the program never responds and the host's
+		// watchdog fires after wait simulated nanoseconds. The session
+		// is unrecoverable.
+		s.state = stateAborted
+		return GetResult{At: time.Duration(wait)}, fmt.Errorf("%w: session %d after %v",
+			ErrDeviceTimeout, id, time.Duration(wait))
+	}
+	if inj.SessionAbort() {
+		s.state = stateAborted
+		return GetResult{}, fmt.Errorf("%w: %d", ErrSessionAborted, id)
 	}
 	if s.result == nil {
 		res, err := runProgram(r.dev, r.cost, r.chunkBytes, s.query)
@@ -133,23 +197,31 @@ func (r *Runtime) Get(id SessionID) (GetResult, error) {
 }
 
 // Close releases a session: the CLOSE command. Closing an unknown or
-// already-closed session is an error, mirroring a firmware status check.
+// already-closed session is an error, mirroring a firmware status
+// check, but an aborted session closes normally (that is how the host
+// reclaims its grant). Close works even on a failed device — it only
+// releases host-visible bookkeeping.
 func (r *Runtime) Close(id SessionID) error {
 	s, ok := r.sessions[id]
 	if !ok {
-		return fmt.Errorf("%w: %d", ErrNoSession, id)
+		if r.closed[id] {
+			return fmt.Errorf("%w: %d", ErrClosed, id)
+		}
+		return fmt.Errorf("%w: %d", ErrUnknownSession, id)
 	}
-	if s.state == stateClosed {
-		return fmt.Errorf("%w: %d", ErrClosed, id)
-	}
-	s.state = stateClosed
 	s.result = nil
+	r.granted -= s.grant
 	delete(r.sessions, id)
+	r.closed[id] = true
 	return nil
 }
 
 // OpenSessions reports the number of live sessions (diagnostics).
 func (r *Runtime) OpenSessions() int { return len(r.sessions) }
+
+// GrantedBytes reports the device DRAM currently granted to live
+// sessions (diagnostics).
+func (r *Runtime) GrantedBytes() int64 { return r.granted }
 
 // RunQuery is the host-side convenience wrapper the modified DBMS path
 // uses: OPEN, drain with GET, CLOSE. It returns all result rows and the

@@ -40,6 +40,9 @@ type Options struct {
 	SynthRatio int64
 	// Seed makes data generation deterministic. Default 1.
 	Seed int64
+	// FaultSeed keys the fault injector's streams in the faults
+	// experiment. Default: Seed.
+	FaultSeed int64
 	// SSD overrides the simulated device (zero: a 4 GB-class device
 	// with the paper's controller parameters).
 	SSD ssd.Params
@@ -57,6 +60,9 @@ func (o *Options) fill() {
 	}
 	if o.Seed == 0 {
 		o.Seed = 1
+	}
+	if o.FaultSeed == 0 {
+		o.FaultSeed = o.Seed
 	}
 }
 

@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"smartssd/internal/core"
+	"smartssd/internal/fault"
+	"smartssd/internal/tpch"
+)
+
+// faultTrials is how many cold Q6 runs each sweep point averages over;
+// the injector's streams advance across trials, so one point samples
+// several fault schedules at its rate.
+const faultTrials = 8
+
+// FaultRun is one point of the fault sweep: Q6 pushed down while
+// sessions abort at the given rate, with the engine's degradation
+// ladder (retry, then host fallback) keeping the answer correct.
+type FaultRun struct {
+	AbortRate float64
+	// Elapsed is the mean over faultTrials cold runs.
+	Elapsed time.Duration
+	// Speedup is versus the fault-free host baseline; it degrades
+	// toward (and below) 1.0 as rising fault rates force fallbacks.
+	Speedup float64
+	// Attempts is total device attempts across trials (faultTrials
+	// when no retries happened).
+	Attempts int
+	// Fallbacks is how many of the trials abandoned the device path.
+	Fallbacks int
+	Aborts    int64
+}
+
+// FaultsReport is the graceful-degradation experiment: how Smart SSD
+// speedup erodes as device fault rates rise, with every configuration
+// still returning the exact answer.
+type FaultsReport struct {
+	Answer      int64
+	HostElapsed time.Duration
+	Runs        []FaultRun
+}
+
+// ExtFaults sweeps the session-abort rate for TPC-H Q6 pushdown. Every
+// point rebuilds the engine with a fresh deterministic injector (seeded
+// from Options.FaultSeed), so a fixed seed reproduces the identical
+// fault schedule and the identical report.
+func ExtFaults(o Options) (FaultsReport, error) {
+	o.fill()
+	spec := core.QuerySpec{
+		Table:          "lineitem_nsm",
+		Filter:         tpch.Q6Predicate(),
+		Aggs:           tpch.Q6Aggregates(),
+		EstSelectivity: 0.006,
+	}
+
+	// Fault-free host baseline: the reference answer and the elapsed
+	// time speedups are measured against.
+	base, err := engineFor(o)
+	if err != nil {
+		return FaultsReport{}, err
+	}
+	if err := loadTPCH(base, o, false); err != nil {
+		return FaultsReport{}, err
+	}
+	host, err := base.Run(spec, core.ForceHost)
+	if err != nil {
+		return FaultsReport{}, fmt.Errorf("faults host baseline: %w", err)
+	}
+	rep := FaultsReport{Answer: host.Rows[0][0].Int, HostElapsed: host.Elapsed}
+
+	for _, rate := range []float64{0, 0.05, 0.2, 0.5, 1.0} {
+		fo := o
+		fo.SSD.Fault = fault.Config{Seed: o.FaultSeed, SessionAbortRate: rate}
+		e, err := engineFor(fo)
+		if err != nil {
+			return FaultsReport{}, err
+		}
+		if err := loadTPCH(e, fo, false); err != nil {
+			return FaultsReport{}, err
+		}
+		run := FaultRun{AbortRate: rate}
+		var total time.Duration
+		for trial := 0; trial < faultTrials; trial++ {
+			res, err := e.Run(spec, core.ForceDevice)
+			if err != nil {
+				return FaultsReport{}, fmt.Errorf("faults rate %.2f trial %d: %w", rate, trial, err)
+			}
+			if got := res.Rows[0][0].Int; got != rep.Answer {
+				return FaultsReport{}, fmt.Errorf("faults rate %.2f trial %d: answer %d != clean %d",
+					rate, trial, got, rep.Answer)
+			}
+			total += res.Elapsed
+			run.Attempts += res.Faults.DeviceAttempts
+			if res.Faults.HostFallback {
+				run.Fallbacks++
+			}
+			run.Aborts += res.Faults.SessionAborts
+		}
+		run.Elapsed = total / faultTrials
+		run.Speedup = float64(host.Elapsed) / float64(run.Elapsed)
+		rep.Runs = append(rep.Runs, run)
+	}
+	return rep, nil
+}
+
+// Render prints the sweep in the suite's tabular style.
+func (r FaultsReport) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Faults: TPC-H Q6 pushdown under injected session aborts (answer SUM=%d)\n", r.Answer)
+	fmt.Fprintf(&b, "%-12s %12s %9s %9s %9s %10s\n",
+		"abort rate", "elapsed", "speedup", "attempts", "aborts", "fallbacks")
+	for _, run := range r.Runs {
+		fmt.Fprintf(&b, "%-12.2f %12s %8.2fx %9d %9d %7d/%d\n",
+			run.AbortRate, fmtDur(run.Elapsed), run.Speedup,
+			run.Attempts, run.Aborts, run.Fallbacks, faultTrials)
+	}
+	fmt.Fprintf(&b, "(mean of %d cold runs per rate; speedup relative to fault-free host run, %s;\n"+
+		" every run returns the exact answer)\n", faultTrials, fmtDur(r.HostElapsed))
+	return b.String()
+}

@@ -1,0 +1,389 @@
+// Package fault is a seedable, deterministic fault injector for the
+// Smart SSD simulator. It models the reliability events that the
+// paper's §5 names as open challenges — flash read errors, program and
+// erase failures, controller latency spikes, and failures of user code
+// running inside the device — as draws from counter-based hash streams
+// so that a fixed seed always reproduces the same fault schedule.
+//
+// Determinism. Every injection site owns an independent stream keyed
+// by (seed, site); each draw hashes the site's monotonically
+// increasing counter through splitmix64. Sites never share state, so
+// adding draws at one site (or reordering two sites) does not perturb
+// the outcomes at any other site. Faults are therefore a function of
+// the workload's own event sequence, not of wall-clock time or
+// goroutine scheduling.
+//
+// Opt-in. A zero-value Config is disabled: New returns nil, and every
+// Injector method is nil-receiver safe and a no-op, so un-faulted runs
+// execute byte-identical code paths to a build without this package.
+package fault
+
+import "sync"
+
+// Config selects fault rates per injection site. All rates are
+// probabilities in [0,1]; a zero value disables that site. Durations
+// are in simulated nanoseconds.
+type Config struct {
+	// Seed keys every fault stream. Two runs with equal Config and
+	// equal workloads draw identical fault schedules.
+	Seed int64
+
+	// Armed forces construction of an injector even when every rate
+	// is zero, so tests and experiments can trigger faults directly
+	// (KillDevice, MarkUncorrectable) without enabling random draws.
+	Armed bool
+
+	// NAND layer.
+	ReadErrorRate     float64 // transient bit error on a page read (ECC retry may recover)
+	UncorrectableRate float64 // read error that no retry recovers (sticky: page is lost)
+	ProgramFailRate   float64 // page program fails; FTL must remap to a fresh page
+	EraseFailRate     float64 // block erase fails; block is grown-bad and retired
+
+	// SSD controller layer.
+	LatencySpikeRate float64 // a flash op is delayed by LatencySpike
+	LatencySpike     int64   // duration of one spike (ns); default 250µs
+	DMAStallRate     float64 // a DMA transfer stalls for DMAStall first
+	DMAStall         int64   // duration of one stall (ns); default 100µs
+
+	// Device runtime layer.
+	SessionAbortRate float64 // an open session aborts mid-GET
+	GrantDenialRate  float64 // an OPEN is refused its memory grant
+	GetTimeoutRate   float64 // device CPU hang: one GET stalls then times out
+	GetTimeout       int64   // how long a hung GET blocks the host (ns); default 10ms
+	DeviceFailRate   float64 // whole-device failure at OPEN: device is dead thereafter
+}
+
+// Enabled reports whether this configuration injects anything.
+func (c Config) Enabled() bool {
+	return c.Armed ||
+		c.ReadErrorRate > 0 || c.UncorrectableRate > 0 ||
+		c.ProgramFailRate > 0 || c.EraseFailRate > 0 ||
+		c.LatencySpikeRate > 0 || c.DMAStallRate > 0 ||
+		c.SessionAbortRate > 0 || c.GrantDenialRate > 0 ||
+		c.GetTimeoutRate > 0 || c.DeviceFailRate > 0
+}
+
+func (c *Config) fill() {
+	if c.LatencySpike == 0 {
+		c.LatencySpike = 250_000 // 250µs: a read-retry ladder walk
+	}
+	if c.DMAStall == 0 {
+		c.DMAStall = 100_000 // 100µs: bus arbitration stall
+	}
+	if c.GetTimeout == 0 {
+		c.GetTimeout = 10_000_000 // 10ms: watchdog period
+	}
+}
+
+// Injection sites. Each constant keys an independent draw stream.
+const (
+	siteRead int64 = iota + 1
+	siteUncorrectable
+	siteProgram
+	siteErase
+	siteLatency
+	siteDMA
+	siteAbort
+	siteGrant
+	siteTimeout
+	siteDeviceFail
+)
+
+// Stats counts injected faults by site. Counters record injections at
+// the point of the draw; recovery actions (retries that succeeded,
+// remaps, fallbacks) are counted by the layer that performs them.
+type Stats struct {
+	ReadErrors      int64 // transient read errors injected
+	Uncorrectables  int64 // uncorrectable read outcomes injected
+	ProgramFails    int64 // program failures injected
+	EraseFails      int64 // erase failures injected
+	LatencySpikes   int64 // controller latency spikes injected
+	DMAStalls       int64 // DMA bus stalls injected
+	SessionAborts   int64 // sessions aborted mid-GET
+	GrantDenials    int64 // OPEN memory grants denied
+	GetTimeouts     int64 // GETs hung until timeout
+	DeviceFailures  int64 // whole-device failures
+	SpikeDelay      int64 // total simulated ns added by spikes
+	StallDelay      int64 // total simulated ns added by stalls
+	TimeoutDelay    int64 // total simulated ns hosts spent waiting on hung GETs
+	StickyBadPages  int64 // pages currently marked uncorrectable
+	DeviceDead      bool  // device has failed and stays failed
+}
+
+// Injector draws faults deterministically. The zero of *Injector (nil)
+// is a valid, permanently disabled injector. Methods are safe for
+// concurrent use; the simulator itself is single-threaded per device,
+// but tests exercise injectors under -race.
+type Injector struct {
+	cfg Config
+
+	mu       sync.Mutex
+	counters map[int64]uint64 // per-site draw counters
+	sticky   map[uint64]bool  // pages that failed uncorrectably
+	dead     bool
+	stats    Stats
+}
+
+// New returns an injector for cfg, or nil when cfg injects nothing.
+// A nil injector is valid at every call site and costs one nil check.
+func New(cfg Config) *Injector {
+	if !cfg.Enabled() {
+		return nil
+	}
+	cfg.fill()
+	return &Injector{
+		cfg:      cfg,
+		counters: make(map[int64]uint64),
+		sticky:   make(map[uint64]bool),
+	}
+}
+
+// splitmix64 is the finalizer from Vigna's SplitMix64 generator: a
+// bijective avalanche mix whose low bits pass statistical tests, used
+// here as a counter-based PRNG (hash of seed ^ site-keyed counter).
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// roll draws the next value in site's stream and reports whether it
+// lands under rate. Caller must hold i.mu.
+func (i *Injector) roll(site int64, rate float64) bool {
+	if rate <= 0 {
+		return false
+	}
+	n := i.counters[site]
+	i.counters[site] = n + 1
+	h := splitmix64(uint64(i.cfg.Seed) ^ uint64(site)<<56 ^ n)
+	// 53 bits of mantissa → uniform in [0,1).
+	u := float64(h>>11) / (1 << 53)
+	return u < rate
+}
+
+// ReadError reports whether the read of page ppa suffers a bit error,
+// and if so whether it is uncorrectable. Uncorrectable outcomes are
+// sticky: every later read of the same page fails the same way, which
+// models genuine data loss rather than a transient glitch.
+func (i *Injector) ReadError(ppa uint64) (fail, uncorrectable bool) {
+	if i == nil {
+		return false, false
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if i.sticky[ppa] {
+		return true, true
+	}
+	if !i.roll(siteRead, i.cfg.ReadErrorRate) {
+		return false, false
+	}
+	i.stats.ReadErrors++
+	if i.roll(siteUncorrectable, i.cfg.UncorrectableRate) {
+		i.stats.Uncorrectables++
+		i.sticky[ppa] = true
+		i.stats.StickyBadPages = int64(len(i.sticky))
+		return true, true
+	}
+	return true, false
+}
+
+// ProgramFail reports whether the next page program fails.
+func (i *Injector) ProgramFail() bool {
+	if i == nil {
+		return false
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if i.roll(siteProgram, i.cfg.ProgramFailRate) {
+		i.stats.ProgramFails++
+		return true
+	}
+	return false
+}
+
+// EraseFail reports whether the next block erase fails, retiring the
+// block as grown-bad.
+func (i *Injector) EraseFail() bool {
+	if i == nil {
+		return false
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if i.roll(siteErase, i.cfg.EraseFailRate) {
+		i.stats.EraseFails++
+		return true
+	}
+	return false
+}
+
+// LatencySpike returns the extra simulated nanoseconds the next flash
+// operation is delayed by, zero for no spike.
+func (i *Injector) LatencySpike() int64 {
+	if i == nil {
+		return 0
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if i.roll(siteLatency, i.cfg.LatencySpikeRate) {
+		i.stats.LatencySpikes++
+		i.stats.SpikeDelay += i.cfg.LatencySpike
+		return i.cfg.LatencySpike
+	}
+	return 0
+}
+
+// DMAStall returns the extra simulated nanoseconds the next DMA
+// transfer waits before starting, zero for no stall.
+func (i *Injector) DMAStall() int64 {
+	if i == nil {
+		return 0
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if i.roll(siteDMA, i.cfg.DMAStallRate) {
+		i.stats.DMAStalls++
+		i.stats.StallDelay += i.cfg.DMAStall
+		return i.cfg.DMAStall
+	}
+	return 0
+}
+
+// SessionAbort reports whether the session servicing the next GET
+// aborts mid-flight.
+func (i *Injector) SessionAbort() bool {
+	if i == nil {
+		return false
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if i.roll(siteAbort, i.cfg.SessionAbortRate) {
+		i.stats.SessionAborts++
+		return true
+	}
+	return false
+}
+
+// GrantDenied reports whether the next OPEN is refused its memory
+// grant even though capacity exists.
+func (i *Injector) GrantDenied() bool {
+	if i == nil {
+		return false
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if i.roll(siteGrant, i.cfg.GrantDenialRate) {
+		i.stats.GrantDenials++
+		return true
+	}
+	return false
+}
+
+// GetTimeout returns the simulated nanoseconds the host waits before
+// declaring the next GET hung, zero for no hang.
+func (i *Injector) GetTimeout() int64 {
+	if i == nil {
+		return 0
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if i.roll(siteTimeout, i.cfg.GetTimeoutRate) {
+		i.stats.GetTimeouts++
+		i.stats.TimeoutDelay += i.cfg.GetTimeout
+		return i.cfg.GetTimeout
+	}
+	return 0
+}
+
+// DeviceFail draws whole-device failure at OPEN. Once a device fails
+// it stays failed: every later draw reports dead without consuming a
+// stream value.
+func (i *Injector) DeviceFail() bool {
+	if i == nil {
+		return false
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if i.dead {
+		return true
+	}
+	if i.roll(siteDeviceFail, i.cfg.DeviceFailRate) {
+		i.dead = true
+		i.stats.DeviceFailures++
+		i.stats.DeviceDead = true
+		return true
+	}
+	return false
+}
+
+// KillDevice forces the device into the failed state, as if a
+// DeviceFail draw had fired. Used by tests and cluster experiments to
+// fail a specific device at a specific point.
+func (i *Injector) KillDevice() {
+	if i == nil {
+		return
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if !i.dead {
+		i.dead = true
+		i.stats.DeviceFailures++
+		i.stats.DeviceDead = true
+	}
+}
+
+// ReviveDevice clears the failed state (tests only; real grown-bad
+// devices stay dead).
+func (i *Injector) ReviveDevice() {
+	if i == nil {
+		return
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.dead = false
+	i.stats.DeviceDead = false
+}
+
+// Dead reports whether the device has failed.
+func (i *Injector) Dead() bool {
+	if i == nil {
+		return false
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.dead
+}
+
+// MarkUncorrectable makes every future read of ppa fail
+// uncorrectably, bypassing the random streams.
+func (i *Injector) MarkUncorrectable(ppa uint64) {
+	if i == nil {
+		return
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.sticky[ppa] = true
+	i.stats.StickyBadPages = int64(len(i.sticky))
+}
+
+// ClearUncorrectable forgets a sticky page (the FTL calls this when it
+// rewrites the logical data elsewhere, retiring the damaged copy).
+func (i *Injector) ClearUncorrectable(ppa uint64) {
+	if i == nil {
+		return
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	delete(i.sticky, ppa)
+	i.stats.StickyBadPages = int64(len(i.sticky))
+}
+
+// Stats returns a snapshot of the injection counters.
+func (i *Injector) Stats() Stats {
+	if i == nil {
+		return Stats{}
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.stats
+}

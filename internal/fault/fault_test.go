@@ -1,0 +1,160 @@
+package fault
+
+import "testing"
+
+func TestDisabledConfigReturnsNil(t *testing.T) {
+	if inj := New(Config{Seed: 42}); inj != nil {
+		t.Fatalf("zero-rate config must yield a nil injector, got %+v", inj)
+	}
+	var cfg Config
+	if cfg.Enabled() {
+		t.Fatal("zero Config reports Enabled")
+	}
+}
+
+func TestNilInjectorIsNoOp(t *testing.T) {
+	var inj *Injector
+	if f, u := inj.ReadError(7); f || u {
+		t.Fatal("nil ReadError injected")
+	}
+	if inj.ProgramFail() || inj.EraseFail() || inj.SessionAbort() || inj.GrantDenied() || inj.DeviceFail() || inj.Dead() {
+		t.Fatal("nil injector fired a fault")
+	}
+	if inj.LatencySpike() != 0 || inj.DMAStall() != 0 || inj.GetTimeout() != 0 {
+		t.Fatal("nil injector returned a delay")
+	}
+	inj.KillDevice()
+	inj.MarkUncorrectable(3)
+	inj.ClearUncorrectable(3)
+	if inj.Stats() != (Stats{}) {
+		t.Fatal("nil injector has stats")
+	}
+}
+
+func TestArmedConstructsWithZeroRates(t *testing.T) {
+	inj := New(Config{Seed: 1, Armed: true})
+	if inj == nil {
+		t.Fatal("Armed config must construct an injector")
+	}
+	if inj.SessionAbort() || inj.ProgramFail() {
+		t.Fatal("armed zero-rate injector fired a random fault")
+	}
+	inj.KillDevice()
+	if !inj.Dead() {
+		t.Fatal("KillDevice did not stick")
+	}
+	inj.ReviveDevice()
+	if inj.Dead() {
+		t.Fatal("ReviveDevice did not clear")
+	}
+}
+
+// Same seed, same draw sequence → same outcomes.
+func TestDeterministicAcrossRuns(t *testing.T) {
+	draw := func() []bool {
+		inj := New(Config{Seed: 99, SessionAbortRate: 0.3, ProgramFailRate: 0.2})
+		var out []bool
+		for k := 0; k < 200; k++ {
+			out = append(out, inj.SessionAbort(), inj.ProgramFail())
+		}
+		return out
+	}
+	a, b := draw(), draw()
+	for k := range a {
+		if a[k] != b[k] {
+			t.Fatalf("draw %d differs between identical runs", k)
+		}
+	}
+}
+
+// Extra draws at one site must not shift outcomes at another site:
+// each site owns an independent counter stream.
+func TestSiteIndependence(t *testing.T) {
+	seq := func(interleave bool) []bool {
+		inj := New(Config{Seed: 7, SessionAbortRate: 0.4, ReadErrorRate: 0.4})
+		var out []bool
+		for k := 0; k < 100; k++ {
+			if interleave {
+				inj.ReadError(uint64(k)) // extra draws on an unrelated site
+			}
+			out = append(out, inj.SessionAbort())
+		}
+		return out
+	}
+	plain, mixed := seq(false), seq(true)
+	for k := range plain {
+		if plain[k] != mixed[k] {
+			t.Fatalf("abort draw %d perturbed by read-error draws", k)
+		}
+	}
+}
+
+func TestRateIsRoughlyHonoured(t *testing.T) {
+	inj := New(Config{Seed: 5, SessionAbortRate: 0.25})
+	n, hits := 20000, 0
+	for k := 0; k < n; k++ {
+		if inj.SessionAbort() {
+			hits++
+		}
+	}
+	got := float64(hits) / float64(n)
+	if got < 0.22 || got > 0.28 {
+		t.Fatalf("abort rate %.4f far from configured 0.25", got)
+	}
+	if s := inj.Stats(); s.SessionAborts != int64(hits) {
+		t.Fatalf("stats count %d != observed %d", s.SessionAborts, hits)
+	}
+}
+
+func TestUncorrectableIsSticky(t *testing.T) {
+	inj := New(Config{Seed: 1, Armed: true})
+	inj.MarkUncorrectable(42)
+	for k := 0; k < 3; k++ {
+		fail, unc := inj.ReadError(42)
+		if !fail || !unc {
+			t.Fatalf("read %d of sticky page did not fail uncorrectably", k)
+		}
+	}
+	if f, _ := inj.ReadError(43); f {
+		t.Fatal("unrelated page failed")
+	}
+	inj.ClearUncorrectable(42)
+	if f, _ := inj.ReadError(42); f {
+		t.Fatal("cleared page still fails")
+	}
+	if s := inj.Stats(); s.StickyBadPages != 0 {
+		t.Fatalf("StickyBadPages = %d after clear", s.StickyBadPages)
+	}
+}
+
+func TestDeviceFailIsPermanent(t *testing.T) {
+	inj := New(Config{Seed: 3, DeviceFailRate: 1})
+	if !inj.DeviceFail() {
+		t.Fatal("rate-1 device fail did not fire")
+	}
+	for k := 0; k < 5; k++ {
+		if !inj.DeviceFail() {
+			t.Fatal("dead device came back")
+		}
+	}
+	if s := inj.Stats(); s.DeviceFailures != 1 || !s.DeviceDead {
+		t.Fatalf("stats %+v after permanent failure", s)
+	}
+}
+
+func TestDelaysUseConfiguredDurations(t *testing.T) {
+	inj := New(Config{Seed: 2, LatencySpikeRate: 1, LatencySpike: 111, DMAStallRate: 1, DMAStall: 222, GetTimeoutRate: 1, GetTimeout: 333})
+	if d := inj.LatencySpike(); d != 111 {
+		t.Fatalf("spike %d != 111", d)
+	}
+	if d := inj.DMAStall(); d != 222 {
+		t.Fatalf("stall %d != 222", d)
+	}
+	if d := inj.GetTimeout(); d != 333 {
+		t.Fatalf("timeout %d != 333", d)
+	}
+	s := inj.Stats()
+	if s.SpikeDelay != 111 || s.StallDelay != 222 {
+		t.Fatalf("delay accounting %+v", s)
+	}
+}

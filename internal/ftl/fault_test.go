@@ -1,0 +1,168 @@
+package ftl
+
+import (
+	"encoding/binary"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"smartssd/internal/fault"
+	"smartssd/internal/nand"
+	"smartssd/internal/sim"
+)
+
+// newFaultyFTL builds an FTL whose NAND array injects faults per fc,
+// returning the injector for direct manipulation.
+func newFaultyFTL(t *testing.T, geo nand.Geometry, cfg Config, fc fault.Config) (*FTL, *fault.Injector) {
+	t.Helper()
+	arr, err := nand.NewArray(geo, nand.Timing{
+		ReadLatency: 50 * time.Microsecond, ChannelRate: sim.MBps(200),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := fault.New(fc)
+	arr.SetInjector(inj)
+	f, err := New(arr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.SetInjector(inj)
+	return f, inj
+}
+
+// Transient read errors must be absorbed by the retry ladder: with a
+// moderate error rate every read still succeeds (the chance of
+// MaxReadRetries+1 consecutive failures is negligible, and the fixed
+// seed makes the outcome reproducible) and the stats show recoveries.
+func TestReadRetryRecoversTransientErrors(t *testing.T) {
+	f, _ := newFaultyFTL(t, smallGeo(), Config{}, fault.Config{Seed: 11, ReadErrorRate: 0.1})
+	const n = 64
+	for l := LBA(0); l < n; l++ {
+		if err := f.Write(l, pageOf(f, uint64(l)+7)); err != nil {
+			t.Fatalf("Write(%d): %v", l, err)
+		}
+	}
+	for round := 0; round < 5; round++ {
+		for l := LBA(0); l < n; l++ {
+			got, err := f.Read(l)
+			if err != nil {
+				t.Fatalf("round %d Read(%d): %v", round, l, err)
+			}
+			if binary.LittleEndian.Uint64(got) != uint64(l)+7 {
+				t.Fatalf("round %d lba %d returned wrong data", round, l)
+			}
+		}
+	}
+	s := f.Stats()
+	if s.ReadRetries == 0 || s.RecoveredReads == 0 {
+		t.Fatalf("retry ladder never exercised: %+v", s)
+	}
+	if s.UncorrectableReads != 0 {
+		t.Fatalf("transient-only config produced %d uncorrectable reads", s.UncorrectableReads)
+	}
+}
+
+// A sticky uncorrectable page fails every retry and surfaces as a
+// typed nand.ErrUncorrectable the host can match with errors.Is.
+func TestStickyUncorrectableSurfacesTypedError(t *testing.T) {
+	f, inj := newFaultyFTL(t, smallGeo(), Config{}, fault.Config{Armed: true})
+	if err := f.Write(3, pageOf(f, 99)); err != nil {
+		t.Fatal(err)
+	}
+	ppa, ok := f.Lookup(3)
+	if !ok {
+		t.Fatal("lba 3 unmapped after write")
+	}
+	inj.MarkUncorrectable(uint64(ppa))
+	if _, err := f.Read(3); !errors.Is(err, nand.ErrUncorrectable) {
+		t.Fatalf("Read of poisoned page err = %v, want ErrUncorrectable", err)
+	}
+	if s := f.Stats(); s.UncorrectableReads == 0 {
+		t.Fatalf("uncorrectable read not counted: %+v", s)
+	}
+	// Clearing the sticky page (as the FTL would after rewriting the
+	// data elsewhere) restores readability.
+	inj.ClearUncorrectable(uint64(ppa))
+	got, err := f.Read(3)
+	if err != nil {
+		t.Fatalf("Read after clear: %v", err)
+	}
+	if binary.LittleEndian.Uint64(got) != 99 {
+		t.Fatal("data lost across mark/clear cycle")
+	}
+}
+
+// Failed page programs must be remapped to fresh slots without the
+// host noticing: every write lands, every read-back matches.
+func TestProgramFailureRemapsWrites(t *testing.T) {
+	f, _ := newFaultyFTL(t, smallGeo(), Config{}, fault.Config{Seed: 5, ProgramFailRate: 0.15})
+	const n = 100
+	for l := LBA(0); l < n; l++ {
+		if err := f.Write(l, pageOf(f, uint64(l)*3+1)); err != nil {
+			t.Fatalf("Write(%d): %v", l, err)
+		}
+	}
+	for l := LBA(0); l < n; l++ {
+		got, err := f.Read(l)
+		if err != nil {
+			t.Fatalf("Read(%d): %v", l, err)
+		}
+		if binary.LittleEndian.Uint64(got) != uint64(l)*3+1 {
+			t.Fatalf("lba %d corrupted by program remap", l)
+		}
+	}
+	if s := f.Stats(); s.RemappedPrograms == 0 {
+		t.Fatalf("15%% program-fail rate never triggered a remap: %+v", s)
+	}
+}
+
+// Erase failures during GC churn retire blocks as grown-bad; the
+// capacity loss comes out of over-provisioning and no data is lost.
+func TestEraseFailureGrowsBadBlocksAndPreservesData(t *testing.T) {
+	geo := smallGeo()
+	f, _ := newFaultyFTL(t, geo, Config{OverProvision: 0.25, GCLowWater: 2},
+		fault.Config{Seed: 3, EraseFailRate: 0.1})
+	n := f.LogicalPages()
+	shadow := make(map[LBA]uint64)
+	rng := rand.New(rand.NewSource(7))
+	for l := LBA(0); int64(l) < n; l++ {
+		tag := rng.Uint64()
+		if err := f.Write(l, pageOf(f, tag)); err != nil {
+			t.Fatalf("fill Write(%d): %v", l, err)
+		}
+		shadow[l] = tag
+	}
+	// Churn until GC has both run and retired at least one block; stop
+	// there so repeated retirements don't eat the whole over-provision
+	// budget (a real drive at that point is end-of-life, not faulty).
+	for i := int64(0); i < 6*n; i++ {
+		s := f.Stats()
+		if s.GCRuns > 0 && s.GrownBadBlocks > 0 {
+			break
+		}
+		l := LBA(rng.Int63n(n))
+		tag := rng.Uint64()
+		if err := f.Write(l, pageOf(f, tag)); err != nil {
+			t.Fatalf("overwrite %d of lba %d: %v", i, l, err)
+		}
+		shadow[l] = tag
+	}
+	for l, tag := range shadow {
+		got, err := f.Read(l)
+		if err != nil {
+			t.Fatalf("Read(%d) after faulty GC churn: %v", l, err)
+		}
+		if binary.LittleEndian.Uint64(got) != tag {
+			t.Fatalf("lba %d corrupted after faulty GC churn", l)
+		}
+	}
+	s := f.Stats()
+	if s.GCRuns == 0 {
+		t.Fatal("workload did not trigger GC")
+	}
+	if s.GrownBadBlocks == 0 {
+		t.Fatalf("10%% erase-fail rate grew no bad blocks: %+v", s)
+	}
+}

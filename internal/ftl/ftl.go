@@ -23,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 
+	"smartssd/internal/fault"
 	"smartssd/internal/nand"
 )
 
@@ -38,6 +39,13 @@ type Config struct {
 	// GCLowWater is the per-channel free-block count that triggers
 	// garbage collection. Defaults to 2.
 	GCLowWater int
+	// MaxReadRetries bounds the read-retry ladder walked after a
+	// transient NAND read error before the page is declared
+	// uncorrectable. Defaults to 3.
+	MaxReadRetries int
+	// MaxProgramRetries bounds how many fresh page slots a single write
+	// may consume when programs keep failing. Defaults to 4.
+	MaxProgramRetries int
 }
 
 func (c *Config) fill() {
@@ -46,6 +54,12 @@ func (c *Config) fill() {
 	}
 	if c.GCLowWater <= 0 {
 		c.GCLowWater = 2
+	}
+	if c.MaxReadRetries <= 0 {
+		c.MaxReadRetries = 3
+	}
+	if c.MaxProgramRetries <= 0 {
+		c.MaxProgramRetries = 4
 	}
 }
 
@@ -82,6 +96,13 @@ type FTL struct {
 	gcWrites   int64 // pages relocated by GC
 	gcRuns     int64
 	collecting bool // guards against re-entrant GC during relocation
+
+	inj                *fault.Injector          // nil unless fault injection is enabled
+	badBlocks          map[nand.BlockID]bool    // grown-bad blocks, retired from service
+	readRetries        int64                    // NAND re-reads performed after transient errors
+	recoveredReads     int64                    // reads that succeeded after at least one retry
+	uncorrectableReads int64                    // reads lost after the retry ladder
+	remappedPrograms   int64                    // page slots abandoned to program failures
 }
 
 // New builds an FTL over array.
@@ -101,6 +122,7 @@ func New(array *nand.Array, cfg Config) (*FTL, error) {
 		l2p:          make([]nand.PPA, logical),
 		p2l:          make([]LBA, raw),
 		validCount:   make([]int, geo.TotalBlocks()),
+		badBlocks:    make(map[nand.BlockID]bool),
 		freeBlocks:   make([][]nand.BlockID, geo.Channels),
 		active:       make([]nand.BlockID, geo.Channels),
 		frontier:     make([]int, geo.Channels),
@@ -127,6 +149,11 @@ func New(array *nand.Array, cfg Config) (*FTL, error) {
 	}
 	return f, nil
 }
+
+// SetInjector attaches a fault injector to the FTL's reliability
+// machinery (retry and remap bookkeeping). The same injector should be
+// attached to the underlying nand.Array; a nil injector disables it.
+func (f *FTL) SetInjector(inj *fault.Injector) { f.inj = inj }
 
 // LogicalPages reports the host-visible capacity in pages.
 func (f *FTL) LogicalPages() int64 { return f.logicalPages }
@@ -174,7 +201,40 @@ func (f *FTL) Read(l LBA) ([]byte, error) {
 	if p == invalid {
 		return nil, fmt.Errorf("%w: %d", ErrUnmapped, l)
 	}
-	return f.array.Read(p)
+	return f.readPhysical(p)
+}
+
+// readPhysical reads one NAND page through the read-retry ladder:
+// transient errors are retried up to MaxReadRetries times before the
+// page is declared uncorrectable. Genuinely uncorrectable errors fail
+// immediately (the injector makes them sticky, so retrying is futile).
+func (f *FTL) readPhysical(p nand.PPA) ([]byte, error) {
+	data, err := f.array.Read(p)
+	if err == nil || !errors.Is(err, nand.ErrReadFault) {
+		if err != nil && errors.Is(err, nand.ErrUncorrectable) {
+			f.uncorrectableReads++
+		}
+		return data, err
+	}
+	for attempt := 1; attempt <= f.cfg.MaxReadRetries; attempt++ {
+		f.readRetries++
+		data, err = f.array.Read(p)
+		if err == nil {
+			f.recoveredReads++
+			return data, nil
+		}
+		if errors.Is(err, nand.ErrUncorrectable) {
+			f.uncorrectableReads++
+			return nil, err
+		}
+		if !errors.Is(err, nand.ErrReadFault) {
+			return nil, err
+		}
+	}
+	// The retry ladder is exhausted: report the page as lost.
+	f.uncorrectableReads++
+	return nil, fmt.Errorf("ftl: %d read retries exhausted at ppa %d: %w",
+		f.cfg.MaxReadRetries, p, nand.ErrUncorrectable)
 }
 
 // Write stores one page of data at LBA l, allocating a fresh physical
@@ -183,11 +243,8 @@ func (f *FTL) Write(l LBA, data []byte) error {
 	if err := f.checkLBA(l); err != nil {
 		return err
 	}
-	ppa, err := f.allocate()
+	ppa, err := f.programRetry(f.allocate, data)
 	if err != nil {
-		return err
-	}
-	if err := f.array.Program(ppa, data); err != nil {
 		return fmt.Errorf("ftl: program lba %d: %w", l, err)
 	}
 	f.invalidate(l)
@@ -215,6 +272,31 @@ func (f *FTL) invalidate(l LBA) {
 	f.validCount[f.geo.BlockOf(old)]--
 	f.p2l[old] = invalid
 	f.l2p[l] = invalid
+}
+
+// programRetry programs data onto a freshly allocated page, remapping
+// to the next page slot when a program fails. Each failure abandons
+// the consumed slot (it stays unmapped and is reclaimed at erase) and
+// allocation moves on; after MaxProgramRetries failures the write
+// surfaces the NAND error.
+func (f *FTL) programRetry(alloc func() (nand.PPA, error), data []byte) (nand.PPA, error) {
+	var lastErr error
+	for attempt := 0; attempt <= f.cfg.MaxProgramRetries; attempt++ {
+		ppa, err := alloc()
+		if err != nil {
+			return 0, err
+		}
+		err = f.array.Program(ppa, data)
+		if err == nil {
+			return ppa, nil
+		}
+		if !errors.Is(err, nand.ErrProgramFail) {
+			return 0, err
+		}
+		f.remappedPrograms++
+		lastErr = err
+	}
+	return 0, fmt.Errorf("ftl: %d program remaps exhausted: %w", f.cfg.MaxProgramRetries, lastErr)
 }
 
 // allocate returns the next physical page on the round-robin channel
@@ -298,16 +380,13 @@ func (f *FTL) collectChannel(ch int) (gained bool, err error) {
 		if l == invalid {
 			continue
 		}
-		data, err := f.array.Read(src)
+		data, err := f.readPhysical(src)
 		if err != nil {
 			return gained, fmt.Errorf("ftl: gc read: %w", err)
 		}
-		dst, err := f.allocateOn(ch)
+		dst, err := f.programRetry(func() (nand.PPA, error) { return f.allocateOn(ch) }, data)
 		if err != nil {
-			return gained, fmt.Errorf("ftl: gc allocate: %w", err)
-		}
-		if err := f.array.Program(dst, data); err != nil {
-			return gained, fmt.Errorf("ftl: gc program: %w", err)
+			return gained, fmt.Errorf("ftl: gc relocate: %w", err)
 		}
 		f.validCount[f.geo.BlockOf(src)]--
 		f.p2l[src] = invalid
@@ -317,6 +396,13 @@ func (f *FTL) collectChannel(ch int) (gained bool, err error) {
 		f.gcWrites++
 	}
 	if err := f.array.Erase(victim); err != nil {
+		if errors.Is(err, nand.ErrEraseFail) {
+			// Grown bad block: its valid data is already relocated, so
+			// retire it instead of returning it to the free list. The
+			// capacity loss comes out of over-provisioning.
+			f.badBlocks[victim] = true
+			return gained, nil
+		}
 		return gained, fmt.Errorf("ftl: gc erase: %w", err)
 	}
 	f.freeBlocks[ch] = append(f.freeBlocks[ch], victim)
@@ -337,7 +423,7 @@ func (f *FTL) pickVictimWhere(ch int, eligible func(nand.BlockID) bool) (nand.Bl
 		if f.geo.ChannelOf(b) != ch || !eligible(b) {
 			continue
 		}
-		if f.blockFree(b) {
+		if f.blockFree(b) || f.badBlocks[b] {
 			continue
 		}
 		if v := f.validCount[b]; v < bestValid {
@@ -361,6 +447,7 @@ func (f *FTL) compactInPlace(ch int) error {
 	}
 	type saved struct {
 		l    LBA
+		src  nand.PPA
 		data []byte
 	}
 	first := f.geo.FirstPage(victim)
@@ -371,23 +458,49 @@ func (f *FTL) compactInPlace(ch int) error {
 		if l == invalid {
 			continue
 		}
-		data, err := f.array.Read(src)
+		data, err := f.readPhysical(src)
 		if err != nil {
 			return fmt.Errorf("ftl: compact read: %w", err)
 		}
 		// Copy: erase below releases the array's page buffers.
-		keep = append(keep, saved{l, append([]byte(nil), data...)})
+		keep = append(keep, saved{l, src, append([]byte(nil), data...)})
 		f.validCount[victim]--
 		f.p2l[src] = invalid
 		f.l2p[l] = invalid
 	}
 	if err := f.array.Erase(victim); err != nil {
+		if errors.Is(err, nand.ErrEraseFail) {
+			// The erase failed with the contents intact: restore the
+			// mappings, retire the block as grown-bad, and compact a
+			// different victim instead.
+			for _, s := range keep {
+				f.l2p[s.l] = s.src
+				f.p2l[s.src] = s.l
+				f.validCount[victim]++
+			}
+			f.badBlocks[victim] = true
+			return f.compactInPlace(ch)
+		}
 		return fmt.Errorf("ftl: compact erase: %w", err)
 	}
-	for j, s := range keep {
-		dst := first + nand.PPA(j)
-		if err := f.array.Program(dst, s.data); err != nil {
-			return fmt.Errorf("ftl: compact program: %w", err)
+	slot := 0
+	for _, s := range keep {
+		var dst nand.PPA
+		for {
+			if slot >= f.geo.PagesPerBlock {
+				return fmt.Errorf("ftl: compact block %d ran out of slots remapping failed programs: %w",
+					victim, nand.ErrProgramFail)
+			}
+			dst = first + nand.PPA(slot)
+			slot++
+			err := f.array.Program(dst, s.data)
+			if err == nil {
+				break
+			}
+			if !errors.Is(err, nand.ErrProgramFail) {
+				return fmt.Errorf("ftl: compact program: %w", err)
+			}
+			f.remappedPrograms++
 		}
 		f.l2p[s.l] = dst
 		f.p2l[dst] = s.l
@@ -395,7 +508,7 @@ func (f *FTL) compactInPlace(ch int) error {
 		f.gcWrites++
 	}
 	f.active[ch] = victim
-	f.frontier[ch] = len(keep)
+	f.frontier[ch] = slot
 	f.gcRuns++
 	return nil
 }
@@ -417,11 +530,27 @@ type Stats struct {
 	// WriteAmplification is (host+gc)/host page programs; 1.0 when no GC
 	// has run, and 0 when nothing has been written.
 	WriteAmplification float64
+
+	// Reliability counters (all zero unless fault injection is on).
+	ReadRetries        int64 // NAND re-reads after transient errors
+	RecoveredReads     int64 // reads recovered by the retry ladder
+	UncorrectableReads int64 // reads lost beyond ECC and retries
+	RemappedPrograms   int64 // page slots abandoned to program failures
+	GrownBadBlocks     int64 // blocks retired after erase failures
 }
 
 // Stats reports cumulative FTL activity.
 func (f *FTL) Stats() Stats {
-	s := Stats{HostWrites: f.hostWrites, GCWrites: f.gcWrites, GCRuns: f.gcRuns}
+	s := Stats{
+		HostWrites:         f.hostWrites,
+		GCWrites:           f.gcWrites,
+		GCRuns:             f.gcRuns,
+		ReadRetries:        f.readRetries,
+		RecoveredReads:     f.recoveredReads,
+		UncorrectableReads: f.uncorrectableReads,
+		RemappedPrograms:   f.remappedPrograms,
+		GrownBadBlocks:     int64(len(f.badBlocks)),
+	}
 	if f.hostWrites > 0 {
 		s.WriteAmplification = float64(f.hostWrites+f.gcWrites) / float64(f.hostWrites)
 	}

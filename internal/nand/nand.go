@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"time"
 
+	"smartssd/internal/fault"
 	"smartssd/internal/sim"
 )
 
@@ -147,6 +148,22 @@ var (
 	ErrBlockOutOfSpan = errors.New("nand: block id out of range")
 )
 
+// Errors reported by the array's reliability model (injected faults).
+var (
+	// ErrReadFault is a transient bit error: a re-read of the same page
+	// through the FTL's retry ladder may succeed.
+	ErrReadFault = errors.New("nand: transient read error")
+	// ErrUncorrectable is a read error beyond ECC: the page's data is
+	// lost and every retry fails the same way.
+	ErrUncorrectable = errors.New("nand: uncorrectable read error")
+	// ErrProgramFail is a page program failure; the page slot is
+	// consumed and the FTL must remap the write elsewhere.
+	ErrProgramFail = errors.New("nand: program failure")
+	// ErrEraseFail is a block erase failure; the block is grown-bad and
+	// must be retired by the FTL.
+	ErrEraseFail = errors.New("nand: erase failure")
+)
+
 // Array is the flash medium: geometry plus per-page data and state.
 // It enforces NAND physical constraints but performs no timing; the
 // controller (package ssd) charges Timing costs against its schedulers.
@@ -164,6 +181,7 @@ type Array struct {
 	reads         int64
 	programs      int64
 	erases        int64
+	inj           *fault.Injector // nil unless fault injection is enabled
 }
 
 // NewArray builds a flash array with the given geometry and timing.
@@ -181,6 +199,10 @@ func NewArray(geo Geometry, timing Timing) (*Array, error) {
 		eraseCount:    make([]int64, geo.TotalBlocks()),
 	}, nil
 }
+
+// SetInjector attaches a fault injector to the array. A nil injector
+// (the default) restores the fault-free medium.
+func (a *Array) SetInjector(inj *fault.Injector) { a.inj = inj }
 
 // Geometry reports the array's physical organization.
 func (a *Array) Geometry() Geometry { return a.geo }
@@ -205,6 +227,12 @@ func (a *Array) Read(p PPA) ([]byte, error) {
 		return nil, fmt.Errorf("%w: ppa %d", ErrReadErased, p)
 	}
 	a.reads++
+	if fail, uncorrectable := a.inj.ReadError(uint64(p)); fail {
+		if uncorrectable {
+			return nil, fmt.Errorf("%w: ppa %d", ErrUncorrectable, p)
+		}
+		return nil, fmt.Errorf("%w: ppa %d", ErrReadFault, p)
+	}
 	return a.data[p], nil
 }
 
@@ -226,6 +254,16 @@ func (a *Array) Program(p PPA, data []byte) error {
 		return fmt.Errorf("%w: ppa %d is page %d of block %d, frontier %d",
 			ErrProgramOrder, p, inBlock, b, a.writeFrontier[b])
 	}
+	if a.inj.ProgramFail() {
+		// A failed program still consumes the page slot: the cells are
+		// in an indeterminate state and may not be reprogrammed until
+		// the block is erased, so the frontier advances past the page.
+		a.state[p] = Programmed
+		a.data[p] = make([]byte, a.geo.PageSize)
+		a.writeFrontier[b]++
+		a.programs++
+		return fmt.Errorf("%w: ppa %d", ErrProgramFail, p)
+	}
 	buf := a.data[p]
 	if buf == nil {
 		buf = make([]byte, a.geo.PageSize)
@@ -242,6 +280,11 @@ func (a *Array) Program(p PPA, data []byte) error {
 func (a *Array) Erase(b BlockID) error {
 	if b < 0 || int64(b) >= a.geo.TotalBlocks() {
 		return fmt.Errorf("%w: block %d", ErrBlockOutOfSpan, b)
+	}
+	if a.inj.EraseFail() {
+		// The block keeps its current contents; the FTL retires it as
+		// grown-bad instead of reusing it.
+		return fmt.Errorf("%w: block %d", ErrEraseFail, b)
 	}
 	first := a.geo.FirstPage(b)
 	for i := 0; i < a.geo.PagesPerBlock; i++ {

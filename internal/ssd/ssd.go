@@ -28,6 +28,7 @@ import (
 	"strings"
 	"time"
 
+	"smartssd/internal/fault"
 	"smartssd/internal/ftl"
 	"smartssd/internal/hostif"
 	"smartssd/internal/nand"
@@ -63,6 +64,10 @@ type Params struct {
 	// IOUnitPages is the host I/O request size in pages (32 pages =
 	// 256 KB in the paper's experiments).
 	IOUnitPages int
+	// Fault configures deterministic fault injection. The zero value
+	// disables it entirely: no injector is constructed and every path
+	// behaves exactly as a fault-free device.
+	Fault fault.Config
 }
 
 // DefaultParams reports the simulated counterpart of the paper's
@@ -141,6 +146,7 @@ type Device struct {
 	dma      *sim.Server
 	link     *sim.Server
 	dcpu     *sim.Server
+	inj      *fault.Injector // nil unless Params.Fault is enabled
 
 	flashPagesRead int64
 	linkBytesOut   int64 // device -> host
@@ -162,11 +168,15 @@ func New(params Params) (*Device, error) {
 	if err != nil {
 		return nil, err
 	}
+	inj := fault.New(params.Fault)
+	arr.SetInjector(inj)
+	f.SetInjector(inj)
 	d := &Device{
 		params: params,
 		clock:  new(sim.Clock),
 		array:  arr,
 		ftl:    f,
+		inj:    inj,
 		dma:    sim.NewServer("dma-bus", params.DMABusRate),
 		link:   sim.NewServer("host-link", params.Host.EffectiveRate),
 		dcpu:   sim.NewMultiServer("device-cpu", params.DeviceCPUHz, params.DeviceCPUCores),
@@ -198,6 +208,15 @@ func (d *Device) CapacityPages() int64 { return d.ftl.LogicalPages() }
 // DeviceDRAMBytes reports the DRAM budget for user-defined programs.
 func (d *Device) DeviceDRAMBytes() int64 { return d.params.DeviceDRAMBytes }
 
+// Injector reports the device's fault injector, nil when fault
+// injection is disabled. Tests and cluster experiments use it to
+// trigger targeted failures (KillDevice, MarkUncorrectable).
+func (d *Device) Injector() *fault.Injector { return d.inj }
+
+// FaultStats reports cumulative injected-fault counts (zero when
+// injection is disabled).
+func (d *Device) FaultStats() fault.Stats { return d.inj.Stats() }
+
 // FTLStats reports translation-layer activity (wear, amplification).
 func (d *Device) FTLStats() ftl.Stats { return d.ftl.Stats() }
 
@@ -213,14 +232,23 @@ func (d *Device) FetchPage(lba int64, ready time.Duration) ([]byte, time.Duratio
 	if !ok {
 		return nil, 0, fmt.Errorf("ssd: fetch unmapped lba %d", lba)
 	}
+	before := d.ftl.Stats()
 	data, err := d.ftl.Read(ftl.LBA(lba))
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, fmt.Errorf("ssd: fetch lba %d: %w", lba, err)
 	}
+	// Each read retry re-runs the cell-to-register sense, so a recovered
+	// page costs (1+retries)·tR before its channel transfer; injected
+	// controller spikes delay the whole flash op, DMA stalls delay the
+	// bus hop. All three are zero on a fault-free device.
+	retries := d.ftl.Stats().ReadRetries - before.ReadRetries
+	spike := time.Duration(d.inj.LatencySpike())
 	ch := d.params.Geometry.Decompose(ppa).Channel
 	pageBytes := int64(d.params.Geometry.PageSize)
-	chDone := d.channels[ch].Serve(ready+d.params.Timing.ReadLatency, pageBytes)
-	dmaDone := d.dma.Serve(chDone, pageBytes)
+	sense := time.Duration(1+retries) * d.params.Timing.ReadLatency
+	chDone := d.channels[ch].Serve(ready+sense+spike, pageBytes)
+	stall := time.Duration(d.inj.DMAStall())
+	dmaDone := d.dma.Serve(chDone+stall, pageBytes)
 	d.flashPagesRead++
 	return data, dmaDone, nil
 }
@@ -331,6 +359,11 @@ func (d *Device) WritePage(lba int64, data []byte, ready time.Duration) (time.Du
 	ppa, _ := d.ftl.Lookup(ftl.LBA(lba))
 	ch := d.params.Geometry.Decompose(ppa).Channel
 	done := d.channels[ch].Serve(inDev, pageBytes) + d.params.Timing.ProgramLatency
+
+	// Each program remap burned a full tPROG on the failed slot.
+	if rm := after.RemappedPrograms - before.RemappedPrograms; rm > 0 {
+		done += time.Duration(rm) * d.params.Timing.ProgramLatency
+	}
 
 	// Charge GC relocations (read + program per relocated page) against
 	// the channel that absorbed them and the shared bus.

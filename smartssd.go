@@ -41,8 +41,10 @@ import (
 	"smartssd/internal/device"
 	"smartssd/internal/energy"
 	"smartssd/internal/expr"
+	"smartssd/internal/fault"
 	"smartssd/internal/hdd"
 	"smartssd/internal/hostif"
+	"smartssd/internal/nand"
 	"smartssd/internal/page"
 	"smartssd/internal/plan"
 	"smartssd/internal/schema"
@@ -257,6 +259,41 @@ func MeasureBandwidth(d *ssd.Device) (internal, host float64, err error) {
 	host, err = p.Host(d)
 	return internal, host, err
 }
+
+// Fault-injection and graceful-degradation re-exports. Set
+// Config.SSD.Fault (any non-zero rate arms the injector) to exercise
+// the degradation ladder: FTL read-retry and bad-block remapping,
+// bounded device-retry with virtual-time backoff, and transparent host
+// fallback — all deterministic for a fixed FaultConfig.Seed.
+type (
+	// FaultConfig sets per-site fault rates for the simulated device.
+	FaultConfig = fault.Config
+	// FaultStats counts injected faults by site.
+	FaultStats = fault.Stats
+	// FaultReport is one run's retry/fallback/recovery accounting
+	// (Result.Faults).
+	FaultReport = core.FaultReport
+	// PartialResultError reports cluster partitions lost after
+	// replica failover was exhausted.
+	PartialResultError = core.PartialResultError
+)
+
+// Typed fault sentinels, for errors.Is against run and protocol errors.
+var (
+	// ErrPartialResult matches a cluster run that lost partitions.
+	ErrPartialResult = core.ErrPartialResult
+	// ErrSessionAborted matches a device session killed mid-query.
+	ErrSessionAborted = device.ErrSessionAborted
+	// ErrDeviceTimeout matches a GET that exceeded its deadline.
+	ErrDeviceTimeout = device.ErrDeviceTimeout
+	// ErrDeviceFailed matches a whole-device failure.
+	ErrDeviceFailed = device.ErrDeviceFailed
+	// ErrGrantDenied matches a refused device-memory grant.
+	ErrGrantDenied = device.ErrGrantDenied
+	// ErrUncorrectable matches a flash read whose data was lost beyond
+	// ECC and read-retry.
+	ErrUncorrectable = nand.ErrUncorrectable
+)
 
 // SetClause assigns one column in an Update.
 type SetClause = core.SetClause
