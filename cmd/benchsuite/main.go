@@ -3,8 +3,12 @@
 //
 // Usage:
 //
-//	benchsuite [-exp all|fig1|table2|fig3|fig5|fig7|table3|q1|concurrency|interfaces|hybrid|faults]
+//	benchsuite [-exp all|fig1|table2|fig3|fig5|fig7|table3|q1|concurrency|interfaces|hybrid|faults|util]
 //	           [-sf 0.05] [-synthr 2000] [-seed 1] [-faultseed 0]
+//
+// -exp util prints per-resource utilization tables for Q6 on the host
+// and device paths (the bandwidth-crossover evidence); it is not part
+// of -exp all, whose output is a stable regression artifact.
 //
 // Speedup and energy ratios are scale-invariant; -sf and -synthr only
 // trade wall-clock time for dataset size.
@@ -19,7 +23,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig1, table2, fig3, fig5, fig7, table3, q1, concurrency, interfaces, hybrid, faults")
+	exp := flag.String("exp", "all", "experiment: all, fig1, table2, fig3, fig5, fig7, table3, q1, concurrency, interfaces, hybrid, faults, util")
 	sf := flag.Float64("sf", 0.05, "TPC-H scale factor (paper: 100)")
 	synthR := flag.Int64("synthr", 2000, "Synthetic64_R rows (paper: 1,000,000; S is 400x)")
 	seed := flag.Int64("seed", 1, "data generation seed")
@@ -82,4 +86,15 @@ func main() {
 		r, err := experiments.ExtFaults(o)
 		return r, err
 	})
+
+	// util is opt-in only: it is excluded from -exp all so the default
+	// artifact stays byte-for-byte comparable across revisions.
+	if *exp == "util" {
+		r, err := experiments.ExtUtil(o)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchsuite: util: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(r.Render())
+	}
 }

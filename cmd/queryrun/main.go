@@ -8,7 +8,13 @@
 //	queryrun -q q1|q6|q14|join [-mode auto|host|device|hybrid] [-layout nsm|pax]
 //	         [-sf 0.02] [-synthr 500] [-sel 10] [-explain]
 //	         [-abortrate 0.2] [-readerrrate 0.001] [-faultseed 1]
-//	         [-saveimg data.img] [-loadimg data.img] [-trace run.csv]
+//	         [-saveimg data.img] [-loadimg data.img] [-trace run.csv|run.json]
+//
+// A -trace target ending in .json captures the run's full timeline —
+// every request on every resource plus the OPEN/GET/CLOSE protocol
+// spans — as a Chrome trace_event file that chrome://tracing and
+// Perfetto open directly; any other -trace name streams a per-request
+// CSV.
 //
 // The fault flags arm the deterministic injector: sessions abort (and
 // the engine retries, then falls back to the host) at -abortrate, and
@@ -22,6 +28,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"smartssd"
@@ -36,7 +43,7 @@ func main() {
 	synthR := flag.Int64("synthr", 500, "Synthetic64_R rows (S is 400x)")
 	sel := flag.Int64("sel", 10, "join query selectivity percent (0-100)")
 	explain := flag.Bool("explain", false, "print plans and the pushdown decision first")
-	trace := flag.String("trace", "", "write a per-request resource timeline CSV to this file")
+	trace := flag.String("trace", "", "write a resource timeline to this file (.json: Chrome trace_event; otherwise CSV)")
 	saveImg := flag.String("saveimg", "", "after loading data, save a system image to this file")
 	loadImg := flag.String("loadimg", "", "load tables from a system image instead of generating")
 	abortRate := flag.Float64("abortrate", 0, "device session-abort probability per GET (0: off)")
@@ -160,20 +167,29 @@ func main() {
 		fmt.Println(out)
 	}
 
-	var traceFile *os.File
+	// -trace: a .json target records the full timeline (resource events
+	// plus OPEN/GET/CLOSE spans) and exports Chrome trace_event JSON for
+	// chrome://tracing; any other name streams a per-request CSV.
+	var rec *smartssd.TraceRecorder
 	if *trace != "" {
-		traceFile, err = os.Create(*trace)
-		if err != nil {
-			fatal(err)
+		if strings.HasSuffix(*trace, ".json") {
+			rec = smartssd.NewTraceRecorder()
+			sys.SetRecorder(rec)
+		} else {
+			traceFile, ferr := os.Create(*trace)
+			if ferr != nil {
+				fatal(ferr)
+			}
+			defer traceFile.Close()
+			tw := bufio.NewWriter(traceFile)
+			defer tw.Flush()
+			fmt.Fprintln(tw, "resource,lane,ready_us,done_us,units")
+			sys.SetTracer(func(ev smartssd.TraceEvent) {
+				fmt.Fprintf(tw, "%s,%d,%.3f,%.3f,%d\n",
+					ev.Server, ev.Lane, float64(ev.Ready.Nanoseconds())/1e3,
+					float64(ev.Done.Nanoseconds())/1e3, ev.Units)
+			})
 		}
-		defer traceFile.Close()
-		tw := bufio.NewWriter(traceFile)
-		defer tw.Flush()
-		fmt.Fprintln(tw, "resource,lane,ready_us,done_us,units")
-		sys.SetTracer(func(server string, lane int, ready, done time.Duration, units int64) {
-			fmt.Fprintf(tw, "%s,%d,%.3f,%.3f,%d\n",
-				server, lane, float64(ready.Nanoseconds())/1e3, float64(done.Nanoseconds())/1e3, units)
-		})
 	}
 
 	start := time.Now()
@@ -182,6 +198,20 @@ func main() {
 		fatal(err)
 	}
 	wall := time.Since(start)
+
+	if rec != nil {
+		f, ferr := os.Create(*trace)
+		if ferr != nil {
+			fatal(ferr)
+		}
+		if err := rec.WriteChromeTrace(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "queryrun: wrote Chrome trace (%d events) to %s\n", rec.Len(), *trace)
+	}
 
 	fmt.Printf("query       : %s (%s layout)\n", *q, layout)
 	fmt.Printf("ran on      : %s\n", res.Placement)

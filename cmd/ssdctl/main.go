@@ -7,8 +7,15 @@
 //
 //	ssdctl -describe      print the device architecture
 //	ssdctl -probe         measure internal and host bandwidth
+//	ssdctl -report        per-resource utilization for both probe passes
 //	ssdctl -churn         run a write/GC workload and print FTL stats
 //	ssdctl -trend         print the Figure 1 bandwidth trend
+//
+// Modes may also be given as a bare argument ("ssdctl report").
+// -report runs the Table 2 sequential-read probe twice — once over the
+// host link, once stopping in device DRAM — and prints each pass's
+// per-resource utilization table, making the 2.8x internal-bandwidth
+// headroom visible resource by resource rather than as a single number.
 //
 // With -churn, the fault flags arm the deterministic injector so the
 // FTL's reliability machinery shows up in the stats: -readerrrate adds
@@ -21,15 +28,18 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"smartssd"
 	"smartssd/internal/experiments"
+	"smartssd/internal/sim"
 	"smartssd/internal/ssd"
 )
 
 func main() {
 	describe := flag.Bool("describe", false, "print the device architecture")
 	probe := flag.Bool("probe", false, "measure sequential-read bandwidth")
+	report := flag.Bool("report", false, "print per-resource utilization for both probe passes")
 	churn := flag.Bool("churn", false, "run an overwrite workload and print FTL stats")
 	trend := flag.Bool("trend", false, "print the Figure 1 bandwidth trend")
 	readErrRate := flag.Float64("readerrrate", 0, "transient flash read-error probability per page (0: off)")
@@ -37,7 +47,24 @@ func main() {
 	eraseRate := flag.Float64("eraserate", 0, "block erase-failure probability (0: off)")
 	faultSeed := flag.Int64("faultseed", 1, "fault-injection seed")
 	flag.Parse()
-	if !*describe && !*probe && !*churn && !*trend {
+	// Accept modes as bare arguments too: "ssdctl report".
+	for _, arg := range flag.Args() {
+		switch arg {
+		case "describe":
+			*describe = true
+		case "probe":
+			*probe = true
+		case "report":
+			*report = true
+		case "churn":
+			*churn = true
+		case "trend":
+			*trend = true
+		default:
+			fatal(fmt.Errorf("unknown mode %q", arg))
+		}
+	}
+	if !*describe && !*probe && !*report && !*churn && !*trend {
 		*describe = true
 	}
 
@@ -70,6 +97,11 @@ func main() {
 		fmt.Printf("  internal (flash -> device DRAM): %7.0f MB/s\n", internal)
 		fmt.Printf("  host     (flash -> host memory): %7.0f MB/s\n", host)
 		fmt.Printf("  ratio: %.2fx\n", internal/host)
+	}
+	if *report {
+		if err := utilizationReport(dev); err != nil {
+			fatal(err)
+		}
 	}
 	if *churn {
 		pageBuf := make([]byte, dev.PageSize())
@@ -112,6 +144,53 @@ func main() {
 	if *trend {
 		fmt.Print(experiments.Fig1().Render())
 	}
+}
+
+// utilizationReport reruns the Table 2 probe's two passes and prints
+// each pass's per-resource utilization table. The host pass shows the
+// host link saturated while the flash channels and DMA bus coast; the
+// internal pass shows the same media running 2.8x faster once the link
+// is out of the picture — the headroom a Smart SSD program gets to use.
+func utilizationReport(dev *ssd.Device) error {
+	const pages = 2048
+	zero := make([]byte, dev.PageSize())
+	for lba := int64(0); lba < pages; lba++ {
+		if err := dev.RestorePage(lba, zero); err != nil {
+			return err
+		}
+	}
+	span := int64(dev.PageSize()) * pages
+
+	dev.ResetTiming()
+	last, err := dev.ReadRange(0, pages, 0, func(int64, []byte, time.Duration) error { return nil })
+	if err != nil {
+		return err
+	}
+	hostBW := float64(span) / sim.MB / last.Seconds()
+	hostRep := dev.Report(last)
+	fmt.Printf("host read (flash -> host memory), %d MB sequential:\n", span/sim.MB)
+	fmt.Print(hostRep.Render())
+
+	dev.ResetTiming()
+	last = 0
+	for lba := int64(0); lba < pages; lba++ {
+		_, at, err := dev.FetchPage(lba, 0)
+		if err != nil {
+			return err
+		}
+		if at > last {
+			last = at
+		}
+	}
+	internalBW := float64(span) / sim.MB / last.Seconds()
+	intRep := dev.Report(last)
+	fmt.Printf("\ninternal read (flash -> device DRAM), %d MB sequential:\n", span/sim.MB)
+	fmt.Print(intRep.Render())
+
+	fmt.Printf("\nbandwidth: host %.0f MB/s, internal %.0f MB/s, ratio %.2fx (paper Table 2: 2.8x)\n",
+		hostBW, internalBW, internalBW/hostBW)
+	dev.ResetTiming()
+	return nil
 }
 
 func fatal(err error) {

@@ -216,9 +216,17 @@ type ClusterResult struct {
 	Elapsed time.Duration
 	// PerDevice holds each worker's completion time.
 	PerDevice []time.Duration
+	// Attempts counts every in-device execution the run issued: one per
+	// worker's primary partition plus one per replica tried during
+	// failover. With nothing faulted it equals Devices().
+	Attempts int
 	// Failovers counts partitions that were re-executed on a replica
 	// after their primary device faulted.
 	Failovers int
+	// FailoverReasons records, per worker index, why that worker's
+	// primary execution was abandoned (the fault class of its error, as
+	// in FaultReport.FallbackReason). Nil when no primary faulted.
+	FailoverReasons map[int]string
 	// FailedWorkers lists workers whose partitions were lost entirely
 	// (primary faulted and no replica survived); when non-empty the run
 	// also returns a *PartialResultError.
@@ -273,6 +281,7 @@ func (c *Cluster) Run(q ClusterQuery) (*ClusterResult, error) {
 	var partials [][]schema.Tuple
 	var lastCause error
 	for i := range c.devices {
+		res.Attempts++
 		rows, end, err := c.runtimes[i].RunQuery(lower(files[i], i))
 		if err == nil {
 			partials = append(partials, rows)
@@ -286,12 +295,17 @@ func (c *Cluster) Run(q ClusterQuery) (*ClusterResult, error) {
 			return nil, fmt.Errorf("core: worker %d: %w", i, err)
 		}
 		lastCause = fmt.Errorf("core: worker %d: %w", i, err)
+		if res.FailoverReasons == nil {
+			res.FailoverReasons = make(map[int]string)
+		}
+		res.FailoverReasons[i] = faultReason(err)
 		// The primary faulted: re-execute this partition on its chained
 		// replicas, first survivor wins.
 		recovered := false
 		if reps := c.replicaFiles[q.Table]; len(reps) > i {
 			for j, rf := range reps[i] {
 				alt := (i + 1 + j) % len(c.devices)
+				res.Attempts++
 				rows, end, err := c.runtimes[alt].RunQuery(lower(rf, alt))
 				if err == nil {
 					res.Failovers++

@@ -12,6 +12,7 @@ import (
 	"smartssd/internal/page"
 	"smartssd/internal/plan"
 	"smartssd/internal/schema"
+	"smartssd/internal/sim"
 	"smartssd/internal/ssd"
 )
 
@@ -584,14 +585,20 @@ func TestTracerRecordsPipeline(t *testing.T) {
 		ready, done time.Duration
 	}
 	seen := map[string][]span{}
-	e.SetTracer(func(server string, lane int, ready, done time.Duration, units int64) {
-		if done < ready {
-			t.Fatalf("%s: done %v before ready %v", server, done, ready)
+	e.SetTracer(func(ev sim.TraceEvent) {
+		if ev.Done < ev.Ready {
+			t.Fatalf("%s: done %v before ready %v", ev.Server, ev.Done, ev.Ready)
 		}
-		if units <= 0 {
-			t.Fatalf("%s: non-positive units %d", server, units)
+		if ev.Start < ev.Ready || ev.Done < ev.Start {
+			t.Fatalf("%s: start %v outside [%v, %v]", ev.Server, ev.Start, ev.Ready, ev.Done)
 		}
-		seen[server] = append(seen[server], span{ready, done})
+		if ev.Units <= 0 {
+			t.Fatalf("%s: non-positive units %d", ev.Server, ev.Units)
+		}
+		if ev.Busy <= 0 || ev.Busy > ev.Done-ev.Start {
+			t.Fatalf("%s: busy %v outside (0, %v]", ev.Server, ev.Busy, ev.Done-ev.Start)
+		}
+		seen[ev.Server] = append(seen[ev.Server], span{ev.Ready, ev.Done})
 	})
 	if _, err := e.Run(selectiveSpec(), ForceDevice); err != nil {
 		t.Fatal(err)

@@ -24,6 +24,7 @@ import (
 	"smartssd/internal/schema"
 	"smartssd/internal/sim"
 	"smartssd/internal/ssd"
+	"smartssd/internal/trace"
 )
 
 // Target selects the device a table lives on.
@@ -250,12 +251,37 @@ func (e *Engine) Load(name string, next func() (schema.Tuple, bool)) error {
 }
 
 // SetTracer installs a per-request trace hook on every simulated
-// resource — the SSD's channels, DMA bus, link, and embedded CPU, plus
-// the host CPU — so a run's full timeline can be exported. Pass nil to
-// remove it.
+// resource — the SSD's channels, DMA bus, link, and embedded CPU, the
+// HDD's media server, plus the host CPU — so a run's full timeline can
+// be exported. Pass nil to remove it.
 func (e *Engine) SetTracer(fn sim.TraceFunc) {
 	e.ssd.SetTracer(fn)
+	if e.hdd != nil {
+		e.hdd.SetTracer(fn)
+	}
 	e.host.CPU.SetTracer(fn)
+}
+
+// SetRecorder attaches an event recorder to the whole engine: every
+// served request on every simulated resource plus the runtime's
+// OPEN/GET/CLOSE protocol spans. Pass nil to remove all hooks; with no
+// recorder the timing paths are allocation-free and runs are
+// byte-identical to an uninstrumented engine.
+func (e *Engine) SetRecorder(rec *trace.Recorder) {
+	e.ssd.SetRecorder(rec)
+	e.runtime.SetRecorder(rec)
+	if rec == nil {
+		if e.hdd != nil {
+			e.hdd.SetTracer(nil)
+		}
+		e.host.CPU.SetTracer(nil)
+		return
+	}
+	hook := rec.Hook()
+	if e.hdd != nil {
+		e.hdd.SetTracer(hook)
+	}
+	e.host.CPU.SetTracer(hook)
 }
 
 // ResetTiming zeroes all device and host timing state (data preserved).
@@ -265,4 +291,5 @@ func (e *Engine) ResetTiming() {
 		e.hdd.ResetTiming()
 	}
 	e.host.Reset()
+	e.runtime.ResetPhases()
 }

@@ -230,6 +230,60 @@ func TestClusterFailoverToReplica(t *testing.T) {
 	}
 }
 
+// When replication and fallback fire in the same run, the accounting
+// fields pin the exact story: every execution attempt is counted, and
+// every abandoned primary records why it was abandoned. Three workers,
+// two copies each, devices 1 and 2 dead: worker 0 succeeds first try;
+// worker 1's replica lives on dead device 2, so its partition is lost
+// after two attempts; worker 2's replica lives on healthy device 0, so
+// it fails over after two attempts.
+func TestClusterAttemptAndReasonAccounting(t *testing.T) {
+	cl, q := clusterFixture(t, 3, 2)
+	clean, err := cl.Run(q)
+	if err != nil {
+		t.Fatalf("clean run: %v", err)
+	}
+	if clean.Attempts != 3 {
+		t.Fatalf("clean Attempts = %d, want one per worker", clean.Attempts)
+	}
+	if clean.FailoverReasons != nil {
+		t.Fatalf("clean FailoverReasons = %v, want nil", clean.FailoverReasons)
+	}
+
+	cl.Device(1).Injector().KillDevice()
+	cl.Device(2).Injector().KillDevice()
+	res, err := cl.Run(q)
+	if !errors.Is(err, ErrPartialResult) {
+		t.Fatalf("err = %v, want ErrPartialResult (worker 1's copies are both dead)", err)
+	}
+	// 1 (worker 0) + 2 (worker 1: primary + dead replica) + 2 (worker 2:
+	// primary + live replica).
+	if res.Attempts != 5 {
+		t.Errorf("Attempts = %d, want 5", res.Attempts)
+	}
+	if res.Failovers != 1 {
+		t.Errorf("Failovers = %d, want 1 (only worker 2 recovered)", res.Failovers)
+	}
+	if len(res.FailedWorkers) != 1 || res.FailedWorkers[0] != 1 {
+		t.Errorf("FailedWorkers = %v, want [1]", res.FailedWorkers)
+	}
+	want := map[int]string{1: "device-failed", 2: "device-failed"}
+	if len(res.FailoverReasons) != len(want) {
+		t.Fatalf("FailoverReasons = %v, want %v", res.FailoverReasons, want)
+	}
+	for w, reason := range want {
+		if got := res.FailoverReasons[w]; got != reason {
+			t.Errorf("FailoverReasons[%d] = %q, want %q", w, got, reason)
+		}
+	}
+	// Workers 0 and 2 contributed; worker 1's third of the data is
+	// missing, so the count lands strictly between zero and the full
+	// answer.
+	if got, full := res.Rows[0][1].Int, clean.Rows[0][1].Int; got <= 0 || got >= full {
+		t.Errorf("partial count = %d, want in (0, %d)", got, full)
+	}
+}
+
 // Without replication a dead device's partition is lost: the run
 // returns its partial result together with a typed PartialResultError.
 func TestClusterPartialResultWithoutReplicas(t *testing.T) {

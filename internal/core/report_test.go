@@ -1,0 +1,185 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"smartssd/internal/page"
+	"smartssd/internal/schema"
+	"smartssd/internal/synth"
+	"smartssd/internal/tpch"
+)
+
+// loadGenerated creates a table and loads it from a generator, the way
+// the experiments package loads its datasets.
+func loadGenerated(t *testing.T, e *Engine, name string, s *schema.Schema, layout page.Layout, rows int64, gen func() (schema.Tuple, bool)) {
+	t.Helper()
+	cap64 := int64(page.Capacity(s, layout))
+	if _, err := e.CreateTable(name, s, layout, rows/cap64+2, OnSSD); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Load(name, gen); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// checkReportInvariants asserts the physical laws every ResourceReport
+// must satisfy regardless of query or placement: utilizations within
+// [0, 1], per-lane busy time within the elapsed window, non-negative
+// queueing, and a bottleneck that actually served work.
+func checkReportInvariants(t *testing.T, name string, res *Result) {
+	t.Helper()
+	rep := res.Resources
+	if len(rep.Resources) == 0 {
+		t.Fatalf("%s: empty resource report", name)
+	}
+	for _, r := range rep.Resources {
+		if r.Utilization < 0 || r.Utilization > 1 {
+			t.Errorf("%s: %s utilization %.4f outside [0,1]", name, r.Name, r.Utilization)
+		}
+		if lane := r.Busy / time.Duration(r.Lanes); lane > res.Elapsed {
+			t.Errorf("%s: %s per-lane busy %v exceeds elapsed %v", name, r.Name, lane, res.Elapsed)
+		}
+		if r.TotalWait < 0 || r.MaxWait < 0 || r.MaxWait > r.TotalWait {
+			t.Errorf("%s: %s wait counters inconsistent: total %v max %v", name, r.Name, r.TotalWait, r.MaxWait)
+		}
+		if r.Used && r.Ops == 0 {
+			t.Errorf("%s: %s marked used but served no requests", name, r.Name)
+		}
+	}
+	if rep.Bottleneck == "" {
+		t.Errorf("%s: no bottleneck identified", name)
+	} else if b, ok := rep.Resource(rep.Bottleneck); !ok || !b.Used {
+		t.Errorf("%s: bottleneck %q missing or idle", name, rep.Bottleneck)
+	}
+}
+
+// linkBytes reports the bytes a run moved over the host interface.
+func linkBytes(t *testing.T, name string, res *Result) int64 {
+	t.Helper()
+	link, ok := res.Resources.Resource("host-link")
+	if !ok {
+		t.Fatalf("%s: no host-link resource", name)
+	}
+	return link.Units
+}
+
+// TestResourceReportEquivalence runs the paper's three workload shapes
+// — Q6 (selection+aggregation), Q14 (join+aggregation), and the
+// Synthetic64 selection-with-join — on the host and device paths, and
+// checks that the resource accounting obeys its invariants and tells
+// the paper's story: pushing a query down can only shrink the traffic
+// on the host link, and only the device path burns device CPU.
+func TestResourceReportEquivalence(t *testing.T) {
+	li := tpch.LineitemSchema()
+	pa := tpch.PartSchema()
+	const sf = 0.005
+
+	cases := []struct {
+		name string
+		load func(t *testing.T, e *Engine)
+		spec QuerySpec
+	}{
+		{
+			name: "q6",
+			load: func(t *testing.T, e *Engine) {
+				loadGenerated(t, e, "lineitem", li, page.PAX, tpch.NumLineitem(sf), tpch.NewLineitemGen(sf, 1).Next)
+			},
+			spec: QuerySpec{
+				Table:          "lineitem",
+				Filter:         tpch.Q6Predicate(),
+				Aggs:           tpch.Q6Aggregates(),
+				EstSelectivity: 0.006,
+			},
+		},
+		{
+			name: "q14",
+			load: func(t *testing.T, e *Engine) {
+				loadGenerated(t, e, "lineitem", li, page.PAX, tpch.NumLineitem(sf), tpch.NewLineitemGen(sf, 1).Next)
+				loadGenerated(t, e, "part", pa, page.PAX, tpch.NumPart(sf), tpch.NewPartGen(sf, 2).Next)
+			},
+			spec: QuerySpec{
+				Table:          "lineitem",
+				Join:           &JoinClause{BuildTable: "part", BuildKey: "p_partkey", ProbeKey: "l_partkey"},
+				Filter:         tpch.Q14DateRange(),
+				Aggs:           tpch.Q14Aggregates(li, pa),
+				EstSelectivity: 0.013,
+			},
+		},
+		{
+			name: "synth64-join",
+			load: func(t *testing.T, e *Engine) {
+				const nR = 100
+				const nS = 20000
+				loadGenerated(t, e, "synth_r", synth.Schema("r"), page.PAX, nR, synth.NewRGen(nR, 1).Next)
+				loadGenerated(t, e, "synth_s", synth.Schema("s"), page.PAX, nS, synth.NewSGen(nS, nR, 2).Next)
+			},
+			spec: QuerySpec{
+				Table:          "synth_s",
+				Join:           &JoinClause{BuildTable: "synth_r", BuildKey: "r_col_1", ProbeKey: "s_col_2"},
+				Filter:         synth.SelectionPredicate(10),
+				Output:         synth.JoinOutput(),
+				EstSelectivity: 0.10,
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			e := newEngine(t)
+			tc.load(t, e)
+
+			host, err := e.Run(tc.spec, ForceHost)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dev, err := e.Run(tc.spec, ForceDevice)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Same answer either way.
+			if len(host.Rows) != len(dev.Rows) {
+				t.Fatalf("host %d rows, device %d rows", len(host.Rows), len(dev.Rows))
+			}
+			for i := range host.Rows {
+				for c := range host.Rows[i] {
+					if host.Rows[i][c].Int != dev.Rows[i][c].Int {
+						t.Fatalf("row %d col %d: host %v device %v", i, c, host.Rows[i][c], dev.Rows[i][c])
+					}
+				}
+			}
+
+			checkReportInvariants(t, "host", host)
+			checkReportInvariants(t, "device", dev)
+
+			// The host path never touches the device CPU; the device path
+			// must have used it.
+			if cpu, ok := host.Resources.Resource("device-cpu"); !ok || cpu.Ops != 0 {
+				t.Errorf("host path charged the device CPU: %+v", cpu)
+			}
+			if cpu, ok := dev.Resources.Resource("device-cpu"); !ok || cpu.Busy <= 0 {
+				t.Errorf("device path shows no device CPU work: %+v", cpu)
+			}
+
+			// Pushdown exists to shrink host-link traffic: the device path
+			// ships results, the host path ships the scanned pages.
+			hb, db := linkBytes(t, "host", host), linkBytes(t, "device", dev)
+			if db >= hb {
+				t.Errorf("device path moved %d link bytes, host path %d; pushdown should shrink link traffic", db, hb)
+			}
+
+			// The device path went through the session protocol.
+			if len(dev.Resources.Phases) == 0 {
+				t.Error("device path has no OPEN/GET/CLOSE phase stats")
+			}
+			for _, ph := range dev.Resources.Phases {
+				if ph.Count <= 0 {
+					t.Errorf("phase %s has count %d", ph.Name, ph.Count)
+				}
+			}
+			if len(host.Resources.Phases) != 0 {
+				t.Errorf("host path unexpectedly has phase stats: %+v", host.Resources.Phases)
+			}
+		})
+	}
+}

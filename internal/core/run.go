@@ -10,6 +10,7 @@ import (
 	"smartssd/internal/energy"
 	"smartssd/internal/exec"
 	"smartssd/internal/expr"
+	"smartssd/internal/metrics"
 	"smartssd/internal/opt"
 	"smartssd/internal/plan"
 	"smartssd/internal/schema"
@@ -114,6 +115,12 @@ type Result struct {
 	// Stages breaks the run down per pipeline resource (busy time and
 	// utilization over the elapsed window), for profiling output.
 	Stages []StageUtil
+	// Resources is the full per-resource report: utilization, queueing,
+	// time-to-bottleneck, traffic volumes, and (for device runs) the
+	// OPEN/GET/CLOSE phase latencies. It is built from the servers'
+	// always-on counters, so it is populated whether or not tracing is
+	// enabled.
+	Resources metrics.Report
 	// HybridDeviceFraction is the page fraction the device processed
 	// (hybrid runs only).
 	HybridDeviceFraction float64
@@ -388,6 +395,7 @@ func (e *Engine) runDevice(spec QuerySpec, t, build *Table, q device.Query, d op
 				Decision:  d,
 			}
 			e.finishMetrics(res, &Table{Target: OnSSD})
+			res.Resources.Phases = e.runtime.PhaseStats().Phases()
 			res.Elapsed += wait + win.diff(e, &rep)
 			res.Faults = rep
 			return res, nil
@@ -447,6 +455,8 @@ func (e *Engine) finishMetrics(res *Result, t *Table) {
 			MediaBusy:       act.MediaBusy,
 			HostIngestBytes: act.BytesRead,
 		})
+		res.Resources = metrics.Snapshot(res.Elapsed,
+			append(e.hdd.ResourceGroups(), metrics.GroupOf("host-cpu", "cycles", e.host.CPU))...)
 		return
 	}
 	act := e.ssd.Activity()
@@ -471,6 +481,8 @@ func (e *Engine) finishMetrics(res *Result, t *Table) {
 		DeviceCPUCores:  e.ssd.Params().DeviceCPUCores,
 		HostIngestBytes: act.LinkBytesOut,
 	})
+	res.Resources = metrics.Snapshot(res.Elapsed,
+		append(e.ssd.ResourceGroups(), metrics.GroupOf("host-cpu", "cycles", e.host.CPU))...)
 }
 
 // Explain renders both candidate plans and the planner's decision

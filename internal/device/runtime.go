@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"time"
 
+	"smartssd/internal/metrics"
 	"smartssd/internal/schema"
 	"smartssd/internal/ssd"
+	"smartssd/internal/trace"
 )
 
 // SessionID identifies one OPEN'd session, as returned to the host.
@@ -67,6 +69,39 @@ type Runtime struct {
 	sessions   map[SessionID]*session
 	closed     map[SessionID]bool // tombstones: ids that were opened and closed
 	granted    int64              // DRAM bytes granted to live sessions
+	phases     PhaseStats
+	rec        *trace.Recorder // nil unless SetRecorder installed one
+}
+
+// PhaseStats aggregates protocol-phase latencies across sessions. An
+// OPEN and a CLOSE are instantaneous in the model (pure bookkeeping),
+// so only their counts are meaningful; a GET's latency is the delivery
+// gap — how long the host waited for that chunk beyond the previous
+// chunk's arrival.
+type PhaseStats struct {
+	Open  metrics.Phase
+	Get   metrics.Phase
+	Close metrics.Phase
+}
+
+// Phases reports the stats as a slice for metrics.Report attachment,
+// omitting phases that never ran.
+func (p PhaseStats) Phases() []metrics.Phase {
+	var out []metrics.Phase
+	for _, ph := range []metrics.Phase{p.Open, p.Get, p.Close} {
+		if ph.Count > 0 {
+			out = append(out, ph)
+		}
+	}
+	return out
+}
+
+func observe(ph *metrics.Phase, d time.Duration) {
+	ph.Count++
+	ph.Total += d
+	if d > ph.Max {
+		ph.Max = d
+	}
 }
 
 // NewRuntime builds the runtime for one device using cost constants c.
@@ -77,8 +112,31 @@ func NewRuntime(dev *ssd.Device, c CostModel) *Runtime {
 		chunkBytes: DefaultChunkBytes,
 		sessions:   make(map[SessionID]*session),
 		closed:     make(map[SessionID]bool),
+		phases:     newPhaseStats(),
 	}
 }
+
+func newPhaseStats() PhaseStats {
+	return PhaseStats{
+		Open:  metrics.Phase{Name: "OPEN"},
+		Get:   metrics.Phase{Name: "GET"},
+		Close: metrics.Phase{Name: "CLOSE"},
+	}
+}
+
+// PhaseStats reports cumulative protocol-phase latencies since the last
+// ResetPhases.
+func (r *Runtime) PhaseStats() PhaseStats { return r.phases }
+
+// ResetPhases clears the phase-latency aggregates so the next run is
+// measured independently.
+func (r *Runtime) ResetPhases() { r.phases = newPhaseStats() }
+
+// SetRecorder attaches (or, with nil, removes) an event recorder that
+// receives one protocol span per OPEN/GET/CLOSE command, labeled by
+// session. Device resources are not touched; hook those separately via
+// ssd.Device.SetRecorder.
+func (r *Runtime) SetRecorder(rec *trace.Recorder) { r.rec = rec }
 
 // Device reports the underlying simulated device.
 func (r *Runtime) Device() *ssd.Device { return r.dev }
@@ -102,7 +160,8 @@ type session struct {
 	state  sessionState
 	grant  int64 // DRAM bytes granted at OPEN, released at CLOSE
 	result *result
-	cursor int // next chunk index for GET
+	cursor int           // next chunk index for GET
+	lastAt time.Duration // arrival time of the last delivered chunk
 }
 
 // Open starts a session for query q: the OPEN command. The query is
@@ -132,6 +191,10 @@ func (r *Runtime) Open(q Query) (SessionID, error) {
 	id := r.next
 	r.sessions[id] = &session{id: id, query: q, state: stateOpen, grant: need}
 	r.granted += need
+	observe(&r.phases.Open, 0)
+	if r.rec != nil {
+		r.rec.Span(fmt.Sprintf("session-%d", id), "OPEN", 0, 0)
+	}
 	return id, nil
 }
 
@@ -185,15 +248,31 @@ func (r *Runtime) Get(id SessionID) (GetResult, error) {
 		s.state = stateDone
 	}
 	if s.cursor >= len(s.result.chunks) {
+		r.finishGet(s, s.result.end)
 		return GetResult{At: s.result.end, Done: true}, nil
 	}
 	c := s.result.chunks[s.cursor]
 	s.cursor++
+	r.finishGet(s, c.shippedAt)
 	return GetResult{
 		Rows: c.rows,
 		At:   c.shippedAt,
 		Done: s.cursor >= len(s.result.chunks),
 	}, nil
+}
+
+// finishGet accounts one successful GET: its latency is the delivery
+// gap from the previous chunk's arrival to this one's.
+func (r *Runtime) finishGet(s *session, at time.Duration) {
+	prev := s.lastAt
+	if at < prev {
+		at = prev
+	}
+	observe(&r.phases.Get, at-prev)
+	if r.rec != nil {
+		r.rec.Span(fmt.Sprintf("session-%d", s.id), "GET", prev, at)
+	}
+	s.lastAt = at
 }
 
 // Close releases a session: the CLOSE command. Closing an unknown or
@@ -208,6 +287,10 @@ func (r *Runtime) Close(id SessionID) error {
 			return fmt.Errorf("%w: %d", ErrClosed, id)
 		}
 		return fmt.Errorf("%w: %d", ErrUnknownSession, id)
+	}
+	observe(&r.phases.Close, 0)
+	if r.rec != nil {
+		r.rec.Span(fmt.Sprintf("session-%d", id), "CLOSE", s.lastAt, s.lastAt)
 	}
 	s.result = nil
 	r.granted -= s.grant

@@ -23,6 +23,7 @@ import (
 	"smartssd/internal/core"
 	"smartssd/internal/page"
 	"smartssd/internal/schema"
+	"smartssd/internal/sim"
 	"smartssd/internal/ssd"
 	"smartssd/internal/synth"
 	"smartssd/internal/tpch"
@@ -46,6 +47,11 @@ type Options struct {
 	// SSD overrides the simulated device (zero: a 4 GB-class device
 	// with the paper's controller parameters).
 	SSD ssd.Params
+	// Tracer, when non-nil, is installed on every engine and probe
+	// device the experiments build, so a whole suite's timeline can be
+	// captured. Tracing never perturbs virtual time; rendered artifacts
+	// are byte-identical with or without it.
+	Tracer sim.TraceFunc
 }
 
 func (o *Options) fill() {
@@ -74,7 +80,14 @@ func pagesFor(s *schema.Schema, l page.Layout, n int64) int64 {
 
 // engineFor builds a core engine with the experiment's device.
 func engineFor(o Options) (*core.Engine, error) {
-	return core.New(core.Config{SSD: o.SSD})
+	e, err := core.New(core.Config{SSD: o.SSD})
+	if err != nil {
+		return nil, err
+	}
+	if o.Tracer != nil {
+		e.SetTracer(o.Tracer)
+	}
+	return e, nil
 }
 
 // loadTPCH creates and loads LINEITEM and PART in both layouts on the

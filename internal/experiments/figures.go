@@ -49,6 +49,9 @@ func Table2(o Options) (Table2Report, error) {
 	if err != nil {
 		return Table2Report{}, err
 	}
+	if o.Tracer != nil {
+		dev.SetTracer(o.Tracer)
+	}
 	probe := ssd.BandwidthProbe{}
 	internal, err := probe.Internal(dev)
 	if err != nil {

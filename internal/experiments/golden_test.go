@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"smartssd/internal/sim"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden artifacts in testdata/")
+
+// goldenOptions is deliberately small: golden tests pin bytes, not
+// paper shapes (the shape tests above do that), so the cheapest
+// deterministic dataset is the right one.
+func goldenOptions() Options {
+	return Options{SF: 0.01, SynthR: 400, Seed: 1}
+}
+
+type goldenArtifact struct {
+	name string
+	run  func(Options) (string, error)
+}
+
+func goldenArtifacts() []goldenArtifact {
+	return []goldenArtifact{
+		{"table2", func(o Options) (string, error) {
+			r, err := Table2(o)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"fig3", func(o Options) (string, error) {
+			r, err := Fig3(o)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"fig5", func(o Options) (string, error) {
+			r, err := Fig5(o, nil)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"fig7", func(o Options) (string, error) {
+			r, err := Fig7(o)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"table3", func(o Options) (string, error) {
+			r, err := Table3(o)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+	}
+}
+
+// TestGoldenArtifacts locks every rendered artifact byte-for-byte
+// against testdata/, and — the tentpole guarantee — proves that turning
+// the tracer on does not perturb a single byte of any of them: tracing
+// observes virtual time, it never charges it. Run with -update to
+// rewrite the files after an intentional model change.
+func TestGoldenArtifacts(t *testing.T) {
+	for _, a := range goldenArtifacts() {
+		a := a
+		t.Run(a.name, func(t *testing.T) {
+			plain, err := a.run(goldenOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			traced := goldenOptions()
+			events := 0
+			traced.Tracer = func(sim.TraceEvent) { events++ }
+			withTrace, err := a.run(traced)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if withTrace != plain {
+				t.Fatalf("artifact differs with tracing enabled:\n--- untraced ---\n%s--- traced ---\n%s", plain, withTrace)
+			}
+			if events == 0 {
+				t.Error("tracer hooked but saw no events")
+			}
+
+			path := filepath.Join("testdata", a.name+".golden")
+			if *update {
+				if err := os.WriteFile(path, []byte(plain), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (run with -update to create)", err)
+			}
+			if string(want) != plain {
+				t.Fatalf("artifact drifted from %s:\n--- golden ---\n%s--- got ---\n%s", path, want, plain)
+			}
+		})
+	}
+}

@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"smartssd/internal/core"
+	"smartssd/internal/metrics"
+	"smartssd/internal/tpch"
+)
+
+// UtilConfig is one configuration's per-resource report.
+type UtilConfig struct {
+	Name   string
+	Run    Run
+	Report metrics.Report
+}
+
+// UtilReport is the `-exp util` artifact: TPC-H Q6 run on the host path
+// and on the device path, each with its full per-resource utilization
+// breakdown. It makes the paper's bottleneck hand-off visible: the host
+// path saturates the 550 MB/s host link while the device CPU idles; the
+// pushed-down path leaves the link nearly idle and pins the embedded
+// CPU — the crossover that motivates the whole Smart SSD design.
+type UtilReport struct {
+	Configs []UtilConfig
+}
+
+// ExtUtil measures per-resource utilization for Q6 on the host path
+// (NSM, the usual way) and the device path (PAX, pushed down).
+func ExtUtil(o Options) (UtilReport, error) {
+	o.fill()
+	e, err := engineFor(o)
+	if err != nil {
+		return UtilReport{}, err
+	}
+	if err := loadTPCH(e, o, false); err != nil {
+		return UtilReport{}, err
+	}
+	spec := func(table string) core.QuerySpec {
+		return core.QuerySpec{
+			Table:          table,
+			Filter:         tpch.Q6Predicate(),
+			Aggs:           tpch.Q6Aggregates(),
+			EstSelectivity: 0.006,
+		}
+	}
+	configs := []struct {
+		name  string
+		table string
+		mode  core.Mode
+	}{
+		{"SAS SSD (host)", "lineitem_nsm", core.ForceHost},
+		{"Smart SSD (PAX)", "lineitem_pax", core.ForceDevice},
+	}
+	var rep UtilReport
+	var answer int64
+	for i, c := range configs {
+		res, err := e.Run(spec(c.table), c.mode)
+		if err != nil {
+			return UtilReport{}, fmt.Errorf("util %s: %w", c.name, err)
+		}
+		if i == 0 {
+			answer = res.Rows[0][0].Int
+		} else if got := res.Rows[0][0].Int; got != answer {
+			return UtilReport{}, fmt.Errorf("util %s: answer %d != baseline %d", c.name, got, answer)
+		}
+		rep.Configs = append(rep.Configs, UtilConfig{
+			Name: c.name,
+			Run: Run{
+				Name:       c.name,
+				Elapsed:    res.Elapsed,
+				Bottleneck: res.Bottleneck,
+				Rows:       int64(len(res.Rows)),
+				Answer:     res.Rows[0][0].Int,
+			},
+			Report: res.Resources,
+		})
+	}
+	return rep, nil
+}
+
+// Render prints one utilization table per configuration plus the
+// bottleneck crossover line.
+func (r UtilReport) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Per-resource utilization: TPC-H Q6, host path vs. pushed down\n")
+	for _, c := range r.Configs {
+		fmt.Fprintf(&b, "\n%s  (elapsed %s)\n", c.Name, fmtDur(c.Run.Elapsed))
+		b.WriteString(c.Report.Render())
+	}
+	if len(r.Configs) == 2 {
+		fmt.Fprintf(&b, "\ncrossover: %s is bound by %s; %s is bound by %s\n",
+			r.Configs[0].Name, r.Configs[0].Report.Bottleneck,
+			r.Configs[1].Name, r.Configs[1].Report.Bottleneck)
+	}
+	return b.String()
+}

@@ -92,6 +92,7 @@ type FTL struct {
 	frontier   []int            // next page index in active block, per channel
 	nextChan   int              // round-robin write pointer
 
+	hostReads  int64 // pages read on behalf of the host
 	hostWrites int64 // pages written by the host
 	gcWrites   int64 // pages relocated by GC
 	gcRuns     int64
@@ -201,6 +202,7 @@ func (f *FTL) Read(l LBA) ([]byte, error) {
 	if p == invalid {
 		return nil, fmt.Errorf("%w: %d", ErrUnmapped, l)
 	}
+	f.hostReads++
 	return f.readPhysical(p)
 }
 
@@ -524,6 +526,7 @@ func (f *FTL) blockFree(b nand.BlockID) bool {
 
 // Stats summarizes FTL activity.
 type Stats struct {
+	HostReads  int64 // pages read on behalf of the host
 	HostWrites int64 // pages written by the host
 	GCWrites   int64 // pages relocated by garbage collection
 	GCRuns     int64 // victim blocks reclaimed
@@ -542,6 +545,7 @@ type Stats struct {
 // Stats reports cumulative FTL activity.
 func (f *FTL) Stats() Stats {
 	s := Stats{
+		HostReads:          f.hostReads,
 		HostWrites:         f.hostWrites,
 		GCWrites:           f.gcWrites,
 		GCRuns:             f.gcRuns,

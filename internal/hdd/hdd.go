@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"time"
 
+	"smartssd/internal/metrics"
 	"smartssd/internal/sim"
 )
 
@@ -223,6 +224,21 @@ func (d *Device) WritePage(lba int64, data []byte, ready time.Duration) (time.Du
 	copy(buf, data)
 	d.bytesWritten += int64(d.params.PageSize)
 	return done, nil
+}
+
+// SetTracer installs (or, with nil, removes) a per-request trace hook
+// on the disk's media server.
+func (d *Device) SetTracer(fn sim.TraceFunc) { d.media.SetTracer(fn) }
+
+// ResourceGroups reports the disk's rate servers as metrics groups.
+func (d *Device) ResourceGroups() []metrics.Group {
+	return []metrics.Group{metrics.GroupOf("hdd-media", "bytes", d.media)}
+}
+
+// Report snapshots media utilization since the last ResetTiming,
+// normalized over the elapsed window.
+func (d *Device) Report(elapsed time.Duration) metrics.Report {
+	return metrics.Snapshot(elapsed, d.ResourceGroups()...)
 }
 
 // Activity summarizes disk usage since the last ResetTiming.

@@ -106,6 +106,42 @@ func (i Interface) TransferTime(n int64) time.Duration {
 	return i.CommandOverhead + i.TurnaroundBusy + i.EffectiveRate.ServiceTime(n)
 }
 
+// Meter counts command and payload traffic over one interface instance,
+// for the metrics layer: how many link commands a run issued and how
+// much of the link's busy time went to protocol overhead rather than
+// payload. It is plain accounting — transfers are still charged against
+// the link's sim.Server; the meter never adds time.
+type Meter struct {
+	// Iface is the interface standard being metered.
+	Iface Interface
+	// Commands is the number of link commands recorded.
+	Commands int64
+	// PayloadBytes is the total payload moved, both directions.
+	PayloadBytes int64
+}
+
+// Record accounts one command moving n payload bytes.
+func (m *Meter) Record(n int64) {
+	m.Commands++
+	m.PayloadBytes += n
+}
+
+// TurnaroundTime reports the cumulative link-occupying protocol time
+// (TurnaroundBusy per command) — busy time that moved no payload.
+func (m *Meter) TurnaroundTime() time.Duration {
+	return time.Duration(m.Commands) * m.Iface.TurnaroundBusy
+}
+
+// OverheadTime reports the cumulative per-command latency overhead
+// (CommandOverhead per command); under queuing it costs latency, not
+// throughput.
+func (m *Meter) OverheadTime() time.Duration {
+	return time.Duration(m.Commands) * m.Iface.CommandOverhead
+}
+
+// Reset clears the meter's counters.
+func (m *Meter) Reset() { m.Commands, m.PayloadBytes = 0, 0 }
+
 // Figure1Baseline is the 2007 host-interface speed all Figure 1 values
 // are normalized to (375 MB/s, SATA 3 Gb/s).
 const Figure1Baseline = 375.0 // MB/s

@@ -1,0 +1,207 @@
+// Package metrics turns the rate servers' always-on counters into
+// per-resource utilization reports. Where package trace records the
+// full event timeline (opt-in, for chrome://tracing), metrics is a
+// cheap end-of-run snapshot: busy time, throughput, queueing and
+// time-to-first-use per resource, plus which resource bounded the run.
+// Snapshots only read counters the servers maintain anyway, so
+// attaching a Report to a result never perturbs virtual time.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"smartssd/internal/sim"
+)
+
+// Group names a set of parallel sim.Servers that act as one logical
+// resource — e.g. the eight flash channels of an SSD aggregate into a
+// single "flash-channels" row. A single-server resource is a Group of
+// one.
+type Group struct {
+	// Name labels the resource in reports ("flash-channels",
+	// "host-link", "device-cpu", ...).
+	Name string
+	// Unit describes what Served counts: "bytes" or "cycles".
+	Unit string
+	// Servers are the aggregated members; nil entries are skipped.
+	Servers []*sim.Server
+}
+
+// GroupOf is shorthand for a single-server Group.
+func GroupOf(name, unit string, s *sim.Server) Group {
+	return Group{Name: name, Unit: unit, Servers: []*sim.Server{s}}
+}
+
+// Resource is one row of a Report: the aggregate state of a Group at
+// snapshot time.
+type Resource struct {
+	Name  string
+	Unit  string
+	Lanes int // total lanes across the group's servers
+
+	Busy      time.Duration // summed service time across all lanes
+	Ops       int64         // requests served
+	Units     int64         // bytes or cycles processed
+	MaxWait   time.Duration // worst queueing delay of any request
+	TotalWait time.Duration // summed queueing delay
+
+	// FirstBusy is when the pipeline hand-off first reached this
+	// resource; Used is false (and FirstBusy zero) if it served nothing.
+	FirstBusy time.Duration
+	Used      bool
+
+	// Utilization is Busy normalized by lanes over the report's
+	// elapsed window, in [0, 1] for any window covering the run.
+	Utilization float64
+	// AvgQueue is the mean number of requests waiting on this resource
+	// over the elapsed window (Little's law: TotalWait / elapsed).
+	AvgQueue float64
+}
+
+// laneBusy is the per-lane busy time, the quantity that decides which
+// resource bounds the run (a 3-lane CPU with 3s total busy drains as
+// fast as a 1-lane link with 1s).
+func (r Resource) laneBusy() time.Duration {
+	if r.Lanes == 0 {
+		return 0
+	}
+	return r.Busy / time.Duration(r.Lanes)
+}
+
+// Phase is one protocol phase's latency aggregate (OPEN, GET, CLOSE).
+type Phase struct {
+	Name  string
+	Count int64
+	Total time.Duration // summed phase latency
+	Max   time.Duration // worst single occurrence
+}
+
+// Avg reports the mean phase latency.
+func (p Phase) Avg() time.Duration {
+	if p.Count == 0 {
+		return 0
+	}
+	return p.Total / time.Duration(p.Count)
+}
+
+// Report is a per-resource utilization summary of one run.
+type Report struct {
+	// Elapsed is the observation window the utilizations are
+	// normalized over (the run's end-to-end elapsed time).
+	Elapsed time.Duration
+	// Resources holds one row per Group, in the order given to
+	// Snapshot.
+	Resources []Resource
+	// Phases holds OPEN/GET/CLOSE latency aggregates when the run went
+	// through the device session protocol; empty otherwise.
+	Phases []Phase
+	// Bottleneck names the resource with the greatest per-lane busy
+	// time — the stage that bounded the run. Empty if nothing served.
+	Bottleneck string
+	// TimeToBottleneck is when the bottleneck resource first became
+	// busy: how long the pipeline ramp took to reach the stage that
+	// then governed everything downstream.
+	TimeToBottleneck time.Duration
+}
+
+// Resource reports the named row and whether it exists.
+func (r *Report) Resource(name string) (Resource, bool) {
+	for _, res := range r.Resources {
+		if res.Name == name {
+			return res, true
+		}
+	}
+	return Resource{}, false
+}
+
+// Snapshot reads the groups' counters and builds a Report normalized
+// over elapsed. Groups whose servers are all nil are skipped.
+func Snapshot(elapsed time.Duration, groups ...Group) Report {
+	rep := Report{Elapsed: elapsed}
+	var worst time.Duration
+	for _, g := range groups {
+		res := Resource{Name: g.Name, Unit: g.Unit}
+		for _, s := range g.Servers {
+			if s == nil {
+				continue
+			}
+			res.Lanes += s.Lanes()
+			res.Busy += s.BusyTime()
+			res.Ops += s.Ops()
+			res.Units += s.Served()
+			res.TotalWait += s.TotalWait()
+			if w := s.MaxWait(); w > res.MaxWait {
+				res.MaxWait = w
+			}
+			if fb, ok := s.FirstBusy(); ok && (!res.Used || fb < res.FirstBusy) {
+				res.FirstBusy, res.Used = fb, true
+			}
+		}
+		if res.Lanes == 0 {
+			continue
+		}
+		if elapsed > 0 {
+			res.Utilization = float64(res.Busy) / float64(elapsed) / float64(res.Lanes)
+			res.AvgQueue = float64(res.TotalWait) / float64(elapsed)
+		}
+		rep.Resources = append(rep.Resources, res)
+		if res.Used && res.laneBusy() > worst {
+			worst = res.laneBusy()
+			rep.Bottleneck = res.Name
+			rep.TimeToBottleneck = res.FirstBusy
+		}
+	}
+	return rep
+}
+
+// Render formats the report as an aligned text table, one resource per
+// row, followed by phase latencies (if any) and the bottleneck line.
+func (r *Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %5s %8s %9s %7s %9s %9s  %s\n",
+		"resource", "lanes", "util", "busy", "ops", "avg-queue", "max-wait", "volume")
+	for _, res := range r.Resources {
+		fmt.Fprintf(&b, "%-14s %5d %7.1f%% %9s %7d %9.2f %9s  %s\n",
+			res.Name, res.Lanes, res.Utilization*100, fmtDur(res.laneBusy()),
+			res.Ops, res.AvgQueue, fmtDur(res.MaxWait), fmtVolume(res.Units, res.Unit))
+	}
+	if len(r.Phases) > 0 {
+		fmt.Fprintf(&b, "%-14s %7s %11s %11s\n", "phase", "count", "avg", "max")
+		for _, p := range r.Phases {
+			fmt.Fprintf(&b, "%-14s %7d %11s %11s\n", p.Name, p.Count, fmtDur(p.Avg()), fmtDur(p.Max))
+		}
+	}
+	if r.Bottleneck != "" {
+		fmt.Fprintf(&b, "bottleneck: %s (first busy at %s of %s elapsed)\n",
+			r.Bottleneck, fmtDur(r.TimeToBottleneck), fmtDur(r.Elapsed))
+	}
+	return b.String()
+}
+
+// SortByUtilization reorders the resources busiest-first, breaking
+// ties by name so output stays deterministic.
+func (r *Report) SortByUtilization() {
+	sort.SliceStable(r.Resources, func(i, j int) bool {
+		if r.Resources[i].Utilization != r.Resources[j].Utilization {
+			return r.Resources[i].Utilization > r.Resources[j].Utilization
+		}
+		return r.Resources[i].Name < r.Resources[j].Name
+	})
+}
+
+func fmtDur(d time.Duration) string {
+	return fmt.Sprintf("%.3fs", d.Seconds())
+}
+
+func fmtVolume(n int64, unit string) string {
+	if unit == "bytes" {
+		return fmt.Sprintf("%.1f MB", float64(n)/1e6)
+	}
+	if unit == "cycles" {
+		return fmt.Sprintf("%.1f Mcyc", float64(n)/1e6)
+	}
+	return fmt.Sprintf("%d %s", n, unit)
+}

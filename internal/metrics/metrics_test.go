@@ -1,0 +1,123 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"smartssd/internal/sim"
+)
+
+// twoStagePipeline drives a fast 2-lane front stage into a slow
+// single-lane back stage and returns both servers plus the pipeline's
+// end-to-end finish time.
+func twoStagePipeline() (front, back *sim.Server, end time.Duration) {
+	front = sim.NewMultiServer("channels", sim.MBps(200), 2)
+	back = sim.NewServer("link", sim.MBps(100))
+	for i := 0; i < 8; i++ {
+		done := front.Serve(0, 10*sim.MB)
+		if t := back.Serve(done, 10*sim.MB); t > end {
+			end = t
+		}
+	}
+	return front, back, end
+}
+
+func TestSnapshotAggregatesAndFindsBottleneck(t *testing.T) {
+	front, back, end := twoStagePipeline()
+	rep := Snapshot(end,
+		GroupOf("channels", "bytes", front),
+		GroupOf("link", "bytes", back),
+	)
+	if len(rep.Resources) != 2 {
+		t.Fatalf("got %d resources, want 2", len(rep.Resources))
+	}
+	ch, ok := rep.Resource("channels")
+	if !ok || ch.Lanes != 2 || ch.Ops != 8 || ch.Units != 80*sim.MB {
+		t.Errorf("channels row = %+v", ch)
+	}
+	link, _ := rep.Resource("link")
+	// The slow link is the bottleneck: 8×10MB at 100MB/s = 800ms busy on
+	// one lane, vs 400ms/2 lanes = 200ms per lane on the channels.
+	if rep.Bottleneck != "link" {
+		t.Errorf("bottleneck = %q, want link", rep.Bottleneck)
+	}
+	if link.Busy != 800*time.Millisecond {
+		t.Errorf("link busy = %v, want 800ms", link.Busy)
+	}
+	// The link first turns busy when the first channel transfer lands.
+	if rep.TimeToBottleneck != 50*time.Millisecond {
+		t.Errorf("time-to-bottleneck = %v, want 50ms", rep.TimeToBottleneck)
+	}
+	for _, res := range rep.Resources {
+		if res.Utilization < 0 || res.Utilization > 1 {
+			t.Errorf("%s utilization %v out of [0,1]", res.Name, res.Utilization)
+		}
+	}
+	if link.Utilization <= ch.Utilization {
+		t.Errorf("link util %v should exceed channels util %v", link.Utilization, ch.Utilization)
+	}
+}
+
+func TestSnapshotSkipsNilAndEmptyGroups(t *testing.T) {
+	s := sim.NewServer("dma", sim.MBps(1560))
+	s.Serve(0, sim.MB)
+	rep := Snapshot(time.Second,
+		Group{Name: "ghost", Unit: "bytes", Servers: []*sim.Server{nil}},
+		GroupOf("dma", "bytes", s),
+	)
+	if len(rep.Resources) != 1 || rep.Resources[0].Name != "dma" {
+		t.Fatalf("resources = %+v", rep.Resources)
+	}
+	if rep.Bottleneck != "dma" {
+		t.Errorf("bottleneck = %q", rep.Bottleneck)
+	}
+}
+
+func TestSnapshotIdleServerIsNotBottleneck(t *testing.T) {
+	busy := sim.NewServer("busy", sim.MBps(100))
+	idle := sim.NewServer("idle", sim.MBps(100))
+	busy.Serve(0, sim.MB)
+	rep := Snapshot(time.Second, GroupOf("busy", "bytes", busy), GroupOf("idle", "bytes", idle))
+	if rep.Bottleneck != "busy" {
+		t.Errorf("bottleneck = %q, want busy", rep.Bottleneck)
+	}
+	idleRow, _ := rep.Resource("idle")
+	if idleRow.Used {
+		t.Errorf("idle resource marked used: %+v", idleRow)
+	}
+}
+
+func TestPhaseAvg(t *testing.T) {
+	p := Phase{Name: "GET", Count: 4, Total: 200 * time.Millisecond, Max: 80 * time.Millisecond}
+	if p.Avg() != 50*time.Millisecond {
+		t.Errorf("Avg = %v, want 50ms", p.Avg())
+	}
+	if (Phase{}).Avg() != 0 {
+		t.Errorf("zero-count Avg should be 0")
+	}
+}
+
+func TestRenderContainsRowsAndBottleneck(t *testing.T) {
+	front, back, end := twoStagePipeline()
+	rep := Snapshot(end, GroupOf("channels", "bytes", front), GroupOf("link", "bytes", back))
+	rep.Phases = []Phase{{Name: "GET", Count: 2, Total: 100 * time.Millisecond, Max: 60 * time.Millisecond}}
+	out := rep.Render()
+	for _, want := range []string{"channels", "link", "bottleneck: link", "GET", "MB"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSortByUtilization(t *testing.T) {
+	rep := Report{Resources: []Resource{
+		{Name: "a", Utilization: 0.1},
+		{Name: "b", Utilization: 0.9},
+		{Name: "c", Utilization: 0.9},
+	}}
+	rep.SortByUtilization()
+	if rep.Resources[0].Name != "b" || rep.Resources[1].Name != "c" || rep.Resources[2].Name != "a" {
+		t.Errorf("order = %v", []string{rep.Resources[0].Name, rep.Resources[1].Name, rep.Resources[2].Name})
+	}
+}

@@ -181,7 +181,13 @@ type Array struct {
 	reads         int64
 	programs      int64
 	erases        int64
-	inj           *fault.Injector // nil unless fault injection is enabled
+	// Cumulative cell-operation time at the array's Timing, for the
+	// metrics layer. This mirrors what the controller charges against
+	// its schedulers; the array itself still performs no timing.
+	senseTime   time.Duration
+	programTime time.Duration
+	eraseTime   time.Duration
+	inj         *fault.Injector // nil unless fault injection is enabled
 }
 
 // NewArray builds a flash array with the given geometry and timing.
@@ -227,6 +233,7 @@ func (a *Array) Read(p PPA) ([]byte, error) {
 		return nil, fmt.Errorf("%w: ppa %d", ErrReadErased, p)
 	}
 	a.reads++
+	a.senseTime += a.timing.ReadLatency
 	if fail, uncorrectable := a.inj.ReadError(uint64(p)); fail {
 		if uncorrectable {
 			return nil, fmt.Errorf("%w: ppa %d", ErrUncorrectable, p)
@@ -262,6 +269,7 @@ func (a *Array) Program(p PPA, data []byte) error {
 		a.data[p] = make([]byte, a.geo.PageSize)
 		a.writeFrontier[b]++
 		a.programs++
+		a.programTime += a.timing.ProgramLatency
 		return fmt.Errorf("%w: ppa %d", ErrProgramFail, p)
 	}
 	buf := a.data[p]
@@ -273,6 +281,7 @@ func (a *Array) Program(p PPA, data []byte) error {
 	a.state[p] = Programmed
 	a.writeFrontier[b]++
 	a.programs++
+	a.programTime += a.timing.ProgramLatency
 	return nil
 }
 
@@ -295,6 +304,7 @@ func (a *Array) Erase(b BlockID) error {
 	a.writeFrontier[b] = 0
 	a.eraseCount[b]++
 	a.erases++
+	a.eraseTime += a.timing.EraseLatency
 	return nil
 }
 
@@ -314,6 +324,12 @@ type Stats struct {
 	Reads    int64
 	Programs int64
 	Erases   int64
+	// SenseTime, ProgramTime and EraseTime are the cumulative cell time
+	// the operations above spent at the array's Timing — how long the
+	// medium itself was occupied, before channel and bus transfers.
+	SenseTime   time.Duration
+	ProgramTime time.Duration
+	EraseTime   time.Duration
 	// MaxEraseCount and MinEraseCount bound block wear across the array.
 	MaxEraseCount int64
 	MinEraseCount int64
@@ -321,7 +337,10 @@ type Stats struct {
 
 // Stats reports cumulative operation counts and wear spread.
 func (a *Array) Stats() Stats {
-	s := Stats{Reads: a.reads, Programs: a.programs, Erases: a.erases}
+	s := Stats{
+		Reads: a.reads, Programs: a.programs, Erases: a.erases,
+		SenseTime: a.senseTime, ProgramTime: a.programTime, EraseTime: a.eraseTime,
+	}
 	if len(a.eraseCount) > 0 {
 		s.MinEraseCount = a.eraseCount[0]
 		for _, c := range a.eraseCount {

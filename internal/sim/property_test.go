@@ -1,0 +1,174 @@
+package sim
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// randomWorkload serves a randomized arrival/size sequence on a fresh
+// server and returns it with its trace events. The tracer records into
+// the provided slice so property checks can compare event-level and
+// counter-level accounting.
+func randomWorkload(t *testing.T, rng *rand.Rand, lanes int) (*Server, []TraceEvent) {
+	t.Helper()
+	s := NewMultiServer("prop", MBps(1+rng.Float64()*1999), lanes)
+	var events []TraceEvent
+	s.SetTracer(func(ev TraceEvent) { events = append(events, ev) })
+	n := 50 + rng.Intn(200)
+	ready := time.Duration(0)
+	for i := 0; i < n; i++ {
+		// Arrivals drift forward with occasional jumps back-to-back and
+		// occasional long idle gaps, so requests exercise queuing, gap
+		// filling, and fragmentation.
+		switch rng.Intn(4) {
+		case 0: // burst: same ready time as the previous request
+		case 1:
+			ready += time.Duration(rng.Int63n(int64(5 * time.Millisecond)))
+		default:
+			ready += time.Duration(rng.Int63n(int64(200 * time.Microsecond)))
+		}
+		units := 1 + rng.Int63n(4*MB)
+		setup := time.Duration(0)
+		if rng.Intn(3) == 0 {
+			setup = time.Duration(rng.Int63n(int64(20 * time.Microsecond)))
+		}
+		s.ServeWithSetup(ready, setup, units)
+	}
+	return s, events
+}
+
+// TestPropertyBusyIntervalsSumToBusyTime is the core conservation law:
+// for any arrival/size sequence, the per-request service times reported
+// through the trace hook sum exactly to the server's BusyTime counter,
+// and the reserved calendar intervals cover exactly that much time (no
+// work is lost or double-booked by gap filling and fragmentation).
+func TestPropertyBusyIntervalsSumToBusyTime(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		lanes := 1 + rng.Intn(4)
+		s, events := randomWorkload(t, rng, lanes)
+
+		var eventBusy time.Duration
+		for _, ev := range events {
+			if ev.Busy <= 0 {
+				t.Fatalf("seed %d: event with non-positive busy %v", seed, ev.Busy)
+			}
+			if ev.Start < ev.Ready || ev.Done < ev.Start+ev.Busy {
+				t.Fatalf("seed %d: inconsistent event %+v", seed, ev)
+			}
+			eventBusy += ev.Busy
+		}
+		if eventBusy != s.BusyTime() {
+			t.Fatalf("seed %d: sum of event busy %v != BusyTime %v", seed, eventBusy, s.BusyTime())
+		}
+
+		// The lane calendars reserve exactly BusyTime of intervals.
+		var reserved time.Duration
+		for i := range s.lanes {
+			prevEnd := time.Duration(-1)
+			for _, iv := range s.lanes[i].ivs {
+				if iv.end <= iv.start {
+					t.Fatalf("seed %d: empty interval %+v", seed, iv)
+				}
+				if iv.start <= prevEnd {
+					t.Fatalf("seed %d: overlapping/uncoalesced intervals at %v", seed, iv.start)
+				}
+				reserved += iv.end - iv.start
+				prevEnd = iv.end
+			}
+		}
+		if reserved != s.BusyTime() {
+			t.Fatalf("seed %d: reserved calendar time %v != BusyTime %v", seed, reserved, s.BusyTime())
+		}
+
+		if int64(len(events)) != s.Ops() {
+			t.Fatalf("seed %d: %d events != %d ops", seed, len(events), s.Ops())
+		}
+	}
+}
+
+// TestPropertyUtilizationMonotone checks that utilization is monotone
+// non-increasing in the horizon: lengthening the observation window can
+// only dilute a fixed amount of busy time.
+func TestPropertyUtilizationMonotone(t *testing.T) {
+	for seed := int64(100); seed < 120; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		s, _ := randomWorkload(t, rng, 1+rng.Intn(3))
+		h := s.Horizon()
+		if h <= 0 {
+			t.Fatalf("seed %d: empty horizon", seed)
+		}
+		prev := s.Utilization(h)
+		if prev <= 0 || prev > 1 {
+			t.Fatalf("seed %d: utilization at horizon %v out of (0,1]", seed, prev)
+		}
+		for mult := 2; mult <= 16; mult *= 2 {
+			u := s.Utilization(h * time.Duration(mult))
+			if u > prev {
+				t.Fatalf("seed %d: utilization grew from %v to %v as horizon grew", seed, prev, u)
+			}
+			prev = u
+		}
+	}
+}
+
+// TestPropertyWaitAccounting checks the queueing-delay counters against
+// the trace events: TotalWait is the sum of per-event waits and MaxWait
+// their maximum.
+func TestPropertyWaitAccounting(t *testing.T) {
+	for seed := int64(200); seed < 220; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		s, events := randomWorkload(t, rng, 1+rng.Intn(3))
+		var total, max time.Duration
+		for _, ev := range events {
+			w := ev.Start - ev.Ready
+			if w < 0 {
+				t.Fatalf("seed %d: negative wait %v", seed, w)
+			}
+			total += w
+			if w > max {
+				max = w
+			}
+		}
+		if total != s.TotalWait() {
+			t.Fatalf("seed %d: summed event wait %v != TotalWait %v", seed, total, s.TotalWait())
+		}
+		if max != s.MaxWait() {
+			t.Fatalf("seed %d: max event wait %v != MaxWait %v", seed, max, s.MaxWait())
+		}
+	}
+}
+
+// TestPropertyParallelServersIndependent runs independent servers on
+// separate goroutines (one server per goroutine — a Server itself is
+// single-threaded by design) so `go test -race` can verify that
+// concurrent use of distinct servers shares no hidden state.
+func TestPropertyParallelServersIndependent(t *testing.T) {
+	const workers = 8
+	var wg sync.WaitGroup
+	results := make([]time.Duration, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(300 + w)))
+			s, events := randomWorkload(t, rng, 1+w%3)
+			var busy time.Duration
+			for _, ev := range events {
+				busy += ev.Busy
+			}
+			if busy != s.BusyTime() {
+				t.Errorf("worker %d: event busy %v != BusyTime %v", w, busy, s.BusyTime())
+			}
+			results[w] = s.BusyTime()
+		}(w)
+	}
+	wg.Wait()
+	for w, r := range results {
+		if r <= 0 {
+			t.Errorf("worker %d recorded no busy time", w)
+		}
+	}
+}

@@ -25,17 +25,33 @@ type Server struct {
 	rate    Rate
 	lanes   []lane
 	busy    time.Duration // total busy time accumulated (all lanes)
+	wait    time.Duration // total queueing delay accumulated
 	served  int64         // total units processed
 	ops     int64         // number of Serve calls
 	maxWait time.Duration // worst queueing delay observed
 	tracer  TraceFunc
 }
 
-// TraceFunc receives one record per served request: the resource name,
-// the lane it ran on, when it became ready, when it completed, and its
-// size in bytes or cycles. Wire one with SetTracer to export run
-// timelines (e.g. queryrun -trace).
-type TraceFunc func(server string, lane int, ready, done time.Duration, units int64)
+// TraceEvent is one served request's record, delivered to the server's
+// TraceFunc. Start-Ready is the queueing delay; Busy is the service
+// time the request occupied (setup plus payload), which is less than
+// Done-Start when the request was fragmented around earlier
+// reservations on the lane's calendar.
+type TraceEvent struct {
+	Server string
+	Lane   int
+	Ready  time.Duration // when the request became available
+	Start  time.Duration // when service began
+	Done   time.Duration // when service completed
+	Busy   time.Duration // service time occupied within [Start, Done)
+	Units  int64         // bytes or cycles
+}
+
+// TraceFunc receives one TraceEvent per served request. Wire one with
+// SetTracer to export run timelines (e.g. queryrun -trace); a nil
+// tracer (the default) costs a single pointer check per request and
+// allocates nothing.
+type TraceFunc func(ev TraceEvent)
 
 // interval is one busy window [start, end) on a lane's calendar.
 type interval struct {
@@ -184,14 +200,21 @@ func (s *Server) ServeWithSetup(ready time.Duration, setup time.Duration, n int6
 		}
 	}
 	start, done := s.lanes[best].place(ready, d)
-	if wait := start - ready; wait > s.maxWait {
-		s.maxWait = wait
+	if wait := start - ready; wait > 0 {
+		if wait > s.maxWait {
+			s.maxWait = wait
+		}
+		s.wait += wait
 	}
 	s.busy += d
 	s.served += n
 	s.ops++
 	if s.tracer != nil {
-		s.tracer(s.name, best, ready, done, n)
+		s.tracer(TraceEvent{
+			Server: s.name, Lane: best,
+			Ready: ready, Start: start, Done: done,
+			Busy: d, Units: n,
+		})
 	}
 	return done
 }
@@ -223,6 +246,27 @@ func (s *Server) Ops() int64 { return s.ops }
 // MaxWait reports the worst queueing delay any request experienced.
 func (s *Server) MaxWait() time.Duration { return s.maxWait }
 
+// TotalWait reports the summed queueing delay across all requests. By
+// Little's law, TotalWait over an observation window is the average
+// number of requests waiting on this server during that window.
+func (s *Server) TotalWait() time.Duration { return s.wait }
+
+// FirstBusy reports the earliest moment any lane of this server was
+// busy — when the pipeline hand-off first reached the resource. The
+// second result is false when the server has served nothing.
+func (s *Server) FirstBusy() (time.Duration, bool) {
+	first, ok := time.Duration(0), false
+	for i := range s.lanes {
+		if len(s.lanes[i].ivs) == 0 {
+			continue
+		}
+		if st := s.lanes[i].ivs[0].start; !ok || st < first {
+			first, ok = st, true
+		}
+	}
+	return first, ok
+}
+
 // Utilization reports busy time as a fraction of the span [0, end].
 // It reports 0 for a non-positive span.
 func (s *Server) Utilization(end time.Duration) float64 {
@@ -238,7 +282,7 @@ func (s *Server) Reset() {
 	for i := range s.lanes {
 		s.lanes[i].ivs = s.lanes[i].ivs[:0]
 	}
-	s.busy, s.served, s.ops, s.maxWait = 0, 0, 0, 0
+	s.busy, s.served, s.ops, s.maxWait, s.wait = 0, 0, 0, 0, 0
 }
 
 // String summarizes the server state for diagnostics.

@@ -31,8 +31,10 @@ import (
 	"smartssd/internal/fault"
 	"smartssd/internal/ftl"
 	"smartssd/internal/hostif"
+	"smartssd/internal/metrics"
 	"smartssd/internal/nand"
 	"smartssd/internal/sim"
+	"smartssd/internal/trace"
 )
 
 // Params configures a simulated device. Zero fields take the defaults
@@ -152,6 +154,9 @@ type Device struct {
 	linkBytesOut   int64 // device -> host
 	linkBytesIn    int64 // host -> device
 	dcpuCycles     int64
+
+	linkMeter hostif.Meter    // per-command host-link accounting
+	rec       *trace.Recorder // nil unless SetRecorder installed one
 }
 
 // New builds a device. A zero Params gives the paper's prototype.
@@ -181,6 +186,7 @@ func New(params Params) (*Device, error) {
 		link:   sim.NewServer("host-link", params.Host.EffectiveRate),
 		dcpu:   sim.NewMultiServer("device-cpu", params.DeviceCPUHz, params.DeviceCPUCores),
 	}
+	d.linkMeter.Iface = params.Host
 	d.channels = make([]*sim.Server, params.Geometry.Channels)
 	for i := range d.channels {
 		d.channels[i] = sim.NewServer(fmt.Sprintf("flash-ch%d", i), params.Timing.ChannelRate)
@@ -246,6 +252,9 @@ func (d *Device) FetchPage(lba int64, ready time.Duration) ([]byte, time.Duratio
 	ch := d.params.Geometry.Decompose(ppa).Channel
 	pageBytes := int64(d.params.Geometry.PageSize)
 	sense := time.Duration(1+retries) * d.params.Timing.ReadLatency
+	if d.rec != nil && sense > 0 {
+		d.rec.Span(fmt.Sprintf("nand-ch%d", ch), "SENSE", ready+spike, ready+spike+sense)
+	}
 	chDone := d.channels[ch].Serve(ready+sense+spike, pageBytes)
 	stall := time.Duration(d.inj.DMAStall())
 	dmaDone := d.dma.Serve(chDone+stall, pageBytes)
@@ -263,6 +272,7 @@ func (d *Device) ShipToHost(n int64, ready time.Duration) time.Duration {
 	done := d.link.ServeWithSetup(ready+d.params.Host.CommandOverhead,
 		d.params.Host.TurnaroundBusy, n)
 	d.linkBytesOut += n
+	d.linkMeter.Record(n)
 	return done
 }
 
@@ -349,6 +359,7 @@ func (d *Device) WritePage(lba int64, data []byte, ready time.Duration) (time.Du
 	inDev := d.dma.Serve(d.link.ServeWithSetup(ready+d.params.Host.CommandOverhead,
 		d.params.Host.TurnaroundBusy, pageBytes), pageBytes)
 	d.linkBytesIn += pageBytes
+	d.linkMeter.Record(pageBytes)
 
 	before := d.ftl.Stats()
 	if err := d.ftl.Write(ftl.LBA(lba), data); err != nil {
@@ -482,6 +493,29 @@ func (d *Device) Bottleneck() string {
 	return best.name
 }
 
+// LinkMeter reports per-command host-link accounting since the last
+// ResetTiming: commands issued, payload moved, and how much link busy
+// time went to protocol turnaround rather than data.
+func (d *Device) LinkMeter() hostif.Meter { return d.linkMeter }
+
+// ResourceGroups reports the device's rate servers as metrics groups:
+// the flash channels aggregated into one logical resource, plus the
+// DMA bus, host link, and device CPU.
+func (d *Device) ResourceGroups() []metrics.Group {
+	return []metrics.Group{
+		{Name: "flash-channels", Unit: "bytes", Servers: d.channels},
+		metrics.GroupOf("dma-bus", "bytes", d.dma),
+		metrics.GroupOf("host-link", "bytes", d.link),
+		metrics.GroupOf("device-cpu", "cycles", d.dcpu),
+	}
+}
+
+// Report snapshots per-resource utilization since the last ResetTiming,
+// normalized over the elapsed window.
+func (d *Device) Report(elapsed time.Duration) metrics.Report {
+	return metrics.Snapshot(elapsed, d.ResourceGroups()...)
+}
+
 // SetTracer installs a per-request trace hook on every resource of the
 // device (flash channels, DMA bus, host link, device CPU); nil removes
 // it. Traces survive ResetTiming.
@@ -492,6 +526,19 @@ func (d *Device) SetTracer(fn sim.TraceFunc) {
 	for _, ch := range d.channels {
 		ch.SetTracer(fn)
 	}
+}
+
+// SetRecorder attaches an event recorder: every served request on every
+// device resource is recorded, and FetchPage additionally records NAND
+// sense spans. A nil recorder removes all hooks; with none attached the
+// timing paths are allocation-free.
+func (d *Device) SetRecorder(rec *trace.Recorder) {
+	d.rec = rec
+	if rec == nil {
+		d.SetTracer(nil)
+		return
+	}
+	d.SetTracer(rec.Hook())
 }
 
 // ResetTiming clears the clock, all servers, and traffic counters while
@@ -509,6 +556,7 @@ func (d *Device) ResetTiming() {
 	d.linkBytesOut = 0
 	d.linkBytesIn = 0
 	d.dcpuCycles = 0
+	d.linkMeter.Reset()
 }
 
 // Describe renders the device architecture (Figure 2) as text.

@@ -1,0 +1,101 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// chromeEvent is one entry of the Chrome trace_event JSON array format
+// (the "JSON Array Format" every trace viewer accepts). Timestamps and
+// durations are microseconds.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	// Dur is always emitted: a complete ("X") event without dur renders
+	// inconsistently across viewers, and instantaneous protocol spans
+	// (OPEN/CLOSE) legitimately have dur 0.
+	Dur float64 `json:"dur"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+const chromePid = 1 // one simulated system per trace
+
+func us(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+
+// WriteChromeTrace renders events as a Chrome trace_event JSON array.
+// Each resource/lane pair becomes one named thread row; served requests
+// and protocol spans are complete ("X") events carrying their size,
+// service time, and queueing delay as args. Open the output in
+// chrome://tracing or https://ui.perfetto.dev.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	type row struct {
+		resource string
+		lane     int
+	}
+	// Stable thread ids: resources in first-seen order, lanes ascending.
+	tids := make(map[row]int)
+	var rows []row
+	for _, ev := range events {
+		r := row{ev.Resource, ev.Lane}
+		if _, ok := tids[r]; !ok {
+			tids[r] = 0
+			rows = append(rows, r)
+		}
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		if rows[i].resource != rows[j].resource {
+			return rows[i].resource < rows[j].resource
+		}
+		return rows[i].lane < rows[j].lane
+	})
+	out := make([]chromeEvent, 0, len(events)+len(rows))
+	for tid, r := range rows {
+		tids[r] = tid
+		name := r.resource
+		if r.lane > 0 {
+			name = fmt.Sprintf("%s/%d", r.resource, r.lane)
+		}
+		out = append(out, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: chromePid, Tid: tid,
+			Args: map[string]any{"name": name},
+		})
+	}
+	sorted := make([]Event, len(events))
+	copy(sorted, events)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Start < sorted[j].Start })
+	for _, ev := range sorted {
+		name := fmt.Sprintf("%d units", ev.Units)
+		cat := "resource"
+		args := map[string]any{
+			"units":   ev.Units,
+			"busy_us": us(ev.Busy),
+			"wait_us": us(ev.Wait()),
+		}
+		if ev.Phase != "" {
+			name, cat = ev.Phase, "protocol"
+			args = nil
+		}
+		out = append(out, chromeEvent{
+			Name: name, Cat: cat, Ph: "X",
+			Ts:  us(ev.Start),
+			Dur: us(ev.Done - ev.Start),
+			Pid: chromePid, Tid: tids[row{ev.Resource, ev.Lane}],
+			Args: args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// WriteChromeTrace writes everything r recorded; see the package-level
+// WriteChromeTrace.
+func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	return WriteChromeTrace(w, r.events)
+}

@@ -1,0 +1,94 @@
+// Package trace is the simulator's event recorder: it collects one
+// event per served request from the rate servers in package sim, plus
+// protocol-phase spans (OPEN/GET/CLOSE) from the Smart SSD runtime,
+// and exports the whole run as a Chrome trace_event JSON file that
+// chrome://tracing and Perfetto open directly.
+//
+// Recording is strictly opt-in. Nothing in the simulator references a
+// Recorder unless one is installed, and the per-request hook in
+// sim.Server is a nil-guarded function pointer — with no recorder the
+// timing paths allocate nothing and run byte-identical to an
+// uninstrumented build. A Recorder only observes completed scheduling
+// decisions; it never charges time, so enabling it cannot perturb
+// virtual time either.
+package trace
+
+import (
+	"time"
+
+	"smartssd/internal/sim"
+)
+
+// Event is one recorded occurrence on the simulated timeline: either a
+// served request on a resource (Phase empty) or a protocol-phase span
+// (Phase "OPEN", "GET", or "CLOSE").
+type Event struct {
+	// Resource names the server or protocol actor the event ran on.
+	Resource string
+	// Lane is the server lane for request events; 0 for spans.
+	Lane int
+	// Phase labels protocol spans; empty for request events.
+	Phase string
+	// Ready is when the request became available (equals Start for
+	// spans).
+	Ready time.Duration
+	// Start and Done bound the event on the virtual timeline.
+	Start time.Duration
+	Done  time.Duration
+	// Busy is the service time the request occupied within
+	// [Start, Done); for spans it equals Done-Start.
+	Busy time.Duration
+	// Units is the request size in bytes or cycles; 0 for spans.
+	Units int64
+}
+
+// Wait reports the event's queueing delay.
+func (e Event) Wait() time.Duration { return e.Start - e.Ready }
+
+// Recorder accumulates events for one or more runs. Like the simulator
+// it observes, a Recorder is not safe for concurrent use.
+type Recorder struct {
+	events []Event
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Hook returns the sim.TraceFunc that records served requests into r.
+// Install it with SetTracer on a server, device, or engine.
+func (r *Recorder) Hook() sim.TraceFunc {
+	return func(ev sim.TraceEvent) {
+		r.events = append(r.events, Event{
+			Resource: ev.Server,
+			Lane:     ev.Lane,
+			Ready:    ev.Ready,
+			Start:    ev.Start,
+			Done:     ev.Done,
+			Busy:     ev.Busy,
+			Units:    ev.Units,
+		})
+	}
+}
+
+// Span records a protocol-phase interval [start, end) on the named
+// resource, e.g. a GET's result-chunk delivery window.
+func (r *Recorder) Span(resource, phase string, start, end time.Duration) {
+	r.events = append(r.events, Event{
+		Resource: resource,
+		Phase:    phase,
+		Ready:    start,
+		Start:    start,
+		Done:     end,
+		Busy:     end - start,
+	})
+}
+
+// Events reports everything recorded so far, in recording order. The
+// slice aliases the recorder's storage.
+func (r *Recorder) Events() []Event { return r.events }
+
+// Len reports the number of recorded events.
+func (r *Recorder) Len() int { return len(r.events) }
+
+// Reset discards all recorded events.
+func (r *Recorder) Reset() { r.events = r.events[:0] }

@@ -1,0 +1,111 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"smartssd/internal/sim"
+)
+
+func TestRecorderCapturesServedRequests(t *testing.T) {
+	s := sim.NewServer("link", sim.MBps(100))
+	rec := NewRecorder()
+	s.SetTracer(rec.Hook())
+
+	s.Serve(0, 100*sim.MB)                   // 1s of service from t=0
+	s.Serve(500*time.Millisecond, 50*sim.MB) // queues behind the first
+
+	evs := rec.Events()
+	if len(evs) != 2 {
+		t.Fatalf("recorded %d events, want 2", len(evs))
+	}
+	first, second := evs[0], evs[1]
+	if first.Resource != "link" || first.Units != 100*sim.MB {
+		t.Errorf("first event = %+v", first)
+	}
+	if first.Wait() != 0 {
+		t.Errorf("first event waited %v, want 0", first.Wait())
+	}
+	if second.Start != 1*time.Second {
+		t.Errorf("second event started at %v, want 1s (queued behind first)", second.Start)
+	}
+	if second.Wait() != 500*time.Millisecond {
+		t.Errorf("second event waited %v, want 500ms", second.Wait())
+	}
+	var busy time.Duration
+	for _, ev := range evs {
+		busy += ev.Busy
+	}
+	if busy != s.BusyTime() {
+		t.Errorf("sum of event busy = %v, server BusyTime = %v", busy, s.BusyTime())
+	}
+}
+
+func TestRecorderSpanAndReset(t *testing.T) {
+	rec := NewRecorder()
+	rec.Span("session-1", "GET", 10*time.Millisecond, 30*time.Millisecond)
+	if rec.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", rec.Len())
+	}
+	ev := rec.Events()[0]
+	if ev.Phase != "GET" || ev.Busy != 20*time.Millisecond || ev.Wait() != 0 {
+		t.Errorf("span event = %+v", ev)
+	}
+	rec.Reset()
+	if rec.Len() != 0 {
+		t.Errorf("Len after Reset = %d, want 0", rec.Len())
+	}
+}
+
+func TestWriteChromeTraceIsValidJSON(t *testing.T) {
+	s := sim.NewMultiServer("cpu", sim.MHz(400), 2)
+	rec := NewRecorder()
+	s.SetTracer(rec.Hook())
+	s.Serve(0, 400_000)
+	s.Serve(0, 400_000)
+	s.Serve(0, 400_000) // third request queues on a busy lane
+	rec.Span("session-1", "OPEN", 0, 0)
+	rec.Span("session-1", "GET", 0, 2*time.Millisecond)
+
+	var buf bytes.Buffer
+	if err := rec.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	var out []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("output is not a JSON array: %v\n%s", err, buf.String())
+	}
+	// 3 thread rows (cpu/0, cpu/1, session-1) + 5 events.
+	meta, complete := 0, 0
+	for _, ev := range out {
+		switch ev["ph"] {
+		case "M":
+			meta++
+			if ev["name"] != "thread_name" {
+				t.Errorf("metadata event name = %v", ev["name"])
+			}
+		case "X":
+			complete++
+			if _, ok := ev["ts"].(float64); !ok {
+				t.Errorf("complete event missing numeric ts: %v", ev)
+			}
+		default:
+			t.Errorf("unexpected phase %v", ev["ph"])
+		}
+	}
+	if meta != 3 || complete != 5 {
+		t.Errorf("got %d metadata + %d complete events, want 3 + 5", meta, complete)
+	}
+}
+
+func TestNilTracerRecordsNothing(t *testing.T) {
+	s := sim.NewServer("dma", sim.MBps(1560))
+	s.Serve(0, 1<<20)
+	s.SetTracer(nil) // explicit nil stays safe
+	s.Serve(0, 1<<20)
+	if s.Ops() != 2 {
+		t.Fatalf("server served %d ops, want 2", s.Ops())
+	}
+}

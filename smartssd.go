@@ -44,11 +44,14 @@ import (
 	"smartssd/internal/fault"
 	"smartssd/internal/hdd"
 	"smartssd/internal/hostif"
+	"smartssd/internal/metrics"
 	"smartssd/internal/nand"
 	"smartssd/internal/page"
 	"smartssd/internal/plan"
 	"smartssd/internal/schema"
+	"smartssd/internal/sim"
 	"smartssd/internal/ssd"
+	"smartssd/internal/trace"
 )
 
 // System is the integrated engine: devices, host executor, buffer
@@ -294,6 +297,36 @@ var (
 	// ECC and read-retry.
 	ErrUncorrectable = nand.ErrUncorrectable
 )
+
+// Tracing and metrics re-exports. Attach a TraceRecorder with
+// System.SetRecorder to capture a run's full event timeline and export
+// it as a Chrome trace_event file (chrome://tracing, Perfetto); read
+// Result.Resources for the always-on per-resource utilization report.
+// Both are strictly observational: with no recorder attached the
+// simulator allocates nothing extra, and enabling one never perturbs
+// virtual time.
+type (
+	// TraceEvent is one served request's record, delivered to a
+	// per-request hook installed with System.SetTracer.
+	TraceEvent = sim.TraceEvent
+	// TraceRecord is one recorded event: a served request or an
+	// OPEN/GET/CLOSE protocol span.
+	TraceRecord = trace.Event
+	// TraceRecorder accumulates TraceRecords across runs and writes
+	// Chrome trace_event JSON.
+	TraceRecorder = trace.Recorder
+	// ResourceReport is a run's per-resource utilization summary
+	// (Result.Resources).
+	ResourceReport = metrics.Report
+	// ResourceStat is one resource row of a ResourceReport.
+	ResourceStat = metrics.Resource
+	// PhaseStat is one protocol phase's latency aggregate.
+	PhaseStat = metrics.Phase
+)
+
+// NewTraceRecorder returns an empty event recorder for
+// System.SetRecorder.
+func NewTraceRecorder() *TraceRecorder { return trace.NewRecorder() }
 
 // SetClause assigns one column in an Update.
 type SetClause = core.SetClause
