@@ -1,0 +1,87 @@
+// Simlint statically enforces the simulator's determinism and
+// fault-handling contracts. It runs five analyzers over the module —
+// walltime, seededrand, maporder, sentinelcmp, tracehook — and exits
+// non-zero if any diagnostic survives suppression, which is how CI
+// keeps the golden artifact tests (fig3/5/7, table2/3) honest.
+//
+// Usage:
+//
+//	simlint [-list] [-only walltime,maporder] [packages]
+//
+// With no packages it checks ./... . Individual findings are
+// suppressed in source with a directive on (or directly above) the
+// offending line:
+//
+//	start := time.Now() //lint:allow walltime — user-facing wall time
+//
+// See DESIGN.md, "Determinism contract", for what each analyzer
+// enforces and why.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"smartssd/internal/analysis"
+	"smartssd/internal/analysis/framework"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	flag.Parse()
+
+	suite := analysis.All()
+	if *list {
+		for _, a := range suite {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *only != "" {
+		want := make(map[string]bool)
+		for _, name := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(name)] = true
+		}
+		var filtered []*framework.Analyzer
+		for _, a := range suite {
+			if want[a.Name] {
+				filtered = append(filtered, a)
+				delete(want, a.Name)
+			}
+		}
+		if len(want) > 0 {
+			unknown := make([]string, 0, len(want))
+			for name := range want {
+				unknown = append(unknown, name)
+			}
+			sort.Strings(unknown)
+			for _, name := range unknown {
+				fmt.Fprintf(os.Stderr, "simlint: unknown analyzer %q (see -list)\n", name)
+			}
+			os.Exit(2)
+		}
+		suite = filtered
+	}
+
+	pkgs, err := framework.Load(".", flag.Args()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simlint:", err)
+		os.Exit(2)
+	}
+	findings, err := framework.RunAnalyzers(pkgs, suite)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simlint:", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "simlint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,69 @@
+package smartssd_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"smartssd"
+	"smartssd/workload"
+)
+
+// runQ6Device builds a fresh system, loads LINEITEM at a small scale
+// factor with the given data seed, and runs Q6 forced onto the device.
+func runQ6Device(t *testing.T, seed int64) *smartssd.Result {
+	t.Helper()
+	sys, err := smartssd.New(smartssd.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	li := workload.LineitemSchema()
+	const sf = 0.005
+	pages := workload.NumLineitem(sf)/51 + 2
+	if _, err := sys.CreateTable("lineitem", li, smartssd.PAX, pages, smartssd.OnSSD); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Load("lineitem", workload.LineitemGen(sf, seed)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run(smartssd.QuerySpec{
+		Table:          "lineitem",
+		Filter:         workload.Q6Predicate(),
+		Aggs:           workload.Q6Aggregates(),
+		EstSelectivity: workload.Q6EstSelectivity,
+	}, smartssd.ForceDevice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestQ6DeviceRunDeterminism is the dynamic half of the determinism
+// contract that cmd/simlint enforces statically: two in-process Q6
+// device runs from the same seed must serialize to byte-identical
+// Results — rows, timing, energy, resource report, everything. A
+// maporder-class regression (map iteration feeding a report) shows up
+// here as a diff even if it slips past the analyzers.
+func TestQ6DeviceRunDeterminism(t *testing.T) {
+	const seed = 1
+	first := runQ6Device(t, seed)
+	second := runQ6Device(t, seed)
+
+	a, err := json.Marshal(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("two Q6 device runs with seed %d differ:\nrun 1: %s\nrun 2: %s", seed, a, b)
+	}
+	if first.Placement != smartssd.RanDevice {
+		t.Fatalf("run placed on %v, want device", first.Placement)
+	}
+	if len(first.Rows) != 1 || first.Rows[0][0].Int <= 0 {
+		t.Fatalf("Q6 result = %v, want one positive revenue row", first.Rows)
+	}
+}

@@ -1,0 +1,17 @@
+package analysis
+
+import "smartssd/internal/analysis/framework"
+
+// All returns the full simlint suite in stable order. These five
+// checks are the machine-enforced half of the determinism contract in
+// DESIGN.md; the determinism smoke test (TestQ6DeviceRunDeterminism)
+// is the dynamic half.
+func All() []*framework.Analyzer {
+	return []*framework.Analyzer{
+		Walltime,
+		Seededrand,
+		Maporder,
+		Sentinelcmp,
+		Tracehook,
+	}
+}

@@ -1,0 +1,100 @@
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"regexp"
+	"strconv"
+)
+
+// want annotations follow the x/tools analysistest convention:
+//
+//	s.tracer(ev) // want `call .* must be nil-guarded`
+//	time.Now()   // want "walltime" `forbidden`
+//
+// Each quoted or backquoted string is a regexp that one finding on
+// that line must match.
+var wantRE = regexp.MustCompile("// want((?:\\s+(?:\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`))+)")
+var wantArgRE = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+// expectation is one // want entry: a line number plus a regexp.
+type expectation struct {
+	line int
+	re   *regexp.Regexp
+}
+
+// CheckFixture type-checks the fixture package in dir, runs the
+// analyzer over it (with //lint:allow suppression applied), and
+// compares the findings against the fixture's // want annotations.
+// It returns a list of mismatch descriptions; an empty list means the
+// fixture passed.
+func CheckFixture(a *Analyzer, dir string) ([]string, error) {
+	pkg, err := LoadDir(dir, nil)
+	if err != nil {
+		return nil, err
+	}
+	findings, err := RunAnalyzers([]*Package{pkg}, []*Analyzer{a})
+	if err != nil {
+		return nil, err
+	}
+
+	var expects []expectation
+	for _, f := range pkg.Files {
+		exps, err := fileExpectations(pkg, f)
+		if err != nil {
+			return nil, err
+		}
+		expects = append(expects, exps...)
+	}
+
+	var problems []string
+	matched := make([]bool, len(expects))
+finding:
+	for _, f := range findings {
+		for i, e := range expects {
+			if !matched[i] && e.line == f.Pos.Line && e.re.MatchString(f.Message) {
+				matched[i] = true
+				continue finding
+			}
+		}
+		problems = append(problems, fmt.Sprintf("unexpected finding at %s: %s", f.Pos, f.Message))
+	}
+	for i, e := range expects {
+		if !matched[i] {
+			problems = append(problems,
+				fmt.Sprintf("missing finding at %s:%d matching %q", dir, e.line, e.re.String()))
+		}
+	}
+	return problems, nil
+}
+
+func fileExpectations(pkg *Package, f *ast.File) ([]expectation, error) {
+	var expects []expectation
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			m := wantRE.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			line := pkg.Fset.Position(c.Pos()).Line
+			for _, arg := range wantArgRE.FindAllString(m[1], -1) {
+				var pat string
+				if arg[0] == '`' {
+					pat = arg[1 : len(arg)-1]
+				} else {
+					unq, err := strconv.Unquote(arg)
+					if err != nil {
+						return nil, fmt.Errorf("%s: bad want pattern %s: %w", pkg.Fset.Position(c.Pos()), arg, err)
+					}
+					pat = unq
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					return nil, fmt.Errorf("%s: bad want regexp %q: %w", pkg.Fset.Position(c.Pos()), pat, err)
+				}
+				expects = append(expects, expectation{line: line, re: re})
+			}
+		}
+	}
+	return expects, nil
+}

@@ -1,0 +1,192 @@
+// Package framework is a minimal, dependency-free analogue of
+// golang.org/x/tools/go/analysis: enough scaffolding to write typed
+// AST analyzers, run them over the module's packages, and suppress
+// individual findings with //lint:allow directives.
+//
+// It exists because this repository vendors nothing: the simulator's
+// determinism contract (see DESIGN.md, "Determinism contract") is
+// enforced by cmd/simlint, which must build with the standard library
+// alone. The API deliberately mirrors go/analysis — Analyzer, Pass,
+// Diagnostic — so the suite can migrate to the real framework
+// mechanically if x/tools ever becomes a dependency.
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lint:allow directives. It must be a lower-case identifier.
+	Name string
+
+	// Doc is a one-paragraph description of what the analyzer
+	// enforces and why.
+	Doc string
+
+	// Run applies the analyzer to one package, reporting findings
+	// through pass.Report.
+	Run func(pass *Pass) error
+}
+
+// A Pass provides one analyzer run with a single type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags   []Diagnostic
+	parents map[ast.Node]ast.Node
+}
+
+// A Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Parent reports the syntactic parent of n within the pass's files, or
+// nil for a root or unknown node. The parent map is built lazily on
+// first use and covers every node in every file of the package.
+func (p *Pass) Parent(n ast.Node) ast.Node {
+	if p.parents == nil {
+		p.parents = make(map[ast.Node]ast.Node)
+		for _, f := range p.Files {
+			buildParents(p.parents, f)
+		}
+	}
+	return p.parents[n]
+}
+
+func buildParents(m map[ast.Node]ast.Node, root ast.Node) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		if len(stack) > 0 {
+			m[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// A Finding is one suppression-filtered diagnostic with its position
+// resolved, ready for printing or test comparison.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: [%s] %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// allowDirective matches suppression comments:
+//
+//	//lint:allow walltime
+//	//lint:allow walltime,seededrand — user-facing wall time
+//
+// A directive suppresses the named analyzers' findings on its own line
+// and, when it stands alone on a line, on the following line.
+var allowDirective = regexp.MustCompile(`^//lint:allow\s+([a-z0-9_,]+)`)
+
+// allowedLines scans a file's comments and reports, per analyzer name,
+// the set of line numbers whose findings are suppressed.
+func allowedLines(fset *token.FileSet, file *ast.File) map[string]map[int]bool {
+	allowed := make(map[string]map[int]bool)
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			m := allowDirective.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			line := fset.Position(c.Pos()).Line
+			for _, name := range strings.Split(m[1], ",") {
+				name = strings.TrimSpace(name)
+				if name == "" {
+					continue
+				}
+				if allowed[name] == nil {
+					allowed[name] = make(map[int]bool)
+				}
+				// Same line (trailing comment) and next line
+				// (standalone comment above the statement).
+				allowed[name][line] = true
+				allowed[name][line+1] = true
+			}
+		}
+	}
+	return allowed
+}
+
+// RunAnalyzers applies each analyzer to each package, applies
+// //lint:allow suppression, and returns the surviving findings sorted
+// by file position. A nil error with a non-empty slice means the tree
+// violates the contract; an analyzer returning an error aborts the run.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		// Suppression map per file, shared by all analyzers.
+		allowed := make(map[*ast.File]map[string]map[int]bool, len(pkg.Files))
+		for _, f := range pkg.Files {
+			allowed[f] = allowedLines(pkg.Fset, f)
+		}
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.ImportPath, err)
+			}
+		diags:
+			for _, d := range pass.diags {
+				pos := pkg.Fset.Position(d.Pos)
+				for _, f := range pkg.Files {
+					if f.FileStart <= d.Pos && d.Pos < f.FileEnd {
+						if allowed[f][a.Name][pos.Line] {
+							continue diags
+						}
+						break
+					}
+				}
+				findings = append(findings, Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}

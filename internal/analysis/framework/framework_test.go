@@ -1,0 +1,184 @@
+package framework_test
+
+import (
+	"go/ast"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"smartssd/internal/analysis/framework"
+)
+
+// writeFixture materializes a one-package fixture in a temp dir.
+func writeFixture(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// callNamed flags every call of a function with the given name — a
+// minimal analyzer for exercising the framework itself.
+func callNamed(name string) *framework.Analyzer {
+	return &framework.Analyzer{
+		Name: "callnamed",
+		Doc:  "flag calls of " + name,
+		Run: func(pass *framework.Pass) error {
+			for _, f := range pass.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == name {
+						pass.Reportf(call.Pos(), "call of %s", name)
+					}
+					return true
+				})
+			}
+			return nil
+		},
+	}
+}
+
+func TestLoadDirTypeChecks(t *testing.T) {
+	dir := writeFixture(t, map[string]string{
+		"a.go": "package a\n\nimport \"fmt\"\n\nfunc Greet() string { return fmt.Sprintf(\"hi %d\", 42) }\n",
+		"b.go": "package a\n\nvar Uses = Greet()\n",
+	})
+	pkg, err := framework.LoadDir(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkg.Files) != 2 {
+		t.Fatalf("got %d files, want 2", len(pkg.Files))
+	}
+	if pkg.Types.Scope().Lookup("Greet") == nil {
+		t.Error("type info missing package-level Greet")
+	}
+}
+
+func TestLoadDirReportsTypeErrors(t *testing.T) {
+	dir := writeFixture(t, map[string]string{
+		"a.go": "package a\n\nfunc f() int { return \"not an int\" }\n",
+	})
+	if _, err := framework.LoadDir(dir, nil); err == nil {
+		t.Fatal("want type error, got nil")
+	}
+}
+
+func TestDirectiveSuppression(t *testing.T) {
+	dir := writeFixture(t, map[string]string{
+		"a.go": `package a
+
+func target() {}
+
+func f() {
+	target()
+	target() //lint:allow callnamed — same-line directive
+	//lint:allow callnamed — next-line directive
+	target()
+	target() //lint:allow othername
+}
+`,
+	})
+	pkg, err := framework.LoadDir(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := framework.RunAnalyzers([]*framework.Package{pkg}, []*framework.Analyzer{callNamed("target")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lines 6 and 10 survive: 7 is allowed inline, 9 by the directive
+	// above it, and the line-10 directive names a different analyzer.
+	if len(findings) != 2 {
+		t.Fatalf("got %d findings %v, want 2", len(findings), findings)
+	}
+	if findings[0].Pos.Line != 6 || findings[1].Pos.Line != 10 {
+		t.Errorf("findings at lines %d,%d; want 6,10", findings[0].Pos.Line, findings[1].Pos.Line)
+	}
+	if !strings.Contains(findings[0].String(), "[callnamed]") {
+		t.Errorf("finding string %q missing analyzer tag", findings[0].String())
+	}
+}
+
+func TestCheckFixtureWantMatching(t *testing.T) {
+	dir := writeFixture(t, map[string]string{
+		"a.go": `package a
+
+func target() {}
+
+func f() {
+	target() // want "call of target"
+}
+`,
+	})
+	problems, err := framework.CheckFixture(callNamed("target"), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 0 {
+		t.Fatalf("want clean fixture, got %v", problems)
+	}
+}
+
+func TestCheckFixtureDetectsMismatches(t *testing.T) {
+	dir := writeFixture(t, map[string]string{
+		"a.go": `package a
+
+func target() {}
+
+func f() {
+	target()
+}
+
+func g() { // want "call of target"
+}
+`,
+	})
+	problems, err := framework.CheckFixture(callNamed("target"), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One unexpected finding (line 6) and one missing finding (line 9).
+	if len(problems) != 2 {
+		t.Fatalf("got %d problems %v, want 2", len(problems), problems)
+	}
+	if !strings.Contains(problems[0], "unexpected finding") {
+		t.Errorf("problem[0] = %q, want unexpected-finding report", problems[0])
+	}
+	if !strings.Contains(problems[1], "missing finding") {
+		t.Errorf("problem[1] = %q, want missing-finding report", problems[1])
+	}
+}
+
+func TestLoadModulePackages(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks module packages; skipped in -short")
+	}
+	// Load this very package through the module loader: exercises go
+	// list integration, dependency-ordered type-checking, and stdlib
+	// resolution through the source importer.
+	pkgs, err := framework.Load(filepath.Join("..", "..", ".."), "./internal/analysis/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPath := map[string]bool{}
+	for _, p := range pkgs {
+		byPath[p.ImportPath] = true
+		if p.Types == nil || p.Info == nil || len(p.Files) == 0 {
+			t.Errorf("package %s loaded without types or files", p.ImportPath)
+		}
+	}
+	for _, want := range []string{"smartssd/internal/analysis", "smartssd/internal/analysis/framework"} {
+		if !byPath[want] {
+			t.Errorf("Load missed %s (got %v)", want, byPath)
+		}
+	}
+}

@@ -1,0 +1,264 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"smartssd/internal/analysis/framework"
+)
+
+// Maporder flags ranging over a map when the loop body feeds an
+// order-sensitive sink: appending to a slice that outlives the loop,
+// building a string, writing a field of an enclosing result, or
+// emitting output through fmt / an encoder / a writer. Go randomizes
+// map iteration order per run, so any of these silently breaks the
+// golden artifact tests (fig3/5/7, table2/3) that depend on
+// byte-identical reports.
+//
+// The one sanctioned unsorted pattern is collecting keys and sorting
+// them afterwards; the analyzer recognizes a sort of the collected
+// slice later in the same block and stays quiet. Commutative
+// aggregation (summing counters, set membership) has no
+// order-sensitive sink and is never flagged.
+var Maporder = &framework.Analyzer{
+	Name: "maporder",
+	Doc: "flag map iteration feeding slices, strings, result fields, or " +
+		"output without sorted keys (golden-test flake)",
+	Run: runMaporder,
+}
+
+// orderSinkMethods are method names through which loop-ordered data
+// escapes to output: encoders, writers, and printers.
+var orderSinkMethods = map[string]bool{
+	"Encode": true, "EncodeElement": true,
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Print": true, "Printf": true, "Println": true,
+}
+
+// fmtOutputFuncs are the fmt functions that emit directly (Sprint
+// variants only produce values, which other sinks catch if they
+// escape).
+var fmtOutputFuncs = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+}
+
+func runMaporder(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.Info.Types[rng.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			checkMapRange(pass, rng)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkMapRange(pass *framework.Pass, rng *ast.RangeStmt) {
+	body := rng.Body
+	rangeVars := rangeVarObjects(pass, rng)
+
+	// outside reports whether obj was declared outside the loop body
+	// (and is not one of the loop's own iteration variables).
+	outside := func(obj types.Object) bool {
+		if obj == nil || rangeVars[obj] {
+			return false
+		}
+		return obj.Pos() < body.Pos() || obj.Pos() >= body.End()
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				// outer = append(outer, ...) — unless the slice is
+				// sorted later in the same block.
+				if i < len(n.Rhs) {
+					if call, ok := n.Rhs[i].(*ast.CallExpr); ok && isBuiltinAppend(pass, call) {
+						obj := rootObject(pass, lhs)
+						if outside(obj) && !sortedAfter(pass, rng, obj) {
+							pass.Reportf(n.Pos(),
+								"append to %q inside map iteration is order-dependent; iterate sorted keys or sort the slice afterwards",
+								obj.Name())
+						}
+						continue
+					}
+				}
+				// outer string accumulation or a field write on an
+				// enclosing result that depends on the iteration.
+				switch n.Tok {
+				case token.ADD_ASSIGN:
+					obj := rootObject(pass, lhs)
+					if outside(obj) && isStringy(pass, lhs) {
+						pass.Reportf(n.Pos(),
+							"string built from map iteration is order-dependent; iterate sorted keys instead")
+					}
+				case token.ASSIGN:
+					if sel, ok := lhs.(*ast.SelectorExpr); ok {
+						obj := rootObject(pass, sel.X)
+						if outside(obj) && usesAny(pass, n.Rhs[min(i, len(n.Rhs)-1)], rangeVars) {
+							pass.Reportf(n.Pos(),
+								"field write %s depends on map iteration order; iterate sorted keys instead",
+								exprString(sel))
+						}
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if name, ok := fmtOutputCall(pass, n); ok {
+				pass.Reportf(n.Pos(),
+					"fmt.%s inside map iteration emits in random order; iterate sorted keys instead", name)
+				return true
+			}
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && orderSinkMethods[sel.Sel.Name] {
+				if obj := rootObject(pass, sel.X); outside(obj) {
+					pass.Reportf(n.Pos(),
+						"%s inside map iteration emits in random order; iterate sorted keys instead",
+						exprString(sel))
+				}
+			}
+		}
+		return true
+	})
+}
+
+// rangeVarObjects collects the loop's key/value variable objects.
+func rangeVarObjects(pass *framework.Pass, rng *ast.RangeStmt) map[types.Object]bool {
+	vars := make(map[types.Object]bool, 2)
+	for _, e := range []ast.Expr{rng.Key, rng.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := pass.Info.Defs[id]; obj != nil {
+				vars[obj] = true
+			} else if obj := pass.Info.Uses[id]; obj != nil { // `=` form
+				vars[obj] = true
+			}
+		}
+	}
+	return vars
+}
+
+// sortedAfter reports whether obj is passed to a sort.* / slices.*
+// call in a statement following rng within its enclosing block — the
+// collect-keys-then-sort idiom.
+func sortedAfter(pass *framework.Pass, rng *ast.RangeStmt, obj types.Object) bool {
+	block, ok := pass.Parent(rng).(*ast.BlockStmt)
+	if !ok {
+		return false
+	}
+	after := false
+	for _, stmt := range block.List {
+		if stmt == ast.Stmt(rng) {
+			after = true
+			continue
+		}
+		if !after {
+			continue
+		}
+		found := false
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+				return true
+			}
+			for _, arg := range call.Args {
+				if rootObject(pass, arg) == obj {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+func isBuiltinAppend(pass *framework.Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.Info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+func fmtOutputCall(pass *framework.Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" {
+		return "", false
+	}
+	return fn.Name(), fmtOutputFuncs[fn.Name()]
+}
+
+// rootObject resolves the base identifier of expressions like x,
+// x.F.G, x[i], (*x).F to its object.
+func rootObject(pass *framework.Pass, e ast.Expr) types.Object {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			if obj := pass.Info.Uses[v]; obj != nil {
+				return obj
+			}
+			return pass.Info.Defs[v]
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+func isStringy(pass *framework.Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsString != 0
+}
+
+func usesAny(pass *framework.Pass, n ast.Node, objs map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok && objs[pass.Info.Uses[id]] {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,67 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+
+	"smartssd/internal/analysis/framework"
+)
+
+// seededRandAllowed are the math/rand package-level functions that
+// construct explicitly seeded generators — the only sanctioned way to
+// obtain randomness. Everything else at package level draws from the
+// global source, whose sequence depends on import-time seeding and on
+// every other caller in the process.
+var seededRandAllowed = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true, // math/rand/v2
+}
+
+var randPkgs = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+}
+
+// Seededrand forbids the global math/rand functions (rand.Intn,
+// rand.Float64, rand.Shuffle, ...). Randomized components must thread
+// an explicitly seeded *rand.Rand from configuration, the way
+// internal/tpch and internal/synth already do — that is what makes a
+// (workload seed, fault seed) pair a complete run descriptor.
+var Seededrand = &framework.Analyzer{
+	Name: "seededrand",
+	Doc: "forbid global math/rand functions: randomness must come from an " +
+		"explicitly seeded *rand.Rand threaded from config",
+	Run: runSeededrand,
+}
+
+func runSeededrand(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj, ok := pass.Info.Uses[sel.Sel]
+			if !ok || obj.Pkg() == nil || !randPkgs[obj.Pkg().Path()] {
+				return true
+			}
+			fn, ok := obj.(*types.Func)
+			if !ok || seededRandAllowed[fn.Name()] {
+				return true
+			}
+			// Methods on *rand.Rand are the sanctioned path; only
+			// package-level functions draw from the global source.
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"rand.%s uses the global math/rand source; use an explicitly seeded *rand.Rand (rand.New(rand.NewSource(seed))) threaded from config",
+				fn.Name())
+			return true
+		})
+	}
+	return nil
+}

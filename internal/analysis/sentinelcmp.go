@@ -1,0 +1,128 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"smartssd/internal/analysis/framework"
+)
+
+// Sentinelcmp flags ==/!= comparisons (and switch cases) against
+// package-level Err* sentinel values. The fault layer wraps every
+// sentinel with %w as it climbs the stack (nand → ftl → device →
+// core), so a direct comparison that once worked silently stops
+// matching and the fault accounting miscounts; errors.Is / errors.As
+// see through the wrapping.
+//
+// The one place identity comparison is the point is an Is method
+// implementing the errors.Is protocol (e.g. core.PartialResultError);
+// those bodies are exempt.
+var Sentinelcmp = &framework.Analyzer{
+	Name: "sentinelcmp",
+	Doc: "flag ==/!= against Err* sentinels: fault errors are %w-wrapped, " +
+		"so only errors.Is/errors.As match reliably",
+	Run: runSentinelcmp,
+}
+
+func runSentinelcmp(pass *framework.Pass) error {
+	errType := types.Universe.Lookup("error").Type()
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			// Bodies of `func (T) Is(error) bool` implement the
+			// errors.Is protocol; identity comparison is correct there.
+			if fd, ok := decl.(*ast.FuncDecl); ok && isErrorsIsMethod(pass, fd) {
+				continue
+			}
+			ast.Inspect(decl, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.BinaryExpr:
+					if n.Op != token.EQL && n.Op != token.NEQ {
+						return true
+					}
+					for _, side := range []ast.Expr{n.X, n.Y} {
+						if obj := sentinelObject(pass, errType, side); obj != nil {
+							pass.Reportf(n.Pos(),
+								"comparing against sentinel %s with %s; use errors.Is (the sentinel may be %%w-wrapped)",
+								obj.Name(), n.Op)
+							break
+						}
+					}
+				case *ast.SwitchStmt:
+					if n.Tag == nil {
+						return true
+					}
+					tagType, ok := pass.Info.Types[n.Tag]
+					if !ok || !types.Identical(tagType.Type, errType) {
+						return true
+					}
+					for _, clause := range n.Body.List {
+						cc, ok := clause.(*ast.CaseClause)
+						if !ok {
+							continue
+						}
+						for _, e := range cc.List {
+							if obj := sentinelObject(pass, errType, e); obj != nil {
+								pass.Reportf(e.Pos(),
+									"switch case compares sentinel %s by identity; use errors.Is (the sentinel may be %%w-wrapped)",
+									obj.Name())
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// sentinelObject reports the package-level Err* error variable that e
+// refers to, or nil.
+func sentinelObject(pass *framework.Pass, errType types.Type, e ast.Expr) types.Object {
+	var id *ast.Ident
+	switch v := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = v
+	case *ast.SelectorExpr:
+		id = v.Sel
+	default:
+		return nil
+	}
+	obj, ok := pass.Info.Uses[id].(*types.Var)
+	if !ok || obj.Pkg() == nil {
+		return nil
+	}
+	// Package-level: declared directly in the package scope.
+	if obj.Parent() != obj.Pkg().Scope() {
+		return nil
+	}
+	name := obj.Name()
+	if len(name) < 4 || name[:3] != "Err" {
+		return nil
+	}
+	if !types.AssignableTo(obj.Type(), errType) {
+		return nil
+	}
+	return obj
+}
+
+// isErrorsIsMethod reports whether fd is a method with the errors.Is
+// protocol shape: func (T) Is(target error) bool.
+func isErrorsIsMethod(pass *framework.Pass, fd *ast.FuncDecl) bool {
+	if fd.Recv == nil || fd.Name.Name != "Is" {
+		return false
+	}
+	obj, ok := pass.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok || sig.Params().Len() != 1 || sig.Results().Len() != 1 {
+		return false
+	}
+	errType := types.Universe.Lookup("error").Type()
+	ret, ok := sig.Results().At(0).Type().(*types.Basic)
+	return types.Identical(sig.Params().At(0).Type(), errType) &&
+		ok && ret.Kind() == types.Bool
+}

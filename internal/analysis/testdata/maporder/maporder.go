@@ -1,0 +1,121 @@
+// Fixture for the maporder analyzer: map iteration feeding
+// order-sensitive sinks is flagged; commutative aggregation and the
+// collect-then-sort idiom are not.
+package maporder
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+type report struct {
+	Names []string
+	Best  string
+	Total int
+}
+
+func badAppend(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `append to "out" inside map iteration is order-dependent`
+	}
+	return out
+}
+
+func badAppendField(m map[string]int, r *report) {
+	for k := range m {
+		r.Names = append(r.Names, k) // want `append to "r" inside map iteration is order-dependent`
+	}
+}
+
+func badPrint(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // want `fmt\.Printf inside map iteration emits in random order`
+	}
+}
+
+func badString(m map[string]int) string {
+	s := ""
+	for k := range m {
+		s += k // want `string built from map iteration is order-dependent`
+	}
+	return s
+}
+
+func badFieldWrite(m map[string]int, r *report) {
+	for k := range m {
+		r.Best = k // want `field write r\.Best depends on map iteration order`
+	}
+}
+
+func badBuilder(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want `b\.WriteString inside map iteration emits in random order`
+	}
+	return b.String()
+}
+
+// Collecting keys and sorting them afterwards is the sanctioned
+// pattern — this is what every fixed call site in the repo does.
+func goodSortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func goodSortSlice(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// Commutative aggregation has no order-sensitive sink.
+func goodSum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func goodMax(m map[string]int) int {
+	best := 0
+	for _, v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// Writing into another map is order-independent.
+func goodCopy(dst, src map[string]int) {
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+
+// Ranging over a slice is always ordered.
+func goodSliceRange(xs []string) []string {
+	var out []string
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+func allowedDirective(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) //lint:allow maporder — caller sorts before use
+	}
+	return out
+}

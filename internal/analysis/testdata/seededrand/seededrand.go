@@ -1,0 +1,33 @@
+// Fixture for the seededrand analyzer: the global math/rand source is
+// forbidden; explicitly seeded *rand.Rand generators are the sanctioned
+// path.
+package seededrand
+
+import "math/rand"
+
+func bad(n int) {
+	_ = rand.Intn(n)                   // want `rand\.Intn uses the global math/rand source`
+	_ = rand.Float64()                 // want `rand\.Float64 uses the global math/rand source`
+	_ = rand.Int63()                   // want `rand\.Int63 uses the global math/rand source`
+	_ = rand.Perm(n)                   // want `rand\.Perm uses the global math/rand source`
+	rand.Shuffle(n, func(i, j int) {}) // want `rand\.Shuffle uses the global math/rand source`
+}
+
+func badFuncValue() func() float64 {
+	return rand.Float64 // want `rand\.Float64 uses the global math/rand source`
+}
+
+// The seeded-generator path: construction functions plus every method
+// on the resulting *rand.Rand are fine.
+func good(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(rng, 1.1, 1.0, 100)
+	_ = z.Uint64()
+	_ = rng.Float64()
+	rng.Shuffle(4, func(i, j int) {})
+	return rng.Intn(10)
+}
+
+func allowed() int {
+	return rand.Intn(10) //lint:allow seededrand — fixture escape hatch
+}

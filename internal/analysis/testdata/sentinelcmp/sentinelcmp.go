@@ -1,0 +1,54 @@
+// Fixture for the sentinelcmp analyzer: identity comparison against
+// Err* sentinels is flagged (they may be %w-wrapped); errors.Is, nil
+// checks, and Is-method bodies are not.
+package sentinelcmp
+
+import "errors"
+
+var (
+	ErrBad   = errors.New("bad")
+	ErrWorse = errors.New("worse")
+	// Not Err*-named: out of scope for the sentinel contract.
+	failure = errors.New("failure")
+)
+
+func bad(err error) bool {
+	if err == ErrBad { // want `comparing against sentinel ErrBad with ==`
+		return true
+	}
+	if ErrWorse != err { // want `comparing against sentinel ErrWorse with !=`
+		return false
+	}
+	switch err {
+	case ErrBad: // want `switch case compares sentinel ErrBad by identity`
+		return true
+	case nil:
+		return false
+	}
+	return false
+}
+
+func good(err error) bool {
+	if errors.Is(err, ErrBad) {
+		return true
+	}
+	if errors.Is(err, ErrWorse) {
+		return false
+	}
+	if err == failure { // lowercase, not a sentinel by the Err* convention
+		return true
+	}
+	return err == nil
+}
+
+type wrapped struct{ inner error }
+
+func (w *wrapped) Error() string { return "wrapped: " + w.inner.Error() }
+
+// Is implements the errors.Is protocol, where identity comparison
+// against the sentinel is exactly the point — must not be flagged.
+func (w *wrapped) Is(target error) bool { return target == ErrBad }
+
+func allowed(err error) bool {
+	return err == ErrBad //lint:allow sentinelcmp — err is never wrapped here
+}

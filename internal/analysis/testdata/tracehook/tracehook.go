@@ -1,0 +1,91 @@
+// Fixture for the tracehook analyzer: calls through func-valued hook
+// fields must be nil-guarded. The "good" cases replicate the exact
+// patterns used by internal/sim/server.go, which must always pass.
+package tracehook
+
+type Event struct{ N int }
+
+// TraceFunc mirrors sim.TraceFunc: a named function type held in an
+// optional hook field.
+type TraceFunc func(ev Event)
+
+type server struct {
+	tracer  TraceFunc
+	OnClose func()
+	done    bool
+	count   int
+}
+
+func (s *server) badDirect(ev Event) {
+	s.tracer(ev) // want `call through hook field s\.tracer must be nil-guarded`
+}
+
+func (s *server) badCopy(ev Event) {
+	fn := s.tracer
+	fn(ev) // want `call through hook copy fn must be nil-guarded`
+}
+
+func (s *server) badElseBranch(ev Event) {
+	if s.tracer != nil {
+		s.count++
+	} else {
+		s.tracer(ev) // want `call through hook field s\.tracer must be nil-guarded`
+	}
+}
+
+func (s *server) badWrongGuard(ev Event) {
+	if s.OnClose != nil {
+		s.tracer(ev) // want `call through hook field s\.tracer must be nil-guarded`
+	}
+}
+
+// The sim.Server pattern: guard then call. Must never be flagged.
+func (s *server) goodDirect(ev Event) {
+	if s.tracer != nil {
+		s.tracer(ev)
+	}
+}
+
+func (s *server) goodCopyInit(ev Event) {
+	if fn := s.tracer; fn != nil {
+		fn(ev)
+	}
+}
+
+func (s *server) goodEarlyReturn(ev Event) {
+	if s.tracer == nil {
+		return
+	}
+	s.tracer(ev)
+}
+
+func (s *server) goodCompoundCond(ev Event) {
+	if s.count > 0 && s.tracer != nil {
+		s.tracer(ev)
+	}
+}
+
+func (s *server) goodOnClose() {
+	if s.OnClose != nil {
+		s.OnClose()
+	}
+}
+
+// Method calls and non-hook function fields are out of scope.
+func (s *server) SetTracer(fn TraceFunc) { s.tracer = fn }
+
+func (s *server) goodMethodCall() {
+	s.SetTracer(nil)
+}
+
+type worker struct {
+	compute func(int) int // not hook-named: plain strategy field
+}
+
+func (w *worker) goodStrategy(x int) int {
+	return w.compute(x)
+}
+
+func (s *server) allowed(ev Event) {
+	s.tracer(ev) //lint:allow tracehook — caller guarantees non-nil
+}

@@ -1,0 +1,41 @@
+// Fixture for the walltime analyzer: wall-clock reads are forbidden,
+// simulated-time arithmetic and allowlisted lines are not.
+package walltime
+
+import "time"
+
+func bad() {
+	_ = time.Now()                  // want `time\.Now reads the wall clock`
+	time.Sleep(time.Millisecond)    // want `time\.Sleep reads the wall clock`
+	_ = time.Since(time.Time{})     // want `time\.Since reads the wall clock`
+	_ = time.Until(time.Time{})     // want `time\.Until reads the wall clock`
+	<-time.After(time.Nanosecond)   // want `time\.After reads the wall clock`
+	_ = time.NewTicker(time.Second) // want `time\.NewTicker reads the wall clock`
+}
+
+func badFuncValue() func() time.Time {
+	return time.Now // want `time\.Now reads the wall clock`
+}
+
+// Simulated-time arithmetic is the whole point of the simulator and
+// must never be flagged.
+func good(elapsed time.Duration) time.Duration {
+	setup := 20 * time.Microsecond
+	if elapsed < setup {
+		elapsed = setup
+	}
+	return elapsed + time.Duration(3)*time.Millisecond
+}
+
+func goodParse() (time.Duration, error) {
+	return time.ParseDuration("1ms")
+}
+
+func allowedSameLine() {
+	_ = time.Now() //lint:allow walltime — intentional wall-clock report
+}
+
+func allowedLineAbove() {
+	//lint:allow walltime — intentional wall-clock report
+	_ = time.Now()
+}

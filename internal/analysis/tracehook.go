@@ -1,0 +1,192 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+
+	"smartssd/internal/analysis/framework"
+)
+
+// hookFieldName matches struct fields that hold optional observation
+// callbacks: sim.Server's tracer, experiments.Options.Tracer,
+// On*-style hooks. These fields are nil by default — that nil check is
+// the whole zero-overhead-when-off guarantee of the trace layer.
+var hookFieldName = regexp.MustCompile(`^([Tt]racer?|[Tt]race[A-Z].*|On[A-Z].*|.*Hook)$`)
+
+// Tracehook flags calls through func-valued hook fields that are not
+// nil-guarded. An unguarded call panics the moment tracing is off —
+// the common case — and guards are also what keep the hot path at a
+// single pointer check per request when no tracer is installed.
+//
+// Two guard shapes are recognized, matching the code base's idiom:
+//
+//	if s.tracer != nil { s.tracer(ev) }
+//	if fn := s.tracer; fn != nil { fn(ev) }
+//
+// plus the early-return form `if s.tracer == nil { return }` earlier
+// in the same block.
+var Tracehook = &framework.Analyzer{
+	Name: "tracehook",
+	Doc: "require nil guards on calls through TraceEvent-style hook fields " +
+		"(zero-overhead-when-off contract)",
+	Run: runTracehook,
+}
+
+func runTracehook(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch fun := call.Fun.(type) {
+			case *ast.SelectorExpr:
+				// Direct call through the field: x.hook(...).
+				if !isHookField(pass, fun) {
+					return true
+				}
+				if nilGuarded(pass, call, exprString(fun)) {
+					return true
+				}
+				pass.Reportf(call.Pos(),
+					"call through hook field %s must be nil-guarded (if %s != nil { ... })",
+					exprString(fun), exprString(fun))
+			case *ast.Ident:
+				// Call through a local copy: fn := x.hook; ... fn(...).
+				if !isHookCopy(pass, fun) {
+					return true
+				}
+				if nilGuarded(pass, call, fun.Name) {
+					return true
+				}
+				pass.Reportf(call.Pos(),
+					"call through hook copy %s must be nil-guarded (if %s != nil { ... })",
+					fun.Name, fun.Name)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isHookField reports whether sel selects a struct field of function
+// type whose name matches the hook pattern.
+func isHookField(pass *framework.Pass, sel *ast.SelectorExpr) bool {
+	s, ok := pass.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return false
+	}
+	if _, ok := s.Obj().Type().Underlying().(*types.Signature); !ok {
+		return false
+	}
+	return hookFieldName.MatchString(s.Obj().Name())
+}
+
+// isHookCopy reports whether id is a local variable that was assigned
+// from a hook field (fn := x.hook).
+func isHookCopy(pass *framework.Pass, id *ast.Ident) bool {
+	obj, ok := pass.Info.Uses[id].(*types.Var)
+	if !ok || obj.Pkg() == nil {
+		return false
+	}
+	if _, ok := obj.Type().Underlying().(*types.Signature); !ok {
+		return false
+	}
+	// Find the defining identifier and its AssignStmt.
+	for _, f := range pass.Files {
+		if !(f.FileStart <= obj.Pos() && obj.Pos() < f.FileEnd) {
+			continue
+		}
+		found := false
+		ast.Inspect(f, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || found {
+				return !found
+			}
+			for i, lhs := range as.Lhs {
+				lid, ok := lhs.(*ast.Ident)
+				if !ok || pass.Info.Defs[lid] != obj || i >= len(as.Rhs) {
+					continue
+				}
+				if rsel, ok := as.Rhs[i].(*ast.SelectorExpr); ok && isHookField(pass, rsel) {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+		return found
+	}
+	return false
+}
+
+// nilGuarded reports whether the call sits under a guard on expr
+// (rendered form), either an enclosing `if expr != nil` or a preceding
+// `if expr == nil { return/continue/break }` in an enclosing block.
+func nilGuarded(pass *framework.Pass, call *ast.CallExpr, expr string) bool {
+	for n := ast.Node(call); n != nil; n = pass.Parent(n) {
+		ifStmt, ok := n.(*ast.IfStmt)
+		if ok && condHasNilCheck(ifStmt.Cond, expr, token.NEQ) &&
+			ifStmt.Body.Pos() <= call.Pos() && call.Pos() < ifStmt.Body.End() {
+			return true
+		}
+		// Early-return guard in any enclosing block, before the call.
+		if block, ok := n.(*ast.BlockStmt); ok {
+			for _, stmt := range block.List {
+				if stmt.Pos() >= call.Pos() {
+					break
+				}
+				g, ok := stmt.(*ast.IfStmt)
+				if !ok || !condHasNilCheck(g.Cond, expr, token.EQL) {
+					continue
+				}
+				if divertsControl(g.Body) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// condHasNilCheck reports whether cond contains `expr op nil` (or
+// `nil op expr`) as a conjunct, comparing expressions by rendered form.
+func condHasNilCheck(cond ast.Expr, expr string, op token.Token) bool {
+	switch c := ast.Unparen(cond).(type) {
+	case *ast.BinaryExpr:
+		if c.Op == token.LAND || c.Op == token.LOR {
+			return condHasNilCheck(c.X, expr, op) || condHasNilCheck(c.Y, expr, op)
+		}
+		if c.Op != op {
+			return false
+		}
+		x, y := exprString(c.X), exprString(c.Y)
+		return (x == expr && y == "nil") || (y == expr && x == "nil")
+	}
+	return false
+}
+
+// divertsControl reports whether a guard body unconditionally leaves
+// the enclosing flow (return / continue / break / panic).
+func divertsControl(body *ast.BlockStmt) bool {
+	if len(body.List) == 0 {
+		return false
+	}
+	switch last := body.List[len(body.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// exprString renders an expression in source form for comparison and
+// diagnostics.
+func exprString(e ast.Expr) string { return types.ExprString(e) }

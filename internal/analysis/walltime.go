@@ -1,0 +1,64 @@
+// Package analysis implements simlint, the static-analysis suite that
+// enforces the simulator's determinism and fault-handling contracts.
+// See DESIGN.md, "Determinism contract", for the invariants and
+// cmd/simlint for the driver.
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+
+	"smartssd/internal/analysis/framework"
+)
+
+// wallClockFuncs are the time-package functions that read or depend on
+// the machine's wall clock. time.Duration arithmetic is fine — the
+// whole simulator is built on it — but producing a timestamp from the
+// host clock breaks run-to-run reproducibility.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// Walltime forbids wall-clock time sources. Simulated time is the only
+// clock: every timestamp must derive from sim.Server scheduling, so
+// that identical inputs give byte-identical results. Intentional
+// wall-clock reporting (e.g. cmd/queryrun's "wall" line) is annotated
+// with a //lint:allow walltime directive.
+var Walltime = &framework.Analyzer{
+	Name: "walltime",
+	Doc: "forbid time.Now/Since/Sleep and friends: only the simulated clock " +
+		"may produce timestamps (suppress intentional uses with //lint:allow walltime)",
+	Run: runWalltime,
+}
+
+func runWalltime(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj, ok := pass.Info.Uses[sel.Sel]
+			if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "time" {
+				return true
+			}
+			fn, ok := obj.(*types.Func)
+			if !ok || !wallClockFuncs[fn.Name()] {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"time.%s reads the wall clock; derive timestamps from the sim clock instead (or annotate with //lint:allow walltime)",
+				fn.Name())
+			return true
+		})
+	}
+	return nil
+}

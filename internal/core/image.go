@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 
 	"smartssd/internal/heap"
 	"smartssd/internal/page"
@@ -51,7 +52,15 @@ func (e *Engine) SaveImage(w io.Writer) error {
 	}
 	enc := gob.NewEncoder(w)
 	hdr := imageHeader{Params: e.ssd.Params()}
-	for name, t := range e.tables {
+	// Catalog order must not depend on map iteration: a saved image is
+	// compared byte-for-byte by tests and cached by tools.
+	names := make([]string, 0, len(e.tables))
+	for name := range e.tables {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		t := e.tables[name]
 		if t.Target != OnSSD {
 			continue
 		}
