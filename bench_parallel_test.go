@@ -1,0 +1,150 @@
+// Benchmarks for the parallel run harness and the executor hot path:
+// wall-clock scaling of the experiment suite across workers, and
+// allocs/op on the per-tuple paths the arena work targets. These are
+// the numbers scripts/bench_baseline.sh records in BENCH_baseline.json.
+package smartssd
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"smartssd/internal/core"
+	"smartssd/internal/experiments"
+	"smartssd/internal/tpch"
+)
+
+// suiteAll regenerates every `-exp all` artifact at the given worker
+// count and returns a digest length (consumed so the work isn't dead).
+func suiteAll(b *testing.B, par int) int {
+	b.Helper()
+	o := benchOptions()
+	o.Parallelism = par
+	total := 0
+	f3, err := experiments.Fig3(o)
+	if err != nil {
+		b.Fatal(err)
+	}
+	total += len(f3.Render())
+	f5, err := experiments.Fig5(o, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	total += len(f5.Render())
+	f7, err := experiments.Fig7(o)
+	if err != nil {
+		b.Fatal(err)
+	}
+	total += len(f7.Render())
+	t3, err := experiments.Table3(o)
+	if err != nil {
+		b.Fatal(err)
+	}
+	total += len(t3.Render())
+	return total
+}
+
+// BenchmarkSuiteWallClock measures the figure/table suite end to end at
+// 1 worker (the pre-harness serial path) and at GOMAXPROCS workers.
+// The ns/op ratio between the two sub-benchmarks is the harness's
+// wall-clock speedup; rendered artifacts are byte-identical.
+func BenchmarkSuiteWallClock(b *testing.B) {
+	wide := runtime.GOMAXPROCS(0)
+	if wide < 4 {
+		// Exercise the parallel path even on small CI boxes; the
+		// speedup it reports is only meaningful on 4+ cores.
+		wide = 4
+	}
+	for _, par := range []int{1, wide} {
+		b.Run(fmt.Sprintf("par_%d", par), func(b *testing.B) {
+			var n int
+			for i := 0; i < b.N; i++ {
+				n = suiteAll(b, par)
+			}
+			b.ReportMetric(float64(n), "bytes_rendered")
+		})
+	}
+}
+
+// benchQ6Engine builds a loaded engine for the allocs/op benchmarks.
+func benchQ6Engine(b *testing.B) *core.Engine {
+	b.Helper()
+	o := benchOptions()
+	e, err := core.New(core.Config{SSD: o.SSD})
+	if err != nil {
+		b.Fatal(err)
+	}
+	li := tpch.LineitemSchema()
+	if _, err := e.CreateTable("lineitem", li, 1 /* PAX */, tpch.NumLineitem(o.SF)/51+2, core.OnSSD); err != nil {
+		b.Fatal(err)
+	}
+	if err := e.Load("lineitem", tpch.NewLineitemGen(o.SF, o.Seed).Next); err != nil {
+		b.Fatal(err)
+	}
+	pa := tpch.PartSchema()
+	if _, err := e.CreateTable("part", pa, 1, tpch.NumPart(o.SF)/23+2, core.OnSSD); err != nil {
+		b.Fatal(err)
+	}
+	if err := e.Load("part", tpch.NewPartGen(o.SF, o.Seed+1).Next); err != nil {
+		b.Fatal(err)
+	}
+	return e
+}
+
+// BenchmarkHostQ6Allocs measures allocs/op for the host executor on
+// TPC-H Q6 — scan, filter, scalar aggregate (bufpool + scan path).
+func BenchmarkHostQ6Allocs(b *testing.B) {
+	e := benchQ6Engine(b)
+	spec := core.QuerySpec{
+		Table:          "lineitem",
+		Filter:         tpch.Q6Predicate(),
+		Aggs:           tpch.Q6Aggregates(),
+		EstSelectivity: 0.006,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(spec, core.ForceHost); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDeviceQ6Allocs measures allocs/op for the in-device program
+// on TPC-H Q6 (stager + aggregate state path).
+func BenchmarkDeviceQ6Allocs(b *testing.B) {
+	e := benchQ6Engine(b)
+	spec := core.QuerySpec{
+		Table:          "lineitem",
+		Filter:         tpch.Q6Predicate(),
+		Aggs:           tpch.Q6Aggregates(),
+		EstSelectivity: 0.006,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(spec, core.ForceDevice); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHostQ14Allocs measures allocs/op for the host hash join —
+// the build-side arena path — via TPC-H Q14 (lineitem ⋈ part).
+func BenchmarkHostQ14Allocs(b *testing.B) {
+	e := benchQ6Engine(b)
+	spec := core.QuerySpec{
+		Table:          "lineitem",
+		Join:           &core.JoinClause{BuildTable: "part", BuildKey: "p_partkey", ProbeKey: "l_partkey"},
+		Filter:         tpch.Q14DateRange(),
+		Aggs:           tpch.Q14Aggregates(tpch.LineitemSchema(), tpch.PartSchema()),
+		EstSelectivity: 0.012,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(spec, core.ForceHost); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+// Command benchjson converts `go test -bench` text output on stdin into
+// a stable JSON document on stdout, so benchmark baselines can be
+// committed and diffed (scripts/bench_baseline.sh writes
+// BENCH_baseline.json with it, and CI uploads the same JSON as an
+// artifact).
+//
+// Each benchmark result line
+//
+//	BenchmarkHostQ6Allocs-8   100   11223344 ns/op   1725 allocs/op
+//
+// becomes an entry with the name (GOMAXPROCS suffix stripped),
+// iteration count, and a unit→value metric map. When the wall-clock
+// suite ran at both 1 worker and N workers, the derived section reports
+// the parallel speedup the run harness achieved.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Doc is the emitted document.
+type Doc struct {
+	Goos       string             `json:"goos,omitempty"`
+	Goarch     string             `json:"goarch,omitempty"`
+	Pkg        string             `json:"pkg,omitempty"`
+	CPU        string             `json:"cpu,omitempty"`
+	Notes      string             `json:"notes,omitempty"`
+	Benchmarks []Result           `json:"benchmarks"`
+	Derived    map[string]float64 `json:"derived,omitempty"`
+}
+
+func main() {
+	doc, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	doc.Notes = os.Getenv("BENCH_NOTES")
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func parse(sc *bufio.Scanner) (*Doc, error) {
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	doc := &Doc{Benchmarks: []Result{}}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			doc.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			doc.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			doc.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			doc.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			r, ok := parseResult(line)
+			if ok {
+				doc.Benchmarks = append(doc.Benchmarks, r)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(doc.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark result lines on stdin")
+	}
+	doc.Derived = derive(doc.Benchmarks)
+	return doc, nil
+}
+
+// parseResult splits one "BenchmarkName-8 N val unit val unit..." line.
+// Lines that do not fit the shape (e.g. a benchmark that printed its own
+// output) are skipped rather than failing the whole conversion.
+func parseResult(line string) (Result, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || len(f)%2 != 0 {
+		return Result{}, false
+	}
+	name := f[0]
+	// Strip the -GOMAXPROCS suffix go test appends.
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: name, Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		r.Metrics[f[i+1]] = v
+	}
+	return r, true
+}
+
+// derive computes summary ratios: the run-harness wall-clock speedup
+// (serial ns/op over the widest parallel ns/op of BenchmarkSuiteWallClock).
+func derive(results []Result) map[string]float64 {
+	var serial float64
+	best := struct {
+		par int
+		ns  float64
+	}{}
+	for _, r := range results {
+		const prefix = "BenchmarkSuiteWallClock/par_"
+		if !strings.HasPrefix(r.Name, prefix) {
+			continue
+		}
+		par, err := strconv.Atoi(strings.TrimPrefix(r.Name, prefix))
+		if err != nil {
+			continue
+		}
+		ns := r.Metrics["ns/op"]
+		if par == 1 {
+			serial = ns
+		} else if par > best.par {
+			best.par, best.ns = par, ns
+		}
+	}
+	d := map[string]float64{}
+	if serial > 0 && best.ns > 0 {
+		d["suite_speedup"] = serial / best.ns
+		d["suite_speedup_workers"] = float64(best.par)
+	}
+	if len(d) == 0 {
+		return nil
+	}
+	return d
+}

@@ -5,10 +5,15 @@
 //
 //	benchsuite [-exp all|fig1|table2|fig3|fig5|fig7|table3|q1|concurrency|interfaces|hybrid|faults|util]
 //	           [-sf 0.05] [-synthr 2000] [-seed 1] [-faultseed 0]
+//	           [-par 0] [-cpuprofile file] [-memprofile file]
 //
 // -exp util prints per-resource utilization tables for Q6 on the host
 // and device paths (the bandwidth-crossover evidence); it is not part
 // of -exp all, whose output is a stable regression artifact.
+//
+// -par fans each experiment's independent sweep points across engine
+// clones (0: GOMAXPROCS workers, 1: serial). Rendered output is
+// byte-identical at every setting; only wall-clock time changes.
 //
 // Speedup and energy ratios are scale-invariant; -sf and -synthr only
 // trade wall-clock time for dataset size.
@@ -18,9 +23,18 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"slices"
 
 	"smartssd/internal/experiments"
 )
+
+// experimentNames lists every valid -exp value, in output order.
+var experimentNames = []string{
+	"all", "fig1", "table2", "fig3", "fig5", "fig7", "table3",
+	"q1", "concurrency", "interfaces", "hybrid", "faults", "util",
+}
 
 func main() {
 	exp := flag.String("exp", "all", "experiment: all, fig1, table2, fig3, fig5, fig7, table3, q1, concurrency, interfaces, hybrid, faults, util")
@@ -28,9 +42,31 @@ func main() {
 	synthR := flag.Int64("synthr", 2000, "Synthetic64_R rows (paper: 1,000,000; S is 400x)")
 	seed := flag.Int64("seed", 1, "data generation seed")
 	faultSeed := flag.Int64("faultseed", 0, "fault-injection seed for -exp faults (0: same as -seed)")
+	par := flag.Int("par", 0, "sweep-point workers (0: GOMAXPROCS, 1: serial); output is identical at every setting")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
-	o := experiments.Options{SF: *sf, SynthR: *synthR, Seed: *seed, FaultSeed: *faultSeed}
+	if !slices.Contains(experimentNames, *exp) {
+		fmt.Fprintf(os.Stderr, "benchsuite: unknown experiment %q (valid: %v)\n", *exp, experimentNames)
+		os.Exit(1)
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchsuite: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "benchsuite: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	o := experiments.Options{SF: *sf, SynthR: *synthR, Seed: *seed, FaultSeed: *faultSeed, Parallelism: *par}
 	run := func(name string, f func() (interface{ Render() string }, error)) {
 		if *exp != "all" && *exp != name {
 			return
@@ -96,5 +132,19 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println(r.Render())
+	}
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchsuite: memprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "benchsuite: memprofile: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

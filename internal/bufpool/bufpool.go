@@ -11,7 +11,6 @@
 package bufpool
 
 import (
-	"container/list"
 	"errors"
 	"fmt"
 )
@@ -31,7 +30,9 @@ type frame struct {
 	data  []byte
 	pins  int
 	dirty bool
-	elem  *list.Element // position in the LRU list
+	// Intrusive LRU links: recycling a frame recycles its list node,
+	// so steady-state caching allocates nothing per page.
+	prev, next *frame
 }
 
 // Pool is an LRU buffer pool. Not safe for concurrent use.
@@ -39,10 +40,16 @@ type Pool struct {
 	capacity int
 	flush    FlushFunc
 	frames   map[int64]*frame
-	lru      *list.List // front = most recent; holds *frame
-	hits     int64
-	misses   int64
-	evicts   int64
+	// Intrusive LRU list: head = most recent, tail = least recent.
+	head, tail *frame
+	hits       int64
+	misses     int64
+	evicts     int64
+	// Freelists recycle page buffers and frame structs across
+	// evictions and Clear, so a steady-state scan allocates nothing
+	// per page. Bounded by capacity.
+	freeBufs   [][]byte
+	freeFrames []*frame
 }
 
 // New builds a pool of capacity pages. flush may be nil when the pool
@@ -55,7 +62,6 @@ func New(capacity int, flush FlushFunc) *Pool {
 		capacity: capacity,
 		flush:    flush,
 		frames:   make(map[int64]*frame, capacity),
-		lru:      list.New(),
 	}
 }
 
@@ -75,8 +81,45 @@ func (p *Pool) Get(lba int64) ([]byte, bool) {
 	}
 	p.hits++
 	f.pins++
-	p.lru.MoveToFront(f.elem)
+	p.moveToFront(f)
 	return f.data, true
+}
+
+// moveToFront makes f the most-recently-used frame.
+func (p *Pool) moveToFront(f *frame) {
+	if p.head == f {
+		return
+	}
+	p.unlink(f)
+	p.pushFront(f)
+}
+
+// pushFront links an unlinked frame at the head of the LRU list.
+func (p *Pool) pushFront(f *frame) {
+	f.prev = nil
+	f.next = p.head
+	if p.head != nil {
+		p.head.prev = f
+	}
+	p.head = f
+	if p.tail == nil {
+		p.tail = f
+	}
+}
+
+// unlink removes f from the LRU list without recycling it.
+func (p *Pool) unlink(f *frame) {
+	if f.prev != nil {
+		f.prev.next = f.next
+	} else {
+		p.head = f.next
+	}
+	if f.next != nil {
+		f.next.prev = f.prev
+	} else {
+		p.tail = f.prev
+	}
+	f.prev, f.next = nil, nil
 }
 
 // Contains reports whether lba is cached, without pinning or touching
@@ -94,7 +137,7 @@ func (p *Pool) Put(lba int64, data []byte) error {
 	if f, ok := p.frames[lba]; ok {
 		copy(f.data, data)
 		f.pins++
-		p.lru.MoveToFront(f.elem)
+		p.moveToFront(f)
 		return nil
 	}
 	if len(p.frames) >= p.capacity {
@@ -102,15 +145,55 @@ func (p *Pool) Put(lba int64, data []byte) error {
 			return err
 		}
 	}
-	f := &frame{lba: lba, data: append([]byte(nil), data...), pins: 1}
-	f.elem = p.lru.PushFront(f)
+	f := p.newFrame()
+	f.lba = lba
+	f.data = p.newBuf(data)
+	f.pins = 1
+	p.pushFront(f)
 	p.frames[lba] = f
 	return nil
 }
 
+// newFrame takes a recycled frame struct or allocates one.
+func (p *Pool) newFrame() *frame {
+	if n := len(p.freeFrames); n > 0 {
+		f := p.freeFrames[n-1]
+		p.freeFrames = p.freeFrames[:n-1]
+		*f = frame{}
+		return f
+	}
+	return &frame{}
+}
+
+// newBuf copies data into a recycled buffer of sufficient capacity, or
+// a fresh one. Recycled buffers too small for this page are dropped.
+func (p *Pool) newBuf(data []byte) []byte {
+	for n := len(p.freeBufs); n > 0; n = len(p.freeBufs) {
+		b := p.freeBufs[n-1]
+		p.freeBufs = p.freeBufs[:n-1]
+		if cap(b) >= len(data) {
+			b = b[:len(data)]
+			copy(b, data)
+			return b
+		}
+	}
+	return append([]byte(nil), data...)
+}
+
+// recycle returns a frame's buffer and struct to the freelists. The
+// frame must already be unlinked from the LRU list.
+func (p *Pool) recycle(f *frame) {
+	if len(p.freeBufs) < p.capacity && f.data != nil {
+		p.freeBufs = append(p.freeBufs, f.data)
+	}
+	if len(p.freeFrames) < p.capacity {
+		f.data = nil
+		p.freeFrames = append(p.freeFrames, f)
+	}
+}
+
 func (p *Pool) evictOne() error {
-	for e := p.lru.Back(); e != nil; e = e.Prev() {
-		f := e.Value.(*frame)
+	for f := p.tail; f != nil; f = f.prev {
 		if f.pins > 0 {
 			continue
 		}
@@ -122,8 +205,9 @@ func (p *Pool) evictOne() error {
 				return fmt.Errorf("bufpool: flush %d: %w", f.lba, err)
 			}
 		}
-		p.lru.Remove(e)
+		p.unlink(f)
 		delete(p.frames, f.lba)
+		p.recycle(f)
 		p.evicts++
 		return nil
 	}
@@ -217,10 +301,22 @@ func (p *Pool) FlushAll() error {
 
 // Clear empties the pool without flushing. Experiments use it to start
 // cold runs ("there is no data cached in the buffer pool prior to
-// running each query").
+// running each query"). Unpinned frames are recycled; pinned frames
+// are dropped (their holders keep the buffers).
 func (p *Pool) Clear() {
-	p.frames = make(map[int64]*frame, p.capacity)
-	p.lru.Init()
+	// Walk the LRU list, not the frame map: freelist order stays
+	// deterministic.
+	f := p.head
+	for f != nil {
+		next := f.next
+		f.prev, f.next = nil, nil
+		if f.pins == 0 {
+			p.recycle(f)
+		}
+		f = next
+	}
+	clear(p.frames)
+	p.head, p.tail = nil, nil
 }
 
 // Stats summarizes pool effectiveness.

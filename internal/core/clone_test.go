@@ -1,0 +1,189 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"smartssd/internal/expr"
+	"smartssd/internal/fault"
+	"smartssd/internal/page"
+	"smartssd/internal/plan"
+	"smartssd/internal/schema"
+)
+
+// resultFingerprint renders every observable field of a Result —
+// timing, energy, placement, bottleneck, stage and resource breakdowns,
+// traffic counters, fault report, and the full row set — so two runs
+// compare byte-for-byte, not just answer-for-answer.
+func resultFingerprint(r *Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "elapsed=%v placement=%v decision=%+v bottleneck=%s\n",
+		r.Elapsed, r.Placement, r.Decision, r.Bottleneck)
+	fmt.Fprintf(&b, "energy=%+v hybrid=%v flash=%d link=%d host=%+v\n",
+		r.Energy, r.HybridDeviceFraction, r.FlashBytesRead, r.LinkBytesOut, r.HostStats)
+	fmt.Fprintf(&b, "stages=%+v\nfaults=%+v\n", r.Stages, r.Faults)
+	b.WriteString(r.Resources.Render())
+	for _, row := range r.Rows {
+		for c, v := range row {
+			fmt.Fprintf(&b, "%d:%d:%q ", c, v.Int, v.Bytes)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func mustRun(t *testing.T, e *Engine, spec QuerySpec, mode Mode) *Result {
+	t.Helper()
+	res, err := e.Run(spec, mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func joinAggSpec() QuerySpec {
+	fact := widePaddedSchema()
+	np := fact.NumColumns()
+	return QuerySpec{
+		Table:  "fact",
+		Join:   &JoinClause{BuildTable: "dim", BuildKey: "d_key", ProbeKey: "grp"},
+		Filter: expr.Cmp{Op: expr.LT, L: expr.ColRef(fact, "val"), R: expr.IntConst(50)},
+		Aggs: []plan.AggSpec{
+			{Kind: plan.Sum, E: expr.Col{Index: np + 1, Name: "d_payload", K: schema.Int32}, Name: "sum_payload"},
+			{Kind: plan.Count, Name: "cnt"},
+		},
+		EstSelectivity: 0.5,
+	}
+}
+
+// TestEngineEquivalence is the contract the runner harness stands on:
+// a cold run on Engine.Clone() is byte-identical — timing, energy,
+// utilization, rows, everything — to the same run on the original
+// engine, before and after other runs, and clones never disturb the
+// engine they came from.
+func TestEngineEquivalence(t *testing.T) {
+	build := func(t *testing.T) *Engine {
+		e := newEngine(t)
+		loadFact(t, e, page.PAX, 20000, OnSSD)
+		loadDim(t, e, 40)
+		return e
+	}
+	specs := []struct {
+		name string
+		spec QuerySpec
+		mode Mode
+	}{
+		{"selection-host", selectiveSpec(), ForceHost},
+		{"selection-device", selectiveSpec(), ForceDevice},
+		{"join-agg-host", joinAggSpec(), ForceHost},
+		{"join-agg-device", joinAggSpec(), ForceDevice},
+		{"auto", selectiveSpec(), Auto},
+	}
+
+	e := build(t)
+	// Clone taken before the engine has run anything.
+	fresh, err := e.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, s := range specs {
+		s := s
+		t.Run(s.name, func(t *testing.T) {
+			want := resultFingerprint(mustRun(t, e, s.spec, s.mode))
+
+			// Clone-before-runs reproduces the run exactly.
+			if got := resultFingerprint(mustRun(t, fresh, s.spec, s.mode)); got != want {
+				t.Fatalf("pre-run clone diverged:\n--- original ---\n%s--- clone ---\n%s", want, got)
+			}
+			// Clone-after-runs too: no run state leaks into a clone.
+			later, err := e.Clone()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := resultFingerprint(mustRun(t, later, s.spec, s.mode)); got != want {
+				t.Fatalf("post-run clone diverged:\n--- original ---\n%s--- clone ---\n%s", want, got)
+			}
+			// And running on clones never disturbed the original.
+			if got := resultFingerprint(mustRun(t, e, s.spec, s.mode)); got != want {
+				t.Fatalf("original drifted after clone runs:\n--- before ---\n%s--- after ---\n%s", want, got)
+			}
+		})
+	}
+}
+
+// TestEngineEquivalenceUnderFaults pins the sharpest part of the clone
+// contract: a clone holds the fault injector's exact stream position,
+// so it replays the identical fault sequence — retries, fallbacks, and
+// all — that the original engine would have drawn.
+func TestEngineEquivalenceUnderFaults(t *testing.T) {
+	build := func(t *testing.T) *Engine {
+		e := newFaultyEngine(t, fault.Config{
+			Seed:             7,
+			ReadErrorRate:    0.01,
+			LatencySpikeRate: 0.005,
+			SessionAbortRate: 0.3,
+		})
+		loadFact(t, e, page.PAX, 20000, OnSSD)
+		loadDim(t, e, 40)
+		return e
+	}
+	a, b := build(t), build(t)
+	// Advance b's injector identically to a's before cloning: both
+	// engines drew the same stream during load, so their clones must
+	// agree draw-for-draw from here on.
+	ca, err := a.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, spec := range []QuerySpec{selectiveSpec(), joinAggSpec()} {
+		want := resultFingerprint(mustRun(t, b, spec, ForceDevice))
+		if got := resultFingerprint(mustRun(t, ca, spec, ForceDevice)); got != want {
+			t.Fatalf("faulted clone diverged from identically built engine:\n--- engine ---\n%s--- clone ---\n%s", want, got)
+		}
+	}
+}
+
+// TestCloneConcurrentRuns exercises the sharing design under -race:
+// many clones of one loaded engine running simultaneously, all reading
+// the same shared NAND page buffers, must produce identical results.
+func TestCloneConcurrentRuns(t *testing.T) {
+	e := newEngine(t)
+	loadFact(t, e, page.PAX, 20000, OnSSD)
+	loadDim(t, e, 40)
+	spec := joinAggSpec()
+	want := resultFingerprint(mustRun(t, e, spec, ForceDevice))
+
+	const n = 8
+	results := make([]string, n)
+	errs := make([]error, n)
+	done := make(chan int)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer func() { done <- i }()
+			c, err := e.Clone()
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			res, err := c.Run(spec, ForceDevice)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			results[i] = resultFingerprint(res)
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		<-done
+	}
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("clone %d: %v", i, errs[i])
+		}
+		if results[i] != want {
+			t.Fatalf("clone %d diverged:\n--- original ---\n%s--- clone ---\n%s", i, want, results[i])
+		}
+	}
+}

@@ -220,6 +220,8 @@ func (q Query) Explain() string {
 
 // joinedRow adapts a scanned tuple (inside a bound page) plus an
 // optional matched build tuple to expr.Row under the combined schema.
+// It is passed by pointer so the expr.Row conversion never
+// heap-allocates per tuple.
 type joinedRow struct {
 	r     *page.Reader
 	i     int
@@ -227,7 +229,7 @@ type joinedRow struct {
 	build schema.Tuple
 }
 
-func (j joinedRow) Col(c int) schema.Value {
+func (j *joinedRow) Col(c int) schema.Value {
 	if c < j.np {
 		return j.r.Column(j.i, c)
 	}
@@ -252,7 +254,8 @@ type result struct {
 }
 
 // stager accumulates result rows and ships chunks over the host link as
-// they fill.
+// they fill. Staged rows are carved from an arena the result retains,
+// so staging a row costs no per-row heap allocation.
 type stager struct {
 	dev      *ssd.Device
 	rowBytes int64
@@ -260,17 +263,11 @@ type stager struct {
 	cur      chunk
 	out      []chunk
 	lastShip time.Duration
+	arena    schema.TupleArena
 }
 
 func (st *stager) add(t schema.Tuple, ready time.Duration) {
-	row := make(schema.Tuple, len(t))
-	for i, v := range t {
-		if v.Bytes != nil {
-			v.Bytes = append([]byte(nil), v.Bytes...)
-		}
-		row[i] = v
-	}
-	st.cur.rows = append(st.cur.rows, row)
+	st.cur.rows = append(st.cur.rows, st.arena.Clone(t))
 	st.cur.bytes += st.rowBytes
 	if st.cur.bytes >= st.limit {
 		st.ship(ready)
@@ -303,6 +300,9 @@ func runProgram(dev *ssd.Device, cost CostModel, chunkBytes int64, q Query) (*re
 	// over the internal path and inserted on the embedded CPU.
 	var ht map[int64][]schema.Tuple
 	var buildDone time.Duration
+	// Build tuples and group state live for the whole scan; an arena
+	// batches their backing allocations.
+	var arena schema.TupleArena
 	np := q.Table.Schema.NumColumns()
 	if q.Join != nil {
 		ht = make(map[int64][]schema.Tuple)
@@ -327,7 +327,7 @@ func runProgram(dev *ssd.Device, cost CostModel, chunkBytes int64, q Query) (*re
 			for i := 0; i < r.Count(); i++ {
 				tup = r.Tuple(tup, i)
 				key := tup[q.Join.BuildKey].Int
-				ht[key] = append(ht[key], cloneTuple(tup))
+				ht[key] = append(ht[key], arena.Clone(tup))
 				res.buildRows++
 			}
 		}
@@ -365,6 +365,18 @@ func runProgram(dev *ssd.Device, cost CostModel, chunkBytes int64, q Query) (*re
 	}
 	var groups map[string]*groupState
 	var groupOrder []string
+	var states []groupState // chunked so *groupState pointers stay stable
+	newState := func() *groupState {
+		if len(states) == cap(states) {
+			states = make([]groupState, 0, max(64, 2*cap(states)))
+		}
+		states = append(states, groupState{
+			group: arena.Tuple(len(q.GroupBy)),
+			vals:  arena.Ints(len(q.Aggs)),
+			seen:  arena.Bools(len(q.Aggs)),
+		})
+		return &states[len(states)-1]
+	}
 	combined := q.combinedSchema()
 	var keyBuf []byte
 	if len(q.GroupBy) > 0 {
@@ -384,6 +396,14 @@ func runProgram(dev *ssd.Device, cost CostModel, chunkBytes int64, q Query) (*re
 	// latency-bound; 32 pages (a 256 KB window) leaves ample slack.
 	const prefetchDepth = 32
 	var consumeRing [prefetchDepth]time.Duration
+	// Per-page scratch, reused across pages.
+	type pending struct {
+		i     int
+		build schema.Tuple
+	}
+	var emitted []pending
+	noBuild := []schema.Tuple{nil}
+	row := &joinedRow{np: np}
 	for p := int64(0); p < q.Table.Pages; p++ {
 		issue := consumeRing[p%prefetchDepth]
 		data, at, err := dev.FetchPage(q.Table.StartLBA+p, issue)
@@ -400,11 +420,7 @@ func runProgram(dev *ssd.Device, cost CostModel, chunkBytes int64, q Query) (*re
 
 		n := int64(r.Count())
 		cycles := cost.PageCycles + n*cost.TupleCycles
-		type pending struct {
-			i     int
-			build schema.Tuple
-		}
-		var emitted []pending
+		emitted = emitted[:0]
 
 		for i := 0; i < r.Count(); i++ {
 			res.probeRows++
@@ -419,10 +435,10 @@ func runProgram(dev *ssd.Device, cost CostModel, chunkBytes int64, q Query) (*re
 					continue
 				}
 			} else {
-				builds = []schema.Tuple{nil}
+				builds = noBuild
 			}
 			for _, b := range builds {
-				row := joinedRow{r: r, i: i, np: np, build: b}
+				row.r, row.i, row.build = r, i, b
 				if q.Filter != nil {
 					cycles += filterCycles
 					if q.Filter.Eval(row).Int == 0 {
@@ -444,15 +460,11 @@ func runProgram(dev *ssd.Device, cost CostModel, chunkBytes int64, q Query) (*re
 						}
 						gs, ok := groups[string(keyBuf)]
 						if !ok {
-							gs = &groupState{
-								group: make(schema.Tuple, len(q.GroupBy)),
-								vals:  make([]int64, len(q.Aggs)),
-								seen:  make([]bool, len(q.Aggs)),
-							}
+							gs = newState()
 							for gi, g := range q.GroupBy {
 								v := row.Col(g)
 								if v.Bytes != nil {
-									v.Bytes = append([]byte(nil), v.Bytes...)
+									v.Bytes = arena.CloneBytes(v.Bytes)
 								}
 								gs.group[gi] = v
 							}
@@ -476,7 +488,7 @@ func runProgram(dev *ssd.Device, cost CostModel, chunkBytes int64, q Query) (*re
 			scanEnd = done
 		}
 		for _, e := range emitted {
-			row := joinedRow{r: r, i: e.i, np: np, build: e.build}
+			row.r, row.i, row.build = r, e.i, e.build
 			for c, oc := range q.Output {
 				outRow[c] = oc.E.Eval(row)
 			}
@@ -544,15 +556,4 @@ func foldAggs(aggs []plan.AggSpec, row expr.Row, vals []int64, seen []bool) {
 		}
 		seen[i] = true
 	}
-}
-
-func cloneTuple(t schema.Tuple) schema.Tuple {
-	out := make(schema.Tuple, len(t))
-	for i, v := range t {
-		if v.Bytes != nil {
-			v.Bytes = append([]byte(nil), v.Bytes...)
-		}
-		out[i] = v
-	}
-	return out
 }

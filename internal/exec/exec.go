@@ -161,16 +161,3 @@ func concatSchemas(l, r *schema.Schema) *schema.Schema {
 	}
 	return schema.New(cols...)
 }
-
-// cloneTuple deep-copies a tuple (Char bytes included), for operators
-// that must retain inputs past their emit window.
-func cloneTuple(t schema.Tuple) schema.Tuple {
-	out := make(schema.Tuple, len(t))
-	for i, v := range t {
-		if v.Bytes != nil {
-			v.Bytes = append([]byte(nil), v.Bytes...)
-		}
-		out[i] = v
-	}
-	return out
-}

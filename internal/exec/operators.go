@@ -13,13 +13,14 @@ import (
 )
 
 // readerRow adapts one tuple inside a bound page to expr.Row, so
-// predicates evaluate without materializing the tuple.
+// predicates evaluate without materializing the tuple. It is passed by
+// pointer so the expr.Row conversion never heap-allocates per tuple.
 type readerRow struct {
 	r *page.Reader
 	i int
 }
 
-func (rr readerRow) Col(c int) schema.Value { return rr.r.Column(rr.i, c) }
+func (rr *readerRow) Col(c int) schema.Value { return rr.r.Column(rr.i, c) }
 
 // TableScan reads a heap file sequentially through the host I/O path,
 // optionally applying a predicate as pages arrive (SQL Server's scan +
@@ -73,6 +74,7 @@ func (t *TableScan) Run(ctx *Ctx, emit Emit) (time.Duration, error) {
 	var out schema.Tuple
 	cost := ctx.Host.Cost
 
+	rr := &readerRow{}
 	process := func(r *page.Reader, arrival time.Duration) error {
 		n := int64(r.Count())
 		cycles := cost.PageCycles + n*cost.TupleCycles
@@ -85,8 +87,10 @@ func (t *TableScan) Run(ctx *Ctx, emit Emit) (time.Duration, error) {
 		}
 		ctx.Stats.PagesRead++
 		ctx.Stats.RowsScanned += n
+		rr.r = r
 		for i := 0; i < r.Count(); i++ {
-			if t.Filter != nil && t.Filter.Eval(readerRow{r, i}).Int == 0 {
+			rr.i = i
+			if t.Filter != nil && t.Filter.Eval(rr).Int == 0 {
 				continue
 			}
 			out = r.Tuple(out, i)
@@ -190,9 +194,11 @@ func (f *Filter) Explain() string { return "Filter " + f.Pred.String() }
 func (f *Filter) Run(ctx *Ctx, emit Emit) (time.Duration, error) {
 	ops := int64(f.Pred.Ops())
 	cost := ctx.Host.Cost
+	var row expr.TupleRow // hoisted so Eval's Row conversion never allocates
 	return f.Input.Run(ctx, func(t schema.Tuple, at time.Duration) error {
 		done := ctx.charge(ops*cost.OpCycles, at)
-		if f.Pred.Eval(expr.TupleRow(t)).Int == 0 {
+		row = expr.TupleRow(t)
+		if f.Pred.Eval(&row).Int == 0 {
 			return nil
 		}
 		return emit(t, done)
@@ -257,11 +263,12 @@ func (p *Project) Run(ctx *Ctx, emit Emit) (time.Duration, error) {
 	}
 	cost := ctx.Host.Cost
 	out := make(schema.Tuple, len(p.Cols))
+	var row expr.TupleRow
 	return p.Input.Run(ctx, func(t schema.Tuple, at time.Duration) error {
 		done := ctx.charge(ops*cost.OpCycles+cost.EmitCycles, at)
-		row := expr.TupleRow(t)
+		row = expr.TupleRow(t)
 		for i, c := range p.Cols {
-			out[i] = c.E.Eval(row)
+			out[i] = c.E.Eval(&row)
 		}
 		return emit(out, done)
 	})
@@ -301,6 +308,9 @@ func (j *HashJoin) Explain() string {
 func (j *HashJoin) Run(ctx *Ctx, emit Emit) (time.Duration, error) {
 	cost := ctx.Host.Cost
 	ht := make(map[int64][]schema.Tuple)
+	// Build tuples are retained for the whole probe phase; an arena
+	// batches their backing allocations instead of one per tuple.
+	var arena schema.TupleArena
 	var buildDone time.Duration
 	_, err := j.Build.Run(ctx, func(t schema.Tuple, at time.Duration) error {
 		done := ctx.charge(cost.HashBuildCycles, at)
@@ -308,7 +318,7 @@ func (j *HashJoin) Run(ctx *Ctx, emit Emit) (time.Duration, error) {
 			buildDone = done
 		}
 		key := t[j.BuildKey].Int
-		ht[key] = append(ht[key], cloneTuple(t))
+		ht[key] = append(ht[key], arena.Clone(t))
 		ctx.Stats.HashBuilds++
 		return nil
 	})
@@ -443,7 +453,22 @@ func (a *Aggregate) Run(ctx *Ctx, emit Emit) (time.Duration, error) {
 	groups := make(map[string]*aggState)
 	var order []string // first-seen group order, for deterministic output
 	keyBuf := make([]byte, 0, 64)
+	// Group tuples and accumulator slices live until the final emit
+	// loop; carving them from an arena batches their allocations.
+	var arena schema.TupleArena
+	var states []aggState // chunked so *aggState pointers stay stable
+	newState := func() *aggState {
+		if len(states) == cap(states) {
+			states = make([]aggState, 0, max(64, 2*cap(states)))
+		}
+		states = append(states, aggState{
+			vals: arena.Ints(len(a.Aggs)),
+			seen: arena.Bools(len(a.Aggs)),
+		})
+		return &states[len(states)-1]
+	}
 	var end time.Duration
+	var row expr.TupleRow
 	last, err := a.Input.Run(ctx, func(t schema.Tuple, at time.Duration) error {
 		done := ctx.charge(perTuple, at)
 		if done > end {
@@ -456,16 +481,13 @@ func (a *Aggregate) Run(ctx *Ctx, emit Emit) (time.Duration, error) {
 		}
 		st, ok := groups[string(keyBuf)]
 		if !ok {
-			st = &aggState{
-				vals: make([]int64, len(a.Aggs)),
-				seen: make([]bool, len(a.Aggs)),
-			}
+			st = newState()
 			if len(a.GroupBy) > 0 {
-				st.group = make(schema.Tuple, len(a.GroupBy))
+				st.group = arena.Tuple(len(a.GroupBy))
 				for i, g := range a.GroupBy {
 					v := t[g]
 					if v.Bytes != nil {
-						v.Bytes = append([]byte(nil), v.Bytes...)
+						v.Bytes = arena.CloneBytes(v.Bytes)
 					}
 					st.group[i] = v
 				}
@@ -473,20 +495,20 @@ func (a *Aggregate) Run(ctx *Ctx, emit Emit) (time.Duration, error) {
 			groups[string(keyBuf)] = st
 			order = append(order, string(keyBuf))
 		}
-		row := expr.TupleRow(t)
+		row = expr.TupleRow(t)
 		for i, s := range a.Aggs {
 			switch s.Kind {
 			case Count:
 				st.vals[i]++
 			case Sum:
-				st.vals[i] += s.E.Eval(row).Int
+				st.vals[i] += s.E.Eval(&row).Int
 			case Min:
-				v := s.E.Eval(row).Int
+				v := s.E.Eval(&row).Int
 				if !st.seen[i] || v < st.vals[i] {
 					st.vals[i] = v
 				}
 			case Max:
-				v := s.E.Eval(row).Int
+				v := s.E.Eval(&row).Int
 				if !st.seen[i] || v > st.vals[i] {
 					st.vals[i] = v
 				}
@@ -504,10 +526,7 @@ func (a *Aggregate) Run(ctx *Ctx, emit Emit) (time.Duration, error) {
 
 	// Scalar aggregate over empty input still emits one row of zeros.
 	if len(a.GroupBy) == 0 && len(groups) == 0 {
-		groups[""] = &aggState{
-			vals: make([]int64, len(a.Aggs)),
-			seen: make([]bool, len(a.Aggs)),
-		}
+		groups[""] = newState()
 		order = append(order, "")
 	}
 	out := make(schema.Tuple, len(a.GroupBy)+len(a.Aggs))
@@ -529,13 +548,14 @@ func (a *Aggregate) Run(ctx *Ctx, emit Emit) (time.Duration, error) {
 	return end, nil
 }
 
-// Collect runs op and returns all output tuples (deep-copied) and the
-// run's completion time — the standard way tests and the harness
-// consume a plan.
+// Collect runs op and returns all output tuples (deep-copied into an
+// arena owned by the result) and the run's completion time — the
+// standard way tests and the harness consume a plan.
 func Collect(ctx *Ctx, op Operator) ([]schema.Tuple, time.Duration, error) {
 	var rows []schema.Tuple
+	var arena schema.TupleArena
 	end, err := op.Run(ctx, func(t schema.Tuple, _ time.Duration) error {
-		rows = append(rows, cloneTuple(t))
+		rows = append(rows, arena.Clone(t))
 		return nil
 	})
 	return rows, end, err

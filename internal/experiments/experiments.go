@@ -17,11 +17,13 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 	"time"
 
 	"smartssd/internal/core"
 	"smartssd/internal/page"
+	"smartssd/internal/runner"
 	"smartssd/internal/schema"
 	"smartssd/internal/sim"
 	"smartssd/internal/ssd"
@@ -52,6 +54,13 @@ type Options struct {
 	// captured. Tracing never perturbs virtual time; rendered artifacts
 	// are byte-identical with or without it.
 	Tracer sim.TraceFunc
+	// Parallelism is the worker count for fanning an experiment's
+	// independent sweep points across engine clones (package runner).
+	// 0 means GOMAXPROCS; 1 forces the serial path on a single engine.
+	// Reports are byte-identical at every setting. A non-nil Tracer
+	// forces serial execution so the trace stream stays a single,
+	// ordered timeline.
+	Parallelism int
 }
 
 func (o *Options) fill() {
@@ -70,6 +79,58 @@ func (o *Options) fill() {
 	if o.FaultSeed == 0 {
 		o.FaultSeed = o.Seed
 	}
+}
+
+// workers reports the effective fan-out width for this options value.
+func (o Options) workers() int {
+	if o.Tracer != nil {
+		return 1
+	}
+	if o.Parallelism == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if o.Parallelism < 1 {
+		return 1
+	}
+	return o.Parallelism
+}
+
+// sweep runs n independent jobs of one experiment across o's workers.
+// Worker 0 runs on base; every additional worker gets its own
+// base.Clone(), built up front so cloning never races with a running
+// job. Results return in submission order (package runner), so callers
+// assemble reports exactly as the serial loop would have. With one
+// worker — Parallelism 1, or any Tracer installed — jobs run inline on
+// base in submission order: the pre-harness serial path, unchanged.
+func sweep[T any](o Options, base *core.Engine, n int, job func(e *core.Engine, i int) (T, error)) ([]T, error) {
+	w := o.workers()
+	if w > n {
+		w = n
+	}
+	engines := make([]*core.Engine, w)
+	if w > 0 {
+		engines[0] = base
+	}
+	for i := 1; i < w; i++ {
+		c, err := base.Clone()
+		if err != nil {
+			return nil, fmt.Errorf("experiments: clone engine: %w", err)
+		}
+		engines[i] = c
+	}
+	return runner.Run(w, n, func(worker, i int) (T, error) {
+		return job(engines[worker], i)
+	})
+}
+
+// fanOut runs n independent jobs that build their own engines (rate
+// sweeps, interface sweeps) across o's workers, results in submission
+// order.
+func fanOut[T any](o Options, n int, job func(i int) (T, error)) ([]T, error) {
+	w := o.workers()
+	return runner.Run(w, n, func(_, i int) (T, error) {
+		return job(i)
+	})
 }
 
 // pagesFor sizes a heap extent for n tuples of schema s with slack.

@@ -43,14 +43,21 @@ func ExtQ1(o Options) (Q1Report, error) {
 		Aggs:           tpch.Q1Aggregates(),
 		EstSelectivity: 0.98,
 	}
-	host, err := e.Run(spec, core.ForceHost)
+	modes := []struct {
+		kind string
+		mode core.Mode
+	}{{"host", core.ForceHost}, {"device", core.ForceDevice}}
+	results, err := sweep(o, e, len(modes), func(eng *core.Engine, i int) (*core.Result, error) {
+		res, err := eng.Run(spec, modes[i].mode)
+		if err != nil {
+			return nil, fmt.Errorf("q1 %s: %w", modes[i].kind, err)
+		}
+		return res, nil
+	})
 	if err != nil {
-		return Q1Report{}, fmt.Errorf("q1 host: %w", err)
+		return Q1Report{}, err
 	}
-	dev, err := e.Run(spec, core.ForceDevice)
-	if err != nil {
-		return Q1Report{}, fmt.Errorf("q1 device: %w", err)
-	}
+	host, dev := results[0], results[1]
 	if len(host.Rows) != len(dev.Rows) {
 		return Q1Report{}, fmt.Errorf("q1: host %d groups, device %d", len(host.Rows), len(dev.Rows))
 	}
@@ -121,28 +128,29 @@ func ExtConcurrency(o Options) (ConcurrencyReport, error) {
 	if err := loadTPCH(e, o, false); err != nil {
 		return ConcurrencyReport{}, err
 	}
-	tbl, err := e.Table("lineitem_pax")
-	if err != nil {
-		return ConcurrencyReport{}, err
-	}
-	q := device.Query{
-		Table:  device.RefOf(tbl.File),
-		Filter: tpch.Q6Predicate(),
-		Aggs:   tpch.Q6Aggregates(),
-	}
-
-	var rep ConcurrencyReport
-	var single time.Duration
-	for _, n := range []int{1, 2, 4} {
+	levels := []int{1, 2, 4}
+	makespans, err := sweep(o, e, len(levels), func(eng *core.Engine, li int) (time.Duration, error) {
+		n := levels[li]
+		// The query references the engine's own table file, so each
+		// clone drives its own device.
+		tbl, err := eng.Table("lineitem_pax")
+		if err != nil {
+			return 0, err
+		}
+		q := device.Query{
+			Table:  device.RefOf(tbl.File),
+			Filter: tpch.Q6Predicate(),
+			Aggs:   tpch.Q6Aggregates(),
+		}
 		// Fresh timeline; all n sessions admitted at time zero share
 		// the device's servers, which process requests FIFO.
-		e.ResetTiming()
-		rt := e.Runtime()
+		eng.ResetTiming()
+		rt := eng.Runtime()
 		ids := make([]device.SessionID, n)
 		for i := range ids {
 			id, err := rt.Open(q)
 			if err != nil {
-				return ConcurrencyReport{}, err
+				return 0, err
 			}
 			ids[i] = id
 		}
@@ -151,7 +159,7 @@ func ExtConcurrency(o Options) (ConcurrencyReport, error) {
 			for {
 				res, err := rt.Get(id)
 				if err != nil {
-					return ConcurrencyReport{}, err
+					return 0, err
 				}
 				if res.At > makespan {
 					makespan = res.At
@@ -161,16 +169,21 @@ func ExtConcurrency(o Options) (ConcurrencyReport, error) {
 				}
 			}
 			if err := rt.Close(id); err != nil {
-				return ConcurrencyReport{}, err
+				return 0, err
 			}
 		}
-		per := makespan / time.Duration(n)
-		if n == 1 {
-			single = makespan
-		}
+		return makespan, nil
+	})
+	if err != nil {
+		return ConcurrencyReport{}, err
+	}
+	var rep ConcurrencyReport
+	single := makespans[0]
+	for li, n := range levels {
+		per := makespans[li] / time.Duration(n)
 		rep.Streams = append(rep.Streams, ConcurrencyPoint{
 			Streams:    n,
-			Makespan:   makespan,
+			Makespan:   makespans[li],
 			PerQuery:   per,
 			Efficiency: float64(single) / float64(per),
 		})
@@ -211,11 +224,15 @@ type InterfacePoint struct {
 // ExtInterface runs Figure 3's Q6 with each host interface standard.
 func ExtInterface(o Options) (InterfaceReport, error) {
 	o.fill()
-	var rep InterfaceReport
-	for _, iface := range []hostif.Interface{
+	ifaces := []hostif.Interface{
 		hostif.SATA2, hostif.SATA3, hostif.SAS6, hostif.SAS12, hostif.PCIe2x4, hostif.PCIe3x4,
-	} {
+	}
+	// Parallelism lives at this level — one worker per interface, each
+	// running its inner Fig3 serially on its own engine.
+	points, err := fanOut(o, len(ifaces), func(i int) (InterfacePoint, error) {
+		iface := ifaces[i]
 		oi := o
+		oi.Parallelism = 1
 		p := o.SSD
 		if p.Geometry.Channels == 0 {
 			p = ssd.DefaultParams()
@@ -224,17 +241,20 @@ func ExtInterface(o Options) (InterfaceReport, error) {
 		oi.SSD = p
 		f3, err := Fig3(oi)
 		if err != nil {
-			return InterfaceReport{}, fmt.Errorf("interface %s: %w", iface.Name, err)
+			return InterfacePoint{}, fmt.Errorf("interface %s: %w", iface.Name, err)
 		}
-		rep.Points = append(rep.Points, InterfacePoint{
+		return InterfacePoint{
 			Interface:  iface.Name,
 			HostMBps:   float64(iface.EffectiveRate) / (1 << 20),
 			Host:       f3.Runs[0].Elapsed,
 			DevicePAX:  f3.Runs[2].Elapsed,
 			SpeedupPAX: f3.Runs[2].Speedup,
-		})
+		}, nil
+	})
+	if err != nil {
+		return InterfaceReport{}, err
 	}
-	return rep, nil
+	return InterfaceReport{Points: points}, nil
 }
 
 // Render prints the interface sweep.
@@ -276,25 +296,30 @@ func ExtHybrid(o Options) (HybridReport, error) {
 		Aggs:           tpch.Q6Aggregates(),
 		EstSelectivity: 0.006,
 	}
-	var rep HybridReport
-	var base time.Duration
-	var answer int64
-	for i, m := range []struct {
+	modes := []struct {
 		name string
 		mode core.Mode
 	}{
 		{"SAS SSD (host)", core.ForceHost},
 		{"Smart SSD (PAX)", core.ForceDevice},
 		{"Hybrid split", core.ForceHybrid},
-	} {
-		res, err := e.Run(spec, m.mode)
+	}
+	results, err := sweep(o, e, len(modes), func(eng *core.Engine, i int) (*core.Result, error) {
+		res, err := eng.Run(spec, modes[i].mode)
 		if err != nil {
-			return HybridReport{}, fmt.Errorf("hybrid %s: %w", m.name, err)
+			return nil, fmt.Errorf("hybrid %s: %w", modes[i].name, err)
 		}
-		if i == 0 {
-			base = res.Elapsed
-			answer = res.Rows[0][0].Int
-		} else if res.Rows[0][0].Int != answer {
+		return res, nil
+	})
+	if err != nil {
+		return HybridReport{}, err
+	}
+	var rep HybridReport
+	base := results[0].Elapsed
+	answer := results[0].Rows[0][0].Int
+	for i, m := range modes {
+		res := results[i]
+		if i > 0 && res.Rows[0][0].Int != answer {
 			return HybridReport{}, fmt.Errorf("hybrid %s: answer diverges", m.name)
 		}
 		if m.mode == core.ForceHybrid {

@@ -70,25 +70,30 @@ func ExtFaults(o Options) (FaultsReport, error) {
 	}
 	rep := FaultsReport{Answer: host.Rows[0][0].Int, HostElapsed: host.Elapsed}
 
-	for _, rate := range []float64{0, 0.05, 0.2, 0.5, 1.0} {
+	// Each rate point builds its own engine and injector, so points are
+	// independent and fan out across workers; trials within a point stay
+	// serial because they share one injector stream.
+	rates := []float64{0, 0.05, 0.2, 0.5, 1.0}
+	runs, err := fanOut(o, len(rates), func(ri int) (FaultRun, error) {
+		rate := rates[ri]
 		fo := o
 		fo.SSD.Fault = fault.Config{Seed: o.FaultSeed, SessionAbortRate: rate}
 		e, err := engineFor(fo)
 		if err != nil {
-			return FaultsReport{}, err
+			return FaultRun{}, err
 		}
 		if err := loadTPCH(e, fo, false); err != nil {
-			return FaultsReport{}, err
+			return FaultRun{}, err
 		}
 		run := FaultRun{AbortRate: rate}
 		var total time.Duration
 		for trial := 0; trial < faultTrials; trial++ {
 			res, err := e.Run(spec, core.ForceDevice)
 			if err != nil {
-				return FaultsReport{}, fmt.Errorf("faults rate %.2f trial %d: %w", rate, trial, err)
+				return FaultRun{}, fmt.Errorf("faults rate %.2f trial %d: %w", rate, trial, err)
 			}
 			if got := res.Rows[0][0].Int; got != rep.Answer {
-				return FaultsReport{}, fmt.Errorf("faults rate %.2f trial %d: answer %d != clean %d",
+				return FaultRun{}, fmt.Errorf("faults rate %.2f trial %d: answer %d != clean %d",
 					rate, trial, got, rep.Answer)
 			}
 			total += res.Elapsed
@@ -100,8 +105,12 @@ func ExtFaults(o Options) (FaultsReport, error) {
 		}
 		run.Elapsed = total / faultTrials
 		run.Speedup = float64(host.Elapsed) / float64(run.Elapsed)
-		rep.Runs = append(rep.Runs, run)
+		return run, nil
+	})
+	if err != nil {
+		return FaultsReport{}, err
 	}
+	rep.Runs = runs
 	return rep, nil
 }
 

@@ -110,13 +110,21 @@ func Fig3(o Options) (Fig3Report, error) {
 		{"Smart SSD (NSM)", "lineitem_nsm", core.ForceDevice},
 		{"Smart SSD (PAX)", "lineitem_pax", core.ForceDevice},
 	}
+	results, err := sweep(o, e, len(configs), func(eng *core.Engine, i int) (*core.Result, error) {
+		c := configs[i]
+		res, err := eng.Run(spec(c.table), c.mode)
+		if err != nil {
+			return nil, fmt.Errorf("fig3 %s: %w", c.name, err)
+		}
+		return res, nil
+	})
+	if err != nil {
+		return Fig3Report{}, err
+	}
 	var rep Fig3Report
 	var base time.Duration
 	for i, c := range configs {
-		res, err := e.Run(spec(c.table), c.mode)
-		if err != nil {
-			return Fig3Report{}, fmt.Errorf("fig3 %s: %w", c.name, err)
-		}
+		res := results[i]
 		if i == 0 {
 			base = res.Elapsed
 			rep.Q6Sum = res.Rows[0][0].Int
@@ -177,29 +185,42 @@ func Fig5(o Options, selectivities []int64) (Fig5Report, error) {
 	if err := loadSynthetic(e, o); err != nil {
 		return Fig5Report{}, err
 	}
+	spec := func(sel int64, layout string) core.QuerySpec {
+		return core.QuerySpec{
+			Table:          "synth_s_" + layout,
+			Join:           &core.JoinClause{BuildTable: "synth_r_" + layout, BuildKey: "r_col_1", ProbeKey: "s_col_2"},
+			Filter:         synth.SelectionPredicate(sel),
+			Output:         synth.JoinOutput(),
+			EstSelectivity: float64(sel) / 100,
+		}
+	}
+	// Three runs per selectivity, flattened into one job list so every
+	// (selectivity, configuration) point fans out independently.
+	type fig5Cfg struct {
+		kind   string
+		layout string
+		mode   core.Mode
+	}
+	cfgs := []fig5Cfg{
+		{"host", "nsm", core.ForceHost},
+		{"nsm", "nsm", core.ForceDevice},
+		{"pax", "pax", core.ForceDevice},
+	}
+	results, err := sweep(o, e, len(selectivities)*len(cfgs), func(eng *core.Engine, i int) (*core.Result, error) {
+		sel := selectivities[i/len(cfgs)]
+		c := cfgs[i%len(cfgs)]
+		res, err := eng.Run(spec(sel, c.layout), c.mode)
+		if err != nil {
+			return nil, fmt.Errorf("fig5 %s sel=%d: %w", c.kind, sel, err)
+		}
+		return res, nil
+	})
+	if err != nil {
+		return Fig5Report{}, err
+	}
 	var rep Fig5Report
-	for _, sel := range selectivities {
-		spec := func(layout string) core.QuerySpec {
-			return core.QuerySpec{
-				Table:          "synth_s_" + layout,
-				Join:           &core.JoinClause{BuildTable: "synth_r_" + layout, BuildKey: "r_col_1", ProbeKey: "s_col_2"},
-				Filter:         synth.SelectionPredicate(sel),
-				Output:         synth.JoinOutput(),
-				EstSelectivity: float64(sel) / 100,
-			}
-		}
-		host, err := e.Run(spec("nsm"), core.ForceHost)
-		if err != nil {
-			return Fig5Report{}, fmt.Errorf("fig5 host sel=%d: %w", sel, err)
-		}
-		nsm, err := e.Run(spec("nsm"), core.ForceDevice)
-		if err != nil {
-			return Fig5Report{}, fmt.Errorf("fig5 nsm sel=%d: %w", sel, err)
-		}
-		pax, err := e.Run(spec("pax"), core.ForceDevice)
-		if err != nil {
-			return Fig5Report{}, fmt.Errorf("fig5 pax sel=%d: %w", sel, err)
-		}
+	for si, sel := range selectivities {
+		host, nsm, pax := results[si*3], results[si*3+1], results[si*3+2]
 		if len(nsm.Rows) != len(host.Rows) || len(pax.Rows) != len(host.Rows) {
 			return Fig5Report{}, fmt.Errorf("fig5 sel=%d: row counts diverge host=%d nsm=%d pax=%d",
 				sel, len(host.Rows), len(nsm.Rows), len(pax.Rows))
@@ -267,14 +288,22 @@ func Fig7(o Options) (Fig7Report, error) {
 		{"Smart SSD (NSM)", "nsm", core.ForceDevice},
 		{"Smart SSD (PAX)", "pax", core.ForceDevice},
 	}
+	results, err := sweep(o, e, len(configs), func(eng *core.Engine, i int) (*core.Result, error) {
+		c := configs[i]
+		res, err := eng.Run(spec(c.layout), c.mode)
+		if err != nil {
+			return nil, fmt.Errorf("fig7 %s: %w", c.name, err)
+		}
+		return res, nil
+	})
+	if err != nil {
+		return Fig7Report{}, err
+	}
 	var rep Fig7Report
 	var base time.Duration
 	var promo, total int64
 	for i, c := range configs {
-		res, err := e.Run(spec(c.layout), c.mode)
-		if err != nil {
-			return Fig7Report{}, fmt.Errorf("fig7 %s: %w", c.name, err)
-		}
+		res := results[i]
 		if i == 0 {
 			base = res.Elapsed
 			promo, total = res.Rows[0][0].Int, res.Rows[0][1].Int
@@ -343,13 +372,21 @@ func Table3(o Options) (Table3Report, error) {
 		{"Smart SSD (NSM)", "lineitem_nsm", core.ForceDevice},
 		{"Smart SSD (PAX)", "lineitem_pax", core.ForceDevice},
 	}
+	results, err := sweep(o, e, len(configs), func(eng *core.Engine, i int) (*core.Result, error) {
+		c := configs[i]
+		res, err := eng.Run(spec(c.table), c.mode)
+		if err != nil {
+			return nil, fmt.Errorf("table3 %s: %w", c.name, err)
+		}
+		return res, nil
+	})
+	if err != nil {
+		return Table3Report{}, err
+	}
 	var rep Table3Report
 	aboveIdle := make([]float64, len(configs))
 	for i, c := range configs {
-		res, err := e.Run(spec(c.table), c.mode)
-		if err != nil {
-			return Table3Report{}, fmt.Errorf("table3 %s: %w", c.name, err)
-		}
+		res := results[i]
 		rep.Runs = append(rep.Runs, Run{
 			Name:       c.name,
 			Elapsed:    res.Elapsed,

@@ -1,0 +1,83 @@
+package experiments
+
+import "testing"
+
+// parallelArtifacts extends the golden set to every Options-driven
+// experiment the benchsuite exposes: the harness guarantee is
+// per-experiment, so each report is pinned individually.
+func parallelArtifacts() []goldenArtifact {
+	ext := []goldenArtifact{
+		{"q1", func(o Options) (string, error) {
+			r, err := ExtQ1(o)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"concurrency", func(o Options) (string, error) {
+			r, err := ExtConcurrency(o)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"interfaces", func(o Options) (string, error) {
+			r, err := ExtInterface(o)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"hybrid", func(o Options) (string, error) {
+			r, err := ExtHybrid(o)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"faults", func(o Options) (string, error) {
+			r, err := ExtFaults(o)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"util", func(o Options) (string, error) {
+			r, err := ExtUtil(o)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+	}
+	return append(goldenArtifacts(), ext...)
+}
+
+// TestParallelSerialEquivalence is the tentpole determinism proof: every
+// experiment report must be byte-identical whether its sweep runs on the
+// serial pre-harness path (Parallelism 1) or fanned out across 8
+// workers. Run under -race in CI, this also exercises the harness's
+// engine-clone isolation.
+func TestParallelSerialEquivalence(t *testing.T) {
+	for _, a := range parallelArtifacts() {
+		a := a
+		t.Run(a.name, func(t *testing.T) {
+			t.Parallel()
+			serial := goldenOptions()
+			serial.Parallelism = 1
+			want, err := a.run(serial)
+			if err != nil {
+				t.Fatalf("serial run: %v", err)
+			}
+			par := goldenOptions()
+			par.Parallelism = 8
+			got, err := a.run(par)
+			if err != nil {
+				t.Fatalf("parallel run: %v", err)
+			}
+			if got != want {
+				t.Fatalf("report differs between -par 1 and -par 8:\n--- serial ---\n%s--- parallel ---\n%s", want, got)
+			}
+		})
+	}
+}

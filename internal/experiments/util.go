@@ -53,13 +53,20 @@ func ExtUtil(o Options) (UtilReport, error) {
 		{"SAS SSD (host)", "lineitem_nsm", core.ForceHost},
 		{"Smart SSD (PAX)", "lineitem_pax", core.ForceDevice},
 	}
+	results, err := sweep(o, e, len(configs), func(eng *core.Engine, i int) (*core.Result, error) {
+		res, err := eng.Run(spec(configs[i].table), configs[i].mode)
+		if err != nil {
+			return nil, fmt.Errorf("util %s: %w", configs[i].name, err)
+		}
+		return res, nil
+	})
+	if err != nil {
+		return UtilReport{}, err
+	}
 	var rep UtilReport
 	var answer int64
 	for i, c := range configs {
-		res, err := e.Run(spec(c.table), c.mode)
-		if err != nil {
-			return UtilReport{}, fmt.Errorf("util %s: %w", c.name, err)
-		}
+		res := results[i]
 		if i == 0 {
 			answer = res.Rows[0][0].Int
 		} else if got := res.Rows[0][0].Int; got != answer {

@@ -407,16 +407,34 @@ func (c Case) String() string {
 
 // DistinctColumns reports the deduplicated, referenced column indexes of e.
 func DistinctColumns(e Expr) []int {
-	all := e.Columns(nil)
-	seen := make(map[int]bool, len(all))
-	var out []int
-	for _, c := range all {
-		if !seen[c] {
-			seen[c] = true
-			out = append(out, c)
+	return AppendDistinctColumns(nil, e)
+}
+
+// AppendDistinctColumns appends e's deduplicated column indexes to dst
+// and returns the extended slice, preserving first-reference order.
+// Passing a reused scratch slice (dst[:0]) makes repeated cost-model
+// evaluations allocation-free; the expression column counts of the
+// supported query class are small enough that the linear-scan dedupe
+// beats a map.
+func AppendDistinctColumns(dst []int, e Expr) []int {
+	start := len(dst)
+	dst = e.Columns(dst)
+	w := start
+	for r := start; r < len(dst); r++ {
+		c := dst[r]
+		dup := false
+		for i := start; i < w; i++ {
+			if dst[i] == c {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			dst[w] = c
+			w++
 		}
 	}
-	return out
+	return dst[:w]
 }
 
 func joinExprs(es []Expr, sep string) string {

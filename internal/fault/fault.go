@@ -93,21 +93,21 @@ const (
 // the point of the draw; recovery actions (retries that succeeded,
 // remaps, fallbacks) are counted by the layer that performs them.
 type Stats struct {
-	ReadErrors      int64 // transient read errors injected
-	Uncorrectables  int64 // uncorrectable read outcomes injected
-	ProgramFails    int64 // program failures injected
-	EraseFails      int64 // erase failures injected
-	LatencySpikes   int64 // controller latency spikes injected
-	DMAStalls       int64 // DMA bus stalls injected
-	SessionAborts   int64 // sessions aborted mid-GET
-	GrantDenials    int64 // OPEN memory grants denied
-	GetTimeouts     int64 // GETs hung until timeout
-	DeviceFailures  int64 // whole-device failures
-	SpikeDelay      int64 // total simulated ns added by spikes
-	StallDelay      int64 // total simulated ns added by stalls
-	TimeoutDelay    int64 // total simulated ns hosts spent waiting on hung GETs
-	StickyBadPages  int64 // pages currently marked uncorrectable
-	DeviceDead      bool  // device has failed and stays failed
+	ReadErrors     int64 // transient read errors injected
+	Uncorrectables int64 // uncorrectable read outcomes injected
+	ProgramFails   int64 // program failures injected
+	EraseFails     int64 // erase failures injected
+	LatencySpikes  int64 // controller latency spikes injected
+	DMAStalls      int64 // DMA bus stalls injected
+	SessionAborts  int64 // sessions aborted mid-GET
+	GrantDenials   int64 // OPEN memory grants denied
+	GetTimeouts    int64 // GETs hung until timeout
+	DeviceFailures int64 // whole-device failures
+	SpikeDelay     int64 // total simulated ns added by spikes
+	StallDelay     int64 // total simulated ns added by stalls
+	TimeoutDelay   int64 // total simulated ns hosts spent waiting on hung GETs
+	StickyBadPages int64 // pages currently marked uncorrectable
+	DeviceDead     bool  // device has failed and stays failed
 }
 
 // Injector draws faults deterministically. The zero of *Injector (nil)
@@ -136,6 +136,32 @@ func New(cfg Config) *Injector {
 		counters: make(map[int64]uint64),
 		sticky:   make(map[uint64]bool),
 	}
+}
+
+// Clone returns an injector with an identical configuration and an
+// identical position in every per-site draw stream, so a cloned device
+// observes exactly the fault sequence the original would have. The
+// clone shares nothing with the receiver; a nil receiver clones to nil.
+func (i *Injector) Clone() *Injector {
+	if i == nil {
+		return nil
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	c := &Injector{
+		cfg:      i.cfg,
+		counters: make(map[int64]uint64, len(i.counters)),
+		sticky:   make(map[uint64]bool, len(i.sticky)),
+		dead:     i.dead,
+		stats:    i.stats,
+	}
+	for site, n := range i.counters {
+		c.counters[site] = n
+	}
+	for ppa, bad := range i.sticky {
+		c.sticky[ppa] = bad
+	}
+	return c
 }
 
 // splitmix64 is the finalizer from Vigna's SplitMix64 generator: a

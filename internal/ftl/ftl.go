@@ -98,12 +98,12 @@ type FTL struct {
 	gcRuns     int64
 	collecting bool // guards against re-entrant GC during relocation
 
-	inj                *fault.Injector          // nil unless fault injection is enabled
-	badBlocks          map[nand.BlockID]bool    // grown-bad blocks, retired from service
-	readRetries        int64                    // NAND re-reads performed after transient errors
-	recoveredReads     int64                    // reads that succeeded after at least one retry
-	uncorrectableReads int64                    // reads lost after the retry ladder
-	remappedPrograms   int64                    // page slots abandoned to program failures
+	inj                *fault.Injector       // nil unless fault injection is enabled
+	badBlocks          map[nand.BlockID]bool // grown-bad blocks, retired from service
+	readRetries        int64                 // NAND re-reads performed after transient errors
+	recoveredReads     int64                 // reads that succeeded after at least one retry
+	uncorrectableReads int64                 // reads lost after the retry ladder
+	remappedPrograms   int64                 // page slots abandoned to program failures
 }
 
 // New builds an FTL over array.
@@ -155,6 +155,48 @@ func New(array *nand.Array, cfg Config) (*FTL, error) {
 // machinery (retry and remap bookkeeping). The same injector should be
 // attached to the underlying nand.Array; a nil injector disables it.
 func (f *FTL) SetInjector(inj *fault.Injector) { f.inj = inj }
+
+// Clone returns an FTL over array with the same logical-to-physical
+// mapping, free lists, write frontiers, and cumulative statistics as
+// the receiver. The mapping tables are deep-copied: a clone's writes
+// and garbage collection never disturb the original. array should be a
+// Clone of the receiver's array so both sides agree on page state; the
+// clone keeps the receiver's injector until SetInjector replaces it.
+func (f *FTL) Clone(array *nand.Array) *FTL {
+	nf := &FTL{
+		array:        array,
+		geo:          f.geo,
+		cfg:          f.cfg,
+		logicalPages: f.logicalPages,
+		l2p:          append([]nand.PPA(nil), f.l2p...),
+		p2l:          append([]LBA(nil), f.p2l...),
+		validCount:   append([]int(nil), f.validCount...),
+		freeBlocks:   make([][]nand.BlockID, len(f.freeBlocks)),
+		active:       append([]nand.BlockID(nil), f.active...),
+		frontier:     append([]int(nil), f.frontier...),
+		nextChan:     f.nextChan,
+
+		hostReads:  f.hostReads,
+		hostWrites: f.hostWrites,
+		gcWrites:   f.gcWrites,
+		gcRuns:     f.gcRuns,
+		collecting: f.collecting,
+
+		inj:                f.inj,
+		badBlocks:          make(map[nand.BlockID]bool, len(f.badBlocks)),
+		readRetries:        f.readRetries,
+		recoveredReads:     f.recoveredReads,
+		uncorrectableReads: f.uncorrectableReads,
+		remappedPrograms:   f.remappedPrograms,
+	}
+	for ch := range f.freeBlocks {
+		nf.freeBlocks[ch] = append([]nand.BlockID(nil), f.freeBlocks[ch]...)
+	}
+	for b, bad := range f.badBlocks {
+		nf.badBlocks[b] = bad
+	}
+	return nf
+}
 
 // LogicalPages reports the host-visible capacity in pages.
 func (f *FTL) LogicalPages() int64 { return f.logicalPages }

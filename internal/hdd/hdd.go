@@ -216,14 +216,31 @@ func (d *Device) WritePage(lba int64, data []byte, ready time.Duration) (time.Du
 	pos := d.positioning(lba)
 	done := d.media.Serve(ready+d.params.CommandOverhead+pos, int64(d.params.PageSize))
 	d.head = lba + 1
-	buf, ok := d.store[lba]
-	if !ok {
-		buf = make([]byte, d.params.PageSize)
-		d.store[lba] = buf
-	}
+	// Stored buffers are immutable: a rewrite replaces the buffer rather
+	// than updating it in place, so clones can share page contents.
+	buf := make([]byte, d.params.PageSize)
 	copy(buf, data)
+	d.store[lba] = buf
 	d.bytesWritten += int64(d.params.PageSize)
 	return done, nil
+}
+
+// Clone returns a disk with the same stored contents and fresh timing
+// state (new media server, zeroed counters, parked head). Page buffers
+// are shared — WritePage replaces rather than mutates them — while each
+// clone writes into its own store map, so clones never disturb each
+// other or the receiver.
+func (d *Device) Clone() *Device {
+	nd := &Device{
+		params: d.params,
+		media:  sim.NewServer("hdd-media", d.params.TransferRate),
+		store:  make(map[int64][]byte, len(d.store)),
+		head:   -1,
+	}
+	for lba, buf := range d.store {
+		nd.store[lba] = buf
+	}
+	return nd
 }
 
 // SetTracer installs (or, with nil, removes) a per-request trace hook

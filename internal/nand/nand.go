@@ -210,6 +210,32 @@ func NewArray(geo Geometry, timing Timing) (*Array, error) {
 // (the default) restores the fault-free medium.
 func (a *Array) SetInjector(inj *fault.Injector) { a.inj = inj }
 
+// Clone returns an array with the same geometry, contents, lifecycle
+// state, and wear counters. Page buffers are shared, not copied: a
+// programmed page's buffer is never mutated in place (Program requires
+// the Erased state, and Erase drops the buffer before a slot can be
+// reused), so clones reading the same PPA concurrently see immutable
+// bytes while each clone's programs and erases touch only its own
+// data/state slices. The clone keeps the receiver's injector; callers
+// wiring an isolated fault domain attach their own with SetInjector.
+func (a *Array) Clone() *Array {
+	return &Array{
+		geo:           a.geo,
+		timing:        a.timing,
+		data:          append([][]byte(nil), a.data...),
+		state:         append([]PageState(nil), a.state...),
+		writeFrontier: append([]int(nil), a.writeFrontier...),
+		eraseCount:    append([]int64(nil), a.eraseCount...),
+		reads:         a.reads,
+		programs:      a.programs,
+		erases:        a.erases,
+		senseTime:     a.senseTime,
+		programTime:   a.programTime,
+		eraseTime:     a.eraseTime,
+		inj:           a.inj,
+	}
+}
+
 // Geometry reports the array's physical organization.
 func (a *Array) Geometry() Geometry { return a.geo }
 

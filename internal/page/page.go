@@ -238,10 +238,15 @@ func (r *Reader) Bind(buf []byte) error {
 		return fmt.Errorf("%w: page says %d, schema says %d", ErrSchema,
 			binary.LittleEndian.Uint16(buf[offWidth:]), r.schema.TupleWidth())
 	}
+	// Verify without touching buf: the checksum was computed with the
+	// CRC field zeroed, so feed the zeros from a scratch word instead of
+	// writing them into the page. Page buffers alias device storage that
+	// concurrent readers (engine clones) may share; Bind must not write.
+	var zeroCRC [4]byte
 	stored := binary.LittleEndian.Uint32(buf[offCRC:])
-	binary.LittleEndian.PutUint32(buf[offCRC:], 0)
-	sum := crc32.Checksum(buf, crcTable)
-	binary.LittleEndian.PutUint32(buf[offCRC:], stored)
+	sum := crc32.Checksum(buf[:offCRC], crcTable)
+	sum = crc32.Update(sum, crcTable, zeroCRC[:])
+	sum = crc32.Update(sum, crcTable, buf[offCRC+4:])
 	if sum != stored {
 		return fmt.Errorf("%w: stored %#x computed %#x", ErrBadChecksum, stored, sum)
 	}

@@ -1,0 +1,99 @@
+// Package runner is a deterministic fan-out harness for independent
+// simulation runs.
+//
+// Every experiment sweep in this repo is a list of (configuration,
+// query) points whose simulations share loaded data but no mutable
+// state — exactly the shape Engine.Clone produces. Run executes those
+// points across a bounded set of workers and returns the results in
+// submission order, so a report rendered from them is byte-identical to
+// one produced by the serial loop: parallelism changes wall-clock time
+// and nothing else.
+//
+// Determinism comes from two properties. First, ordered collection:
+// results land in a slice indexed by submission position, and the
+// first error by submission order wins, regardless of which worker
+// finished when. Second, worker-isolated state: a job receives the
+// worker index it runs on, so callers can give each worker its own
+// engine clone and rely on never sharing mutable simulation state
+// between two in-flight jobs.
+package runner
+
+import "sync"
+
+// Run executes jobs 0..n-1 on at most workers concurrent goroutines
+// and returns their results in submission order. Each invocation
+// receives the worker index (0..workers-1) it is running on and the job
+// index; all jobs executing a given worker index run sequentially, so
+// per-worker state needs no locking. With workers <= 1 (or n <= 1)
+// every job runs inline on the calling goroutine as worker 0 — the
+// serial path, with no goroutines spawned.
+//
+// If any job returns an error, Run reports the error of the smallest
+// failing job index — the same error the serial loop would have
+// stopped on. Remaining jobs may or may not run; their results are
+// discarded on error.
+func Run[T any](workers, n int, job func(worker, index int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	if workers > n {
+		workers = n
+	}
+	results := make([]T, n)
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			r, err := job(0, i)
+			if err != nil {
+				return nil, err
+			}
+			results[i] = r
+		}
+		return results, nil
+	}
+
+	var (
+		mu     sync.Mutex
+		next   int
+		errs   = make([]error, n)
+		failed bool
+		wg     sync.WaitGroup
+	)
+	take := func() (int, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if failed || next >= n {
+			return 0, false
+		}
+		i := next
+		next++
+		return i, true
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				i, ok := take()
+				if !ok {
+					return
+				}
+				r, err := job(worker, i)
+				if err != nil {
+					mu.Lock()
+					errs[i] = err
+					failed = true
+					mu.Unlock()
+					continue
+				}
+				results[i] = r
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}

@@ -1,0 +1,98 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+// TestOrderedCollection proves results come back in submission order
+// for every worker count, including counts above the job count.
+func TestOrderedCollection(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 3, 8, 64} {
+		got, err := Run(workers, 40, func(_, i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != 40 {
+			t.Fatalf("workers=%d: %d results, want 40", workers, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: result[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+// TestLowestIndexError proves the reported error is the one the serial
+// loop would have stopped on, regardless of completion order.
+func TestLowestIndexError(t *testing.T) {
+	for _, workers := range []int{1, 4, 16} {
+		_, err := Run(workers, 32, func(_, i int) (int, error) {
+			if i%7 == 3 { // fails at 3, 10, 17, 24, 31
+				return 0, fmt.Errorf("job %d failed", i)
+			}
+			return i, nil
+		})
+		if err == nil || err.Error() != "job 3 failed" {
+			t.Fatalf("workers=%d: err = %v, want job 3's error", workers, err)
+		}
+	}
+}
+
+// TestWorkerIsolation proves no two jobs observe the same worker index
+// concurrently, the property that makes per-worker engine clones safe.
+func TestWorkerIsolation(t *testing.T) {
+	const workers = 4
+	var inUse [workers]atomic.Int32
+	_, err := Run(workers, 200, func(w, i int) (struct{}, error) {
+		if w < 0 || w >= workers {
+			return struct{}{}, fmt.Errorf("worker index %d out of range", w)
+		}
+		if inUse[w].Add(1) != 1 {
+			return struct{}{}, errors.New("two jobs on one worker at once")
+		}
+		for j := 0; j < 100; j++ { // widen the race window
+			_ = j
+		}
+		inUse[w].Add(-1)
+		return struct{}{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSerialInline proves the workers<=1 path runs on the calling
+// goroutine with worker index 0 and stops at the first error.
+func TestSerialInline(t *testing.T) {
+	ran := 0
+	_, err := Run(1, 10, func(w, i int) (int, error) {
+		if w != 0 {
+			t.Fatalf("serial worker index = %d, want 0", w)
+		}
+		ran++
+		if i == 4 {
+			return 0, errors.New("stop here")
+		}
+		return i, nil
+	})
+	if err == nil || err.Error() != "stop here" {
+		t.Fatalf("err = %v", err)
+	}
+	if ran != 5 {
+		t.Fatalf("serial path ran %d jobs after the error, want 5 total", ran)
+	}
+}
+
+// TestEmpty proves degenerate job counts are handled.
+func TestEmpty(t *testing.T) {
+	got, err := Run(8, 0, func(_, _ int) (int, error) { return 0, nil })
+	if err != nil || got != nil {
+		t.Fatalf("Run(8, 0) = %v, %v; want nil, nil", got, err)
+	}
+}

@@ -1,0 +1,87 @@
+package schema
+
+// TupleArena batch-allocates tuple copies: values and Char backing
+// bytes are carved from chunked slabs instead of one heap object per
+// tuple, cutting the executor's per-tuple allocation count on paths
+// that must retain tuples past their emit window (hash-join build
+// sides, group states, collected result rows).
+//
+// Tuples returned by Clone stay valid for the arena's lifetime; the
+// arena only ever carves forward, so earlier clones are never
+// overwritten. Not safe for concurrent use.
+type TupleArena struct {
+	vals  []Value
+	bytes []byte
+	ints  []int64
+	bools []bool
+}
+
+const (
+	arenaValChunk  = 4096
+	arenaByteChunk = 16384
+)
+
+// Clone deep-copies t (Char bytes included) into the arena.
+func (a *TupleArena) Clone(t Tuple) Tuple {
+	if cap(a.vals)-len(a.vals) < len(t) {
+		a.vals = make([]Value, 0, max(arenaValChunk, len(t)))
+	}
+	n := len(a.vals)
+	out := a.vals[n : n+len(t) : n+len(t)]
+	a.vals = a.vals[:n+len(t)]
+	copy(out, t)
+	for i := range out {
+		if out[i].Bytes != nil {
+			out[i].Bytes = a.cloneBytes(out[i].Bytes)
+		}
+	}
+	return Tuple(out)
+}
+
+// CloneBytes copies b into the arena's byte slab.
+func (a *TupleArena) CloneBytes(b []byte) []byte { return a.cloneBytes(b) }
+
+func (a *TupleArena) cloneBytes(b []byte) []byte {
+	if cap(a.bytes)-len(a.bytes) < len(b) {
+		a.bytes = make([]byte, 0, max(arenaByteChunk, len(b)))
+	}
+	n := len(a.bytes)
+	out := a.bytes[n : n+len(b) : n+len(b)]
+	a.bytes = a.bytes[:n+len(b)]
+	copy(out, b)
+	return out
+}
+
+// Ints carves a zeroed int64 slice (aggregate accumulators).
+func (a *TupleArena) Ints(n int) []int64 {
+	if cap(a.ints)-len(a.ints) < n {
+		a.ints = make([]int64, 0, max(arenaValChunk, n))
+	}
+	ln := len(a.ints)
+	out := a.ints[ln : ln+n : ln+n]
+	a.ints = a.ints[:ln+n]
+	return out
+}
+
+// Bools carves a zeroed bool slice (aggregate seen flags).
+func (a *TupleArena) Bools(n int) []bool {
+	if cap(a.bools)-len(a.bools) < n {
+		a.bools = make([]bool, 0, max(arenaValChunk, n))
+	}
+	ln := len(a.bools)
+	out := a.bools[ln : ln+n : ln+n]
+	a.bools = a.bools[:ln+n]
+	return out
+}
+
+// Tuple carves a zero-valued tuple of n values. Every carve is from
+// fresh, never-recycled slab memory, so the region is already zero.
+func (a *TupleArena) Tuple(n int) Tuple {
+	if cap(a.vals)-len(a.vals) < n {
+		a.vals = make([]Value, 0, max(arenaValChunk, n))
+	}
+	ln := len(a.vals)
+	out := a.vals[ln : ln+n : ln+n]
+	a.vals = a.vals[:ln+n]
+	return Tuple(out)
+}

@@ -61,6 +61,10 @@ type interval struct {
 // lane is a calendar of busy intervals sorted by start time.
 type lane struct {
 	ivs []interval
+	// scratch is plan's reusable fragment buffer; lanes are not
+	// reentrant, so one buffer per lane suffices and keeps the hot
+	// Serve path allocation-free.
+	scratch []interval
 }
 
 // place reserves d of service starting no earlier than ready, spilling
@@ -85,7 +89,7 @@ func (l *lane) place(ready time.Duration, d time.Duration) (start, done time.Dur
 // plan computes the fragments a request of length d ready at the given
 // time would occupy, without reserving them.
 func (l *lane) plan(ready time.Duration, d time.Duration) (time.Duration, []interval) {
-	var frags []interval
+	frags := l.scratch[:0]
 	remaining := d
 	t := ready
 	i := sort.Search(len(l.ivs), func(k int) bool { return l.ivs[k].end > t })
@@ -108,6 +112,7 @@ func (l *lane) plan(ready time.Duration, d time.Duration) (time.Duration, []inte
 			i++
 		}
 	}
+	l.scratch = frags // keep grown capacity for the next call
 	return t, frags
 }
 

@@ -194,6 +194,39 @@ func New(params Params) (*Device, error) {
 	return d, nil
 }
 
+// Clone returns a device with identical stored contents, FTL mapping,
+// and fault-injection stream position, but fresh timing state: a new
+// clock, new rate servers, and zeroed traffic counters — the state a
+// ResetTiming leaves behind. NAND page buffers are shared with the
+// receiver (they are immutable once programmed), so cloning is cheap
+// relative to reloading tables; everything a query can mutate (page
+// state, FTL maps, servers, counters, injector streams) is isolated.
+// Trace hooks and recorders are deliberately not carried over: clones
+// exist to run untraced, independent simulations in parallel.
+func (d *Device) Clone() *Device {
+	arr := d.array.Clone()
+	inj := d.inj.Clone()
+	arr.SetInjector(inj)
+	f := d.ftl.Clone(arr)
+	f.SetInjector(inj)
+	nd := &Device{
+		params: d.params,
+		clock:  new(sim.Clock),
+		array:  arr,
+		ftl:    f,
+		inj:    inj,
+		dma:    sim.NewServer("dma-bus", d.params.DMABusRate),
+		link:   sim.NewServer("host-link", d.params.Host.EffectiveRate),
+		dcpu:   sim.NewMultiServer("device-cpu", d.params.DeviceCPUHz, d.params.DeviceCPUCores),
+	}
+	nd.linkMeter.Iface = d.params.Host
+	nd.channels = make([]*sim.Server, d.params.Geometry.Channels)
+	for i := range nd.channels {
+		nd.channels[i] = sim.NewServer(fmt.Sprintf("flash-ch%d", i), d.params.Timing.ChannelRate)
+	}
+	return nd
+}
+
 // Params reports the device configuration.
 func (d *Device) Params() Params { return d.params }
 

@@ -12,14 +12,14 @@ import (
 // (the "JSON Array Format" every trace viewer accepts). Timestamps and
 // durations are microseconds.
 type chromeEvent struct {
-	Name string         `json:"name"`
-	Cat  string         `json:"cat,omitempty"`
-	Ph   string         `json:"ph"`
-	Ts   float64        `json:"ts"`
+	Name string  `json:"name"`
+	Cat  string  `json:"cat,omitempty"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"`
 	// Dur is always emitted: a complete ("X") event without dur renders
 	// inconsistently across viewers, and instantaneous protocol spans
 	// (OPEN/CLOSE) legitimately have dur 0.
-	Dur float64 `json:"dur"`
+	Dur  float64        `json:"dur"`
 	Pid  int            `json:"pid"`
 	Tid  int            `json:"tid"`
 	Args map[string]any `json:"args,omitempty"`

@@ -1,0 +1,23 @@
+#!/usr/bin/env sh
+# Record the benchmark baseline for the parallel run harness and the
+# executor hot path. Runs the wall-clock and allocs/op suites and writes
+# BENCH_baseline.json (via cmd/benchjson) at the repo root.
+#
+# Usage: scripts/bench_baseline.sh [output.json]
+#   BENCHTIME=5x scripts/bench_baseline.sh   # more iterations, steadier numbers
+set -eu
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_baseline.json}"
+benchtime="${BENCHTIME:-2x}"
+# Pre-optimization allocs/op, for the record: the arena + boxing work cut
+# host Q6 from 80055, device Q6 from 68465, host Q14 from 119489.
+BENCH_NOTES="${BENCH_NOTES:-pre-arena allocs/op: host Q6 80055, device Q6 68465, host Q14 119489; suite speedup is meaningful on 4+ cores only}"
+export BENCH_NOTES
+
+go test -run '^$' \
+	-bench 'BenchmarkSuiteWallClock|BenchmarkHostQ6Allocs|BenchmarkDeviceQ6Allocs|BenchmarkHostQ14Allocs' \
+	-benchmem -benchtime "$benchtime" . |
+	tee /dev/stderr |
+	go run ./cmd/benchjson >"$out"
+
+echo "wrote $out" >&2
