@@ -1,0 +1,174 @@
+// Smartssdc is the command-line client for smartssdd. It speaks the
+// session protocol directly so the daemon can be exercised (and its
+// load-shedding observed) from a shell:
+//
+//	smartssdc [-url http://127.0.0.1:8080] <command> [args]
+//
+// Commands:
+//
+//	open <file|->     POST a request body (file, or stdin for "-"),
+//	                  print the OPEN response with the session id
+//	result <id>       long-poll GET the session's result
+//	close <id>        DELETE the session
+//	run <file|->      open, get the result, close; print the result
+//	metrics           GET /metrics
+//	trace <id>        GET /debug/trace for a session opened with
+//	                  trace:true (Chrome trace JSON on stdout)
+//
+// Exit status is 0 only when the server answered with a 2xx status.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+)
+
+func main() { os.Exit(run()) }
+
+func usage() int {
+	fmt.Fprintln(os.Stderr, "usage: smartssdc [-url URL] open|result|close|run|metrics|trace [arg]")
+	return 2
+}
+
+func run() int {
+	url := flag.String("url", "http://127.0.0.1:8080", "smartssdd base URL")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		return usage()
+	}
+	base := strings.TrimRight(*url, "/")
+	switch args[0] {
+	case "open":
+		if len(args) != 2 {
+			return usage()
+		}
+		body, err := readBody(args[1])
+		if err != nil {
+			return fail(err)
+		}
+		return do(http.MethodPost, base+"/sessions", body)
+	case "result":
+		if len(args) != 2 {
+			return usage()
+		}
+		return do(http.MethodGet, base+"/sessions/"+args[1]+"/result", nil)
+	case "close":
+		if len(args) != 2 {
+			return usage()
+		}
+		return do(http.MethodDelete, base+"/sessions/"+args[1], nil)
+	case "run":
+		if len(args) != 2 {
+			return usage()
+		}
+		body, err := readBody(args[1])
+		if err != nil {
+			return fail(err)
+		}
+		return runOnce(base, body)
+	case "metrics":
+		if len(args) != 1 {
+			return usage()
+		}
+		return do(http.MethodGet, base+"/metrics", nil)
+	case "trace":
+		if len(args) != 2 {
+			return usage()
+		}
+		return do(http.MethodGet, base+"/debug/trace?session="+args[1], nil)
+	default:
+		return usage()
+	}
+}
+
+func readBody(arg string) ([]byte, error) {
+	if arg == "-" {
+		return io.ReadAll(os.Stdin)
+	}
+	return os.ReadFile(arg)
+}
+
+func fail(err error) int {
+	fmt.Fprintln(os.Stderr, "smartssdc:", err)
+	return 1
+}
+
+// do issues one request and streams the response body to stdout.
+func do(method, url string, body []byte) int {
+	status, data, err := request(method, url, body)
+	if err != nil {
+		return fail(err)
+	}
+	os.Stdout.Write(data)
+	if status < 200 || status > 299 {
+		fmt.Fprintln(os.Stderr, "smartssdc:", http.StatusText(status))
+		return 1
+	}
+	return 0
+}
+
+func request(method, url string, body []byte) (int, []byte, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = strings.NewReader(string(body))
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		return 0, nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, data, nil
+}
+
+// runOnce drives a full session: open, long-poll the result, close.
+// Only the result body reaches stdout; open/close chatter goes to
+// stderr so the output can be piped or diffed.
+func runOnce(base string, body []byte) int {
+	status, open, err := request(http.MethodPost, base+"/sessions", body)
+	if err != nil {
+		return fail(err)
+	}
+	if status != http.StatusCreated {
+		os.Stdout.Write(open)
+		fmt.Fprintln(os.Stderr, "smartssdc: open:", http.StatusText(status))
+		return 1
+	}
+	var ob struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(open, &ob); err != nil {
+		return fail(err)
+	}
+	fmt.Fprintln(os.Stderr, "smartssdc: session", ob.ID, "open")
+	status, data, err := request(http.MethodGet, base+"/sessions/"+ob.ID+"/result", nil)
+	if err != nil {
+		return fail(err)
+	}
+	os.Stdout.Write(data)
+	if _, _, err := request(http.MethodDelete, base+"/sessions/"+ob.ID, nil); err != nil {
+		return fail(err)
+	}
+	fmt.Fprintln(os.Stderr, "smartssdc: session", ob.ID, "closed")
+	if status != http.StatusOK {
+		fmt.Fprintln(os.Stderr, "smartssdc: result:", http.StatusText(status))
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,252 @@
+// Smartssdd is the query-serving daemon over the simulated Smart SSD
+// system: an HTTP/JSON service whose wire protocol mirrors the paper's
+// OPEN/GET/CLOSE session protocol (POST /sessions, long-polling GET
+// /sessions/{id}/result, DELETE /sessions/{id}), backed by per-worker
+// engine clones and a replicated cluster. At startup it loads TPC-H
+// lineitem at the configured scale factor into both backends from the
+// same seeded generator, so engine and cluster sessions answer over
+// identical logical data.
+//
+// Usage:
+//
+//	smartssdd [-addr 127.0.0.1:8080] [-sf 0.01] [-seed 1]
+//	          [-workers 4] [-queue 8] [-retry-after 1]
+//	          [-devices 4] [-replication 2]
+//	          [-smoke N]
+//
+// -smoke N skips the listener: it replays N sessions serially and then
+// N sessions concurrently against an in-process server, verifies the
+// two body streams are byte-identical, prints the serial server's
+// /metrics JSON to stdout (CI uploads it as an artifact), and exits
+// non-zero on any mismatch. The snapshot comes from the serial replay
+// because the cluster's resource report reflects whichever cluster
+// session ran last — fixed under serial order, scheduling-dependent
+// under concurrency — so the artifact stays byte-stable run to run.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+
+	"smartssd/internal/core"
+	"smartssd/internal/device"
+	"smartssd/internal/page"
+	"smartssd/internal/serve"
+	"smartssd/internal/ssd"
+	"smartssd/workload"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	sf := flag.Float64("sf", 0.01, "TPC-H scale factor loaded at startup")
+	seed := flag.Int64("seed", 1, "data generator seed")
+	workers := flag.Int("workers", 4, "concurrent sessions (one engine clone each)")
+	queue := flag.Int("queue", 0, "admission queue capacity (0: 2*workers)")
+	retryAfter := flag.Int("retry-after", 1, "Retry-After seconds advertised on 429")
+	devices := flag.Int("devices", 4, "cluster device count")
+	replication := flag.Int("replication", 2, "copies per cluster partition")
+	smoke := flag.Int("smoke", 0, "replay N sessions serially and concurrently, print /metrics, exit")
+	flag.Parse()
+
+	s, err := buildServer(*sf, *seed, *workers, *queue, *retryAfter, *devices, *replication)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "smartssdd:", err)
+		return 1
+	}
+	defer s.Close()
+
+	if *smoke > 0 {
+		return runSmoke(s, *sf, *seed, *workers, *queue, *retryAfter, *devices, *replication, *smoke)
+	}
+
+	fmt.Fprintf(os.Stderr, "smartssdd: lineitem sf=%g loaded on %d workers + %d-device cluster (x%d), listening on %s\n",
+		*sf, *workers, *devices, *replication, *addr)
+	if err := http.ListenAndServe(*addr, s.Handler()); err != nil {
+		fmt.Fprintln(os.Stderr, "smartssdd:", err)
+		return 1
+	}
+	return 0
+}
+
+// buildServer loads lineitem into a fresh engine and cluster from the
+// same seeded generator and wraps them in a serve.Server.
+func buildServer(sf float64, seed int64, workers, queue, retryAfter, devices, replication int) (*serve.Server, error) {
+	li := workload.LineitemSchema()
+	pages := workload.NumLineitem(sf)/51 + 2
+
+	e, err := core.New(core.Config{DisableHDD: true})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := e.CreateTable("lineitem", li, page.PAX, pages, core.OnSSD); err != nil {
+		return nil, err
+	}
+	if err := e.Load("lineitem", workload.LineitemGen(sf, seed)); err != nil {
+		return nil, err
+	}
+
+	cl, err := core.NewCluster(devices, ssd.DefaultParams(), device.DefaultCostModel())
+	if err != nil {
+		return nil, err
+	}
+	cl.SetReplication(replication)
+	if err := cl.CreateTable("lineitem", li, page.PAX, pages); err != nil {
+		return nil, err
+	}
+	if err := cl.Load("lineitem", workload.LineitemGen(sf, seed)); err != nil {
+		return nil, err
+	}
+
+	return serve.New(serve.Config{
+		Workers:           workers,
+		QueueCapacity:     queue,
+		RetryAfterSeconds: retryAfter,
+	}, e, cl)
+}
+
+// smokeBody is the i'th request of the smoke workload: alternating
+// engine and cluster targets over Q6-flavoured parameter sweeps.
+func smokeBody(i int) string {
+	target := "engine"
+	if i%2 == 1 {
+		target = "cluster"
+	}
+	yr := 1992 + i%6
+	// l_quantity is stored x100 (tpch generator convention), so the
+	// threshold sweeps 10..39 in natural units.
+	return fmt.Sprintf(`{
+  "tag": "smoke-%03d",
+  "table": "lineitem",
+  "target": %q,
+  "predicate": "l_shipdate >= DATE '%d-01-01' AND l_shipdate < DATE '%d-01-01' AND l_quantity < %d",
+  "aggs": [
+    {"kind": "sum", "expr": "l_extendedprice", "name": "sum_price"},
+    {"kind": "count", "name": "cnt"}
+  ]
+}`, i, target, yr, yr+1, (10+i%30)*100)
+}
+
+// runSession opens one session, long-polls its result, closes it, and
+// returns the result body.
+func runSession(url, body string) (string, []byte, error) {
+	resp, err := http.Post(url+"/sessions", "application/json", strings.NewReader(body))
+	if err != nil {
+		return "", nil, err
+	}
+	open, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusCreated {
+		return "", nil, fmt.Errorf("open = %d: %s", resp.StatusCode, open)
+	}
+	var ob struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(open, &ob); err != nil {
+		return "", nil, err
+	}
+	rr, err := http.Get(url + "/sessions/" + ob.ID + "/result")
+	if err != nil {
+		return "", nil, err
+	}
+	data, err := io.ReadAll(rr.Body)
+	rr.Body.Close()
+	if err != nil || rr.StatusCode != http.StatusOK {
+		return "", nil, fmt.Errorf("result = %d: %s", rr.StatusCode, data)
+	}
+	req, err := http.NewRequest(http.MethodDelete, url+"/sessions/"+ob.ID, nil)
+	if err != nil {
+		return "", nil, err
+	}
+	cr, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return "", nil, err
+	}
+	cr.Body.Close()
+	return ob.ID, data, nil
+}
+
+func runSmoke(serial *serve.Server, sf float64, seed int64, workers, queue, retryAfter, devices, replication, n int) int {
+	// Serial replay on the first server.
+	st := httptest.NewServer(serial.Handler())
+	defer st.Close()
+	want := make(map[int][]byte)
+	for i := 0; i < n; i++ {
+		_, body, err := runSession(st.URL, smokeBody(i))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "smartssdd: smoke serial session %d: %v\n", i, err)
+			return 1
+		}
+		want[i] = body
+	}
+	// The artifact: the serial server's /metrics snapshot, captured
+	// before anything else touches the cluster so it is byte-stable.
+	mr, err := http.Get(st.URL + "/metrics")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "smartssdd: smoke:", err)
+		return 1
+	}
+	artifact, err := io.ReadAll(mr.Body)
+	mr.Body.Close()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "smartssdd: smoke:", err)
+		return 1
+	}
+
+	// Concurrent replay on a second, identically loaded server.
+	conc, err := buildServer(sf, seed, workers, queue, retryAfter, devices, replication)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "smartssdd:", err)
+		return 1
+	}
+	defer conc.Close()
+	ct := httptest.NewServer(conc.Handler())
+	defer ct.Close()
+	var mu sync.Mutex
+	got := make(map[int][]byte)
+	errs := make(chan error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, body, err := runSession(ct.URL, smokeBody(i))
+			if err != nil {
+				errs <- fmt.Errorf("concurrent session %d: %w", i, err)
+				return
+			}
+			mu.Lock()
+			got[i] = body
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		fmt.Fprintln(os.Stderr, "smartssdd: smoke:", err)
+		return 1
+	}
+	for i := 0; i < n; i++ {
+		if !bytes.Equal(want[i], got[i]) {
+			fmt.Fprintf(os.Stderr, "smartssdd: smoke: session %d concurrent body differs from serial:\n%s\nvs\n%s\n",
+				i, got[i], want[i])
+			return 1
+		}
+	}
+	fmt.Fprintf(os.Stderr, "smartssdd: smoke: %d sessions byte-identical serial vs concurrent\n", n)
+
+	if _, err := os.Stdout.Write(artifact); err != nil {
+		fmt.Fprintln(os.Stderr, "smartssdd: smoke:", err)
+		return 1
+	}
+	return 0
+}

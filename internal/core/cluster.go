@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"sort"
+	"sync"
 	"time"
 
 	"smartssd/internal/device"
@@ -24,7 +26,26 @@ import (
 // (devices have independent timelines), and the host merges partial
 // results: concatenation for projections, algebraic combination for
 // aggregates.
+//
+// Concurrency contract. A Cluster is safe for concurrent use: Run,
+// RunRouted, CreateTable, Load, Replicate, SetReplication, and
+// ResetTiming serialize on an internal mutex. The simulated devices
+// themselves are single-timeline state machines (every sim.Server
+// mutates shared clock and counter state), so two queries can never
+// execute on one cluster at the same instant — the mutex makes each
+// Run atomic, exactly as if the calls had arrived in some serial
+// order. Callers that need true parallel execution across sessions run
+// each session on its own Engine.Clone (see internal/serve); the
+// cluster is the shared, partitioned backend. Accessors that return
+// internal devices (Device) hand out live simulator state: do not
+// drive them while another goroutine may be inside Run.
 type Cluster struct {
+	// mu serializes every method that touches device timelines or the
+	// catalog. Without it, two concurrent Run calls interleave on the
+	// same sim clocks and the run becomes schedule-dependent (a -race
+	// regression test pins this: see TestClusterConcurrentRunsAreSafe).
+	mu sync.Mutex
+
 	devices  []*ssd.Device
 	runtimes []*device.Runtime
 	allocs   []heap.Allocator
@@ -73,6 +94,8 @@ func NewCluster(n int, params ssd.Params, cost device.CostModel) (*Cluster, erro
 // devices). Must be called before CreateTable for tables that need
 // failover; k is clamped to [1, Devices()].
 func (c *Cluster) SetReplication(k int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if k < 1 {
 		k = 1
 	}
@@ -83,7 +106,11 @@ func (c *Cluster) SetReplication(k int) {
 }
 
 // Replication reports the configured copies per partition.
-func (c *Cluster) Replication() int { return c.replicas }
+func (c *Cluster) Replication() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.replicas
+}
 
 // Devices reports the worker count.
 func (c *Cluster) Devices() int { return len(c.devices) }
@@ -91,8 +118,51 @@ func (c *Cluster) Devices() int { return len(c.devices) }
 // Device reports worker i's device.
 func (c *Cluster) Device(i int) *ssd.Device { return c.devices[i] }
 
+// ResetTiming zeroes every device's timing state and protocol phase
+// counters (data preserved). The serving layer calls this before each
+// session's cluster run so a session's Elapsed measures that session
+// alone, independent of what ran before it — the cluster analogue of
+// the engine's cold-run methodology.
+func (c *Cluster) ResetTiming() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.resetTimingLocked()
+}
+
+func (c *Cluster) resetTimingLocked() {
+	for i, d := range c.devices {
+		d.ResetTiming()
+		c.runtimes[i].ResetPhases()
+	}
+}
+
+// Schema reports the named table's row schema.
+func (c *Cluster) Schema(name string) (*schema.Schema, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	files, ok := c.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoTable, name)
+	}
+	return files[0].Schema(), nil
+}
+
+// TableNames lists the cluster's tables sorted by name.
+func (c *Cluster) TableNames() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	names := make([]string, 0, len(c.tables))
+	for name := range c.tables {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
 // CreateTable creates one partition of the named table on every device.
 func (c *Cluster) CreateTable(name string, s *schema.Schema, l page.Layout, maxPagesPerDevice int64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if _, dup := c.tables[name]; dup {
 		return fmt.Errorf("core: cluster table %q already exists", name)
 	}
@@ -126,6 +196,8 @@ func (c *Cluster) CreateTable(name string, s *schema.Schema, l page.Layout, maxP
 // Load distributes generated tuples round-robin across the table's
 // partitions, then resets all device timing.
 func (c *Cluster) Load(name string, next func() (schema.Tuple, bool)) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	files, ok := c.tables[name]
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrNoTable, name)
@@ -182,6 +254,8 @@ func (c *Cluster) Load(name string, next func() (schema.Tuple, bool)) error {
 // small build-side tables every worker needs locally (the parallel-DBMS
 // broadcast join).
 func (c *Cluster) Replicate(name string, gen func() func() (schema.Tuple, bool)) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	files, ok := c.tables[name]
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrNoTable, name)
@@ -210,6 +284,9 @@ func (c *Cluster) Replicate(name string, gen func() func() (schema.Tuple, bool))
 
 // ClusterResult is a merged parallel run.
 type ClusterResult struct {
+	// Tag carries the caller's label for this run (e.g. the serving
+	// session that issued it); the cluster never sets it.
+	Tag  string
 	Rows []schema.Tuple
 	// Elapsed is the slowest worker's completion (workers run in
 	// parallel on independent devices).
@@ -231,6 +308,10 @@ type ClusterResult struct {
 	// (primary faulted and no replica survived); when non-empty the run
 	// also returns a *PartialResultError.
 	FailedWorkers []int
+	// Executed records, per partition, the device index that produced
+	// the partition's rows (-1 for lost partitions). Without routing it
+	// is the identity mapping unless failover moved a partition.
+	Executed []int
 }
 
 // ClusterQuery is a pushdown query over a partitioned table; fields
@@ -243,8 +324,28 @@ type ClusterQuery struct {
 	Aggs   []plan.AggSpec
 }
 
+// RouteFunc picks which copy of a partition executes. It receives the
+// partition index and the candidate device indexes holding a copy —
+// the primary first, then its chained replicas — and returns the
+// device to try first; the remaining candidates stay in chained order
+// as the failover ladder. Returning a device not in candidates falls
+// back to the primary. Every copy holds identical data, so routing
+// moves load between devices without changing the merged rows.
+type RouteFunc func(part int, candidates []int) int
+
 // Run executes the query on every worker and merges the results.
 func (c *Cluster) Run(q ClusterQuery) (*ClusterResult, error) {
+	return c.RunRouted(q, nil)
+}
+
+// RunRouted is Run with replica routing: route (when non-nil) picks
+// the first device tried for each partition among those holding a
+// copy. The serving layer uses it to spread read sessions across
+// replicas least-loaded-first with a deterministic tie-break by device
+// index.
+func (c *Cluster) RunRouted(q ClusterQuery, route RouteFunc) (*ClusterResult, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	files, ok := c.tables[q.Table]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNoTable, q.Table)
@@ -277,53 +378,66 @@ func (c *Cluster) Run(q ClusterQuery) (*ClusterResult, error) {
 		return dq
 	}
 
-	res := &ClusterResult{PerDevice: make([]time.Duration, len(c.devices))}
+	res := &ClusterResult{
+		PerDevice: make([]time.Duration, len(c.devices)),
+		Executed:  make([]int, len(c.devices)),
+	}
 	var partials [][]schema.Tuple
 	var lastCause error
+	reps := c.replicaFiles[q.Table]
 	for i := range c.devices {
-		res.Attempts++
-		rows, end, err := c.runtimes[i].RunQuery(lower(files[i], i))
-		if err == nil {
-			partials = append(partials, rows)
-			res.PerDevice[i] = end
-			if end > res.Elapsed {
-				res.Elapsed = end
-			}
-			continue
-		}
-		if !isDeviceFault(err) {
-			return nil, fmt.Errorf("core: worker %d: %w", i, err)
-		}
-		lastCause = fmt.Errorf("core: worker %d: %w", i, err)
-		if res.FailoverReasons == nil {
-			res.FailoverReasons = make(map[int]string)
-		}
-		res.FailoverReasons[i] = faultReason(err)
-		// The primary faulted: re-execute this partition on its chained
-		// replicas, first survivor wins.
-		recovered := false
-		if reps := c.replicaFiles[q.Table]; len(reps) > i {
+		// The candidate ladder: device and file per copy, primary first.
+		devs := []int{i}
+		copies := []*heap.File{files[i]}
+		if len(reps) > i {
 			for j, rf := range reps[i] {
-				alt := (i + 1 + j) % len(c.devices)
-				res.Attempts++
-				rows, end, err := c.runtimes[alt].RunQuery(lower(rf, alt))
-				if err == nil {
-					res.Failovers++
-					partials = append(partials, rows)
-					res.PerDevice[i] = end
-					if end > res.Elapsed {
-						res.Elapsed = end
-					}
-					recovered = true
-					break
-				}
-				if !isDeviceFault(err) {
-					return nil, fmt.Errorf("core: worker %d replica on %d: %w", i, alt, err)
-				}
-				lastCause = fmt.Errorf("core: worker %d replica on %d: %w", i, alt, err)
+				devs = append(devs, (i+1+j)%len(c.devices))
+				copies = append(copies, rf)
 			}
 		}
-		if !recovered {
+		// Rotate the chosen candidate to the front; the rest keep their
+		// chained order behind it as the failover ladder.
+		if route != nil {
+			if want := route(i, append([]int(nil), devs...)); want != devs[0] {
+				for pos := 1; pos < len(devs); pos++ {
+					if devs[pos] == want {
+						devs[0], devs[pos] = devs[pos], devs[0]
+						copies[0], copies[pos] = copies[pos], copies[0]
+						break
+					}
+				}
+			}
+		}
+
+		res.Executed[i] = -1
+		for attempt := 0; attempt < len(devs); attempt++ {
+			dev, f := devs[attempt], copies[attempt]
+			res.Attempts++
+			rows, end, err := c.runtimes[dev].RunQuery(lower(f, dev))
+			if err == nil {
+				if attempt > 0 {
+					res.Failovers++
+				}
+				partials = append(partials, rows)
+				res.PerDevice[i] = end
+				res.Executed[i] = dev
+				if end > res.Elapsed {
+					res.Elapsed = end
+				}
+				break
+			}
+			if !isDeviceFault(err) {
+				return nil, fmt.Errorf("core: worker %d on device %d: %w", i, dev, err)
+			}
+			lastCause = fmt.Errorf("core: worker %d on device %d: %w", i, dev, err)
+			if attempt == 0 {
+				if res.FailoverReasons == nil {
+					res.FailoverReasons = make(map[int]string)
+				}
+				res.FailoverReasons[i] = faultReason(err)
+			}
+		}
+		if res.Executed[i] < 0 {
 			res.FailedWorkers = append(res.FailedWorkers, i)
 		}
 	}
@@ -343,6 +457,11 @@ func (c *Cluster) Run(q ClusterQuery) (*ClusterResult, error) {
 
 // mergeAggs combines one scalar-aggregate row per worker into the
 // global row: sums and counts add, mins and maxes fold.
+//
+// Caveat: a partition whose scan matched nothing still contributes a
+// row of zeros (the scalar-aggregate-over-empty-input convention), so
+// Min/Max merges are only exact when every partition matched at least
+// one tuple; Sum and Count merge exactly always.
 func mergeAggs(aggs []plan.AggSpec, partials [][]schema.Tuple) schema.Tuple {
 	out := make(schema.Tuple, len(aggs))
 	first := true

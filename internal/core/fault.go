@@ -140,6 +140,24 @@ func faultReason(err error) string {
 	}
 }
 
+// FaultClass classifies err for callers outside the engine (the query
+// service's HTTP error bodies): device faults map to their
+// FallbackReason label, a fault.ErrDeadlineExceeded maps to
+// "get-timeout" (a deadline is the host-side form of a hung GET), and
+// anything else — including nil — maps to "".
+func FaultClass(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, fault.ErrDeadlineExceeded):
+		return "get-timeout"
+	case isDeviceFault(err):
+		return faultReason(err)
+	default:
+		return ""
+	}
+}
+
 // faultWindow snapshots the SSD's reliability counters so a run can
 // report exactly the events it caused.
 type faultWindow struct {

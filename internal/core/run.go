@@ -102,6 +102,9 @@ func (p Placement) String() string {
 
 // Result is one run's answer plus its complete measurement.
 type Result struct {
+	// Tag carries the caller's label for this run (e.g. the serving
+	// session that issued it); the engine never sets it.
+	Tag     string
 	Rows    []schema.Tuple
 	Schema  *schema.Schema
 	Elapsed time.Duration

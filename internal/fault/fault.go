@@ -18,7 +18,31 @@
 // execute byte-identical code paths to a build without this package.
 package fault
 
-import "sync"
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrDeadlineExceeded reports that a run's simulated elapsed time
+// overshot the caller's deadline. It is the host-side cousin of the
+// device GET timeout: the work completed, but later than the caller was
+// willing to wait, so the serving layer reports it through the same
+// get-timeout fault class instead of returning the late answer.
+var ErrDeadlineExceeded = errors.New("fault: deadline exceeded")
+
+// Deadline checks a completed run's simulated elapsed time against the
+// caller's limit. A limit of zero (or negative) means no deadline. The
+// returned error wraps ErrDeadlineExceeded for errors.Is. Because both
+// operands are simulated durations, the check is deterministic: the
+// same workload against the same limit always times out the same way.
+func Deadline(elapsed, limit time.Duration) error {
+	if limit <= 0 || elapsed <= limit {
+		return nil
+	}
+	return fmt.Errorf("%w: ran %v of %v allowed", ErrDeadlineExceeded, elapsed, limit)
+}
 
 // Config selects fault rates per injection site. All rates are
 // probabilities in [0,1]; a zero value disables that site. Durations

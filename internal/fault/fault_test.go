@@ -1,6 +1,10 @@
 package fault
 
-import "testing"
+import (
+	"errors"
+	"testing"
+	"time"
+)
 
 func TestDisabledConfigReturnsNil(t *testing.T) {
 	if inj := New(Config{Seed: 42}); inj != nil {
@@ -156,5 +160,24 @@ func TestDelaysUseConfiguredDurations(t *testing.T) {
 	s := inj.Stats()
 	if s.SpikeDelay != 111 || s.StallDelay != 222 {
 		t.Fatalf("delay accounting %+v", s)
+	}
+}
+
+func TestDeadline(t *testing.T) {
+	if err := Deadline(5*time.Millisecond, 10*time.Millisecond); err != nil {
+		t.Fatalf("under-limit run timed out: %v", err)
+	}
+	if err := Deadline(10*time.Millisecond, 10*time.Millisecond); err != nil {
+		t.Fatalf("exactly-at-limit run timed out: %v", err)
+	}
+	if err := Deadline(time.Hour, 0); err != nil {
+		t.Fatalf("zero limit must mean no deadline: %v", err)
+	}
+	err := Deadline(11*time.Millisecond, 10*time.Millisecond)
+	if err == nil {
+		t.Fatal("over-limit run passed")
+	}
+	if !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("errors.Is(err, ErrDeadlineExceeded) = false for %v", err)
 	}
 }

@@ -8,7 +8,9 @@
 package metrics
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
 	"sort"
 	"strings"
 	"time"
@@ -179,6 +181,16 @@ func (r *Report) Render() string {
 			r.Bottleneck, fmtDur(r.TimeToBottleneck), fmtDur(r.Elapsed))
 	}
 	return b.String()
+}
+
+// WriteJSON encodes the report as indented JSON, for the query
+// service's /metrics endpoint and for machine-readable CI artifacts.
+// Durations encode as simulated nanoseconds; field order is fixed by
+// the struct layout, so equal reports encode byte-identically.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
 }
 
 // SortByUtilization reorders the resources busiest-first, breaking

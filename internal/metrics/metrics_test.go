@@ -1,6 +1,8 @@
 package metrics
 
 import (
+	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 	"time"
@@ -119,5 +121,40 @@ func TestSortByUtilization(t *testing.T) {
 	rep.SortByUtilization()
 	if rep.Resources[0].Name != "b" || rep.Resources[1].Name != "c" || rep.Resources[2].Name != "a" {
 		t.Errorf("order = %v", []string{rep.Resources[0].Name, rep.Resources[1].Name, rep.Resources[2].Name})
+	}
+}
+
+// TestWriteJSONIsDeterministicAndRoundTrips pins the /metrics wire
+// form: equal reports encode byte-identically, and the encoding decodes
+// back to the same report.
+func TestWriteJSONIsDeterministicAndRoundTrips(t *testing.T) {
+	front, back, end := twoStagePipeline()
+	rep := Snapshot(end,
+		GroupOf("channels", "bytes", front),
+		GroupOf("link", "bytes", back))
+	rep.Phases = []Phase{{Name: "GET", Count: 3, Total: 3 * time.Millisecond, Max: 2 * time.Millisecond}}
+
+	var a, b bytes.Buffer
+	if err := rep.WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("two encodings of one report differ")
+	}
+	var decoded Report
+	if err := json.Unmarshal(a.Bytes(), &decoded); err != nil {
+		t.Fatalf("encoding does not decode: %v", err)
+	}
+	if decoded.Bottleneck != rep.Bottleneck || decoded.Elapsed != rep.Elapsed {
+		t.Fatalf("round trip lost fields: %+v", decoded)
+	}
+	if len(decoded.Resources) != len(rep.Resources) || decoded.Resources[0] != rep.Resources[0] {
+		t.Fatalf("round trip lost resources: %+v", decoded.Resources)
+	}
+	if !strings.Contains(a.String(), "\"Bottleneck\": \"link\"") {
+		t.Fatalf("encoding missing bottleneck: %s", a.String())
 	}
 }

@@ -1,0 +1,152 @@
+package runner
+
+import "sync"
+
+// Pool is the long-running counterpart of Run: a fixed set of workers
+// draining a bounded FIFO queue. Where Run fans out a batch whose size
+// is known up front, Pool serves an open-ended request stream — the
+// admission-control core of the query service. The two share the
+// worker-index discipline: every job learns which worker (0..W-1) it
+// runs on, all jobs on one worker index run sequentially, so callers
+// can pin per-worker state (an engine clone) without locking.
+//
+// Admission is explicit: TrySubmit never blocks and reports false when
+// the queue is at capacity, which the serving layer turns into
+// 429 Too Many Requests. Jobs that are admitted always run (Close
+// drains the queue before returning), so an accepted session is never
+// silently dropped.
+type Pool struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    []func(worker int)
+	capacity int
+	workers  int
+	inflight int
+	paused   bool
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewPool starts workers goroutines serving a queue of at most capacity
+// waiting jobs. workers and capacity are clamped to at least 1.
+func NewPool(workers, capacity int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	if capacity < 1 {
+		capacity = 1
+	}
+	p := &Pool{capacity: capacity, workers: workers}
+	p.cond = sync.NewCond(&p.mu)
+	p.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go p.work(w)
+	}
+	return p
+}
+
+func (p *Pool) work(worker int) {
+	defer p.wg.Done()
+	for {
+		p.mu.Lock()
+		for (len(p.queue) == 0 || p.paused) && !(p.closed && len(p.queue) == 0) {
+			p.cond.Wait()
+		}
+		if p.closed && len(p.queue) == 0 {
+			p.mu.Unlock()
+			return
+		}
+		job := p.queue[0]
+		p.queue = p.queue[1:]
+		p.inflight++
+		p.mu.Unlock()
+
+		job(worker)
+
+		p.mu.Lock()
+		p.inflight--
+		p.cond.Broadcast() // wake Drain waiters and closing workers
+		p.mu.Unlock()
+	}
+}
+
+// TrySubmit offers a job to the pool. It reports false — without
+// blocking and without running the job — when the queue is full or the
+// pool is closed; true means the job will run exactly once.
+func (p *Pool) TrySubmit(job func(worker int)) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed || len(p.queue) >= p.capacity {
+		return false
+	}
+	p.queue = append(p.queue, job)
+	// Broadcast, not Signal: the condvar is shared with Drain waiters,
+	// and a single wakeup could land on a drainer instead of a worker.
+	p.cond.Broadcast()
+	return true
+}
+
+// QueueDepth reports how many admitted jobs are waiting for a worker
+// (excluding jobs currently executing).
+func (p *Pool) QueueDepth() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.queue)
+}
+
+// InFlight reports how many jobs are executing right now.
+func (p *Pool) InFlight() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.inflight
+}
+
+// Workers reports the worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+// Capacity reports the queue bound TrySubmit enforces.
+func (p *Pool) Capacity() int { return p.capacity }
+
+// Pause stops workers from starting new jobs (running jobs finish).
+// Submissions still queue up to capacity, so tests and maintenance
+// windows can fill the admission queue deterministically.
+func (p *Pool) Pause() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.paused = true
+}
+
+// Resume lets paused workers drain the queue again.
+func (p *Pool) Resume() {
+	p.mu.Lock()
+	p.paused = false
+	p.mu.Unlock()
+	p.cond.Broadcast()
+}
+
+// Drain blocks until the queue is empty and no job is in flight. It
+// does not close the pool; new submissions keep being admitted (call it
+// quiesced only if submitters are stopped).
+func (p *Pool) Drain() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for len(p.queue) > 0 || p.inflight > 0 {
+		p.cond.Wait()
+	}
+}
+
+// Close rejects further submissions, runs every already-admitted job,
+// and returns once all workers have exited. Close is idempotent.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		p.wg.Wait()
+		return
+	}
+	p.closed = true
+	p.paused = false
+	p.mu.Unlock()
+	p.cond.Broadcast()
+	p.wg.Wait()
+}

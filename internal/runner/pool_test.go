@@ -1,0 +1,161 @@
+package runner
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestPoolRunsEveryAdmittedJob(t *testing.T) {
+	p := NewPool(4, 64)
+	var ran atomic.Int64
+	admitted := 0
+	for i := 0; i < 200; i++ {
+		if p.TrySubmit(func(int) { ran.Add(1) }) {
+			admitted++
+		}
+	}
+	p.Close()
+	if int(ran.Load()) != admitted {
+		t.Fatalf("ran %d of %d admitted jobs", ran.Load(), admitted)
+	}
+	if admitted == 0 {
+		t.Fatal("nothing admitted")
+	}
+}
+
+func TestPoolSingleWorkerPreservesFIFOOrder(t *testing.T) {
+	p := NewPool(1, 128)
+	p.Pause()
+	var mu sync.Mutex
+	var order []int
+	for i := 0; i < 50; i++ {
+		i := i
+		if !p.TrySubmit(func(int) {
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+		}) {
+			t.Fatalf("submit %d rejected below capacity", i)
+		}
+	}
+	p.Resume()
+	p.Close()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order[%d] = %d; single-worker pool must be FIFO: %v", i, v, order)
+		}
+	}
+}
+
+func TestPoolBoundedAdmission(t *testing.T) {
+	p := NewPool(2, 3)
+	defer p.Close()
+	p.Pause()
+	for i := 0; i < 3; i++ {
+		if !p.TrySubmit(func(int) {}) {
+			t.Fatalf("submit %d rejected below capacity", i)
+		}
+	}
+	if p.QueueDepth() != 3 {
+		t.Fatalf("QueueDepth = %d, want 3", p.QueueDepth())
+	}
+	if p.TrySubmit(func(int) {}) {
+		t.Fatal("submit admitted beyond capacity")
+	}
+	p.Resume()
+	p.Drain()
+	if p.QueueDepth() != 0 || p.InFlight() != 0 {
+		t.Fatalf("after Drain: depth=%d inflight=%d", p.QueueDepth(), p.InFlight())
+	}
+	if !p.TrySubmit(func(int) {}) {
+		t.Fatal("submit rejected after drain")
+	}
+}
+
+func TestPoolWorkerIndexIsExclusive(t *testing.T) {
+	const workers = 4
+	p := NewPool(workers, 1024)
+	// One counter per worker index; jobs on the same index run
+	// sequentially, so unsynchronized increments are race-free exactly
+	// when the worker-index contract holds (-race proves it).
+	counts := make([]int64, workers)
+	for i := 0; i < 400; i++ {
+		if !p.TrySubmit(func(w int) { counts[w]++ }) {
+			t.Fatalf("submit %d rejected", i)
+		}
+	}
+	p.Close()
+	var total int64
+	for w, c := range counts {
+		if c < 0 || c > 400 {
+			t.Fatalf("worker %d count %d out of range", w, c)
+		}
+		total += c
+	}
+	if total != 400 {
+		t.Fatalf("total jobs %d, want 400", total)
+	}
+}
+
+func TestPoolCloseRejectsNewWork(t *testing.T) {
+	p := NewPool(1, 4)
+	p.Close()
+	if p.TrySubmit(func(int) {}) {
+		t.Fatal("closed pool admitted a job")
+	}
+	p.Close() // idempotent
+}
+
+func TestPoolIntrospection(t *testing.T) {
+	p := NewPool(3, 7)
+	defer p.Close()
+	if p.Workers() != 3 || p.Capacity() != 7 {
+		t.Fatalf("Workers=%d Capacity=%d, want 3 and 7", p.Workers(), p.Capacity())
+	}
+	gate := make(chan struct{})
+	started := make(chan struct{}, 3)
+	for i := 0; i < 3; i++ {
+		p.TrySubmit(func(int) { started <- struct{}{}; <-gate })
+	}
+	for i := 0; i < 3; i++ {
+		<-started
+	}
+	if p.InFlight() != 3 {
+		t.Fatalf("InFlight = %d, want 3", p.InFlight())
+	}
+	p.TrySubmit(func(int) {})
+	if p.QueueDepth() != 1 {
+		t.Fatalf("QueueDepth = %d, want 1", p.QueueDepth())
+	}
+	close(gate)
+	p.Drain()
+}
+
+// TestPoolConcurrentSubmitStress hammers TrySubmit from many goroutines
+// while workers drain; under -race this checks the queue and counter
+// paths for data races, and every admitted job must run exactly once.
+func TestPoolConcurrentSubmitStress(t *testing.T) {
+	p := NewPool(4, 32)
+	var admitted, ran atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				if p.TrySubmit(func(int) { ran.Add(1) }) {
+					admitted.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	p.Close()
+	if ran.Load() != admitted.Load() {
+		t.Fatalf("ran %d of %d admitted jobs", ran.Load(), admitted.Load())
+	}
+	if admitted.Load() == 0 {
+		t.Fatal("stress admitted nothing")
+	}
+}
