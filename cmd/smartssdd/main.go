@@ -33,8 +33,10 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"smartssd/internal/core"
 	"smartssd/internal/device"
@@ -136,17 +138,44 @@ func smokeBody(i int) string {
 }`, i, target, yr, yr+1, (10+i%30)*100)
 }
 
+// maxOpenRetries bounds how often runSession re-tries a shed open
+// before giving up; at one Retry-After period each, it is also the
+// smoke's worst-case patience for an overloaded daemon.
+const maxOpenRetries = 120
+
 // runSession opens one session, long-polls its result, closes it, and
-// returns the result body.
+// returns the result body. Opens shed with 429 are retried after the
+// advertised Retry-After, so a replay wider than the admission queue
+// (e.g. -smoke 64 against the default 4+8 capacity) drains through the
+// pool instead of failing.
 func runSession(url, body string) (string, []byte, error) {
-	resp, err := http.Post(url+"/sessions", "application/json", strings.NewReader(body))
-	if err != nil {
-		return "", nil, err
+	var open []byte
+	var status int
+	for attempt := 0; ; attempt++ {
+		resp, err := http.Post(url+"/sessions", "application/json", strings.NewReader(body))
+		if err != nil {
+			return "", nil, err
+		}
+		open, err = io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return "", nil, err
+		}
+		status = resp.StatusCode
+		if status != http.StatusTooManyRequests {
+			break
+		}
+		if attempt >= maxOpenRetries {
+			return "", nil, fmt.Errorf("open shed %d times: %s", attempt+1, open)
+		}
+		after, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+		if err != nil || after < 1 {
+			after = 1
+		}
+		time.Sleep(time.Duration(after) * time.Second) //lint:allow walltime — HTTP client backoff, outside the simulation
 	}
-	open, err := io.ReadAll(resp.Body)
-	resp.Body.Close()
-	if err != nil || resp.StatusCode != http.StatusCreated {
-		return "", nil, fmt.Errorf("open = %d: %s", resp.StatusCode, open)
+	if status != http.StatusCreated {
+		return "", nil, fmt.Errorf("open = %d: %s", status, open)
 	}
 	var ob struct {
 		ID string `json:"id"`

@@ -108,6 +108,18 @@ type SchemaSource interface {
 	TableSchema(name string) (*schema.Schema, error)
 }
 
+// TargetSchemaSource is implemented by sources that serve more than one
+// backend (the Server). DecodeRequest prefers it when available, so
+// expressions compile against the catalog of the backend that will
+// execute the session — never against a same-named table with a
+// diverging schema on the other backend.
+type TargetSchemaSource interface {
+	SchemaSource
+	// TargetTableSchema resolves name against the cluster catalog when
+	// cluster is true, the engine catalog otherwise.
+	TargetTableSchema(cluster bool, name string) (*schema.Schema, error)
+}
+
 // EngineSchemas adapts an engine's catalog to SchemaSource.
 type EngineSchemas struct{ E *core.Engine }
 
@@ -154,10 +166,6 @@ func DecodeRequest(src SchemaSource, data []byte) (*Query, error) {
 	if req.Table == "" {
 		return nil, fmt.Errorf("serve: missing table")
 	}
-	s, err := src.TableSchema(req.Table)
-	if err != nil {
-		return nil, fmt.Errorf("serve: %w", err)
-	}
 
 	q := &Query{Req: req}
 	switch req.Target {
@@ -167,6 +175,18 @@ func DecodeRequest(src SchemaSource, data []byte) (*Query, error) {
 		q.Cluster = true
 	default:
 		return nil, fmt.Errorf("serve: unknown target %q", req.Target)
+	}
+	// The target is pinned before the schema lookup so every expression
+	// below compiles against the executing backend's catalog.
+	var s *schema.Schema
+	var err error
+	if ts, ok := src.(TargetSchemaSource); ok {
+		s, err = ts.TargetTableSchema(q.Cluster, req.Table)
+	} else {
+		s, err = src.TableSchema(req.Table)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
 	}
 	switch req.Mode {
 	case "", "auto":

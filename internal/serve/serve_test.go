@@ -486,6 +486,179 @@ func TestTraceEndpoint(t *testing.T) {
 	}
 }
 
+// TestDecodeRequestResolvesTargetSchema pins the decoder to the
+// executing backend's catalog: when engine and cluster both catalogue a
+// table name but with diverging column layouts, a cluster session's
+// expressions must compile against the cluster schema (and an engine
+// session's against the engine's), never the other way around.
+func TestDecodeRequestResolvesTargetSchema(t *testing.T) {
+	// Same logical rows (a=1, b=2) under different physical layouts:
+	// the engine stores (a, b), the cluster stores (b, a).
+	const n = 10
+	engineSchema := schema.New(
+		schema.Column{Name: "a", Kind: schema.Int32},
+		schema.Column{Name: "b", Kind: schema.Int32},
+	)
+	clusterSchema := schema.New(
+		schema.Column{Name: "b", Kind: schema.Int32},
+		schema.Column{Name: "a", Kind: schema.Int32},
+	)
+	engineRows := make([]schema.Tuple, n)
+	clusterRows := make([]schema.Tuple, n)
+	for i := range engineRows {
+		engineRows[i] = schema.Tuple{schema.IntVal(1), schema.IntVal(2)}
+		clusterRows[i] = schema.Tuple{schema.IntVal(2), schema.IntVal(1)}
+	}
+	e, err := core.New(core.Config{SSD: smallParams(), DisableHDD: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.CreateTable("t", engineSchema, page.PAX, 64, core.OnSSD); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Load("t", feeder(engineRows)); err != nil {
+		t.Fatal(err)
+	}
+	cl, err := core.NewCluster(2, smallParams(), device.DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.CreateTable("t", clusterSchema, page.PAX, 64); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Load("t", feeder(clusterRows)); err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{Workers: 1, QueueCapacity: 4}, e, cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+
+	for _, target := range []string{"engine", "cluster"} {
+		body := fmt.Sprintf(`{
+  "tag": "diverge",
+  "table": "t",
+  "target": %q,
+  "aggs": [{"kind": "sum", "expr": "a", "name": "sum_a"}]
+}`, target)
+		id := openSession(t, ts, body)
+		status, data, _ := get(t, ts, "/sessions/"+id+"/result")
+		if status != http.StatusOK {
+			t.Fatalf("%s: result = %d: %s", target, status, data)
+		}
+		var rb resultBody
+		if err := json.Unmarshal(data, &rb); err != nil {
+			t.Fatalf("%s: result body: %v: %s", target, err, data)
+		}
+		// sum(a) is n*1 on both backends; compiling "a" against the
+		// wrong catalog would read column b and report n*2.
+		if got, ok := rb.Rows[0][0].(float64); !ok || got != n {
+			t.Fatalf("%s: sum(a) = %v, want %d (expression compiled against the wrong schema)",
+				target, rb.Rows[0][0], n)
+		}
+	}
+}
+
+// TestSessionCloseWhileRunningUnblocksLongPoll: a DELETE racing a
+// running session must not strand long-pollers. finish publishes a 410
+// tombstone and closes done even though the session left the table.
+func TestSessionCloseWhileRunningUnblocksLongPoll(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, QueueCapacity: 4})
+	s.Pool().Pause()
+	id := openSession(t, ts, q6Body)
+
+	s.mu.Lock()
+	sess := s.sessions[id]
+	s.mu.Unlock()
+	if sess == nil {
+		t.Fatal("session not in table after open")
+	}
+
+	// A long-poll that grabbed the session before the DELETE.
+	type reply struct {
+		status int
+		data   []byte
+	}
+	polled := make(chan reply, 1)
+	go func() {
+		status, data, _ := get(t, ts, "/sessions/"+id+"/result")
+		polled <- reply{status, data}
+	}()
+
+	if status, _ := del(t, ts, "/sessions/"+id); status != http.StatusOK {
+		t.Fatalf("DELETE while running = %d, want 200", status)
+	}
+	s.Pool().Resume()
+
+	// The worker's finish must close done with the tombstone outcome.
+	select {
+	case <-sess.done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("session done never closed after close-while-running")
+	}
+	if sess.status != http.StatusGone {
+		t.Fatalf("tombstone status = %d, want 410", sess.status)
+	}
+	var eb errorBody
+	if err := json.Unmarshal(sess.body, &eb); err != nil || eb.State != "CLOSED" || eb.Tag != "q6" {
+		t.Fatalf("tombstone body = %s (err %v)", sess.body, err)
+	}
+
+	// The long-poll terminated: 410 if it was already waiting on the
+	// session, 404 if the DELETE won the map lookup.
+	select {
+	case r := <-polled:
+		if r.status != http.StatusGone && r.status != http.StatusNotFound {
+			t.Fatalf("long-poll after close = %d: %s", r.status, r.data)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("long-poll still blocked after close-while-running")
+	}
+}
+
+// TestSessionEvictionBoundsRetention: finished sessions beyond
+// MaxRetainedSessions are evicted lowest-sequence-first, so clients
+// that never CLOSE cannot grow the session table without bound.
+func TestSessionEvictionBoundsRetention(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueCapacity: 8, MaxRetainedSessions: 2})
+
+	var ids []string
+	for i := 0; i < 3; i++ {
+		id := openSession(t, ts, q6Body)
+		if status, data, _ := get(t, ts, "/sessions/"+id+"/result"); status != http.StatusOK {
+			t.Fatalf("session %d result = %d: %s", i, status, data)
+		}
+		ids = append(ids, id)
+	}
+
+	// The third finish pushed retention to 3 > 2: the oldest finished
+	// session is gone, the two newest still replay their bodies.
+	if status, _, _ := get(t, ts, "/sessions/"+ids[0]+"/result"); status != http.StatusNotFound {
+		t.Fatalf("evicted session GET = %d, want 404", status)
+	}
+	for _, id := range ids[1:] {
+		if status, data, _ := get(t, ts, "/sessions/"+id+"/result"); status != http.StatusOK {
+			t.Fatalf("retained session GET = %d: %s", status, data)
+		}
+	}
+	status, data, _ := get(t, ts, "/metrics")
+	if status != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", status)
+	}
+	var mb metricsBody
+	if err := json.Unmarshal(data, &mb); err != nil {
+		t.Fatalf("metrics body: %v: %s", err, data)
+	}
+	if mb.Sessions.Evicted != 1 || mb.Sessions.Completed != 3 {
+		t.Fatalf("sessions = %+v, want 1 evicted of 3 completed", mb.Sessions)
+	}
+}
+
 func TestDecodeRequestErrors(t *testing.T) {
 	e, cl := newBackends(t)
 	s, err := New(Config{Workers: 1}, e, cl)

@@ -28,6 +28,12 @@ type Config struct {
 	// RetryAfterSeconds is advertised in the Retry-After header of 429
 	// responses. It is configuration, not a clock read. Default 1.
 	RetryAfterSeconds int
+	// MaxRetainedSessions bounds how many finished sessions the table
+	// keeps for clients that poll but never CLOSE. When a session
+	// finishes beyond the cap, the finished session with the lowest
+	// sequence number is evicted (a deterministic counter, not a
+	// wall-clock TTL); running sessions are never evicted. Default 1024.
+	MaxRetainedSessions int
 }
 
 func (c *Config) fill() {
@@ -40,6 +46,9 @@ func (c *Config) fill() {
 	if c.RetryAfterSeconds < 1 {
 		c.RetryAfterSeconds = 1
 	}
+	if c.MaxRetainedSessions < 1 {
+		c.MaxRetainedSessions = 1024
+	}
 }
 
 // SessionStats counts session lifecycle events since the server
@@ -50,13 +59,17 @@ type SessionStats struct {
 	Failed           int64 `json:"failed"`
 	Rejected         int64 `json:"rejected"`
 	Closed           int64 `json:"closed"`
+	Evicted          int64 `json:"evicted"`
 	DeadlineTimeouts int64 `json:"deadline_timeouts"`
 }
 
 // session is one open query session. done closes exactly once, after
-// status/body (and trace, if requested) are set.
+// status/body (and trace, if requested) are set; status stays zero
+// until then, which is how the retention sweep tells finished sessions
+// from running ones.
 type session struct {
 	id     string
+	seq    int
 	tag    string
 	done   chan struct{}
 	status int
@@ -117,7 +130,9 @@ func (s *Server) Close() { s.pool.Close() }
 func (s *Server) Pool() *runner.Pool { return s.pool }
 
 // TableSchema resolves a table against the engine catalog first, then
-// the cluster's, so one decoder serves both targets.
+// the cluster's. It only exists to satisfy SchemaSource; DecodeRequest
+// resolves through TargetTableSchema, which never falls through to the
+// wrong backend's catalog.
 func (s *Server) TableSchema(name string) (*schema.Schema, error) {
 	if sch, err := (EngineSchemas{E: s.engines[0]}).TableSchema(name); err == nil {
 		return sch, nil
@@ -126,6 +141,20 @@ func (s *Server) TableSchema(name string) (*schema.Schema, error) {
 		return s.cluster.Schema(name)
 	}
 	return nil, fmt.Errorf("%w: %q", core.ErrNoTable, name)
+}
+
+// TargetTableSchema resolves a table against the catalog of the backend
+// that will execute the session, so a cluster session's expressions are
+// compiled with the cluster's column layout even when the engine
+// catalogues a same-named table with a diverging schema.
+func (s *Server) TargetTableSchema(cluster bool, name string) (*schema.Schema, error) {
+	if cluster {
+		if s.cluster == nil {
+			return nil, fmt.Errorf("serve: no cluster backend")
+		}
+		return s.cluster.Schema(name)
+	}
+	return EngineSchemas{E: s.engines[0]}.TableSchema(name)
 }
 
 // Handler returns the service's HTTP routes.
@@ -189,28 +218,12 @@ func (s *Server) handleOpen(w http.ResponseWriter, r *http.Request) {
 			errorBody{State: "REJECTED", Error: "body too large"})
 		return
 	}
+	// The decoder resolves the schema through TargetTableSchema, so the
+	// compiled expressions are already pinned to the requested backend.
 	q, err := DecodeRequest(s, data)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest,
 			errorBody{State: "REJECTED", Error: err.Error()})
-		return
-	}
-	// The decoder resolved the schema against either catalog; pin the
-	// table to the requested backend before admitting the session.
-	if q.Cluster {
-		if s.cluster == nil {
-			writeJSON(w, http.StatusBadRequest,
-				errorBody{Tag: q.Req.Tag, State: "REJECTED", Error: "serve: no cluster backend"})
-			return
-		}
-		if _, err := s.cluster.Schema(q.Req.Table); err != nil {
-			writeJSON(w, http.StatusBadRequest,
-				errorBody{Tag: q.Req.Tag, State: "REJECTED", Error: err.Error()})
-			return
-		}
-	} else if _, err := (EngineSchemas{E: s.engines[0]}).TableSchema(q.Req.Table); err != nil {
-		writeJSON(w, http.StatusBadRequest,
-			errorBody{Tag: q.Req.Tag, State: "REJECTED", Error: err.Error()})
 		return
 	}
 
@@ -218,6 +231,7 @@ func (s *Server) handleOpen(w http.ResponseWriter, r *http.Request) {
 	s.nextID++
 	sess := &session{
 		id:   fmt.Sprintf("s-%06d", s.nextID),
+		seq:  s.nextID,
 		tag:  q.Req.Tag,
 		done: make(chan struct{}),
 	}
@@ -248,12 +262,20 @@ func (s *Server) handleOpen(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusCreated, openBody{ID: sess.id, State: "OPEN", Tag: sess.tag})
 }
 
-// finish publishes a session's outcome; sessions closed by the client
-// while running are dropped silently (the admitted work still ran).
+// finish publishes a session's outcome. A session the client closed
+// while it was still running gets a 410 tombstone instead of its result
+// (the admitted work still ran), so a GET that was already long-polling
+// unblocks rather than waiting forever on a session nothing will
+// complete. Either way done closes exactly once, here.
 func (s *Server) finish(sess *session, status int, body []byte, rec *trace.Recorder) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, open := s.sessions[sess.id]; !open {
+		sess.status = http.StatusGone
+		sess.body = encodeResult(errorBody{
+			Tag: sess.tag, State: "CLOSED", Error: "serve: session closed before completion",
+		})
+		close(sess.done)
 		return
 	}
 	sess.status = status
@@ -268,6 +290,34 @@ func (s *Server) finish(sess *session, status int, body []byte, rec *trace.Recor
 		}
 	}
 	close(sess.done)
+	s.evictLocked()
+}
+
+// evictLocked bounds the session table for clients that never CLOSE:
+// while more than MaxRetainedSessions finished sessions are retained,
+// the one with the lowest sequence number is dropped. Sequence numbers
+// are allocation counters, so eviction order is deterministic in the
+// session ids, not in wall-clock time; running sessions (status still
+// zero) are never touched. Callers hold s.mu.
+func (s *Server) evictLocked() {
+	for {
+		finished := 0
+		var oldest *session
+		for _, c := range s.sessions {
+			if c.status == 0 {
+				continue
+			}
+			finished++
+			if oldest == nil || c.seq < oldest.seq {
+				oldest = c
+			}
+		}
+		if finished <= s.cfg.MaxRetainedSessions {
+			return
+		}
+		delete(s.sessions, oldest.id)
+		s.stats.Evicted++
+	}
 }
 
 // encodeResult builds a finished session's body bytes once, so every
