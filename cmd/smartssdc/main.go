@@ -26,7 +26,14 @@ import (
 	"net/http"
 	"os"
 	"strings"
+
+	"smartssd/internal/httpretry"
 )
+
+// maxOpenRetries bounds how long an open waits out 429 shedding before
+// giving up — one Retry-After period per attempt, same patience as the
+// smartssdd smoke replay.
+const maxOpenRetries = 120
 
 func main() { os.Exit(run()) }
 
@@ -52,7 +59,7 @@ func run() int {
 		if err != nil {
 			return fail(err)
 		}
-		return do(http.MethodPost, base+"/sessions", body)
+		return doOpen(base, body)
 	case "result":
 		if len(args) != 2 {
 			return usage()
@@ -99,6 +106,21 @@ func fail(err error) int {
 	return 1
 }
 
+// doOpen posts a session open, waiting out 429 shedding per the
+// server's Retry-After, and streams the response body to stdout.
+func doOpen(base string, body []byte) int {
+	status, data, err := httpretry.Post(nil, base+"/sessions", body, maxOpenRetries)
+	if err != nil {
+		return fail(err)
+	}
+	os.Stdout.Write(data)
+	if status < 200 || status > 299 {
+		fmt.Fprintln(os.Stderr, "smartssdc:", http.StatusText(status))
+		return 1
+	}
+	return 0
+}
+
 // do issues one request and streams the response body to stdout.
 func do(method, url string, body []byte) int {
 	status, data, err := request(method, url, body)
@@ -138,10 +160,11 @@ func request(method, url string, body []byte) (int, []byte, error) {
 }
 
 // runOnce drives a full session: open, long-poll the result, close.
+// Opens shed with 429 are retried after the advertised Retry-After.
 // Only the result body reaches stdout; open/close chatter goes to
 // stderr so the output can be piped or diffed.
 func runOnce(base string, body []byte) int {
-	status, open, err := request(http.MethodPost, base+"/sessions", body)
+	status, open, err := httpretry.Post(nil, base+"/sessions", body, maxOpenRetries)
 	if err != nil {
 		return fail(err)
 	}

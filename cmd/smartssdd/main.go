@@ -33,13 +33,11 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
-	"strconv"
-	"strings"
 	"sync"
-	"time"
 
 	"smartssd/internal/core"
 	"smartssd/internal/device"
+	"smartssd/internal/httpretry"
 	"smartssd/internal/page"
 	"smartssd/internal/serve"
 	"smartssd/internal/ssd"
@@ -149,30 +147,9 @@ const maxOpenRetries = 120
 // (e.g. -smoke 64 against the default 4+8 capacity) drains through the
 // pool instead of failing.
 func runSession(url, body string) (string, []byte, error) {
-	var open []byte
-	var status int
-	for attempt := 0; ; attempt++ {
-		resp, err := http.Post(url+"/sessions", "application/json", strings.NewReader(body))
-		if err != nil {
-			return "", nil, err
-		}
-		open, err = io.ReadAll(resp.Body)
-		resp.Body.Close()
-		if err != nil {
-			return "", nil, err
-		}
-		status = resp.StatusCode
-		if status != http.StatusTooManyRequests {
-			break
-		}
-		if attempt >= maxOpenRetries {
-			return "", nil, fmt.Errorf("open shed %d times: %s", attempt+1, open)
-		}
-		after, err := strconv.Atoi(resp.Header.Get("Retry-After"))
-		if err != nil || after < 1 {
-			after = 1
-		}
-		time.Sleep(time.Duration(after) * time.Second) //lint:allow walltime — HTTP client backoff, outside the simulation
+	status, open, err := httpretry.Post(nil, url+"/sessions", []byte(body), maxOpenRetries)
+	if err != nil {
+		return "", nil, err
 	}
 	if status != http.StatusCreated {
 		return "", nil, fmt.Errorf("open = %d: %s", status, open)
@@ -272,6 +249,31 @@ func runSmoke(serial *serve.Server, sf float64, seed int64, workers, queue, retr
 		}
 	}
 	fmt.Fprintf(os.Stderr, "smartssdd: smoke: %d sessions byte-identical serial vs concurrent\n", n)
+
+	// Mixed read/update phase: replay the same deterministic sequence
+	// of cluster updates and probes serially on both servers. Their
+	// backends hold identical logical data, so every result — reads
+	// observing the accumulated rewrites included — must match byte
+	// for byte.
+	mixed := workload.MixedOps(seed, n)
+	for i, op := range mixed {
+		_, sb, err := runSession(st.URL, op.Body)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "smartssdd: smoke mixed session %d: %v\n", i, err)
+			return 1
+		}
+		_, cb, err := runSession(ct.URL, op.Body)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "smartssdd: smoke mixed session %d: %v\n", i, err)
+			return 1
+		}
+		if !bytes.Equal(sb, cb) {
+			fmt.Fprintf(os.Stderr, "smartssdd: smoke: mixed session %d diverged across servers:\n%s\nvs\n%s\n",
+				i, sb, cb)
+			return 1
+		}
+	}
+	fmt.Fprintf(os.Stderr, "smartssdd: smoke: %d mixed read/update sessions byte-identical across servers\n", len(mixed))
 
 	if _, err := os.Stdout.Write(artifact); err != nil {
 		fmt.Fprintln(os.Stderr, "smartssdd: smoke:", err)

@@ -1,0 +1,35 @@
+package walltime
+
+import "time"
+
+// WAL-flavoured cases: log sequence numbers must come from a monotonic
+// counter, never the wall clock — a clock-derived LSN breaks replay
+// determinism and can go backwards across machines.
+
+type walLog struct {
+	nextLSN uint64
+}
+
+func badClockLSN(l *walLog) uint64 {
+	return uint64(time.Now().UnixNano()) // want `time\.Now reads the wall clock`
+}
+
+func badCommitWait() {
+	// Group commit must batch on simulated flush boundaries, not real
+	// timers.
+	<-time.After(5 * time.Millisecond) // want `time\.After reads the wall clock`
+}
+
+// goodCounterLSN is the required pattern: strictly monotonic, replay
+// yields the same sequence every run.
+func goodCounterLSN(l *walLog) uint64 {
+	lsn := l.nextLSN
+	l.nextLSN++
+	return lsn
+}
+
+// goodAckLatency works purely in simulated durations carried through
+// the device model.
+func goodAckLatency(flush, fanout time.Duration) time.Duration {
+	return flush + fanout
+}

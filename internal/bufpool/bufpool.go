@@ -13,6 +13,7 @@ package bufpool
 import (
 	"errors"
 	"fmt"
+	"sort"
 )
 
 // FlushFunc writes a dirty page back to its device. It is called during
@@ -282,12 +283,20 @@ func (p *Pool) CachedInRange(start, count int64) int64 {
 	return n
 }
 
-// FlushAll writes every dirty page back and marks it clean.
+// FlushAll writes every dirty page back in ascending LBA order and
+// marks it clean. The deterministic order matters to the write path:
+// flush-time faults (a power cut mid-checkpoint) must land on the same
+// page for a given seed on every run.
 func (p *Pool) FlushAll() error {
+	var dirty []int64
 	for lba, f := range p.frames {
-		if !f.dirty {
-			continue
+		if f.dirty {
+			dirty = append(dirty, lba)
 		}
+	}
+	sort.Slice(dirty, func(i, j int) bool { return dirty[i] < dirty[j] })
+	for _, lba := range dirty {
+		f := p.frames[lba]
 		if p.flush == nil {
 			return fmt.Errorf("bufpool: dirty page %d with no flush function", lba)
 		}

@@ -13,6 +13,8 @@ import (
 	"smartssd/internal/plan"
 	"smartssd/internal/schema"
 	"smartssd/internal/ssd"
+	"smartssd/internal/txn"
+	"smartssd/internal/wal"
 )
 
 // Cluster realizes the end of the paper's design spectrum (§4.3): "the
@@ -57,6 +59,13 @@ type Cluster struct {
 	// replicaFiles[name][i][j] is partition i's j'th extra copy,
 	// resident on device (i+1+j)%n.
 	replicaFiles map[string][][]*heap.File
+
+	// Durability layer: a coordinator write-ahead log on device 0,
+	// activated lazily by the first Update (see cluster_update.go).
+	walLog *wal.Log
+	txns   *txn.Manager
+	// dataWrites counts guarded data-page writes across all copies.
+	dataWrites uint64
 }
 
 // NewCluster builds n identical Smart SSDs from params. When params

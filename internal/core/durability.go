@@ -1,0 +1,198 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"smartssd/internal/page"
+	"smartssd/internal/txn"
+	"smartssd/internal/wal"
+)
+
+// The engine's durability layer: a write-ahead log on a reserved
+// region at the top of the SSD's logical address space, a transaction
+// manager with MVCC staging, and ARIES-style redo recovery. All of it
+// is lazily activated by the first Begin/Update, so read-only engines
+// — and their goldens — are byte-identical to a build without it.
+
+// ensureTxn activates the write-ahead log and transaction manager.
+// Activation trims the log region (an engine clone inherits the
+// original's mapped log pages, which describe the original's
+// transactions, not the clone's) and fails if table extents have
+// already grown into the region.
+func (e *Engine) ensureTxn() error {
+	if e.txns != nil {
+		return nil
+	}
+	start, _ := wal.Region(e.ssd.CapacityPages())
+	if used := e.ssdAlloc.Used(); used > start {
+		return fmt.Errorf("core: WAL region starts at page %d but %d pages are allocated", start, used)
+	}
+	log, err := wal.Create(e.ssd, e.ssd.Injector())
+	if err != nil {
+		return err
+	}
+	e.walLog = log
+	e.txns = txn.NewManager(log, e.resolveTxnTable)
+	return nil
+}
+
+// resolveTxnTable adapts a catalogued table to the transaction layer.
+func (e *Engine) resolveTxnTable(name string) (txn.Table, error) {
+	t, err := e.Table(name)
+	if err != nil {
+		return txn.Table{}, err
+	}
+	f := t.File
+	tab := txn.Table{
+		Name:     name,
+		Schema:   f.Schema(),
+		Layout:   f.Layout(),
+		StartLBA: f.StartLBA(),
+		Pages:    f.Pages(),
+	}
+	switch t.Target {
+	case OnSSD:
+		tab.Dev = e.ssd
+		tab.Pool = e.pool
+		tab.Durable = true
+	case OnHDD:
+		if e.hdd == nil {
+			return txn.Table{}, errors.New("core: HDD disabled in this engine")
+		}
+		// Same code path, no pool-coherence veto: HDD scans read from
+		// the device, so commits are force-written there.
+		tab.Dev = e.hdd
+	}
+	return tab, nil
+}
+
+// Begin starts a transaction. The first call activates the write-ahead
+// log (see ensureTxn).
+func (e *Engine) Begin() (*txn.Txn, error) {
+	if err := e.ensureTxn(); err != nil {
+		return nil, err
+	}
+	return e.txns.Begin(), nil
+}
+
+// Txns exposes the transaction manager (nil until the first Begin),
+// for group-commit callers.
+func (e *Engine) Txns() *txn.Manager { return e.txns }
+
+// WAL exposes the write-ahead log (nil until the first Begin).
+func (e *Engine) WAL() *wal.Log { return e.walLog }
+
+// DurableWrites reports how many guarded durable writes — WAL page
+// writes plus data-page flushes — the engine has attempted. The
+// power-cut sweep uses a fault-free run's count as the bound on
+// meaningful cut points.
+func (e *Engine) DurableWrites() uint64 {
+	n := e.dataWrites
+	if e.walLog != nil {
+		n += e.walLog.Stats().PageWrites
+	}
+	return n
+}
+
+// RecoveryReport summarizes one crash recovery.
+type RecoveryReport struct {
+	// Committed lists recovered transaction ids in commit order.
+	Committed []uint64
+	// UpdatesApplied counts redo after-images installed.
+	UpdatesApplied int
+	// PagesRepaired counts distinct data pages rewritten.
+	PagesRepaired int
+	// LogPages counts valid log pages scanned.
+	LogPages int64
+	// TruncatedTail reports that a torn tail page (the power-cut
+	// artifact) was discarded.
+	TruncatedTail bool
+}
+
+// LastRecovery reports the most recent Recover result (nil if Recover
+// never ran or found nothing).
+func (e *Engine) LastRecovery() *RecoveryReport { return e.lastRecovery }
+
+// Recover replays the write-ahead log: committed transactions' redo
+// after-images are installed onto the device pages, the log is
+// checkpointed, and a fresh transaction manager is adopted. LoadImage
+// calls it automatically, so reloading a crashed engine's image yields
+// exactly the committed-prefix state. Mid-log damage (wal.ErrTornWrite)
+// and record corruption (wal.ErrCorruptRecord) surface as errors —
+// they are never silently replayed.
+//
+// Recovery is idempotent: after-images are absolute, so replaying over
+// pages that already carry them is harmless.
+func (e *Engine) Recover() (*RecoveryReport, error) {
+	e.ssd.Injector().RestorePower()
+	log, rec, err := wal.Open(e.ssd, e.ssd.Injector())
+	if err != nil {
+		return nil, fmt.Errorf("core: recover: %w", err)
+	}
+	rep := &RecoveryReport{
+		Committed:     rec.Committed,
+		LogPages:      rec.ValidPages,
+		TruncatedTail: rec.TruncatedTail,
+	}
+	if rec.ValidPages == 0 && !rec.TruncatedTail {
+		// Nothing durable in the region: stay lazily deactivated so
+		// read-only engines (and zero-update images) are untouched.
+		e.lastRecovery = rep
+		return rep, nil
+	}
+
+	// Install committed after-images in LSN order, batching per page.
+	type pageKey struct {
+		table string
+		idx   uint32
+	}
+	repaired := make(map[pageKey][]byte)
+	var order []pageKey
+	for _, u := range rec.CommittedUpdates() {
+		t, err := e.Table(u.Table)
+		if err != nil {
+			return nil, fmt.Errorf("core: recover: redo lsn %d: %w", u.LSN, err)
+		}
+		if int64(u.PageIdx) >= t.File.Pages() {
+			return nil, fmt.Errorf("core: recover: redo lsn %d: page %d beyond %q (%d pages)",
+				u.LSN, u.PageIdx, u.Table, t.File.Pages())
+		}
+		k := pageKey{u.Table, u.PageIdx}
+		buf, ok := repaired[k]
+		if !ok {
+			lba := t.File.StartLBA() + int64(u.PageIdx)
+			data, _, err := e.ssd.ReadPage(lba, 0)
+			if err != nil {
+				return nil, fmt.Errorf("core: recover: read page %d: %w", lba, err)
+			}
+			buf = append([]byte(nil), data...)
+			repaired[k] = buf
+			order = append(order, k)
+		}
+		if err := page.ReplaceTuple(t.File.Schema(), buf, int(u.Slot), u.Tuple); err != nil {
+			return nil, fmt.Errorf("core: recover: redo lsn %d: %w", u.LSN, err)
+		}
+		rep.UpdatesApplied++
+	}
+	for _, k := range order {
+		t, _ := e.Table(k.table)
+		lba := t.File.StartLBA() + int64(k.idx)
+		if err := e.ssd.RestorePage(lba, repaired[k]); err != nil {
+			return nil, fmt.Errorf("core: recover: repair page %d: %w", lba, err)
+		}
+		rep.PagesRepaired++
+	}
+
+	// The redo set is on media: checkpoint the log and adopt it.
+	if err := log.Reset(); err != nil {
+		return nil, err
+	}
+	e.walLog = log
+	e.txns = txn.NewManager(log, e.resolveTxnTable)
+	// Cached pages may predate the repairs; recovery starts cold.
+	e.pool.Clear()
+	e.ResetTiming()
+	e.lastRecovery = rep
+	return rep, nil
+}

@@ -25,6 +25,8 @@ import (
 	"smartssd/internal/sim"
 	"smartssd/internal/ssd"
 	"smartssd/internal/trace"
+	"smartssd/internal/txn"
+	"smartssd/internal/wal"
 )
 
 // Target selects the device a table lives on.
@@ -118,6 +120,14 @@ type Engine struct {
 	hddAlloc heap.Allocator
 	tables   map[string]*Table
 
+	// Durability layer, activated lazily by the first Begin/Update
+	// (see durability.go). Nil on read-only engines.
+	walLog       *wal.Log
+	txns         *txn.Manager
+	lastRecovery *RecoveryReport
+	// dataWrites counts guarded data-page flushes (see DurableWrites).
+	dataWrites uint64
+
 	// cold controls whether Run starts from a cleared buffer pool and
 	// zeroed timing (the paper's cold-experiment methodology).
 	cold bool
@@ -153,6 +163,13 @@ func New(cfg Config) (*Engine, error) {
 		cold:    true,
 	}
 	e.pool = bufpool.New(cfg.PoolPages, func(lba int64, data []byte) error {
+		// Data-page flushes are guarded durable writes: a power-cut
+		// fault refuses the write entirely (pages are page-atomic;
+		// they never partially reach media).
+		e.dataWrites++
+		if err := wal.GuardDataWrite(sdev.Injector()); err != nil {
+			return err
+		}
 		_, err := sdev.WritePage(lba, data, 0)
 		return err
 	})
@@ -200,6 +217,10 @@ func (e *Engine) CreateTable(name string, s *schema.Schema, l page.Layout, maxPa
 	var err error
 	switch target {
 	case OnSSD:
+		if e.walLog != nil && e.ssdAlloc.Used()+maxPages > e.walLog.Start() {
+			return nil, fmt.Errorf("core: table %q (%d pages) would overlap the WAL region at page %d",
+				name, maxPages, e.walLog.Start())
+		}
 		f, err = heap.Create(name, e.ssd, &e.ssdAlloc, s, l, maxPages)
 	case OnHDD:
 		if e.hdd == nil {

@@ -10,6 +10,8 @@ import (
 	"smartssd/internal/fault"
 	"smartssd/internal/ftl"
 	"smartssd/internal/nand"
+	"smartssd/internal/txn"
+	"smartssd/internal/wal"
 )
 
 // FaultReport is the availability side of a run's measurement: what
@@ -151,6 +153,14 @@ func FaultClass(err error) string {
 		return ""
 	case errors.Is(err, fault.ErrDeadlineExceeded):
 		return "get-timeout"
+	case errors.Is(err, wal.ErrPowerLost):
+		return "power-lost"
+	case errors.Is(err, wal.ErrTornWrite):
+		return "torn-write"
+	case errors.Is(err, wal.ErrCorruptRecord):
+		return "corrupt-log"
+	case errors.Is(err, txn.ErrWriteConflict):
+		return "write-conflict"
 	case isDeviceFault(err):
 		return faultReason(err)
 	default:

@@ -187,3 +187,16 @@ func setScanRange(op exec.Operator, file string, from, count int64) {
 		setScanRange(c, file, from, count)
 	}
 }
+
+// cloneRow deep-copies a tuple, including Char bytes that alias a page
+// buffer.
+func cloneRow(t schema.Tuple) schema.Tuple {
+	out := make(schema.Tuple, len(t))
+	for i, v := range t {
+		if v.Bytes != nil {
+			v.Bytes = append([]byte(nil), v.Bytes...)
+		}
+		out[i] = v
+	}
+	return out
+}

@@ -130,6 +130,14 @@ func LoadImage(cfg Config, r io.Reader) (*Engine, error) {
 		e.tables[t.Name] = &Table{File: f, Target: OnSSD}
 		e.ssdAlloc.Restore(t.StartLBA + t.MaxPages)
 	}
+	// An image taken after a crash carries the WAL region's pages;
+	// replay committed transactions so the loaded engine is exactly the
+	// committed-prefix state. Images with no log pages skip this
+	// entirely (zero-update images load byte-identically to before the
+	// durability layer existed).
+	if _, err := e.Recover(); err != nil {
+		return nil, err
+	}
 	e.ResetTiming()
 	return e, nil
 }

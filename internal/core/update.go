@@ -1,145 +1,55 @@
 package core
 
 import (
-	"errors"
-	"fmt"
-
 	"smartssd/internal/expr"
-	"smartssd/internal/page"
-	"smartssd/internal/schema"
+	"smartssd/internal/txn"
 )
 
 // SetClause assigns one column from an expression over the row's
-// pre-update values.
-type SetClause struct {
-	Column string
-	E      expr.Expr
-}
+// pre-update values. It is an alias of the transaction layer's clause
+// so callers can stay at the core API.
+type SetClause = txn.SetClause
 
-// Update applies an in-place UPDATE — SET clauses on rows matching
-// filter — to an SSD-resident table, through the buffer pool: modified
-// pages become dirty host copies, which makes the device's copies stale
-// and (until FlushPool) vetoes pushdown over the table, exactly the
-// coherence problem §4.3 of the paper discusses. It reports the number
-// of rows updated.
+// Update runs a single-statement transaction: begin, stage the SET
+// clauses on rows matching filter, commit. For SSD-resident tables the
+// commit is durable (WAL flush) before it acknowledges, and the
+// modified pages become dirty host copies in the buffer pool — which
+// makes the device's copies stale and (until FlushPool) vetoes
+// pushdown over the table, exactly the coherence problem §4.3 of the
+// paper discusses. HDD-resident tables take the same code path without
+// the pool-coherence veto: their pages are force-written at commit
+// (the HDD is never imaged, so it has no redo log to replay).
 //
 // The engine's query class has no update pushdown ("queries with any
 // updates cannot be processed in the SSD without appropriate
 // coordination with the DBMS transaction manager"), so Update always
-// executes on the host.
+// executes on the host. It reports the number of rows updated.
 func (e *Engine) Update(table string, filter expr.Expr, sets []SetClause) (int64, error) {
-	t, err := e.Table(table)
+	tx, err := e.Begin()
 	if err != nil {
 		return 0, err
 	}
-	if t.Target != OnSSD {
-		return 0, errors.New("core: Update supports SSD-resident tables only")
+	n, err := tx.Update(table, filter, sets)
+	if err != nil {
+		tx.Abort()
+		return 0, err
 	}
-	if len(sets) == 0 {
-		return 0, errors.New("core: Update without SET clauses")
+	if _, err := tx.Commit(0); err != nil {
+		return 0, err
 	}
-	s := t.File.Schema()
-	setIdx := make([]int, len(sets))
-	for i, c := range sets {
-		idx := s.ColumnIndex(c.Column)
-		if idx < 0 {
-			return 0, fmt.Errorf("core: Update: no column %q in %q", c.Column, table)
-		}
-		setIdx[i] = idx
-	}
-
-	var updated int64
-	builder := page.NewBuilder(s, t.File.Layout())
-	var tup schema.Tuple
-	for idx := int64(0); idx < t.File.Pages(); idx++ {
-		lba := t.File.StartLBA() + idx
-
-		// Pull the page through the buffer pool: cached copy if present,
-		// device read otherwise.
-		data, hit := e.pool.Get(lba)
-		if !hit {
-			devData, _, err := e.ssd.ReadPage(lba, 0)
-			if err != nil {
-				return updated, err
-			}
-			if err := e.pool.Put(lba, devData); err != nil {
-				return updated, fmt.Errorf("core: Update: pool full: %w", err)
-			}
-			data, _ = e.pool.Get(lba)
-			// Drop the extra pin from Put; the Get pin remains.
-			if err := e.pool.Unpin(lba, false); err != nil {
-				return updated, err
-			}
-		}
-
-		r, err := page.NewReader(s, data)
-		if err != nil {
-			e.pool.Unpin(lba, false)
-			return updated, fmt.Errorf("core: Update: page %d: %w", idx, err)
-		}
-		// First pass: does anything on this page match?
-		match := false
-		for i := 0; i < r.Count() && !match; i++ {
-			if filter == nil || filter.Eval(pageRow{r, i}).Int != 0 {
-				match = true
-			}
-		}
-		if !match {
-			e.pool.Unpin(lba, false)
-			continue
-		}
-
-		// Rebuild the page with updated tuples.
-		builder.Reset(r.PageNo())
-		for i := 0; i < r.Count(); i++ {
-			tup = r.Tuple(tup, i)
-			if filter == nil || filter.Eval(pageRow{r, i}).Int != 0 {
-				// Evaluate all SET expressions against pre-update values
-				// before assigning any (SQL UPDATE semantics).
-				vals := make([]schema.Value, len(sets))
-				row := expr.TupleRow(tup)
-				for si, c := range sets {
-					vals[si] = c.E.Eval(row)
-				}
-				out := cloneRow(tup)
-				for si, idx := range setIdx {
-					out[idx] = vals[si]
-				}
-				tup = out
-				updated++
-			}
-			if !builder.Append(tup) {
-				e.pool.Unpin(lba, false)
-				return updated, fmt.Errorf("core: Update: rebuilt page %d overflowed", idx)
-			}
-		}
-		copy(data, builder.Finish())
-		if err := e.pool.Unpin(lba, true); err != nil { // dirty
-			return updated, err
-		}
-	}
-	return updated, nil
+	return n, nil
 }
 
 // FlushPool writes all dirty buffer-pool pages back to the device,
-// restoring coherence so the planner may push down again.
-func (e *Engine) FlushPool() error { return e.pool.FlushAll() }
-
-// pageRow adapts a tuple inside a bound page to expr.Row.
-type pageRow struct {
-	r *page.Reader
-	i int
-}
-
-func (p pageRow) Col(c int) schema.Value { return p.r.Column(p.i, c) }
-
-func cloneRow(t schema.Tuple) schema.Tuple {
-	out := make(schema.Tuple, len(t))
-	for i, v := range t {
-		if v.Bytes != nil {
-			v.Bytes = append([]byte(nil), v.Bytes...)
-		}
-		out[i] = v
+// restoring coherence so the planner may push down again. With the
+// write-ahead log active this is a checkpoint: once every data page is
+// durable the log is reset (trimmed, epoch bumped).
+func (e *Engine) FlushPool() error {
+	if err := e.pool.FlushAll(); err != nil {
+		return err
 	}
-	return out
+	if e.walLog != nil {
+		return e.walLog.Reset()
+	}
+	return nil
 }

@@ -161,8 +161,28 @@ func TestUpdateValidation(t *testing.T) {
 		})
 	}
 	loadHDD()
-	if _, err := e.Update("hfact", nil, []SetClause{{Column: "val", E: expr.IntConst(1)}}); err == nil {
-		t.Error("HDD table update accepted")
+	// HDD-resident tables take the same update path (no pool-coherence
+	// veto; pages are force-written at commit) and must see the new
+	// values immediately on the host read path.
+	n, err := e.Update("hfact", nil, []SetClause{{Column: "val", E: expr.IntConst(7)}})
+	if err != nil {
+		t.Fatalf("HDD table update: %v", err)
+	}
+	if n != 10 {
+		t.Fatalf("HDD table update touched %d rows, want 10", n)
+	}
+	s := widePaddedSchema()
+	res, err := e.Run(QuerySpec{
+		Table:          "hfact",
+		Filter:         expr.Cmp{Op: expr.EQ, L: expr.ColRef(s, "val"), R: expr.IntConst(7)},
+		Aggs:           []plan.AggSpec{{Kind: plan.Count, Name: "cnt"}},
+		EstSelectivity: 1,
+	}, ForceHost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Rows[0][0].Int; got != 10 {
+		t.Fatalf("post-update HDD count = %d, want 10", got)
 	}
 }
 

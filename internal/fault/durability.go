@@ -1,0 +1,131 @@
+package fault
+
+// Durability fault injection: power cuts, torn WAL page writes, and
+// log-record corruption. These sites model the crash-consistency
+// hazards the write path must survive — the WAL layer consults them on
+// every durable write, and the recovery property tests sweep
+// PowerCutAfter across every write point of a recorded run.
+
+// WALFault describes what happens to one WAL page write.
+type WALFault struct {
+	// Lost reports that power is already out: the write must be
+	// refused without touching media.
+	Lost bool
+	// Cut reports that power fails during this write: at most
+	// KeepBytes of the page reach media, and every later durable
+	// write is refused until RestorePower.
+	Cut bool
+	// Torn reports a silent partial write: KeepBytes of the page
+	// persist, the rest do not, and no error is surfaced — recovery
+	// must detect it from the page checksum.
+	Torn bool
+	// KeepBytes is the persisted prefix length when Cut or Torn.
+	KeepBytes int
+	// CorruptAt, when >= 0, is the page offset of one byte to flip
+	// BEFORE the page checksum seals — the page CRC then passes but
+	// the record CRC underneath it fails, modeling in-flash bit rot.
+	CorruptAt int
+}
+
+// drawU64 draws the next raw 64-bit value in site's stream. Caller
+// must hold i.mu.
+func (i *Injector) drawU64(site int64) uint64 {
+	n := i.counters[site]
+	i.counters[site] = n + 1
+	return splitmix64(uint64(i.cfg.Seed) ^ uint64(site)<<56 ^ n)
+}
+
+// cutDraw advances the shared guarded-write counter and reports
+// whether the power cut lands on this write. The counter is consumed
+// only when a cut point is configured, so fault-free runs stay
+// byte-identical. Caller must hold i.mu.
+func (i *Injector) cutDraw() bool {
+	if i.cfg.PowerCutAfter <= 0 {
+		return false
+	}
+	n := i.counters[sitePowerCut]
+	i.counters[sitePowerCut] = n + 1
+	return int64(n)+1 == i.cfg.PowerCutAfter
+}
+
+// WALPageWrite draws the fate of one WAL page write of pageSize bytes.
+// The draw order is fixed (cut, then torn, then corrupt) so a given
+// seed yields the same schedule regardless of which rates are enabled.
+func (i *Injector) WALPageWrite(pageSize int) WALFault {
+	f := WALFault{CorruptAt: -1}
+	if i == nil {
+		return f
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if i.powerLost {
+		f.Lost = true
+		return f
+	}
+	if i.cutDraw() {
+		i.powerLost = true
+		i.stats.PowerCuts++
+		i.stats.PowerLost = true
+		f.Cut = true
+		f.KeepBytes = int(i.drawU64(siteTornLen) % uint64(pageSize))
+		return f
+	}
+	if i.roll(siteTorn, i.cfg.TornWriteRate) {
+		i.stats.TornWrites++
+		f.Torn = true
+		f.KeepBytes = int(i.drawU64(siteTornLen) % uint64(pageSize))
+	}
+	if i.roll(siteCorrupt, i.cfg.LogCorruptRate) {
+		i.stats.LogCorruptions++
+		f.CorruptAt = int(i.drawU64(siteCorruptPos) % uint64(pageSize))
+	}
+	return f
+}
+
+// GuardedWrite draws the fate of one guarded data-page write (buffer
+// pool flushes, replicated cluster applies). It shares the power-cut
+// counter with WALPageWrite, so a cut-point sweep covers crashes
+// mid-log and mid-apply alike. cut reports that power fails during
+// this write (the page must not reach media); lost reports that power
+// was already out.
+func (i *Injector) GuardedWrite() (cut, lost bool) {
+	if i == nil {
+		return false, false
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if i.powerLost {
+		return false, true
+	}
+	if i.cutDraw() {
+		i.powerLost = true
+		i.stats.PowerCuts++
+		i.stats.PowerLost = true
+		return true, false
+	}
+	return false, false
+}
+
+// PowerLost reports whether a power-cut fault has fired and power has
+// not been restored.
+func (i *Injector) PowerLost() bool {
+	if i == nil {
+		return false
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.powerLost
+}
+
+// RestorePower models plugging the machine back in before recovery:
+// durable writes are accepted again. The guarded-write counter is NOT
+// reset, so a restored run draws no second cut at the same point.
+func (i *Injector) RestorePower() {
+	if i == nil {
+		return
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.powerLost = false
+	i.stats.PowerLost = false
+}

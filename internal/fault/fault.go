@@ -75,6 +75,11 @@ type Config struct {
 	GetTimeoutRate   float64 // device CPU hang: one GET stalls then times out
 	GetTimeout       int64   // how long a hung GET blocks the host (ns); default 10ms
 	DeviceFailRate   float64 // whole-device failure at OPEN: device is dead thereafter
+
+	// Durability layer (WAL and guarded data writes).
+	PowerCutAfter  int64   // power fails during the Nth guarded durable write (1-based); 0 = never
+	TornWriteRate  float64 // a WAL page write persists only a prefix, silently
+	LogCorruptRate float64 // one WAL record byte flips before the page checksum seals
 }
 
 // Enabled reports whether this configuration injects anything.
@@ -84,7 +89,8 @@ func (c Config) Enabled() bool {
 		c.ProgramFailRate > 0 || c.EraseFailRate > 0 ||
 		c.LatencySpikeRate > 0 || c.DMAStallRate > 0 ||
 		c.SessionAbortRate > 0 || c.GrantDenialRate > 0 ||
-		c.GetTimeoutRate > 0 || c.DeviceFailRate > 0
+		c.GetTimeoutRate > 0 || c.DeviceFailRate > 0 ||
+		c.PowerCutAfter > 0 || c.TornWriteRate > 0 || c.LogCorruptRate > 0
 }
 
 func (c *Config) fill() {
@@ -111,6 +117,11 @@ const (
 	siteGrant
 	siteTimeout
 	siteDeviceFail
+	sitePowerCut
+	siteTorn
+	siteTornLen
+	siteCorrupt
+	siteCorruptPos
 )
 
 // Stats counts injected faults by site. Counters record injections at
@@ -130,8 +141,12 @@ type Stats struct {
 	SpikeDelay     int64 // total simulated ns added by spikes
 	StallDelay     int64 // total simulated ns added by stalls
 	TimeoutDelay   int64 // total simulated ns hosts spent waiting on hung GETs
+	PowerCuts      int64 // power-cut faults fired mid-write
+	TornWrites     int64 // WAL page writes torn to a prefix
+	LogCorruptions int64 // WAL record bytes flipped pre-checksum
 	StickyBadPages int64 // pages currently marked uncorrectable
 	DeviceDead     bool  // device has failed and stays failed
+	PowerLost      bool  // power is out; durable writes are refused
 }
 
 // Injector draws faults deterministically. The zero of *Injector (nil)
@@ -141,11 +156,12 @@ type Stats struct {
 type Injector struct {
 	cfg Config
 
-	mu       sync.Mutex
-	counters map[int64]uint64 // per-site draw counters
-	sticky   map[uint64]bool  // pages that failed uncorrectably
-	dead     bool
-	stats    Stats
+	mu        sync.Mutex
+	counters  map[int64]uint64 // per-site draw counters
+	sticky    map[uint64]bool  // pages that failed uncorrectably
+	dead      bool
+	powerLost bool
+	stats     Stats
 }
 
 // New returns an injector for cfg, or nil when cfg injects nothing.
@@ -173,11 +189,12 @@ func (i *Injector) Clone() *Injector {
 	i.mu.Lock()
 	defer i.mu.Unlock()
 	c := &Injector{
-		cfg:      i.cfg,
-		counters: make(map[int64]uint64, len(i.counters)),
-		sticky:   make(map[uint64]bool, len(i.sticky)),
-		dead:     i.dead,
-		stats:    i.stats,
+		cfg:       i.cfg,
+		counters:  make(map[int64]uint64, len(i.counters)),
+		sticky:    make(map[uint64]bool, len(i.sticky)),
+		dead:      i.dead,
+		powerLost: i.powerLost,
+		stats:     i.stats,
 	}
 	for site, n := range i.counters {
 		c.counters[site] = n

@@ -1,0 +1,61 @@
+// Package httpretry is the client half of the serving layer's
+// load-shedding contract. An overloaded smartssdd sheds session opens
+// with 429 and a Retry-After header; well-behaved clients wait the
+// advertised period and try again rather than hammering the admission
+// queue. Both cmd/smartssdc and cmd/smartssdd's smoke replay share
+// this implementation so they cannot drift apart on the protocol.
+package httpretry
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// sleep is swapped out by tests; the real client genuinely waits.
+var sleep = func(d time.Duration) {
+	time.Sleep(d) //lint:allow walltime — HTTP client backoff, outside the simulation
+}
+
+// RetryAfter parses the delay-seconds form of a Retry-After header.
+// Missing, malformed, or sub-second values fall back to one second —
+// the client must never busy-loop against a shedding server.
+func RetryAfter(h http.Header) time.Duration {
+	after, err := strconv.Atoi(h.Get("Retry-After"))
+	if err != nil || after < 1 {
+		after = 1
+	}
+	return time.Duration(after) * time.Second
+}
+
+// Post issues one JSON POST, retrying 429 responses after the server's
+// advertised Retry-After, up to maxRetries additional attempts. It
+// returns the terminal status and body; a still-shed request after the
+// last retry returns an error alongside them. A nil client uses
+// http.DefaultClient.
+func Post(client *http.Client, url string, body []byte, maxRetries int) (int, []byte, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	for attempt := 0; ; attempt++ {
+		resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return 0, nil, err
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return 0, nil, err
+		}
+		if resp.StatusCode != http.StatusTooManyRequests {
+			return resp.StatusCode, data, nil
+		}
+		if attempt >= maxRetries {
+			return resp.StatusCode, data, fmt.Errorf("httpretry: open shed %d times: %s", attempt+1, data)
+		}
+		sleep(RetryAfter(resp.Header))
+	}
+}

@@ -1,0 +1,108 @@
+package httpretry
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func stubSleep(t *testing.T) *[]time.Duration {
+	t.Helper()
+	var slept []time.Duration
+	orig := sleep
+	sleep = func(d time.Duration) { slept = append(slept, d) }
+	t.Cleanup(func() { sleep = orig })
+	return &slept
+}
+
+func TestRetryAfterParsing(t *testing.T) {
+	cases := []struct {
+		header string
+		want   time.Duration
+	}{
+		{"3", 3 * time.Second},
+		{"1", time.Second},
+		{"", time.Second},
+		{"0", time.Second},
+		{"-2", time.Second},
+		{"soon", time.Second},
+	}
+	for _, c := range cases {
+		h := http.Header{}
+		if c.header != "" {
+			h.Set("Retry-After", c.header)
+		}
+		if got := RetryAfter(h); got != c.want {
+			t.Errorf("RetryAfter(%q) = %v, want %v", c.header, got, c.want)
+		}
+	}
+}
+
+func TestPostRetriesUntilAdmitted(t *testing.T) {
+	slept := stubSleep(t)
+	sheds := 2
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if sheds > 0 {
+			sheds--
+			w.Header().Set("Retry-After", "2")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		w.WriteHeader(http.StatusCreated)
+		w.Write([]byte(`{"id":"s1"}`))
+	}))
+	defer srv.Close()
+
+	status, body, err := Post(nil, srv.URL, []byte(`{}`), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != http.StatusCreated || !strings.Contains(string(body), "s1") {
+		t.Fatalf("status %d body %s", status, body)
+	}
+	if len(*slept) != 2 || (*slept)[0] != 2*time.Second {
+		t.Fatalf("slept %v, want two 2s waits", *slept)
+	}
+}
+
+func TestPostGivesUpAfterBudget(t *testing.T) {
+	slept := stubSleep(t)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusTooManyRequests)
+		w.Write([]byte("shed"))
+	}))
+	defer srv.Close()
+
+	status, body, err := Post(nil, srv.URL, []byte(`{}`), 3)
+	if err == nil {
+		t.Fatal("always-shedding server must eventually error")
+	}
+	if status != http.StatusTooManyRequests || string(body) != "shed" {
+		t.Fatalf("status %d body %q", status, body)
+	}
+	if len(*slept) != 3 {
+		t.Fatalf("slept %d times, want 3", len(*slept))
+	}
+}
+
+func TestPostPassesThroughNon429(t *testing.T) {
+	slept := stubSleep(t)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusBadRequest)
+		w.Write([]byte("nope"))
+	}))
+	defer srv.Close()
+
+	status, body, err := Post(nil, srv.URL, []byte(`{}`), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != http.StatusBadRequest || string(body) != "nope" {
+		t.Fatalf("status %d body %q", status, body)
+	}
+	if len(*slept) != 0 {
+		t.Fatalf("non-429 slept %v", *slept)
+	}
+}

@@ -338,6 +338,60 @@ func (r *Reader) Int64Column(col int, fn func(i int, v int64)) {
 	}
 }
 
+// ReplaceTuple overwrites tuple i of the sealed page in buf with the
+// encoded tuple bytes (schema.EncodeTuple format) and reseals the
+// checksum. It is the redo-apply primitive crash recovery uses to
+// install a WAL after-image without rebuilding the whole page. The
+// page is modified in place; buf must not alias storage concurrent
+// readers are scanning.
+func ReplaceTuple(s *schema.Schema, buf []byte, i int, tuple []byte) error {
+	if len(buf) != PageSize {
+		return fmt.Errorf("%w: %d bytes", ErrBadSize, len(buf))
+	}
+	if binary.LittleEndian.Uint16(buf[offMagic:]) != magic {
+		return ErrBadMagic
+	}
+	l := Layout(buf[offLayout])
+	if l != NSM && l != PAX {
+		return fmt.Errorf("%w: %d", ErrBadLayout, buf[offLayout])
+	}
+	if int(binary.LittleEndian.Uint16(buf[offWidth:])) != s.TupleWidth() {
+		return fmt.Errorf("%w: page says %d, schema says %d", ErrSchema,
+			binary.LittleEndian.Uint16(buf[offWidth:]), s.TupleWidth())
+	}
+	if len(tuple) != s.TupleWidth() {
+		return fmt.Errorf("%w: after-image is %d bytes, schema tuple is %d",
+			ErrSchema, len(tuple), s.TupleWidth())
+	}
+	count := int(binary.LittleEndian.Uint16(buf[offCount:]))
+	if i < 0 || i >= count {
+		return fmt.Errorf("page: replace tuple %d out of range [0,%d)", i, count)
+	}
+	switch l {
+	case NSM:
+		slotOff := PageSize - 2*(i+1)
+		off := int(binary.LittleEndian.Uint16(buf[slotOff:]))
+		if off < HeaderSize || off+s.TupleWidth() > PageSize-2*count {
+			return fmt.Errorf("page: slot %d points outside the record area (offset %d)", i, off)
+		}
+		copy(buf[off:off+s.TupleWidth()], tuple)
+	case PAX:
+		// EncodeTuple is the per-column concatenation of EncodeValue,
+		// so each minipage cell is the matching fixed-width slice of
+		// the encoded tuple.
+		capacity := Capacity(s, PAX)
+		for col := 0; col < s.NumColumns(); col++ {
+			w := s.Column(col).Width()
+			cell := paxMinipageOffset(s, capacity, col) + i*w
+			copy(buf[cell:cell+w], tuple[s.Offset(col):s.Offset(col)+w])
+		}
+	}
+	binary.LittleEndian.PutUint32(buf[offCRC:], 0)
+	crc := crc32.Checksum(buf, crcTable)
+	binary.LittleEndian.PutUint32(buf[offCRC:], crc)
+	return nil
+}
+
 // Validate re-checks the page checksum, reporting any corruption.
 func (r *Reader) Validate() error {
 	stored := binary.LittleEndian.Uint32(r.buf[offCRC:])

@@ -42,6 +42,8 @@ const (
 	MaxAggs = 16
 	// MaxOutputCols bounds the projection list.
 	MaxOutputCols = 32
+	// MaxSetClauses bounds an update's SET list.
+	MaxSetClauses = 16
 )
 
 // Request is the wire form of one query session.
@@ -59,6 +61,13 @@ type Request struct {
 	Aggs []AggRequest `json:"aggs,omitempty"`
 	// Output lists projection columns; mutually exclusive with Aggs.
 	Output []OutputRequest `json:"output,omitempty"`
+	// Update lists SET clauses for a transactional UPDATE session:
+	// rows matching Predicate are rewritten through the write-ahead
+	// log, and the session completes only after the commit's log flush
+	// is durable. Cluster target only (engine sessions run on private
+	// clones, which are immutable snapshots); mutually exclusive with
+	// Aggs, Output, and Trace.
+	Update []SetRequest `json:"update,omitempty"`
 	// Target picks the backend: "engine" (default; a private clone per
 	// worker) or "cluster" (the shared partitioned backend).
 	Target string `json:"target,omitempty"`
@@ -90,12 +99,21 @@ type OutputRequest struct {
 	Expr string `json:"expr"`
 }
 
+// SetRequest is one SET clause of an update session: Column is
+// assigned the value of Expr evaluated over the row's pre-update
+// values.
+type SetRequest struct {
+	Column string `json:"column"`
+	Expr   string `json:"expr"`
+}
+
 // Query is a decoded, validated, compiled request, ready to run.
 type Query struct {
 	Req      Request
 	Filter   expr.Expr
 	Aggs     []plan.AggSpec
 	Output   []plan.OutputCol
+	Sets     []core.SetClause
 	Mode     core.Mode
 	Cluster  bool
 	Deadline time.Duration
@@ -216,6 +234,41 @@ func DecodeRequest(src SchemaSource, data []byte) (*Query, error) {
 		if err != nil {
 			return nil, fmt.Errorf("serve: predicate: %w", err)
 		}
+	}
+
+	if len(req.Update) > 0 {
+		// Update sessions mutate the shared partitioned backend; engine
+		// sessions run on private clones, which are immutable snapshots
+		// of the loaded dataset.
+		if !q.Cluster {
+			return nil, fmt.Errorf("serve: update sessions require the cluster target")
+		}
+		if len(req.Aggs) > 0 || len(req.Output) > 0 {
+			return nil, fmt.Errorf("serve: update is mutually exclusive with aggs and output")
+		}
+		if len(req.Update) > MaxSetClauses {
+			return nil, fmt.Errorf("serve: more than %d set clauses", MaxSetClauses)
+		}
+		for i, u := range req.Update {
+			if u.Column == "" {
+				return nil, fmt.Errorf("serve: set %d: missing column", i)
+			}
+			if s.ColumnIndex(u.Column) < 0 {
+				return nil, fmt.Errorf("serve: set %d: unknown column %q", i, u.Column)
+			}
+			if u.Expr == "" {
+				return nil, fmt.Errorf("serve: set %d: missing expr", i)
+			}
+			if len(u.Expr) > MaxExprLen {
+				return nil, fmt.Errorf("serve: set %d: expr longer than %d bytes", i, MaxExprLen)
+			}
+			e, err := expr.Parse(s, u.Expr)
+			if err != nil {
+				return nil, fmt.Errorf("serve: set %d: %w", i, err)
+			}
+			q.Sets = append(q.Sets, core.SetClause{Column: u.Column, E: e})
+		}
+		return q, nil
 	}
 
 	if len(req.Aggs) > 0 && len(req.Output) > 0 {

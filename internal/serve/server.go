@@ -412,7 +412,45 @@ func (s *Server) executeEngine(worker int, q *Query) (int, []byte, *trace.Record
 	return http.StatusOK, encodeResult(body), rec
 }
 
+// executeUpdate runs one transactional UPDATE session on the cluster.
+// The 200 response is the commit acknowledgement: it is not written
+// until Cluster.Update has returned, which happens only after the
+// commit's write-ahead-log flush is durable on the coordinator device.
+func (s *Server) executeUpdate(q *Query) (int, []byte) {
+	s.clusterMu.Lock()
+	s.cluster.ResetTiming()
+	n, ack, err := s.cluster.Update(q.Req.Table, q.Filter, q.Sets)
+	s.clusterMu.Unlock()
+	if err != nil {
+		return http.StatusInternalServerError, encodeResult(errorBody{
+			Tag: q.Req.Tag, State: "FAILED", Error: err.Error(), Class: core.FaultClass(err),
+		})
+	}
+	s.mu.Lock()
+	s.lastElapsed = ack
+	s.mu.Unlock()
+	if derr := fault.Deadline(ack, q.Deadline); derr != nil {
+		// The commit is durable; only the acknowledgement missed its
+		// deadline. Report the timeout — recovery semantics are the
+		// same as a client that never read its ack.
+		return http.StatusGatewayTimeout, encodeResult(errorBody{
+			Tag: q.Req.Tag, State: "FAILED", Error: derr.Error(), Class: core.FaultClass(derr),
+		})
+	}
+	return http.StatusOK, encodeResult(resultBody{
+		Tag:       q.Req.Tag,
+		State:     "DONE",
+		Target:    "cluster",
+		Columns:   []string{"rows_updated"},
+		Rows:      [][]any{{n}},
+		ElapsedNS: ack.Nanoseconds(),
+	})
+}
+
 func (s *Server) executeCluster(q *Query) (int, []byte) {
+	if len(q.Sets) > 0 {
+		return s.executeUpdate(q)
+	}
 	s.clusterMu.Lock()
 	s.cluster.ResetTiming()
 	res, err := s.cluster.RunRouted(core.ClusterQuery{

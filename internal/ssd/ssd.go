@@ -450,6 +450,16 @@ func (d *Device) MappedPages(fn func(lba int64, data []byte) error) error {
 // Trim discards the page at lba (data-management command; untimed).
 func (d *Device) Trim(lba int64) error { return d.ftl.Trim(ftl.LBA(lba)) }
 
+// Mapped reports whether lba currently holds data (has an FTL
+// mapping). Out-of-range addresses report false.
+func (d *Device) Mapped(lba int64) bool {
+	if lba < 0 || lba >= d.ftl.LogicalPages() {
+		return false
+	}
+	_, ok := d.ftl.Lookup(ftl.LBA(lba))
+	return ok
+}
+
 // Activity summarizes device resource usage since the last ResetTiming,
 // for bandwidth reporting and energy integration.
 type Activity struct {

@@ -1,0 +1,200 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"smartssd/internal/fault"
+)
+
+// Recovery is the result of scanning a log region on open: the durable
+// records in LSN order and the set of transactions whose commit record
+// made it to media.
+type Recovery struct {
+	// ValidPages counts fully-valid log pages scanned.
+	ValidPages int64
+	// TruncatedTail reports that the page after the valid prefix was
+	// mapped but failed validation — the expected artifact of a power
+	// cut mid-flush, discarded as never written.
+	TruncatedTail bool
+	// Records holds every record of the valid prefix in LSN order.
+	Records []Record
+	// Committed lists transaction ids whose commit record is durable,
+	// in commit (LSN) order.
+	Committed []uint64
+}
+
+// CommittedUpdates returns the update records of committed
+// transactions, in LSN order — the redo set.
+func (r *Recovery) CommittedUpdates() []Record {
+	committed := make(map[uint64]bool, len(r.Committed))
+	for _, txn := range r.Committed {
+		committed[txn] = true
+	}
+	var out []Record
+	for _, rec := range r.Records {
+		if rec.Type == RecUpdate && committed[rec.Txn] {
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+// pageCheck classifies one region page.
+type pageCheck int
+
+const (
+	pageUnmapped pageCheck = iota
+	pageInvalid            // mapped, but not a valid log page for (epoch, seq)
+	pageValid
+)
+
+// checkPage validates the page at region index seq. epoch 0 means "any
+// epoch" (adopt the page's); otherwise the page must match.
+func checkPage(buf []byte, epoch uint32, seq uint32) (pageCheck, uint32) {
+	if len(buf) < pageHeaderSize {
+		return pageInvalid, 0
+	}
+	if binary.LittleEndian.Uint32(buf[offPageMagic:]) != pageMagic {
+		return pageInvalid, 0
+	}
+	e := binary.LittleEndian.Uint32(buf[offPageEpoch:])
+	if epoch != 0 && e != epoch {
+		return pageInvalid, 0
+	}
+	if binary.LittleEndian.Uint32(buf[offPageSeq:]) != seq {
+		return pageInvalid, 0
+	}
+	used := int(binary.LittleEndian.Uint16(buf[offPageUsed:]))
+	if used > len(buf)-pageHeaderSize {
+		return pageInvalid, 0
+	}
+	stored := binary.LittleEndian.Uint32(buf[offPageCRC:])
+	var zero [4]byte
+	sum := crc32.Checksum(buf[:offPageCRC], crcTable)
+	sum = crc32.Update(sum, crcTable, zero[:])
+	sum = crc32.Update(sum, crcTable, buf[offPageCRC+4:])
+	if sum != stored {
+		return pageInvalid, 0
+	}
+	return pageValid, e
+}
+
+// parsePage appends the records packed in a valid page to dst. Records
+// must pack the in-use payload exactly; any violation — truncated
+// prefix, out-of-bounds size, record-CRC mismatch, undecodable body —
+// is in-flash corruption of a sealed page (hard ErrCorruptRecord).
+func parsePage(buf []byte, seq uint32, dst []Record) ([]Record, error) {
+	used := int(binary.LittleEndian.Uint16(buf[offPageUsed:]))
+	payload := buf[pageHeaderSize : pageHeaderSize+used]
+	off := 0
+	for off < used {
+		if used-off < recPrefixSize {
+			return dst, fmt.Errorf("%w: page %d: %d trailing bytes", ErrCorruptRecord, seq, used-off)
+		}
+		size := int(binary.LittleEndian.Uint16(payload[off:]))
+		crc := binary.LittleEndian.Uint32(payload[off+2:])
+		if off+recPrefixSize+size > used {
+			return dst, fmt.Errorf("%w: page %d offset %d: record overruns page", ErrCorruptRecord, seq, off)
+		}
+		body := payload[off+recPrefixSize : off+recPrefixSize+size]
+		if crc32.Checksum(body, crcTable) != crc {
+			return dst, fmt.Errorf("%w: page %d offset %d: record checksum mismatch", ErrCorruptRecord, seq, off)
+		}
+		rec, err := decodeBody(body)
+		if err != nil {
+			return dst, fmt.Errorf("page %d offset %d: %w", seq, off, err)
+		}
+		dst = append(dst, rec)
+		off += recPrefixSize + size
+	}
+	return dst, nil
+}
+
+// Open scans the log region of dev and returns a writer positioned
+// after the valid prefix, plus the recovery set.
+//
+// Scan rule: log pages are written strictly sequentially, so the valid
+// log is the longest prefix of pages that are mapped, checksummed, and
+// carry the expected epoch and sequence number. A bad or missing page
+// at the boundary is the torn tail of the interrupted final flush and
+// is silently discarded — unless any later page of the region is a
+// valid log page, which proves the damage sits *inside* the written
+// log: that is a hard ErrTornWrite, because truncating there would
+// silently drop durable commits. A record whose own checksum fails
+// inside a valid page is in-flash corruption: hard ErrCorruptRecord.
+func Open(dev Device, inj *fault.Injector) (*Log, *Recovery, error) {
+	start, pages := Region(dev.CapacityPages())
+	l := &Log{dev: dev, inj: inj, start: start, pages: pages, epoch: 1, nextLSN: 1}
+	rec := &Recovery{}
+
+	var epoch uint32
+	valid := int64(0)
+	tailMapped := false
+	for ; valid < pages; valid++ {
+		lba := start + valid
+		if !dev.Mapped(lba) {
+			break
+		}
+		buf, _, err := dev.ReadPage(lba, 0)
+		if err != nil {
+			return nil, nil, fmt.Errorf("wal: open: read log page %d: %w", lba, err)
+		}
+		state, e := checkPage(buf, epoch, uint32(valid))
+		if state != pageValid {
+			tailMapped = true
+			break
+		}
+		if epoch == 0 {
+			epoch = e
+		}
+		rec.Records, err = parsePage(buf, uint32(valid), rec.Records)
+		if err != nil {
+			return nil, nil, fmt.Errorf("wal: open: %w", err)
+		}
+	}
+
+	// Anything valid past the boundary proves mid-log damage.
+	for j := valid + 1; j < pages; j++ {
+		lba := start + j
+		if !dev.Mapped(lba) {
+			continue
+		}
+		buf, _, err := dev.ReadPage(lba, 0)
+		if err != nil {
+			return nil, nil, fmt.Errorf("wal: open: read log page %d: %w", lba, err)
+		}
+		if state, _ := checkPage(buf, epoch, uint32(j)); state == pageValid {
+			if tailMapped {
+				return nil, nil, fmt.Errorf(
+					"wal: open: page %d damaged but page %d is valid: %w", valid, j, ErrTornWrite)
+			}
+			return nil, nil, fmt.Errorf(
+				"wal: open: page %d missing but page %d is valid: %w", valid, j, ErrTornWrite)
+		}
+	}
+	rec.TruncatedTail = tailMapped
+	rec.ValidPages = valid
+
+	// LSNs must be strictly increasing across the prefix; commit order
+	// is LSN order.
+	var lastLSN uint64
+	for _, r := range rec.Records {
+		if r.LSN <= lastLSN {
+			return nil, nil, fmt.Errorf(
+				"wal: open: LSN %d after %d breaks monotonicity: %w", r.LSN, lastLSN, ErrCorruptRecord)
+		}
+		lastLSN = r.LSN
+		if r.Type == RecCommit {
+			rec.Committed = append(rec.Committed, r.Txn)
+		}
+	}
+
+	if epoch != 0 {
+		l.epoch = epoch
+	}
+	l.nextSeq = uint32(valid)
+	l.nextLSN = lastLSN + 1
+	return l, rec, nil
+}

@@ -1,0 +1,468 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"testing"
+	"time"
+
+	"smartssd/internal/fault"
+)
+
+// memDevice is a page store with no timing model — the log's contract
+// with its Device is purely about bytes, so the unit tests exercise it
+// without a simulator.
+type memDevice struct {
+	pageSize int
+	capacity int64
+	pages    map[int64][]byte
+}
+
+func newMemDevice(pageSize int, capacity int64) *memDevice {
+	return &memDevice{pageSize: pageSize, capacity: capacity, pages: make(map[int64][]byte)}
+}
+
+func (d *memDevice) PageSize() int         { return d.pageSize }
+func (d *memDevice) CapacityPages() int64  { return d.capacity }
+func (d *memDevice) Mapped(lba int64) bool { _, ok := d.pages[lba]; return ok }
+
+func (d *memDevice) ReadPage(lba int64, ready time.Duration) ([]byte, time.Duration, error) {
+	p, ok := d.pages[lba]
+	if !ok {
+		return nil, ready, fmt.Errorf("memdev: read unmapped page %d", lba)
+	}
+	return append([]byte(nil), p...), ready, nil
+}
+
+func (d *memDevice) WritePage(lba int64, data []byte, ready time.Duration) (time.Duration, error) {
+	if lba < 0 || lba >= d.capacity {
+		return ready, fmt.Errorf("memdev: write out of range page %d", lba)
+	}
+	if len(data) != d.pageSize {
+		return ready, fmt.Errorf("memdev: write %d bytes, page is %d", len(data), d.pageSize)
+	}
+	d.pages[lba] = append([]byte(nil), data...)
+	return ready, nil
+}
+
+func (d *memDevice) Trim(lba int64) error {
+	delete(d.pages, lba)
+	return nil
+}
+
+func updateRec(txn uint64, table string, pageIdx uint32, slot uint16, tuple string) Record {
+	return Record{Txn: txn, Type: RecUpdate, Table: table, PageIdx: pageIdx, Slot: slot, Tuple: []byte(tuple)}
+}
+
+// appendAll appends a Begin, the updates, and a Commit for txn.
+func appendAll(t *testing.T, l *Log, txn uint64, updates ...Record) {
+	t.Helper()
+	if _, err := l.Append(Record{Txn: txn, Type: RecBegin}); err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range updates {
+		if _, err := l.Append(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := l.Append(Record{Txn: txn, Type: RecCommit}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegionBounds(t *testing.T) {
+	cases := []struct {
+		capacity, start, pages int64
+	}{
+		{32768, 32768 - 1024, 1024}, // 1/32 of 32k = 1024, at the cap
+		{7168, 6944, 224},           // the engine test fixture
+		{64, 60, 4},                 // floor of 4 pages
+		{6, 3, 3},                   // tiny device gives up half
+	}
+	for _, c := range cases {
+		start, pages := Region(c.capacity)
+		if start != c.start || pages != c.pages {
+			t.Errorf("Region(%d) = (%d, %d), want (%d, %d)", c.capacity, start, pages, c.start, c.pages)
+		}
+	}
+}
+
+func TestAppendFlushReplayRoundTrip(t *testing.T) {
+	dev := newMemDevice(512, 256)
+	l, err := Create(dev, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, l, 1, updateRec(1, "fact", 3, 7, "alpha"))
+	appendAll(t, l, 2, updateRec(2, "fact", 3, 8, "beta"), updateRec(2, "dim", 0, 0, "gamma"))
+	if l.PendingRecords() != 7 {
+		t.Fatalf("pending = %d, want 7", l.PendingRecords())
+	}
+	if _, err := l.Flush(0); err != nil {
+		t.Fatal(err)
+	}
+	if l.PendingRecords() != 0 {
+		t.Fatalf("pending after flush = %d", l.PendingRecords())
+	}
+
+	l2, rec, err := Open(dev, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.TruncatedTail {
+		t.Error("clean log reported a truncated tail")
+	}
+	if len(rec.Records) != 7 {
+		t.Fatalf("replayed %d records, want 7", len(rec.Records))
+	}
+	for i, r := range rec.Records {
+		if r.LSN != uint64(i+1) {
+			t.Fatalf("record %d has LSN %d, want %d", i, r.LSN, i+1)
+		}
+	}
+	if len(rec.Committed) != 2 || rec.Committed[0] != 1 || rec.Committed[1] != 2 {
+		t.Fatalf("committed = %v, want [1 2]", rec.Committed)
+	}
+	ups := rec.CommittedUpdates()
+	if len(ups) != 3 {
+		t.Fatalf("committed updates = %d, want 3", len(ups))
+	}
+	if string(ups[0].Tuple) != "alpha" || ups[0].Table != "fact" || ups[0].PageIdx != 3 || ups[0].Slot != 7 {
+		t.Fatalf("first update mismatches: %+v", ups[0])
+	}
+	if string(ups[2].Tuple) != "gamma" || ups[2].Table != "dim" {
+		t.Fatalf("third update mismatches: %+v", ups[2])
+	}
+	// The reopened log continues the LSN sequence past the replayed tail.
+	if l2.NextLSN() != l.NextLSN() {
+		t.Fatalf("reopened NextLSN = %d, want %d", l2.NextLSN(), l.NextLSN())
+	}
+}
+
+func TestUncommittedTxnIsInvisible(t *testing.T) {
+	dev := newMemDevice(512, 256)
+	l, _ := Create(dev, nil)
+	appendAll(t, l, 1, updateRec(1, "fact", 0, 0, "keep"))
+	// Txn 2 never commits: Begin and Update reach the log, Commit does not.
+	l.Append(Record{Txn: 2, Type: RecBegin})
+	l.Append(updateRec(2, "fact", 0, 1, "lose"))
+	if _, err := l.Flush(0); err != nil {
+		t.Fatal(err)
+	}
+	_, rec, err := Open(dev, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Committed) != 1 || rec.Committed[0] != 1 {
+		t.Fatalf("committed = %v, want [1]", rec.Committed)
+	}
+	for _, u := range rec.CommittedUpdates() {
+		if string(u.Tuple) == "lose" {
+			t.Fatal("uncommitted update in the redo set")
+		}
+	}
+}
+
+func TestMultiPageFlushAndGroupPacking(t *testing.T) {
+	dev := newMemDevice(512, 4096)
+	l, _ := Create(dev, nil)
+	// Enough records to spill across several pages in one flush.
+	for txn := uint64(1); txn <= 20; txn++ {
+		appendAll(t, l, txn, updateRec(txn, "fact", uint32(txn), 0, "0123456789abcdef0123456789abcdef"))
+	}
+	if _, err := l.Flush(0); err != nil {
+		t.Fatal(err)
+	}
+	st := l.Stats()
+	if st.PageWrites < 2 {
+		t.Fatalf("one giant flush used %d pages, want several", st.PageWrites)
+	}
+	// Group commit claim: the same records flushed one transaction at a
+	// time must cost at least as many page writes.
+	dev2 := newMemDevice(512, 4096)
+	l2, _ := Create(dev2, nil)
+	for txn := uint64(1); txn <= 20; txn++ {
+		appendAll(t, l2, txn, updateRec(txn, "fact", uint32(txn), 0, "0123456789abcdef0123456789abcdef"))
+		if _, err := l2.Flush(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l2.Stats().PageWrites <= st.PageWrites {
+		t.Fatalf("per-txn flushes used %d pages, group used %d — grouping saved nothing",
+			l2.Stats().PageWrites, st.PageWrites)
+	}
+	_, rec, err := Open(dev, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Committed) != 20 {
+		t.Fatalf("committed %d txns, want 20", len(rec.Committed))
+	}
+}
+
+func TestRecordTooLargeAndLogFull(t *testing.T) {
+	dev := newMemDevice(256, 128) // region = 4 pages at 124
+	l, _ := Create(dev, nil)
+	big := make([]byte, 512)
+	if _, err := l.Append(updateRec(1, "fact", 0, 0, string(big))); !errors.Is(err, ErrRecordTooLarge) {
+		t.Fatalf("oversized append: %v, want ErrRecordTooLarge", err)
+	}
+	// Fill the region: each ~64-byte record set fills pages fast.
+	var err error
+	for txn := uint64(1); err == nil && txn < 100; txn++ {
+		appendAll(t, l, txn, updateRec(txn, "fact", 0, 0, "some tuple bytes here padding"))
+		_, err = l.Flush(0)
+	}
+	if !errors.Is(err, ErrLogFull) {
+		t.Fatalf("filling the region: %v, want ErrLogFull", err)
+	}
+	// Reset (checkpoint) frees the region for reuse.
+	if err := l.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, l, 200, updateRec(200, "fact", 0, 0, "post-checkpoint"))
+	if _, err := l.Flush(0); err != nil {
+		t.Fatal(err)
+	}
+	_, rec, err := Open(dev, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Committed) != 1 || rec.Committed[0] != 200 {
+		t.Fatalf("post-checkpoint replay sees %v, want only txn 200", rec.Committed)
+	}
+}
+
+// tearPage replaces a written log page with a prefix-only copy, as a
+// power cut mid-write would leave it.
+func tearPage(t *testing.T, dev *memDevice, lba int64, keep int) {
+	t.Helper()
+	p, ok := dev.pages[lba]
+	if !ok {
+		t.Fatalf("page %d not mapped", lba)
+	}
+	torn := make([]byte, dev.pageSize)
+	copy(torn, p[:keep])
+	dev.pages[lba] = torn
+}
+
+func TestTornTailIsTruncatedSilently(t *testing.T) {
+	dev := newMemDevice(512, 256)
+	l, _ := Create(dev, nil)
+	appendAll(t, l, 1, updateRec(1, "fact", 0, 0, "first page survives"))
+	if _, err := l.Flush(0); err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, l, 2, updateRec(2, "fact", 0, 1, "second page torn"))
+	if _, err := l.Flush(0); err != nil {
+		t.Fatal(err)
+	}
+	tearPage(t, dev, l.Start()+1, 40)
+
+	_, rec, err := Open(dev, nil)
+	if err != nil {
+		t.Fatalf("torn tail must recover cleanly, got %v", err)
+	}
+	if !rec.TruncatedTail {
+		t.Fatal("torn tail not reported")
+	}
+	if rec.ValidPages != 1 {
+		t.Fatalf("valid pages = %d, want 1", rec.ValidPages)
+	}
+	if len(rec.Committed) != 1 || rec.Committed[0] != 1 {
+		t.Fatalf("committed = %v, want exactly the pre-tear prefix [1]", rec.Committed)
+	}
+}
+
+func TestTornMidLogIsHardError(t *testing.T) {
+	dev := newMemDevice(512, 256)
+	l, _ := Create(dev, nil)
+	for txn := uint64(1); txn <= 3; txn++ {
+		appendAll(t, l, txn, updateRec(txn, "fact", 0, uint16(txn), "one page per flush......."))
+		if _, err := l.Flush(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Page 1 torn but page 2 valid: page 1 was once fully written (the
+	// log is ordered), so committed records are gone. Hard error.
+	tearPage(t, dev, l.Start()+1, 64)
+	_, _, err := Open(dev, nil)
+	if !errors.Is(err, ErrTornWrite) {
+		t.Fatalf("mid-log tear: %v, want ErrTornWrite", err)
+	}
+
+	// Same for a missing (trimmed) page followed by a valid one.
+	dev2 := newMemDevice(512, 256)
+	l2, _ := Create(dev2, nil)
+	for txn := uint64(1); txn <= 3; txn++ {
+		appendAll(t, l2, txn, updateRec(txn, "fact", 0, uint16(txn), "one page per flush......."))
+		if _, err := l2.Flush(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dev2.Trim(l2.Start() + 1)
+	_, _, err = Open(dev2, nil)
+	if !errors.Is(err, ErrTornWrite) {
+		t.Fatalf("mid-log hole: %v, want ErrTornWrite", err)
+	}
+}
+
+// corruptRecordByte flips one payload byte inside a log page and
+// re-seals the page checksum, modelling in-flash corruption that the
+// page CRC cannot see (it was computed over the corrupt bytes) but the
+// record CRC must catch.
+func corruptRecordByte(t *testing.T, dev *memDevice, lba int64) {
+	t.Helper()
+	p := dev.pages[lba]
+	p[pageHeaderSize+recPrefixSize+2] ^= 0xFF // inside the first record's body
+	binary.LittleEndian.PutUint32(p[offPageCRC:], 0)
+	binary.LittleEndian.PutUint32(p[offPageCRC:], crc32.Checksum(p, crcTable))
+}
+
+func TestCorruptRecordIsHardError(t *testing.T) {
+	dev := newMemDevice(512, 256)
+	l, _ := Create(dev, nil)
+	appendAll(t, l, 1, updateRec(1, "fact", 0, 0, "soon to be corrupted"))
+	if _, err := l.Flush(0); err != nil {
+		t.Fatal(err)
+	}
+	corruptRecordByte(t, dev, l.Start())
+	_, _, err := Open(dev, nil)
+	if !errors.Is(err, ErrCorruptRecord) {
+		t.Fatalf("corrupt record: %v, want ErrCorruptRecord", err)
+	}
+}
+
+func TestInjectedPowerCutDuringFlush(t *testing.T) {
+	dev := newMemDevice(512, 256)
+	inj := fault.New(fault.Config{Seed: 42, PowerCutAfter: 2})
+	l, err := Create(dev, inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, l, 1, updateRec(1, "fact", 0, 0, "page one commits"))
+	if _, err := l.Flush(0); err != nil {
+		t.Fatalf("first flush (write #1): %v", err)
+	}
+	appendAll(t, l, 2, updateRec(2, "fact", 0, 1, "page two is cut"))
+	if _, err := l.Flush(0); !errors.Is(err, ErrPowerLost) {
+		t.Fatalf("second flush: %v, want ErrPowerLost", err)
+	}
+	if !inj.PowerLost() {
+		t.Fatal("injector not marked power-lost")
+	}
+	// All durable writes refuse until power is restored.
+	appendAll(t, l, 3, updateRec(3, "fact", 0, 2, "after the cut"))
+	if _, err := l.Flush(0); !errors.Is(err, ErrPowerLost) {
+		t.Fatalf("flush after cut: %v, want ErrPowerLost", err)
+	}
+	if err := GuardDataWrite(inj); !errors.Is(err, ErrPowerLost) {
+		t.Fatalf("guarded data write after cut: %v, want ErrPowerLost", err)
+	}
+
+	// Recovery after restoring power: exactly the committed prefix.
+	inj.RestorePower()
+	_, rec, err := Open(dev, inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Committed) != 1 || rec.Committed[0] != 1 {
+		t.Fatalf("committed after cut = %v, want [1]", rec.Committed)
+	}
+}
+
+func TestInjectedTornWriteIsSilentUntilOpen(t *testing.T) {
+	dev := newMemDevice(512, 256)
+	inj := fault.New(fault.Config{Seed: 7, TornWriteRate: 1}) // tear every page
+	l, err := Create(dev, inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, l, 1, updateRec(1, "fact", 0, 0, "torn"))
+	if _, err := l.Flush(0); err != nil {
+		t.Fatalf("torn flush must not fail at write time: %v", err)
+	}
+	appendAll(t, l, 2, updateRec(2, "fact", 0, 1, "also torn"))
+	if _, err := l.Flush(0); err != nil {
+		t.Fatal(err)
+	}
+	// Both pages torn: page 0 invalid. If page 1 happens to be invalid
+	// too, the scan sees a torn tail at page 0 — but with page 1 also
+	// damaged and unreadable there is no later valid page, so this torn
+	// log reads as truncated-to-empty, which is the one silent outcome.
+	// Force the unambiguous case: reflush a valid page 1 with no fault.
+	_, rec, err := Open(dev, nil)
+	if err == nil && len(rec.Committed) != 0 {
+		t.Fatalf("torn pages yielded committed txns %v", rec.Committed)
+	}
+	if err != nil && !errors.Is(err, ErrTornWrite) {
+		t.Fatalf("open over torn pages: %v, want nil or ErrTornWrite", err)
+	}
+	if inj.Stats().TornWrites == 0 {
+		t.Fatal("injector recorded no torn writes")
+	}
+}
+
+func TestInjectedChecksumCorruption(t *testing.T) {
+	dev := newMemDevice(512, 256)
+	inj := fault.New(fault.Config{Seed: 11, LogCorruptRate: 1})
+	l, err := Create(dev, inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, l, 1, updateRec(1, "fact", 0, 0, "to be flipped"))
+	if _, err := l.Flush(0); err != nil {
+		t.Fatalf("corrupting flush must not fail at write time: %v", err)
+	}
+	if inj.Stats().LogCorruptions == 0 {
+		t.Fatal("injector recorded no corruption")
+	}
+	_, _, err = Open(dev, nil)
+	if !errors.Is(err, ErrCorruptRecord) {
+		t.Fatalf("open over corrupted record: %v, want ErrCorruptRecord", err)
+	}
+}
+
+func TestResetEpochSeparatesGenerations(t *testing.T) {
+	dev := newMemDevice(512, 256)
+	l, _ := Create(dev, nil)
+	appendAll(t, l, 1, updateRec(1, "fact", 0, 0, "generation one"))
+	if _, err := l.Flush(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, l, 2, updateRec(2, "fact", 0, 1, "generation two"))
+	if _, err := l.Flush(0); err != nil {
+		t.Fatal(err)
+	}
+	_, rec, err := Open(dev, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Committed) != 1 || rec.Committed[0] != 2 {
+		t.Fatalf("committed = %v, want only generation-two txn [2]", rec.Committed)
+	}
+	if l.Stats().Resets != 1 {
+		t.Fatalf("resets = %d, want 1", l.Stats().Resets)
+	}
+}
+
+func TestOpenEmptyRegion(t *testing.T) {
+	dev := newMemDevice(512, 256)
+	l, rec, err := Open(dev, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.ValidPages != 0 || rec.TruncatedTail || len(rec.Records) != 0 {
+		t.Fatalf("empty region recovered %+v", rec)
+	}
+	// The opened log is immediately usable.
+	appendAll(t, l, 1, updateRec(1, "fact", 0, 0, "first ever"))
+	if _, err := l.Flush(0); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,65 @@
+package workload
+
+import "fmt"
+
+// MixedOp is one step of the deterministic mixed read/update workload:
+// a serve-protocol JSON request body, flagged so drivers can tell
+// mutations apart from probes without parsing it.
+type MixedOp struct {
+	Update bool
+	Body   string
+}
+
+// mixhash is a splitmix64-style finalizer so op parameters depend on
+// (seed, i) without importing a PRNG; the sequence is a pure function
+// of its inputs.
+func mixhash(seed int64, i int) uint64 {
+	h := uint64(seed)*0x9E3779B97F4A7C15 + uint64(i)*0xBF58476D1CE4E5B9
+	h ^= h >> 30
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 27
+	return h
+}
+
+// MixedOps builds n steps of a deterministic mixed read/update workload
+// over lineitem in the serve wire format. Every third op is a cluster
+// update — a quantity-range predicate with an arithmetic SET on
+// l_discount — and the rest are cluster aggregate reads whose
+// SUM(l_discount) observes the rewrites accumulated so far. The same
+// (seed, n) always yields byte-identical bodies, so two identically
+// loaded servers replaying the sequence serially must produce
+// byte-identical result streams.
+func MixedOps(seed int64, n int) []MixedOp {
+	ops := make([]MixedOp, 0, n)
+	for i := 0; i < n; i++ {
+		h := mixhash(seed, i)
+		if i%3 == 2 {
+			// l_quantity is stored x100 (tpch generator convention):
+			// a 5-wide window sweeping 5..29 in natural units.
+			lo := 5 + int(h%25)
+			delta := 1 + int(h>>8%50)
+			ops = append(ops, MixedOp{Update: true, Body: fmt.Sprintf(`{
+  "tag": "mixed-%03d",
+  "table": "lineitem",
+  "target": "cluster",
+  "predicate": "l_quantity >= %d AND l_quantity < %d",
+  "update": [{"column": "l_discount", "expr": "l_discount + %d"}]
+}`, i, lo*100, (lo+5)*100, delta)})
+			continue
+		}
+		yr := 1992 + int(h%6)
+		qty := 10 + int(h>>8%30)
+		ops = append(ops, MixedOp{Body: fmt.Sprintf(`{
+  "tag": "mixed-%03d",
+  "table": "lineitem",
+  "target": "cluster",
+  "predicate": "l_shipdate >= DATE '%d-01-01' AND l_shipdate < DATE '%d-01-01' AND l_quantity < %d",
+  "aggs": [
+    {"kind": "sum", "expr": "l_extendedprice", "name": "sum_price"},
+    {"kind": "sum", "expr": "l_discount", "name": "sum_disc"},
+    {"kind": "count", "name": "cnt"}
+  ]
+}`, i, yr, yr+1, qty*100)})
+	}
+	return ops
+}

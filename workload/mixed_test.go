@@ -1,0 +1,66 @@
+package workload
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+func TestMixedOpsDeterministic(t *testing.T) {
+	a := MixedOps(7, 40)
+	b := MixedOps(7, 40)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same (seed, n) produced different sequences")
+	}
+	if reflect.DeepEqual(a, MixedOps(8, 40)) {
+		t.Fatal("different seeds produced identical sequences")
+	}
+}
+
+func TestMixedOpsShape(t *testing.T) {
+	ops := MixedOps(3, 30)
+	if len(ops) != 30 {
+		t.Fatalf("len = %d, want 30", len(ops))
+	}
+	updates := 0
+	for i, op := range ops {
+		var req struct {
+			Tag       string `json:"tag"`
+			Table     string `json:"table"`
+			Target    string `json:"target"`
+			Predicate string `json:"predicate"`
+			Update    []struct {
+				Column string `json:"column"`
+				Expr   string `json:"expr"`
+			} `json:"update"`
+			Aggs []struct {
+				Kind string `json:"kind"`
+			} `json:"aggs"`
+		}
+		if err := json.Unmarshal([]byte(op.Body), &req); err != nil {
+			t.Fatalf("op %d: invalid JSON: %v", i, err)
+		}
+		if req.Table != "lineitem" || req.Target != "cluster" || req.Predicate == "" {
+			t.Fatalf("op %d: %+v", i, req)
+		}
+		if op.Update != (i%3 == 2) {
+			t.Fatalf("op %d: Update = %v", i, op.Update)
+		}
+		if op.Update {
+			updates++
+			if len(req.Update) != 1 || req.Update[0].Column != "l_discount" || req.Update[0].Expr == "" {
+				t.Fatalf("op %d: update clauses %+v", i, req.Update)
+			}
+			if len(req.Aggs) != 0 {
+				t.Fatalf("op %d: update carries aggs", i)
+			}
+		} else {
+			if len(req.Update) != 0 || len(req.Aggs) != 3 {
+				t.Fatalf("op %d: read shape update=%d aggs=%d", i, len(req.Update), len(req.Aggs))
+			}
+		}
+	}
+	if updates != 10 {
+		t.Fatalf("updates = %d, want 10", updates)
+	}
+}
