@@ -12,13 +12,29 @@
 // iteration count, and a unit→value metric map. When the wall-clock
 // suite ran at both 1 worker and N workers, the derived section reports
 // the parallel speedup the run harness achieved.
+//
+// With -compare old.json the conversion also gates the new run against
+// a committed baseline and exits 1 on a regression:
+//
+//	benchjson -compare BENCH_baseline.json -min-speedup 1.0 <bench.txt >new.json
+//
+// Two gates run. The suite-speedup gate requires the derived
+// suite_speedup of the new run to reach -min-speedup; it is skipped
+// (with a note on stderr) when the run's `cores` metric shows fewer
+// than 4 cores, where parallel wall-clock ratios measure scheduler
+// overhead, not the harness. The allocs gate requires every *Allocs
+// benchmark present in both runs to stay within -max-alloc-regress of
+// the baseline's allocs/op; it always runs — allocation counts do not
+// depend on core count.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -42,6 +58,11 @@ type Doc struct {
 }
 
 func main() {
+	comparePath := flag.String("compare", "", "baseline JSON to gate the new run against (empty: no gating)")
+	minSpeedup := flag.Float64("min-speedup", 1.0, "minimum derived suite_speedup with -compare (skipped below 4 cores)")
+	maxAllocRegress := flag.Float64("max-alloc-regress", 0.20, "maximum fractional allocs/op regression vs -compare baseline")
+	flag.Parse()
+
 	doc, err := parse(bufio.NewScanner(os.Stdin))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -54,6 +75,101 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+
+	if *comparePath == "" {
+		return
+	}
+	old, err := readDoc(*comparePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	violations := gate(doc, old, *minSpeedup, *maxAllocRegress)
+	if len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, "benchjson: REGRESSION:", v)
+		}
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: gates passed vs %s\n", *comparePath)
+}
+
+// readDoc loads a previously emitted baseline document.
+func readDoc(path string) (*Doc, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var d Doc
+	if err := json.Unmarshal(data, &d); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	return &d, nil
+}
+
+// cores reports the core count the wall-clock suite recorded, or 0 if
+// the run predates the `cores` metric.
+func cores(d *Doc) int {
+	for _, r := range d.Benchmarks {
+		if strings.HasPrefix(r.Name, "BenchmarkSuiteWallClock/") {
+			if c, ok := r.Metrics["cores"]; ok {
+				return int(c)
+			}
+		}
+	}
+	return 0
+}
+
+// gate compares a new run against a baseline and returns regression
+// descriptions (empty: all gates pass).
+func gate(doc, old *Doc, minSpeedup, maxAllocRegress float64) []string {
+	var violations []string
+
+	if c := cores(doc); c > 0 && c < 4 {
+		fmt.Fprintf(os.Stderr,
+			"benchjson: skipping suite-speedup gate: run used %d core(s); parallel wall-clock ratios need 4+\n", c)
+	} else if sp, ok := doc.Derived["suite_speedup"]; !ok {
+		violations = append(violations,
+			"new run has no derived suite_speedup (BenchmarkSuiteWallClock par_1 and par_N both required)")
+	} else if sp < minSpeedup {
+		violations = append(violations, fmt.Sprintf(
+			"suite_speedup %.3f is below the %.3f floor (par_%.0f vs par_1)",
+			sp, minSpeedup, doc.Derived["suite_speedup_workers"]))
+	}
+
+	oldAllocs := map[string]float64{}
+	for _, r := range old.Benchmarks {
+		if strings.HasSuffix(r.Name, "Allocs") {
+			if a, ok := r.Metrics["allocs/op"]; ok && a > 0 {
+				oldAllocs[r.Name] = a
+			}
+		}
+	}
+	names := make([]string, 0, len(doc.Benchmarks))
+	byName := map[string]Result{}
+	for _, r := range doc.Benchmarks {
+		names = append(names, r.Name)
+		byName[r.Name] = r
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		base, ok := oldAllocs[name]
+		if !ok {
+			continue
+		}
+		got, ok := byName[name].Metrics["allocs/op"]
+		if !ok {
+			violations = append(violations, fmt.Sprintf(
+				"%s no longer reports allocs/op (baseline has %.0f)", name, base))
+			continue
+		}
+		if got > base*(1+maxAllocRegress) {
+			violations = append(violations, fmt.Sprintf(
+				"%s allocs/op %.0f regressed more than %.0f%% over baseline %.0f",
+				name, got, maxAllocRegress*100, base))
+		}
+	}
+	return violations
 }
 
 func parse(sc *bufio.Scanner) (*Doc, error) {

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+const benchText = `goos: linux
+goarch: amd64
+pkg: smartssd
+BenchmarkSuiteWallClock/par_1-8   	       2	1500000000 ns/op	  654427408 B/op	 3219586 allocs/op	      1778 bytes_rendered	         8.000 cores
+BenchmarkSuiteWallClock/par_2-8   	       2	 900000000 ns/op	  650000000 B/op	 3220000 allocs/op	      1778 bytes_rendered	         8.000 cores
+BenchmarkSuiteWallClock/par_8-8   	       2	 500000000 ns/op	  640000000 B/op	 3221000 allocs/op	      1778 bytes_rendered	         8.000 cores
+BenchmarkHostQ6Allocs-8   	       2	  10960824 ns/op	  5061392 B/op	    2445 allocs/op
+BenchmarkHostQ14Allocs-8   	       2	  13945101 ns/op	  6582008 B/op	    4618 allocs/op
+`
+
+func parseText(t *testing.T, text string) *Doc {
+	t.Helper()
+	doc, err := parse(bufio.NewScanner(strings.NewReader(text)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+func TestParseAndDerive(t *testing.T) {
+	doc := parseText(t, benchText)
+	if len(doc.Benchmarks) != 5 {
+		t.Fatalf("parsed %d benchmarks, want 5", len(doc.Benchmarks))
+	}
+	if doc.Benchmarks[0].Name != "BenchmarkSuiteWallClock/par_1" {
+		t.Fatalf("GOMAXPROCS suffix not stripped: %q", doc.Benchmarks[0].Name)
+	}
+	if got := doc.Derived["suite_speedup"]; got != 3.0 {
+		t.Fatalf("suite_speedup = %v, want 3.0 (par_1 1.5s over par_8 0.5s)", got)
+	}
+	if got := doc.Derived["suite_speedup_workers"]; got != 8 {
+		t.Fatalf("suite_speedup_workers = %v, want 8 (widest, not par_2)", got)
+	}
+	if got := cores(doc); got != 8 {
+		t.Fatalf("cores = %d, want 8", got)
+	}
+}
+
+func TestGatePasses(t *testing.T) {
+	doc := parseText(t, benchText)
+	if v := gate(doc, doc, 1.0, 0.20); len(v) != 0 {
+		t.Fatalf("self-comparison violated gates: %v", v)
+	}
+}
+
+func TestGateCatchesSpeedupRegression(t *testing.T) {
+	slow := strings.Replace(benchText,
+		"BenchmarkSuiteWallClock/par_8-8   	       2	 500000000 ns/op",
+		"BenchmarkSuiteWallClock/par_8-8   	       2	1600000000 ns/op", 1)
+	doc := parseText(t, slow)
+	v := gate(doc, doc, 1.0, 0.20)
+	if len(v) != 1 || !strings.Contains(v[0], "suite_speedup") {
+		t.Fatalf("slower-than-serial parallel run not caught: %v", v)
+	}
+}
+
+func TestGateSkipsSpeedupBelowFourCores(t *testing.T) {
+	small := strings.ReplaceAll(benchText, "8.000 cores", "1.000 cores")
+	// Make the parallel run slower than serial: meaningless on 1 core,
+	// so the gate must not fire.
+	small = strings.Replace(small,
+		"BenchmarkSuiteWallClock/par_8-8   	       2	 500000000 ns/op",
+		"BenchmarkSuiteWallClock/par_8-8   	       2	1600000000 ns/op", 1)
+	doc := parseText(t, small)
+	if v := gate(doc, doc, 1.0, 0.20); len(v) != 0 {
+		t.Fatalf("speedup gate fired on a 1-core run: %v", v)
+	}
+}
+
+func TestGateCatchesAllocRegression(t *testing.T) {
+	old := parseText(t, benchText)
+	worse := strings.Replace(benchText, "    2445 allocs/op", "    3000 allocs/op", 1)
+	doc := parseText(t, worse)
+	v := gate(doc, old, 1.0, 0.20)
+	if len(v) != 1 || !strings.Contains(v[0], "BenchmarkHostQ6Allocs") {
+		t.Fatalf("22%% allocs/op regression not caught: %v", v)
+	}
+	// 20% exactly on Q14 stays within the fence.
+	within := strings.Replace(benchText, "    4618 allocs/op", "    5541 allocs/op", 1)
+	if v := gate(parseText(t, within), old, 1.0, 0.20); len(v) != 0 {
+		t.Fatalf("sub-threshold regression rejected: %v", v)
+	}
+}

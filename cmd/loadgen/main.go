@@ -1,0 +1,138 @@
+// Loadgen is the service-level load benchmark driver: it measures
+// sessions/sec and p50/p99 simulated latency versus offered load for
+// the query service's engine and cluster backends (package load) and
+// prints the points in `go test -bench` format, so the output pipes
+// straight into cmd/benchjson:
+//
+//	go run ./cmd/loadgen | go run ./cmd/benchjson > BENCH_serve.json
+//
+// Every point is seeded and wall-clock free: two runs with the same
+// flags produce byte-identical output (CI verifies exactly that), which
+// is what lets BENCH_serve.json live in the repository as a committed
+// artifact. scripts/bench_serve.sh is the canonical invocation.
+//
+// Usage:
+//
+//	loadgen [-sf 0.01] [-seed 1] [-tenants 12] [-zipf-s 1.2] [-zipf-v 1.0]
+//	        [-workers 4] [-queue 8] [-sessions 2000]
+//	        [-devices 4] [-replication 2]
+//	        [-backends engine,cluster] [-rates 50,150,300,600] [-clients 1,2,4,8,16]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"smartssd/internal/load"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	sf := flag.Float64("sf", 0.01, "TPC-H scale factor loaded into both backends")
+	seed := flag.Int64("seed", 1, "seed for data, arrivals, and tenant draws")
+	tenants := flag.Int("tenants", 12, "distinct query variants in the workload")
+	zipfS := flag.Float64("zipf-s", 1.2, "Zipf skew exponent over tenants (must be > 1)")
+	zipfV := flag.Float64("zipf-v", 1.0, "Zipf value offset (must be >= 1)")
+	workers := flag.Int("workers", 4, "simulated service workers")
+	queue := flag.Int("queue", 0, "admission queue capacity (0: 2*workers)")
+	sessions := flag.Int("sessions", 2000, "arrivals replayed per measured point")
+	devices := flag.Int("devices", 4, "cluster device count")
+	replication := flag.Int("replication", 2, "copies per cluster partition")
+	backends := flag.String("backends", "engine,cluster", "comma-separated backends to measure")
+	rates := flag.String("rates", "50,150,300,600", "open-loop offered rates, sessions per simulated second (empty: skip open loop)")
+	clients := flag.String("clients", "1,2,4,8,16", "closed-loop client counts (empty: skip closed loop)")
+	flag.Parse()
+
+	rateList, err := parseFloats(*rates)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen: -rates:", err)
+		return 1
+	}
+	clientList, err := parseInts(*clients)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen: -clients:", err)
+		return 1
+	}
+
+	b, err := load.New(load.Config{
+		SF:          *sf,
+		Seed:        *seed,
+		Tenants:     *tenants,
+		ZipfS:       *zipfS,
+		ZipfV:       *zipfV,
+		Workers:     *workers,
+		Queue:       *queue,
+		Sessions:    *sessions,
+		Devices:     *devices,
+		Replication: *replication,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		return 1
+	}
+	cfg := b.Config()
+	fmt.Printf("pkg: smartssd/loadgen\n")
+	fmt.Printf("# loadgen sf=%g seed=%d tenants=%d zipf_s=%g zipf_v=%g workers=%d queue=%d sessions=%d devices=%d replication=%d\n",
+		cfg.SF, cfg.Seed, cfg.Tenants, cfg.ZipfS, cfg.ZipfV,
+		cfg.Workers, cfg.Queue, cfg.Sessions, cfg.Devices, cfg.Replication)
+
+	for _, backend := range strings.Split(*backends, ",") {
+		backend = strings.TrimSpace(backend)
+		if backend == "" {
+			continue
+		}
+		for _, rate := range rateList {
+			p, err := b.RunOpen(backend, rate)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "loadgen:", err)
+				return 1
+			}
+			fmt.Println(p.BenchLine())
+		}
+		for _, k := range clientList {
+			p, err := b.RunClosed(backend, k)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "loadgen:", err)
+				return 1
+			}
+			fmt.Println(p.BenchLine())
+		}
+	}
+	return 0
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		v, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -31,6 +31,10 @@ type frame struct {
 	data  []byte
 	pins  int
 	dirty bool
+	// borrowed marks data as adopted from the device (an immutable
+	// NAND page buffer) rather than owned by the pool: it must never
+	// be written through or recycled into the freelist.
+	borrowed bool
 	// Intrusive LRU links: recycling a frame recycles its list node,
 	// so steady-state caching allocates nothing per page.
 	prev, next *frame
@@ -59,10 +63,19 @@ func New(capacity int, flush FlushFunc) *Pool {
 	if capacity < 1 {
 		panic(fmt.Sprintf("bufpool: capacity %d", capacity))
 	}
+	// Size the frame map for a typical working set, not the capacity
+	// bound: most pools never fill (a sweep's scan is far smaller than
+	// the pool), and a full-capacity hint preallocates hundreds of
+	// kilobytes of buckets per pool — a real cost when parallel sweeps
+	// clone one pool per worker. Underestimates grow on demand.
+	hint := capacity
+	if hint > 1024 {
+		hint = 1024
+	}
 	return &Pool{
 		capacity: capacity,
 		flush:    flush,
-		frames:   make(map[int64]*frame, capacity),
+		frames:   make(map[int64]*frame, hint),
 	}
 }
 
@@ -136,7 +149,14 @@ func (p *Pool) Contains(lba int64) bool {
 // first if dirty; ErrAllPinned is reported when no frame can be evicted.
 func (p *Pool) Put(lba int64, data []byte) error {
 	if f, ok := p.frames[lba]; ok {
-		copy(f.data, data)
+		if f.borrowed {
+			// Never write through a borrowed device buffer: replace it
+			// with an owned copy.
+			f.data = p.newBuf(data)
+			f.borrowed = false
+		} else {
+			copy(f.data, data)
+		}
 		f.pins++
 		p.moveToFront(f)
 		return nil
@@ -149,6 +169,41 @@ func (p *Pool) Put(lba int64, data []byte) error {
 	f := p.newFrame()
 	f.lba = lba
 	f.data = p.newBuf(data)
+	f.pins = 1
+	p.pushFront(f)
+	p.frames[lba] = f
+	return nil
+}
+
+// PutBorrowed caches data for lba without copying: the frame adopts
+// the caller's buffer. The caller must guarantee the bytes never
+// change for the life of the frame — the contract NAND page buffers
+// satisfy (pages are write-once: Program installs a buffer, Erase
+// drops it, nothing mutates it in place). The read path uses this to
+// warm the pool with zero allocation per page. Borrowed buffers are
+// never written through (Put replaces them with an owned copy first),
+// never recycled into the freelist, and converted to owned copies
+// before being marked dirty. Pin semantics match Put.
+func (p *Pool) PutBorrowed(lba int64, data []byte) error {
+	if f, ok := p.frames[lba]; ok {
+		if f.borrowed {
+			f.data = data
+		} else {
+			copy(f.data, data)
+		}
+		f.pins++
+		p.moveToFront(f)
+		return nil
+	}
+	if len(p.frames) >= p.capacity {
+		if err := p.evictOne(); err != nil {
+			return err
+		}
+	}
+	f := p.newFrame()
+	f.lba = lba
+	f.data = data
+	f.borrowed = true
 	f.pins = 1
 	p.pushFront(f)
 	p.frames[lba] = f
@@ -182,9 +237,11 @@ func (p *Pool) newBuf(data []byte) []byte {
 }
 
 // recycle returns a frame's buffer and struct to the freelists. The
-// frame must already be unlinked from the LRU list.
+// frame must already be unlinked from the LRU list. Borrowed buffers
+// belong to the device and must not enter the freelist: a recycled
+// buffer gets written into by newBuf, which would corrupt flash.
 func (p *Pool) recycle(f *frame) {
-	if len(p.freeBufs) < p.capacity && f.data != nil {
+	if !f.borrowed && len(p.freeBufs) < p.capacity && f.data != nil {
 		p.freeBufs = append(p.freeBufs, f.data)
 	}
 	if len(p.freeFrames) < p.capacity {
@@ -226,9 +283,19 @@ func (p *Pool) Unpin(lba int64, dirty bool) error {
 	}
 	f.pins--
 	if dirty {
+		p.own(f)
 		f.dirty = true
 	}
 	return nil
+}
+
+// own converts a borrowed frame to an owned copy, so a dirty frame's
+// buffer is always pool-owned and safe to flush and recycle.
+func (p *Pool) own(f *frame) {
+	if f.borrowed {
+		f.data = p.newBuf(f.data)
+		f.borrowed = false
+	}
 }
 
 // MarkDirty flags a cached page as newer than the device copy.
@@ -237,6 +304,7 @@ func (p *Pool) MarkDirty(lba int64) error {
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrNotCached, lba)
 	}
+	p.own(f)
 	f.dirty = true
 	return nil
 }

@@ -228,3 +228,135 @@ func TestZeroCapacityPanics(t *testing.T) {
 	}()
 	New(0, nil)
 }
+
+// sameBacking reports whether two slices share a backing array.
+func sameBacking(a, b []byte) bool {
+	return len(a) > 0 && len(b) > 0 && &a[0] == &b[0]
+}
+
+func TestPutBorrowedAdoptsBuffer(t *testing.T) {
+	p := New(4, nil)
+	dev := pageData(7)
+	if err := p.PutBorrowed(1, dev); err != nil {
+		t.Fatal(err)
+	}
+	p.Unpin(1, false)
+	data, hit := p.Get(1)
+	if !hit {
+		t.Fatal("expected hit")
+	}
+	if !sameBacking(data, dev) {
+		t.Fatal("PutBorrowed copied instead of adopting")
+	}
+	p.Unpin(1, false)
+}
+
+func TestPutReplacesBorrowedBuffer(t *testing.T) {
+	p := New(4, nil)
+	dev := pageData(7)
+	p.PutBorrowed(1, dev)
+	p.Unpin(1, false)
+	if err := p.Put(1, pageData(9)); err != nil {
+		t.Fatal(err)
+	}
+	p.Unpin(1, false)
+	if dev[0] != 7 {
+		t.Fatal("Put wrote through the borrowed device buffer")
+	}
+	data, _ := p.Get(1)
+	if sameBacking(data, dev) {
+		t.Fatal("Put left the frame borrowed")
+	}
+	if data[0] != 9 {
+		t.Fatal("Put did not replace contents")
+	}
+	p.Unpin(1, false)
+}
+
+func TestBorrowedBufferNeverRecycled(t *testing.T) {
+	p := New(1, nil)
+	dev := pageData(7)
+	p.PutBorrowed(1, dev)
+	p.Unpin(1, false)
+	// Evict the borrowed frame by caching another page; the freelist
+	// must not hand the device buffer to the new frame.
+	if err := p.Put(2, pageData(8)); err != nil {
+		t.Fatal(err)
+	}
+	p.Unpin(2, false)
+	if dev[0] != 7 {
+		t.Fatal("eviction recycled a borrowed buffer into the freelist")
+	}
+	data, _ := p.Get(2)
+	if sameBacking(data, dev) {
+		t.Fatal("new frame reused the borrowed device buffer")
+	}
+	p.Unpin(2, false)
+}
+
+func TestBorrowedClearNotRecycled(t *testing.T) {
+	p := New(2, nil)
+	dev := pageData(7)
+	p.PutBorrowed(1, dev)
+	p.Unpin(1, false)
+	p.Clear()
+	if err := p.Put(3, pageData(4)); err != nil {
+		t.Fatal(err)
+	}
+	p.Unpin(3, false)
+	if dev[0] != 7 {
+		t.Fatal("Clear recycled a borrowed buffer into the freelist")
+	}
+}
+
+func TestDirtyConvertsBorrowedToOwned(t *testing.T) {
+	flushed := map[int64][]byte{}
+	p := New(2, func(lba int64, data []byte) error {
+		flushed[lba] = append([]byte(nil), data...)
+		return nil
+	})
+	dev := pageData(7)
+	p.PutBorrowed(1, dev)
+	p.Unpin(1, true) // dirty unpin must copy out of the device buffer
+	data, _ := p.Get(1)
+	if sameBacking(data, dev) {
+		t.Fatal("dirty frame still borrows the device buffer")
+	}
+	p.Unpin(1, false)
+	dev2 := pageData(8)
+	p.PutBorrowed(2, dev2)
+	p.Unpin(2, false)
+	if err := p.MarkDirty(2); err != nil {
+		t.Fatal(err)
+	}
+	d2, _ := p.Get(2)
+	if sameBacking(d2, dev2) {
+		t.Fatal("MarkDirty left the frame borrowed")
+	}
+	p.Unpin(2, false)
+	if err := p.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if flushed[1][0] != 7 || flushed[2][0] != 8 {
+		t.Fatalf("flushed wrong bytes: %v", flushed)
+	}
+}
+
+func TestPutBorrowedOnExistingOwnedCopies(t *testing.T) {
+	p := New(2, nil)
+	p.Put(1, pageData(3))
+	p.Unpin(1, false)
+	dev := pageData(6)
+	if err := p.PutBorrowed(1, dev); err != nil {
+		t.Fatal(err)
+	}
+	p.Unpin(1, false)
+	data, _ := p.Get(1)
+	if sameBacking(data, dev) {
+		t.Fatal("owned frame switched to borrowing")
+	}
+	if data[0] != 6 {
+		t.Fatal("PutBorrowed did not refresh contents")
+	}
+	p.Unpin(1, false)
+}

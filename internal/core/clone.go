@@ -75,5 +75,6 @@ func (e *Engine) Clone() (*Engine, error) {
 			Target: t.Target,
 		}
 	}
+	ne.markRunBaseline()
 	return ne, nil
 }

@@ -17,6 +17,7 @@ import (
 	"smartssd/internal/device"
 	"smartssd/internal/energy"
 	"smartssd/internal/exec"
+	"smartssd/internal/fault"
 	"smartssd/internal/hdd"
 	"smartssd/internal/heap"
 	"smartssd/internal/opt"
@@ -134,6 +135,57 @@ type Engine struct {
 	// hybridAuto lets Auto mode choose the hybrid split when the
 	// planner estimates it beats both pure paths.
 	hybridAuto bool
+
+	// scratch holds reusable executor arenas, reset between runs so a
+	// reused engine stops allocating on join-build and aggregate paths.
+	scratch exec.Scratch
+	// baseline is the post-load reference state ResetForRun rewinds to:
+	// the fault streams' positions and the durable-write count as they
+	// stood when the data last changed.
+	baseline runBaseline
+}
+
+// runBaseline captures the engine state that a fresh Clone would start
+// from, beyond what ResetTiming already clears.
+type runBaseline struct {
+	faults     *fault.Snapshot
+	dataWrites uint64
+}
+
+// markRunBaseline records the current fault-stream positions and
+// durable-write count as the state ResetForRun restores. Called after
+// construction, after every bulk load, and on freshly built clones.
+func (e *Engine) markRunBaseline() {
+	e.baseline = runBaseline{
+		faults:     e.ssd.Injector().Snapshot(),
+		dataWrites: e.dataWrites,
+	}
+}
+
+// ErrResetDurable is reported by ResetForRun on an engine whose durable
+// write path has been activated: committed updates have changed table
+// data, so rewinding the fault streams would desynchronize them from
+// the pages they already mutated.
+var ErrResetDurable = errors.New("core: ResetForRun on engine with durable updates")
+
+// ResetForRun rewinds a previously used engine to the state a fresh
+// Clone of its loaded data would start from, without reallocating
+// devices, servers, pool frames, or executor arenas: the buffer pool
+// is emptied, all timing is zeroed, the fault-injector streams are
+// restored to their post-load positions, and the executor scratch
+// arenas are recycled. A ResetForRun-then-Run is byte-identical to a
+// fresh-Clone-then-Run (see TestResetForRunEquivalence); the sweep
+// harness uses it to reuse one clone per worker across sweep points.
+func (e *Engine) ResetForRun() error {
+	if e.walLog != nil {
+		return ErrResetDurable
+	}
+	e.pool.Clear()
+	e.ResetTiming()
+	e.ssd.Injector().Restore(e.baseline.faults)
+	e.dataWrites = e.baseline.dataWrites
+	e.scratch.Reset()
+	return nil
 }
 
 // New builds an engine. A zero Config reproduces the paper's testbed:
@@ -173,6 +225,7 @@ func New(cfg Config) (*Engine, error) {
 		_, err := sdev.WritePage(lba, data, 0)
 		return err
 	})
+	e.markRunBaseline()
 	return e, nil
 }
 
@@ -268,6 +321,7 @@ func (e *Engine) Load(name string, next func() (schema.Tuple, bool)) error {
 		return err
 	}
 	e.ResetTiming()
+	e.markRunBaseline()
 	return nil
 }
 

@@ -139,5 +139,6 @@ func LoadImage(cfg Config, r io.Reader) (*Engine, error) {
 		return nil, err
 	}
 	e.ResetTiming()
+	e.markRunBaseline()
 	return e, nil
 }

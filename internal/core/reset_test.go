@@ -1,0 +1,119 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"smartssd/internal/expr"
+	"smartssd/internal/fault"
+	"smartssd/internal/page"
+)
+
+// TestResetForRunEquivalence is the contract the sweep harness's
+// engine-reuse mode stands on: after any sequence of runs,
+// ResetForRun-then-Run is byte-identical — timing, energy, resource
+// utilization, counters, rows — to fresh-Clone-then-Run. Nothing may
+// leak across the reset: CPU/device timing, buffer-pool contents,
+// executor scratch arenas, or host stat counters.
+func TestResetForRunEquivalence(t *testing.T) {
+	e := newEngine(t)
+	loadFact(t, e, page.PAX, 20000, OnSSD)
+	loadDim(t, e, 40)
+
+	specs := []struct {
+		name string
+		spec QuerySpec
+		mode Mode
+	}{
+		{"selection-host", selectiveSpec(), ForceHost},
+		{"selection-device", selectiveSpec(), ForceDevice},
+		{"join-agg-host", joinAggSpec(), ForceHost},
+		{"join-agg-device", joinAggSpec(), ForceDevice},
+		{"auto", selectiveSpec(), Auto},
+	}
+
+	// Reference results from fresh clones, one per spec.
+	want := make([]string, len(specs))
+	for i, s := range specs {
+		c, err := e.Clone()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = resultFingerprint(mustRun(t, c, s.spec, s.mode))
+	}
+
+	// One reused engine cycles through every spec several times in a
+	// scrambled order; each ResetForRun must erase all trace of the
+	// previous run, whatever it was.
+	reused, err := e.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := []int{0, 3, 1, 4, 2, 2, 0, 4, 3, 1}
+	for _, i := range order {
+		if err := reused.ResetForRun(); err != nil {
+			t.Fatalf("ResetForRun: %v", err)
+		}
+		s := specs[i]
+		got := resultFingerprint(mustRun(t, reused, s.spec, s.mode))
+		if got != want[i] {
+			t.Fatalf("%s on reused engine diverged from fresh clone:\n--- fresh ---\n%s--- reused ---\n%s",
+				s.name, want[i], got)
+		}
+	}
+}
+
+// TestResetForRunRestoresFaultStreams pins that ResetForRun rewinds
+// the fault injector to its post-load position: a reused engine must
+// replay the exact fault schedule — retries, fallbacks, sticky pages —
+// that a fresh clone would draw, run after run.
+func TestResetForRunRestoresFaultStreams(t *testing.T) {
+	e := newFaultyEngine(t, fault.Config{
+		Seed:             7,
+		ReadErrorRate:    0.01,
+		LatencySpikeRate: 0.005,
+		SessionAbortRate: 0.3,
+	})
+	loadFact(t, e, page.PAX, 20000, OnSSD)
+	loadDim(t, e, 40)
+
+	spec := joinAggSpec()
+	ref, err := e.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := resultFingerprint(mustRun(t, ref, spec, ForceDevice))
+
+	reused, err := e.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 3; round++ {
+		if err := reused.ResetForRun(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if got := resultFingerprint(mustRun(t, reused, spec, ForceDevice)); got != want {
+			t.Fatalf("round %d: reused faulty engine diverged:\n--- fresh ---\n%s--- reused ---\n%s",
+				round, want, got)
+		}
+	}
+}
+
+// TestResetForRunRefusesDurableEngines pins that an engine whose WAL
+// has been activated cannot be rewound: committed updates changed the
+// stored pages, so replaying fault streams against them would lie.
+func TestResetForRunRefusesDurableEngines(t *testing.T) {
+	e := newEngine(t)
+	loadFact(t, e, page.PAX, 2000, OnSSD)
+
+	fact := widePaddedSchema()
+	if _, err := e.Update("fact",
+		expr.Cmp{Op: expr.LT, L: expr.ColRef(fact, "val"), R: expr.IntConst(1)},
+		[]SetClause{{Column: "val", E: expr.IntConst(0)}},
+	); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.ResetForRun(); !errors.Is(err, ErrResetDurable) {
+		t.Fatalf("ResetForRun on durable engine: got %v, want ErrResetDurable", err)
+	}
+}

@@ -181,6 +181,9 @@ func (e *Engine) runPlaced(spec QuerySpec, mode Mode) (*Result, error) {
 		e.pool.Clear()
 		e.ResetTiming()
 	}
+	// Scratch contents never outlive a run, so every run starts from a
+	// recycled (not regrown) arena regardless of cold/warm methodology.
+	e.scratch.Reset()
 
 	// HDD-resident tables have no pushdown path.
 	if t.Target == OnHDD {
@@ -359,6 +362,7 @@ func (e *Engine) runHost(spec QuerySpec, t, build *Table) (*Result, error) {
 	}
 	win := e.faultWindow()
 	ctx := exec.NewCtx(e.host)
+	ctx.Scratch = &e.scratch
 	rows, end, err := exec.Collect(ctx, op)
 	if err != nil {
 		return nil, err

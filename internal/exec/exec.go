@@ -85,20 +85,102 @@ type Stats struct {
 	CPUCycles   int64
 }
 
+// Scratch holds per-engine reusable arenas for operator state that
+// lives exactly one run (hash-join build rows, aggregate group keys
+// and accumulators). An engine that runs many queries resets the
+// scratch between runs instead of regrowing fresh arenas, so a reused
+// worker reaches steady-state zero allocation on these paths. Not safe
+// for concurrent use; each engine owns its own.
+type Scratch struct {
+	build schema.TupleArena
+	group schema.TupleArena
+}
+
+// Reset recycles the scratch arenas for the next run. Tuples carved
+// during prior runs are invalidated; operators never leak scratch
+// memory into results (Collect deep-copies into its own arena).
+func (s *Scratch) Reset() {
+	s.build.Reset()
+	s.group.Reset()
+}
+
 // Ctx carries the host model and run statistics through an operator tree.
 type Ctx struct {
 	Host  *Host
 	Stats Stats
+	// Scratch, when set, provides reusable arenas for join build and
+	// aggregate group state; operators fall back to run-local arenas
+	// when it is nil.
+	Scratch *Scratch
+
+	// Pending batched charge run: runCount consecutive charges of
+	// runCycles each, all ready at runReady, not yet scheduled on the
+	// CPU server. Flushed as one ServeRun before any other charge, so
+	// the global order of CPU reservations is exactly the sequential
+	// one. runMax accumulates the completion times of flushed runs
+	// until a consumer takes them.
+	runCycles int64
+	runReady  time.Duration
+	runCount  int
+	runMax    time.Duration
 }
 
 // NewCtx builds a run context over host.
 func NewCtx(host *Host) *Ctx { return &Ctx{Host: host} }
 
 // charge schedules cycles of CPU work ready at the given time and
-// returns its completion time.
+// returns its completion time. Any pending batched run is flushed
+// first, preserving the sequential order of CPU reservations.
 func (c *Ctx) charge(cycles int64, ready time.Duration) time.Duration {
+	if c.runCount > 0 {
+		c.flushRun()
+	}
 	c.Stats.CPUCycles += cycles
 	return c.Host.CPU.Serve(ready, cycles)
+}
+
+// chargeBatched accumulates one charge into the pending run when it
+// matches the run's (cycles, ready) signature, starting a new run
+// (flushing the old) otherwise. Callers that need the completion time
+// of the whole phase take it with takeRunMax at the phase boundary;
+// per-charge completion times are not observable on this path, which
+// is what lets identical charges collapse into one closed-form
+// ServeRun reservation per lane.
+func (c *Ctx) chargeBatched(cycles int64, ready time.Duration) {
+	if c.runCount > 0 && (cycles != c.runCycles || ready != c.runReady) {
+		c.flushRun()
+	}
+	c.runCycles = cycles
+	c.runReady = ready
+	c.runCount++
+}
+
+// flushRun schedules the pending batched run as one ServeRun call —
+// timing- and counter-identical to runCount sequential Serves — and
+// folds its completion time into runMax.
+func (c *Ctx) flushRun() {
+	if c.runCount == 0 {
+		return
+	}
+	k := c.runCount
+	c.runCount = 0
+	c.Stats.CPUCycles += c.runCycles * int64(k)
+	if done := c.Host.CPU.ServeRun(c.runReady, c.runCycles, k); done > c.runMax {
+		c.runMax = done
+	}
+}
+
+// takeRunMax flushes any pending batched run and returns the maximum
+// completion time of all runs flushed since the previous take,
+// resetting the accumulator. Each batching phase takes its own maximum
+// at its phase boundary, so one phase's completion times never inflate
+// another's (a nested operator's charges stay out of an enclosing
+// build-side barrier, keeping timing byte-identical to sequential).
+func (c *Ctx) takeRunMax() time.Duration {
+	c.flushRun()
+	m := c.runMax
+	c.runMax = 0
+	return m
 }
 
 // Emit receives one output tuple and the virtual time it became

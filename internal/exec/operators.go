@@ -154,9 +154,11 @@ func (t *TableScan) runWithPool(ctx *Ctx, process func(*page.Reader, time.Durati
 				return err
 			}
 			// Warm the pool; ignore ErrAllPinned-style failures: caching
-			// is best-effort and must not fail the scan.
+			// is best-effort and must not fail the scan. The frame
+			// borrows the device's immutable page buffer, so warming
+			// allocates nothing per page.
 			plba := t.File.StartLBA() + int64(pr.PageNo())
-			if err := t.Pool.Put(plba, pr.Data()); err == nil {
+			if err := t.Pool.PutBorrowed(plba, pr.Data()); err == nil {
 				t.Pool.Unpin(plba, false)
 			}
 			return nil
@@ -309,19 +311,30 @@ func (j *HashJoin) Run(ctx *Ctx, emit Emit) (time.Duration, error) {
 	cost := ctx.Host.Cost
 	ht := make(map[int64][]schema.Tuple)
 	// Build tuples are retained for the whole probe phase; an arena
-	// batches their backing allocations instead of one per tuple.
-	var arena schema.TupleArena
-	var buildDone time.Duration
+	// batches their backing allocations instead of one per tuple. A
+	// reused engine supplies a resettable scratch arena so steady-state
+	// builds allocate nothing.
+	var local schema.TupleArena
+	arena := &local
+	if ctx.Scratch != nil {
+		arena = &ctx.Scratch.build
+	}
+	// An unfiltered full-table build side has a known cardinality:
+	// reserve the value slots up front so the arena allocates one
+	// right-sized slab instead of walking the doubling ladder.
+	if ts, ok := j.Build.(*TableScan); ok && ts.Filter == nil && ts.From == 0 && ts.Count == 0 {
+		arena.Reserve(int(ts.File.TupleCount())*ts.File.Schema().NumColumns(), 0)
+	}
+	// Build-side inserts are identical charges at page-granular ready
+	// times; batch them and take the phase maximum at the barrier.
 	_, err := j.Build.Run(ctx, func(t schema.Tuple, at time.Duration) error {
-		done := ctx.charge(cost.HashBuildCycles, at)
-		if done > buildDone {
-			buildDone = done
-		}
+		ctx.chargeBatched(cost.HashBuildCycles, at)
 		key := t[j.BuildKey].Int
 		ht[key] = append(ht[key], arena.Clone(t))
 		ctx.Stats.HashBuilds++
 		return nil
 	})
+	buildDone := ctx.takeRunMax()
 	if err != nil {
 		return buildDone, err
 	}
@@ -335,15 +348,16 @@ func (j *HashJoin) Run(ctx *Ctx, emit Emit) (time.Duration, error) {
 		if buildDone > ready {
 			ready = buildDone
 		}
-		done := ctx.charge(cost.HashProbeCycles, ready)
-		if done > end {
-			end = done
-		}
 		ctx.Stats.HashProbes++
 		matches := ht[t[j.ProbeKey].Int]
 		if len(matches) == 0 {
+			// Non-matching probes need no per-tuple completion time:
+			// batch their identical charges and fold the phase maximum
+			// into end below.
+			ctx.chargeBatched(cost.HashProbeCycles, ready)
 			return nil
 		}
+		done := ctx.charge(cost.HashProbeCycles, ready)
 		for _, b := range matches {
 			done = ctx.charge(cost.EmitCycles, done)
 			copy(out, t)
@@ -358,6 +372,9 @@ func (j *HashJoin) Run(ctx *Ctx, emit Emit) (time.Duration, error) {
 		}
 		return nil
 	})
+	if m := ctx.takeRunMax(); m > end {
+		end = m
+	}
 	if err != nil {
 		return end, err
 	}
@@ -454,8 +471,14 @@ func (a *Aggregate) Run(ctx *Ctx, emit Emit) (time.Duration, error) {
 	var order []string // first-seen group order, for deterministic output
 	keyBuf := make([]byte, 0, 64)
 	// Group tuples and accumulator slices live until the final emit
-	// loop; carving them from an arena batches their allocations.
-	var arena schema.TupleArena
+	// loop; carving them from an arena batches their allocations. A
+	// reused engine supplies a resettable scratch arena so steady-state
+	// aggregation allocates nothing.
+	var local schema.TupleArena
+	arena := &local
+	if ctx.Scratch != nil {
+		arena = &ctx.Scratch.group
+	}
 	var states []aggState // chunked so *aggState pointers stay stable
 	newState := func() *aggState {
 		if len(states) == cap(states) {
@@ -470,10 +493,10 @@ func (a *Aggregate) Run(ctx *Ctx, emit Emit) (time.Duration, error) {
 	var end time.Duration
 	var row expr.TupleRow
 	last, err := a.Input.Run(ctx, func(t schema.Tuple, at time.Duration) error {
-		done := ctx.charge(perTuple, at)
-		if done > end {
-			end = done
-		}
+		// Fold-in charges are identical for every tuple of a page (same
+		// cycles, same arrival), so they batch into one closed-form CPU
+		// reservation per page; the fold itself happens immediately.
+		ctx.chargeBatched(perTuple, at)
 		keyBuf = keyBuf[:0]
 		in := a.Input.Schema()
 		for _, g := range a.GroupBy {
@@ -517,6 +540,9 @@ func (a *Aggregate) Run(ctx *Ctx, emit Emit) (time.Duration, error) {
 		}
 		return nil
 	})
+	if m := ctx.takeRunMax(); m > end {
+		end = m
+	}
 	if err != nil {
 		return end, err
 	}
@@ -558,5 +584,11 @@ func Collect(ctx *Ctx, op Operator) ([]schema.Tuple, time.Duration, error) {
 		rows = append(rows, arena.Clone(t))
 		return nil
 	})
+	// Safety barrier: a well-formed operator takes its own batched runs
+	// at its phase boundaries, but flush here so no charge can outlive
+	// the run even if a future operator forgets.
+	if m := ctx.takeRunMax(); m > end {
+		end = m
+	}
 	return rows, end, err
 }

@@ -85,12 +85,15 @@ type Fig3Report struct {
 
 // Fig3 runs Q6 in the three configurations of the figure.
 func Fig3(o Options) (Fig3Report, error) {
-	o.fill()
-	e, err := engineFor(o)
+	s := NewSuite(o)
+	defer s.Close()
+	return s.Fig3()
+}
+
+// Fig3 runs the figure on the suite's warm TPC-H base.
+func (s *Suite) Fig3() (Fig3Report, error) {
+	sb, err := s.tpchBase(false)
 	if err != nil {
-		return Fig3Report{}, err
-	}
-	if err := loadTPCH(e, o, false); err != nil {
 		return Fig3Report{}, err
 	}
 	spec := func(table string) core.QuerySpec {
@@ -110,7 +113,7 @@ func Fig3(o Options) (Fig3Report, error) {
 		{"Smart SSD (NSM)", "lineitem_nsm", core.ForceDevice},
 		{"Smart SSD (PAX)", "lineitem_pax", core.ForceDevice},
 	}
-	results, err := sweep(o, e, len(configs), func(eng *core.Engine, i int) (*core.Result, error) {
+	results, err := sweepBase(s.o, sb, len(configs), func(eng *core.Engine, i int) (*core.Result, error) {
 		c := configs[i]
 		res, err := eng.Run(spec(c.table), c.mode)
 		if err != nil {
@@ -174,15 +177,18 @@ var DefaultFig5Selectivities = []int64{1, 10, 25, 50, 75, 100}
 
 // Fig5 sweeps the join query's selection selectivity.
 func Fig5(o Options, selectivities []int64) (Fig5Report, error) {
-	o.fill()
+	s := NewSuite(o)
+	defer s.Close()
+	return s.Fig5(selectivities)
+}
+
+// Fig5 runs the figure on the suite's warm synthetic-join base.
+func (s *Suite) Fig5(selectivities []int64) (Fig5Report, error) {
 	if len(selectivities) == 0 {
 		selectivities = DefaultFig5Selectivities
 	}
-	e, err := engineFor(o)
+	sb, err := s.synthBase()
 	if err != nil {
-		return Fig5Report{}, err
-	}
-	if err := loadSynthetic(e, o); err != nil {
 		return Fig5Report{}, err
 	}
 	spec := func(sel int64, layout string) core.QuerySpec {
@@ -206,7 +212,7 @@ func Fig5(o Options, selectivities []int64) (Fig5Report, error) {
 		{"nsm", "nsm", core.ForceDevice},
 		{"pax", "pax", core.ForceDevice},
 	}
-	results, err := sweep(o, e, len(selectivities)*len(cfgs), func(eng *core.Engine, i int) (*core.Result, error) {
+	results, err := sweepBase(s.o, sb, len(selectivities)*len(cfgs), func(eng *core.Engine, i int) (*core.Result, error) {
 		sel := selectivities[i/len(cfgs)]
 		c := cfgs[i%len(cfgs)]
 		res, err := eng.Run(spec(sel, c.layout), c.mode)
@@ -261,12 +267,15 @@ type Fig7Report struct {
 
 // Fig7 runs Q14 in the figure's three configurations.
 func Fig7(o Options) (Fig7Report, error) {
-	o.fill()
-	e, err := engineFor(o)
+	s := NewSuite(o)
+	defer s.Close()
+	return s.Fig7()
+}
+
+// Fig7 runs the figure on the suite's warm TPC-H base.
+func (s *Suite) Fig7() (Fig7Report, error) {
+	sb, err := s.tpchBase(false)
 	if err != nil {
-		return Fig7Report{}, err
-	}
-	if err := loadTPCH(e, o, false); err != nil {
 		return Fig7Report{}, err
 	}
 	aggs := tpch.Q14Aggregates(tpch.LineitemSchema(), tpch.PartSchema())
@@ -288,7 +297,7 @@ func Fig7(o Options) (Fig7Report, error) {
 		{"Smart SSD (NSM)", "nsm", core.ForceDevice},
 		{"Smart SSD (PAX)", "pax", core.ForceDevice},
 	}
-	results, err := sweep(o, e, len(configs), func(eng *core.Engine, i int) (*core.Result, error) {
+	results, err := sweepBase(s.o, sb, len(configs), func(eng *core.Engine, i int) (*core.Result, error) {
 		c := configs[i]
 		res, err := eng.Run(spec(c.layout), c.mode)
 		if err != nil {
@@ -346,12 +355,15 @@ type Table3Report struct {
 // Table3 runs Q6 on the HDD, the regular SSD path, and the Smart SSD
 // with both layouts, integrating energy for each.
 func Table3(o Options) (Table3Report, error) {
-	o.fill()
-	e, err := engineFor(o)
+	s := NewSuite(o)
+	defer s.Close()
+	return s.Table3()
+}
+
+// Table3 runs the table on the suite's warm TPC-H-with-HDD base.
+func (s *Suite) Table3() (Table3Report, error) {
+	sb, err := s.tpchBase(true)
 	if err != nil {
-		return Table3Report{}, err
-	}
-	if err := loadTPCH(e, o, true); err != nil {
 		return Table3Report{}, err
 	}
 	spec := func(table string) core.QuerySpec {
@@ -372,7 +384,7 @@ func Table3(o Options) (Table3Report, error) {
 		{"Smart SSD (NSM)", "lineitem_nsm", core.ForceDevice},
 		{"Smart SSD (PAX)", "lineitem_pax", core.ForceDevice},
 	}
-	results, err := sweep(o, e, len(configs), func(eng *core.Engine, i int) (*core.Result, error) {
+	results, err := sweepBase(s.o, sb, len(configs), func(eng *core.Engine, i int) (*core.Result, error) {
 		c := configs[i]
 		res, err := eng.Run(spec(c.table), c.mode)
 		if err != nil {

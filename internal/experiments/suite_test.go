@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+)
+
+// suiteRender regenerates the four engine-backed artifacts on s and
+// returns their concatenated renders.
+func suiteRender(t *testing.T, s *Suite) string {
+	t.Helper()
+	f3, err := s.Fig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f5, err := s.Fig5(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f7, err := s.Fig7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t3, err := s.Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f3.Render() + f5.Render() + f7.Render() + t3.Render()
+}
+
+// TestSuitePassesByteIdentical is the steady-state guarantee behind
+// BenchmarkSuiteWallClock: a long-lived Suite that reuses its loaded
+// bases, worker clones, and crew across whole passes renders every
+// artifact byte-identically to the one-shot functions, on every pass,
+// at serial and parallel widths alike. A mismatch means ResetForRun
+// leaked state from one pass into the next.
+func TestSuitePassesByteIdentical(t *testing.T) {
+	o := goldenOptions()
+	o.Parallelism = 1
+	oneShot := func() string {
+		f3, err := Fig3(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f5, err := Fig5(o, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f7, err := Fig7(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t3, err := Table3(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f3.Render() + f5.Render() + f7.Render() + t3.Render()
+	}()
+
+	for _, par := range []int{1, 4} {
+		t.Run(fmt.Sprintf("par_%d", par), func(t *testing.T) {
+			so := goldenOptions()
+			so.Parallelism = par
+			s := NewSuite(so)
+			defer s.Close()
+			for pass := 0; pass < 3; pass++ {
+				got := suiteRender(t, s)
+				if got != oneShot {
+					t.Fatalf("pass %d: suite render diverges from one-shot functions\nsuite:\n%s\none-shot:\n%s",
+						pass, got, oneShot)
+				}
+			}
+		})
+	}
+}

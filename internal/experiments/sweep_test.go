@@ -1,0 +1,209 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"smartssd/internal/core"
+	"smartssd/internal/page"
+	"smartssd/internal/runner"
+	"smartssd/internal/tpch"
+)
+
+// sweepTestEngine builds the cheapest engine the sweep edge tests can
+// exercise reuse on: one PAX LINEITEM table at the golden scale.
+func sweepTestEngine(t *testing.T) *core.Engine {
+	t.Helper()
+	o := goldenOptions()
+	o.fill()
+	e, err := engineFor(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	li := tpch.LineitemSchema()
+	n := tpch.NumLineitem(o.SF)
+	if _, err := e.CreateTable("lineitem_pax", li, page.PAX, pagesFor(li, page.PAX, n), core.OnSSD); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Load("lineitem_pax", tpch.NewLineitemGen(o.SF, o.Seed).Next); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// sweepPoint runs the canonical Q6 point and fingerprints everything a
+// report could render from it: answer, virtual time, bottleneck, energy.
+func sweepPoint(e *core.Engine, mode core.Mode) (string, error) {
+	res, err := e.Run(core.QuerySpec{
+		Table:          "lineitem_pax",
+		Filter:         tpch.Q6Predicate(),
+		Aggs:           tpch.Q6Aggregates(),
+		EstSelectivity: 0.006,
+	}, mode)
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("%d|%v|%s|%.9f", res.Rows[0][0].Int, res.Elapsed, res.Bottleneck, res.Energy.SystemkJ()), nil
+}
+
+// referenceFingerprint runs one point on a fresh clone: the value every
+// reused-engine run must reproduce.
+func referenceFingerprint(t *testing.T, e *core.Engine, mode core.Mode) string {
+	t.Helper()
+	c, err := e.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := sweepPoint(c, mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return want
+}
+
+// TestSweepWorkersExceedPoints pins the harness edge where the worker
+// count dwarfs the point count: results must still land in submission
+// order and match the serial path, in both reuse and fresh-clone modes.
+func TestSweepWorkersExceedPoints(t *testing.T) {
+	e := sweepTestEngine(t)
+	modes := []core.Mode{core.ForceHost, core.ForceDevice, core.Auto}
+
+	serial := goldenOptions()
+	serial.Parallelism = 1
+	want, err := sweep(serial, e, len(modes), func(eng *core.Engine, i int) (string, error) {
+		return sweepPoint(eng, modes[i])
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, fresh := range []bool{false, true} {
+		wide := goldenOptions()
+		wide.Parallelism = 32 // ten times the point count
+		wide.FreshClones = fresh
+		got, err := sweep(wide, e, len(modes), func(eng *core.Engine, i int) (string, error) {
+			return sweepPoint(eng, modes[i])
+		})
+		if err != nil {
+			t.Fatalf("fresh=%v: %v", fresh, err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("fresh=%v: point %d = %q, serial ran %q", fresh, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestSweepPointFailureLeavesWorkerCorrect pins the reuse contract
+// under partial failure: when the job at point k hits an engine error
+// (here a query against a missing table, after a completed run has
+// already dirtied timing and pool state), ResetForRun must still hand
+// every later point on that worker a pristine engine.
+func TestSweepPointFailureLeavesWorkerCorrect(t *testing.T) {
+	e := sweepTestEngine(t)
+	want := referenceFingerprint(t, e, core.ForceDevice)
+
+	o := goldenOptions()
+	o.Parallelism = 2
+	const n = 6
+	results, err := sweep(o, e, n, func(eng *core.Engine, i int) (string, error) {
+		if i == 2 {
+			// Dirty the engine with a full successful run, then fail.
+			if _, err := sweepPoint(eng, core.ForceDevice); err != nil {
+				return "", err
+			}
+			if _, err := eng.Run(core.QuerySpec{Table: "no_such_table"}, core.Auto); err == nil {
+				return "", errors.New("query on missing table unexpectedly succeeded")
+			}
+			return "failed", nil
+		}
+		return sweepPoint(eng, core.ForceDevice)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, got := range results {
+		if i == 2 {
+			continue
+		}
+		if got != want {
+			t.Fatalf("point %d after in-sweep failure = %q, fresh clone ran %q", i, got, want)
+		}
+	}
+}
+
+// TestSweepSurfacesLowestPointError pins that with engine reuse the
+// reported error is still the one the serial loop would have stopped
+// on — the smallest failing point index — at every fan-out width.
+func TestSweepSurfacesLowestPointError(t *testing.T) {
+	e := sweepTestEngine(t)
+	for _, workers := range []int{1, 2, 8} {
+		o := goldenOptions()
+		o.Parallelism = workers
+		_, err := sweep(o, e, 20, func(eng *core.Engine, i int) (string, error) {
+			if i%7 == 3 { // fails at 3, 10, 17
+				return "", fmt.Errorf("point %d failed", i)
+			}
+			return sweepPoint(eng, core.ForceDevice)
+		})
+		if err == nil || err.Error() != "point 3 failed" {
+			t.Fatalf("workers=%d: err = %v, want point 3's error", workers, err)
+		}
+	}
+}
+
+// TestPoolPauseResumeWithEngineReuse drives the serving-layer pool with
+// per-worker engines rewound by ResetForRun, pausing and resuming
+// mid-stream: every session admitted before, during, and after the
+// pause must produce the fresh-clone answer.
+func TestPoolPauseResumeWithEngineReuse(t *testing.T) {
+	e := sweepTestEngine(t)
+	want := referenceFingerprint(t, e, core.ForceDevice)
+
+	const workers = 2
+	engines := make([]*core.Engine, workers)
+	for w := range engines {
+		c, err := e.Clone()
+		if err != nil {
+			t.Fatal(err)
+		}
+		engines[w] = c
+	}
+
+	const sessions = 8
+	results := make([]string, sessions)
+	errs := make([]error, sessions)
+	p := runner.NewPool(workers, sessions)
+	submit := func(i int) {
+		if !p.TrySubmit(func(w int) {
+			if err := engines[w].ResetForRun(); err != nil {
+				errs[i] = err
+				return
+			}
+			results[i], errs[i] = sweepPoint(engines[w], core.ForceDevice)
+		}) {
+			t.Fatalf("session %d rejected below capacity", i)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		submit(i)
+	}
+	p.Pause()
+	for i := 3; i < sessions; i++ {
+		submit(i)
+	}
+	p.Resume()
+	p.Drain()
+	p.Close()
+
+	for i := 0; i < sessions; i++ {
+		if errs[i] != nil {
+			t.Fatalf("session %d: %v", i, errs[i])
+		}
+		if results[i] != want {
+			t.Fatalf("session %d = %q, fresh clone ran %q", i, results[i], want)
+		}
+	}
+}

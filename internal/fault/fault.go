@@ -205,6 +205,64 @@ func (i *Injector) Clone() *Injector {
 	return c
 }
 
+// Snapshot is a frozen copy of an injector's mutable state: per-site
+// draw positions, sticky bad pages, device/power flags, and stats.
+// Restoring it rewinds the injector to exactly that point, so a reused
+// engine replays the identical fault schedule a fresh clone would.
+type Snapshot struct {
+	counters  map[int64]uint64
+	sticky    map[uint64]bool
+	dead      bool
+	powerLost bool
+	stats     Stats
+}
+
+// Snapshot captures the injector's current stream positions and state.
+// A nil receiver snapshots to nil.
+func (i *Injector) Snapshot() *Snapshot {
+	if i == nil {
+		return nil
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	s := &Snapshot{
+		counters:  make(map[int64]uint64, len(i.counters)),
+		sticky:    make(map[uint64]bool, len(i.sticky)),
+		dead:      i.dead,
+		powerLost: i.powerLost,
+		stats:     i.stats,
+	}
+	for site, n := range i.counters {
+		s.counters[site] = n
+	}
+	for ppa, bad := range i.sticky {
+		s.sticky[ppa] = bad
+	}
+	return s
+}
+
+// Restore rewinds the injector to a state previously captured with
+// Snapshot. Both a nil receiver and a nil snapshot are no-ops (a nil
+// injector only ever snapshots to nil).
+func (i *Injector) Restore(s *Snapshot) {
+	if i == nil || s == nil {
+		return
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.counters = make(map[int64]uint64, len(s.counters))
+	for site, n := range s.counters {
+		i.counters[site] = n
+	}
+	i.sticky = make(map[uint64]bool, len(s.sticky))
+	for ppa, bad := range s.sticky {
+		i.sticky[ppa] = bad
+	}
+	i.dead = s.dead
+	i.powerLost = s.powerLost
+	i.stats = s.stats
+}
+
 // splitmix64 is the finalizer from Vigna's SplitMix64 generator: a
 // bijective avalanche mix whose low bits pass statistical tests, used
 // here as a counter-based PRNG (hash of seed ^ site-keyed counter).

@@ -22,6 +22,7 @@ package ftl
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"smartssd/internal/fault"
 	"smartssd/internal/nand"
@@ -104,6 +105,13 @@ type FTL struct {
 	recoveredReads     int64                 // reads that succeeded after at least one retry
 	uncorrectableReads int64                 // reads lost after the retry ladder
 	remappedPrograms   int64                 // page slots abandoned to program failures
+
+	// cow marks the mapping tables, free lists, and bad-block set as
+	// shared with at least one clone; the first mutating entry point
+	// (Write, Trim) privatizes them. Lookups and reads never
+	// privatize. Atomic so concurrent Clones of one read-only FTL stay
+	// race-free.
+	cow atomic.Bool
 }
 
 // New builds an FTL over array.
@@ -158,22 +166,29 @@ func (f *FTL) SetInjector(inj *fault.Injector) { f.inj = inj }
 
 // Clone returns an FTL over array with the same logical-to-physical
 // mapping, free lists, write frontiers, and cumulative statistics as
-// the receiver. The mapping tables are deep-copied: a clone's writes
-// and garbage collection never disturb the original. array should be a
-// Clone of the receiver's array so both sides agree on page state; the
-// clone keeps the receiver's injector until SetInjector replaces it.
+// the receiver. The mapping tables are shared copy-on-write: both
+// sides read the shared tables until one of them writes or trims, at
+// which point that side deep-copies its tables first (privatize), so a
+// clone's writes and garbage collection never disturb the original.
+// Cloning is therefore O(1) in device size for read-only workloads.
+// Concurrent Clones of one FTL are safe (the shared mark is atomic) as
+// long as no sharer is mutating; concurrent use of the resulting
+// clones is always safe. array should be a Clone of the receiver's
+// array so both sides agree on page state; the clone keeps the
+// receiver's injector until SetInjector replaces it.
 func (f *FTL) Clone(array *nand.Array) *FTL {
+	f.cow.Store(true)
 	nf := &FTL{
 		array:        array,
 		geo:          f.geo,
 		cfg:          f.cfg,
 		logicalPages: f.logicalPages,
-		l2p:          append([]nand.PPA(nil), f.l2p...),
-		p2l:          append([]LBA(nil), f.p2l...),
-		validCount:   append([]int(nil), f.validCount...),
-		freeBlocks:   make([][]nand.BlockID, len(f.freeBlocks)),
-		active:       append([]nand.BlockID(nil), f.active...),
-		frontier:     append([]int(nil), f.frontier...),
+		l2p:          f.l2p,
+		p2l:          f.p2l,
+		validCount:   f.validCount,
+		freeBlocks:   f.freeBlocks,
+		active:       f.active,
+		frontier:     f.frontier,
 		nextChan:     f.nextChan,
 
 		hostReads:  f.hostReads,
@@ -183,19 +198,40 @@ func (f *FTL) Clone(array *nand.Array) *FTL {
 		collecting: f.collecting,
 
 		inj:                f.inj,
-		badBlocks:          make(map[nand.BlockID]bool, len(f.badBlocks)),
+		badBlocks:          f.badBlocks,
 		readRetries:        f.readRetries,
 		recoveredReads:     f.recoveredReads,
 		uncorrectableReads: f.uncorrectableReads,
 		remappedPrograms:   f.remappedPrograms,
 	}
-	for ch := range f.freeBlocks {
-		nf.freeBlocks[ch] = append([]nand.BlockID(nil), f.freeBlocks[ch]...)
-	}
-	for b, bad := range f.badBlocks {
-		nf.badBlocks[b] = bad
-	}
+	nf.cow.Store(true)
 	return nf
+}
+
+// privatize deep-copies the copy-on-write tables before the first
+// mutation, detaching this FTL from any sharers. The free-list inner
+// slices are copied too: takeFree reslices them and a later append
+// would otherwise write into a backing array a sharer still reads.
+func (f *FTL) privatize() {
+	if !f.cow.Load() {
+		return
+	}
+	f.l2p = append([]nand.PPA(nil), f.l2p...)
+	f.p2l = append([]LBA(nil), f.p2l...)
+	f.validCount = append([]int(nil), f.validCount...)
+	f.active = append([]nand.BlockID(nil), f.active...)
+	f.frontier = append([]int(nil), f.frontier...)
+	fb := make([][]nand.BlockID, len(f.freeBlocks))
+	for ch := range f.freeBlocks {
+		fb[ch] = append([]nand.BlockID(nil), f.freeBlocks[ch]...)
+	}
+	f.freeBlocks = fb
+	bad := make(map[nand.BlockID]bool, len(f.badBlocks))
+	for b, v := range f.badBlocks {
+		bad[b] = v
+	}
+	f.badBlocks = bad
+	f.cow.Store(false)
 }
 
 // LogicalPages reports the host-visible capacity in pages.
@@ -287,6 +323,7 @@ func (f *FTL) Write(l LBA, data []byte) error {
 	if err := f.checkLBA(l); err != nil {
 		return err
 	}
+	f.privatize()
 	ppa, err := f.programRetry(f.allocate, data)
 	if err != nil {
 		return fmt.Errorf("ftl: program lba %d: %w", l, err)
@@ -304,6 +341,7 @@ func (f *FTL) Trim(l LBA) error {
 	if err := f.checkLBA(l); err != nil {
 		return err
 	}
+	f.privatize()
 	f.invalidate(l)
 	return nil
 }

@@ -1,0 +1,382 @@
+// Package load is the deterministic service-level load benchmark: it
+// measures sessions/sec and p50/p99 *simulated* latency versus offered
+// load for the query service's two backends (per-worker engine clones
+// and the replicated cluster).
+//
+// The benchmark has two halves, both in virtual time. First it measures
+// the simulated service time of every tenant's query on the chosen
+// backend — each tenant is a Q6-flavoured parameter variant, and the
+// engine backend rewinds with Engine.ResetForRun between measurements,
+// the same reuse discipline the sweep harness runs on. Then it replays
+// a seeded arrival process against a queueing model of the service
+// (Workers parallel servers behind a bounded FIFO admission queue, the
+// exact shape of serve.Config + runner.Pool): open loop draws Poisson
+// arrivals at a fixed offered rate and sheds when the queue is full,
+// closed loop keeps K clients issuing back to back. Tenants are drawn
+// Zipf-skewed, so a few hot queries dominate just as they would in a
+// multi-tenant service.
+//
+// Everything is seeded and wall-clock free: the same Config produces
+// byte-identical points, run to run and machine to machine, which is
+// what lets BENCH_serve.json live in the repository as a committed
+// artifact.
+package load
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"time"
+
+	"smartssd/internal/core"
+	"smartssd/internal/device"
+	"smartssd/internal/expr"
+	"smartssd/internal/page"
+	"smartssd/internal/schema"
+	"smartssd/internal/ssd"
+	"smartssd/internal/tpch"
+)
+
+// Config sizes the benchmark.
+type Config struct {
+	// SF is the TPC-H scale factor loaded into both backends. Default
+	// 0.01 (about 60k LINEITEM rows).
+	SF float64
+	// Seed keys data generation, arrival processes, and tenant draws.
+	// Default 1.
+	Seed int64
+	// Tenants is how many distinct query variants the workload draws
+	// from. Default 12.
+	Tenants int
+	// ZipfS and ZipfV shape the tenant skew (math/rand.NewZipf): larger
+	// ZipfS concentrates more load on tenant 0. Defaults 1.2 and 1.0.
+	ZipfS, ZipfV float64
+	// Workers is the simulated service's concurrency — the counterpart
+	// of serve.Config.Workers. Default 4.
+	Workers int
+	// Queue bounds the admission queue; an open-loop arrival that finds
+	// it full is shed, the counterpart of TrySubmit's 429. Default
+	// 2*Workers.
+	Queue int
+	// Sessions is how many arrivals each measured point replays.
+	// Default 2000.
+	Sessions int
+	// Devices and Replication size the cluster backend. Defaults 4, 2.
+	Devices     int
+	Replication int
+}
+
+func (c *Config) fill() {
+	if c.SF == 0 {
+		c.SF = 0.01
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Tenants < 1 {
+		c.Tenants = 12
+	}
+	if c.ZipfS <= 1 {
+		c.ZipfS = 1.2
+	}
+	if c.ZipfV < 1 {
+		c.ZipfV = 1.0
+	}
+	if c.Workers < 1 {
+		c.Workers = 4
+	}
+	if c.Queue < 1 {
+		c.Queue = 2 * c.Workers
+	}
+	if c.Sessions < 1 {
+		c.Sessions = 2000
+	}
+	if c.Devices < 1 {
+		c.Devices = 4
+	}
+	if c.Replication < 1 {
+		c.Replication = 2
+	}
+}
+
+// Point is one measured offered-load point.
+type Point struct {
+	Backend string
+	Loop    string  // "open" or "closed"
+	Offered float64 // sessions per simulated second (open) or client count (closed)
+	// Completed and Shed partition the point's Sessions arrivals.
+	Completed int
+	Shed      int
+	// SessionsPerSec is completed sessions over the simulated makespan.
+	SessionsPerSec float64
+	// P50 and P99 are simulated session latencies (queue wait plus
+	// service) over completed sessions.
+	P50, P99 time.Duration
+}
+
+// BenchLine renders the point as one `go test -bench`-format result
+// line, so cmd/benchjson can convert a loadgen run the same way it
+// converts the baseline suite.
+func (p Point) BenchLine() string {
+	name := fmt.Sprintf("BenchmarkServeLoad/%s/%s/rate_%g", p.Backend, p.Loop, p.Offered)
+	if p.Loop == "closed" {
+		name = fmt.Sprintf("BenchmarkServeLoad/%s/%s/clients_%g", p.Backend, p.Loop, p.Offered)
+	}
+	return fmt.Sprintf("%s \t%8d\t%12.4f p50_sim_ms\t%12.4f p99_sim_ms\t%12.2f sessions_per_sec\t%8d shed_sessions\t%8d completed_sessions",
+		name, p.Completed+p.Shed,
+		float64(p.P50)/float64(time.Millisecond),
+		float64(p.P99)/float64(time.Millisecond),
+		p.SessionsPerSec, p.Shed, p.Completed)
+}
+
+// Bench owns the loaded backends and the memoized per-tenant service
+// times.
+type Bench struct {
+	cfg     Config
+	engine  *core.Engine
+	cluster *core.Cluster
+	svc     map[string][]time.Duration
+}
+
+// New builds and loads both backends from the same seeded generator,
+// so engine and cluster sessions answer over identical logical data
+// (the same convention as cmd/smartssdd).
+func New(cfg Config) (*Bench, error) {
+	cfg.fill()
+	li := tpch.LineitemSchema()
+	pages := tpch.NumLineitem(cfg.SF)/51 + 2
+
+	e, err := core.New(core.Config{DisableHDD: true})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := e.CreateTable("lineitem", li, page.PAX, pages, core.OnSSD); err != nil {
+		return nil, err
+	}
+	if err := e.Load("lineitem", tpch.NewLineitemGen(cfg.SF, cfg.Seed).Next); err != nil {
+		return nil, err
+	}
+
+	cl, err := core.NewCluster(cfg.Devices, ssd.DefaultParams(), device.DefaultCostModel())
+	if err != nil {
+		return nil, err
+	}
+	cl.SetReplication(cfg.Replication)
+	if err := cl.CreateTable("lineitem", li, page.PAX, pages); err != nil {
+		return nil, err
+	}
+	if err := cl.Load("lineitem", tpch.NewLineitemGen(cfg.SF, cfg.Seed).Next); err != nil {
+		return nil, err
+	}
+
+	return &Bench{cfg: cfg, engine: e, cluster: cl, svc: map[string][]time.Duration{}}, nil
+}
+
+// Config reports the filled configuration the benchmark runs with.
+func (b *Bench) Config() Config { return b.cfg }
+
+// tenantPredicate is tenant t's query: the Q6 shape with the shipdate
+// year and quantity threshold swept per tenant (the same parameter
+// family as the daemon's smoke workload), so tenants differ in both
+// selectivity and answer.
+func tenantPredicate(t int) expr.Expr {
+	s := tpch.LineitemSchema()
+	yr := 1992 + t%6
+	lo := schema.DateVal(yr, time.January, 1).Days()
+	hi := schema.DateVal(yr+1, time.January, 1).Days()
+	// l_quantity is stored x100, so the threshold sweeps 10..39 in
+	// natural units.
+	qty := int64((10 + t%30) * 100)
+	return expr.And{Terms: []expr.Expr{
+		expr.Cmp{Op: expr.GE, L: expr.ColRef(s, "l_shipdate"), R: expr.DateConst(lo)},
+		expr.Cmp{Op: expr.LT, L: expr.ColRef(s, "l_shipdate"), R: expr.DateConst(hi)},
+		expr.Cmp{Op: expr.LT, L: expr.ColRef(s, "l_quantity"), R: expr.IntConst(qty)},
+	}}
+}
+
+// ServiceTimes measures (once, then memoizes) the simulated service
+// time of each tenant's query on the backend. The engine backend
+// rewinds with ResetForRun before every measurement, so a tenant's
+// service time is independent of measurement order — the same
+// guarantee the sweep harness relies on.
+func (b *Bench) ServiceTimes(backend string) ([]time.Duration, error) {
+	if svc, ok := b.svc[backend]; ok {
+		return svc, nil
+	}
+	svc := make([]time.Duration, b.cfg.Tenants)
+	for t := 0; t < b.cfg.Tenants; t++ {
+		switch backend {
+		case "engine":
+			if err := b.engine.ResetForRun(); err != nil {
+				return nil, fmt.Errorf("load: reset engine for tenant %d: %w", t, err)
+			}
+			res, err := b.engine.Run(core.QuerySpec{
+				Table:  "lineitem",
+				Filter: tenantPredicate(t),
+				Aggs:   tpch.Q6Aggregates(),
+			}, core.Auto)
+			if err != nil {
+				return nil, fmt.Errorf("load: tenant %d on engine: %w", t, err)
+			}
+			svc[t] = res.Elapsed
+		case "cluster":
+			b.cluster.ResetTiming()
+			res, err := b.cluster.Run(core.ClusterQuery{
+				Table:  "lineitem",
+				Filter: tenantPredicate(t),
+				Aggs:   tpch.Q6Aggregates(),
+			})
+			if err != nil {
+				return nil, fmt.Errorf("load: tenant %d on cluster: %w", t, err)
+			}
+			svc[t] = res.Elapsed
+		default:
+			return nil, fmt.Errorf("load: unknown backend %q", backend)
+		}
+		if svc[t] <= 0 {
+			return nil, fmt.Errorf("load: tenant %d on %s reported non-positive service time", t, backend)
+		}
+	}
+	b.svc[backend] = svc
+	return svc, nil
+}
+
+// pointRng derives an independent, reproducible stream per measured
+// point, so adding or reordering points never perturbs another point's
+// arrivals.
+func (b *Bench) pointRng(label string) *rand.Rand {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(label))
+	return rand.New(rand.NewSource(b.cfg.Seed ^ int64(h.Sum64())))
+}
+
+// RunOpen replays Sessions Poisson arrivals at rate sessions per
+// simulated second. Arrivals that find the admission queue full are
+// shed, as TrySubmit would with a 429.
+func (b *Bench) RunOpen(backend string, rate float64) (Point, error) {
+	if rate <= 0 {
+		return Point{}, fmt.Errorf("load: open-loop rate must be positive, got %g", rate)
+	}
+	svc, err := b.ServiceTimes(backend)
+	if err != nil {
+		return Point{}, err
+	}
+	rng := b.pointRng(fmt.Sprintf("%s/open/%g", backend, rate))
+	zipf := rand.NewZipf(rng, b.cfg.ZipfS, b.cfg.ZipfV, uint64(b.cfg.Tenants-1))
+
+	free := make([]float64, b.cfg.Workers)
+	var (
+		now       float64
+		starts    []float64 // start time of every admitted session, non-decreasing
+		started   int       // starts[:started] have begun service by `now`
+		latencies []float64
+		shed      int
+		firstArr  float64
+		maxDone   float64
+		haveFirst bool
+	)
+	for i := 0; i < b.cfg.Sessions; i++ {
+		now += rng.ExpFloat64() / rate
+		if !haveFirst {
+			firstArr, haveFirst = now, true
+		}
+		for started < len(starts) && starts[started] <= now {
+			started++
+		}
+		if len(starts)-started >= b.cfg.Queue {
+			shed++
+			continue
+		}
+		w := minIndex(free)
+		start := now
+		if free[w] > start {
+			start = free[w]
+		}
+		done := start + svc[zipf.Uint64()].Seconds()
+		free[w] = done
+		starts = append(starts, start)
+		latencies = append(latencies, done-now)
+		if done > maxDone {
+			maxDone = done
+		}
+	}
+	return b.point(backend, "open", rate, latencies, shed, firstArr, maxDone)
+}
+
+// RunClosed replays Sessions arrivals from `clients` closed-loop
+// clients: each client issues its next session the moment its previous
+// one completes (zero think time), so concurrency is pinned at the
+// client count and nothing is shed.
+func (b *Bench) RunClosed(backend string, clients int) (Point, error) {
+	if clients < 1 {
+		return Point{}, fmt.Errorf("load: closed loop needs at least 1 client, got %d", clients)
+	}
+	svc, err := b.ServiceTimes(backend)
+	if err != nil {
+		return Point{}, err
+	}
+	rng := b.pointRng(fmt.Sprintf("%s/closed/%d", backend, clients))
+	zipf := rand.NewZipf(rng, b.cfg.ZipfS, b.cfg.ZipfV, uint64(b.cfg.Tenants-1))
+
+	free := make([]float64, b.cfg.Workers)
+	next := make([]float64, clients)
+	var latencies []float64
+	var maxDone float64
+	for i := 0; i < b.cfg.Sessions; i++ {
+		c := minIndex(next)
+		arrival := next[c]
+		w := minIndex(free)
+		start := arrival
+		if free[w] > start {
+			start = free[w]
+		}
+		done := start + svc[zipf.Uint64()].Seconds()
+		free[w] = done
+		next[c] = done
+		latencies = append(latencies, done-arrival)
+		if done > maxDone {
+			maxDone = done
+		}
+	}
+	return b.point(backend, "closed", float64(clients), latencies, 0, 0, maxDone)
+}
+
+func (b *Bench) point(backend, loop string, offered float64, latencies []float64, shed int, firstArr, maxDone float64) (Point, error) {
+	if len(latencies) == 0 {
+		return Point{}, fmt.Errorf("load: %s/%s at %g completed no sessions (queue %d shed everything)",
+			backend, loop, offered, b.cfg.Queue)
+	}
+	span := maxDone - firstArr
+	if span <= 0 {
+		return Point{}, fmt.Errorf("load: %s/%s at %g has empty makespan", backend, loop, offered)
+	}
+	sorted := append([]float64(nil), latencies...)
+	sort.Float64s(sorted)
+	q := func(pct int) time.Duration {
+		return time.Duration(sorted[(len(sorted)-1)*pct/100] * float64(time.Second))
+	}
+	return Point{
+		Backend:        backend,
+		Loop:           loop,
+		Offered:        offered,
+		Completed:      len(latencies),
+		Shed:           shed,
+		SessionsPerSec: float64(len(latencies)) / span,
+		P50:            q(50),
+		P99:            q(99),
+	}, nil
+}
+
+// minIndex reports the index of the smallest element, lowest index on
+// ties — the deterministic "least loaded worker / earliest client"
+// pick.
+func minIndex(xs []float64) int {
+	best := 0
+	for i, x := range xs[1:] {
+		if x < xs[best] {
+			best = i + 1
+		}
+	}
+	return best
+}

@@ -1,0 +1,175 @@
+package load
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func testConfig() Config {
+	return Config{SF: 0.005, Seed: 1, Tenants: 6, Sessions: 300}
+}
+
+func newBench(t *testing.T, cfg Config) *Bench {
+	t.Helper()
+	b, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestDeterminism is the committed-artifact guarantee: two
+// independently built benchmarks with the same config render
+// byte-identical points, for both backends and both loop shapes.
+func TestDeterminism(t *testing.T) {
+	a := newBench(t, testConfig())
+	b := newBench(t, testConfig())
+	for _, backend := range []string{"engine", "cluster"} {
+		pa, err := a.RunOpen(backend, 200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pb, err := b.RunOpen(backend, 200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pa.BenchLine() != pb.BenchLine() {
+			t.Fatalf("%s open point not reproducible:\n%s\n%s", backend, pa.BenchLine(), pb.BenchLine())
+		}
+		ca, err := a.RunClosed(backend, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cb, err := b.RunClosed(backend, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ca.BenchLine() != cb.BenchLine() {
+			t.Fatalf("%s closed point not reproducible:\n%s\n%s", backend, ca.BenchLine(), cb.BenchLine())
+		}
+	}
+}
+
+// TestServiceTimesMemoized pins that tenant service times are measured
+// once and are order-independent: a second call returns the identical
+// slice, and every tenant's time is positive.
+func TestServiceTimesMemoized(t *testing.T) {
+	b := newBench(t, testConfig())
+	first, err := b.ServiceTimes("engine")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) != b.Config().Tenants {
+		t.Fatalf("%d service times for %d tenants", len(first), b.Config().Tenants)
+	}
+	for i, d := range first {
+		if d <= 0 {
+			t.Fatalf("tenant %d service time %v", i, d)
+		}
+	}
+	again, err := b.ServiceTimes("engine")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range first {
+		if first[i] != again[i] {
+			t.Fatalf("tenant %d service time drifted: %v then %v", i, first[i], again[i])
+		}
+	}
+	if _, err := b.ServiceTimes("warp-drive"); err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+}
+
+// TestOpenLoopSheds drives a 1-worker, 2-slot queue far past
+// saturation: load must be shed, every arrival must be accounted for,
+// and p99 must bound p50.
+func TestOpenLoopSheds(t *testing.T) {
+	cfg := testConfig()
+	cfg.Workers = 1
+	cfg.Queue = 2
+	b := newBench(t, cfg)
+	p, err := b.RunOpen("engine", 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Shed == 0 {
+		t.Fatal("5000 sessions/sec against one worker shed nothing")
+	}
+	if p.Completed+p.Shed != cfg.Sessions {
+		t.Fatalf("completed %d + shed %d != %d arrivals", p.Completed, p.Shed, cfg.Sessions)
+	}
+	if p.P99 < p.P50 {
+		t.Fatalf("p99 %v < p50 %v", p.P99, p.P50)
+	}
+}
+
+// TestClosedLoopSaturates pins the closed loop's queueing shape: with
+// workers idle capacity, doubling clients raises throughput; past the
+// worker count, throughput flat-lines and latency grows instead.
+func TestClosedLoopSaturates(t *testing.T) {
+	cfg := testConfig()
+	cfg.Workers = 4
+	b := newBench(t, cfg)
+	p1, err := b.RunClosed("engine", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p4, err := b.RunClosed("engine", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p16, err := b.RunClosed("engine", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p4.SessionsPerSec < 2*p1.SessionsPerSec {
+		t.Fatalf("4 clients on 4 workers reached %.1f/s, under 2x the 1-client %.1f/s",
+			p4.SessionsPerSec, p1.SessionsPerSec)
+	}
+	if p16.SessionsPerSec > 1.05*p4.SessionsPerSec {
+		t.Fatalf("16 clients on 4 workers reached %.1f/s, above the 4-client plateau %.1f/s",
+			p16.SessionsPerSec, p4.SessionsPerSec)
+	}
+	if p16.P50 <= p4.P50 {
+		t.Fatalf("16-client p50 %v did not exceed 4-client p50 %v under saturation", p16.P50, p4.P50)
+	}
+	if p1.Shed != 0 || p4.Shed != 0 || p16.Shed != 0 {
+		t.Fatalf("closed loop shed sessions: %d, %d, %d", p1.Shed, p4.Shed, p16.Shed)
+	}
+}
+
+// TestBenchLineShape pins that rendered points parse as `go test
+// -bench` result lines: an even field count, integer iterations, and
+// float values ahead of every unit — the contract cmd/benchjson's
+// parser requires.
+func TestBenchLineShape(t *testing.T) {
+	b := newBench(t, testConfig())
+	p, err := b.RunOpen("engine", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := strings.Fields(p.BenchLine())
+	if len(f) < 4 || len(f)%2 != 0 {
+		t.Fatalf("bench line has %d fields: %q", len(f), p.BenchLine())
+	}
+	if !strings.HasPrefix(f[0], "BenchmarkServeLoad/") {
+		t.Fatalf("bench line name %q", f[0])
+	}
+	if _, err := strconv.ParseInt(f[1], 10, 64); err != nil {
+		t.Fatalf("iterations field %q: %v", f[1], err)
+	}
+	units := map[string]bool{}
+	for i := 2; i+1 < len(f); i += 2 {
+		if _, err := strconv.ParseFloat(f[i], 64); err != nil {
+			t.Fatalf("value field %q: %v", f[i], err)
+		}
+		units[f[i+1]] = true
+	}
+	for _, u := range []string{"p50_sim_ms", "p99_sim_ms", "sessions_per_sec", "shed_sessions"} {
+		if !units[u] {
+			t.Fatalf("bench line missing %s unit: %q", u, p.BenchLine())
+		}
+	}
+}

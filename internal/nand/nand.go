@@ -23,6 +23,7 @@ package nand
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"smartssd/internal/fault"
@@ -188,6 +189,12 @@ type Array struct {
 	programTime time.Duration
 	eraseTime   time.Duration
 	inj         *fault.Injector // nil unless fault injection is enabled
+	// cow marks the per-page and per-block slices as shared with at
+	// least one clone. The first mutating operation (Program, Erase)
+	// privatizes them. Reads never privatize: sharers only ever mutate
+	// their own private copies, so shared slices are immutable. Atomic
+	// so concurrent Clones of one read-only array stay race-free.
+	cow atomic.Bool
 }
 
 // NewArray builds a flash array with the given geometry and timing.
@@ -215,17 +222,24 @@ func (a *Array) SetInjector(inj *fault.Injector) { a.inj = inj }
 // programmed page's buffer is never mutated in place (Program requires
 // the Erased state, and Erase drops the buffer before a slot can be
 // reused), so clones reading the same PPA concurrently see immutable
-// bytes while each clone's programs and erases touch only its own
-// data/state slices. The clone keeps the receiver's injector; callers
-// wiring an isolated fault domain attach their own with SetInjector.
+// bytes. The outer per-page and per-block slices are shared
+// copy-on-write: both sides keep reading the shared slices until one
+// of them programs or erases, at which point that side privatizes its
+// copies first. Cloning is therefore O(1) in array size for read-only
+// workloads. Concurrent Clones of one array are safe (the shared mark
+// is atomic) as long as no sharer is mutating; concurrent use of the
+// resulting clones is always safe. The clone keeps the receiver's
+// injector; callers wiring an isolated fault domain attach their own
+// with SetInjector.
 func (a *Array) Clone() *Array {
-	return &Array{
+	a.cow.Store(true)
+	c := &Array{
 		geo:           a.geo,
 		timing:        a.timing,
-		data:          append([][]byte(nil), a.data...),
-		state:         append([]PageState(nil), a.state...),
-		writeFrontier: append([]int(nil), a.writeFrontier...),
-		eraseCount:    append([]int64(nil), a.eraseCount...),
+		data:          a.data,
+		state:         a.state,
+		writeFrontier: a.writeFrontier,
+		eraseCount:    a.eraseCount,
 		reads:         a.reads,
 		programs:      a.programs,
 		erases:        a.erases,
@@ -234,6 +248,22 @@ func (a *Array) Clone() *Array {
 		eraseTime:     a.eraseTime,
 		inj:           a.inj,
 	}
+	c.cow.Store(true)
+	return c
+}
+
+// privatize deep-copies the copy-on-write slices before the first
+// mutation, detaching this array from any sharers. Inner page buffers
+// stay shared — they are immutable once programmed (see Clone).
+func (a *Array) privatize() {
+	if !a.cow.Load() {
+		return
+	}
+	a.data = append([][]byte(nil), a.data...)
+	a.state = append([]PageState(nil), a.state...)
+	a.writeFrontier = append([]int(nil), a.writeFrontier...)
+	a.eraseCount = append([]int64(nil), a.eraseCount...)
+	a.cow.Store(false)
 }
 
 // Geometry reports the array's physical organization.
@@ -287,6 +317,7 @@ func (a *Array) Program(p PPA, data []byte) error {
 		return fmt.Errorf("%w: ppa %d is page %d of block %d, frontier %d",
 			ErrProgramOrder, p, inBlock, b, a.writeFrontier[b])
 	}
+	a.privatize()
 	if a.inj.ProgramFail() {
 		// A failed program still consumes the page slot: the cells are
 		// in an indeterminate state and may not be reprogrammed until
@@ -321,6 +352,7 @@ func (a *Array) Erase(b BlockID) error {
 		// grown-bad instead of reusing it.
 		return fmt.Errorf("%w: block %d", ErrEraseFail, b)
 	}
+	a.privatize()
 	first := a.geo.FirstPage(b)
 	for i := 0; i < a.geo.PagesPerBlock; i++ {
 		p := first + PPA(i)

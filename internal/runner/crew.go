@@ -1,0 +1,94 @@
+// Crew: persistent sweep workers for repeated fan-outs.
+//
+// Run spawns its goroutines per call, which is right for one-shot
+// sweeps but charges every pass of a long-lived caller a few dozen
+// harness allocations (worker closures, error slots, the goroutines
+// themselves). A Crew hoists all of that to construction time: the
+// workers park on per-worker task channels and every Sweep call hands
+// them one shared closure, so a steady-state pass allocates nothing in
+// the harness — the property that makes worker counts comparable in
+// allocation benchmarks.
+
+package runner
+
+// crewTask is one sweep handed to a parked worker: run jobs
+// worker, worker+used, worker+2*used, ... below n.
+type crewTask struct {
+	n    int
+	used int
+	run  func(worker, index int) bool
+}
+
+// Crew is a persistent team of sweep workers. Job assignment matches
+// Run exactly — job i runs on worker i mod min(workers, n) — so a
+// sweep executed on a Crew is indistinguishable from one executed by
+// Run. Sweeps on one Crew must not overlap; Close releases the
+// workers. Not safe for concurrent use.
+type Crew struct {
+	workers int
+	tasks   []chan crewTask
+	acks    chan struct{}
+}
+
+// NewCrew parks workers goroutines awaiting Sweep calls.
+func NewCrew(workers int) *Crew {
+	if workers < 1 {
+		workers = 1
+	}
+	c := &Crew{
+		workers: workers,
+		tasks:   make([]chan crewTask, workers),
+		acks:    make(chan struct{}, workers),
+	}
+	for w := range c.tasks {
+		c.tasks[w] = make(chan crewTask, 1)
+		go c.work(w)
+	}
+	return c
+}
+
+// Workers reports the crew size.
+func (c *Crew) Workers() int { return c.workers }
+
+func (c *Crew) work(worker int) {
+	for t := range c.tasks[worker] {
+		for i := worker; i < t.n; i += t.used {
+			if !t.run(worker, i) {
+				break
+			}
+		}
+		c.acks <- struct{}{}
+	}
+}
+
+// Sweep runs jobs 0..n-1 across the crew, job i on worker i mod
+// min(workers, n). run executes one job and reports whether its worker
+// should keep going: returning false abandons that worker's remaining
+// (higher-index) jobs, the hook callers use to stop a sweep past its
+// first failure. Result collection and error ordering stay with the
+// caller, inside run. Sweep returns when every engaged worker has
+// drained or abandoned its jobs.
+func (c *Crew) Sweep(n int, run func(worker, index int) bool) {
+	if n <= 0 {
+		return
+	}
+	used := c.workers
+	if used > n {
+		used = n
+	}
+	t := crewTask{n: n, used: used, run: run}
+	for w := 0; w < used; w++ {
+		c.tasks[w] <- t
+	}
+	for w := 0; w < used; w++ {
+		<-c.acks
+	}
+}
+
+// Close releases the crew's goroutines. The crew must be idle; it must
+// not be used again.
+func (c *Crew) Close() {
+	for _, ch := range c.tasks {
+		close(ch)
+	}
+}

@@ -1,0 +1,112 @@
+package runner
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestCrewMatchesRunAssignment proves a Crew sweep executes the same
+// (worker, index) pairs as Run's static schedule, for a spread of crew
+// sizes and job counts.
+func TestCrewMatchesRunAssignment(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8} {
+		for _, n := range []int{0, 1, 2, 7, 16} {
+			c := NewCrew(workers)
+			var mu sync.Mutex
+			got := make(map[int]int, n) // index -> worker
+			c.Sweep(n, func(worker, index int) bool {
+				mu.Lock()
+				got[index] = worker
+				mu.Unlock()
+				return true
+			})
+			c.Close()
+			if len(got) != n {
+				t.Fatalf("workers=%d n=%d: ran %d jobs, want %d", workers, n, len(got), n)
+			}
+			used := workers
+			if used > n {
+				used = n
+			}
+			for i := 0; i < n; i++ {
+				if got[i] != i%used {
+					t.Errorf("workers=%d n=%d: job %d ran on worker %d, want %d",
+						workers, n, i, got[i], i%used)
+				}
+			}
+		}
+	}
+}
+
+// TestCrewReuseAcrossSweeps runs many sweeps on one crew and checks
+// every job of every pass executes exactly once.
+func TestCrewReuseAcrossSweeps(t *testing.T) {
+	c := NewCrew(4)
+	defer c.Close()
+	const n = 13
+	for pass := 0; pass < 10; pass++ {
+		var mu sync.Mutex
+		ran := make([]int, n)
+		c.Sweep(n, func(worker, index int) bool {
+			mu.Lock()
+			ran[index]++
+			mu.Unlock()
+			return true
+		})
+		for i, k := range ran {
+			if k != 1 {
+				t.Fatalf("pass %d: job %d ran %d times", pass, i, k)
+			}
+		}
+	}
+}
+
+// TestCrewEarlyStop checks a false return abandons only that worker's
+// remaining (higher-index) jobs, and the sweep still completes.
+func TestCrewEarlyStop(t *testing.T) {
+	c := NewCrew(3)
+	defer c.Close()
+	const n = 12
+	var mu sync.Mutex
+	ran := make([]bool, n)
+	c.Sweep(n, func(worker, index int) bool {
+		mu.Lock()
+		ran[index] = true
+		mu.Unlock()
+		// Worker 1 stops after its first job (index 1).
+		return worker != 1
+	})
+	for i := 0; i < n; i++ {
+		abandoned := i%3 == 1 && i > 1 // worker 1's later jobs
+		if ran[i] == abandoned {
+			t.Errorf("job %d: ran=%v, want %v", i, ran[i], !abandoned)
+		}
+	}
+}
+
+// TestCrewSweepSteadyStateAllocs proves a warm crew's Sweep allocates
+// nothing: the goroutines, channels, and task values all exist from
+// construction, so repeated passes add zero harness allocations — the
+// property that makes worker counts comparable in the suite benchmark.
+func TestCrewSweepSteadyStateAllocs(t *testing.T) {
+	c := NewCrew(4)
+	defer c.Close()
+	var counter int64
+	var mu sync.Mutex
+	run := func(worker, index int) bool {
+		mu.Lock()
+		counter++
+		mu.Unlock()
+		return true
+	}
+	c.Sweep(16, run) // warm pass
+	allocs := testing.AllocsPerRun(10, func() {
+		c.Sweep(16, run)
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state Sweep allocates %.1f objects per pass, want 0", allocs)
+	}
+	if counter == 0 {
+		t.Fatal("run never executed")
+	}
+}

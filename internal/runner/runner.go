@@ -9,24 +9,28 @@
 // one produced by the serial loop: parallelism changes wall-clock time
 // and nothing else.
 //
-// Determinism comes from two properties. First, ordered collection:
+// Determinism comes from three properties. First, ordered collection:
 // results land in a slice indexed by submission position, and the
 // first error by submission order wins, regardless of which worker
 // finished when. Second, worker-isolated state: a job receives the
 // worker index it runs on, so callers can give each worker its own
 // engine clone and rely on never sharing mutable simulation state
-// between two in-flight jobs.
+// between two in-flight jobs. Third, static assignment: job i always
+// runs on worker i mod workers, so the schedule itself is reproducible
+// — a reused worker engine sees the same sweep points on every pass,
+// which is what lets its arenas, pools, and calendars reach a
+// resettable high-water shape and then regrow nothing.
 package runner
 
 import "sync"
 
 // Run executes jobs 0..n-1 on at most workers concurrent goroutines
-// and returns their results in submission order. Each invocation
-// receives the worker index (0..workers-1) it is running on and the job
-// index; all jobs executing a given worker index run sequentially, so
-// per-worker state needs no locking. With workers <= 1 (or n <= 1)
-// every job runs inline on the calling goroutine as worker 0 — the
-// serial path, with no goroutines spawned.
+// and returns their results in submission order. Job i runs on worker
+// i mod workers; each invocation receives that worker index
+// (0..workers-1) and the job index, and all jobs on a given worker
+// index run sequentially, so per-worker state needs no locking. With
+// workers <= 1 (or n <= 1) every job runs inline on the calling
+// goroutine as worker 0 — the serial path, with no goroutines spawned.
 //
 // If any job returns an error, Run reports the error of the smallest
 // failing job index — the same error the serial loop would have
@@ -53,35 +57,35 @@ func Run[T any](workers, n int, job func(worker, index int) (T, error)) ([]T, er
 
 	var (
 		mu     sync.Mutex
-		next   int
 		errs   = make([]error, n)
-		failed bool
+		minErr = n // smallest failing job index recorded so far
 		wg     sync.WaitGroup
 	)
-	take := func() (int, bool) {
+	// A worker walks its indexes in ascending order, so once one is
+	// past the smallest recorded failure the rest of its jobs can be
+	// abandoned — but jobs below that index must still run, because one
+	// of them may fail at a smaller index and is the error the serial
+	// loop would have stopped on.
+	pastFailure := func(i int) bool {
 		mu.Lock()
 		defer mu.Unlock()
-		if failed || next >= n {
-			return 0, false
-		}
-		i := next
-		next++
-		return i, true
+		return i > minErr
 	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(worker int) {
 			defer wg.Done()
-			for {
-				i, ok := take()
-				if !ok {
+			for i := worker; i < n; i += workers {
+				if pastFailure(i) {
 					return
 				}
 				r, err := job(worker, i)
 				if err != nil {
 					mu.Lock()
 					errs[i] = err
-					failed = true
+					if i < minErr {
+						minErr = i
+					}
 					mu.Unlock()
 					continue
 				}
@@ -90,10 +94,8 @@ func Run[T any](workers, n int, job func(worker, index int) (T, error)) ([]T, er
 		}(w)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	if minErr < n {
+		return nil, errs[minErr]
 	}
 	return results, nil
 }

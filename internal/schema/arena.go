@@ -14,6 +14,12 @@ type TupleArena struct {
 	bytes []byte
 	ints  []int64
 	bools []bool
+	// Carves landing in abandoned slabs, accumulated at growth time.
+	// Reset adds the live slab's length to recover the cycle's total
+	// demand and right-sizes the retained slab to it, so a reused
+	// arena reaches zero-allocation steady state after one cycle
+	// instead of re-laddering through doubling slabs.
+	valsLost, bytesLost, intsLost, boolsLost int
 }
 
 const (
@@ -21,10 +27,66 @@ const (
 	arenaByteChunk = 16384
 )
 
+// Reset discards every carve while retaining one slab of each kind,
+// sized to the whole cycle's demand: when carves spilled across
+// doubling slabs, the retained slab is replaced by a single one big
+// enough for everything the cycle used, so the next cycle allocates
+// nothing instead of re-laddering. Carve methods rely on slab memory
+// being zero, so retained live prefixes are cleared (fresh slabs are
+// born zero); the byte slab is exempt because cloned bytes are always
+// fully overwritten. Clearing vals also drops Bytes pointers so the
+// old backing arrays can be collected.
+//
+// Tuples carved before Reset are invalidated: the next carves reuse
+// their memory.
+func (a *TupleArena) Reset() {
+	if d := a.valsLost + len(a.vals); cap(a.vals) < d {
+		a.vals = make([]Value, 0, d)
+	} else {
+		clear(a.vals)
+		a.vals = a.vals[:0]
+	}
+	if d := a.bytesLost + len(a.bytes); cap(a.bytes) < d {
+		a.bytes = make([]byte, 0, d)
+	} else {
+		a.bytes = a.bytes[:0]
+	}
+	if d := a.intsLost + len(a.ints); cap(a.ints) < d {
+		a.ints = make([]int64, 0, d)
+	} else {
+		clear(a.ints)
+		a.ints = a.ints[:0]
+	}
+	if d := a.boolsLost + len(a.bools); cap(a.bools) < d {
+		a.bools = make([]bool, 0, d)
+	} else {
+		clear(a.bools)
+		a.bools = a.bools[:0]
+	}
+	a.valsLost, a.bytesLost, a.intsLost, a.boolsLost = 0, 0, 0, 0
+}
+
+// Reserve ensures capacity for vals value slots and bytes slab bytes
+// ahead of a build whose demand is known (a hash-join build side of a
+// known cardinality), replacing the doubling ladder with one
+// right-sized slab. Reserving on a warm arena whose retained slab
+// already fits is free. Zero arguments are ignored.
+func (a *TupleArena) Reserve(vals, bytes int) {
+	if vals > 0 && cap(a.vals)-len(a.vals) < vals {
+		a.valsLost += len(a.vals)
+		a.vals = make([]Value, 0, max(arenaValChunk, vals))
+	}
+	if bytes > 0 && cap(a.bytes)-len(a.bytes) < bytes {
+		a.bytesLost += len(a.bytes)
+		a.bytes = make([]byte, 0, max(arenaByteChunk, bytes))
+	}
+}
+
 // Clone deep-copies t (Char bytes included) into the arena.
 func (a *TupleArena) Clone(t Tuple) Tuple {
 	if cap(a.vals)-len(a.vals) < len(t) {
-		a.vals = make([]Value, 0, max(arenaValChunk, len(t)))
+		a.valsLost += len(a.vals)
+		a.vals = make([]Value, 0, max(arenaValChunk, len(t), 2*cap(a.vals)))
 	}
 	n := len(a.vals)
 	out := a.vals[n : n+len(t) : n+len(t)]
@@ -43,7 +105,8 @@ func (a *TupleArena) CloneBytes(b []byte) []byte { return a.cloneBytes(b) }
 
 func (a *TupleArena) cloneBytes(b []byte) []byte {
 	if cap(a.bytes)-len(a.bytes) < len(b) {
-		a.bytes = make([]byte, 0, max(arenaByteChunk, len(b)))
+		a.bytesLost += len(a.bytes)
+		a.bytes = make([]byte, 0, max(arenaByteChunk, len(b), 2*cap(a.bytes)))
 	}
 	n := len(a.bytes)
 	out := a.bytes[n : n+len(b) : n+len(b)]
@@ -55,7 +118,8 @@ func (a *TupleArena) cloneBytes(b []byte) []byte {
 // Ints carves a zeroed int64 slice (aggregate accumulators).
 func (a *TupleArena) Ints(n int) []int64 {
 	if cap(a.ints)-len(a.ints) < n {
-		a.ints = make([]int64, 0, max(arenaValChunk, n))
+		a.intsLost += len(a.ints)
+		a.ints = make([]int64, 0, max(arenaValChunk, n, 2*cap(a.ints)))
 	}
 	ln := len(a.ints)
 	out := a.ints[ln : ln+n : ln+n]
@@ -66,7 +130,8 @@ func (a *TupleArena) Ints(n int) []int64 {
 // Bools carves a zeroed bool slice (aggregate seen flags).
 func (a *TupleArena) Bools(n int) []bool {
 	if cap(a.bools)-len(a.bools) < n {
-		a.bools = make([]bool, 0, max(arenaValChunk, n))
+		a.boolsLost += len(a.bools)
+		a.bools = make([]bool, 0, max(arenaValChunk, n, 2*cap(a.bools)))
 	}
 	ln := len(a.bools)
 	out := a.bools[ln : ln+n : ln+n]
@@ -74,11 +139,13 @@ func (a *TupleArena) Bools(n int) []bool {
 	return out
 }
 
-// Tuple carves a zero-valued tuple of n values. Every carve is from
-// fresh, never-recycled slab memory, so the region is already zero.
+// Tuple carves a zero-valued tuple of n values. Slab memory is zero by
+// construction: fresh slabs start zeroed and Reset re-zeroes the used
+// prefix before any reuse.
 func (a *TupleArena) Tuple(n int) Tuple {
 	if cap(a.vals)-len(a.vals) < n {
-		a.vals = make([]Value, 0, max(arenaValChunk, n))
+		a.valsLost += len(a.vals)
+		a.vals = make([]Value, 0, max(arenaValChunk, n, 2*cap(a.vals)))
 	}
 	ln := len(a.vals)
 	out := a.vals[ln : ln+n : ln+n]

@@ -1,0 +1,126 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// equalState fatals unless a and b have identical counters and lane
+// calendars — the full observable state of a server.
+func equalState(t *testing.T, seed int64, a, b *Server) {
+	t.Helper()
+	if a.busy != b.busy || a.wait != b.wait || a.served != b.served ||
+		a.ops != b.ops || a.maxWait != b.maxWait {
+		t.Fatalf("seed %d: counters diverged:\n got busy=%v wait=%v served=%d ops=%d maxWait=%v\nwant busy=%v wait=%v served=%d ops=%d maxWait=%v",
+			seed, a.busy, a.wait, a.served, a.ops, a.maxWait,
+			b.busy, b.wait, b.served, b.ops, b.maxWait)
+	}
+	if len(a.lanes) != len(b.lanes) {
+		t.Fatalf("seed %d: lane counts differ", seed)
+	}
+	for i := range a.lanes {
+		ai, bi := a.lanes[i].ivs, b.lanes[i].ivs
+		if len(ai) != len(bi) {
+			t.Fatalf("seed %d: lane %d interval counts %d vs %d\n%v\nvs\n%v",
+				seed, i, len(ai), len(bi), ai, bi)
+		}
+		for k := range ai {
+			if ai[k] != bi[k] {
+				t.Fatalf("seed %d: lane %d interval %d: %v vs %v", seed, i, k, ai[k], bi[k])
+			}
+		}
+	}
+}
+
+// TestServeRunEquivalence pins the contract ServeRun is built on: for
+// any prior calendar state, ServeRun(ready, n, k) leaves the server in
+// exactly the state k sequential Serve(ready, n) calls would, and
+// returns their maximum completion time. Randomized pre-seeding drives
+// both the closed-form fast path (all lanes idle by ready) and the
+// literal fallback (in-flight work past ready).
+func TestServeRunEquivalence(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		lanes := 1 + rng.Intn(9)
+		rate := MBps(1 + rng.Float64()*1999)
+		batched := NewMultiServer("batched", rate, lanes)
+		serial := NewMultiServer("serial", rate, lanes)
+
+		// Pre-seed both servers with an identical random workload so
+		// ServeRun starts from a non-trivial calendar about half the time.
+		pre := rng.Intn(40)
+		ready := time.Duration(0)
+		for i := 0; i < pre; i++ {
+			ready += time.Duration(rng.Int63n(int64(300 * time.Microsecond)))
+			units := 1 + rng.Int63n(2*MB)
+			batched.Serve(ready, units)
+			serial.Serve(ready, units)
+		}
+
+		// A run of identical requests: sometimes ready before the backlog
+		// drains (fallback), sometimes after (closed form), sometimes
+		// zero-length (no reservation).
+		switch rng.Intn(3) {
+		case 0:
+			ready += time.Duration(rng.Int63n(int64(100 * time.Microsecond)))
+		case 1:
+			ready = batched.Horizon() + time.Duration(rng.Int63n(int64(time.Millisecond)))
+		default:
+			ready = batched.Horizon()
+		}
+		k := 1 + rng.Intn(500)
+		units := rng.Int63n(256 * 1024)
+		if rng.Intn(8) == 0 {
+			units = 0
+		}
+
+		got := batched.ServeRun(ready, units, k)
+		var want time.Duration
+		for i := 0; i < k; i++ {
+			if done := serial.Serve(ready, units); done > want {
+				want = done
+			}
+		}
+		if got != want {
+			t.Fatalf("seed %d: ServeRun(%v, %d, %d) = %v, k serves max = %v",
+				seed, ready, units, k, got, want)
+		}
+		equalState(t, seed, batched, serial)
+
+		// The calendars must also behave identically afterwards: a probe
+		// request ready mid-run must fill the same gap on both.
+		probeReady := ready / 2
+		probeUnits := int64(1 + rng.Intn(64*1024))
+		if a, b := batched.Serve(probeReady, probeUnits), serial.Serve(probeReady, probeUnits); a != b {
+			t.Fatalf("seed %d: post-run probe diverged: %v vs %v", seed, a, b)
+		}
+		equalState(t, seed, batched, serial)
+	}
+}
+
+// TestServeRunTracedFallback pins that an installed tracer forces the
+// per-request path: event streams from ServeRun and from k Serves are
+// identical, so traced runs stay byte-identical to untraced timing.
+func TestServeRunTracedFallback(t *testing.T) {
+	rate := MBps(500)
+	batched := NewMultiServer("batched", rate, 3)
+	serial := NewMultiServer("serial", rate, 3)
+	var be, se []TraceEvent
+	batched.SetTracer(func(ev TraceEvent) { ev.Server = ""; be = append(be, ev) })
+	serial.SetTracer(func(ev TraceEvent) { ev.Server = ""; se = append(se, ev) })
+
+	batched.ServeRun(time.Millisecond, 4096, 7)
+	for i := 0; i < 7; i++ {
+		serial.Serve(time.Millisecond, 4096)
+	}
+	if len(be) != 7 || len(se) != 7 {
+		t.Fatalf("event counts: %d vs %d, want 7", len(be), len(se))
+	}
+	for i := range be {
+		if be[i] != se[i] {
+			t.Fatalf("event %d: %+v vs %+v", i, be[i], se[i])
+		}
+	}
+	equalState(t, 0, batched, serial)
+}

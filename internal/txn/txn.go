@@ -152,7 +152,10 @@ func (t *Txn) committedPage(tab Table, idx int64) ([]byte, error) {
 			if err != nil {
 				return nil, err
 			}
-			if err := tab.Pool.Put(lba, devData); err != nil {
+			// Borrow the device's immutable page buffer: this is a
+			// clean cache fill, and a later commit publish replaces
+			// the borrowed reference with an owned dirty copy.
+			if err := tab.Pool.PutBorrowed(lba, devData); err != nil {
 				return nil, fmt.Errorf("txn: pool full: %w", err)
 			}
 			data, _ = tab.Pool.Get(lba)

@@ -11,7 +11,12 @@ out="${1:-BENCH_baseline.json}"
 benchtime="${BENCHTIME:-2x}"
 # Pre-optimization allocs/op, for the record: the arena + boxing work cut
 # host Q6 from 80055, device Q6 from 68465, host Q14 from 119489.
-BENCH_NOTES="${BENCH_NOTES:-pre-arena allocs/op: host Q6 80055, device Q6 68465, host Q14 119489; suite speedup is meaningful on 4+ cores only}"
+# The suite benchmark measures steady state: bases loaded and workers
+# cloned once, two unmeasured warm-up passes, then timed passes that
+# reuse warm workers via Engine.ResetForRun on a static schedule (job i
+# on worker i mod workers), so par_1 and par_N run identical per-pass
+# work. Before clone reuse, par_4 carried 979 MB/op vs par_1's 654.
+BENCH_NOTES="${BENCH_NOTES:-steady-state passes on warm reused workers; pre-arena allocs/op: host Q6 80055, device Q6 68465, host Q14 119489; pre-reuse suite B/op: par_1 654427408, par_4 979279584; suite speedup is meaningful on 4+ cores only}"
 export BENCH_NOTES
 
 go test -run '^$' \
