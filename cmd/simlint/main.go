@@ -1,24 +1,34 @@
-// Simlint statically enforces the simulator's determinism and
-// fault-handling contracts. It runs five analyzers over the module —
-// walltime, seededrand, maporder, sentinelcmp, tracehook — and exits
-// non-zero if any diagnostic survives suppression, which is how CI
-// keeps the golden artifact tests (fig3/5/7, table2/3) honest.
+// Simlint statically enforces the simulator's determinism,
+// fault-handling, and concurrency contracts. It runs nine analyzers
+// over the module — walltime, seededrand, maporder, sentinelcmp,
+// tracehook, chargeconservation, lockorder, goroutineowner,
+// cloneshared — and exits non-zero if any diagnostic survives
+// suppression, which is how CI keeps the golden artifact tests
+// (fig3/5/7, table2/3) and the concurrent executor honest.
 //
 // Usage:
 //
-//	simlint [-list] [-only walltime,maporder] [packages]
+//	simlint [-list] [-json] [-stale] [-only walltime,maporder] [packages]
 //
-// With no packages it checks ./... . Individual findings are
-// suppressed in source with a directive on (or directly above) the
-// offending line:
+// With no packages it checks ./... . -json emits findings as a JSON
+// array (one object per finding: analyzer, file, line, col, message)
+// for toolchain consumption; the GitHub Actions problem matcher in
+// .github/simlint-problem-matcher.json parses the default text form.
+// -stale additionally fails the run if any //lint:allow directive
+// names an analyzer that ran but suppressed nothing — dead
+// suppressions that would mask a future regression.
+//
+// Individual findings are suppressed in source with a directive on
+// (or directly above) the offending line:
 //
 //	start := time.Now() //lint:allow walltime — user-facing wall time
 //
-// See DESIGN.md, "Determinism contract", for what each analyzer
-// enforces and why.
+// See DESIGN.md, "Determinism contract" and "Concurrency & accounting
+// contract", for what each analyzer enforces and why.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -29,15 +39,26 @@ import (
 	"smartssd/internal/analysis/framework"
 )
 
+// jsonFinding is the stable -json wire shape.
+type jsonFinding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
 func main() {
 	list := flag.Bool("list", false, "list analyzers and exit")
+	asJSON := flag.Bool("json", false, "emit findings as a JSON array instead of text")
+	stale := flag.Bool("stale", false, "also fail on //lint:allow directives that suppress nothing")
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
 	flag.Parse()
 
 	suite := analysis.All()
 	if *list {
 		for _, a := range suite {
-			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-18s %s\n", a.Name, a.Doc)
 		}
 		return
 	}
@@ -72,16 +93,48 @@ func main() {
 		fmt.Fprintln(os.Stderr, "simlint:", err)
 		os.Exit(2)
 	}
-	findings, err := framework.RunAnalyzers(pkgs, suite)
+	res, err := framework.RunSuite(pkgs, suite)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "simlint:", err)
 		os.Exit(2)
 	}
-	for _, f := range findings {
-		fmt.Println(f)
+
+	if *asJSON {
+		out := make([]jsonFinding, 0, len(res.Findings))
+		for _, f := range res.Findings {
+			out = append(out, jsonFinding{
+				Analyzer: f.Analyzer,
+				File:     f.Pos.Filename,
+				Line:     f.Pos.Line,
+				Col:      f.Pos.Column,
+				Message:  f.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "simlint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range res.Findings {
+			fmt.Println(f)
+		}
 	}
-	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "simlint: %d finding(s)\n", len(findings))
+
+	failed := false
+	if len(res.Findings) > 0 {
+		fmt.Fprintf(os.Stderr, "simlint: %d finding(s)\n", len(res.Findings))
+		failed = true
+	}
+	if *stale && len(res.Stale) > 0 {
+		for _, d := range res.Stale {
+			fmt.Fprintf(os.Stderr, "%s: stale //lint:allow %s (suppressed nothing)\n", d.Pos, d.Analyzer)
+		}
+		fmt.Fprintf(os.Stderr, "simlint: %d stale suppression(s)\n", len(res.Stale))
+		failed = true
+	}
+	if failed {
 		os.Exit(1)
 	}
 }

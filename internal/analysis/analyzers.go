@@ -2,10 +2,12 @@ package analysis
 
 import "smartssd/internal/analysis/framework"
 
-// All returns the full simlint suite in stable order. These five
-// checks are the machine-enforced half of the determinism contract in
-// DESIGN.md; the determinism smoke test (TestQ6DeviceRunDeterminism)
-// is the dynamic half.
+// All returns the full simlint suite in stable order: the five
+// per-package determinism checks, then the four interprocedural
+// concurrency/accounting checks built on the call graph. These are
+// the machine-enforced half of the contract in DESIGN.md; the
+// determinism smoke test (TestQ6DeviceRunDeterminism) is the dynamic
+// half.
 func All() []*framework.Analyzer {
 	return []*framework.Analyzer{
 		Walltime,
@@ -13,5 +15,9 @@ func All() []*framework.Analyzer {
 		Maporder,
 		Sentinelcmp,
 		Tracehook,
+		Chargeconservation,
+		Lockorder,
+		Goroutineowner,
+		Cloneshared,
 	}
 }

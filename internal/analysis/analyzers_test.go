@@ -2,6 +2,7 @@ package analysis_test
 
 import (
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"smartssd/internal/analysis"
@@ -29,10 +30,13 @@ func TestAnalyzerFixtures(t *testing.T) {
 }
 
 // TestSuiteNames pins the analyzer set: CI and the DESIGN.md contract
-// reference these five names, and //lint:allow directives embed them
+// reference these nine names, and //lint:allow directives embed them
 // in source, so renames are breaking changes.
 func TestSuiteNames(t *testing.T) {
-	want := []string{"walltime", "seededrand", "maporder", "sentinelcmp", "tracehook"}
+	want := []string{
+		"walltime", "seededrand", "maporder", "sentinelcmp", "tracehook",
+		"chargeconservation", "lockorder", "goroutineowner", "cloneshared",
+	}
 	suite := analysis.All()
 	if len(suite) != len(want) {
 		t.Fatalf("suite has %d analyzers, want %d", len(suite), len(want))
@@ -44,6 +48,55 @@ func TestSuiteNames(t *testing.T) {
 		if a.Doc == "" {
 			t.Errorf("analyzer %q has no Doc", a.Name)
 		}
+	}
+}
+
+// TestNoStaleSuppressions audits every //lint:allow directive in the
+// module: each must name an analyzer the suite actually runs, and each
+// must have suppressed at least one diagnostic this run. A directive
+// that suppresses nothing is dead weight that would silently mask the
+// next real regression at that site, so this test fails until it is
+// deleted (the same check CI runs via simlint -stale).
+func TestNoStaleSuppressions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	pkgs, err := framework.Load(filepath.Join("..", ".."), "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	res, err := framework.RunSuite(pkgs, analysis.All())
+	if err != nil {
+		t.Fatalf("running suite: %v", err)
+	}
+
+	known := make(map[string]bool)
+	for _, a := range analysis.All() {
+		known[a.Name] = true
+	}
+	for _, d := range res.Directives {
+		if !known[d.Analyzer] {
+			t.Errorf("%s: //lint:allow names unknown analyzer %q", d.Pos, d.Analyzer)
+		}
+	}
+	for _, d := range res.Stale {
+		t.Errorf("%s: stale //lint:allow %s — suppresses nothing, delete it", d.Pos, d.Analyzer)
+	}
+
+	// The queryrun wall-time report is the oldest suppression in the
+	// tree; if the loader or directive parser regresses it shows up
+	// here first, as a directive that is missing or no longer Used.
+	var queryrunWalltime int
+	for _, d := range res.Directives {
+		if d.Analyzer == "walltime" && strings.Contains(d.Pos.Filename, filepath.Join("cmd", "queryrun")) {
+			if !d.Used {
+				t.Errorf("%s: queryrun walltime allow is no longer exercised", d.Pos)
+			}
+			queryrunWalltime++
+		}
+	}
+	if queryrunWalltime == 0 {
+		t.Error("queryrun walltime allow directives not seen by the audit")
 	}
 }
 

@@ -1,0 +1,91 @@
+// Chargeconservation: every data-path read of NAND pages or FTL
+// mappings must charge simulated cycles through a *sim.Server.
+//
+// The simulator's crossover results are only as honest as its
+// accounting: a code path that returns correct bytes but reserves no
+// busy time on any lane calendar silently shifts every chart. That is
+// exactly the bug class the batched ServeRun fast path made possible —
+// a "fast path" that skips the per-item Serve loop is fine only while
+// it still books the same busy intervals.
+//
+// The invariant, interprocedurally: take every entry point of the
+// executor/device data path (core.Engine / core.Cluster Run* and
+// Update* methods, exported device.Runtime methods, exported exec
+// functions). Any function reachable from one of those that directly
+// reads the storage medium — nand.Array.Read, ftl.FTL.Read,
+// ftl.FTL.Lookup — must have a sim.Server charge (Serve,
+// ServeWithSetup, or ServeRun) somewhere in its own call closure. The
+// nand and ftl packages themselves are exempt: the medium is untimed
+// by design, and the controller (internal/ssd) does the charging.
+//
+// Intentionally uncharged reads — metadata predicates like
+// ssd.Device.Mapped, whose mapping-table probe models controller
+// bookkeeping rather than data traffic — carry a justified
+// //lint:allow chargeconservation.
+
+package analysis
+
+import (
+	"strings"
+
+	"smartssd/internal/analysis/framework"
+)
+
+// Chargeconservation reports data-path NAND/FTL reads whose function
+// has no reachable sim.Server charge.
+var Chargeconservation = &framework.Analyzer{
+	Name: "chargeconservation",
+	Doc:  "data-path NAND/FTL reads must charge cycles through sim.Server Serve/ServeWithSetup/ServeRun",
+	RunModule: func(pass *framework.ModulePass) error {
+		g := pass.Graph
+
+		// Entry points of the data path.
+		isRoot := func(n *framework.CallNode) bool {
+			fn := n.Fn
+			switch fnPkgName(fn) {
+			case "core":
+				recv := fnRecvName(fn)
+				return (recv == "Engine" || recv == "Cluster") &&
+					(strings.HasPrefix(fn.Name(), "Run") || strings.HasPrefix(fn.Name(), "Update"))
+			case "device":
+				return fnRecvName(fn) == "Runtime" && fn.Exported()
+			case "exec":
+				return fn.Exported()
+			}
+			return false
+		}
+		var roots []*framework.CallNode
+		for _, n := range g.Nodes() {
+			if isRoot(n) {
+				roots = append(roots, n)
+			}
+		}
+		onDataPath := g.Reachable(roots)
+
+		// charges[n]: n's call closure (n included) books busy time on
+		// a sim.Server.
+		charges := g.CallersOf(func(n *framework.CallNode) bool {
+			return matchFn(n.Fn, "sim", "Server", "Serve", "ServeWithSetup", "ServeRun")
+		})
+
+		for _, n := range g.Nodes() {
+			switch fnPkgName(n.Fn) {
+			case "nand", "ftl", "sim":
+				// The medium is untimed by design; sim is the meter.
+				continue
+			}
+			if !onDataPath[n] || charges[n] {
+				continue
+			}
+			for _, e := range n.Out {
+				fn := e.Callee.Fn
+				if matchFn(fn, "ftl", "FTL", "Read", "Lookup") || matchFn(fn, "nand", "Array", "Read") {
+					pass.Reportf(e.Pos,
+						"%s reads %s.%s.%s on the executor/device data path but charges no sim.Server cycles (no Serve/ServeWithSetup/ServeRun in its call closure)",
+						n.Fn.Name(), fnPkgName(fn), fnRecvName(fn), fn.Name())
+				}
+			}
+		}
+		return nil
+	},
+}

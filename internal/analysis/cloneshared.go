@@ -1,0 +1,269 @@
+// Cloneshared: never write through a page buffer the device shares
+// across engine clones.
+//
+// Engine.Clone shares stored NAND and HDD page buffers between clones
+// (the outer slices are copy-on-write; the page payloads are not), and
+// since the borrowed-frame optimization, bufpool.Pool adopts those
+// same immutable buffers directly into its frames. A write through any
+// alias of such a buffer therefore corrupts *every* clone's flash —
+// and bypasses the two sanctioned mutation paths, ResetForRun (which
+// rebuilds state wholesale) and txn staging (which works on private
+// page copies).
+//
+// The analyzer taints, per function, every local bound to a buffer
+// returned by the storage layer — nand.Array.Read, ftl.FTL.Read,
+// bufpool.Pool.Get — including aliases made by slicing and indexing,
+// then flags element writes (buf[i] = x), copy(buf, ...), and
+// append(buf, ...) whose destination is tainted. Functions that return
+// a tainted buffer become sources themselves (so ssd.Device.FetchPage,
+// ReadPage, and interface calls that may dispatch to them taint their
+// callers too, fixpointed over the call graph; interface dispatch uses
+// the call graph's dynamic edges). Reassigning a local to a fresh copy
+// — out := append([]byte(nil), buf...) — clears its taint: that is the
+// sanctioned copy-out idiom.
+//
+// The nand, ftl, and bufpool packages themselves are exempt: they own
+// the buffers and encode the borrow/own distinction (Pool.own) the
+// rest of the module must respect.
+
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"smartssd/internal/analysis/framework"
+)
+
+// Cloneshared reports writes through buffers shared across engine
+// clones.
+var Cloneshared = &framework.Analyzer{
+	Name:      "cloneshared",
+	Doc:       "no writes through device page buffers shared across Engine clones (nand/ftl reads, bufpool borrowed frames)",
+	RunModule: runCloneshared,
+}
+
+func runCloneshared(pass *framework.ModulePass) error {
+	g := pass.Graph
+
+	// sources: functions returning a shared buffer, by result slot.
+	// Seeded with the storage layer, grown to a fixpoint with
+	// functions that return a tainted value.
+	isBase := func(fn *types.Func) bool {
+		return matchFn(fn, "nand", "Array", "Read") ||
+			matchFn(fn, "ftl", "FTL", "Read") ||
+			matchFn(fn, "bufpool", "Pool", "Get")
+	}
+	sources := make(map[*types.Func]map[int]bool)
+	sourceSlots := func(fn *types.Func) map[int]bool {
+		if fn == nil {
+			return nil
+		}
+		if isBase(fn) {
+			return map[int]bool{0: true}
+		}
+		return sources[fn]
+	}
+
+	exempt := func(n *framework.CallNode) bool {
+		switch fnPkgName(n.Fn) {
+		case "nand", "ftl", "bufpool":
+			return true
+		}
+		return false
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, n := range g.Nodes() {
+			if exempt(n) {
+				continue
+			}
+			rets := analyzeTaint(n, sourceSlots, nil)
+			for slot := range rets {
+				if sources[n.Fn] == nil {
+					sources[n.Fn] = make(map[int]bool)
+				}
+				if !sources[n.Fn][slot] {
+					sources[n.Fn][slot] = true
+					changed = true
+				}
+			}
+		}
+	}
+
+	for _, n := range g.Nodes() {
+		if exempt(n) {
+			continue
+		}
+		analyzeTaint(n, sourceSlots, pass)
+	}
+	return nil
+}
+
+// analyzeTaint walks one function, tracking locals bound to shared
+// buffers. It returns the set of result slots through which the
+// function returns a tainted buffer. When pass is non-nil, writes
+// through tainted buffers are reported.
+func analyzeTaint(n *framework.CallNode, sourceSlots func(*types.Func) map[int]bool, pass *framework.ModulePass) map[int]bool {
+	info := n.Pkg.Info
+	defs := localDefs(info, n.Decl.Body)
+	tainted := make(map[types.Object]string) // local -> source description
+
+	// callSlots resolves the tainted result slots of a call: the
+	// static callee's, or the union over dynamic candidates from the
+	// call graph's edges at this position.
+	callSlots := func(call *ast.CallExpr) (map[int]bool, string) {
+		fn := framework.CalleeOf(info, call)
+		if fn == nil {
+			return nil, ""
+		}
+		if slots := sourceSlots(fn); slots != nil {
+			return slots, fnDesc(fn)
+		}
+		// Interface dispatch: any candidate implementation tainting a
+		// slot taints the call.
+		var union map[int]bool
+		desc := ""
+		for _, e := range n.Out {
+			if e.Pos != call.Pos() || !e.Dynamic {
+				continue
+			}
+			for slot := range sourceSlots(e.Callee.Fn) {
+				if union == nil {
+					union = make(map[int]bool)
+					desc = fnDesc(e.Callee.Fn)
+				}
+				union[slot] = true
+			}
+		}
+		return union, desc
+	}
+
+	// taintOf reports whether e evaluates to a tainted buffer (an
+	// alias of a tracked local, or directly a source call).
+	taintOf := func(e ast.Expr) (string, bool) {
+		e = ast.Unparen(e)
+		if call, ok := e.(*ast.CallExpr); ok {
+			if slots, desc := callSlots(call); slots[0] {
+				return desc, true
+			}
+			return "", false
+		}
+		if root := storageRoot(info, defs, e); root != nil {
+			if desc, ok := tainted[root]; ok {
+				return desc, true
+			}
+		}
+		return "", false
+	}
+
+	report := func(pos token.Pos, verb, desc string) {
+		if pass != nil {
+			pass.Reportf(pos,
+				"%s a device page buffer obtained from %s, which is shared across Engine clones; copy it first (append([]byte(nil), buf...)) or stage the write through txn/ResetForRun",
+				verb, desc)
+		}
+	}
+
+	rets := make(map[int]bool)
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		switch st := node.(type) {
+		case *ast.AssignStmt:
+			// Writes through tainted destinations: buf[i] = x.
+			for _, lhs := range st.Lhs {
+				if idx, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+					if root := storageRoot(info, defs, idx.X); root != nil {
+						if desc, ok := tainted[root]; ok {
+							report(lhs.Pos(), "writes into", desc)
+						}
+					}
+				}
+			}
+			// Taint propagation and clearing, positionally.
+			if len(st.Lhs) == len(st.Rhs) {
+				for i := range st.Lhs {
+					id, ok := ast.Unparen(st.Lhs[i]).(*ast.Ident)
+					if !ok {
+						continue
+					}
+					obj := info.Defs[id]
+					if obj == nil {
+						obj = info.Uses[id]
+					}
+					v, ok := obj.(*types.Var)
+					if !ok {
+						continue
+					}
+					if desc, isTainted := taintOf(st.Rhs[i]); isTainted {
+						tainted[v] = desc
+					} else {
+						delete(tainted, v)
+					}
+				}
+			} else if len(st.Rhs) == 1 {
+				// Multi-value: data, t, err := dev.FetchPage(...).
+				if call, ok := ast.Unparen(st.Rhs[0]).(*ast.CallExpr); ok {
+					slots, desc := callSlots(call)
+					for i := range st.Lhs {
+						id, ok := ast.Unparen(st.Lhs[i]).(*ast.Ident)
+						if !ok {
+							continue
+						}
+						obj := info.Defs[id]
+						if obj == nil {
+							obj = info.Uses[id]
+						}
+						v, ok := obj.(*types.Var)
+						if !ok {
+							continue
+						}
+						if slots[i] {
+							tainted[v] = desc
+						} else {
+							delete(tainted, v)
+						}
+					}
+				}
+			}
+		case *ast.CallExpr:
+			// copy(buf, ...) and append(buf, ...) with tainted
+			// destination write through the shared backing array.
+			id, ok := ast.Unparen(st.Fun).(*ast.Ident)
+			if !ok || len(st.Args) == 0 {
+				return true
+			}
+			if _, isBuiltin := info.Uses[id].(*types.Builtin); !isBuiltin {
+				return true
+			}
+			if id.Name != "copy" && id.Name != "append" {
+				return true
+			}
+			if root := storageRoot(info, defs, st.Args[0]); root != nil {
+				if desc, ok := tainted[root]; ok {
+					verb := "copies into"
+					if id.Name == "append" {
+						verb = "appends into"
+					}
+					report(st.Args[0].Pos(), verb, desc)
+				}
+			}
+		case *ast.ReturnStmt:
+			for i, res := range st.Results {
+				if _, ok := taintOf(res); ok {
+					rets[i] = true
+				}
+			}
+		}
+		return true
+	})
+	return rets
+}
+
+func fnDesc(fn *types.Func) string {
+	if recv := fnRecvName(fn); recv != "" {
+		return fnPkgName(fn) + "." + recv + "." + fn.Name()
+	}
+	return fnPkgName(fn) + "." + fn.Name()
+}

@@ -1,0 +1,259 @@
+// Call graph: a lightweight who-calls-whom index over the loaded
+// module packages, the substrate for the interprocedural analyzers
+// (chargeconservation, lockorder, goroutineowner, cloneshared).
+//
+// The graph is deliberately cheap rather than sound-and-complete:
+//
+//   - One node per function or method *declaration* in the loaded
+//     packages. Function literals are attributed to their enclosing
+//     declaration — a call made inside a closure counts as a call made
+//     by the function that wrote the closure, which is the right
+//     granularity for "does this path charge cycles" questions.
+//   - Static edges where the callee identifier resolves to a module
+//     function via go/types.
+//   - Dynamic edges for calls through interface methods: one edge to
+//     every module method with the same name whose receiver type
+//     implements the interface. That over-approximates dispatch, which
+//     is the safe direction for reachability questions.
+//   - Calls through function-typed variables, fields, and parameters
+//     produce no edges. Analyzers built on the graph must tolerate
+//     that under-approximation (and the repo's hot paths are direct
+//     calls, so in practice little is lost).
+//
+// All iteration orders are deterministic: nodes sort by file position,
+// edges append in AST walk order, so analyzer output is stable across
+// runs — the same contract the rest of the suite enforces dynamically.
+package framework
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// A CallNode is one declared function or method in the loaded packages.
+type CallNode struct {
+	Fn   *types.Func
+	Decl *ast.FuncDecl
+	Pkg  *Package
+	// Out and In are the edges leaving and entering this node, in
+	// deterministic (AST walk) order.
+	Out []*CallEdge
+	In  []*CallEdge
+}
+
+// A CallEdge is one call site resolved to a possible callee.
+type CallEdge struct {
+	Caller *CallNode
+	Callee *CallNode
+	// Pos is the position of the call expression.
+	Pos token.Pos
+	// Dynamic marks an edge added for interface dispatch: the call
+	// names an interface method and Callee is one concrete method that
+	// may satisfy it.
+	Dynamic bool
+}
+
+// A CallGraph indexes the call structure of a set of packages.
+type CallGraph struct {
+	nodes  map[*types.Func]*CallNode
+	sorted []*CallNode
+}
+
+// BuildCallGraph constructs the call graph of pkgs. All packages must
+// share one *token.FileSet (true for Load and LoadTree results).
+func BuildCallGraph(pkgs []*Package) *CallGraph {
+	g := &CallGraph{nodes: make(map[*types.Func]*CallNode)}
+
+	// Pass 1: one node per declaration, in load order (deterministic).
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				n := &CallNode{Fn: obj, Decl: fd, Pkg: pkg}
+				g.nodes[obj] = n
+				g.sorted = append(g.sorted, n)
+			}
+		}
+	}
+
+	// Method index by name, for interface dispatch.
+	methodsByName := make(map[string][]*CallNode)
+	for _, n := range g.sorted {
+		if recvOf(n.Fn) != nil {
+			methodsByName[n.Fn.Name()] = append(methodsByName[n.Fn.Name()], n)
+		}
+	}
+
+	// Pass 2: edges. Function literals inside a declaration are walked
+	// as part of it, attributing their calls to the declaration.
+	for _, n := range g.sorted {
+		info := n.Pkg.Info
+		ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+			call, ok := node.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := CalleeOf(info, call)
+			if callee == nil {
+				return true
+			}
+			if recv := recvOf(callee); recv != nil && types.IsInterface(recv.Type()) {
+				// Interface dispatch: edge to every module method that
+				// may satisfy it.
+				iface, ok := recv.Type().Underlying().(*types.Interface)
+				if !ok {
+					return true
+				}
+				for _, cand := range methodsByName[callee.Name()] {
+					rt := recvOf(cand.Fn).Type()
+					if types.Implements(rt, iface) || types.Implements(types.NewPointer(rt), iface) {
+						addEdge(n, cand, call.Pos(), true)
+					}
+				}
+				return true
+			}
+			if target, ok := g.nodes[callee]; ok {
+				addEdge(n, target, call.Pos(), false)
+			}
+			return true
+		})
+	}
+	return g
+}
+
+func addEdge(from, to *CallNode, pos token.Pos, dynamic bool) {
+	e := &CallEdge{Caller: from, Callee: to, Pos: pos, Dynamic: dynamic}
+	from.Out = append(from.Out, e)
+	to.In = append(to.In, e)
+}
+
+// CalleeOf resolves the function object a call expression names, or
+// nil for calls through function values, builtins, and conversions.
+// Generic instantiations resolve to the generic declaration.
+func CalleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	fun := ast.Unparen(call.Fun)
+	// Unwrap explicit instantiation: f[T](...) / f[T1, T2](...).
+	switch idx := fun.(type) {
+	case *ast.IndexExpr:
+		fun = ast.Unparen(idx.X)
+	case *ast.IndexListExpr:
+		fun = ast.Unparen(idx.X)
+	}
+	var obj types.Object
+	switch fun := fun.(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = info.Uses[fun.Sel]
+	}
+	if fn, ok := obj.(*types.Func); ok {
+		if orig := fn.Origin(); orig != nil {
+			return orig
+		}
+		return fn
+	}
+	return nil
+}
+
+// recvOf returns a function's receiver variable, or nil for plain
+// functions.
+func recvOf(fn *types.Func) *types.Var {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	return sig.Recv()
+}
+
+// Node returns the graph node for fn, or nil if fn is not a declared
+// module function.
+func (g *CallGraph) Node(fn *types.Func) *CallNode { return g.nodes[fn] }
+
+// Nodes returns every node in deterministic (load) order.
+func (g *CallGraph) Nodes() []*CallNode { return g.sorted }
+
+// Reachable computes the set of nodes reachable from roots by
+// following static and dynamic call edges, roots included.
+func (g *CallGraph) Reachable(roots []*CallNode) map[*CallNode]bool {
+	seen := make(map[*CallNode]bool, len(roots))
+	queue := make([]*CallNode, 0, len(roots))
+	for _, r := range roots {
+		if r != nil && !seen[r] {
+			seen[r] = true
+			queue = append(queue, r)
+		}
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, e := range n.Out {
+			if !seen[e.Callee] {
+				seen[e.Callee] = true
+				queue = append(queue, e.Callee)
+			}
+		}
+	}
+	return seen
+}
+
+// CallersOf computes the set of nodes that can reach any node
+// satisfying pred: the transitive-caller closure, pred's own matches
+// included. Analyzers use it to answer "does this function's call
+// closure contain an X" in one backward sweep.
+func (g *CallGraph) CallersOf(pred func(*CallNode) bool) map[*CallNode]bool {
+	seen := make(map[*CallNode]bool)
+	var queue []*CallNode
+	for _, n := range g.sorted {
+		if pred(n) {
+			seen[n] = true
+			queue = append(queue, n)
+		}
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, e := range n.In {
+			if !seen[e.Caller] {
+				seen[e.Caller] = true
+				queue = append(queue, e.Caller)
+			}
+		}
+	}
+	return seen
+}
+
+// Closure returns the nodes reachable from n (n included), sorted in
+// deterministic load order.
+func (g *CallGraph) Closure(n *CallNode) []*CallNode {
+	if n == nil {
+		return nil
+	}
+	seen := g.Reachable([]*CallNode{n})
+	out := make([]*CallNode, 0, len(seen))
+	for _, cand := range g.sorted {
+		if seen[cand] {
+			out = append(out, cand)
+		}
+	}
+	return out
+}
+
+// SortNodes orders nodes by position for deterministic reporting.
+func SortNodes(fset *token.FileSet, nodes []*CallNode) {
+	sort.Slice(nodes, func(i, j int) bool {
+		a, b := fset.Position(nodes[i].Decl.Pos()), fset.Position(nodes[j].Decl.Pos())
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Line < b.Line
+	})
+}

@@ -1,0 +1,249 @@
+package framework_test
+
+import (
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"smartssd/internal/analysis/framework"
+)
+
+// writeTree materializes a multi-package fixture tree: keys are
+// slash-separated paths relative to the returned root.
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestLoadTreeMultiPackage(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Base(dir)
+	for name, src := range map[string]string{
+		"base/base.go": `package base
+
+// V is read by the dependent package.
+var V = 1
+
+// Get returns V.
+func Get() int { return V }
+`,
+		"top/top.go": `package top
+
+import "fixture/` + base + `/base"
+
+// Sum doubles the base value through the dependency edge.
+func Sum() int { return base.Get() + base.V }
+`,
+	} {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	pkgs, err := framework.LoadTree(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("got %d packages, want 2", len(pkgs))
+	}
+	// Dependency order: base must be type-checked before top.
+	if pkgs[0].Types.Name() != "base" || pkgs[1].Types.Name() != "top" {
+		t.Errorf("load order %s,%s; want base,top", pkgs[0].Types.Name(), pkgs[1].Types.Name())
+	}
+	if pkgs[1].Types.Scope().Lookup("Sum") == nil {
+		t.Error("top package type-checked without Sum")
+	}
+	// Both packages must share one FileSet or cross-package positions
+	// (and // want matching) would be garbage.
+	if pkgs[0].Fset != pkgs[1].Fset {
+		t.Error("packages loaded with different FileSets")
+	}
+}
+
+func TestLoadTreeRejectsImportCycle(t *testing.T) {
+	dir := writeTree(t, map[string]string{"a/a.go": "package a\n", "b/b.go": "package b\n"})
+	base := filepath.Base(dir)
+	cyc := func(pkg, other string) string {
+		return "package " + pkg + "\n\nimport _ \"fixture/" + base + "/" + other + "\"\n"
+	}
+	if err := os.WriteFile(filepath.Join(dir, "a", "a.go"), []byte(cyc("a", "b")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "b", "b.go"), []byte(cyc("b", "a")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := framework.LoadTree(dir); err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("want import-cycle error, got %v", err)
+	}
+}
+
+// graphFixture is a two-package tree exercising static calls,
+// interface dispatch, and method values.
+func graphFixture(t *testing.T) []*framework.Package {
+	t.Helper()
+	dir := t.TempDir()
+	base := filepath.Base(dir)
+	files := map[string]string{
+		"sink/sink.go": `package sink
+
+// Handler is dispatched dynamically from the drive package.
+type Handler interface {
+	Handle(n int)
+}
+
+// Counter implements Handler.
+type Counter struct{ n int }
+
+// Handle tallies.
+func (c *Counter) Handle(n int) { c.n += n }
+
+// Leaf is statically reachable from drive.Run.
+func Leaf() int { return 1 }
+`,
+		"drive/drive.go": `package drive
+
+import "fixture/` + base + `/sink"
+
+// Run is the root: one static call, one dynamic dispatch.
+func Run(h sink.Handler) {
+	h.Handle(sink.Leaf())
+}
+
+// Orphan is reachable from nothing.
+func Orphan() {}
+`,
+	}
+	for name, src := range files {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pkgs, err := framework.LoadTree(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkgs
+}
+
+func TestCallGraphEdges(t *testing.T) {
+	pkgs := graphFixture(t)
+	g := framework.BuildCallGraph(pkgs)
+
+	find := func(name string) *framework.CallNode {
+		t.Helper()
+		for _, n := range g.Nodes() {
+			if n.Fn.Name() == name {
+				return n
+			}
+		}
+		t.Fatalf("no node named %s", name)
+		return nil
+	}
+	run, leaf, handle := find("Run"), find("Leaf"), find("Handle")
+
+	var static, dynamic int
+	for _, e := range run.Out {
+		switch {
+		case e.Callee == leaf && !e.Dynamic:
+			static++
+		case e.Callee == handle && e.Dynamic:
+			dynamic++
+		}
+	}
+	if static != 1 {
+		t.Errorf("Run -> Leaf static edges = %d, want 1", static)
+	}
+	if dynamic != 1 {
+		t.Errorf("Run -> Handle dynamic edges = %d, want 1", dynamic)
+	}
+
+	reach := g.Reachable([]*framework.CallNode{run})
+	if !reach[leaf] || !reach[handle] {
+		t.Error("Leaf/Handle not reachable from Run")
+	}
+	if reach[find("Orphan")] {
+		t.Error("Orphan spuriously reachable from Run")
+	}
+
+	// Backward closure: everything that can reach Leaf.
+	callers := g.CallersOf(func(n *framework.CallNode) bool { return n == leaf })
+	if !callers[run] {
+		t.Error("CallersOf(Leaf) missed Run")
+	}
+	if callers[find("Orphan")] {
+		t.Error("CallersOf(Leaf) included Orphan")
+	}
+
+	// Node lookup by *types.Func identity.
+	if g.Node(run.Fn) != run {
+		t.Error("Node(fn) did not round-trip")
+	}
+	var _ *types.Func = run.Fn
+}
+
+func TestRunSuiteStaleDirectives(t *testing.T) {
+	dir := writeFixture(t, map[string]string{
+		"a.go": `package a
+
+func target() {}
+
+func f() {
+	target() //lint:allow callnamed — live suppression
+	//lint:allow callnamed — stale: nothing on the next line triggers
+	var _ = 0
+}
+
+func g() {
+	//lint:allow othername — names an analyzer that never ran; not stale
+	target()
+}
+`,
+	})
+	pkg, err := framework.LoadDir(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := framework.RunSuite([]*framework.Package{pkg}, []*framework.Analyzer{callNamed("target")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// g's call survives: its directive names a different analyzer.
+	if len(res.Findings) != 1 || res.Findings[0].Pos.Line != 13 {
+		t.Fatalf("findings = %v, want exactly the line-13 call", res.Findings)
+	}
+	if len(res.Directives) != 3 {
+		t.Fatalf("got %d directives, want 3", len(res.Directives))
+	}
+	if len(res.Stale) != 1 {
+		t.Fatalf("stale = %+v, want exactly the line-7 directive", res.Stale)
+	}
+	if d := res.Stale[0]; d.Analyzer != "callnamed" || d.Pos.Line != 7 || d.Used {
+		t.Errorf("stale directive = %+v, want unused callnamed at line 7", d)
+	}
+	for _, d := range res.Directives {
+		if d.Pos.Line == 6 && (!d.Used || d.Analyzer != "callnamed") {
+			t.Errorf("line-6 directive = %+v, want used callnamed", d)
+		}
+	}
+}

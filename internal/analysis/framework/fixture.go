@@ -17,34 +17,38 @@ import (
 var wantRE = regexp.MustCompile("// want((?:\\s+(?:\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`))+)")
 var wantArgRE = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
 
-// expectation is one // want entry: a line number plus a regexp.
+// expectation is one // want entry: a file position plus a regexp.
 type expectation struct {
+	file string
 	line int
 	re   *regexp.Regexp
 }
 
-// CheckFixture type-checks the fixture package in dir, runs the
-// analyzer over it (with //lint:allow suppression applied), and
-// compares the findings against the fixture's // want annotations.
-// It returns a list of mismatch descriptions; an empty list means the
-// fixture passed.
+// CheckFixture type-checks the fixture tree in dir — a single package,
+// or a directory tree of packages for cross-package analyzers (see
+// LoadTree) — runs the analyzer over it (with //lint:allow suppression
+// applied), and compares the findings against the fixture's // want
+// annotations across every package. It returns a list of mismatch
+// descriptions; an empty list means the fixture passed.
 func CheckFixture(a *Analyzer, dir string) ([]string, error) {
-	pkg, err := LoadDir(dir, nil)
+	pkgs, err := LoadTree(dir)
 	if err != nil {
 		return nil, err
 	}
-	findings, err := RunAnalyzers([]*Package{pkg}, []*Analyzer{a})
+	findings, err := RunAnalyzers(pkgs, []*Analyzer{a})
 	if err != nil {
 		return nil, err
 	}
 
 	var expects []expectation
-	for _, f := range pkg.Files {
-		exps, err := fileExpectations(pkg, f)
-		if err != nil {
-			return nil, err
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			exps, err := fileExpectations(pkg, f)
+			if err != nil {
+				return nil, err
+			}
+			expects = append(expects, exps...)
 		}
-		expects = append(expects, exps...)
 	}
 
 	var problems []string
@@ -52,7 +56,7 @@ func CheckFixture(a *Analyzer, dir string) ([]string, error) {
 finding:
 	for _, f := range findings {
 		for i, e := range expects {
-			if !matched[i] && e.line == f.Pos.Line && e.re.MatchString(f.Message) {
+			if !matched[i] && e.file == f.Pos.Filename && e.line == f.Pos.Line && e.re.MatchString(f.Message) {
 				matched[i] = true
 				continue finding
 			}
@@ -62,7 +66,7 @@ finding:
 	for i, e := range expects {
 		if !matched[i] {
 			problems = append(problems,
-				fmt.Sprintf("missing finding at %s:%d matching %q", dir, e.line, e.re.String()))
+				fmt.Sprintf("missing finding at %s:%d matching %q", e.file, e.line, e.re.String()))
 		}
 	}
 	return problems, nil
@@ -76,7 +80,7 @@ func fileExpectations(pkg *Package, f *ast.File) ([]expectation, error) {
 			if m == nil {
 				continue
 			}
-			line := pkg.Fset.Position(c.Pos()).Line
+			pos := pkg.Fset.Position(c.Pos())
 			for _, arg := range wantArgRE.FindAllString(m[1], -1) {
 				var pat string
 				if arg[0] == '`' {
@@ -92,7 +96,7 @@ func fileExpectations(pkg *Package, f *ast.File) ([]expectation, error) {
 				if err != nil {
 					return nil, fmt.Errorf("%s: bad want regexp %q: %w", pkg.Fset.Position(c.Pos()), pat, err)
 				}
-				expects = append(expects, expectation{line: line, re: re})
+				expects = append(expects, expectation{file: pos.Filename, line: pos.Line, re: re})
 			}
 		}
 	}

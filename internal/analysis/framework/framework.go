@@ -32,8 +32,15 @@ type Analyzer struct {
 	Doc string
 
 	// Run applies the analyzer to one package, reporting findings
-	// through pass.Report.
+	// through pass.Report. Nil for module-level analyzers.
 	Run func(pass *Pass) error
+
+	// RunModule applies the analyzer to the whole loaded package set
+	// at once, with a call graph available — the shape the
+	// interprocedural analyzers (chargeconservation, lockorder,
+	// goroutineowner, cloneshared) need. Nil for per-package
+	// analyzers. Exactly one of Run and RunModule must be set.
+	RunModule func(pass *ModulePass) error
 }
 
 // A Pass provides one analyzer run with a single type-checked package.
@@ -87,6 +94,23 @@ func buildParents(m map[ast.Node]ast.Node, root ast.Node) {
 	})
 }
 
+// A ModulePass provides one module-level analyzer run with every
+// loaded package and their shared call graph. All packages share one
+// *token.FileSet (guaranteed by Load and LoadTree).
+type ModulePass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Pkgs     []*Package
+	Graph    *CallGraph
+
+	diags []Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
 // A Finding is one suppression-filtered diagnostic with its position
 // resolved, ready for printing or test comparison.
 type Finding struct {
@@ -108,71 +132,183 @@ func (f Finding) String() string {
 // and, when it stands alone on a line, on the following line.
 var allowDirective = regexp.MustCompile(`^//lint:allow\s+([a-z0-9_,]+)`)
 
-// allowedLines scans a file's comments and reports, per analyzer name,
-// the set of line numbers whose findings are suppressed.
-func allowedLines(fset *token.FileSet, file *ast.File) map[string]map[int]bool {
-	allowed := make(map[string]map[int]bool)
+// An AllowDirective is one analyzer name of one parsed //lint:allow
+// comment, with whether it suppressed anything. A directive naming two
+// analyzers produces two AllowDirectives.
+type AllowDirective struct {
+	Analyzer string
+	Pos      token.Position
+	// Used reports whether the directive suppressed at least one
+	// diagnostic during the run that parsed it.
+	Used bool
+}
+
+// directiveEntry is the mutable per-(directive, name) record shared by
+// the suppression maps.
+type directiveEntry struct {
+	name string
+	pos  token.Position
+	used bool
+}
+
+// parseAllows scans a file's comments and returns the suppression map
+// (analyzer name → suppressed line → directive) plus the directives in
+// source order. A directive suppresses findings on its own line
+// (trailing comment) and the following line (standalone comment above
+// the statement).
+func parseAllows(fset *token.FileSet, file *ast.File) (map[string]map[int]*directiveEntry, []*directiveEntry) {
+	allowed := make(map[string]map[int]*directiveEntry)
+	var list []*directiveEntry
 	for _, cg := range file.Comments {
 		for _, c := range cg.List {
 			m := allowDirective.FindStringSubmatch(c.Text)
 			if m == nil {
 				continue
 			}
-			line := fset.Position(c.Pos()).Line
+			pos := fset.Position(c.Pos())
 			for _, name := range strings.Split(m[1], ",") {
 				name = strings.TrimSpace(name)
 				if name == "" {
 					continue
 				}
+				e := &directiveEntry{name: name, pos: pos}
+				list = append(list, e)
 				if allowed[name] == nil {
-					allowed[name] = make(map[int]bool)
+					allowed[name] = make(map[int]*directiveEntry)
 				}
-				// Same line (trailing comment) and next line
-				// (standalone comment above the statement).
-				allowed[name][line] = true
-				allowed[name][line+1] = true
+				allowed[name][pos.Line] = e
+				allowed[name][pos.Line+1] = e
 			}
 		}
 	}
-	return allowed
+	return allowed, list
 }
 
-// RunAnalyzers applies each analyzer to each package, applies
+// A Result is the outcome of one suite run: the surviving findings
+// plus every //lint:allow directive seen, for staleness auditing.
+type Result struct {
+	// Findings are the suppression-filtered diagnostics, sorted by
+	// file position. Non-empty means the tree violates the contract.
+	Findings []Finding
+	// Directives lists every //lint:allow entry in the target packages
+	// (dependency-only packages are excluded — see Package.Target), in
+	// source order, with usage marked.
+	Directives []AllowDirective
+	// Stale lists the subset of Directives that name an analyzer that
+	// ran but suppressed nothing — dead suppressions that should be
+	// deleted before they mask a future regression.
+	Stale []AllowDirective
+}
+
+// RunAnalyzers applies each analyzer to the packages, applies
 // //lint:allow suppression, and returns the surviving findings sorted
 // by file position. A nil error with a non-empty slice means the tree
 // violates the contract; an analyzer returning an error aborts the run.
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
-	var findings []Finding
+	res, err := RunSuite(pkgs, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	return res.Findings, nil
+}
+
+// RunSuite is RunAnalyzers plus directive accounting: it additionally
+// reports every //lint:allow directive and which of them are stale.
+// Per-package analyzers see one package at a time; module analyzers
+// (RunModule) see the whole set with a lazily built call graph.
+func RunSuite(pkgs []*Package, analyzers []*Analyzer) (*Result, error) {
+	// Suppression maps per file, shared by all analyzers; entries
+	// track usage for the staleness audit.
+	// Suppression works in every loaded package, but only directives in
+	// target packages feed the staleness audit: a dependency loaded
+	// without its callers can make a live suppression look dead.
+	allowed := make(map[*ast.File]map[string]map[int]*directiveEntry)
+	var entries []*directiveEntry
 	for _, pkg := range pkgs {
-		// Suppression map per file, shared by all analyzers.
-		allowed := make(map[*ast.File]map[string]map[int]bool, len(pkg.Files))
 		for _, f := range pkg.Files {
-			allowed[f] = allowedLines(pkg.Fset, f)
+			byName, list := parseAllows(pkg.Fset, f)
+			allowed[f] = byName
+			if pkg.Target {
+				entries = append(entries, list...)
+			}
 		}
-		for _, a := range analyzers {
-			pass := &Pass{
-				Analyzer: a,
-				Fset:     pkg.Fset,
-				Files:    pkg.Files,
-				Pkg:      pkg.Types,
-				Info:     pkg.Info,
+	}
+
+	// suppress consults the owning file's map and marks the directive
+	// used. Every loaded package shares one fset, so position lookup
+	// across packages is well defined.
+	suppress := func(pkg *Package, name string, pos token.Pos, line int) bool {
+		for _, f := range pkg.Files {
+			if f.FileStart <= pos && pos < f.FileEnd {
+				if e := allowed[f][name][line]; e != nil {
+					e.used = true
+					return true
+				}
+				return false
 			}
-			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.ImportPath, err)
+		}
+		return false
+	}
+	fileOwner := func(pos token.Pos) *Package {
+		for _, pkg := range pkgs {
+			for _, f := range pkg.Files {
+				if f.FileStart <= pos && pos < f.FileEnd {
+					return pkg
+				}
 			}
-		diags:
-			for _, d := range pass.diags {
-				pos := pkg.Fset.Position(d.Pos)
-				for _, f := range pkg.Files {
-					if f.FileStart <= d.Pos && d.Pos < f.FileEnd {
-						if allowed[f][a.Name][pos.Line] {
-							continue diags
-						}
-						break
+		}
+		return nil
+	}
+
+	var findings []Finding
+	var graph *CallGraph
+	for _, a := range analyzers {
+		switch {
+		case a.Run != nil:
+			for _, pkg := range pkgs {
+				pass := &Pass{
+					Analyzer: a,
+					Fset:     pkg.Fset,
+					Files:    pkg.Files,
+					Pkg:      pkg.Types,
+					Info:     pkg.Info,
+				}
+				if err := a.Run(pass); err != nil {
+					return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.ImportPath, err)
+				}
+				for _, d := range pass.diags {
+					pos := pkg.Fset.Position(d.Pos)
+					if suppress(pkg, a.Name, d.Pos, pos.Line) {
+						continue
 					}
+					findings = append(findings, Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})
+				}
+			}
+		case a.RunModule != nil:
+			if len(pkgs) == 0 {
+				continue
+			}
+			if graph == nil {
+				graph = BuildCallGraph(pkgs)
+			}
+			pass := &ModulePass{
+				Analyzer: a,
+				Fset:     pkgs[0].Fset,
+				Pkgs:     pkgs,
+				Graph:    graph,
+			}
+			if err := a.RunModule(pass); err != nil {
+				return nil, fmt.Errorf("%s: %w", a.Name, err)
+			}
+			for _, d := range pass.diags {
+				pos := pass.Fset.Position(d.Pos)
+				if pkg := fileOwner(d.Pos); pkg != nil && suppress(pkg, a.Name, d.Pos, pos.Line) {
+					continue
 				}
 				findings = append(findings, Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})
 			}
+		default:
+			return nil, fmt.Errorf("%s: analyzer has neither Run nor RunModule", a.Name)
 		}
 	}
 	sort.Slice(findings, func(i, j int) bool {
@@ -188,5 +324,18 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return findings, nil
+
+	ran := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	res := &Result{Findings: findings}
+	for _, e := range entries {
+		d := AllowDirective{Analyzer: e.name, Pos: e.pos, Used: e.used}
+		res.Directives = append(res.Directives, d)
+		if ran[e.name] && !e.used {
+			res.Stale = append(res.Stale, d)
+		}
+	}
+	return res, nil
 }

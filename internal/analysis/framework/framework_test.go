@@ -182,3 +182,29 @@ func TestLoadModulePackages(t *testing.T) {
 		}
 	}
 }
+
+func TestLoadMarksTargets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks module packages; skipped in -short")
+	}
+	// cmd/simlint names one package; its in-module dependencies come
+	// along for type-checking but must not be marked as targets, or the
+	// staleness audit would judge directives it cannot see the callers
+	// of (e.g. a data-path allow with no data-path roots loaded).
+	pkgs, err := framework.Load(filepath.Join("..", "..", ".."), "./cmd/simlint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := make(map[string]bool)
+	for _, p := range pkgs {
+		targets[p.ImportPath] = p.Target
+	}
+	if !targets["smartssd/cmd/simlint"] {
+		t.Error("named package not marked Target")
+	}
+	if tgt, ok := targets["smartssd/internal/analysis/framework"]; !ok {
+		t.Error("dependency package not loaded at all")
+	} else if tgt {
+		t.Error("dependency package wrongly marked Target")
+	}
+}

@@ -9,9 +9,12 @@ import (
 	"go/parser"
 	"go/token"
 	"go/types"
+	"io/fs"
 	"os/exec"
 	"path/filepath"
 	"runtime"
+	"strconv"
+	"strings"
 )
 
 // A Package is one type-checked module package ready for analysis.
@@ -22,6 +25,13 @@ type Package struct {
 	Files      []*ast.File
 	Types      *types.Package
 	Info       *types.Info
+	// Target reports whether the package was named by the load
+	// patterns, as opposed to pulled in as a dependency. Analyzers see
+	// and suppress in every loaded package, but the staleness audit
+	// only judges directives in target packages: a dependency loaded
+	// without its callers can make a live suppression look dead (e.g.
+	// a data-path allow with no data-path roots in the load).
+	Target bool
 }
 
 // listPackage is the subset of `go list -json` output the loader needs.
@@ -50,6 +60,22 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 	out, err := cmd.Output()
 	if err != nil {
 		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.Bytes())
+	}
+
+	// A second list without -deps distinguishes the named targets from
+	// the dependencies pulled in above.
+	tcmd := exec.Command("go", append([]string{"list"}, patterns...)...)
+	tcmd.Dir = dir
+	tcmd.Stderr = &stderr
+	tout, err := tcmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.Bytes())
+	}
+	targets := make(map[string]bool)
+	for _, line := range strings.Split(string(tout), "\n") {
+		if line = strings.TrimSpace(line); line != "" {
+			targets[line] = true
+		}
 	}
 
 	fset := token.NewFileSet()
@@ -100,6 +126,7 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 			Files:      files,
 			Types:      tp,
 			Info:       info,
+			Target:     targets[lp.ImportPath],
 		})
 	}
 	return pkgs, nil
@@ -148,7 +175,127 @@ func LoadDir(dir string, names []string) (*Package, error) {
 		Files:      files,
 		Types:      tp,
 		Info:       info,
+		Target:     true,
 	}, nil
+}
+
+// LoadTree parses and type-checks a fixture directory tree: the root
+// directory and every subdirectory containing Go files each become one
+// package, importable from inside the fixture as
+// "fixture/<base>/<relative path>" (the root is "fixture/<base>").
+// All packages share one FileSet — the property module-level analyzers
+// rely on — and imports resolve first among the fixture packages, then
+// from the standard library. Packages come back in dependency order.
+// It backs the multi-package analyzer fixtures, where cross-package
+// call graphs need // want assertions in more than one package.
+func LoadTree(dir string) ([]*Package, error) {
+	root := "fixture/" + filepath.Base(dir)
+	type rawPkg struct {
+		path  string
+		dir   string
+		files []*ast.File
+		deps  []string
+	}
+	fset := token.NewFileSet()
+	byPath := make(map[string]*rawPkg)
+	var order []string
+	err := filepath.WalkDir(dir, func(p string, d fs.DirEntry, err error) error {
+		if err != nil || !d.IsDir() {
+			return err
+		}
+		matches, err := filepath.Glob(filepath.Join(p, "*.go"))
+		if err != nil {
+			return err
+		}
+		if len(matches) == 0 {
+			return nil
+		}
+		rel, err := filepath.Rel(dir, p)
+		if err != nil {
+			return err
+		}
+		path := root
+		if rel != "." {
+			path = root + "/" + filepath.ToSlash(rel)
+		}
+		rp := &rawPkg{path: path, dir: p}
+		for _, m := range matches {
+			f, err := parser.ParseFile(fset, m, nil, parser.ParseComments)
+			if err != nil {
+				return err
+			}
+			rp.files = append(rp.files, f)
+			for _, imp := range f.Imports {
+				if ip, err := strconv.Unquote(imp.Path.Value); err == nil && strings.HasPrefix(ip, "fixture/") {
+					rp.deps = append(rp.deps, ip)
+				}
+			}
+		}
+		byPath[path] = rp
+		order = append(order, path)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(order) == 0 {
+		return nil, fmt.Errorf("no Go files under %s", dir)
+	}
+
+	// Topological sort over intra-fixture imports (WalkDir order is
+	// lexical, so ties break deterministically).
+	checked := make(map[string]*types.Package)
+	std := importer.ForCompiler(fset, "source", nil)
+	imp := importerFunc(func(path string) (*types.Package, error) {
+		if p, ok := checked[path]; ok {
+			return p, nil
+		}
+		return std.Import(path)
+	})
+	var pkgs []*Package
+	visiting := make(map[string]bool)
+	var check func(path string) error
+	check = func(path string) error {
+		rp := byPath[path]
+		if rp == nil || checked[path] != nil {
+			return nil
+		}
+		if visiting[path] {
+			return fmt.Errorf("fixture import cycle at %s", path)
+		}
+		visiting[path] = true
+		for _, dep := range rp.deps {
+			if err := check(dep); err != nil {
+				return err
+			}
+		}
+		info := newInfo()
+		conf := types.Config{
+			Importer: imp,
+			Sizes:    types.SizesFor("gc", runtime.GOARCH),
+		}
+		tp, err := conf.Check(rp.path, fset, rp.files, info)
+		if err != nil {
+			return fmt.Errorf("type-checking %s: %w", rp.dir, err)
+		}
+		checked[rp.path] = tp
+		pkgs = append(pkgs, &Package{
+			ImportPath: rp.path,
+			Dir:        rp.dir,
+			Fset:       fset,
+			Files:      rp.files,
+			Types:      tp,
+			Info:       info,
+			Target:     true,
+		})
+		return nil
+	}
+	for _, path := range order {
+		if err := check(path); err != nil {
+			return nil, err
+		}
+	}
+	return pkgs, nil
 }
 
 func newInfo() *types.Info {

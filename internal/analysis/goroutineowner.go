@@ -1,0 +1,182 @@
+// Goroutineowner: every goroutine must have a reachable join or stop
+// path.
+//
+// The simulator's byte-identity guarantees assume every run reaches a
+// quiescent state: a goroutine nobody joins can still be mutating a
+// sim.Server calendar while the caller serializes results, and a
+// goroutine nobody can stop pins its engine clone forever. The
+// analyzer accepts two ownership shapes, both matched structurally
+// rather than by allowlist:
+//
+//   - WaitGroup join: the spawned body calls Done (usually deferred)
+//     on a sync.WaitGroup that some function in the module Waits on —
+//     runner.Run's per-call workers and cmd/smartssdd's smoke fan-out
+//     (local WaitGroup), runner.Pool's workers (the Pool.wg field).
+//   - Channel stop: the spawned body ranges over or receives from a
+//     channel that some function in the module closes —
+//     runner.Crew's parked workers, whose `for t := range
+//     c.tasks[worker]` loop ends when Close closes every task
+//     channel.
+//
+// The WaitGroup/channel is matched by its storage root (struct field,
+// package variable, or local), so a crew-style worker passes via its
+// Close path with no special cases. For a spawned named function, the
+// body searched is the function's whole call closure; for a literal,
+// the literal body plus the closures of the module functions it calls.
+
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+
+	"smartssd/internal/analysis/framework"
+)
+
+// Goroutineowner reports go statements whose goroutine has no
+// reachable join (WaitGroup) or stop (channel close) path.
+var Goroutineowner = &framework.Analyzer{
+	Name:      "goroutineowner",
+	Doc:       "every goroutine needs a join/stop path: a WaitGroup.Done matched by a Wait, or a channel receive matched by a close",
+	RunModule: runGoroutineowner,
+}
+
+func runGoroutineowner(pass *framework.ModulePass) error {
+	g := pass.Graph
+
+	// Module-wide indexes: objects whose channels are closed somewhere,
+	// and WaitGroup objects waited on somewhere.
+	closed := make(map[types.Object]bool)
+	waited := make(map[types.Object]bool)
+	for _, n := range g.Nodes() {
+		info := n.Pkg.Info
+		defs := localDefs(info, n.Decl.Body)
+		ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+			call, ok := node.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "close" && len(call.Args) == 1 {
+				if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+					if root := storageRoot(info, defs, call.Args[0]); root != nil {
+						closed[root] = true
+					}
+				}
+				return true
+			}
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				if fn, ok := info.Uses[sel.Sel].(*types.Func); ok &&
+					fn.Pkg() != nil && fn.Pkg().Path() == "sync" &&
+					fnRecvName(fn) == "WaitGroup" && fn.Name() == "Wait" {
+					if root := storageRoot(info, defs, sel.X); root != nil {
+						waited[root] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// evidence scans one body for a Done on a waited WaitGroup or a
+	// receive from a closed channel.
+	evidence := func(info *types.Info, defs map[types.Object]ast.Expr, body ast.Node) bool {
+		found := false
+		ast.Inspect(body, func(node ast.Node) bool {
+			if found {
+				return false
+			}
+			switch x := node.(type) {
+			case *ast.CallExpr:
+				if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok {
+					if fn, ok := info.Uses[sel.Sel].(*types.Func); ok &&
+						fn.Pkg() != nil && fn.Pkg().Path() == "sync" &&
+						fnRecvName(fn) == "WaitGroup" && fn.Name() == "Done" {
+						if root := storageRoot(info, defs, sel.X); root != nil && waited[root] {
+							found = true
+						}
+					}
+				}
+			case *ast.RangeStmt:
+				if isChan(info, x.X) {
+					if root := storageRoot(info, defs, x.X); root != nil && closed[root] {
+						found = true
+					}
+				}
+			case *ast.UnaryExpr:
+				if x.Op.String() == "<-" {
+					if root := storageRoot(info, defs, x.X); root != nil && closed[root] {
+						found = true
+					}
+				}
+			}
+			return true
+		})
+		return found
+	}
+
+	// nodeEvidence: evidence anywhere in a declared function's body.
+	nodeEvidence := make(map[*framework.CallNode]bool)
+	checkNode := func(n *framework.CallNode) bool {
+		if v, ok := nodeEvidence[n]; ok {
+			return v
+		}
+		v := evidence(n.Pkg.Info, localDefs(n.Pkg.Info, n.Decl.Body), n.Decl.Body)
+		nodeEvidence[n] = v
+		return v
+	}
+	closureEvidence := func(starts []*framework.CallNode) bool {
+		reach := g.Reachable(starts)
+		for _, m := range g.Nodes() {
+			if reach[m] && checkNode(m) {
+				return true
+			}
+		}
+		return false
+	}
+
+	for _, n := range g.Nodes() {
+		info := n.Pkg.Info
+		defs := localDefs(info, n.Decl.Body)
+		ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+			gs, ok := node.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			ok = false
+			if lit, isLit := ast.Unparen(gs.Call.Fun).(*ast.FuncLit); isLit {
+				if evidence(info, defs, lit.Body) {
+					ok = true
+				} else {
+					// The closures of module functions the literal
+					// calls, located via the node's recorded edges.
+					var starts []*framework.CallNode
+					for _, e := range n.Out {
+						if lit.Pos() <= e.Pos && e.Pos <= lit.End() {
+							starts = append(starts, e.Callee)
+						}
+					}
+					ok = closureEvidence(starts)
+				}
+			} else if fn := framework.CalleeOf(info, gs.Call); fn != nil {
+				if target := g.Node(fn); target != nil {
+					ok = closureEvidence([]*framework.CallNode{target})
+				}
+			}
+			if !ok {
+				pass.Reportf(gs.Pos(),
+					"goroutine has no reachable join or stop path: no sync.WaitGroup.Done matched by a Wait, and no receive from a channel the module closes")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func isChan(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, ok = tv.Type.Underlying().(*types.Chan)
+	return ok
+}

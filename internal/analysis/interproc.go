@@ -1,0 +1,164 @@
+// Shared helpers for the interprocedural analyzers
+// (chargeconservation, lockorder, goroutineowner, cloneshared): they
+// match functions by package *name*, receiver type name, and method
+// name — not import path — so the same matchers recognize both the
+// real module packages and the analyzers' fixture trees (whose package
+// names mirror the module: sim, ftl, nand, core, ...).
+
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// fnPkgName reports the name of the package declaring fn, or "".
+func fnPkgName(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Name()
+}
+
+// fnRecvName reports the named type of fn's receiver (pointer
+// dereferenced), or "" for plain functions.
+func fnRecvName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// matchFn reports whether fn is method recv.name (or plain function
+// name when recv is "") of a package named pkg.
+func matchFn(fn *types.Func, pkg, recv string, names ...string) bool {
+	if fnPkgName(fn) != pkg || fnRecvName(fn) != recv {
+		return false
+	}
+	for _, n := range names {
+		if fn.Name() == n {
+			return true
+		}
+	}
+	return false
+}
+
+// namedTypeOf resolves the named type of e (pointer dereferenced), or
+// nil.
+func namedTypeOf(info *types.Info, e ast.Expr) *types.Named {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// localDefs maps each local variable defined in body by a simple
+// assignment (v := expr, v = expr) or range statement (for _, v :=
+// range expr) to its defining expression, one level deep. storageRoot
+// follows the map so that, e.g., close(ch) inside
+//
+//	for _, ch := range c.tasks { close(ch) }
+//
+// resolves to the c.tasks field.
+func localDefs(info *types.Info, body ast.Node) map[types.Object]ast.Expr {
+	defs := make(map[types.Object]ast.Expr)
+	record := func(lhs ast.Expr, rhs ast.Expr) {
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			return
+		}
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		if v, ok := obj.(*types.Var); ok {
+			defs[v] = rhs
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if len(st.Lhs) == len(st.Rhs) {
+				for i := range st.Lhs {
+					record(st.Lhs[i], st.Rhs[i])
+				}
+			}
+		case *ast.RangeStmt:
+			if st.Key != nil {
+				record(st.Key, st.X)
+			}
+			if st.Value != nil {
+				record(st.Value, st.X)
+			}
+		}
+		return true
+	})
+	return defs
+}
+
+// storageRoot resolves e to the object that owns its storage: a struct
+// field, a package-level variable, or a local variable — looking
+// through parentheses, indexing, slicing, dereferences, and (via defs)
+// one-level local definitions. It returns nil for calls and other
+// unrooted expressions. Struct fields resolve to the field object
+// itself, which is identical across every function that names the
+// field — the property the goroutineowner and cloneshared matchers
+// rely on.
+func storageRoot(info *types.Info, defs map[types.Object]ast.Expr, e ast.Expr) types.Object {
+	for depth := 0; depth < 16; depth++ {
+		e = ast.Unparen(e)
+		switch x := e.(type) {
+		case *ast.Ident:
+			obj := info.Uses[x]
+			if obj == nil {
+				obj = info.Defs[x]
+			}
+			v, ok := obj.(*types.Var)
+			if !ok {
+				return obj
+			}
+			if def, ok := defs[v]; ok {
+				// Follow the local's definition once: remove the
+				// mapping while recursing to cut self-referential
+				// definitions (v = v[1:]).
+				delete(defs, v)
+				root := storageRoot(info, defs, def)
+				defs[v] = def
+				if root != nil {
+					return root
+				}
+			}
+			return v
+		case *ast.SelectorExpr:
+			if sel, ok := info.Selections[x]; ok {
+				return sel.Obj()
+			}
+			return info.Uses[x.Sel]
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+	return nil
+}

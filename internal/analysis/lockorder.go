@@ -1,0 +1,529 @@
+// Lockorder: mutexes must nest in one consistent global order.
+//
+// The concurrent layers (serve.Server's session and cluster mutexes,
+// core.Cluster's run mutex, fault.Injector's stream mutex, the runner
+// pool) each guard their own state, but a lock taken while another is
+// held creates an ordering edge — and two functions that create the
+// same pair of edges in opposite directions can deadlock. The analyzer
+// makes the order machine-checked:
+//
+//  1. Each function body (and each function literal, as its own scope)
+//     is scanned linearly, tracking the set of held locks:
+//     sync.Mutex/RWMutex Lock/RLock acquires, Unlock/RUnlock
+//     releases, deferred unlocks hold to scope end, branch bodies are
+//     scanned with a copy of the held set, and go statements are
+//     skipped (a spawned goroutine does not inherit the caller's
+//     locks).
+//  2. A fixpoint over the call graph computes mayAcquire(f): every
+//     lock f can take directly or transitively.
+//  3. While a lock h is held, a direct acquisition of k records the
+//     edge h→k; a call to g records h→k for every k in
+//     mayAcquire(g).
+//  4. Any strongly connected component with two or more locks is a
+//     potential deadlock; every edge inside it is reported.
+//
+// Locks are named pkg.Type.field for struct fields, pkg.var for
+// package-level mutexes, and pkg.Func.name for locals. Calls through
+// function values are invisible to the scan (the call graph has no
+// edge), an accepted under-approximation: the repo's lock-holding
+// paths call concrete methods.
+
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"slices"
+	"sort"
+	"strings"
+
+	"smartssd/internal/analysis/framework"
+)
+
+// Lockorder reports mutex acquisitions that invert the nesting order
+// established elsewhere in the module.
+var Lockorder = &framework.Analyzer{
+	Name:      "lockorder",
+	Doc:       "mutex acquisition order must be globally consistent (no A-holds-B vs B-holds-A inversions)",
+	RunModule: runLockorder,
+}
+
+// lockEvent is one observation inside a scope: a direct acquisition of
+// key (callee == nil) or a call (key == "") — each under the locks in
+// held.
+type lockEvent struct {
+	held   []string
+	key    string
+	callee *framework.CallNode
+	pos    token.Pos
+}
+
+func runLockorder(pass *framework.ModulePass) error {
+	g := pass.Graph
+
+	// Pass 1: scan every scope, collecting events and direct
+	// acquisitions per node.
+	events := make(map[*framework.CallNode][]lockEvent)
+	direct := make(map[*framework.CallNode]map[string]bool)
+	for _, n := range g.Nodes() {
+		s := &lockScanner{node: n, info: n.Pkg.Info}
+		// The declaration body, then each function literal as its own
+		// scope (a literal may run on another goroutine or later; its
+		// locks are attributed to the declaration for mayAcquire, but
+		// its body does not execute under the declaration's held set).
+		s.scanScope(n.Decl.Body)
+		for _, lit := range s.lits {
+			s.scanScope(lit)
+		}
+		events[n] = s.events
+		if len(s.acquired) > 0 {
+			direct[n] = s.acquired
+		}
+	}
+
+	// Pass 2: mayAcquire fixpoint over the call graph.
+	may := make(map[*framework.CallNode]map[string]bool)
+	for n, keys := range direct {
+		may[n] = make(map[string]bool, len(keys))
+		for k := range keys {
+			may[n][k] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range g.Nodes() {
+			for _, e := range n.Out {
+				for k := range may[e.Callee] {
+					if !may[n][k] {
+						if may[n] == nil {
+							may[n] = make(map[string]bool)
+						}
+						may[n][k] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Pass 3: ordering edges. First observation of each (from, to)
+	// pair wins; node and event order are deterministic.
+	type edge struct{ from, to string }
+	edgePos := make(map[edge]token.Pos)
+	adj := make(map[string][]string)
+	addEdge := func(from, to string, pos token.Pos) {
+		if from == to {
+			return
+		}
+		e := edge{from, to}
+		if _, ok := edgePos[e]; ok {
+			return
+		}
+		edgePos[e] = pos
+		adj[from] = append(adj[from], to)
+	}
+	for _, n := range g.Nodes() {
+		for _, ev := range events[n] {
+			switch {
+			case ev.key != "":
+				for _, h := range ev.held {
+					addEdge(h, ev.key, ev.pos)
+				}
+			case ev.callee != nil:
+				acq := make([]string, 0, len(may[ev.callee]))
+				for k := range may[ev.callee] {
+					acq = append(acq, k)
+				}
+				sort.Strings(acq)
+				for _, h := range ev.held {
+					for _, k := range acq {
+						addEdge(h, k, ev.pos)
+					}
+				}
+			}
+		}
+	}
+
+	// Pass 4: strongly connected components; an SCC with two or more
+	// locks is an inversion.
+	scc := stronglyConnected(adj)
+	edges := make([]edge, 0, len(edgePos))
+	for e := range edgePos {
+		edges = append(edges, e)
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].from != edges[j].from {
+			return edges[i].from < edges[j].from
+		}
+		return edges[i].to < edges[j].to
+	})
+	for _, e := range edges {
+		pos := edgePos[e]
+		comp := scc[e.from]
+		if comp < 0 || comp != scc[e.to] {
+			continue
+		}
+		var cycle []string
+		for k, c := range scc {
+			if c == comp {
+				cycle = append(cycle, k)
+			}
+		}
+		sort.Strings(cycle)
+		pass.Reportf(pos,
+			"acquires %s while holding %s, but elsewhere they nest in the opposite order (lock cycle: %s)",
+			e.to, e.from, strings.Join(cycle, " ~ "))
+	}
+	return nil
+}
+
+// lockScanner walks one function's scopes tracking held locks.
+type lockScanner struct {
+	node     *framework.CallNode
+	info     *types.Info
+	held     []string
+	events   []lockEvent
+	acquired map[string]bool
+	lits     []*ast.BlockStmt
+	litSet   map[*ast.BlockStmt]bool
+}
+
+// scanScope analyzes one scope body starting with nothing held.
+func (s *lockScanner) scanScope(body *ast.BlockStmt) {
+	s.held = s.held[:0]
+	s.stmt(body)
+}
+
+func (s *lockScanner) snapshot() []string { return slices.Clone(s.held) }
+
+// branch scans a statement with a private copy of the held set:
+// acquisitions and releases inside it do not leak to the statements
+// after it (the linear approximation that keeps balanced
+// lock/unlock-in-branch patterns exact).
+func (s *lockScanner) branch(st ast.Stmt) {
+	if st == nil {
+		return
+	}
+	saved := s.snapshot()
+	s.stmt(st)
+	s.held = saved
+}
+
+func (s *lockScanner) stmt(st ast.Stmt) {
+	switch st := st.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, sub := range st.List {
+			s.stmt(sub)
+		}
+	case *ast.ExprStmt:
+		s.expr(st.X)
+	case *ast.DeferStmt:
+		// A deferred unlock holds the lock to scope end: leave the
+		// held set alone. Other deferred calls run before it (LIFO),
+		// still under the lock: record them as ordinary calls.
+		if _, name := s.syncCall(st.Call); name == "Unlock" || name == "RUnlock" {
+			return
+		}
+		s.expr(st.Call)
+	case *ast.GoStmt:
+		// The spawned goroutine does not inherit the caller's locks;
+		// its literal body is scanned as a separate scope.
+		ast.Inspect(st.Call, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				s.addLit(lit)
+				return false
+			}
+			return true
+		})
+	case *ast.AssignStmt:
+		for _, e := range st.Rhs {
+			s.expr(e)
+		}
+		for _, e := range st.Lhs {
+			s.expr(e)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						s.expr(e)
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, e := range st.Results {
+			s.expr(e)
+		}
+	case *ast.IfStmt:
+		s.stmt(st.Init)
+		s.expr(st.Cond)
+		s.branch(st.Body)
+		s.branch(st.Else)
+	case *ast.ForStmt:
+		s.stmt(st.Init)
+		if st.Cond != nil {
+			s.expr(st.Cond)
+		}
+		saved := s.snapshot()
+		s.stmt(st.Body)
+		s.stmt(st.Post)
+		s.held = saved
+	case *ast.RangeStmt:
+		s.expr(st.X)
+		s.branch(st.Body)
+	case *ast.SwitchStmt:
+		s.stmt(st.Init)
+		if st.Tag != nil {
+			s.expr(st.Tag)
+		}
+		for _, c := range st.Body.List {
+			s.branch(c)
+		}
+	case *ast.TypeSwitchStmt:
+		s.stmt(st.Init)
+		s.branch(st.Assign)
+		for _, c := range st.Body.List {
+			s.branch(c)
+		}
+	case *ast.SelectStmt:
+		for _, c := range st.Body.List {
+			s.branch(c)
+		}
+	case *ast.CaseClause:
+		for _, e := range st.List {
+			s.expr(e)
+		}
+		for _, sub := range st.Body {
+			s.stmt(sub)
+		}
+	case *ast.CommClause:
+		s.stmt(st.Comm)
+		for _, sub := range st.Body {
+			s.stmt(sub)
+		}
+	case *ast.LabeledStmt:
+		s.stmt(st.Stmt)
+	case *ast.SendStmt:
+		s.expr(st.Chan)
+		s.expr(st.Value)
+	case *ast.IncDecStmt:
+		s.expr(st.X)
+	}
+}
+
+// expr processes calls inside e in source order, skipping function
+// literals (scanned as their own scopes).
+func (s *lockScanner) expr(e ast.Expr) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			s.addLit(lit)
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if recv, name := s.syncCall(call); recv != nil {
+			switch name {
+			case "Lock", "RLock":
+				key := s.keyOf(recv)
+				s.events = append(s.events, lockEvent{held: s.snapshot(), key: key, pos: call.Pos()})
+				if s.acquired == nil {
+					s.acquired = make(map[string]bool)
+				}
+				s.acquired[key] = true
+				if !slices.Contains(s.held, key) {
+					s.held = append(s.held, key)
+				}
+			case "Unlock", "RUnlock":
+				key := s.keyOf(recv)
+				if i := slices.Index(s.held, key); i >= 0 {
+					s.held = slices.Delete(s.held, i, i+1)
+				}
+			}
+			return true
+		}
+		if len(s.held) == 0 {
+			return true
+		}
+		if fn := framework.CalleeOf(s.info, call); fn != nil {
+			if target := s.calleeNode(fn, call); target != nil {
+				s.events = append(s.events, lockEvent{held: s.snapshot(), callee: target, pos: call.Pos()})
+			}
+		}
+		return true
+	})
+}
+
+func (s *lockScanner) addLit(lit *ast.FuncLit) {
+	if s.litSet == nil {
+		s.litSet = make(map[*ast.BlockStmt]bool)
+	}
+	if !s.litSet[lit.Body] {
+		s.litSet[lit.Body] = true
+		s.lits = append(s.lits, lit.Body)
+	}
+}
+
+// calleeNode resolves a call to its call-graph node, using the node's
+// recorded edges at this position for interface dispatch. Multiple
+// dynamic callees each get their own event.
+func (s *lockScanner) calleeNode(fn *types.Func, call *ast.CallExpr) *framework.CallNode {
+	for _, e := range s.node.Out {
+		if e.Pos == call.Pos() && !e.Dynamic {
+			return e.Callee
+		}
+	}
+	// Dynamic edges: record every candidate now, return nil.
+	for _, e := range s.node.Out {
+		if e.Pos == call.Pos() && e.Dynamic {
+			s.events = append(s.events, lockEvent{held: s.snapshot(), callee: e.Callee, pos: call.Pos()})
+		}
+	}
+	return nil
+}
+
+// syncCall reports the receiver expression and method name of a
+// sync.Mutex / sync.RWMutex method call, or (nil, "").
+func (s *lockScanner) syncCall(call *ast.CallExpr) (ast.Expr, string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	fn, ok := s.info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return nil, ""
+	}
+	if recv := fnRecvName(fn); recv != "Mutex" && recv != "RWMutex" {
+		return nil, ""
+	}
+	return sel.X, fn.Name()
+}
+
+// keyOf names the lock guarding expression e: pkg.Type.field for
+// struct fields, pkg.var for package-level mutexes, pkg.Func.name for
+// locals, and a rendered-expression fallback otherwise.
+func (s *lockScanner) keyOf(e ast.Expr) string {
+	e = ast.Unparen(e)
+	pkgName := s.node.Pkg.Types.Name()
+	switch x := e.(type) {
+	case *ast.SelectorExpr:
+		if named := namedTypeOf(s.info, x.X); named != nil {
+			owner := pkgName
+			if named.Obj().Pkg() != nil {
+				owner = named.Obj().Pkg().Name()
+			}
+			return owner + "." + named.Obj().Name() + "." + x.Sel.Name
+		}
+		if v, ok := s.info.Uses[x.Sel].(*types.Var); ok && v.Pkg() != nil {
+			return v.Pkg().Name() + "." + v.Name()
+		}
+	case *ast.Ident:
+		if v, ok := s.info.Uses[x].(*types.Var); ok && v.Pkg() != nil {
+			if v.Parent() == v.Pkg().Scope() {
+				return pkgName + "." + v.Name()
+			}
+			return pkgName + "." + s.node.Fn.Name() + "." + v.Name()
+		}
+	}
+	return pkgName + "." + types.ExprString(e)
+}
+
+// stronglyConnected assigns each vertex of adj a component id, -1 for
+// vertices in singleton components without a self loop (no cycle).
+// Iterative Tarjan with deterministic vertex order.
+func stronglyConnected(adj map[string][]string) map[string]int {
+	verts := make([]string, 0, len(adj))
+	seen := make(map[string]bool)
+	add := func(v string) {
+		if !seen[v] {
+			seen[v] = true
+			verts = append(verts, v)
+		}
+	}
+	keys := make([]string, 0, len(adj))
+	for v := range adj {
+		keys = append(keys, v)
+	}
+	sort.Strings(keys)
+	for _, v := range keys {
+		add(v)
+		for _, w := range adj[v] {
+			add(w)
+		}
+	}
+
+	index := make(map[string]int)
+	low := make(map[string]int)
+	onStack := make(map[string]bool)
+	comp := make(map[string]int)
+	var stack []string
+	next, compID := 0, 0
+
+	type frame struct {
+		v string
+		i int
+	}
+	for _, root := range verts {
+		if _, ok := index[root]; ok {
+			continue
+		}
+		var frames []frame
+		push := func(v string) {
+			index[v] = next
+			low[v] = next
+			next++
+			stack = append(stack, v)
+			onStack[v] = true
+			frames = append(frames, frame{v: v})
+		}
+		push(root)
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			if f.i < len(adj[f.v]) {
+				w := adj[f.v][f.i]
+				f.i++
+				if _, ok := index[w]; !ok {
+					push(w)
+				} else if onStack[w] {
+					if index[w] < low[f.v] {
+						low[f.v] = index[w]
+					}
+				}
+				continue
+			}
+			v := f.v
+			frames = frames[:len(frames)-1]
+			if low[v] == index[v] {
+				size := 0
+				self := slices.Contains(adj[v], v)
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = compID
+					size++
+					if w == v {
+						break
+					}
+				}
+				if size == 1 && !self {
+					comp[v] = -1
+				} else {
+					compID++
+				}
+			}
+			if len(frames) > 0 {
+				p := &frames[len(frames)-1]
+				if low[v] < low[p.v] {
+					low[p.v] = low[v]
+				}
+			}
+		}
+	}
+	return comp
+}

@@ -149,15 +149,22 @@ func rangeVarObjects(pass *framework.Pass, rng *ast.RangeStmt) map[types.Object]
 }
 
 // sortedAfter reports whether obj is passed to a sort.* / slices.*
-// call in a statement following rng within its enclosing block — the
-// collect-keys-then-sort idiom.
+// call in a statement following rng within its enclosing block (or
+// switch/select case body) — the collect-keys-then-sort idiom.
 func sortedAfter(pass *framework.Pass, rng *ast.RangeStmt, obj types.Object) bool {
-	block, ok := pass.Parent(rng).(*ast.BlockStmt)
-	if !ok {
+	var stmts []ast.Stmt
+	switch parent := pass.Parent(rng).(type) {
+	case *ast.BlockStmt:
+		stmts = parent.List
+	case *ast.CaseClause:
+		stmts = parent.Body
+	case *ast.CommClause:
+		stmts = parent.Body
+	default:
 		return false
 	}
 	after := false
-	for _, stmt := range block.List {
+	for _, stmt := range stmts {
 		if stmt == ast.Stmt(rng) {
 			after = true
 			continue

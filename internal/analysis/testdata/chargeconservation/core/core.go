@@ -1,0 +1,107 @@
+// Package core is the data-path side of the chargeconservation
+// fixture: Engine.Run is a root, Device is the controller. The bad
+// cases reproduce the bug class PR 8's batching made possible — a
+// fast path that returns correct bytes but charges zero cycles.
+package core
+
+import (
+	"fixture/chargeconservation/ftl"
+	"fixture/chargeconservation/nand"
+	"fixture/chargeconservation/sim"
+)
+
+const pageSize = 4096
+
+// Device mirrors ssd.Device: it owns the untimed medium and the
+// charged servers.
+type Device struct {
+	ftl     *ftl.FTL
+	array   *nand.Array
+	channel *sim.Server
+	dcpu    *sim.Server
+}
+
+// FetchPage is the charged read path: look up the mapping, sense the
+// page, book the transfer on the channel server.
+func (d *Device) FetchPage(lba int64) ([]byte, error) {
+	if ok, err := d.ftl.Lookup(ftl.LBA(lba)); err != nil || !ok {
+		return nil, err
+	}
+	data, err := d.ftl.Read(ftl.LBA(lba))
+	if err != nil {
+		return nil, err
+	}
+	d.channel.Serve(0, int64(len(data)))
+	return data, nil
+}
+
+// FetchRun batches: k reads, one ServeRun booking k identical
+// charges. Batching is fine exactly because the charge survives.
+func (d *Device) FetchRun(lbas []int64) ([][]byte, error) {
+	out := make([][]byte, 0, len(lbas))
+	for _, lba := range lbas {
+		data, err := d.ftl.Read(ftl.LBA(lba))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, data)
+	}
+	d.channel.ServeRun(0, pageSize, len(lbas))
+	return out, nil
+}
+
+// FetchRunFast is the uncharged imitation of FetchRun: same bytes,
+// zero cycles, silently corrupting every crossover chart.
+func (d *Device) FetchRunFast(lbas []int64) ([][]byte, error) {
+	out := make([][]byte, 0, len(lbas))
+	for _, lba := range lbas {
+		data, err := d.ftl.Read(ftl.LBA(lba)) // want `FetchRunFast reads ftl\.FTL\.Read on the executor/device data path but charges no sim\.Server cycles`
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, data)
+	}
+	return out, nil
+}
+
+// raw senses the array with no charge anywhere in its closure.
+func (d *Device) raw(page int) []byte {
+	return d.array.Read(page) // want `raw reads nand\.Array\.Read on the executor/device data path but charges no sim\.Server cycles`
+}
+
+// mapped is an intentionally uncharged metadata probe, the
+// ssd.Device.Mapped shape: suppressed with a justified allow.
+func (d *Device) mapped(lba int64) bool {
+	//lint:allow chargeconservation — in-DRAM mapping-table probe, not data traffic
+	ok, _ := d.ftl.Lookup(ftl.LBA(lba))
+	return ok
+}
+
+// debugDump reads without charging but is reachable from no data-path
+// root (nothing calls it), so it stays silent: the analyzer polices
+// the live data path, not diagnostics.
+func (d *Device) debugDump(lba int64) ([]byte, error) {
+	return d.ftl.Read(ftl.LBA(lba))
+}
+
+// Engine mirrors core.Engine; Run* methods are data-path roots.
+type Engine struct {
+	dev *Device
+}
+
+// Run drives every device path above.
+func (e *Engine) Run() error {
+	if _, err := e.dev.FetchPage(1); err != nil {
+		return err
+	}
+	if _, err := e.dev.FetchRun([]int64{1, 2}); err != nil {
+		return err
+	}
+	if _, err := e.dev.FetchRunFast([]int64{3, 4}); err != nil {
+		return err
+	}
+	_ = e.dev.raw(5)
+	_ = e.dev.mapped(6)
+	e.dev.dcpu.Serve(0, 100)
+	return nil
+}

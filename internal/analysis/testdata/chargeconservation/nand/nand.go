@@ -1,0 +1,11 @@
+// Package nand mirrors the module's nand package: the raw flash
+// array, whose Read is a chargeconservation source.
+package nand
+
+// Array is a minimal stand-in for nand.Array.
+type Array struct {
+	pages [][]byte
+}
+
+// Read senses one page; untimed — the controller charges.
+func (a *Array) Read(page int) []byte { return a.pages[page] }

@@ -1,0 +1,32 @@
+// Package sim mirrors the module's sim package: Server is the only
+// meter, and its Serve/ServeWithSetup/ServeRun methods are the charge
+// sinks chargeconservation looks for.
+package sim
+
+// Server is a minimal stand-in for sim.Server.
+type Server struct {
+	busy int64
+	ops  int64
+}
+
+// Serve books n units of busy time.
+func (s *Server) Serve(ready, n int64) int64 {
+	s.busy += n
+	s.ops++
+	return ready + n
+}
+
+// ServeWithSetup books setup plus n units.
+func (s *Server) ServeWithSetup(ready, setup, n int64) int64 {
+	return s.Serve(ready+setup, n)
+}
+
+// ServeRun books k identical back-to-back charges — the batched entry
+// point whose uncharged imitation is the bug class under test.
+func (s *Server) ServeRun(ready, n int64, k int) int64 {
+	done := ready
+	for i := 0; i < k; i++ {
+		done = s.Serve(done, n)
+	}
+	return done
+}

@@ -1,0 +1,22 @@
+// Package bufpool mirrors the module's bufpool package for the
+// cloneshared fixture: Get may return a borrowed device buffer, so
+// its result is tainted for callers; the pool itself is exempt.
+package bufpool
+
+// Pool is a minimal stand-in for bufpool.Pool.
+type Pool struct {
+	borrowed [][]byte
+}
+
+// Get returns a possibly-borrowed buffer callers must treat as
+// immutable.
+func (p *Pool) Get(i int) []byte { return p.borrowed[i] }
+
+// Recycle zeroes a borrowed buffer in place — inside the exempt pool
+// package this is a must-pass negative.
+func (p *Pool) Recycle(i int) {
+	buf := p.Get(i)
+	for j := range buf {
+		buf[j] = 0
+	}
+}

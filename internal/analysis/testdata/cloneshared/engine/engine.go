@@ -1,0 +1,98 @@
+// Package engine fixtures the cloneshared analyzer: every buffer
+// below comes from the shared medium (nand/ftl/bufpool), so in-place
+// mutation bleeds across Engine clones. FetchPage shows derived
+// sources — the taint rides its return value into callers.
+package engine
+
+import (
+	"fixture/cloneshared/bufpool"
+	"fixture/cloneshared/ftl"
+	"fixture/cloneshared/nand"
+)
+
+// Device couples the untimed medium layers.
+type Device struct {
+	ftl *ftl.FTL
+	arr *nand.Array
+}
+
+// FetchPage returns the mapped slice as-is, so it is itself a source:
+// callers mutating its result mutate shared state.
+func (d *Device) FetchPage(lba int64) ([]byte, bool) {
+	data, ok := d.ftl.Read(ftl.LBA(lba))
+	if !ok {
+		return nil, false
+	}
+	return data, true
+}
+
+// Engine mirrors core.Engine: clones share dev and pool.
+type Engine struct {
+	dev  *Device
+	pool *bufpool.Pool
+}
+
+// Patch writes into the live mapped page.
+func (e *Engine) Patch(lba int64, b byte) {
+	data, ok := e.dev.FetchPage(lba)
+	if !ok {
+		return
+	}
+	data[0] = b // want `writes into a device page buffer obtained from engine\.Device\.FetchPage`
+}
+
+// Scrub reslices the shared page and copies over it — same bug
+// through the slice alias.
+func (e *Engine) Scrub(lba int64, src []byte) {
+	data, ok := e.dev.FetchPage(lba)
+	if !ok {
+		return
+	}
+	row := data[4:8]
+	copy(row, src) // want `copies into a device page buffer obtained from engine\.Device\.FetchPage`
+}
+
+// Extend appends to a pool buffer: append may write in place when
+// capacity allows, mutating the borrowed page.
+func (e *Engine) Extend(i int) []byte {
+	cached := e.pool.Get(i)
+	return append(cached, 0xFF) // want `appends into a device page buffer obtained from bufpool\.Pool\.Get`
+}
+
+// Raw mutates the array's backing page directly.
+func (e *Engine) Raw(page int) {
+	buf := e.dev.arr.Read(page)
+	buf[1] = 2 // want `writes into a device page buffer obtained from nand\.Array\.Read`
+}
+
+// CopyOut is the sanctioned idiom: the append-to-nil copy owns its
+// memory, so the write is clone-local.
+func (e *Engine) CopyOut(lba int64, b byte) []byte {
+	data, ok := e.dev.FetchPage(lba)
+	if !ok {
+		return nil
+	}
+	out := append([]byte(nil), data...)
+	out[0] = b
+	return out
+}
+
+// Reread copies through make+copy — equally clone-local.
+func (e *Engine) Reread(page int) []byte {
+	data := e.dev.arr.Read(page)
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	buf[0] = 1
+	return buf
+}
+
+// Staged is a deliberate in-place repair behind the recovery lock,
+// suppressed with a justified allow.
+func (e *Engine) Staged(lba int64) {
+	data, ok := e.dev.FetchPage(lba)
+	if !ok {
+		return
+	}
+	//lint:allow cloneshared — recovery-only repair, runs before any clone exists
+	data[0] = 0
+}

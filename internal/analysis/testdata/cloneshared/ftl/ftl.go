@@ -1,0 +1,17 @@
+// Package ftl mirrors the module's ftl package for the cloneshared
+// fixture: FTL.Read returns the mapped page slice without copying.
+package ftl
+
+// LBA is a logical block address.
+type LBA int64
+
+// FTL is a minimal stand-in for ftl.FTL.
+type FTL struct {
+	table map[LBA][]byte
+}
+
+// Read returns the live mapped slice — shared across clones.
+func (f *FTL) Read(lba LBA) ([]byte, bool) {
+	data, ok := f.table[lba]
+	return data, ok
+}

@@ -1,0 +1,21 @@
+// Package nand mirrors the module's nand package for the cloneshared
+// fixture: Array.Read hands out the backing page slice itself, shared
+// across every Engine clone.
+package nand
+
+// Array is a minimal stand-in for nand.Array.
+type Array struct {
+	pages [][]byte
+}
+
+// Read returns the live page slice — callers must not mutate it.
+func (a *Array) Read(page int) []byte { return a.pages[page] }
+
+// Scrub writes in place, but nand owns its own buffers: the medium
+// package is exempt.
+func (a *Array) Scrub(page int) {
+	buf := a.Read(page)
+	for i := range buf {
+		buf[i] = 0
+	}
+}

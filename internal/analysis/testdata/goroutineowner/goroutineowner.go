@@ -1,0 +1,141 @@
+// Package goroutineowner fixtures the goroutine-ownership analyzer.
+// The passing shapes mirror the module's runner package — Crew is the
+// parked-worker pattern whose join evidence is the channel close in
+// its own Close method, not an allowlist entry. The failing shapes
+// leak: no Done matched by a Wait, no receive from a channel the
+// module ever closes.
+package goroutineowner
+
+import "sync"
+
+type task struct {
+	id int
+}
+
+// Crew mirrors runner.Crew: workers park on per-worker channels and
+// exit when Close closes them. The evidence is reachable through the
+// named method work → range c.tasks[worker], a channel close covers.
+type Crew struct {
+	tasks []chan task
+	wg    sync.WaitGroup
+}
+
+// NewCrew parks n workers.
+func NewCrew(n int) *Crew {
+	c := &Crew{tasks: make([]chan task, n)}
+	for w := range c.tasks {
+		c.tasks[w] = make(chan task)
+	}
+	for w := range c.tasks {
+		c.wg.Add(1)
+		go c.work(w)
+	}
+	return c
+}
+
+func (c *Crew) work(worker int) {
+	defer c.wg.Done()
+	for t := range c.tasks[worker] {
+		_ = t.id
+	}
+}
+
+// Close stops the crew: closing each task channel is the workers'
+// stop path, and the Wait matches their Done.
+func (c *Crew) Close() {
+	for _, ch := range c.tasks {
+		close(ch)
+	}
+	c.wg.Wait()
+}
+
+// Fan is the local scatter/gather idiom (runner.Runner): a local
+// WaitGroup whose Wait sits in the same function.
+func Fan(items []int) int {
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	sum := 0
+	for _, it := range items {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mu.Lock()
+			sum += it
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return sum
+}
+
+// Pool parks on a quit channel its Close closes, and Close waits.
+type Pool struct {
+	quit chan struct{}
+	wg   sync.WaitGroup
+}
+
+// Start parks one keeper goroutine.
+func (p *Pool) Start() {
+	p.quit = make(chan struct{})
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		<-p.quit
+	}()
+}
+
+// Close releases the keeper and joins it.
+func (p *Pool) Close() {
+	close(p.quit)
+	p.wg.Wait()
+}
+
+// Leak spins forever with no stop path at all.
+func Leak() {
+	go func() { // want `goroutine has no reachable join or stop path`
+		for {
+		}
+	}()
+}
+
+// Feeder drains a channel nothing ever closes: receiving is only a
+// stop path when a close is in the module.
+type Feeder struct {
+	in chan int
+	n  int
+}
+
+// Run parks the drain goroutine.
+func (f *Feeder) Run() {
+	go f.drain() // want `goroutine has no reachable join or stop path`
+}
+
+func (f *Feeder) drain() {
+	for v := range f.in {
+		f.n += v
+	}
+}
+
+// DoneWithoutWait calls Done on a WaitGroup no function ever Waits
+// on: the Done alone is not join evidence.
+type DoneWithoutWait struct {
+	wg sync.WaitGroup
+}
+
+// Kick fires the unjoined goroutine.
+func (d *DoneWithoutWait) Kick() {
+	d.wg.Add(1)
+	go func() { // want `goroutine has no reachable join or stop path`
+		defer d.wg.Done()
+	}()
+}
+
+// Background is a deliberate daemon: suppressed with a justified
+// allow, the fixture twin of an intentional process-lifetime worker.
+func Background(tick chan int) {
+	//lint:allow goroutineowner — process-lifetime metrics pump, exits with the process
+	go func() {
+		for range tick {
+		}
+	}()
+}

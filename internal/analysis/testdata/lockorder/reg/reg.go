@@ -1,0 +1,67 @@
+// Package reg is the upper layer of the lockorder fixture: Update
+// nests store under registry, the direction Flush (in package store)
+// inverts. The other methods pin the scanner's negatives: a branch
+// that releases before calling out, a goroutine that does not inherit
+// the spawner's locks, and a local mutex that never leaves its
+// function.
+package reg
+
+import (
+	"sync"
+
+	"fixture/lockorder/store"
+)
+
+// Registry aggregates flushed counts.
+type Registry struct {
+	mu    sync.Mutex
+	st    *store.Store
+	total int
+}
+
+// Emit makes Registry a store.Callback; it takes the registry lock.
+func (r *Registry) Emit(n int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.total += n
+}
+
+// Update establishes the order registry → store.
+func (r *Registry) Update(n int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.st.Put(n) // want `acquires store\.Store\.mu while holding reg\.Registry\.mu`
+}
+
+// Checked releases in the branch and after it: the Put runs unlocked,
+// so no edge is recorded.
+func (r *Registry) Checked(n int) {
+	r.mu.Lock()
+	if n < 0 {
+		r.mu.Unlock()
+		return
+	}
+	r.mu.Unlock()
+	r.st.Put(n)
+}
+
+// Spawn's goroutine does not inherit the registry lock: the closure
+// is scanned as its own scope and records no edge.
+func (r *Registry) Spawn(n int, done *sync.WaitGroup) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	done.Add(1)
+	go func() {
+		defer done.Done()
+		r.st.Put(n)
+	}()
+}
+
+// Local uses a function-local mutex: it orders against the store lock
+// in only one direction, so no cycle.
+func Local(st *store.Store) {
+	var mu sync.Mutex
+	mu.Lock()
+	defer mu.Unlock()
+	st.Put(1)
+}

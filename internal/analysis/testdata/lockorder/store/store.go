@@ -1,0 +1,44 @@
+// Package store is the lower layer of the lockorder fixture. Its
+// Flush holds the store lock while calling back into the registry
+// (through the Callback interface, resolved via the call graph's
+// dynamic edges), inverting the registry→store order reg.Update
+// establishes.
+package store
+
+import "sync"
+
+// Callback receives flushed counts.
+type Callback interface {
+	Emit(n int)
+}
+
+// Store holds a counter behind a mutex.
+type Store struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Put is a leaf lock: nothing nests under it.
+func (s *Store) Put(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n += n
+}
+
+// Flush calls the callback with the store lock held. With
+// reg.Registry.Emit on the other end this acquires the registry lock
+// under the store lock — the reverse of reg.Registry.Update.
+func (s *Store) Flush(cb Callback) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cb.Emit(s.n) // want `acquires reg\.Registry\.mu while holding store\.Store\.mu`
+}
+
+// Drain releases before calling out: no nesting, no finding.
+func (s *Store) Drain(cb Callback) {
+	s.mu.Lock()
+	n := s.n
+	s.n = 0
+	s.mu.Unlock()
+	cb.Emit(n)
+}

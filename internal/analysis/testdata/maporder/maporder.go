@@ -112,6 +112,37 @@ func goodSliceRange(xs []string) []string {
 	return out
 }
 
+// Collect-then-sort inside a switch case: the sort lives in the
+// CaseClause body, not a BlockStmt, and must still be recognized.
+func goodSortedInCase(m map[string]int, mode int) []string {
+	switch mode {
+	case 0:
+		keys := make([]string, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		return keys
+	default:
+		return nil
+	}
+}
+
+// Same shape in a select comm clause.
+func goodSortedInSelect(m map[string]int, ch chan struct{}) []string {
+	select {
+	case <-ch:
+		var keys []string
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		return keys
+	default:
+		return nil
+	}
+}
+
 func allowedDirective(m map[string]int) []string {
 	var out []string
 	for k := range m {

@@ -451,11 +451,16 @@ func (d *Device) MappedPages(fn func(lba int64, data []byte) error) error {
 func (d *Device) Trim(lba int64) error { return d.ftl.Trim(ftl.LBA(lba)) }
 
 // Mapped reports whether lba currently holds data (has an FTL
-// mapping). Out-of-range addresses report false.
+// mapping). Out-of-range addresses report false. The probe is
+// deliberately untimed: it models the controller consulting its
+// in-DRAM mapping table (WAL recovery and log-region bookkeeping use
+// it), not data-path NAND traffic — actual page reads on those paths
+// go through ReadPage and are charged there.
 func (d *Device) Mapped(lba int64) bool {
 	if lba < 0 || lba >= d.ftl.LogicalPages() {
 		return false
 	}
+	//lint:allow chargeconservation — in-DRAM mapping-table probe, not data traffic
 	_, ok := d.ftl.Lookup(ftl.LBA(lba))
 	return ok
 }
