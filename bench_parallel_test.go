@@ -63,7 +63,10 @@ func suiteAll(b *testing.B, s *experiments.Suite) int {
 // can tell a real speedup regression from a benchmark run on too few
 // cores.
 func BenchmarkSuiteWallClock(b *testing.B) {
-	cores := runtime.GOMAXPROCS(0)
+	// NumCPU, not GOMAXPROCS(0): under `go test -cpu 1` (or a capped
+	// GOMAXPROCS) the latter reports 1 even on a wide box, which would
+	// make cmd/benchjson -compare wrongly skip the suite-speedup gate.
+	cores := runtime.NumCPU()
 	wide := cores
 	if wide < 4 {
 		wide = 4
@@ -133,12 +136,25 @@ func BenchmarkHostQ6Allocs(b *testing.B) {
 		Aggs:           tpch.Q6Aggregates(),
 		EstSelectivity: 0.006,
 	}
+	benchWarm(b, e, spec, core.ForceHost)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := e.Run(spec, core.ForceHost); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// benchWarm runs spec once unmeasured, like the suite benchmark's
+// warm-up passes: arenas, batch vectors, and kernel caches reach their
+// steady reusable shapes, so allocs/op measures the reuse path rather
+// than first-run growth (which -benchtime=1x in CI would otherwise
+// charge entirely to the single measured iteration).
+func benchWarm(b *testing.B, e *core.Engine, spec core.QuerySpec, mode core.Mode) {
+	b.Helper()
+	if _, err := e.Run(spec, mode); err != nil {
+		b.Fatal(err)
 	}
 }
 
@@ -152,6 +168,7 @@ func BenchmarkDeviceQ6Allocs(b *testing.B) {
 		Aggs:           tpch.Q6Aggregates(),
 		EstSelectivity: 0.006,
 	}
+	benchWarm(b, e, spec, core.ForceDevice)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -172,6 +189,7 @@ func BenchmarkHostQ14Allocs(b *testing.B) {
 		Aggs:           tpch.Q14Aggregates(tpch.LineitemSchema(), tpch.PartSchema()),
 		EstSelectivity: 0.012,
 	}
+	benchWarm(b, e, spec, core.ForceHost)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -3,13 +3,17 @@
 //
 // Usage:
 //
-//	benchsuite [-exp all|fig1|table2|fig3|fig5|fig7|table3|q1|concurrency|interfaces|hybrid|faults|util]
+//	benchsuite [-exp all|fig1|table2|fig3|fig5|fig7|table3|q1|concurrency|interfaces|hybrid|faults|util|batch]
 //	           [-sf 0.05] [-synthr 2000] [-seed 1] [-faultseed 0]
 //	           [-par 0] [-cpuprofile file] [-memprofile file]
 //
 // -exp util prints per-resource utilization tables for Q6 on the host
 // and device paths (the bandwidth-crossover evidence); it is not part
 // of -exp all, whose output is a stable regression artifact.
+//
+// -exp batch sweeps the vectorized executor's batch size and charts
+// real wall-clock time per setting; like util it is excluded from
+// -exp all because measured wall clocks are nondeterministic.
 //
 // -par fans each experiment's independent sweep points across engine
 // clones (0: GOMAXPROCS workers, 1: serial). Rendered output is
@@ -33,11 +37,11 @@ import (
 // experimentNames lists every valid -exp value, in output order.
 var experimentNames = []string{
 	"all", "fig1", "table2", "fig3", "fig5", "fig7", "table3",
-	"q1", "concurrency", "interfaces", "hybrid", "faults", "util",
+	"q1", "concurrency", "interfaces", "hybrid", "faults", "util", "batch",
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig1, table2, fig3, fig5, fig7, table3, q1, concurrency, interfaces, hybrid, faults, util")
+	exp := flag.String("exp", "all", "experiment: all, fig1, table2, fig3, fig5, fig7, table3, q1, concurrency, interfaces, hybrid, faults, util, batch")
 	sf := flag.Float64("sf", 0.05, "TPC-H scale factor (paper: 100)")
 	synthR := flag.Int64("synthr", 2000, "Synthetic64_R rows (paper: 1,000,000; S is 400x)")
 	seed := flag.Int64("seed", 1, "data generation seed")
@@ -129,6 +133,17 @@ func main() {
 		r, err := experiments.ExtUtil(o)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchsuite: util: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(r.Render())
+	}
+
+	// batch is opt-in for the same reason: it reports measured wall
+	// clocks, which vary run to run.
+	if *exp == "batch" {
+		r, err := experiments.ExtBatch(o)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchsuite: batch: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Println(r.Render())

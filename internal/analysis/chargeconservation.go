@@ -18,6 +18,16 @@
 // nand and ftl packages themselves are exempt: the medium is untimed
 // by design, and the controller (internal/ssd) does the charging.
 //
+// Batch charge helpers satisfy the invariant by construction: the
+// vectorized executor accumulates identical per-row charges
+// (exec.Ctx.chargeBatched / chargeBatchedN / chargeRun) and flushes
+// them as one sim.Server.ServeRun, and the device's vectorized page
+// loop folds the page's closed-form cycle total into one
+// Device.DeviceCompute charge. Both flush paths reach ServeRun/Serve
+// in the reader's call closure, so a vectorized reader that forgets
+// the flush — the batched bug class in the fixture's
+// FetchColumnsFast — is reported like any other uncharged read.
+//
 // Intentionally uncharged reads — metadata predicates like
 // ssd.Device.Mapped, whose mapping-table probe models controller
 // bookkeeping rather than data traffic — carry a justified

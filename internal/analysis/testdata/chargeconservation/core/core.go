@@ -64,6 +64,63 @@ func (d *Device) FetchRunFast(lbas []int64) ([][]byte, error) {
 	return out, nil
 }
 
+// batchAcc mirrors exec.Ctx's chargeBatched/chargeBatchedN helpers:
+// charges accumulate per batch and flush as one ServeRun. The flush is
+// the charge sink, so any reader with a flush in its call closure is
+// conserved.
+type batchAcc struct {
+	srv    *sim.Server
+	cycles int64
+	count  int
+}
+
+func (a *batchAcc) add(cycles int64, n int) {
+	a.cycles = cycles
+	a.count += n
+}
+
+func (a *batchAcc) flush() {
+	if a.count > 0 {
+		a.srv.ServeRun(0, a.cycles, a.count)
+		a.count = 0
+	}
+}
+
+// FetchColumns is the vectorized page path: decode whole columns from
+// each page, accumulate one charge per selected row, flush the batch.
+// Vectorization is fine exactly because the deferred flush still books
+// the same busy intervals the scalar loop would.
+func (d *Device) FetchColumns(lbas []int64, acc *batchAcc) ([][]byte, error) {
+	out := make([][]byte, 0, len(lbas))
+	for _, lba := range lbas {
+		data, err := d.ftl.Read(ftl.LBA(lba))
+		if err != nil {
+			return nil, err
+		}
+		acc.add(int64(len(data)), 1)
+		out = append(out, data)
+	}
+	acc.flush()
+	return out, nil
+}
+
+// FetchColumnsFast is the uncharged imitation of FetchColumns: it
+// accumulates into the batch helper but never flushes, and nothing in
+// its call closure reaches a sim.Server — the batched analogue of
+// FetchRunFast.
+func (d *Device) FetchColumnsFast(lbas []int64, acc *batchAcc) ([][]byte, error) {
+	out := make([][]byte, 0, len(lbas))
+	for _, lba := range lbas {
+		data, err := d.ftl.Read(ftl.LBA(lba)) // want `FetchColumnsFast reads ftl\.FTL\.Read on the executor/device data path but charges no sim\.Server cycles`
+		if err != nil {
+			return nil, err
+		}
+		acc.add(int64(len(data)), 1)
+		out = append(out, data)
+	}
+	return out, nil
+}
+
 // raw senses the array with no charge anywhere in its closure.
 func (d *Device) raw(page int) []byte {
 	return d.array.Read(page) // want `raw reads nand\.Array\.Read on the executor/device data path but charges no sim\.Server cycles`
@@ -98,6 +155,13 @@ func (e *Engine) Run() error {
 		return err
 	}
 	if _, err := e.dev.FetchRunFast([]int64{3, 4}); err != nil {
+		return err
+	}
+	acc := &batchAcc{srv: e.dev.dcpu}
+	if _, err := e.dev.FetchColumns([]int64{5, 6}, acc); err != nil {
+		return err
+	}
+	if _, err := e.dev.FetchColumnsFast([]int64{7, 8}, acc); err != nil {
 		return err
 	}
 	_ = e.dev.raw(5)

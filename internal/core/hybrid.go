@@ -92,8 +92,7 @@ func (e *Engine) runHybrid(spec QuerySpec, t, build *Table) (*Result, error) {
 		return nil, err
 	}
 	setScanRange(hostOp, t.File.Name(), devPages, t.File.Pages()-devPages)
-	ctx := exec.NewCtx(e.host)
-	ctx.Scratch = &e.scratch
+	ctx := e.newExecCtx()
 	hostRows, hostEnd, err := exec.Collect(ctx, hostOp)
 	if err != nil {
 		return nil, fmt.Errorf("core: hybrid host side: %w", err)

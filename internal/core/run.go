@@ -355,14 +355,23 @@ func maxColumn(ex expr.Expr) int {
 	return m
 }
 
+// newExecCtx builds a host executor context carrying the engine's
+// scratch arenas and execution tuning.
+func (e *Engine) newExecCtx() *exec.Ctx {
+	ctx := exec.NewCtx(e.host)
+	ctx.Scratch = &e.scratch
+	ctx.ScalarExec = e.scalarExec
+	ctx.BatchRows = e.batchRows
+	return ctx
+}
+
 func (e *Engine) runHost(spec QuerySpec, t, build *Table) (*Result, error) {
 	op, err := e.hostPlan(spec, t, build)
 	if err != nil {
 		return nil, err
 	}
 	win := e.faultWindow()
-	ctx := exec.NewCtx(e.host)
-	ctx.Scratch = &e.scratch
+	ctx := e.newExecCtx()
 	rows, end, err := exec.Collect(ctx, op)
 	if err != nil {
 		return nil, err

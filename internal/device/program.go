@@ -288,10 +288,160 @@ func (st *stager) ship(ready time.Duration) {
 	}
 }
 
+// progTuning carries the runtime's execution knobs into a program run:
+// the scalar-path override and the cross-run compiled-kernel cache.
+type progTuning struct {
+	scalar  bool
+	kernels map[string]*expr.BatchExpr
+}
+
+// compileCached compiles e for vectorized evaluation through the
+// runtime's kernel cache, probing by canonical key so a long-lived
+// runtime compiles each distinct expression once.
+func compileCached(cache map[string]*expr.BatchExpr, e expr.Expr) (*expr.BatchExpr, bool) {
+	if cache == nil {
+		return expr.CompileBatch(e)
+	}
+	key, ok := expr.BatchKey(e)
+	if !ok {
+		return nil, false
+	}
+	if be := cache[key]; be != nil {
+		return be, true
+	}
+	be, ok := expr.CompileBatch(e)
+	if !ok {
+		return nil, false
+	}
+	cache[key] = be
+	return be, true
+}
+
+// vecProg is the vectorized form of a no-join device scan: compiled
+// filter/aggregate/output kernels plus the columnar batch their decoded
+// column vectors live in, carved once at page capacity and refilled in
+// place page after page. Charged cycles are computed closed-form from
+// the page's row count and the selection length — the per-page
+// DeviceCompute charge is an order-free sum, so the totals are
+// byte-identical to the scalar loop's.
+type vecProg struct {
+	filter   *expr.BatchExpr // nil when the query has no filter
+	aggK     []*expr.BatchExpr
+	outK     []*expr.BatchExpr
+	batch    *schema.Batch
+	ident    []int32
+	intCols  []int
+	intVecs  [][]int64
+	charCols []int
+	charVecs [][][]byte
+	vals     [][]int64  // agg kernel outputs, per spec
+	outI     [][]int64  // projection kernel outputs
+	outB     [][][]byte // CHAR projection kernel outputs
+}
+
+// newVecProg compiles the vectorized scan for a no-join query,
+// reporting false when any expression is outside the batch compiler's
+// class (the program then runs the scalar loop).
+func newVecProg(q Query, cache map[string]*expr.BatchExpr, arena *schema.TupleArena) (*vecProg, bool) {
+	v := &vecProg{}
+	var cols []int
+	if q.Filter != nil {
+		k, ok := compileCached(cache, q.Filter)
+		if !ok {
+			return nil, false
+		}
+		v.filter = k
+		cols = expr.AppendDistinctColumns(cols, q.Filter)
+	}
+	if len(q.Aggs) > 0 {
+		v.aggK = make([]*expr.BatchExpr, len(q.Aggs))
+		v.vals = make([][]int64, len(q.Aggs))
+		for i, a := range q.Aggs {
+			if a.E == nil {
+				continue
+			}
+			k, ok := compileCached(cache, a.E)
+			if !ok {
+				return nil, false
+			}
+			v.aggK[i] = k
+			cols = expr.AppendDistinctColumns(cols, a.E)
+		}
+		cols = append(cols, q.GroupBy...)
+	} else {
+		v.outK = make([]*expr.BatchExpr, len(q.Output))
+		v.outI = make([][]int64, len(q.Output))
+		v.outB = make([][][]byte, len(q.Output))
+		for i, c := range q.Output {
+			k, ok := compileCached(cache, c.E)
+			if !ok {
+				return nil, false
+			}
+			v.outK[i] = k
+			cols = expr.AppendDistinctColumns(cols, c.E)
+		}
+	}
+	// Global dedupe: AppendDistinctColumns only dedupes within one call.
+	seen := 0
+	for _, c := range cols {
+		dup := false
+		for i := 0; i < seen; i++ {
+			if cols[i] == c {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			cols[seen] = c
+			seen++
+		}
+	}
+	cols = cols[:seen]
+
+	capacity := page.Capacity(q.Table.Schema, q.Table.Layout)
+	v.batch = schema.NewBatch(q.Table.Schema.NumColumns())
+	v.ident = arena.Sel(capacity)
+	for _, c := range cols {
+		if q.Table.Schema.Column(c).Kind == schema.Char {
+			vec := arena.ByteVecs(capacity)
+			v.batch.SetBytesVec(c, vec)
+			v.charCols = append(v.charCols, c)
+			v.charVecs = append(v.charVecs, vec)
+		} else {
+			vec := arena.Ints(capacity)
+			v.batch.SetInt64Vec(c, vec)
+			v.intCols = append(v.intCols, c)
+			v.intVecs = append(v.intVecs, vec)
+		}
+	}
+	return v, true
+}
+
+// bind decodes the planned columns of the bound page into the batch's
+// vectors, in place, and refreshes the identity selection.
+func (v *vecProg) bind(r *page.Reader) []int32 {
+	n := r.Count()
+	v.batch.SetLen(n)
+	for k, c := range v.intCols {
+		r.Int64ColumnInto(c, v.intVecs[k])
+	}
+	for k, c := range v.charCols {
+		r.BytesColumnInto(c, v.charVecs[k])
+	}
+	sel := v.ident[:n]
+	for i := range sel {
+		sel[i] = int32(i)
+	}
+	if v.filter != nil {
+		sel = v.filter.Select(v.batch, sel)
+	}
+	return sel
+}
+
 // runProgram executes a validated query inside the device: fetch pages
 // over the internal path, charge the embedded CPU, stage and ship
 // results. It returns the staged chunks and the completion time.
-func runProgram(dev *ssd.Device, cost CostModel, chunkBytes int64, q Query) (*result, error) {
+func runProgram(dev *ssd.Device, cost CostModel, chunkBytes int64, q Query, tun progTuning) (*result, error) {
 	outSchema := q.OutputSchema()
 	res := &result{}
 	st := &stager{dev: dev, rowBytes: int64(outSchema.TupleWidth()), limit: chunkBytes}
@@ -404,6 +554,20 @@ func runProgram(dev *ssd.Device, cost CostModel, chunkBytes int64, q Query) (*re
 	var emitted []pending
 	noBuild := []schema.Tuple{nil}
 	row := &joinedRow{np: np}
+	// Vectorized no-join scan: compiled kernels over columnar batches,
+	// with the page's whole charge computed closed-form from the row
+	// count and selection length. Falls back to the scalar loop when an
+	// expression is outside the batch compiler's class.
+	var vp *vecProg
+	if q.Join == nil && !tun.scalar {
+		vp, _ = newVecProg(q, tun.kernels, &arena)
+	}
+	// Joined scans keep the scalar per-row loop (the residual filter may
+	// reference build columns), but read the probe-key column in bulk.
+	var keyVec []int64
+	if q.Join != nil && !tun.scalar && q.Table.Schema.Column(q.Join.ProbeKey).Kind != schema.Char {
+		keyVec = arena.Ints(page.Capacity(q.Table.Schema, q.Table.Layout))
+	}
 	for p := int64(0); p < q.Table.Pages; p++ {
 		issue := consumeRing[p%prefetchDepth]
 		data, at, err := dev.FetchPage(q.Table.StartLBA+p, issue)
@@ -419,6 +583,104 @@ func runProgram(dev *ssd.Device, cost CostModel, chunkBytes int64, q Query) (*re
 		}
 
 		n := int64(r.Count())
+		if vp != nil {
+			sel := vp.bind(r)
+			res.probeRows += n
+			cycles := cost.PageCycles + n*cost.TupleCycles
+			if q.Filter != nil {
+				cycles += n * filterCycles
+			}
+			k := int64(len(sel))
+			if len(q.Aggs) > 0 {
+				per := aggOps*cost.OpCycles + int64(aggCols)*valueCycles +
+					int64(len(q.Aggs))*cost.AggCycles
+				if groups != nil {
+					per += int64(len(q.GroupBy))*valueCycles + cost.HashProbeCycles
+				}
+				cycles += k * per
+			} else {
+				cycles += k * (outOps*cost.OpCycles + int64(outCols)*valueCycles + emitRowCycles)
+			}
+			done := dev.DeviceCompute(cycles, ready)
+			consumeRing[p%prefetchDepth] = done
+			if done > scanEnd {
+				scanEnd = done
+			}
+			if len(q.Aggs) > 0 {
+				for i, kn := range vp.aggK {
+					if kn != nil {
+						vp.vals[i] = kn.EvalInt64(vp.batch, sel, vp.vals[i])
+					}
+				}
+				for pi, ri := range sel {
+					vals, seen := aggVals, aggSeen
+					if groups != nil {
+						keyBuf = keyBuf[:0]
+						for _, g := range q.GroupBy {
+							keyBuf = combined.EncodeValue(keyBuf, g, vp.batch.Value(g, int(ri)))
+						}
+						gs, ok := groups[string(keyBuf)]
+						if !ok {
+							gs = newState()
+							for gi, g := range q.GroupBy {
+								gv := vp.batch.Value(g, int(ri))
+								if gv.Bytes != nil {
+									gv.Bytes = arena.CloneBytes(gv.Bytes)
+								}
+								gs.group[gi] = gv
+							}
+							groups[string(keyBuf)] = gs
+							groupOrder = append(groupOrder, string(keyBuf))
+						}
+						vals, seen = gs.vals, gs.seen
+					}
+					for i, a := range q.Aggs {
+						switch a.Kind {
+						case plan.Count:
+							vals[i]++
+						case plan.Sum:
+							vals[i] += vp.vals[i][pi]
+						case plan.Min:
+							if v := vp.vals[i][pi]; !seen[i] || v < vals[i] {
+								vals[i] = v
+							}
+						case plan.Max:
+							if v := vp.vals[i][pi]; !seen[i] || v > vals[i] {
+								vals[i] = v
+							}
+						}
+						seen[i] = true
+					}
+					res.outRows++
+				}
+			} else {
+				// Projection is deferred past the page's compute charge,
+				// exactly like the scalar loop's pending-emit list.
+				for i, kn := range vp.outK {
+					if kn.Kind() == schema.Char {
+						vp.outB[i] = kn.EvalBytes(vp.batch, sel, vp.outB[i])
+					} else {
+						vp.outI[i] = kn.EvalInt64(vp.batch, sel, vp.outI[i])
+					}
+				}
+				for pi := range sel {
+					for c, kn := range vp.outK {
+						if kn.Kind() == schema.Char {
+							outRow[c] = schema.Value{Bytes: vp.outB[c][pi]}
+						} else {
+							outRow[c] = schema.Value{Int: vp.outI[c][pi]}
+						}
+					}
+					res.outRows++
+					st.add(outRow, done)
+				}
+			}
+			continue
+		}
+		var keys []int64
+		if keyVec != nil {
+			keys = r.Int64ColumnInto(q.Join.ProbeKey, keyVec)
+		}
 		cycles := cost.PageCycles + n*cost.TupleCycles
 		emitted = emitted[:0]
 
@@ -429,7 +691,12 @@ func runProgram(dev *ssd.Device, cost CostModel, chunkBytes int64, q Query) (*re
 				// Probe first: the device program pipelines the hash
 				// probe with the residual predicate (Figure 4).
 				cycles += probeAccess + cost.HashProbeCycles
-				key := r.Column(i, q.Join.ProbeKey).Int
+				var key int64
+				if keys != nil {
+					key = keys[i]
+				} else {
+					key = r.Column(i, q.Join.ProbeKey).Int
+				}
 				builds = ht[key]
 				if len(builds) == 0 {
 					continue

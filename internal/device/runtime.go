@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"smartssd/internal/expr"
 	"smartssd/internal/metrics"
 	"smartssd/internal/schema"
 	"smartssd/internal/ssd"
@@ -71,6 +72,8 @@ type Runtime struct {
 	granted    int64              // DRAM bytes granted to live sessions
 	phases     PhaseStats
 	rec        *trace.Recorder // nil unless SetRecorder installed one
+	scalarExec bool            // force the scalar per-tuple program loop
+	kernels    map[string]*expr.BatchExpr
 }
 
 // PhaseStats aggregates protocol-phase latencies across sessions. An
@@ -113,8 +116,16 @@ func NewRuntime(dev *ssd.Device, c CostModel) *Runtime {
 		sessions:   make(map[SessionID]*session),
 		closed:     make(map[SessionID]bool),
 		phases:     newPhaseStats(),
+		kernels:    make(map[string]*expr.BatchExpr),
 	}
 }
+
+// SetExecTuning selects the program execution path: scalar true forces
+// the per-tuple loop, false (the default) lets supported programs run
+// vectorized. Both paths produce byte-identical results, timings, and
+// stats — the vectorized loop charges closed-form identical cycles —
+// so this is a wall-clock knob for benchmarks and equivalence tests.
+func (r *Runtime) SetExecTuning(scalar bool) { r.scalarExec = scalar }
 
 func newPhaseStats() PhaseStats {
 	return PhaseStats{
@@ -240,7 +251,8 @@ func (r *Runtime) Get(id SessionID) (GetResult, error) {
 		return GetResult{}, fmt.Errorf("%w: %d", ErrSessionAborted, id)
 	}
 	if s.result == nil {
-		res, err := runProgram(r.dev, r.cost, r.chunkBytes, s.query)
+		res, err := runProgram(r.dev, r.cost, r.chunkBytes, s.query,
+			progTuning{scalar: r.scalarExec, kernels: r.kernels})
 		if err != nil {
 			return GetResult{}, fmt.Errorf("device: session %d: %w", id, err)
 		}

@@ -14,6 +14,7 @@ import (
 	"errors"
 	"time"
 
+	"smartssd/internal/expr"
 	"smartssd/internal/schema"
 	"smartssd/internal/sim"
 )
@@ -94,14 +95,24 @@ type Stats struct {
 type Scratch struct {
 	build schema.TupleArena
 	group schema.TupleArena
+	// vec backs the vectorized path's column vectors and selection
+	// vectors, carved once per run and reused page to page.
+	vec schema.TupleArena
+	// kernels caches compiled batch expressions across runs, keyed by
+	// their canonical structural signature (expr.BatchExpr.Key), so a
+	// reused engine compiles each distinct expression once.
+	kernels map[string]*expr.BatchExpr
 }
 
 // Reset recycles the scratch arenas for the next run. Tuples carved
 // during prior runs are invalidated; operators never leak scratch
-// memory into results (Collect deep-copies into its own arena).
+// memory into results (Collect deep-copies into its own arena). The
+// compiled-kernel cache survives Reset deliberately: kernels hold no
+// run state beyond reusable scratch vectors.
 func (s *Scratch) Reset() {
 	s.build.Reset()
 	s.group.Reset()
+	s.vec.Reset()
 }
 
 // Ctx carries the host model and run statistics through an operator tree.
@@ -112,6 +123,16 @@ type Ctx struct {
 	// aggregate group state; operators fall back to run-local arenas
 	// when it is nil.
 	Scratch *Scratch
+	// ScalarExec forces the scalar tuple-at-a-time path. The default
+	// (false) lets Collect run recognized plan shapes through the
+	// vectorized executor, which charges closed-form identical CPU
+	// cycles (see vector.go).
+	ScalarExec bool
+	// BatchRows caps the selection-vector length handed downstream per
+	// batch on the vectorized path; zero means whole-page batches.
+	// Results and charges are identical at every setting (ServeRun is
+	// additive); only wall-clock locality changes.
+	BatchRows int
 
 	// Pending batched charge run: runCount consecutive charges of
 	// runCycles each, all ready at runReady, not yet scheduled on the
@@ -153,6 +174,41 @@ func (c *Ctx) chargeBatched(cycles int64, ready time.Duration) {
 	c.runCycles = cycles
 	c.runReady = ready
 	c.runCount++
+}
+
+// chargeBatchedN accumulates n identical charges at once — exactly n
+// successive chargeBatched calls with the same signature. The
+// vectorized path uses it to book a whole selection vector's worth of
+// per-tuple work (or a counted run of join-probe misses) in one call
+// while preserving the scalar path's flush points: a signature change
+// or any direct charge still flushes first.
+func (c *Ctx) chargeBatchedN(cycles int64, ready time.Duration, n int) {
+	if n <= 0 {
+		return
+	}
+	if c.runCount > 0 && (cycles != c.runCycles || ready != c.runReady) {
+		c.flushRun()
+	}
+	c.runCycles = cycles
+	c.runReady = ready
+	c.runCount += n
+}
+
+// chargeRun books k identical charges immediately — flush-equivalent to
+// k successive charge calls with the same arguments — and returns the
+// last completion time. Unlike flushRun it does NOT fold the completion
+// into runMax: it replicates paths (Project's per-row output charges)
+// whose scalar Serves never touch the batched-run accumulator, so a
+// later takeRunMax barrier sees exactly what the scalar path's would.
+func (c *Ctx) chargeRun(cycles int64, ready time.Duration, k int) time.Duration {
+	if c.runCount > 0 {
+		c.flushRun()
+	}
+	if k <= 0 {
+		return ready
+	}
+	c.Stats.CPUCycles += cycles * int64(k)
+	return c.Host.CPU.ServeRun(ready, cycles, k)
 }
 
 // flushRun schedules the pending batched run as one ServeRun call —

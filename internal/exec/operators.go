@@ -102,16 +102,28 @@ func (t *TableScan) Run(ctx *Ctx, emit Emit) (time.Duration, error) {
 		return nil
 	}
 
+	ioEnd, err := t.drivePages(ctx, process)
+	if err != nil {
+		return end, err
+	}
+	if ioEnd > end {
+		end = ioEnd
+	}
+	return end, nil
+}
+
+// drivePages iterates the scan's pages in order — through the buffer
+// pool when one is attached, direct sequential range reads otherwise —
+// invoking process for each bound page with its arrival time. It
+// returns the I/O-side completion time (the last page arrival, raised
+// to the host CPU horizon on the pool path); charge-side completion
+// times are tracked by the process callback. Both the scalar and
+// vectorized scan paths share this driver, so caching and I/O timing
+// behave identically.
+func (t *TableScan) drivePages(ctx *Ctx, process func(*page.Reader, time.Duration) error) (time.Duration, error) {
 	if t.Pool == nil {
 		from, n := t.scanRange()
-		last, err := t.File.ScanRange(from, n, 0, process)
-		if err != nil {
-			return end, err
-		}
-		if last > end {
-			end = last
-		}
-		return end, nil
+		return t.File.ScanRange(from, n, 0, process)
 	}
 	return t.runWithPool(ctx, process)
 }
@@ -306,8 +318,11 @@ func (j *HashJoin) Explain() string {
 		j.Build.Schema().Column(j.BuildKey).Name, j.Probe.Schema().Column(j.ProbeKey).Name)
 }
 
-// Run implements Operator.
-func (j *HashJoin) Run(ctx *Ctx, emit Emit) (time.Duration, error) {
+// runBuild reads the build side fully into the in-memory hash table and
+// returns it with the build phase's completion barrier. Shared by the
+// scalar Run and the vectorized probe wrapper, so both phases charge
+// identically.
+func (j *HashJoin) runBuild(ctx *Ctx) (map[int64][]schema.Tuple, time.Duration, error) {
 	cost := ctx.Host.Cost
 	ht := make(map[int64][]schema.Tuple)
 	// Build tuples are retained for the whole probe phase; an arena
@@ -334,7 +349,13 @@ func (j *HashJoin) Run(ctx *Ctx, emit Emit) (time.Duration, error) {
 		ctx.Stats.HashBuilds++
 		return nil
 	})
-	buildDone := ctx.takeRunMax()
+	return ht, ctx.takeRunMax(), err
+}
+
+// Run implements Operator.
+func (j *HashJoin) Run(ctx *Ctx, emit Emit) (time.Duration, error) {
+	cost := ctx.Host.Cost
+	ht, buildDone, err := j.runBuild(ctx)
 	if err != nil {
 		return buildDone, err
 	}
@@ -580,10 +601,14 @@ func (a *Aggregate) Run(ctx *Ctx, emit Emit) (time.Duration, error) {
 func Collect(ctx *Ctx, op Operator) ([]schema.Tuple, time.Duration, error) {
 	var rows []schema.Tuple
 	var arena schema.TupleArena
-	end, err := op.Run(ctx, func(t schema.Tuple, _ time.Duration) error {
+	sink := func(t schema.Tuple, _ time.Duration) error {
 		rows = append(rows, arena.Clone(t))
 		return nil
-	})
+	}
+	end, err, vectorized := runVectorized(ctx, op, sink)
+	if !vectorized {
+		end, err = op.Run(ctx, sink)
+	}
 	// Safety barrier: a well-formed operator takes its own batched runs
 	// at its phase boundaries, but flush here so no charge can outlive
 	// the run even if a future operator forgets.

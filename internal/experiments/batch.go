@@ -1,0 +1,196 @@
+package experiments
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"time"
+
+	"smartssd/internal/core"
+	"smartssd/internal/opt"
+	"smartssd/internal/page"
+	"smartssd/internal/tpch"
+)
+
+// BatchPoint is one batch-size sweep point: an executor setting with
+// its measured wall clock and the (setting-invariant) virtual result.
+type BatchPoint struct {
+	Name string
+	// BatchRows is the executor setting: -1 the scalar path, 0
+	// whole-page batches, otherwise the selection chunk cap.
+	BatchRows int
+	// Wall is the best-of-reps measured wall clock — real time, so
+	// nondeterministic; this is why the batch experiment is opt-in and
+	// excluded from the -exp all regression artifact.
+	Wall time.Duration
+	// Elapsed is the simulated query time, asserted byte-identical at
+	// every setting (the vectorized charge-equivalence invariant).
+	Elapsed time.Duration
+	Answer  int64
+	// Model is the planner's advisory per-row overhead prediction
+	// (opt.BatchOverheadPerRow) for this batch size, host path only.
+	Model float64
+}
+
+// BatchReport is the `-exp batch` artifact: TPC-H Q6 wall clock as a
+// function of executor batch size on the host path, plus scalar-versus-
+// vectorized on the device path (which always runs page-sized batches).
+// Every point's virtual result — rows, elapsed time, resource report —
+// is asserted identical to the scalar baseline before the wall clocks
+// are reported, so the sweep doubles as an end-to-end equivalence check.
+type BatchReport struct {
+	Host     []BatchPoint
+	Device   []BatchPoint
+	PageRows int // host-path page capacity, the effective batch=page size
+}
+
+// ExtBatch sweeps the vectorized executor's batch size and measures
+// wall-clock execution speed on both paths.
+func ExtBatch(o Options) (BatchReport, error) {
+	o.fill()
+	e, err := engineFor(o)
+	if err != nil {
+		return BatchReport{}, err
+	}
+	if err := loadTPCH(e, o, false); err != nil {
+		return BatchReport{}, err
+	}
+	spec := func(table string) core.QuerySpec {
+		return core.QuerySpec{
+			Table:          table,
+			Filter:         tpch.Q6Predicate(),
+			Aggs:           tpch.Q6Aggregates(),
+			EstSelectivity: 0.006,
+		}
+	}
+
+	type setting struct {
+		name      string
+		scalar    bool
+		batchRows int
+	}
+	run := func(qs core.QuerySpec, mode core.Mode, s setting) (BatchPoint, *core.Result, error) {
+		e.SetExecTuning(s.scalar, s.batchRows)
+		const reps = 3
+		var best time.Duration
+		var res *core.Result
+		for i := 0; i < reps; i++ {
+			start := time.Now() //lint:allow walltime — the batch sweep charts real execution speed; virtual results are asserted identical below
+			r, err := e.Run(qs, mode)
+			wall := time.Since(start) //lint:allow walltime — paired with the start read above
+			if err != nil {
+				return BatchPoint{}, nil, fmt.Errorf("batch %s: %w", s.name, err)
+			}
+			if res == nil || wall < best {
+				best = wall
+			}
+			res = r
+		}
+		br := s.batchRows
+		if s.scalar {
+			br = -1
+		}
+		return BatchPoint{
+			Name:      s.name,
+			BatchRows: br,
+			Wall:      best,
+			Elapsed:   res.Elapsed,
+			Answer:    res.Rows[0][0].Int,
+		}, res, nil
+	}
+	check := func(name string, res, base *core.Result) error {
+		if res.Elapsed != base.Elapsed {
+			return fmt.Errorf("batch %s: elapsed %v != scalar %v", name, res.Elapsed, base.Elapsed)
+		}
+		if !reflect.DeepEqual(res.Rows, base.Rows) {
+			return fmt.Errorf("batch %s: rows differ from scalar baseline", name)
+		}
+		if !reflect.DeepEqual(res.Resources, base.Resources) {
+			return fmt.Errorf("batch %s: resource report differs from scalar baseline", name)
+		}
+		return nil
+	}
+
+	rep := BatchReport{
+		PageRows: page.Capacity(tpch.LineitemSchema(), page.NSM),
+	}
+	hostSettings := []setting{
+		{"scalar", true, 0},
+		{"batch=1", false, 1},
+		{"batch=16", false, 16},
+		{"batch=64", false, 64},
+		{"batch=256", false, 256},
+		{"batch=page", false, 0},
+	}
+	var hostBase *core.Result
+	for _, s := range hostSettings {
+		pt, res, err := run(spec("lineitem_nsm"), core.ForceHost, s)
+		if err != nil {
+			return BatchReport{}, err
+		}
+		if hostBase == nil {
+			hostBase = res
+		} else if err := check("host "+s.name, res, hostBase); err != nil {
+			return BatchReport{}, err
+		}
+		if !s.scalar {
+			n := pt.BatchRows
+			if n <= 0 {
+				n = rep.PageRows
+			}
+			pt.Model = opt.BatchOverheadPerRow(n)
+		}
+		rep.Host = append(rep.Host, pt)
+	}
+
+	deviceSettings := []setting{
+		{"scalar", true, 0},
+		{"vectorized", false, 0},
+	}
+	var devBase *core.Result
+	for _, s := range deviceSettings {
+		pt, res, err := run(spec("lineitem_pax"), core.ForceDevice, s)
+		if err != nil {
+			return BatchReport{}, err
+		}
+		if devBase == nil {
+			devBase = res
+		} else if err := check("device "+s.name, res, devBase); err != nil {
+			return BatchReport{}, err
+		}
+		rep.Device = append(rep.Device, pt)
+	}
+	return rep, nil
+}
+
+// Render prints the sweep as two tables with a relative-speed bar per
+// point (wall clocks are real time: values vary run to run; the shape
+// is the signal).
+func (r BatchReport) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Vectorized batch-size sweep: TPC-H Q6 wall clock (virtual results identical at every setting)\n")
+	render := func(title string, pts []BatchPoint, withModel bool) {
+		if len(pts) == 0 {
+			return
+		}
+		fmt.Fprintf(&b, "\n%s\n", title)
+		base := pts[0].Wall
+		for _, p := range pts {
+			rel := 1.0
+			if base > 0 {
+				rel = float64(p.Wall) / float64(base)
+			}
+			bar := strings.Repeat("#", int(rel*20+0.5))
+			fmt.Fprintf(&b, "  %-12s wall %10s  %5.2fx %s", p.Name, p.Wall.Round(time.Microsecond), rel, bar)
+			if withModel && p.Model > 0 {
+				fmt.Fprintf(&b, "  [model %.2fx/row]", p.Model)
+			}
+			fmt.Fprintf(&b, "\n")
+		}
+		fmt.Fprintf(&b, "  (virtual elapsed %s, answer %d at every setting)\n",
+			fmtDur(pts[0].Elapsed), pts[0].Answer)
+	}
+	render(fmt.Sprintf("host path, lineitem NSM (batch=page is %d rows):", r.PageRows), r.Host, true)
+	render("device path, lineitem PAX (page-at-a-time batches):", r.Device, false)
+	return b.String()
+}

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// allArtifacts is every rendered experiment in `-exp all` that runs
+// queries (Fig1 is a static bandwidth trend): the golden figure/table
+// set plus the extension experiments.
+func allArtifacts() []goldenArtifact {
+	arts := goldenArtifacts()
+	arts = append(arts,
+		goldenArtifact{"q1", func(o Options) (string, error) {
+			r, err := ExtQ1(o)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		goldenArtifact{"concurrency", func(o Options) (string, error) {
+			r, err := ExtConcurrency(o)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		goldenArtifact{"interfaces", func(o Options) (string, error) {
+			r, err := ExtInterface(o)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		goldenArtifact{"hybrid", func(o Options) (string, error) {
+			r, err := ExtHybrid(o)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		goldenArtifact{"faults", func(o Options) (string, error) {
+			r, err := ExtFaults(o)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+	)
+	return arts
+}
+
+// TestScalarVectorizedArtifactsByteIdentical proves the vectorized
+// executor's equivalence claim end to end: every `-exp all` artifact —
+// the paper's figures and tables plus every extension experiment —
+// renders byte-for-byte identically with the executor forced scalar,
+// at the vectorized default, and at a deliberately awkward batch size.
+// Vectorization may only change how fast the simulator runs, never
+// what it computes or charges.
+func TestScalarVectorizedArtifactsByteIdentical(t *testing.T) {
+	settings := []struct {
+		name      string
+		scalar    bool
+		batchRows int
+	}{
+		{"scalar", true, 0},
+		{"vec-batch3", false, 3},
+	}
+	for _, a := range allArtifacts() {
+		a := a
+		t.Run(a.name, func(t *testing.T) {
+			want, err := a.run(goldenOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, s := range settings {
+				o := goldenOptions()
+				o.ScalarExec = s.scalar
+				o.BatchRows = s.batchRows
+				got, err := a.run(o)
+				if err != nil {
+					t.Fatalf("%s: %v", s.name, err)
+				}
+				if got != want {
+					t.Fatalf("%s artifact differs under %s execution:\n--- default (vectorized) ---\n%s--- %s ---\n%s",
+						a.name, s.name, want, s.name, got)
+				}
+			}
+		})
+	}
+}

@@ -14,12 +14,14 @@ type TupleArena struct {
 	bytes []byte
 	ints  []int64
 	bools []bool
+	sels  []int32
+	bvecs [][]byte
 	// Carves landing in abandoned slabs, accumulated at growth time.
 	// Reset adds the live slab's length to recover the cycle's total
 	// demand and right-sizes the retained slab to it, so a reused
 	// arena reaches zero-allocation steady state after one cycle
 	// instead of re-laddering through doubling slabs.
-	valsLost, bytesLost, intsLost, boolsLost int
+	valsLost, bytesLost, intsLost, boolsLost, selsLost, bvecsLost int
 }
 
 const (
@@ -63,7 +65,20 @@ func (a *TupleArena) Reset() {
 		clear(a.bools)
 		a.bools = a.bools[:0]
 	}
+	if d := a.selsLost + len(a.sels); cap(a.sels) < d {
+		a.sels = make([]int32, 0, d)
+	} else {
+		clear(a.sels)
+		a.sels = a.sels[:0]
+	}
+	if d := a.bvecsLost + len(a.bvecs); cap(a.bvecs) < d {
+		a.bvecs = make([][]byte, 0, d)
+	} else {
+		clear(a.bvecs)
+		a.bvecs = a.bvecs[:0]
+	}
 	a.valsLost, a.bytesLost, a.intsLost, a.boolsLost = 0, 0, 0, 0
+	a.selsLost, a.bvecsLost = 0, 0
 }
 
 // Reserve ensures capacity for vals value slots and bytes slab bytes
@@ -136,6 +151,33 @@ func (a *TupleArena) Bools(n int) []bool {
 	ln := len(a.bools)
 	out := a.bools[ln : ln+n : ln+n]
 	a.bools = a.bools[:ln+n]
+	return out
+}
+
+// Sel carves a zeroed int32 slice — the selection vectors and row-index
+// buffers of the vectorized executor.
+func (a *TupleArena) Sel(n int) []int32 {
+	if cap(a.sels)-len(a.sels) < n {
+		a.selsLost += len(a.sels)
+		a.sels = make([]int32, 0, max(arenaValChunk, n, 2*cap(a.sels)))
+	}
+	ln := len(a.sels)
+	out := a.sels[ln : ln+n : ln+n]
+	a.sels = a.sels[:ln+n]
+	return out
+}
+
+// ByteVecs carves a zeroed [][]byte slice — the CHAR column vectors of a
+// columnar Batch. The element slices installed by callers typically
+// alias page buffers; Reset clears them so the pages can be collected.
+func (a *TupleArena) ByteVecs(n int) [][]byte {
+	if cap(a.bvecs)-len(a.bvecs) < n {
+		a.bvecsLost += len(a.bvecs)
+		a.bvecs = make([][]byte, 0, max(arenaValChunk, n, 2*cap(a.bvecs)))
+	}
+	ln := len(a.bvecs)
+	out := a.bvecs[ln : ln+n : ln+n]
+	a.bvecs = a.bvecs[:ln+n]
 	return out
 }
 

@@ -10,13 +10,15 @@ cd "$(dirname "$0")/.."
 out="${1:-BENCH_baseline.json}"
 benchtime="${BENCHTIME:-2x}"
 # Pre-optimization allocs/op, for the record: the arena + boxing work cut
-# host Q6 from 80055, device Q6 from 68465, host Q14 from 119489.
+# host Q6 from 80055, device Q6 from 68465, host Q14 from 119489; the
+# vectorized executor then cut host Q6 from 1654 (7.58 ms) and host Q14
+# from 3775, and device Q6 from 6.77 ms at 1200 allocs.
 # The suite benchmark measures steady state: bases loaded and workers
 # cloned once, two unmeasured warm-up passes, then timed passes that
 # reuse warm workers via Engine.ResetForRun on a static schedule (job i
 # on worker i mod workers), so par_1 and par_N run identical per-pass
 # work. Before clone reuse, par_4 carried 979 MB/op vs par_1's 654.
-BENCH_NOTES="${BENCH_NOTES:-steady-state passes on warm reused workers; pre-arena allocs/op: host Q6 80055, device Q6 68465, host Q14 119489; pre-reuse suite B/op: par_1 654427408, par_4 979279584; suite speedup is meaningful on 4+ cores only}"
+BENCH_NOTES="${BENCH_NOTES:-steady-state passes on warm reused workers, vectorized executor default; pre-arena allocs/op: host Q6 80055, device Q6 68465, host Q14 119489; pre-vectorization: host Q6 1654 allocs / 7583925 ns, device Q6 1200 / 6772388, host Q14 3775 / 11632438, suite ns/op par_1 1687253897, par_2 1650627006, par_4 1392332699; pre-reuse suite B/op: par_1 654427408, par_4 979279584; suite speedup is meaningful on 4+ cores only}"
 export BENCH_NOTES
 
 go test -run '^$' \
