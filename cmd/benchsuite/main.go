@@ -3,13 +3,18 @@
 //
 // Usage:
 //
-//	benchsuite [-exp all|fig1|table2|fig3|fig5|fig7|table3|q1|concurrency|interfaces|hybrid|faults|util|batch]
+//	benchsuite [-exp all|fig1|table2|fig3|fig5|fig7|table3|q1|concurrency|interfaces|hybrid|faults|planner|util|batch]
 //	           [-sf 0.05] [-synthr 2000] [-seed 1] [-faultseed 0]
 //	           [-par 0] [-cpuprofile file] [-memprofile file]
 //
 // -exp util prints per-resource utilization tables for Q6 on the host
 // and device paths (the bandwidth-crossover evidence); it is not part
 // of -exp all, whose output is a stable regression artifact.
+//
+// -exp planner sweeps the Figure 5 selectivities with the query
+// entering through the SQL front end, and charts the cost model's
+// chosen backend against the measured-best backend — the planner's
+// crossover-agreement evidence.
 //
 // -exp batch sweeps the vectorized executor's batch size and charts
 // real wall-clock time per setting; like util it is excluded from
@@ -37,11 +42,11 @@ import (
 // experimentNames lists every valid -exp value, in output order.
 var experimentNames = []string{
 	"all", "fig1", "table2", "fig3", "fig5", "fig7", "table3",
-	"q1", "concurrency", "interfaces", "hybrid", "faults", "util", "batch",
+	"q1", "concurrency", "interfaces", "hybrid", "faults", "planner", "util", "batch",
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig1, table2, fig3, fig5, fig7, table3, q1, concurrency, interfaces, hybrid, faults, util, batch")
+	exp := flag.String("exp", "all", "experiment: all, fig1, table2, fig3, fig5, fig7, table3, q1, concurrency, interfaces, hybrid, faults, planner, util, batch")
 	sf := flag.Float64("sf", 0.05, "TPC-H scale factor (paper: 100)")
 	synthR := flag.Int64("synthr", 2000, "Synthetic64_R rows (paper: 1,000,000; S is 400x)")
 	seed := flag.Int64("seed", 1, "data generation seed")
@@ -124,6 +129,10 @@ func main() {
 	})
 	run("faults", func() (interface{ Render() string }, error) {
 		r, err := experiments.ExtFaults(o)
+		return r, err
+	})
+	run("planner", func() (interface{ Render() string }, error) {
+		r, err := experiments.Planner(o, nil)
 		return r, err
 	})
 

@@ -9,6 +9,15 @@
 //	         [-sf 0.02] [-synthr 500] [-sel 10] [-explain]
 //	         [-abortrate 0.2] [-readerrrate 0.001] [-faultseed 1]
 //	         [-saveimg data.img] [-loadimg data.img] [-trace run.csv|run.json]
+//	queryrun -sql "SELECT ..." [same flags]
+//
+// -sql compiles one SQL statement against the loaded TPC-H tables
+// (lineitem and part, both loaded whenever -sql is given) instead of
+// the canned -q shapes, routes it through the same cost-based pushdown
+// planner, and prints the projected rows. A statement starting with
+// EXPLAIN prints the logical plan, both physical candidates, and the
+// cost evidence without executing; -explain does the same and then
+// runs the query.
 //
 // A -trace target ending in .json captures the run's full timeline —
 // every request on every resource plus the OPEN/GET/CLOSE protocol
@@ -32,11 +41,14 @@ import (
 	"time"
 
 	"smartssd"
+	"smartssd/internal/schema"
+	"smartssd/internal/sql"
 	"smartssd/workload"
 )
 
 func main() {
 	q := flag.String("q", "q6", "query: q1, q6, q14, join")
+	sqlStmt := flag.String("sql", "", "compile and run this SQL statement instead of -q (tables: lineitem, part)")
 	modeFlag := flag.String("mode", "auto", "execution mode: auto, host, device, hybrid")
 	layoutFlag := flag.String("layout", "pax", "page layout: nsm, pax")
 	sf := flag.Float64("sf", 0.02, "TPC-H scale factor")
@@ -97,52 +109,31 @@ func main() {
 	generate := *loadImg == ""
 
 	var spec smartssd.QuerySpec
-	switch *q {
-	case "q1":
-		if generate {
-			loadTPCH(sys, *sf, layout, false)
-		}
-		spec = smartssd.QuerySpec{
-			Table:          "lineitem",
-			Filter:         workload.Q1Predicate(),
-			GroupBy:        workload.Q1GroupBy(),
-			Aggs:           workload.Q1Aggregates(),
-			EstSelectivity: workload.Q1EstSelectivity,
-		}
-	case "q6":
-		if generate {
-			loadTPCH(sys, *sf, layout, false)
-		}
-		spec = smartssd.QuerySpec{
-			Table:          "lineitem",
-			Filter:         workload.Q6Predicate(),
-			Aggs:           workload.Q6Aggregates(),
-			EstSelectivity: workload.Q6EstSelectivity,
-		}
-	case "q14":
+	var compiled *sql.Compiled
+	switch {
+	case *sqlStmt != "":
+		// SQL path: load both TPC-H tables so joins bind, compile
+		// against the engine's own catalog (schemas plus the column
+		// stats gathered at load), and let the planner's cost model
+		// place the query from the compiled selectivity estimate.
 		if generate {
 			loadTPCH(sys, *sf, layout, true)
 		}
-		spec = smartssd.QuerySpec{
-			Table:          "lineitem",
-			Join:           &smartssd.JoinClause{BuildTable: "part", BuildKey: "p_partkey", ProbeKey: "l_partkey"},
-			Filter:         workload.Q14DateRange(),
-			Aggs:           workload.Q14Aggregates(),
-			EstSelectivity: workload.Q14EstSelectivity,
+		compiled, err = sql.Compile(sql.EngineCatalog{E: sys}, *sqlStmt)
+		if err != nil {
+			fatal(err)
 		}
-	case "join":
-		if generate {
-			loadSynth(sys, *synthR, layout)
-		}
-		spec = smartssd.QuerySpec{
-			Table:          "synth_s",
-			Join:           &smartssd.JoinClause{BuildTable: "synth_r", BuildKey: "r_col_1", ProbeKey: "s_col_2"},
-			Filter:         workload.SyntheticSelection(*sel),
-			Output:         workload.SyntheticJoinOutput(),
-			EstSelectivity: float64(*sel) / 100,
+		spec = compiled.Spec
+		if compiled.Stmt.Explain {
+			report, err := sql.ExplainEngine(sys, compiled)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(report)
+			return
 		}
 	default:
-		fatal(fmt.Errorf("unknown query %q", *q))
+		runCanned(sys, *q, *sf, *synthR, *sel, layout, generate, &spec)
 	}
 
 	if *saveImg != "" {
@@ -160,11 +151,19 @@ func main() {
 	}
 
 	if *explain {
-		out, err := sys.Explain(spec)
-		if err != nil {
-			fatal(err)
+		if compiled != nil {
+			report, err := sql.ExplainEngine(sys, compiled)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(report)
+		} else {
+			out, err := sys.Explain(spec)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(out)
 		}
-		fmt.Println(out)
 	}
 
 	// -trace: a .json target records the full timeline (resource events
@@ -213,7 +212,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "queryrun: wrote Chrome trace (%d events) to %s\n", rec.Len(), *trace)
 	}
 
-	fmt.Printf("query       : %s (%s layout)\n", *q, layout)
+	if compiled != nil {
+		fmt.Printf("query       : %s (%s layout)\n", compiled.SQL, layout)
+	} else {
+		fmt.Printf("query       : %s (%s layout)\n", *q, layout)
+	}
 	fmt.Printf("ran on      : %s\n", res.Placement)
 	if res.Decision.Reason != "" {
 		fmt.Printf("decision    : %s\n", res.Decision.Reason)
@@ -232,6 +235,24 @@ func main() {
 		fmt.Printf("faults      : %s\n", res.Faults.String())
 	}
 	fmt.Printf("result rows : %d\n", len(res.Rows))
+	if compiled != nil {
+		fmt.Printf("columns     : %s\n", strings.Join(compiled.OutputNames, "|"))
+		n := len(res.Rows)
+		if n > 10 {
+			n = 10
+		}
+		for i := 0; i < n; i++ {
+			vals := make([]string, len(res.Rows[i]))
+			for j, v := range res.Rows[i] {
+				vals[j] = schema.FormatValue(res.Schema.Column(j).Kind, v)
+			}
+			fmt.Printf("row %d       : %s\n", i, strings.Join(vals, "|"))
+		}
+		if len(res.Rows) > n {
+			fmt.Printf("... %d more rows\n", len(res.Rows)-n)
+		}
+		return
+	}
 	switch *q {
 	case "q1":
 		for _, row := range res.Rows {
@@ -251,6 +272,59 @@ func main() {
 		for i := 0; i < n; i++ {
 			fmt.Printf("row %d       : s_col_1=%d r_col_2=%d\n", i, res.Rows[i][0].Int, res.Rows[i][1].Int)
 		}
+	}
+}
+
+// runCanned loads the tables a canned -q query needs and builds its
+// hand-constructed spec — the pre-SQL path, kept both for scripting
+// and as the reference shapes the SQL front end is tested against.
+func runCanned(sys *smartssd.System, q string, sf float64, synthR, sel int64, layout smartssd.Layout, generate bool, spec *smartssd.QuerySpec) {
+	switch q {
+	case "q1":
+		if generate {
+			loadTPCH(sys, sf, layout, false)
+		}
+		*spec = smartssd.QuerySpec{
+			Table:          "lineitem",
+			Filter:         workload.Q1Predicate(),
+			GroupBy:        workload.Q1GroupBy(),
+			Aggs:           workload.Q1Aggregates(),
+			EstSelectivity: workload.Q1EstSelectivity,
+		}
+	case "q6":
+		if generate {
+			loadTPCH(sys, sf, layout, false)
+		}
+		*spec = smartssd.QuerySpec{
+			Table:          "lineitem",
+			Filter:         workload.Q6Predicate(),
+			Aggs:           workload.Q6Aggregates(),
+			EstSelectivity: workload.Q6EstSelectivity,
+		}
+	case "q14":
+		if generate {
+			loadTPCH(sys, sf, layout, true)
+		}
+		*spec = smartssd.QuerySpec{
+			Table:          "lineitem",
+			Join:           &smartssd.JoinClause{BuildTable: "part", BuildKey: "p_partkey", ProbeKey: "l_partkey"},
+			Filter:         workload.Q14DateRange(),
+			Aggs:           workload.Q14Aggregates(),
+			EstSelectivity: workload.Q14EstSelectivity,
+		}
+	case "join":
+		if generate {
+			loadSynth(sys, synthR, layout)
+		}
+		*spec = smartssd.QuerySpec{
+			Table:          "synth_s",
+			Join:           &smartssd.JoinClause{BuildTable: "synth_r", BuildKey: "r_col_1", ProbeKey: "s_col_2"},
+			Filter:         workload.SyntheticSelection(sel),
+			Output:         workload.SyntheticJoinOutput(),
+			EstSelectivity: float64(sel) / 100,
+		}
+	default:
+		fatal(fmt.Errorf("unknown query %q", q))
 	}
 }
 

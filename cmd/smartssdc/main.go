@@ -11,6 +11,9 @@
 //	result <id>       long-poll GET the session's result
 //	close <id>        DELETE the session
 //	run <file|->      open, get the result, close; print the result
+//	sql <stmt> [engine|cluster [auto|host|device|hybrid]]
+//	                  run one SQL statement as a full session; an
+//	                  EXPLAIN statement prints the plan report instead
 //	metrics           GET /metrics
 //	trace <id>        GET /debug/trace for a session opened with
 //	                  trace:true (Chrome trace JSON on stdout)
@@ -38,7 +41,7 @@ const maxOpenRetries = 120
 func main() { os.Exit(run()) }
 
 func usage() int {
-	fmt.Fprintln(os.Stderr, "usage: smartssdc [-url URL] open|result|close|run|metrics|trace [arg]")
+	fmt.Fprintln(os.Stderr, "usage: smartssdc [-url URL] open|result|close|run|sql|metrics|trace [arg...]")
 	return 2
 }
 
@@ -75,6 +78,22 @@ func run() int {
 			return usage()
 		}
 		body, err := readBody(args[1])
+		if err != nil {
+			return fail(err)
+		}
+		return runOnce(base, body)
+	case "sql":
+		if len(args) < 2 || len(args) > 4 {
+			return usage()
+		}
+		req := map[string]string{"tag": "smartssdc-sql", "sql": args[1]}
+		if len(args) >= 3 {
+			req["target"] = args[2]
+		}
+		if len(args) == 4 {
+			req["mode"] = args[3]
+		}
+		body, err := json.Marshal(req)
 		if err != nil {
 			return fail(err)
 		}

@@ -3,9 +3,10 @@
 // OPEN/GET/CLOSE session protocol (POST /sessions, long-polling GET
 // /sessions/{id}/result, DELETE /sessions/{id}), backed by per-worker
 // engine clones and a replicated cluster. At startup it loads TPC-H
-// lineitem at the configured scale factor into both backends from the
-// same seeded generator, so engine and cluster sessions answer over
-// identical logical data.
+// lineitem and part at the configured scale factor into both backends
+// from the same seeded generators, so engine and cluster sessions —
+// including SQL sessions joining lineitem with part (Q14) — answer
+// over identical logical data.
 //
 // Usage:
 //
@@ -39,6 +40,7 @@ import (
 	"smartssd/internal/device"
 	"smartssd/internal/httpretry"
 	"smartssd/internal/page"
+	"smartssd/internal/schema"
 	"smartssd/internal/serve"
 	"smartssd/internal/ssd"
 	"smartssd/workload"
@@ -69,7 +71,7 @@ func run() int {
 		return runSmoke(s, *sf, *seed, *workers, *queue, *retryAfter, *devices, *replication, *smoke)
 	}
 
-	fmt.Fprintf(os.Stderr, "smartssdd: lineitem sf=%g loaded on %d workers + %d-device cluster (x%d), listening on %s\n",
+	fmt.Fprintf(os.Stderr, "smartssdd: lineitem+part sf=%g loaded on %d workers + %d-device cluster (x%d), listening on %s\n",
 		*sf, *workers, *devices, *replication, *addr)
 	if err := http.ListenAndServe(*addr, s.Handler()); err != nil {
 		fmt.Fprintln(os.Stderr, "smartssdd:", err)
@@ -78,11 +80,15 @@ func run() int {
 	return 0
 }
 
-// buildServer loads lineitem into a fresh engine and cluster from the
-// same seeded generator and wraps them in a serve.Server.
+// buildServer loads lineitem and part into a fresh engine and cluster
+// from the same seeded generators and wraps them in a serve.Server.
+// Part is replicated to every cluster device (it is the join build
+// side, same as queryrun's Q14 setup), while lineitem is partitioned.
 func buildServer(sf float64, seed int64, workers, queue, retryAfter, devices, replication int) (*serve.Server, error) {
 	li := workload.LineitemSchema()
 	pages := workload.NumLineitem(sf)/51 + 2
+	pa := workload.PartSchema()
+	paPages := workload.NumPart(sf)/40 + 2
 
 	e, err := core.New(core.Config{DisableHDD: true})
 	if err != nil {
@@ -92,6 +98,12 @@ func buildServer(sf float64, seed int64, workers, queue, retryAfter, devices, re
 		return nil, err
 	}
 	if err := e.Load("lineitem", workload.LineitemGen(sf, seed)); err != nil {
+		return nil, err
+	}
+	if _, err := e.CreateTable("part", pa, page.PAX, paPages, core.OnSSD); err != nil {
+		return nil, err
+	}
+	if err := e.Load("part", workload.PartGen(sf, seed+1)); err != nil {
 		return nil, err
 	}
 
@@ -104,6 +116,14 @@ func buildServer(sf float64, seed int64, workers, queue, retryAfter, devices, re
 		return nil, err
 	}
 	if err := cl.Load("lineitem", workload.LineitemGen(sf, seed)); err != nil {
+		return nil, err
+	}
+	if err := cl.CreateTable("part", pa, page.PAX, paPages); err != nil {
+		return nil, err
+	}
+	if err := cl.Replicate("part", func() func() (schema.Tuple, bool) {
+		return workload.PartGen(sf, seed+1)
+	}); err != nil {
 		return nil, err
 	}
 

@@ -143,6 +143,53 @@ func goodSortedInSelect(m map[string]int, ch chan struct{}) []string {
 	}
 }
 
+// The SQL binder's duplicate-output-name check: a map used only for
+// membership is never iterated, so nothing is order-dependent.
+func goodDupCheck(names []string) bool {
+	seen := make(map[string]bool, len(names))
+	for _, n := range names {
+		if seen[n] {
+			return true
+		}
+		seen[n] = true
+	}
+	return false
+}
+
+type colInterval struct {
+	col    string
+	lo, hi int64
+}
+
+// The SQL estimator's interval accumulation: constraints are keyed by
+// column but stored in a slice ordered by first appearance, so the
+// report renders deterministically without a sort — the map only holds
+// indexes and is never ranged over.
+func goodFirstAppearance(cols []string) []colInterval {
+	var ivs []colInterval
+	idx := make(map[string]int, len(cols))
+	for _, c := range cols {
+		i, ok := idx[c]
+		if !ok {
+			i = len(ivs)
+			idx[c] = i
+			ivs = append(ivs, colInterval{col: c})
+		}
+		ivs[i].hi++
+	}
+	return ivs
+}
+
+// A plan report rendered straight from map iteration would make
+// EXPLAIN output flap run to run.
+func badExplainRender(anns map[string]string) string {
+	var b strings.Builder
+	for k, v := range anns {
+		b.WriteString(k + "=" + v) // want `b\.WriteString inside map iteration emits in random order`
+	}
+	return b.String()
+}
+
 func allowedDirective(m map[string]int) []string {
 	var out []string
 	for k := range m {

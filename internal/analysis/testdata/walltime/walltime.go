@@ -31,6 +31,18 @@ func goodParse() (time.Duration, error) {
 	return time.ParseDuration("1ms")
 }
 
+// A parser or EXPLAIN renderer must never stamp its output with the
+// wall clock: plan reports are golden-pinned byte for byte.
+func badParseStamp() string {
+	return "parsed at " + time.Now().String() // want `time\.Now reads the wall clock`
+}
+
+// Reporting the engine's simulated elapsed time in a plan report is
+// fine — arithmetic on a stored Duration never reads the clock.
+func goodPlanElapsed(elapsed time.Duration) string {
+	return "estimated " + elapsed.String()
+}
+
 func allowedSameLine() {
 	_ = time.Now() //lint:allow walltime — intentional wall-clock report
 }

@@ -39,6 +39,7 @@ func (e *Engine) Clone() (*Engine, error) {
 		runtime:    device.NewRuntime(sdev, e.cfg.DeviceCost),
 		planner:    opt.NewPlanner(e.cfg.DeviceCost),
 		tables:     make(map[string]*Table, len(e.tables)),
+		stats:      copyColumnStats(e.stats),
 		cold:       e.cold,
 		hybridAuto: e.hybridAuto,
 		scalarExec: e.scalarExec,

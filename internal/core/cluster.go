@@ -59,6 +59,10 @@ type Cluster struct {
 	// replicaFiles[name][i][j] is partition i's j'th extra copy,
 	// resident on device (i+1+j)%n.
 	replicaFiles map[string][][]*heap.File
+	// stats holds per-table column ranges observed during Load and
+	// Replicate (see stats.go); the SQL planner's selectivity estimator
+	// reads them through TableStats.
+	stats map[string][]ColumnStats
 
 	// Durability layer: a coordinator write-ahead log on device 0,
 	// activated lazily by the first Update (see cluster_update.go).
@@ -82,6 +86,7 @@ func NewCluster(n int, params ssd.Params, cost device.CostModel) (*Cluster, erro
 		tables:       make(map[string][]*heap.File),
 		replicas:     1,
 		replicaFiles: make(map[string][][]*heap.File),
+		stats:        make(map[string][]ColumnStats),
 	}
 	for i := 0; i < n; i++ {
 		p := params
@@ -224,12 +229,14 @@ func (c *Cluster) Load(name string, next func() (schema.Tuple, bool)) error {
 			repApps[p] = append(repApps[p], rf.NewAppender())
 		}
 	}
+	acc := newStatsAccumulator(files[0].Schema(), c.stats[name])
 	i := 0
 	for {
 		t, ok := next()
 		if !ok {
 			break
 		}
+		acc.observe(t)
 		p := i % len(apps)
 		if err := apps[p].Append(t); err != nil {
 			return err
@@ -253,6 +260,7 @@ func (c *Cluster) Load(name string, next func() (schema.Tuple, bool)) error {
 			}
 		}
 	}
+	c.stats[name] = acc.cols
 	for _, d := range c.devices {
 		d.ResetTiming()
 	}
@@ -269,13 +277,18 @@ func (c *Cluster) Replicate(name string, gen func() func() (schema.Tuple, bool))
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrNoTable, name)
 	}
-	for _, f := range files {
+	// Every copy appends the same stream, so stats fold only the first.
+	acc := newStatsAccumulator(files[0].Schema(), c.stats[name])
+	for fi, f := range files {
 		app := f.NewAppender()
 		next := gen()
 		for {
 			t, ok := next()
 			if !ok {
 				break
+			}
+			if fi == 0 {
+				acc.observe(t)
 			}
 			if err := app.Append(t); err != nil {
 				return err
@@ -285,6 +298,7 @@ func (c *Cluster) Replicate(name string, gen func() func() (schema.Tuple, bool))
 			return err
 		}
 	}
+	c.stats[name] = acc.cols
 	for _, d := range c.devices {
 		d.ResetTiming()
 	}
@@ -331,6 +345,12 @@ type ClusterQuery struct {
 	Filter expr.Expr
 	Output []plan.OutputCol
 	Aggs   []plan.AggSpec
+	// GroupBy lists combined-row column indexes to group the aggregates
+	// by. Each worker computes its partition's groups in-device; the
+	// host merges partial groups by key and emits them sorted by the
+	// group-by values, so merged output is independent of partition
+	// count and routing.
+	GroupBy []int
 }
 
 // RouteFunc picks which copy of a partition executes. It receives the
@@ -367,24 +387,12 @@ func (c *Cluster) RunRouted(q ClusterQuery, route RouteFunc) (*ClusterResult, er
 		}
 	}
 
-	// lower builds the in-device program for one partition file running
-	// on worker w (the build side uses w's local replicated copy).
 	lower := func(f *heap.File, w int) device.Query {
-		dq := device.Query{
-			Table:  device.RefOf(f),
-			Filter: q.Filter,
-			Output: q.Output,
-			Aggs:   q.Aggs,
-		}
-		if q.Join != nil {
-			bf := buildFiles[w]
-			dq.Join = &device.JoinSpec{
-				Build:    device.RefOf(bf),
-				BuildKey: bf.Schema().MustColumnIndex(q.Join.BuildKey),
-				ProbeKey: f.Schema().MustColumnIndex(q.Join.ProbeKey),
-			}
-		}
-		return dq
+		return lowerPartition(q, f, w, buildFiles)
+	}
+	groupKinds, err := groupByKinds(q, files, buildFiles)
+	if err != nil {
+		return nil, err
 	}
 
 	res := &ClusterResult{
@@ -451,9 +459,12 @@ func (c *Cluster) RunRouted(q ClusterQuery, route RouteFunc) (*ClusterResult, er
 		}
 	}
 
-	if len(q.Aggs) > 0 {
+	switch {
+	case len(q.Aggs) > 0 && len(q.GroupBy) > 0:
+		res.Rows = mergeGroupedAggs(q.Aggs, len(q.GroupBy), groupKinds, partials)
+	case len(q.Aggs) > 0:
 		res.Rows = []schema.Tuple{mergeAggs(q.Aggs, partials)}
-	} else {
+	default:
 		for _, p := range partials {
 			res.Rows = append(res.Rows, p...)
 		}
@@ -462,6 +473,139 @@ func (c *Cluster) RunRouted(q ClusterQuery, route RouteFunc) (*ClusterResult, er
 		return res, &PartialResultError{Failed: res.FailedWorkers, Cause: lastCause}
 	}
 	return res, nil
+}
+
+// lowerPartition builds the in-device program for one partition file
+// running on worker w (the build side uses w's local replicated copy).
+func lowerPartition(q ClusterQuery, f *heap.File, w int, buildFiles []*heap.File) device.Query {
+	dq := device.Query{
+		Table:   device.RefOf(f),
+		Filter:  q.Filter,
+		Output:  q.Output,
+		Aggs:    q.Aggs,
+		GroupBy: q.GroupBy,
+	}
+	if q.Join != nil {
+		bf := buildFiles[w]
+		dq.Join = &device.JoinSpec{
+			Build:    device.RefOf(bf),
+			BuildKey: bf.Schema().MustColumnIndex(q.Join.BuildKey),
+			ProbeKey: f.Schema().MustColumnIndex(q.Join.ProbeKey),
+		}
+	}
+	return dq
+}
+
+// groupByKinds resolves the group-by columns' kinds against the
+// combined row (probe columns first, then the build table's), which
+// the grouped merge needs to compare key values.
+func groupByKinds(q ClusterQuery, files, buildFiles []*heap.File) ([]schema.Kind, error) {
+	if len(q.GroupBy) == 0 {
+		return nil, nil
+	}
+	ps := files[0].Schema()
+	np := ps.NumColumns()
+	kinds := make([]schema.Kind, 0, len(q.GroupBy))
+	for _, g := range q.GroupBy {
+		switch {
+		case g >= 0 && g < np:
+			kinds = append(kinds, ps.Column(g).Kind)
+		case buildFiles != nil && g >= np && g-np < buildFiles[0].Schema().NumColumns():
+			kinds = append(kinds, buildFiles[0].Schema().Column(g-np).Kind)
+		default:
+			return nil, fmt.Errorf("core: group-by column %d out of the combined row", g)
+		}
+	}
+	return kinds, nil
+}
+
+// mergeGroupedAggs combines each worker's partial groups into the
+// global grouped result: rows are keyed by their leading nGroup
+// columns (the [group values..., agg values...] device output
+// convention), partial groups with equal keys fold with the aggregate
+// semantics of mergeAggs, and the merged rows come out sorted by the
+// group-by values — a deterministic order independent of partition
+// count, routing, and failover. Groups only exist where a partition
+// matched rows, so Min/Max merge exactly here (no zero-row caveat).
+func mergeGroupedAggs(aggs []plan.AggSpec, nGroup int, kinds []schema.Kind, partials [][]schema.Tuple) []schema.Tuple {
+	var all []schema.Tuple
+	for _, rows := range partials {
+		all = append(all, rows...)
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		for g := 0; g < nGroup; g++ {
+			if cv := schema.Compare(kinds[g], all[i][g], all[j][g]); cv != 0 {
+				return cv < 0
+			}
+		}
+		return false
+	})
+	var out []schema.Tuple
+	for _, row := range all {
+		if len(out) > 0 {
+			last := out[len(out)-1]
+			same := true
+			for g := 0; g < nGroup; g++ {
+				if schema.Compare(kinds[g], last[g], row[g]) != 0 {
+					same = false
+					break
+				}
+			}
+			if same {
+				for i, a := range aggs {
+					k := nGroup + i
+					switch a.Kind {
+					case plan.Sum, plan.Count:
+						last[k] = schema.IntVal(last[k].Int + row[k].Int)
+					case plan.Min:
+						if row[k].Int < last[k].Int {
+							last[k] = row[k]
+						}
+					case plan.Max:
+						if row[k].Int > last[k].Int {
+							last[k] = row[k]
+						}
+					}
+				}
+				continue
+			}
+		}
+		out = append(out, append(schema.Tuple(nil), row...))
+	}
+	return out
+}
+
+// Explain renders the cluster's execution plan for q — the partition
+// fan-out, one partition's in-device program, and the host-side merge —
+// without executing anything.
+func (c *Cluster) Explain(q ClusterQuery) (string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	files, ok := c.tables[q.Table]
+	if !ok {
+		return "", fmt.Errorf("%w: %q", ErrNoTable, q.Table)
+	}
+	var buildFiles []*heap.File
+	if q.Join != nil {
+		if buildFiles, ok = c.tables[q.Join.BuildTable]; !ok {
+			return "", fmt.Errorf("%w: %q", ErrNoTable, q.Join.BuildTable)
+		}
+	}
+	if _, err := groupByKinds(q, files, buildFiles); err != nil {
+		return "", err
+	}
+	out := fmt.Sprintf("cluster plan: %d partitions of %s, one in-device program each\n",
+		len(files), q.Table)
+	out += "per-partition device plan:\n" + lowerPartition(q, files[0], 0, buildFiles).Explain()
+	merge := "concatenate partition rows"
+	switch {
+	case len(q.Aggs) > 0 && len(q.GroupBy) > 0:
+		merge = "merge partial groups by key, sorted by the group-by columns"
+	case len(q.Aggs) > 0:
+		merge = "combine partial aggregates (sums and counts add, mins and maxes fold)"
+	}
+	out += "merge: " + merge + "\n"
+	return out, nil
 }
 
 // mergeAggs combines one scalar-aggregate row per worker into the

@@ -120,6 +120,9 @@ type Engine struct {
 	ssdAlloc heap.Allocator
 	hddAlloc heap.Allocator
 	tables   map[string]*Table
+	// stats holds per-table column ranges observed during Load (see
+	// stats.go); the SQL planner's selectivity estimator reads them.
+	stats map[string][]ColumnStats
 
 	// Durability layer, activated lazily by the first Begin/Update
 	// (see durability.go). Nil on read-only engines.
@@ -217,6 +220,7 @@ func New(cfg Config) (*Engine, error) {
 		runtime: device.NewRuntime(sdev, cfg.DeviceCost),
 		planner: opt.NewPlanner(cfg.DeviceCost),
 		tables:  make(map[string]*Table),
+		stats:   make(map[string][]ColumnStats),
 		cold:    true,
 	}
 	e.pool = bufpool.New(cfg.PoolPages, func(lba int64, data []byte) error {
@@ -327,15 +331,18 @@ func (e *Engine) Load(name string, next func() (schema.Tuple, bool)) error {
 		return err
 	}
 	app := t.File.NewAppender()
+	acc := newStatsAccumulator(t.File.Schema(), e.stats[name])
 	for {
 		tup, ok := next()
 		if !ok {
 			break
 		}
+		acc.observe(tup)
 		if err := app.Append(tup); err != nil {
 			return fmt.Errorf("core: load %q: %w", name, err)
 		}
 	}
+	e.stats[name] = acc.cols
 	if err := app.Close(); err != nil {
 		return err
 	}

@@ -501,6 +501,30 @@ func (e *Engine) finishMetrics(res *Result, t *Table) {
 		append(e.ssd.ResourceGroups(), metrics.GroupOf("host-cpu", "cycles", e.host.CPU))...)
 }
 
+// Decide reports the planner's host-versus-device decision for spec
+// without executing anything — the cost evidence the EXPLAIN surface
+// renders alongside the plans.
+func (e *Engine) Decide(spec QuerySpec) (opt.Decision, error) {
+	t, err := e.Table(spec.Table)
+	if err != nil {
+		return opt.Decision{}, err
+	}
+	var build *Table
+	if spec.Join != nil {
+		if build, err = e.Table(spec.Join.BuildTable); err != nil {
+			return opt.Decision{}, err
+		}
+	}
+	if t.Target == OnHDD {
+		return opt.Decision{Reason: "table on HDD has no pushdown path"}, nil
+	}
+	dq, err := e.deviceQuery(spec, t, build)
+	if err != nil {
+		return opt.Decision{}, err
+	}
+	return e.planner.Decide(dq, e.ssd, e.pool, spec.EstSelectivity), nil
+}
+
 // Explain renders both candidate plans and the planner's decision
 // without executing anything.
 func (e *Engine) Explain(spec QuerySpec) (string, error) {

@@ -60,6 +60,13 @@ func goldenArtifacts() []goldenArtifact {
 			}
 			return r.Render(), nil
 		}},
+		{"planner", func(o Options) (string, error) {
+			r, err := Planner(o, nil)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
 	}
 }
 

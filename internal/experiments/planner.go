@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"smartssd/internal/core"
+	"smartssd/internal/sql"
+)
+
+// PlannerPoint is one selectivity of the planner-agreement sweep: the
+// SQL front end's stats-based estimate, the cost model's placement
+// choice, and the measured elapsed time of both forced backends.
+type PlannerPoint struct {
+	SelectivityPct int64
+	Estimated      float64
+	Chosen         string // "host" or "device", from the compiled plan's Decision
+	Host           time.Duration
+	Device         time.Duration
+	MeasuredBest   string
+	Agree          bool
+	ResultRows     int64
+}
+
+// PlannerReport charts the planner's chosen backend against the
+// measured-best backend across the Figure 5 selectivity sweep, with
+// every query entering through the SQL front end so the selectivity
+// estimate comes from the catalog's column stats rather than a
+// hand-annotated spec.
+type PlannerReport struct {
+	SQL    string // the statement template, with %d for the threshold
+	Points []PlannerPoint
+	Agreed int
+}
+
+// plannerAgreeSlack tolerates measurement ties at the crossover: the
+// chosen backend "agrees" when its measured time is within 5% of the
+// best one, so a coin-flip point does not read as a planner error.
+const plannerAgreeSlack = 1.05
+
+// plannerStmt is the Figure 5 selection-with-join query as SQL over
+// the PAX synthetic tables; s_col_3 is uniform on [0,100), so the
+// catalog estimate for "s_col_3 < v" is v/100 — the swept selectivity.
+const plannerStmt = "SELECT s_col_1, r_col_2 FROM synth_s_pax, synth_r_pax WHERE r_col_1 = s_col_2 AND s_col_3 < %d"
+
+// Planner runs the sweep on a fresh suite.
+func Planner(o Options, selectivities []int64) (PlannerReport, error) {
+	s := NewSuite(o)
+	defer s.Close()
+	return s.Planner(selectivities)
+}
+
+// Planner runs the sweep on the suite's warm synthetic-join base.
+func (s *Suite) Planner(selectivities []int64) (PlannerReport, error) {
+	if len(selectivities) == 0 {
+		selectivities = DefaultFig5Selectivities
+	}
+	sb, err := s.synthBase()
+	if err != nil {
+		return PlannerReport{}, err
+	}
+
+	// Compile and decide serially on the base engine: the catalog (and
+	// so the estimate and the decision) is identical on every clone,
+	// and the planner never touches simulated resources.
+	rep := PlannerReport{SQL: plannerStmt}
+	specs := make([]core.QuerySpec, len(selectivities))
+	for i, sel := range selectivities {
+		c, err := sql.Compile(sql.EngineCatalog{E: sb.engines[0]}, fmt.Sprintf(plannerStmt, sel))
+		if err != nil {
+			return PlannerReport{}, fmt.Errorf("planner sel=%d: %w", sel, err)
+		}
+		d, err := sb.engines[0].Decide(c.Spec)
+		if err != nil {
+			return PlannerReport{}, fmt.Errorf("planner sel=%d: %w", sel, err)
+		}
+		chosen := "host"
+		if d.Pushdown {
+			chosen = "device"
+		}
+		specs[i] = c.Spec
+		rep.Points = append(rep.Points, PlannerPoint{
+			SelectivityPct: sel,
+			Estimated:      c.Spec.EstSelectivity,
+			Chosen:         chosen,
+		})
+	}
+
+	// Measure both backends at every point; the pair per selectivity
+	// fans out independently, like Fig5.
+	modes := []core.Mode{core.ForceHost, core.ForceDevice}
+	results, err := sweepBase(s.o, sb, len(selectivities)*len(modes), func(eng *core.Engine, i int) (*core.Result, error) {
+		sel := selectivities[i/len(modes)]
+		res, err := eng.Run(specs[i/len(modes)], modes[i%len(modes)])
+		if err != nil {
+			return nil, fmt.Errorf("planner sel=%d mode=%v: %w", sel, modes[i%len(modes)], err)
+		}
+		return res, nil
+	})
+	if err != nil {
+		return PlannerReport{}, err
+	}
+
+	for i := range rep.Points {
+		host, dev := results[i*2], results[i*2+1]
+		if len(host.Rows) != len(dev.Rows) {
+			return PlannerReport{}, fmt.Errorf("planner sel=%d: row counts diverge host=%d device=%d",
+				rep.Points[i].SelectivityPct, len(host.Rows), len(dev.Rows))
+		}
+		p := &rep.Points[i]
+		p.Host, p.Device = host.Elapsed, dev.Elapsed
+		p.ResultRows = int64(len(host.Rows))
+		p.MeasuredBest = "host"
+		best, chosen := p.Host, p.Host
+		if p.Device < p.Host {
+			p.MeasuredBest, best = "device", p.Device
+		}
+		if p.Chosen == "device" {
+			chosen = p.Device
+		}
+		p.Agree = float64(chosen) <= plannerAgreeSlack*float64(best)
+		if p.Agree {
+			rep.Agreed++
+		}
+	}
+	return rep, nil
+}
+
+// Render prints the sweep with the agreement tally.
+func (r PlannerReport) Render() string {
+	var b strings.Builder
+	b.WriteString("Planner: SQL cost-based placement vs. measured best (selection-with-join, PAX)\n")
+	fmt.Fprintf(&b, "query: %s\n", r.SQL)
+	fmt.Fprintf(&b, "%-6s %8s %8s %12s %12s %8s %6s %10s\n",
+		"sel%", "est", "chosen", "SSD(host)", "Smart SSD", "best", "agree", "rows")
+	for _, p := range r.Points {
+		agree := "no"
+		if p.Agree {
+			agree = "yes"
+		}
+		fmt.Fprintf(&b, "%-6d %8.4f %8s %12s %12s %8s %6s %10d\n",
+			p.SelectivityPct, p.Estimated, p.Chosen, fmtDur(p.Host), fmtDur(p.Device),
+			p.MeasuredBest, agree, p.ResultRows)
+	}
+	fmt.Fprintf(&b, "agreement: %d/%d points (chosen backend within 5%% of measured best)\n",
+		r.Agreed, len(r.Points))
+	return b.String()
+}

@@ -23,7 +23,8 @@ import (
 //	and     := not { AND not }
 //	not     := NOT not | cmp
 //	cmp     := add [ (= | <> | != | < | <= | > | >=) add
-//	               | LIKE 'prefix%' ]
+//	               | [NOT] BETWEEN add AND add
+//	               | [NOT] LIKE 'prefix%' ]
 //	add     := mul { (+ | -) mul }
 //	mul     := unary { (* | /) unary }
 //	unary   := - unary | primary
@@ -291,6 +292,27 @@ func (p *parser) parseCmp() (Expr, error) {
 	if err != nil {
 		return nil, err
 	}
+	// A NOT here (after an operand) can only introduce NOT BETWEEN or
+	// NOT LIKE; prefix negation was already consumed by parseNot.
+	negate := false
+	if p.keyword("NOT") {
+		p.next()
+		if !p.keyword("BETWEEN") && !p.keyword("LIKE") {
+			return nil, p.lexErr(p.errf("expected BETWEEN or LIKE after NOT, got %s", p.tok))
+		}
+		negate = true
+	}
+	if p.keyword("BETWEEN") {
+		p.next()
+		e, err := p.parseBetween(l)
+		if err != nil {
+			return nil, err
+		}
+		if negate {
+			return Not{E: e}, nil
+		}
+		return e, nil
+	}
 	if p.keyword("LIKE") {
 		p.next()
 		if p.tok.kind != tokStr {
@@ -304,7 +326,11 @@ func (p *parser) parseCmp() (Expr, error) {
 			return nil, p.errf("LIKE needs a CHAR operand, got %s (%s)", l.Kind(), l)
 		}
 		p.next()
-		return LikePrefix{E: l, Prefix: strings.TrimSuffix(pat, "%")}, nil
+		var e Expr = LikePrefix{E: l, Prefix: strings.TrimSuffix(pat, "%")}
+		if negate {
+			e = Not{E: e}
+		}
+		return e, nil
 	}
 	if p.tok.kind != tokOp {
 		return l, nil
@@ -322,6 +348,33 @@ func (p *parser) parseCmp() (Expr, error) {
 		return nil, p.errf("cannot compare %s (%s) with %s (%s)", l.Kind(), l, r.Kind(), r)
 	}
 	return Cmp{Op: op, L: l, R: r}, nil
+}
+
+// parseBetween finishes "l BETWEEN lo AND hi" (BETWEEN already
+// consumed), desugaring to the half-open pair (l >= lo AND l <= hi) —
+// the range form the interval-aware selectivity estimator recognizes.
+// The AND after lo binds to BETWEEN, not to the boolean connective.
+func (p *parser) parseBetween(l Expr) (Expr, error) {
+	lo, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	if !p.keyword("AND") {
+		return nil, p.lexErr(p.errf("BETWEEN needs AND between its bounds, got %s", p.tok))
+	}
+	p.next()
+	hi, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	if !comparable(l.Kind(), lo.Kind()) || !comparable(l.Kind(), hi.Kind()) {
+		return nil, p.errf("cannot compare %s (%s) with BETWEEN bounds %s and %s",
+			l.Kind(), l, lo.Kind(), hi.Kind())
+	}
+	return And{Terms: []Expr{
+		Cmp{Op: GE, L: l, R: lo},
+		Cmp{Op: LE, L: l, R: hi},
+	}}, nil
 }
 
 // comparable reports whether two kinds may meet in a comparison: the
@@ -511,7 +564,7 @@ func (p *parser) parseCase() (Expr, error) {
 // reservedWords are identifiers the grammar claims; they never resolve
 // as column names even if a schema were to use them.
 var reservedWords = []string{
-	"AND", "OR", "NOT", "LIKE", "CASE", "WHEN", "THEN", "ELSE", "END", "DATE",
+	"AND", "OR", "NOT", "LIKE", "BETWEEN", "CASE", "WHEN", "THEN", "ELSE", "END", "DATE",
 }
 
 func isReserved(word string) bool {
@@ -550,6 +603,18 @@ func parseDate(s string) (int64, error) {
 	return t.Unix() / 86400, nil
 }
 
+// ParseDate converts a 'YYYY-MM-DD' literal body to epoch days (the
+// DATE column encoding). The SQL front end shares it so both parsers
+// accept and reject exactly the same literals.
+func ParseDate(s string) (int64, error) { return parseDate(s) }
+
+// FormatDate renders epoch days back to the 'YYYY-MM-DD' literal body,
+// the inverse of ParseDate; canonical renderers use it.
+func FormatDate(days int64) string {
+	t := time.Unix(days*86400, 0).UTC()
+	return fmt.Sprintf("%04d-%02d-%02d", t.Year(), int(t.Month()), t.Day())
+}
+
 // Render serializes an expression to the textual form Parse accepts:
 // fully parenthesized, with Char literals quoted and Date literals in
 // DATE 'YYYY-MM-DD' form. For any tree Parse produced,
@@ -575,8 +640,7 @@ func render(b *strings.Builder, e Expr) {
 		case schema.Char:
 			fmt.Fprintf(b, "'%s'", v.V.Bytes)
 		case schema.Date:
-			t := time.Unix(v.V.Int*86400, 0).UTC()
-			fmt.Fprintf(b, "DATE '%04d-%02d-%02d'", t.Year(), int(t.Month()), t.Day())
+			fmt.Fprintf(b, "DATE '%s'", FormatDate(v.V.Int))
 		default:
 			fmt.Fprintf(b, "%d", v.V.Int)
 		}

@@ -59,6 +59,26 @@ func (d Decision) String() string {
 		mode, d.HostCost.Seconds(), d.DeviceCost.Seconds(), d.Reason)
 }
 
+// Evidence renders the decision's full cost ledger for EXPLAIN output,
+// one line per estimate plus the verdict. Vetoed decisions (coherence,
+// DRAM grant, warm cache) carry no costs; the veto reason is the whole
+// story.
+func (d Decision) Evidence() string {
+	choice := "host"
+	if d.Pushdown {
+		choice = "device"
+	}
+	if d.HostCost == 0 && d.DeviceCost == 0 {
+		return fmt.Sprintf("  veto: %s\n  choice: %s\n", d.Reason, choice)
+	}
+	return fmt.Sprintf("  host cost:   %.4fs (uncached bytes over host link)\n"+
+		"  device cost: %.4fs (max of flash+DMA fetch, embedded CPU, result shipping)\n"+
+		"  hybrid cost: %.4fs (equalizing split, floored by the internal bus)\n"+
+		"  choice: %s (%s)\n",
+		d.HostCost.Seconds(), d.DeviceCost.Seconds(), d.HybridCost.Seconds(),
+		choice, d.Reason)
+}
+
 // Planner decides host-versus-device execution.
 type Planner struct {
 	// Cost is the embedded-CPU cost model used for device estimates.

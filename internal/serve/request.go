@@ -27,6 +27,7 @@ import (
 	"smartssd/internal/expr"
 	"smartssd/internal/plan"
 	"smartssd/internal/schema"
+	"smartssd/internal/sql"
 )
 
 // Wire-protocol limits. Decoding enforces them before any parsing so a
@@ -44,6 +45,8 @@ const (
 	MaxOutputCols = 32
 	// MaxSetClauses bounds an update's SET list.
 	MaxSetClauses = 16
+	// MaxSQLLen bounds a SQL statement.
+	MaxSQLLen = 8192
 )
 
 // Request is the wire form of one query session.
@@ -52,8 +55,15 @@ type Request struct {
 	// response body (the session id is not, so bodies stay independent
 	// of arrival order). Optional.
 	Tag string `json:"tag,omitempty"`
+	// SQL is a full statement in the SQL front end's grammar
+	// (sql.Compile); the compiler lowers it to the same query spec the
+	// structured fields describe, plus a selectivity estimate for the
+	// pushdown planner. An EXPLAIN statement returns the plan report
+	// instead of rows. Mutually exclusive with Table, Predicate, Aggs,
+	// Output, and Update.
+	SQL string `json:"sql,omitempty"`
 	// Table names the catalogued table to query.
-	Table string `json:"table"`
+	Table string `json:"table,omitempty"`
 	// Predicate is an optional filter in the expression grammar
 	// (expr.ParsePredicate).
 	Predicate string `json:"predicate,omitempty"`
@@ -117,6 +127,19 @@ type Query struct {
 	Mode     core.Mode
 	Cluster  bool
 	Deadline time.Duration
+	// Spec is the fully lowered query: the SQL path fills every field
+	// (join, group by, order, limit, selectivity estimate); the
+	// structured path fills the subset its fields describe.
+	Spec core.QuerySpec
+	// Columns overrides the result column labels when set (the SQL
+	// path's output names, which include GROUP BY columns).
+	Columns []string
+	// Explain marks an EXPLAIN session: the response carries the plan
+	// report instead of rows, and nothing executes.
+	Explain bool
+	// Compiled is the SQL compilation (nil for structured requests);
+	// EXPLAIN sessions render it.
+	Compiled *sql.Compiled
 }
 
 // SchemaSource resolves a table name to its row schema; both
@@ -136,6 +159,36 @@ type TargetSchemaSource interface {
 	// TargetTableSchema resolves name against the cluster catalog when
 	// cluster is true, the engine catalog otherwise.
 	TargetTableSchema(cluster bool, name string) (*schema.Schema, error)
+}
+
+// TableStatsSource is implemented by sources that can report per-column
+// min/max stats for the executing backend's tables; the SQL path's
+// selectivity estimator uses them when available.
+type TableStatsSource interface {
+	// TargetTableStats reports the load-time column stats of name on
+	// the requested backend; ok is false when unknown.
+	TargetTableStats(cluster bool, name string) ([]core.ColumnStats, bool)
+}
+
+// targetCatalog adapts a SchemaSource to the SQL compiler's catalog,
+// pinned to the backend that will execute the session.
+type targetCatalog struct {
+	src     SchemaSource
+	cluster bool
+}
+
+func (c targetCatalog) TableSchema(name string) (*schema.Schema, error) {
+	if ts, ok := c.src.(TargetSchemaSource); ok {
+		return ts.TargetTableSchema(c.cluster, name)
+	}
+	return c.src.TableSchema(name)
+}
+
+func (c targetCatalog) TableColumnStats(name string) ([]core.ColumnStats, bool) {
+	if ts, ok := c.src.(TableStatsSource); ok {
+		return ts.TargetTableStats(c.cluster, name)
+	}
+	return nil, false
 }
 
 // EngineSchemas adapts an engine's catalog to SchemaSource.
@@ -181,7 +234,7 @@ func DecodeRequest(src SchemaSource, data []byte) (*Query, error) {
 	if !utf8.ValidString(req.Tag) {
 		return nil, fmt.Errorf("serve: tag is not valid UTF-8")
 	}
-	if req.Table == "" {
+	if req.Table == "" && req.SQL == "" {
 		return nil, fmt.Errorf("serve: missing table")
 	}
 
@@ -193,18 +246,6 @@ func DecodeRequest(src SchemaSource, data []byte) (*Query, error) {
 		q.Cluster = true
 	default:
 		return nil, fmt.Errorf("serve: unknown target %q", req.Target)
-	}
-	// The target is pinned before the schema lookup so every expression
-	// below compiles against the executing backend's catalog.
-	var s *schema.Schema
-	var err error
-	if ts, ok := src.(TargetSchemaSource); ok {
-		s, err = ts.TargetTableSchema(q.Cluster, req.Table)
-	} else {
-		s, err = src.TableSchema(req.Table)
-	}
-	if err != nil {
-		return nil, fmt.Errorf("serve: %w", err)
 	}
 	switch req.Mode {
 	case "", "auto":
@@ -224,6 +265,48 @@ func DecodeRequest(src SchemaSource, data []byte) (*Query, error) {
 	q.Deadline = time.Duration(req.DeadlineNS)
 	if req.Trace && q.Cluster {
 		return nil, fmt.Errorf("serve: trace is only supported for engine sessions")
+	}
+
+	if req.SQL != "" {
+		if len(req.SQL) > MaxSQLLen {
+			return nil, fmt.Errorf("serve: sql longer than %d bytes", MaxSQLLen)
+		}
+		if req.Table != "" || req.Predicate != "" ||
+			len(req.Aggs) > 0 || len(req.Output) > 0 || len(req.Update) > 0 {
+			return nil, fmt.Errorf("serve: sql is mutually exclusive with table, predicate, aggs, output, and update")
+		}
+		// The compiler binds against the catalog of the executing
+		// backend, with that backend's load-time column stats feeding
+		// the selectivity estimate.
+		compiled, err := sql.Compile(targetCatalog{src: src, cluster: q.Cluster}, req.SQL)
+		if err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+		if q.Cluster && (len(compiled.Spec.OrderBy) > 0 || compiled.Spec.Limit > 0) {
+			return nil, fmt.Errorf("serve: cluster sessions do not support ORDER BY or LIMIT")
+		}
+		q.Spec = compiled.Spec
+		q.Filter = compiled.Spec.Filter
+		q.Aggs = compiled.Spec.Aggs
+		q.Output = compiled.Spec.Output
+		q.Columns = compiled.OutputNames
+		q.Explain = compiled.Stmt.Explain
+		q.Compiled = compiled
+		q.Req.Table = compiled.Spec.Table
+		return q, nil
+	}
+
+	// The target is pinned before the schema lookup so every expression
+	// below compiles against the executing backend's catalog.
+	var s *schema.Schema
+	var err error
+	if ts, ok := src.(TargetSchemaSource); ok {
+		s, err = ts.TargetTableSchema(q.Cluster, req.Table)
+	} else {
+		s, err = src.TableSchema(req.Table)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
 	}
 
 	if req.Predicate != "" {
@@ -333,6 +416,15 @@ func DecodeRequest(src SchemaSource, data []byte) (*Query, error) {
 			return nil, fmt.Errorf("serve: output %d: %w", i, err)
 		}
 		q.Output = append(q.Output, plan.OutputCol{Name: o.Name, E: e})
+	}
+	// The structured path's spec leaves EstSelectivity zero — the
+	// planner's default — so existing workloads keep their exact
+	// placement decisions and response bytes.
+	q.Spec = core.QuerySpec{
+		Table:  req.Table,
+		Filter: q.Filter,
+		Output: q.Output,
+		Aggs:   q.Aggs,
 	}
 	return q, nil
 }

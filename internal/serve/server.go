@@ -6,6 +6,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -14,6 +15,7 @@ import (
 	"smartssd/internal/metrics"
 	"smartssd/internal/runner"
 	"smartssd/internal/schema"
+	"smartssd/internal/sql"
 	"smartssd/internal/trace"
 )
 
@@ -155,6 +157,20 @@ func (s *Server) TargetTableSchema(cluster bool, name string) (*schema.Schema, e
 		return s.cluster.Schema(name)
 	}
 	return EngineSchemas{E: s.engines[0]}.TableSchema(name)
+}
+
+// TargetTableStats reports the load-time column stats of the requested
+// backend's table, feeding the SQL path's selectivity estimator. The
+// engine clones share the base engine's loaded pages, so worker 0's
+// stats hold for every worker.
+func (s *Server) TargetTableStats(cluster bool, name string) ([]core.ColumnStats, bool) {
+	if cluster {
+		if s.cluster == nil {
+			return nil, false
+		}
+		return s.cluster.TableStats(name)
+	}
+	return s.engines[0].TableStats(name)
 }
 
 // Handler returns the service's HTTP routes.
@@ -331,8 +347,13 @@ func encodeResult(v any) []byte {
 	return append(data, '\n')
 }
 
-// columnNames labels the result columns from the compiled query.
+// columnNames labels the result columns from the compiled query. The
+// SQL path supplies its own labels (which lead with GROUP BY columns);
+// the structured path derives them from the agg and output lists.
 func columnNames(q *Query) []string {
+	if q.Columns != nil {
+		return q.Columns
+	}
 	var names []string
 	for _, a := range q.Aggs {
 		names = append(names, a.Name)
@@ -365,11 +386,49 @@ func encodeRows(tuples []schema.Tuple) [][]any {
 // execute runs one compiled query on worker and returns the result's
 // HTTP status, encoded body, and trace (if requested).
 func (s *Server) execute(worker int, q *Query) (int, []byte, *trace.Recorder) {
+	if q.Explain {
+		status, body := s.executeExplain(worker, q)
+		return status, body, nil
+	}
 	if q.Cluster {
 		status, body := s.executeCluster(q)
 		return status, body, nil
 	}
 	return s.executeEngine(worker, q)
+}
+
+// executeExplain answers an EXPLAIN session: the plan report — logical
+// plan, physical candidates, and the pushdown decision's cost evidence
+// — rendered one line per row, without executing anything.
+func (s *Server) executeExplain(worker int, q *Query) (int, []byte) {
+	var report string
+	var err error
+	if q.Cluster {
+		report, err = sql.ExplainCluster(s.cluster, q.Compiled)
+	} else {
+		report, err = sql.ExplainEngine(s.engines[worker], q.Compiled)
+	}
+	if err != nil {
+		return http.StatusInternalServerError, encodeResult(errorBody{
+			Tag: q.Req.Tag, State: "FAILED", Error: err.Error(),
+		})
+	}
+	target := "engine"
+	if q.Cluster {
+		target = "cluster"
+	}
+	lines := strings.Split(strings.TrimRight(report, "\n"), "\n")
+	rows := make([][]any, len(lines))
+	for i, l := range lines {
+		rows[i] = []any{l}
+	}
+	return http.StatusOK, encodeResult(resultBody{
+		Tag:     q.Req.Tag,
+		State:   "DONE",
+		Target:  target,
+		Columns: []string{"plan"},
+		Rows:    rows,
+	})
 }
 
 func (s *Server) executeEngine(worker int, q *Query) (int, []byte, *trace.Recorder) {
@@ -380,12 +439,7 @@ func (s *Server) executeEngine(worker int, q *Query) (int, []byte, *trace.Record
 		eng.SetRecorder(rec)
 		defer eng.SetRecorder(nil)
 	}
-	res, err := eng.Run(core.QuerySpec{
-		Table:  q.Req.Table,
-		Filter: q.Filter,
-		Output: q.Output,
-		Aggs:   q.Aggs,
-	}, q.Mode)
+	res, err := eng.Run(q.Spec, q.Mode)
 	if err != nil {
 		return http.StatusInternalServerError, encodeResult(errorBody{
 			Tag: q.Req.Tag, State: "FAILED", Error: err.Error(), Class: core.FaultClass(err),
@@ -453,12 +507,7 @@ func (s *Server) executeCluster(q *Query) (int, []byte) {
 	}
 	s.clusterMu.Lock()
 	s.cluster.ResetTiming()
-	res, err := s.cluster.RunRouted(core.ClusterQuery{
-		Table:  q.Req.Table,
-		Filter: q.Filter,
-		Output: q.Output,
-		Aggs:   q.Aggs,
-	}, s.routeLeastLoaded)
+	res, err := s.cluster.RunRouted(sql.ClusterQueryOf(q.Spec), s.routeLeastLoaded)
 	s.clusterMu.Unlock()
 	if err != nil {
 		return http.StatusInternalServerError, encodeResult(errorBody{

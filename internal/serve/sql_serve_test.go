@@ -1,0 +1,238 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// sqlBody builds a SQL session request.
+func sqlBody(tag, target, mode, stmt string) string {
+	b := fmt.Sprintf(`{"tag": %q, "sql": %q`, tag, stmt)
+	if target != "" {
+		b += fmt.Sprintf(`, "target": %q`, target)
+	}
+	if mode != "" {
+		b += fmt.Sprintf(`, "mode": %q`, mode)
+	}
+	return b + "}"
+}
+
+// TestSQLSessionsMatchJSON is the wire-level property: a SQL session
+// and the hand-built JSON session it desugars to return byte-identical
+// result bodies, on the engine backend under forced host and device
+// placement and on the cluster backend. Run under -race in CI.
+func TestSQLSessionsMatchJSON(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2, QueueCapacity: 16})
+
+	pairs := []struct {
+		name string
+		sql  string
+		json string
+	}{
+		{
+			"q6_aggs",
+			`SELECT SUM(l_extendedprice * l_discount) AS revenue, COUNT(*) AS cnt FROM lineitem WHERE l_shipdate >= DATE '1994-01-01' AND l_shipdate < DATE '1995-01-01' AND l_discount >= 5 AND l_discount <= 7 AND l_quantity < 24`,
+			`"table": "lineitem",
+			 "predicate": "l_shipdate >= DATE '1994-01-01' AND l_shipdate < DATE '1995-01-01' AND l_discount >= 5 AND l_discount <= 7 AND l_quantity < 24",
+			 "aggs": [
+			   {"kind": "sum", "expr": "l_extendedprice * l_discount", "name": "revenue"},
+			   {"kind": "count", "name": "cnt"}
+			 ]`,
+		},
+		{
+			"projection_case",
+			`SELECT l_returnflag AS flag, CASE WHEN l_discount > 5 THEN l_extendedprice ELSE 0 END AS disc_price FROM lineitem WHERE l_quantity < 3`,
+			`"table": "lineitem",
+			 "predicate": "l_quantity < 3",
+			 "output": [
+			   {"name": "flag", "expr": "l_returnflag"},
+			   {"name": "disc_price", "expr": "CASE WHEN l_discount > 5 THEN l_extendedprice ELSE 0 END"}
+			 ]`,
+		},
+		{
+			"minmax",
+			`SELECT MIN(l_shipdate) AS lo, MAX(l_shipdate) AS hi, SUM(l_quantity) AS qty FROM lineitem WHERE l_returnflag LIKE 'A%'`,
+			`"table": "lineitem",
+			 "predicate": "l_returnflag LIKE 'A%'",
+			 "aggs": [
+			   {"kind": "min", "expr": "l_shipdate", "name": "lo"},
+			   {"kind": "max", "expr": "l_shipdate", "name": "hi"},
+			   {"kind": "sum", "expr": "l_quantity", "name": "qty"}
+			 ]`,
+		},
+	}
+	backends := []struct {
+		target string
+		mode   string
+	}{
+		{"engine", "host"},
+		{"engine", "device"},
+		{"cluster", ""},
+	}
+	for _, p := range pairs {
+		for _, b := range backends {
+			name := fmt.Sprintf("%s_%s%s", p.name, b.target, b.mode)
+			t.Run(name, func(t *testing.T) {
+				tag := "pair-" + name
+				sqlReq := sqlBody(tag, b.target, b.mode, p.sql)
+				jsonReq := fmt.Sprintf(`{"tag": %q, "target": %q, "mode": %q, %s}`,
+					tag, b.target, b.mode, p.json)
+				if b.mode == "" {
+					jsonReq = fmt.Sprintf(`{"tag": %q, "target": %q, %s}`, tag, b.target, p.json)
+					sqlReq = sqlBody(tag, b.target, "", p.sql)
+				}
+
+				id1 := openSession(t, ts, sqlReq)
+				st1, body1, _ := get(t, ts, "/sessions/"+id1+"/result")
+				id2 := openSession(t, ts, jsonReq)
+				st2, body2, _ := get(t, ts, "/sessions/"+id2+"/result")
+				if st1 != http.StatusOK || st2 != http.StatusOK {
+					t.Fatalf("status sql=%d json=%d\nsql body: %s\njson body: %s", st1, st2, body1, body2)
+				}
+				if string(body1) != string(body2) {
+					t.Errorf("bodies differ:\n--- sql ---\n%s--- json ---\n%s", body1, body2)
+				}
+			})
+		}
+	}
+}
+
+// TestSQLGroupBySessions covers the SQL-only shapes the structured
+// fields cannot express: GROUP BY on both backends (same group rows;
+// the engine emits groups in first-seen order, the cluster merge in
+// key order, so the comparison sorts) and ORDER BY/LIMIT on the
+// engine.
+func TestSQLGroupBySessions(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2, QueueCapacity: 16})
+	stmt := `SELECT l_returnflag, COUNT(*) AS cnt, SUM(l_quantity) AS qty FROM lineitem GROUP BY l_returnflag`
+
+	var rows []string
+	for _, target := range []string{"engine", "cluster"} {
+		id := openSession(t, ts, sqlBody("g-"+target, target, "", stmt))
+		status, data, _ := get(t, ts, "/sessions/"+id+"/result")
+		if status != http.StatusOK {
+			t.Fatalf("%s: %d: %s", target, status, data)
+		}
+		var rb resultBody
+		if err := json.Unmarshal(data, &rb); err != nil {
+			t.Fatal(err)
+		}
+		if len(rb.Columns) != 3 || rb.Columns[0] != "l_returnflag" {
+			t.Fatalf("%s columns = %v", target, rb.Columns)
+		}
+		if len(rb.Rows) != 3 { // flags A, N, R
+			t.Fatalf("%s rows = %v", target, rb.Rows)
+		}
+		sorted := make([]string, len(rb.Rows))
+		for i, r := range rb.Rows {
+			sorted[i] = fmt.Sprint(r)
+		}
+		sort.Strings(sorted)
+		if rows == nil {
+			rows = sorted
+		} else if strings.Join(rows, ";") != strings.Join(sorted, ";") {
+			t.Errorf("engine and cluster grouped rows differ:\n%v\n%v", rows, sorted)
+		}
+	}
+
+	id := openSession(t, ts, sqlBody("top3", "engine", "",
+		`SELECT l_extendedprice FROM lineitem WHERE l_discount >= 9 ORDER BY l_extendedprice DESC LIMIT 3`))
+	status, data, _ := get(t, ts, "/sessions/"+id+"/result")
+	if status != http.StatusOK {
+		t.Fatalf("order/limit: %d: %s", status, data)
+	}
+	var rb resultBody
+	if err := json.Unmarshal(data, &rb); err != nil {
+		t.Fatal(err)
+	}
+	if len(rb.Rows) != 3 {
+		t.Fatalf("limit rows = %v", rb.Rows)
+	}
+	a, b, c := rb.Rows[0][0].(float64), rb.Rows[1][0].(float64), rb.Rows[2][0].(float64)
+	if a < b || b < c {
+		t.Fatalf("not descending: %v", rb.Rows)
+	}
+}
+
+// TestSQLExplainSession: an EXPLAIN statement returns the plan report —
+// one line per row under a single "plan" column — without executing.
+func TestSQLExplainSession(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueCapacity: 8})
+	stmt := `EXPLAIN SELECT SUM(l_extendedprice) AS s FROM lineitem WHERE l_discount > 5`
+
+	for _, target := range []string{"engine", "cluster"} {
+		id := openSession(t, ts, sqlBody("x-"+target, target, "", stmt))
+		status, data, _ := get(t, ts, "/sessions/"+id+"/result")
+		if status != http.StatusOK {
+			t.Fatalf("%s: %d: %s", target, status, data)
+		}
+		var rb resultBody
+		if err := json.Unmarshal(data, &rb); err != nil {
+			t.Fatal(err)
+		}
+		if len(rb.Columns) != 1 || rb.Columns[0] != "plan" {
+			t.Fatalf("%s columns = %v", target, rb.Columns)
+		}
+		report := make([]string, 0, len(rb.Rows))
+		for _, r := range rb.Rows {
+			report = append(report, r[0].(string))
+		}
+		text := strings.Join(report, "\n")
+		for _, want := range []string{"logical plan:", "estimated selectivity:"} {
+			if !strings.Contains(text, want) {
+				t.Errorf("%s explain missing %q:\n%s", target, want, text)
+			}
+		}
+		if target == "engine" && !strings.Contains(text, "cost evidence:") {
+			t.Errorf("engine explain missing cost evidence:\n%s", text)
+		}
+		if target == "cluster" && !strings.Contains(text, "cluster plan:") {
+			t.Errorf("cluster explain missing cluster plan:\n%s", text)
+		}
+		if rb.ElapsedNS != 0 {
+			t.Errorf("%s explain executed something: elapsed %d", target, rb.ElapsedNS)
+		}
+	}
+}
+
+// TestSQLRequestErrors is the serve half of the negative-path table:
+// malformed or unsupported SQL is rejected with 400 and an error that
+// points into the statement; the server never panics.
+func TestSQLRequestErrors(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueCapacity: 8})
+	cases := []struct {
+		name string
+		body string
+		want string
+	}{
+		{"syntax", sqlBody("e", "", "", "SELECT FROM lineitem"), "at offset"},
+		{"unknown table", sqlBody("e", "", "", "SELECT x FROM nope"), "unknown table"},
+		{"unknown column", sqlBody("e", "", "", "SELECT nope FROM lineitem"), "at offset"},
+		{"type mismatch", sqlBody("e", "", "", "SELECT l_quantity FROM lineitem WHERE l_returnflag = 5"), "cannot compare"},
+		{"unsupported syntax", sqlBody("e", "", "", "SELECT * FROM lineitem"), "at offset"},
+		{"cluster order by", sqlBody("e", "cluster", "", "SELECT l_quantity FROM lineitem ORDER BY l_quantity"), "cluster sessions do not support ORDER BY or LIMIT"},
+		{"sql plus table", `{"sql": "SELECT l_quantity FROM lineitem", "table": "lineitem"}`, "mutually exclusive"},
+		{"sql plus aggs", `{"sql": "SELECT l_quantity FROM lineitem", "aggs": [{"kind": "count"}]}`, "mutually exclusive"},
+		{"sql too long", fmt.Sprintf(`{"sql": %q}`, "SELECT l_quantity FROM lineitem WHERE l_quantity < 1 OR "+strings.Repeat("l_quantity < 1 OR ", 500)+"l_quantity < 1"), "longer than"},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			status, data := post(t, ts, c.body)
+			if status != http.StatusBadRequest {
+				t.Fatalf("status = %d: %s", status, data)
+			}
+			var eb errorBody
+			if err := json.Unmarshal(data, &eb); err != nil {
+				t.Fatal(err)
+			}
+			if eb.State != "REJECTED" || !strings.Contains(eb.Error, c.want) {
+				t.Fatalf("error body = %s, want substring %q", data, c.want)
+			}
+		})
+	}
+}

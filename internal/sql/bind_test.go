@@ -1,0 +1,122 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestBindErrors is the negative-path table for semantic analysis:
+// every rejection names the problem and carries a byte offset back
+// into the source text.
+func TestBindErrors(t *testing.T) {
+	cat := tpchCatalog()
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"unknown table", "SELECT a FROM nope", `no table "nope"`},
+		{"unknown column", "SELECT nope FROM lineitem", `unknown column "nope"`},
+		{"unknown qualified column", "SELECT lineitem.nope FROM lineitem", `has no column "nope"`},
+		{"wrong qualifier", "SELECT part.l_quantity FROM lineitem", `names a table "part" that is not in FROM`},
+		{"type mismatch compare", "SELECT l_orderkey FROM lineitem WHERE l_comment = 5", "cannot compare"},
+		{"type mismatch date char", "SELECT l_orderkey FROM lineitem WHERE l_shipdate = 'x'", "cannot compare"},
+		{"arith on char", "SELECT l_comment + 1 FROM lineitem", "needs numeric operands"},
+		{"where not boolean", "SELECT l_orderkey FROM lineitem WHERE l_quantity", "WHERE must be boolean-valued"},
+		{"and needs boolean", "SELECT l_orderkey FROM lineitem WHERE l_quantity AND l_tax", "AND operand must be boolean"},
+		{"not needs boolean", "SELECT l_orderkey FROM lineitem WHERE NOT l_quantity", "NOT operand must be boolean"},
+		{"case cond not boolean", "SELECT CASE WHEN l_quantity THEN 1 ELSE 0 END FROM lineitem", "CASE condition must be boolean"},
+		{"case branch kinds", "SELECT CASE WHEN l_quantity < 5 THEN l_comment ELSE 0 END FROM lineitem", "CASE branches"},
+		{"like on int", "SELECT l_orderkey FROM lineitem WHERE l_quantity LIKE 'x%'", "LIKE needs a CHAR operand"},
+		{"agg nested", "SELECT SUM(l_quantity) + 1 FROM lineitem", "only allowed at the top of a select item"},
+		{"agg in where", "SELECT l_orderkey FROM lineitem WHERE SUM(l_quantity) > 5", "only allowed at the top of a select item"},
+		{"count with arg", "SELECT COUNT(l_quantity) AS n FROM lineitem", "COUNT takes *"},
+		{"sum without arg", "SELECT SUM(*) AS s FROM lineitem", "SUM needs an argument"},
+		{"sum of char", "SELECT SUM(l_comment) AS s FROM lineitem", "SUM needs a numeric argument"},
+		{"unknown function", "SELECT AVG(l_quantity) AS a FROM lineitem", `unknown function "AVG"`},
+		{"mixed plain and agg", "SELECT l_orderkey, SUM(l_quantity) AS s FROM lineitem", "cannot mix plain expressions with aggregates"},
+		{"group col order", "SELECT l_linestatus, l_returnflag, COUNT(*) AS n FROM lineitem GROUP BY l_returnflag, l_linestatus",
+			"want the GROUP BY column"},
+		{"group col missing", "SELECT COUNT(*) AS n, l_returnflag FROM lineitem GROUP BY l_returnflag",
+			"GROUP BY column"},
+		{"group col renamed", "SELECT l_returnflag AS rf, COUNT(*) AS n FROM lineitem GROUP BY l_returnflag",
+			`cannot rename GROUP BY column`},
+		{"group by unknown", "SELECT x, COUNT(*) AS n FROM lineitem GROUP BY x", `unknown column "x"`},
+		{"self join", "SELECT l_orderkey FROM lineitem, lineitem WHERE l_orderkey = l_orderkey",
+			"cannot join table"},
+		{"overlapping columns", "SELECT l_orderkey FROM lineitem JOIN lineitem2 ON l_orderkey = l_orderkey2", `no table "lineitem2"`},
+		{"comma join no equality", "SELECT l_orderkey FROM lineitem, part WHERE l_quantity < 5",
+			"needs an equality between their columns in WHERE"},
+		{"on not equality", "SELECT l_orderkey FROM lineitem JOIN part ON l_partkey < p_partkey",
+			"ON must be a single equality"},
+		{"on same side", "SELECT l_orderkey FROM lineitem JOIN part ON l_partkey = l_orderkey",
+			"ON must be a single equality"},
+		{"order by unknown", "SELECT l_orderkey FROM lineitem ORDER BY nope", "is not in the output"},
+		{"order by position", "SELECT l_orderkey FROM lineitem ORDER BY 3", "exceeds the"},
+		{"duplicate output", "SELECT l_orderkey, l_orderkey FROM lineitem", "duplicate output column"},
+		{"duplicate alias", "SELECT l_orderkey AS k, l_quantity AS k FROM lineitem", "duplicate output column"},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Compile(cat, c.src)
+			if err == nil {
+				t.Fatalf("Compile(%q): expected error containing %q, got nil", c.src, c.want)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("Compile(%q):\n error %q\n does not contain %q", c.src, err, c.want)
+			}
+			if !strings.Contains(err.Error(), "at offset") && !strings.Contains(err.Error(), "no table") {
+				t.Fatalf("Compile(%q): error %q carries no offset", c.src, err)
+			}
+		})
+	}
+}
+
+// TestBindColumnOverlapJoin pins the rejection of joins whose two
+// schemas share a column name (the combined row could not tell them
+// apart).
+func TestBindColumnOverlapJoin(t *testing.T) {
+	cat := tpchCatalog()
+	cat.schemas["lineitem2"] = cat.schemas["lineitem"]
+	_, err := Compile(cat, "SELECT l_orderkey FROM lineitem, lineitem2 WHERE lineitem.l_partkey = lineitem2.l_partkey")
+	if err == nil || !strings.Contains(err.Error(), "both have a column") {
+		t.Fatalf("overlap join: %v", err)
+	}
+}
+
+// TestCompileNeverPanics is the fuzz-found-crash regression slot: any
+// input that ever crashed the compiler gets appended here and must
+// return an error (or compile) without panicking.
+func TestCompileNeverPanics(t *testing.T) {
+	cat := tpchCatalog()
+	nasty := []string{
+		"",
+		"\x00",
+		"SELECT",
+		"SELECT FROM",
+		"SELECT * FROM lineitem",
+		"SELECT l_orderkey FROM lineitem WHERE",
+		"SELECT (((((",
+		"SELECT a FROM t WHERE a LIKE '%'",
+		"SELECT a FROM t WHERE a BETWEEN AND 2",
+		"SELECT COUNT(*) FROM lineitem GROUP BY",
+		"SELECT NOT NOT NOT l_orderkey FROM lineitem",
+		"SELECT l_orderkey FROM lineitem ORDER BY 99999999999999999999",
+		"SELECT 9223372036854775807 + 1 FROM lineitem",
+		"SELECT l_quantity FROM lineitem WHERE l_quantity < -9223372036854775807",
+		"SELECT CASE WHEN CASE WHEN l_tax < 1 THEN 1 ELSE 0 END THEN 1 ELSE 0 END FROM lineitem",
+		"SELECT 'a''b' FROM lineitem",
+		"SELECT l_orderkey FROM lineitem LIMIT 99999999999999999999",
+	}
+	for _, src := range nasty {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("Compile(%q) panicked: %v", src, r)
+				}
+			}()
+			_, _ = Compile(cat, src)
+		}()
+	}
+}

@@ -1,0 +1,123 @@
+package sql
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"smartssd/internal/core"
+	"smartssd/internal/device"
+	"smartssd/internal/page"
+	"smartssd/internal/schema"
+	"smartssd/internal/ssd"
+	"smartssd/internal/tpch"
+)
+
+var update = flag.Bool("update", false, "rewrite golden EXPLAIN files")
+
+// goldenSF is the scale factor the EXPLAIN goldens pin; large enough
+// that the load-time stats cover the full generator ranges.
+const goldenSF = 0.01
+
+func goldenCompare(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s drifted:\n--- got ---\n%s--- want ---\n%s", path, got, want)
+	}
+}
+
+// TestGoldenExplainEngine byte-pins the EXPLAIN output — logical plan,
+// both physical plans, decision, and cost evidence — for the paper's
+// three queries on the single-engine backend.
+func TestGoldenExplainEngine(t *testing.T) {
+	e := tpchEngine(t, goldenSF)
+	cases := []struct {
+		name string
+		sql  string
+	}{
+		{"explain_q6_engine", q6SQL("lineitem_pax")},
+		{"explain_q14_engine", q14SQL("lineitem_pax", "part_pax")},
+		{"explain_q1_engine", q1SQL("lineitem_pax")},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			compiled := mustCompile(t, EngineCatalog{E: e}, "EXPLAIN "+c.sql)
+			out, err := ExplainEngine(e, compiled)
+			if err != nil {
+				t.Fatal(err)
+			}
+			goldenCompare(t, c.name, out)
+		})
+	}
+}
+
+// tpchCluster loads LINEITEM partitioned and PART replicated across a
+// small cluster, mirroring how smartssdd provisions its tables.
+func tpchCluster(t testing.TB, sf float64) *core.Cluster {
+	t.Helper()
+	cl, err := core.NewCluster(4, ssd.DefaultParams(), device.DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	li, pa := tpch.LineitemSchema(), tpch.PartSchema()
+	nLI, nPA := tpch.NumLineitem(sf), tpch.NumPart(sf)
+	pages := func(s *schema.Schema, n int64) int64 {
+		return n/int64(page.Capacity(s, page.PAX)) + 2
+	}
+	if err := cl.CreateTable("lineitem_pax", li, page.PAX, pages(li, nLI)); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Load("lineitem_pax", tpch.NewLineitemGen(sf, 1).Next); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.CreateTable("part_pax", pa, page.PAX, pages(pa, nPA)); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Replicate("part_pax", func() func() (schema.Tuple, bool) {
+		return tpch.NewPartGen(sf, 2).Next
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return cl
+}
+
+// TestGoldenExplainCluster pins the cluster-side EXPLAIN: the logical
+// plan plus the per-partition device program and merge strategy.
+func TestGoldenExplainCluster(t *testing.T) {
+	cl := tpchCluster(t, goldenSF)
+	cases := []struct {
+		name string
+		sql  string
+	}{
+		{"explain_q6_cluster", q6SQL("lineitem_pax")},
+		{"explain_q14_cluster", q14SQL("lineitem_pax", "part_pax")},
+		{"explain_q1_cluster", q1SQL("lineitem_pax")},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			compiled := mustCompile(t, ClusterCatalog{C: cl}, "EXPLAIN "+c.sql)
+			out, err := ExplainCluster(cl, compiled)
+			if err != nil {
+				t.Fatal(err)
+			}
+			goldenCompare(t, c.name, out)
+		})
+	}
+}

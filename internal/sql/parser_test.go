@@ -1,0 +1,124 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRenderFixpoint pins the canonical form: Render(Parse(src)) must
+// itself re-parse to the same canonical string. The table covers every
+// token kind and every clause of the grammar.
+func TestRenderFixpoint(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string // canonical form; "" means src is already canonical
+	}{
+		{"SELECT a FROM t", ""},
+		{"select a from t", "SELECT a FROM t"},
+		{"SELECT t.a, b AS two FROM t", ""},
+		{"SELECT a two FROM t", "SELECT a AS two FROM t"}, // bare alias
+		{"SELECT (a + 1) * 2 FROM t", "SELECT ((a + 1) * 2) FROM t"},
+		{"SELECT a FROM t WHERE a = 5 AND b <> 'x' OR NOT c < 3",
+			"SELECT a FROM t WHERE (((a = 5) AND (b <> 'x')) OR NOT (c < 3))"},
+		{"SELECT a FROM t WHERE b != 'x'", "SELECT a FROM t WHERE (b <> 'x')"},
+		{"SELECT a FROM t WHERE a BETWEEN 1 AND 10", "SELECT a FROM t WHERE (a BETWEEN 1 AND 10)"},
+		{"SELECT a FROM t WHERE a NOT BETWEEN 1 AND 10", "SELECT a FROM t WHERE (a NOT BETWEEN 1 AND 10)"},
+		{"SELECT a FROM t WHERE s LIKE 'pre%'", "SELECT a FROM t WHERE (s LIKE 'pre%')"},
+		{"SELECT a FROM t WHERE s NOT LIKE 'pre%'", "SELECT a FROM t WHERE (s NOT LIKE 'pre%')"},
+		{"SELECT a FROM t WHERE d >= DATE '1994-01-01'", "SELECT a FROM t WHERE (d >= DATE '1994-01-01')"},
+		{"SELECT CASE WHEN a < 5 THEN 1 ELSE 0 END FROM t",
+			"SELECT CASE WHEN (a < 5) THEN 1 ELSE 0 END FROM t"},
+		{"SELECT sum(a) FROM t", "SELECT SUM(a) FROM t"},
+		{"SELECT COUNT(*) AS n FROM t", ""},
+		{"SELECT count() AS n FROM t", "SELECT COUNT(*) AS n FROM t"},
+		{"SELECT MIN(a) AS lo, MAX(a) AS hi FROM t", ""},
+		{"SELECT a, SUM(b) AS s FROM t GROUP BY a", ""},
+		{"SELECT t.a, SUM(b) AS s FROM t GROUP BY t.a", ""},
+		{"SELECT a FROM t, u WHERE t.k = u.k", "SELECT a FROM t, u WHERE (t.k = u.k)"},
+		{"SELECT a FROM t JOIN u ON t.k = u.k", "SELECT a FROM t JOIN u ON (t.k = u.k)"},
+		{"SELECT a FROM t ORDER BY a", ""},
+		{"SELECT a, b FROM t ORDER BY 2 DESC, a", ""},
+		{"SELECT a FROM t ORDER BY a ASC", "SELECT a FROM t ORDER BY a"},
+		{"SELECT a FROM t LIMIT 10", ""},
+		{"SELECT a FROM t WHERE a = -5", "SELECT a FROM t WHERE (a = -5)"},
+		{"SELECT -a FROM t", "SELECT (0 - a) FROM t"},
+		{"EXPLAIN SELECT a FROM t", ""},
+		{"explain select a from t where a/2 >= 3 limit 1",
+			"EXPLAIN SELECT a FROM t WHERE ((a / 2) >= 3) LIMIT 1"},
+		// Aggregate names are contextual, not reserved.
+		{"SELECT sum FROM t WHERE count = 1", "SELECT sum FROM t WHERE (count = 1)"},
+		{"SELECT t.min FROM t", ""},
+	}
+	for _, c := range cases {
+		stmt, err := Parse(c.src)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.src, err)
+			continue
+		}
+		want := c.want
+		if want == "" {
+			want = c.src
+		}
+		got := Render(stmt)
+		if got != want {
+			t.Errorf("Render(Parse(%q)):\n got %q\nwant %q", c.src, got, want)
+			continue
+		}
+		again, err := Parse(got)
+		if err != nil {
+			t.Errorf("re-Parse(%q): %v", got, err)
+			continue
+		}
+		if got2 := Render(again); got2 != got {
+			t.Errorf("canonical form not a fixpoint:\n  %q\n  %q", got, got2)
+		}
+	}
+}
+
+// TestParseErrors covers the syntax-level negative paths; every error
+// carries the source text and a byte offset.
+func TestParseErrors(t *testing.T) {
+	deep := "SELECT " + strings.Repeat("(", 300) + "a" + strings.Repeat(")", 300) + " FROM t"
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"", "expected SELECT"},
+		{"DELETE FROM t", "expected SELECT"},
+		{"SELECT FROM t", "unexpected keyword \"FROM\""},
+		{"SELECT a", "expected FROM"},
+		{"SELECT a FROM", "expected a table name"},
+		{"SELECT a FROM t WHERE", "expected an expression"},
+		{"SELECT a FROM t extra", "unexpected \"extra\" after statement"},
+		{"SELECT (a FROM t", "expected ')'"},
+		{"SELECT a FROM t LIMIT 0", "LIMIT must be a positive integer"},
+		{"SELECT a FROM t LIMIT -1", "LIMIT needs an integer"},
+		{"SELECT a FROM t WHERE s LIKE 'a%b'", "only prefix LIKE patterns"},
+		{"SELECT a FROM t WHERE s LIKE 'abc'", "only prefix LIKE patterns"},
+		{"SELECT a FROM t WHERE a BETWEEN 1 10", "expected AND"},
+		{"SELECT CASE a WHEN 1 THEN 2 END FROM t", "expected WHEN"},
+		{"SELECT CASE WHEN a THEN 2 END FROM t", "expected ELSE"},
+		{"SELECT a FROM t WHERE d = DATE 'nope'", "DATE"},
+		{"SELECT 'unterminated FROM t", "unterminated string literal"},
+		{"SELECT a; FROM t", "unexpected character ';'"},
+		{"SELECT a FROM select", "expected a table name"},
+		{"SELECT a FROM t JOIN u", "expected ON"},
+		{"SELECT a FROM t ORDER BY 0", "ORDER BY position"},
+		{"SELECT a FROM t GROUP BY", "expected a column name"},
+		{"SELECT 99999999999999999999 FROM t", "integer"},
+		{deep, "nesting exceeds"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Errorf("Parse(%q): expected error containing %q, got nil", c.src, c.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Parse(%.40q): error %q does not contain %q", c.src, err, c.want)
+		}
+		if !strings.Contains(err.Error(), "at offset") {
+			t.Errorf("Parse(%.40q): error %q carries no offset", c.src, err)
+		}
+	}
+}

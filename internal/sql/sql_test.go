@@ -1,0 +1,357 @@
+package sql
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"smartssd/internal/core"
+	"smartssd/internal/expr"
+	"smartssd/internal/page"
+	"smartssd/internal/schema"
+	"smartssd/internal/ssd"
+	"smartssd/internal/tpch"
+)
+
+// staticCatalog is an in-memory Catalog + StatsCatalog for binder and
+// estimator tests that do not need a live engine.
+type staticCatalog struct {
+	schemas map[string]*schema.Schema
+	stats   map[string][]core.ColumnStats
+}
+
+func (c staticCatalog) TableSchema(name string) (*schema.Schema, error) {
+	s, ok := c.schemas[name]
+	if !ok {
+		return nil, fmt.Errorf("no table %q", name)
+	}
+	return s, nil
+}
+
+func (c staticCatalog) TableColumnStats(name string) ([]core.ColumnStats, bool) {
+	st, ok := c.stats[name]
+	return st, ok
+}
+
+// tpchCatalog resolves "lineitem" and "part" with stats matching the
+// generators' value ranges.
+func tpchCatalog() staticCatalog {
+	li := tpch.LineitemSchema()
+	liStats := make([]core.ColumnStats, li.NumColumns())
+	set := func(s *schema.Schema, st []core.ColumnStats, col string, lo, hi int64) {
+		st[s.MustColumnIndex(col)] = core.ColumnStats{Known: true, Min: lo, Max: hi}
+	}
+	set(li, liStats, "l_quantity", 100, 5000)
+	set(li, liStats, "l_discount", 0, 10)
+	set(li, liStats, "l_tax", 0, 8)
+	set(li, liStats, "l_shipdate",
+		schema.DateVal(1992, time.January, 1).Days(),
+		schema.DateVal(1998, time.December, 1).Days())
+	return staticCatalog{
+		schemas: map[string]*schema.Schema{"lineitem": li, "part": tpch.PartSchema()},
+		stats:   map[string][]core.ColumnStats{"lineitem": liStats},
+	}
+}
+
+// The SQL renditions of the paper's three queries, against the
+// engine-side table names the experiments load.
+func q6SQL(table string) string {
+	return "SELECT SUM(l_extendedprice * l_discount) AS revenue_x10000 FROM " + table +
+		" WHERE l_shipdate >= DATE '1994-01-01' AND l_shipdate < DATE '1995-01-01'" +
+		" AND l_discount > 5 AND l_discount < 7 AND l_quantity < 2400"
+}
+
+func q14SQL(lineitem, part string) string {
+	return "SELECT SUM(CASE WHEN p_type LIKE 'PROMO%' THEN l_extendedprice * (100 - l_discount) / 100 ELSE 0 END) AS promo_revenue," +
+		" SUM(l_extendedprice * (100 - l_discount) / 100) AS total_revenue" +
+		" FROM " + lineitem + ", " + part +
+		" WHERE l_partkey = p_partkey AND l_shipdate >= DATE '1995-09-01' AND l_shipdate < DATE '1995-10-01'"
+}
+
+func q1SQL(table string) string {
+	return "SELECT l_returnflag, l_linestatus, SUM(l_quantity) AS sum_qty_x100," +
+		" SUM(l_extendedprice) AS sum_base_price," +
+		" SUM(l_extendedprice * (100 - l_discount) / 100) AS sum_disc_price," +
+		" SUM(l_extendedprice * (100 - l_discount) * (100 + l_tax) / 10000) AS sum_charge," +
+		" COUNT(*) AS count_order FROM " + table +
+		" WHERE l_shipdate <= DATE '1998-09-02' GROUP BY l_returnflag, l_linestatus"
+}
+
+func mustCompile(t *testing.T, cat Catalog, src string) *Compiled {
+	t.Helper()
+	c, err := Compile(cat, src)
+	if err != nil {
+		t.Fatalf("Compile(%s): %v", src, err)
+	}
+	return c
+}
+
+func renderOf(e expr.Expr) string {
+	if e == nil {
+		return "<nil>"
+	}
+	return expr.Render(e)
+}
+
+func TestCompileQ6MatchesHandBuilt(t *testing.T) {
+	c := mustCompile(t, tpchCatalog(), q6SQL("lineitem"))
+	if c.Spec.Table != "lineitem" || c.Spec.Join != nil {
+		t.Fatalf("spec shape: table %q join %v", c.Spec.Table, c.Spec.Join)
+	}
+	if got, want := renderOf(c.Spec.Filter), expr.Render(tpch.Q6Predicate()); got != want {
+		t.Errorf("filter:\n got %s\nwant %s", got, want)
+	}
+	want := tpch.Q6Aggregates()
+	if len(c.Spec.Aggs) != 1 || c.Spec.Aggs[0].Name != want[0].Name ||
+		c.Spec.Aggs[0].Kind != want[0].Kind ||
+		renderOf(c.Spec.Aggs[0].E) != expr.Render(want[0].E) {
+		t.Errorf("aggs: got %+v", c.Spec.Aggs)
+	}
+	// Interval intersection over the catalog stats: about 1/7 years x
+	// 1/11 discounts x 23/49 quantities — the paper's ~0.6%.
+	if c.Spec.EstSelectivity < 0.003 || c.Spec.EstSelectivity > 0.012 {
+		t.Errorf("Q6 estimated selectivity = %v, want ~0.006", c.Spec.EstSelectivity)
+	}
+}
+
+func TestCompileQ14MatchesHandBuilt(t *testing.T) {
+	c := mustCompile(t, tpchCatalog(), q14SQL("lineitem", "part"))
+	j := c.Spec.Join
+	if j == nil || j.BuildTable != "part" || j.BuildKey != "p_partkey" || j.ProbeKey != "l_partkey" {
+		t.Fatalf("join clause: %+v", j)
+	}
+	if got, want := renderOf(c.Spec.Filter), expr.Render(tpch.Q14DateRange()); got != want {
+		t.Errorf("filter:\n got %s\nwant %s", got, want)
+	}
+	want := tpch.Q14Aggregates(tpch.LineitemSchema(), tpch.PartSchema())
+	if len(c.Spec.Aggs) != len(want) {
+		t.Fatalf("aggs: got %d, want %d", len(c.Spec.Aggs), len(want))
+	}
+	for i := range want {
+		if c.Spec.Aggs[i].Name != want[i].Name ||
+			renderOf(c.Spec.Aggs[i].E) != expr.Render(want[i].E) {
+			t.Errorf("agg %d:\n got %s=%s\nwant %s=%s", i,
+				c.Spec.Aggs[i].Name, renderOf(c.Spec.Aggs[i].E),
+				want[i].Name, expr.Render(want[i].E))
+		}
+	}
+}
+
+func TestCompileQ1MatchesHandBuilt(t *testing.T) {
+	c := mustCompile(t, tpchCatalog(), q1SQL("lineitem"))
+	wantGB := tpch.Q1GroupBy()
+	if len(c.Spec.GroupBy) != len(wantGB) {
+		t.Fatalf("group by: got %v, want %v", c.Spec.GroupBy, wantGB)
+	}
+	for i := range wantGB {
+		if c.Spec.GroupBy[i] != wantGB[i] {
+			t.Fatalf("group by: got %v, want %v", c.Spec.GroupBy, wantGB)
+		}
+	}
+	if got, want := renderOf(c.Spec.Filter), expr.Render(tpch.Q1Predicate()); got != want {
+		t.Errorf("filter:\n got %s\nwant %s", got, want)
+	}
+	want := tpch.Q1Aggregates()
+	if len(c.Spec.Aggs) != len(want) {
+		t.Fatalf("aggs: got %d, want %d", len(c.Spec.Aggs), len(want))
+	}
+	for i := range want {
+		g, w := c.Spec.Aggs[i], want[i]
+		gr, wr := "<nil>", "<nil>"
+		if g.E != nil {
+			gr = expr.Render(g.E)
+		}
+		if w.E != nil {
+			wr = expr.Render(w.E)
+		}
+		if g.Name != w.Name || g.Kind != w.Kind || gr != wr {
+			t.Errorf("agg %d:\n got %s %s=%s\nwant %s %s=%s", i, g.Kind, g.Name, gr, w.Kind, w.Name, wr)
+		}
+	}
+	wantNames := []string{"l_returnflag", "l_linestatus", "sum_qty_x100", "sum_base_price",
+		"sum_disc_price", "sum_charge", "count_order"}
+	if strings.Join(c.OutputNames, ",") != strings.Join(wantNames, ",") {
+		t.Errorf("output names: %v", c.OutputNames)
+	}
+}
+
+func TestEstimateIntervals(t *testing.T) {
+	cat := staticCatalog{
+		schemas: map[string]*schema.Schema{"u": schema.New(
+			schema.Column{Name: "x", Kind: schema.Int32},
+			schema.Column{Name: "y", Kind: schema.Int32},
+		)},
+		stats: map[string][]core.ColumnStats{"u": {
+			{Known: true, Min: 0, Max: 99},
+			{}, // y: unloaded, heuristics apply
+		}},
+	}
+	cases := []struct {
+		where string
+		want  float64
+	}{
+		{"", 1.0},
+		{" WHERE x < 25", 0.25},
+		{" WHERE x >= 10 AND x < 20", 0.10},
+		{" WHERE x BETWEEN 10 AND 19", 0.10},
+		{" WHERE 19 >= x AND 10 <= x", 0.10}, // mirrored literals
+		{" WHERE x = 5", 0.01},
+		{" WHERE x NOT BETWEEN 0 AND 49", 0.5},
+		{" WHERE x < 10 OR x >= 90", 1 - 0.9*0.9},
+		{" WHERE y = 1", selEquality},
+		{" WHERE y > 1", selRange},
+		{" WHERE x < 50 AND y > 1", 0.5 * selRange},
+	}
+	for _, c := range cases {
+		got := mustCompile(t, cat, "SELECT COUNT(*) AS n FROM u"+c.where).Spec.EstSelectivity
+		if math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("%q: estimate = %v, want %v", c.where, got, c.want)
+		}
+	}
+}
+
+// tpchEngine loads LINEITEM and PART (PAX) at a tiny scale factor.
+func tpchEngine(t testing.TB, sf float64) *core.Engine {
+	t.Helper()
+	e, err := core.New(core.Config{SSD: ssd.DefaultParams()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	li, pa := tpch.LineitemSchema(), tpch.PartSchema()
+	nLI, nPA := tpch.NumLineitem(sf), tpch.NumPart(sf)
+	pages := func(s *schema.Schema, n int64) int64 {
+		return n/int64(page.Capacity(s, page.PAX)) + 2
+	}
+	if _, err := e.CreateTable("lineitem_pax", li, page.PAX, pages(li, nLI), core.OnSSD); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Load("lineitem_pax", tpch.NewLineitemGen(sf, 1).Next); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.CreateTable("part_pax", pa, page.PAX, pages(pa, nPA), core.OnSSD); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Load("part_pax", tpch.NewPartGen(sf, 2).Next); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func formatRows(s *schema.Schema, rows []schema.Tuple) string {
+	var b strings.Builder
+	for _, r := range rows {
+		for i, v := range r {
+			if i > 0 {
+				b.WriteByte('|')
+			}
+			b.WriteString(schema.FormatValue(s.Column(i).Kind, v))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TestSQLResultsMatchHandBuiltSpecs is the engine-level half of the
+// SQL-equals-JSON property: for each of the paper's queries, the
+// compiled SQL spec and the hand-built spec produce byte-identical
+// rows on both the host and device paths.
+func TestSQLResultsMatchHandBuiltSpecs(t *testing.T) {
+	e := tpchEngine(t, 0.001)
+	li, pa := tpch.LineitemSchema(), tpch.PartSchema()
+	cases := []struct {
+		name string
+		sql  string
+		spec core.QuerySpec
+	}{
+		{"q6", q6SQL("lineitem_pax"), core.QuerySpec{
+			Table:  "lineitem_pax",
+			Filter: tpch.Q6Predicate(),
+			Aggs:   tpch.Q6Aggregates(),
+		}},
+		{"q14", q14SQL("lineitem_pax", "part_pax"), core.QuerySpec{
+			Table:  "lineitem_pax",
+			Join:   &core.JoinClause{BuildTable: "part_pax", BuildKey: "p_partkey", ProbeKey: "l_partkey"},
+			Filter: tpch.Q14DateRange(),
+			Aggs:   tpch.Q14Aggregates(li, pa),
+		}},
+		{"q1", q1SQL("lineitem_pax"), core.QuerySpec{
+			Table:   "lineitem_pax",
+			Filter:  tpch.Q1Predicate(),
+			GroupBy: tpch.Q1GroupBy(),
+			Aggs:    tpch.Q1Aggregates(),
+		}},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			compiled := mustCompile(t, EngineCatalog{E: e}, c.sql)
+			for _, mode := range []core.Mode{core.ForceHost, core.ForceDevice} {
+				fromSQL, err := e.Run(compiled.Spec, mode)
+				if err != nil {
+					t.Fatalf("%v sql run: %v", mode, err)
+				}
+				fromSpec, err := e.Run(c.spec, mode)
+				if err != nil {
+					t.Fatalf("%v spec run: %v", mode, err)
+				}
+				if fromSQL.Schema.String() != fromSpec.Schema.String() {
+					t.Fatalf("%v schema: %s vs %s", mode, fromSQL.Schema, fromSpec.Schema)
+				}
+				got := formatRows(fromSQL.Schema, fromSQL.Rows)
+				want := formatRows(fromSpec.Schema, fromSpec.Rows)
+				if got != want {
+					t.Errorf("%v rows differ:\nsql:\n%s\nspec:\n%s", mode, got, want)
+				}
+			}
+		})
+	}
+}
+
+func TestExplainEngineShape(t *testing.T) {
+	e := tpchEngine(t, 0.001)
+	c := mustCompile(t, EngineCatalog{E: e}, "EXPLAIN "+q6SQL("lineitem_pax"))
+	if !c.Stmt.Explain {
+		t.Fatal("EXPLAIN prefix not recorded")
+	}
+	out, err := ExplainEngine(e, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"sql: EXPLAIN SELECT", "logical plan:", "estimated selectivity:",
+		"host plan:", "device plan:", "decision:", "cost evidence:", "choice:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("EXPLAIN output missing %q:\n%s", want, out)
+		}
+	}
+	// The engine catalog's load-time stats should put Q6 near the
+	// paper's ~0.6% selectivity.
+	if c.Spec.EstSelectivity < 0.002 || c.Spec.EstSelectivity > 0.02 {
+		t.Errorf("engine-stats Q6 estimate = %v", c.Spec.EstSelectivity)
+	}
+}
+
+func TestCompileOrderLimitProjection(t *testing.T) {
+	c := mustCompile(t, tpchCatalog(),
+		"SELECT l_orderkey, l_quantity * 2 AS dbl FROM lineitem WHERE l_quantity < 300 ORDER BY dbl DESC, 1 LIMIT 7")
+	if len(c.Spec.Output) != 2 || c.Spec.Output[0].Name != "l_orderkey" || c.Spec.Output[1].Name != "dbl" {
+		t.Fatalf("output: %+v", c.Spec.Output)
+	}
+	if len(c.Spec.OrderBy) != 2 || c.Spec.OrderBy[0].Col != 1 || !c.Spec.OrderBy[0].Desc ||
+		c.Spec.OrderBy[1].Col != 0 || c.Spec.OrderBy[1].Desc {
+		t.Fatalf("order by: %+v", c.Spec.OrderBy)
+	}
+	if c.Spec.Limit != 7 {
+		t.Fatalf("limit: %d", c.Spec.Limit)
+	}
+}
+
+func TestCompileUnnamedProjectionUsesCanonicalName(t *testing.T) {
+	c := mustCompile(t, tpchCatalog(), "SELECT l_quantity + 1 FROM lineitem")
+	if got := c.Spec.Output[0].Name; got != "(l_quantity + 1)" {
+		t.Fatalf("computed column name = %q", got)
+	}
+}
